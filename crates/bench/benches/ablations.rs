@@ -1,0 +1,125 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out:
+//! spatial tessellation granularity, buffer-cache sizing, and the cost
+//! model's functional-evaluation constant (which controls the §2.4.2
+//! plan crossover).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use extidx_spatial::{geometry_sql, SpatialWorkload};
+use extidx_sql::Database;
+
+/// Tessellation level trades primary-filter selectivity (finer tiles →
+/// fewer candidates) against tile-table fan-out (finer tiles → more
+/// entries per geometry).
+fn bench_tessellation_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tessellation_level");
+    group.sample_size(10);
+    for level in [3u32, 5, 7] {
+        let mut db = Database::with_cache_pages(16_384);
+        extidx_spatial::install(&mut db).expect("install");
+        let mut wl = SpatialWorkload::new(1024.0, 5);
+        db.execute("CREATE TABLE parcels (gid INTEGER, geometry SDO_GEOMETRY)").expect("ddl");
+        for i in 0..400 {
+            let g = wl.rect(5.0, 40.0);
+            db.execute(&format!("INSERT INTO parcels VALUES ({i}, {})", geometry_sql(&g)))
+                .expect("insert");
+        }
+        db.execute(&format!(
+            "CREATE INDEX sidx ON parcels(geometry) INDEXTYPE IS SpatialIndexType \
+             PARAMETERS (':World 1024 :Level {level}')"
+        ))
+        .expect("index");
+        let window = geometry_sql(&wl.rect(80.0, 120.0));
+        let sql = format!(
+            "SELECT gid FROM parcels WHERE Sdo_Relate(geometry, {window}, 'mask=ANYINTERACT')"
+        );
+        group.bench_with_input(BenchmarkId::new("window_query", level), &sql, |b, sql| {
+            b.iter(|| db.query(sql).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+/// Buffer-cache size: below the working set, repeated queries churn
+/// physical reads; above it, they run from memory.
+fn bench_cache_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cache_pages");
+    group.sample_size(10);
+    for pages in [64usize, 512, 8192] {
+        let mut db = Database::with_cache_pages(pages);
+        extidx_text::install(&mut db).expect("install");
+        db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(4000))").expect("ddl");
+        let mut gen = extidx_text::CorpusGenerator::new(800, 1.0, 9);
+        for (i, body) in gen.corpus(1500, 60).into_iter().enumerate() {
+            db.execute_with("INSERT INTO docs VALUES (?, ?)", &[(i as i64).into(), body.into()])
+                .expect("insert");
+        }
+        db.execute("CREATE INDEX dt ON docs(body) INDEXTYPE IS TextIndexType").expect("index");
+        let term = gen.term(40).to_string();
+        let sql = format!("SELECT id FROM docs WHERE Contains(body, '{term}')");
+        group.bench_with_input(BenchmarkId::new("repeated_query", pages), &sql, |b, sql| {
+            b.iter(|| db.query(sql).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+/// The cost model's `func_eval` constant decides when the optimizer
+/// prefers the domain index over a full scan with functional evaluation —
+/// ablate it and measure the *executed* latency consequences.
+fn bench_func_eval_constant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_func_eval_cost");
+    group.sample_size(10);
+    let mut fx = extidx_bench::text_fixture(2000, 50, 1000, 21).expect("fixture");
+    let term = fx.gen.term(60).to_string();
+    let sql = format!("SELECT id FROM docs WHERE Contains(body, '{term}')");
+    for (label, func_eval) in [("underpriced_0", 0.0), ("default_01", 0.1), ("overpriced_10", 10.0)]
+    {
+        let mut cm = fx.db.cost_model();
+        cm.func_eval = func_eval;
+        fx.db.set_cost_model(cm);
+        group.bench_with_input(BenchmarkId::new("query", label), &sql, |b, sql| {
+            b.iter(|| fx.db.query(sql).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+/// Tile index vs R-tree index behind the identical operator and query —
+/// the §3.2.2 "change the indexing algorithm" swap, measured.
+fn bench_indexing_scheme_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_indexing_scheme");
+    group.sample_size(10);
+    for indextype in ["SpatialIndexType", "RtreeIndexType"] {
+        let mut db = Database::with_cache_pages(16_384);
+        extidx_spatial::install(&mut db).expect("install");
+        let mut wl = SpatialWorkload::new(1024.0, 13);
+        db.execute("CREATE TABLE parcels (gid INTEGER, geometry SDO_GEOMETRY)").expect("ddl");
+        for i in 0..400 {
+            let g = wl.rect(4.0, 30.0);
+            db.execute(&format!("INSERT INTO parcels VALUES ({i}, {})", geometry_sql(&g)))
+                .expect("insert");
+        }
+        db.execute(&format!(
+            "CREATE INDEX sidx ON parcels(geometry) INDEXTYPE IS {indextype}"
+        ))
+        .expect("index");
+        let window = geometry_sql(&wl.rect(100.0, 180.0));
+        let sql = format!(
+            "SELECT gid FROM parcels WHERE Sdo_Relate(geometry, {window}, 'mask=ANYINTERACT')"
+        );
+        group.bench_with_input(BenchmarkId::new("window_query", indextype), &sql, |b, sql| {
+            b.iter(|| db.query(sql).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tessellation_level,
+    bench_cache_size,
+    bench_func_eval_constant,
+    bench_indexing_scheme_swap
+);
+criterion_main!(benches);

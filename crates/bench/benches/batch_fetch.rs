@@ -1,0 +1,26 @@
+//! E8 (§2.5): the ODCIIndexFetch batch interface — query latency as the
+//! per-fetch batch size sweeps from row-at-a-time to bulk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use extidx_bench::text_fixture;
+
+fn bench_batch_fetch(c: &mut Criterion) {
+    let mut fx = text_fixture(2000, 50, 1000, 42).expect("fixture");
+    let term = fx.gen.term(25).to_string();
+    let sql = format!("SELECT id FROM docs WHERE Contains(body, '{term}')");
+
+    let mut group = c.benchmark_group("e8_batch_fetch");
+    group.sample_size(10);
+    for batch in [1usize, 8, 64, 512] {
+        fx.db.set_batch_size(batch);
+        group.bench_with_input(BenchmarkId::new("fetch_batch", batch), &sql, |b, sql| {
+            b.iter(|| fx.db.query(sql).expect("query"))
+        });
+    }
+    fx.db.set_batch_size(32);
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_fetch);
+criterion_main!(benches);

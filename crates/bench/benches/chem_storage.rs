@@ -1,0 +1,37 @@
+//! E5 (§3.2.4): LOB-resident vs external-file fingerprint index:
+//! incremental maintenance cost and warm substructure-query latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use extidx_bench::chem_fixture;
+use extidx_chem::MoleculeWorkload;
+
+fn bench_chem_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_chem_storage");
+    group.sample_size(10);
+    for storage in ["LOB", "FILE"] {
+        let mut fx = chem_fixture(1500, 5, &format!(":Storage {storage}")).expect("fixture");
+        let mut wl = MoleculeWorkload::new(777);
+        let mut next_id = 100_000i64;
+        group.bench_with_input(BenchmarkId::new("incremental_insert", storage), &storage, |b, _| {
+            b.iter(|| {
+                let m = wl.molecule(12);
+                next_id += 1;
+                fx.db
+                    .execute_with(
+                        "INSERT INTO compounds VALUES (?, ?)",
+                        &[next_id.into(), m.into()],
+                    )
+                    .expect("insert")
+            })
+        });
+        let sql = "SELECT COUNT(*) FROM compounds WHERE MolContains(mol, 'CC(=O)N')";
+        group.bench_with_input(BenchmarkId::new("substructure_query_warm", storage), &storage, |b, _| {
+            b.iter(|| fx.db.query(sql).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chem_storage);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E6 (§2.4.2): execution time under the optimizer's plan choice as the
+//! relational predicate's selectivity varies, plus pure planning cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use extidx_bench::text_fixture;
+
+fn bench_optimizer_choice(c: &mut Criterion) {
+    let mut fx = text_fixture(2000, 50, 1000, 21).expect("fixture");
+    fx.db.execute("CREATE INDEX doc_id ON docs(id)").expect("btree");
+    fx.db.execute("ANALYZE TABLE docs").expect("analyze");
+    let term = fx.gen.term(40).to_string();
+
+    let mut group = c.benchmark_group("e6_optimizer_choice");
+    group.sample_size(10);
+    for (label, pred) in [
+        ("btree_wins_eq", "id = 100"),
+        ("btree_wins_narrow", "id BETWEEN 100 AND 140"),
+        ("domain_wins_wide", "id > 0"),
+    ] {
+        let sql = format!("SELECT id FROM docs WHERE Contains(body, '{term}') AND {pred}");
+        group.bench_with_input(BenchmarkId::new("execute", label), &sql, |b, sql| {
+            b.iter(|| fx.db.query(sql).expect("query"))
+        });
+        group.bench_with_input(BenchmarkId::new("plan_only", label), &sql, |b, sql| {
+            b.iter(|| fx.db.explain(sql).expect("explain"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer_choice);
+criterion_main!(benches);

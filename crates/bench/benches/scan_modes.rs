@@ -1,0 +1,28 @@
+//! E7 (§2.2.3): Precompute-All vs Incremental scan implementations —
+//! full-result drains vs LIMIT-k early termination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use extidx_bench::text_fixture_with_params;
+
+fn bench_scan_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_scan_modes");
+    group.sample_size(10);
+    for mode in ["PRECOMPUTE", "INCREMENTAL"] {
+        let mut fx = text_fixture_with_params(2000, 50, 1000, 42, &format!(":ScanMode {mode}"))
+            .expect("fixture");
+        let term = fx.gen.term(3).to_string();
+        let all = format!("SELECT id FROM docs WHERE Contains(body, '{term}')");
+        let lim = format!("{all} LIMIT 10");
+        group.bench_with_input(BenchmarkId::new("drain_all", mode), &all, |b, sql| {
+            b.iter(|| fx.db.query(sql).expect("drain"))
+        });
+        group.bench_with_input(BenchmarkId::new("limit_10", mode), &lim, |b, sql| {
+            b.iter(|| fx.db.query(sql).expect("limit"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_modes);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E3 (§3.2.2): the one-operator Sdo_Relate overlap join vs the pre-8i
+//! hand-written tile join — the claim is performance parity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use extidx_bench::spatial_fixture;
+use extidx_spatial::{legacy, Mask};
+
+fn bench_spatial_relate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_spatial_relate");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let mut fx = spatial_fixture(n, 9).expect("fixture");
+        let sql = "SELECT r.gid, p.gid FROM roads r, parks p \
+                   WHERE Sdo_Relate(r.geometry, p.geometry, 'mask=OVERLAPS')";
+        group.bench_with_input(BenchmarkId::new("modern_operator", n), &n, |b, _| {
+            b.iter(|| fx.db.query(sql).expect("modern join"))
+        });
+        group.bench_with_input(BenchmarkId::new("legacy_tile_join", n), &n, |b, _| {
+            b.iter(|| {
+                legacy::legacy_relate_join(
+                    &mut fx.db, "roads", "gid", "roads_sidx", "parks", "gid", "parks_sidx",
+                    Mask::Overlaps,
+                )
+                .expect("legacy join")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spatial_relate);
+criterion_main!(benches);

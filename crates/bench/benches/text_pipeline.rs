@@ -1,0 +1,38 @@
+//! E2 (§3.2.1): pipelined domain-index text queries vs the pre-8i
+//! two-step temp-table execution, across term selectivities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use extidx_bench::text_fixture;
+use extidx_text::legacy;
+
+fn bench_text_pipeline(c: &mut Criterion) {
+    let mut fx = text_fixture(1500, 50, 1000, 42).expect("fixture");
+    let mut group = c.benchmark_group("e2_text_pipeline");
+    group.sample_size(10);
+
+    for (label, rank) in [("rare", 500usize), ("mid", 50), ("common", 5)] {
+        let term = fx.gen.term(rank).to_string();
+        let sql = format!("SELECT id FROM docs WHERE Contains(body, '{term}')");
+        group.bench_with_input(BenchmarkId::new("modern_pipelined", label), &sql, |b, sql| {
+            b.iter(|| fx.db.query(sql).expect("modern query"))
+        });
+        group.bench_with_input(BenchmarkId::new("legacy_two_step", label), &term, |b, term| {
+            b.iter(|| {
+                legacy::two_step_query(&mut fx.db, "docs", "d.id", "doc_text", term)
+                    .expect("legacy query")
+            })
+        });
+        // First-row latency: the pipelined executor's signature benefit.
+        group.bench_with_input(BenchmarkId::new("modern_first_row", label), &sql, |b, sql| {
+            b.iter(|| {
+                let mut cur = fx.db.open_query(sql).expect("cursor");
+                cur.next_row().expect("first row")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_text_pipeline);
+criterion_main!(benches);

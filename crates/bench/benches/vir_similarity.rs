@@ -1,0 +1,30 @@
+//! E4 (§3.2.3): three-phase filtered image similarity vs the unindexed
+//! per-row full signature comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use extidx_bench::vir_fixture;
+
+fn bench_vir_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_vir_similarity");
+    group.sample_size(10);
+    let weights = "globalcolor=0.5, localcolor=0.0, texture=0.5, structure=0.0";
+    for n in [1000usize, 4000] {
+        let mut base = vir_fixture(n, 5, 7, false).expect("baseline fixture");
+        let sql = format!(
+            "SELECT id FROM images WHERE VirSimilar(img, '{}', '{weights}', 3.0)",
+            base.query.serialize()
+        );
+        group.bench_with_input(BenchmarkId::new("full_scan_compare", n), &sql, |b, sql| {
+            b.iter(|| base.db.query(sql).expect("full scan"))
+        });
+        let mut idx = vir_fixture(n, 5, 7, true).expect("indexed fixture");
+        group.bench_with_input(BenchmarkId::new("three_phase_index", n), &sql, |b, sql| {
+            b.iter(|| idx.db.query(sql).expect("indexed"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vir_similarity);
+criterion_main!(benches);

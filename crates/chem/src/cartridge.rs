@@ -1,0 +1,304 @@
+//! The ODCIIndex implementation for the chemistry indextype.
+//!
+//! Supports two operators over molecule columns (linear-notation
+//! VARCHAR2):
+//!
+//! - `MolContains(mol, sub)` — substructure search: fingerprint screen
+//!   (no false negatives) followed by exact subgraph isomorphism;
+//! - `MolSimilar(mol, query, threshold[, label])` — Tanimoto similarity
+//!   over fingerprints, with the similarity exposed as ancillary data.
+//!
+//! Index data lives in a [`FingerprintStore`] — a LOB inside the database
+//! or an external file, selected by `PARAMETERS (':Storage LOB|FILE')`.
+//! With `':Events ON'` in FILE mode, the cartridge registers the §5
+//! database-event handler that re-synchronizes the external file after
+//! rollbacks.
+
+use std::sync::Arc;
+
+use extidx_common::{Error, Result, RowId, Value};
+use extidx_core::events::{DbEvent, EventHandler};
+use extidx_core::meta::{IndexInfo, OperatorCall};
+use extidx_core::params::ParamString;
+use extidx_core::scan::{FetchResult, FetchedRow, ScanContext};
+use extidx_core::server::ServerContext;
+use extidx_core::stats::{IndexCost, OdciStats};
+use extidx_core::OdciIndex;
+
+use crate::fingerprint::Fingerprint;
+use crate::molecule::Molecule;
+use crate::store::{FingerprintStore, StorageMode};
+
+/// The indextype implementation.
+pub struct ChemIndexMethods;
+
+fn mol_fingerprint(v: &Value) -> Result<Option<(Molecule, Fingerprint)>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Varchar(s) => {
+            let m = Molecule::parse(s)?;
+            let fp = Fingerprint::of(&m);
+            Ok(Some((m, fp)))
+        }
+        other => Err(Error::type_mismatch("VARCHAR2 molecule", other.type_name())),
+    }
+}
+
+/// What a chemistry scan is evaluating.
+enum ChemQuery {
+    Substructure { pattern: Molecule },
+    /// Thresholding already happened during the screen in `start`.
+    Similarity,
+}
+
+/// Scan state: screened candidates awaiting verification/emission.
+struct ChemScan {
+    query: ChemQuery,
+    /// `(rid, tanimoto-or-0)` survivors of the fingerprint screen.
+    candidates: Vec<(RowId, f64)>,
+    pos: usize,
+    wants_ancillary: bool,
+}
+
+/// The §5 event handler: after a rollback, external-file index data is
+/// stale (file writes are not transactional); rebuild it from the settled
+/// base table.
+struct FileResyncHandler {
+    info: IndexInfo,
+}
+
+impl EventHandler for FileResyncHandler {
+    fn on_event(&self, event: DbEvent, srv: &mut dyn ServerContext) -> Result<()> {
+        if event == DbEvent::Rollback {
+            FingerprintStore { mode: StorageMode::File }.rebuild_from_base(srv, &self.info)?;
+        }
+        Ok(())
+    }
+}
+
+impl OdciIndex for ChemIndexMethods {
+    fn create(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        let store = FingerprintStore::for_index(info);
+        store.create(srv, info)?;
+        store.rebuild_from_base(srv, info)?;
+        // §5's proposed solution, opt-in: register commit/rollback hooks
+        // to keep the external store consistent.
+        if store.mode == StorageMode::File
+            && info.parameters.first("Events").is_some_and(|v| v.eq_ignore_ascii_case("ON"))
+        {
+            srv.register_event_handler(
+                &format!("CHEM_RESYNC_{}", info.index_name),
+                Arc::new(FileResyncHandler { info: info.clone() }),
+            );
+        }
+        Ok(())
+    }
+
+    fn alter(&self, srv: &mut dyn ServerContext, info: &IndexInfo, _delta: &ParamString) -> Result<()> {
+        FingerprintStore::for_index(info).rebuild_from_base(srv, info)
+    }
+
+    fn truncate(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        FingerprintStore::for_index(info).truncate(srv, info)
+    }
+
+    fn drop_index(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        FingerprintStore::for_index(info).drop_store(srv, info)
+    }
+
+    fn insert(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        new_value: &Value,
+    ) -> Result<()> {
+        if let Some((_, fp)) = mol_fingerprint(new_value)? {
+            FingerprintStore::for_index(info).append(srv, info, rid, &fp)?;
+        }
+        Ok(())
+    }
+
+    fn update(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        old_value: &Value,
+        new_value: &Value,
+    ) -> Result<()> {
+        self.delete(srv, info, rid, old_value)?;
+        self.insert(srv, info, rid, new_value)
+    }
+
+    fn delete(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        old_value: &Value,
+    ) -> Result<()> {
+        if !old_value.is_null() {
+            FingerprintStore::for_index(info).remove(srv, info, rid)?;
+        }
+        Ok(())
+    }
+
+    fn start(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+    ) -> Result<ScanContext> {
+        let records = FingerprintStore::for_index(info).read_all(srv, info)?;
+        let (query, candidates) = match op.operator.as_str() {
+            "MOLCONTAINS" => {
+                let sub_text = op.args.first().and_then(|v| v.as_str().ok()).ok_or_else(|| {
+                    Error::odci(&info.indextype_name, "ODCIIndexStart", "missing substructure")
+                })?;
+                let pattern = Molecule::parse(sub_text)?;
+                let sub_fp = Fingerprint::of(&pattern);
+                // Screen: fp(sub) ⊆ fp(mol) is necessary for containment.
+                let cands: Vec<(RowId, f64)> = records
+                    .into_iter()
+                    .filter(|(_, fp)| sub_fp.is_subset_of(fp))
+                    .map(|(rid, _)| (rid, 0.0))
+                    .collect();
+                (ChemQuery::Substructure { pattern }, cands)
+            }
+            "MOLSIMILAR" => {
+                let q_text = op.args.first().and_then(|v| v.as_str().ok()).ok_or_else(|| {
+                    Error::odci(&info.indextype_name, "ODCIIndexStart", "missing query molecule")
+                })?;
+                let threshold = op.args.get(1).and_then(|v| v.as_number().ok()).ok_or_else(|| {
+                    Error::odci(&info.indextype_name, "ODCIIndexStart", "missing threshold")
+                })?;
+                let q_fp = Fingerprint::of(&Molecule::parse(q_text)?);
+                let mut cands: Vec<(RowId, f64)> = records
+                    .into_iter()
+                    .map(|(rid, fp)| (rid, q_fp.tanimoto(&fp)))
+                    .filter(|(_, t)| *t >= threshold)
+                    .collect();
+                // Nearest-neighbor flavour: best matches first.
+                cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                let _ = threshold;
+                (ChemQuery::Similarity, cands)
+            }
+            other => {
+                return Err(Error::odci(
+                    &info.indextype_name,
+                    "ODCIIndexStart",
+                    format!("unsupported operator {other}"),
+                ))
+            }
+        };
+        Ok(ScanContext::State(Box::new(ChemScan {
+            query,
+            candidates,
+            pos: 0,
+            wants_ancillary: op.wants_ancillary,
+        })))
+    }
+
+    fn fetch(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        ctx: &mut ScanContext,
+        nrows: usize,
+    ) -> Result<FetchResult> {
+        let base_sql =
+            format!("SELECT {} FROM {} WHERE ROWID = ?", info.column_name, info.table_name);
+        let st = ctx.state_mut::<ChemScan>().ok_or_else(|| {
+            Error::odci(&info.indextype_name, "ODCIIndexFetch", "bad scan state")
+        })?;
+        let mut out = Vec::with_capacity(nrows);
+        while out.len() < nrows && st.pos < st.candidates.len() {
+            let (rid, sim) = st.candidates[st.pos];
+            st.pos += 1;
+            match &st.query {
+                ChemQuery::Similarity => {
+                    if st.wants_ancillary {
+                        out.push(FetchedRow::with_ancillary(rid, Value::Number(sim)));
+                    } else {
+                        out.push(FetchedRow::plain(rid));
+                    }
+                }
+                ChemQuery::Substructure { pattern } => {
+                    // Exact verification against the stored molecule.
+                    let rows = srv.query(&base_sql, &[Value::RowId(rid)])?;
+                    let Some(row) = rows.first() else { continue };
+                    let Ok(text) = row[0].as_str() else { continue };
+                    let mol = Molecule::parse(text)?;
+                    if mol.contains_subgraph(pattern) {
+                        out.push(FetchedRow::plain(rid));
+                    }
+                }
+            }
+        }
+        let done = st.pos >= st.candidates.len();
+        Ok(FetchResult { rows: out, done })
+    }
+
+    fn close(&self, _srv: &mut dyn ServerContext, _info: &IndexInfo, _ctx: ScanContext) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// ODCIStats for the chemistry indextype.
+pub struct ChemStats;
+
+impl OdciStats for ChemStats {
+    fn collect(&self, _srv: &mut dyn ServerContext, _info: &IndexInfo) -> Result<()> {
+        Ok(())
+    }
+
+    fn selectivity(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+    ) -> Result<f64> {
+        let total = srv.query(&format!("SELECT COUNT(*) FROM {}", info.table_name), &[])?[0][0]
+            .as_integer()? as f64;
+        if total == 0.0 {
+            return Ok(0.0);
+        }
+        // Heuristics: substructure hits scale inversely with pattern
+        // size; similarity with threshold.
+        Ok(match op.operator.as_str() {
+            "MOLCONTAINS" => {
+                let atoms = op
+                    .args
+                    .first()
+                    .and_then(|v| v.as_str().ok())
+                    .and_then(|s| Molecule::parse(s).ok())
+                    .map(|m| m.atom_count())
+                    .unwrap_or(1) as f64;
+                (0.5 / atoms).clamp(0.001, 0.5)
+            }
+            _ => {
+                let threshold =
+                    op.args.get(1).and_then(|v| v.as_number().ok()).unwrap_or(0.5);
+                ((1.0 - threshold) * 0.2).clamp(0.001, 0.5)
+            }
+        })
+    }
+
+    fn index_cost(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        _op: &OperatorCall,
+        selectivity: f64,
+    ) -> Result<IndexCost> {
+        let total = srv.query(&format!("SELECT COUNT(*) FROM {}", info.table_name), &[])?[0][0]
+            .as_integer()? as f64;
+        // Screening reads the whole fingerprint store (sequential, cheap
+        // per record) plus per-candidate verification.
+        Ok(IndexCost {
+            io_cost: 1.0 + total * crate::store::RECORD_BYTES as f64 / 8192.0,
+            cpu_cost: total * 0.0005 + total * selectivity * 0.01,
+        })
+    }
+}

@@ -1,0 +1,365 @@
+//! A miniature molecular model with a SMILES-like linear notation.
+//!
+//! Stand-in for Daylight's chemistry (the real toolkit is proprietary):
+//! molecules are undirected labeled graphs parsed from a linear notation
+//! supporting element symbols (`C`, `N`, `O`, `S`, `P`, `F`, `Cl`, `Br`,
+//! `I`), bond orders (`-` single implied, `=` double, `#` triple),
+//! branches in parentheses, and single-digit ring closures — enough to
+//! express the substructure/similarity workloads the §3.2.4 case study
+//! needs, while exercising real graph algorithms (path enumeration for
+//! fingerprints, subgraph isomorphism for exact matching).
+
+use extidx_common::{Error, Result};
+
+/// An atom: its element symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    pub element: String,
+}
+
+/// A bond between two atoms with an order (1, 2, 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bond {
+    pub a: usize,
+    pub b: usize,
+    pub order: u8,
+}
+
+/// A molecule graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Molecule {
+    pub atoms: Vec<Atom>,
+    pub bonds: Vec<Bond>,
+}
+
+impl Molecule {
+    /// Parse the linear notation.
+    pub fn parse(input: &str) -> Result<Molecule> {
+        let chars: Vec<char> = input.chars().collect();
+        let mut atoms: Vec<Atom> = Vec::new();
+        let mut bonds: Vec<Bond> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        let mut prev: Option<usize> = None;
+        let mut pending_order: u8 = 1;
+        let mut rings: std::collections::HashMap<u8, (usize, u8)> = std::collections::HashMap::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                ' ' => i += 1,
+                '-' => {
+                    pending_order = 1;
+                    i += 1;
+                }
+                '=' => {
+                    pending_order = 2;
+                    i += 1;
+                }
+                '#' => {
+                    pending_order = 3;
+                    i += 1;
+                }
+                '(' => {
+                    let p = prev.ok_or_else(|| Error::Parse("branch with no prior atom".into()))?;
+                    stack.push(p);
+                    i += 1;
+                }
+                ')' => {
+                    prev = Some(
+                        stack.pop().ok_or_else(|| Error::Parse("unbalanced ) in molecule".into()))?,
+                    );
+                    i += 1;
+                }
+                d if d.is_ascii_digit() => {
+                    let p = prev.ok_or_else(|| Error::Parse("ring digit with no prior atom".into()))?;
+                    let key = d as u8 - b'0';
+                    match rings.remove(&key) {
+                        Some((other, order)) => {
+                            bonds.push(Bond { a: other, b: p, order: order.max(pending_order) });
+                        }
+                        None => {
+                            rings.insert(key, (p, pending_order));
+                        }
+                    }
+                    pending_order = 1;
+                    i += 1;
+                }
+                c if c.is_ascii_uppercase() => {
+                    // Two-letter elements: Cl, Br.
+                    let mut element = c.to_string();
+                    if let Some(&next) = chars.get(i + 1) {
+                        if next.is_ascii_lowercase() && matches!((c, next), ('C', 'l') | ('B', 'r')) {
+                            element.push(next);
+                            i += 1;
+                        }
+                    }
+                    if !matches!(element.as_str(), "C" | "N" | "O" | "S" | "P" | "F" | "Cl" | "Br" | "I" | "B" | "H")
+                    {
+                        return Err(Error::Parse(format!("unknown element {element:?}")));
+                    }
+                    let idx = atoms.len();
+                    atoms.push(Atom { element });
+                    if let Some(p) = prev {
+                        bonds.push(Bond { a: p, b: idx, order: pending_order });
+                    }
+                    prev = Some(idx);
+                    pending_order = 1;
+                    i += 1;
+                }
+                other => return Err(Error::Parse(format!("unexpected character {other:?} in molecule"))),
+            }
+        }
+        if !stack.is_empty() {
+            return Err(Error::Parse("unbalanced ( in molecule".into()));
+        }
+        if !rings.is_empty() {
+            return Err(Error::Parse("unclosed ring bond in molecule".into()));
+        }
+        if atoms.is_empty() {
+            return Err(Error::Parse("empty molecule".into()));
+        }
+        Ok(Molecule { atoms, bonds })
+    }
+
+    /// Number of atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Adjacency list: `(neighbor, bond order)` per atom.
+    pub fn adjacency(&self) -> Vec<Vec<(usize, u8)>> {
+        let mut adj = vec![Vec::new(); self.atoms.len()];
+        for b in &self.bonds {
+            adj[b.a].push((b.b, b.order));
+            adj[b.b].push((b.a, b.order));
+        }
+        adj
+    }
+
+    /// All linear paths up to `max_len` atoms, rendered as label strings
+    /// (the fingerprint features). Each path is emitted in its
+    /// lexicographically smaller direction so both traversals agree.
+    pub fn paths(&self, max_len: usize) -> Vec<String> {
+        let adj = self.adjacency();
+        let mut out = Vec::new();
+        for start in 0..self.atoms.len() {
+            let mut visited = vec![false; self.atoms.len()];
+            visited[start] = true;
+            let mut path = vec![start];
+            let mut bonds = Vec::new();
+            self.walk(&adj, &mut visited, &mut path, &mut bonds, max_len, &mut out);
+        }
+        out
+    }
+
+    /// Render a path canonically: the lexicographically smaller of the
+    /// forward and reverse atom/bond sequences.
+    fn render_path(&self, path: &[usize], bonds: &[&'static str]) -> String {
+        let fwd = {
+            let mut s = self.atoms[path[0]].element.clone();
+            for (i, b) in bonds.iter().enumerate() {
+                s.push_str(b);
+                s.push_str(&self.atoms[path[i + 1]].element);
+            }
+            s
+        };
+        let rev = {
+            let n = path.len();
+            let mut s = self.atoms[path[n - 1]].element.clone();
+            for i in (0..bonds.len()).rev() {
+                s.push_str(bonds[i]);
+                s.push_str(&self.atoms[path[i]].element);
+            }
+            s
+        };
+        if fwd <= rev {
+            fwd
+        } else {
+            rev
+        }
+    }
+
+    fn walk(
+        &self,
+        adj: &[Vec<(usize, u8)>],
+        visited: &mut Vec<bool>,
+        path: &mut Vec<usize>,
+        bonds: &mut Vec<&'static str>,
+        max_len: usize,
+        out: &mut Vec<String>,
+    ) {
+        out.push(self.render_path(path, bonds));
+        if path.len() >= max_len {
+            return;
+        }
+        let last = *path.last().expect("path nonempty");
+        for &(n, order) in &adj[last] {
+            if visited[n] {
+                continue;
+            }
+            visited[n] = true;
+            path.push(n);
+            bonds.push(match order {
+                2 => "=",
+                3 => "#",
+                _ => "-",
+            });
+            self.walk(adj, visited, path, bonds, max_len, out);
+            bonds.pop();
+            path.pop();
+            visited[n] = false;
+        }
+    }
+
+    /// Exact subgraph-isomorphism check: is `pattern` a substructure of
+    /// `self`? Atom labels and bond orders must match; extra bonds in
+    /// `self` between matched atoms are allowed (standard substructure
+    /// semantics).
+    pub fn contains_subgraph(&self, pattern: &Molecule) -> bool {
+        if pattern.atoms.len() > self.atoms.len() {
+            return false;
+        }
+        let p_adj = pattern.adjacency();
+        let t_adj = self.adjacency();
+        let mut mapping = vec![usize::MAX; pattern.atoms.len()];
+        let mut used = vec![false; self.atoms.len()];
+        self.match_rec(pattern, &p_adj, &t_adj, 0, &mut mapping, &mut used)
+    }
+
+    fn match_rec(
+        &self,
+        pattern: &Molecule,
+        p_adj: &[Vec<(usize, u8)>],
+        t_adj: &[Vec<(usize, u8)>],
+        next: usize,
+        mapping: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+    ) -> bool {
+        if next == pattern.atoms.len() {
+            return true;
+        }
+        'candidates: for t in 0..self.atoms.len() {
+            if used[t] || self.atoms[t].element != pattern.atoms[next].element {
+                continue;
+            }
+            // Every already-mapped pattern neighbor of `next` must be a
+            // target neighbor of `t` with a matching bond order.
+            for &(pn, order) in &p_adj[next] {
+                if pn < next {
+                    let tn = mapping[pn];
+                    if !t_adj[t].iter().any(|&(x, o)| x == tn && o == order) {
+                        continue 'candidates;
+                    }
+                }
+            }
+            mapping[next] = t;
+            used[t] = true;
+            if self.match_rec(pattern, p_adj, t_adj, next + 1, mapping, used) {
+                return true;
+            }
+            used[t] = false;
+            mapping[next] = usize::MAX;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_chains_and_bonds() {
+        let m = Molecule::parse("CC=O").unwrap();
+        assert_eq!(m.atom_count(), 3);
+        assert_eq!(m.bonds.len(), 2);
+        assert_eq!(m.bonds[1].order, 2);
+    }
+
+    #[test]
+    fn parses_branches() {
+        // isobutane-ish: C(C)(C)C
+        let m = Molecule::parse("C(C)(C)C").unwrap();
+        assert_eq!(m.atom_count(), 4);
+        let adj = m.adjacency();
+        assert_eq!(adj[0].len(), 3, "central carbon bonds to three others");
+    }
+
+    #[test]
+    fn parses_rings() {
+        // cyclohexane: C1CCCCC1
+        let m = Molecule::parse("C1CCCCC1").unwrap();
+        assert_eq!(m.atom_count(), 6);
+        assert_eq!(m.bonds.len(), 6);
+        let adj = m.adjacency();
+        assert!(adj.iter().all(|n| n.len() == 2), "every ring atom has two neighbors");
+    }
+
+    #[test]
+    fn parses_two_letter_elements() {
+        let m = Molecule::parse("CCl").unwrap();
+        assert_eq!(m.atoms[1].element, "Cl");
+        let m = Molecule::parse("CBr").unwrap();
+        assert_eq!(m.atoms[1].element, "Br");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Molecule::parse("").is_err());
+        assert!(Molecule::parse("C(C").is_err());
+        assert!(Molecule::parse("C)").is_err());
+        assert!(Molecule::parse("C1CC").is_err(), "unclosed ring");
+        assert!(Molecule::parse("Xy").is_err());
+        assert!(Molecule::parse("(C)").is_err(), "branch before any atom");
+    }
+
+    #[test]
+    fn substructure_chain_in_ring() {
+        let ring = Molecule::parse("C1CCCCC1").unwrap();
+        let chain = Molecule::parse("CCC").unwrap();
+        assert!(ring.contains_subgraph(&chain));
+        assert!(!chain.contains_subgraph(&ring));
+    }
+
+    #[test]
+    fn substructure_respects_bond_order() {
+        let aldehyde = Molecule::parse("CC=O").unwrap();
+        let single_co = Molecule::parse("C-O").unwrap();
+        let double_co = Molecule::parse("C=O").unwrap();
+        assert!(aldehyde.contains_subgraph(&double_co));
+        assert!(!aldehyde.contains_subgraph(&single_co));
+    }
+
+    #[test]
+    fn substructure_respects_elements() {
+        let m = Molecule::parse("CCN").unwrap();
+        assert!(m.contains_subgraph(&Molecule::parse("CN").unwrap()));
+        assert!(!m.contains_subgraph(&Molecule::parse("CO").unwrap()));
+    }
+
+    #[test]
+    fn self_is_substructure_of_self() {
+        for s in ["C", "CC=O", "C1CCCCC1", "C(C)(C)C", "CC(=O)N"] {
+            let m = Molecule::parse(s).unwrap();
+            assert!(m.contains_subgraph(&m), "{s}");
+        }
+    }
+
+    #[test]
+    fn paths_canonical_direction() {
+        let m = Molecule::parse("CN").unwrap();
+        let paths = m.paths(2);
+        // Both directions canonicalize to the same 2-atom path string.
+        let two: Vec<&String> = paths.iter().filter(|p| p.contains('-')).collect();
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0], two[1]);
+    }
+
+    #[test]
+    fn branch_molecule_roundtrip_paths() {
+        let m = Molecule::parse("CC(=O)N").unwrap();
+        let paths = m.paths(4);
+        assert!(paths.iter().any(|p| p.contains('=')), "double bond appears in a path");
+        assert!(!paths.is_empty());
+    }
+}

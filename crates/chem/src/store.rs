@@ -1,0 +1,295 @@
+//! Fingerprint record storage — database LOB vs external file.
+//!
+//! The §3.2.4 migration story: "The indexing scheme previously used a
+//! proprietary file-based index structure… An extensible indexing solution
+//! was provided by storing the data within the database as LOBs. Since
+//! LOBs can be accessed and manipulated with a file-like interface,
+//! minimal changes were required to the index management software."
+//!
+//! Both backends store the same fixed-width records — packed rowid (8
+//! bytes) + fingerprint ([`FP_BYTES`] bytes) — through a file-like API:
+//!
+//! - **LOB mode** (the 8i solution): records live in one LOB whose
+//!   locator is kept in a tiny metadata table. Appends and in-place
+//!   tombstoning touch only the affected pages, reads go through the
+//!   buffer cache, and every change is transactional.
+//! - **FILE mode** (the legacy baseline): records live in an external
+//!   file. Faithful to the legacy engine, every maintenance operation
+//!   rewrites and flushes the whole file ("the extensible indexing based
+//!   solution scales much better than the file based indexing scheme
+//!   because it minimizes intermediate write operations") — and nothing
+//!   here participates in transactions (§5's limitation).
+
+use extidx_common::{Error, LobRef, Result, RowId, Value};
+use extidx_core::meta::IndexInfo;
+use extidx_core::server::ServerContext;
+
+use crate::fingerprint::{Fingerprint, FP_BYTES};
+
+/// Bytes per record: packed rowid + fingerprint.
+pub const RECORD_BYTES: usize = 8 + FP_BYTES;
+
+/// Tombstone marker in the rowid slot of deleted records.
+const TOMBSTONE: u64 = u64::MAX;
+
+/// Which backend an index uses (`PARAMETERS (':Storage LOB|FILE')`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageMode {
+    Lob,
+    File,
+}
+
+impl StorageMode {
+    /// Read the mode from index parameters (default LOB).
+    pub fn from_info(info: &IndexInfo) -> StorageMode {
+        match info.parameters.first("Storage") {
+            Some(m) if m.eq_ignore_ascii_case("FILE") => StorageMode::File,
+            _ => StorageMode::Lob,
+        }
+    }
+}
+
+/// Metadata table holding the LOB locator.
+fn meta_table(info: &IndexInfo) -> String {
+    info.storage_table_name("META")
+}
+
+/// External file name for FILE mode.
+pub fn file_name(info: &IndexInfo) -> String {
+    format!("dr${}.fpidx", info.index_name.to_ascii_lowercase())
+}
+
+fn encode_record(rid: u64, fp: &Fingerprint) -> [u8; RECORD_BYTES] {
+    let mut rec = [0u8; RECORD_BYTES];
+    rec[..8].copy_from_slice(&rid.to_le_bytes());
+    rec[8..].copy_from_slice(&fp.to_bytes());
+    rec
+}
+
+fn decode_records(bytes: &[u8]) -> Result<Vec<(RowId, Fingerprint)>> {
+    if !bytes.len().is_multiple_of(RECORD_BYTES) {
+        return Err(Error::Storage(format!(
+            "fingerprint store corrupted: {} bytes is not a record multiple",
+            bytes.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / RECORD_BYTES);
+    for rec in bytes.chunks(RECORD_BYTES) {
+        let rid = u64::from_le_bytes(rec[..8].try_into().expect("8-byte slice"));
+        if rid == TOMBSTONE {
+            continue;
+        }
+        let fp = Fingerprint::from_bytes(&rec[8..])
+            .ok_or_else(|| Error::Storage("bad fingerprint payload".into()))?;
+        out.push((RowId::from_u64(rid), fp));
+    }
+    Ok(out)
+}
+
+/// The record store for one index, dispatching on storage mode.
+pub struct FingerprintStore {
+    pub mode: StorageMode,
+}
+
+impl FingerprintStore {
+    /// Store handle for an index.
+    pub fn for_index(info: &IndexInfo) -> FingerprintStore {
+        FingerprintStore { mode: StorageMode::from_info(info) }
+    }
+
+    /// Create the backing storage (LOB + meta table, or external file).
+    pub fn create(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        match self.mode {
+            StorageMode::Lob => {
+                srv.execute(
+                    &format!("CREATE TABLE {} (id INTEGER, data CLOB)", meta_table(info)),
+                    &[],
+                )?;
+                let lob = srv.lob_create()?;
+                srv.execute(
+                    &format!("INSERT INTO {} VALUES (1, ?)", meta_table(info)),
+                    &[Value::Lob(lob)],
+                )?;
+            }
+            StorageMode::File => {
+                srv.file_create(&file_name(info));
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop the backing storage.
+    pub fn drop_store(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        match self.mode {
+            StorageMode::Lob => {
+                let lob = self.locator(srv, info)?;
+                srv.lob_free(lob)?;
+                srv.execute(&format!("DROP TABLE {}", meta_table(info)), &[])?;
+            }
+            StorageMode::File => {
+                srv.file_remove(&file_name(info))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove all records.
+    pub fn truncate(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        match self.mode {
+            StorageMode::Lob => {
+                let lob = self.locator(srv, info)?;
+                srv.lob_overwrite(lob, &[])?;
+            }
+            StorageMode::File => {
+                srv.file_create(&file_name(info)); // create truncates
+            }
+        }
+        Ok(())
+    }
+
+    fn locator(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<LobRef> {
+        let rows = srv.query(&format!("SELECT data FROM {} WHERE id = 1", meta_table(info)), &[])?;
+        rows.first()
+            .and_then(|r| r.first())
+            .and_then(|v| v.as_lob().ok())
+            .ok_or_else(|| Error::Storage("fingerprint LOB locator missing".into()))
+    }
+
+    /// Append one record.
+    pub fn append(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        fp: &Fingerprint,
+    ) -> Result<()> {
+        let rec = encode_record(rid.to_u64(), fp);
+        match self.mode {
+            StorageMode::Lob => {
+                let lob = self.locator(srv, info)?;
+                srv.lob_append(lob, &rec)?;
+            }
+            StorageMode::File => {
+                // Legacy behaviour: read-modify-rewrite the whole file and
+                // flush — the "intermediate write operations" the paper
+                // calls out.
+                let name = file_name(info);
+                let mut bytes = srv.file_read(&name)?;
+                bytes.extend_from_slice(&rec);
+                srv.file_write(&name, &bytes)?;
+                srv.file_flush(&name)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Tombstone the record for a rowid (if present).
+    pub fn remove(&self, srv: &mut dyn ServerContext, info: &IndexInfo, rid: RowId) -> Result<()> {
+        let target = rid.to_u64();
+        match self.mode {
+            StorageMode::Lob => {
+                let lob = self.locator(srv, info)?;
+                let bytes = srv.lob_read_all(lob)?;
+                for (i, rec) in bytes.chunks(RECORD_BYTES).enumerate() {
+                    if rec.len() == RECORD_BYTES
+                        && u64::from_le_bytes(rec[..8].try_into().expect("8 bytes")) == target
+                    {
+                        // In-place tombstone: one small patch write.
+                        srv.lob_write(lob, (i * RECORD_BYTES) as u64, &TOMBSTONE.to_le_bytes())?;
+                    }
+                }
+            }
+            StorageMode::File => {
+                let name = file_name(info);
+                let bytes = srv.file_read(&name)?;
+                let mut out = Vec::with_capacity(bytes.len());
+                for rec in bytes.chunks(RECORD_BYTES) {
+                    if rec.len() == RECORD_BYTES
+                        && u64::from_le_bytes(rec[..8].try_into().expect("8 bytes")) == target
+                    {
+                        continue;
+                    }
+                    out.extend_from_slice(rec);
+                }
+                srv.file_write(&name, &out)?;
+                srv.file_flush(&name)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read every live record.
+    pub fn read_all(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+    ) -> Result<Vec<(RowId, Fingerprint)>> {
+        let bytes = match self.mode {
+            StorageMode::Lob => {
+                let lob = self.locator(srv, info)?;
+                srv.lob_read_all(lob)?
+            }
+            StorageMode::File => srv.file_read(&file_name(info))?,
+        };
+        decode_records(&bytes)
+    }
+
+    /// Rebuild the store from the base table — used at create time and by
+    /// the database-event handler that re-synchronizes an external file
+    /// store after a rollback (§5's proposed solution).
+    pub fn rebuild_from_base(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        let rows = srv.query(
+            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
+            &[],
+        )?;
+        let mut bytes = Vec::with_capacity(rows.len() * RECORD_BYTES);
+        for r in &rows {
+            let Ok(text) = r[0].as_str() else { continue };
+            let Ok(mol) = crate::molecule::Molecule::parse(text) else { continue };
+            let fp = Fingerprint::of(&mol);
+            bytes.extend_from_slice(&encode_record(r[1].as_rowid()?.to_u64(), &fp));
+        }
+        match self.mode {
+            StorageMode::Lob => {
+                let lob = self.locator(srv, info)?;
+                srv.lob_overwrite(lob, &bytes)?;
+            }
+            StorageMode::File => {
+                let name = file_name(info);
+                srv.file_write(&name, &bytes)?;
+                srv.file_flush(&name)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecule::Molecule;
+
+    #[test]
+    fn record_roundtrip() {
+        let fp = Fingerprint::of(&Molecule::parse("CC=O").unwrap());
+        let rid = RowId::new(3, 17, 4);
+        let rec = encode_record(rid.to_u64(), &fp);
+        let decoded = decode_records(&rec).unwrap();
+        assert_eq!(decoded, vec![(rid, fp)]);
+    }
+
+    #[test]
+    fn tombstones_are_skipped() {
+        let fp = Fingerprint::of(&Molecule::parse("C").unwrap());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_record(TOMBSTONE, &fp));
+        bytes.extend_from_slice(&encode_record(RowId::new(1, 0, 0).to_u64(), &fp));
+        let decoded = decode_records(&bytes).unwrap();
+        assert_eq!(decoded.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_length_rejected() {
+        assert!(decode_records(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Synthetic molecule workloads.
+//!
+//! Random tree-shaped molecules in the linear notation (always parseable
+//! by construction), with controllable size and heteroatom density, plus
+//! helpers to plant substructure-bearing molecules so searches have known
+//! answers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic molecule generator.
+pub struct MoleculeWorkload {
+    rng: StdRng,
+}
+
+const ELEMENTS: [&str; 4] = ["C", "N", "O", "S"];
+
+impl MoleculeWorkload {
+    /// Generator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        MoleculeWorkload { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn atom(&mut self) -> &'static str {
+        // Carbon-rich, like real organic molecules.
+        if self.rng.gen_bool(0.7) {
+            "C"
+        } else {
+            ELEMENTS[self.rng.gen_range(1..ELEMENTS.len())]
+        }
+    }
+
+    fn bond(&mut self) -> &'static str {
+        match self.rng.gen_range(0..10) {
+            0 => "=",
+            1 => "#",
+            _ => "",
+        }
+    }
+
+    /// A random tree-shaped molecule of roughly `atoms` atoms.
+    pub fn molecule(&mut self, atoms: usize) -> String {
+        let mut out = String::from(self.atom());
+        let mut remaining = atoms.saturating_sub(1);
+        self.grow(&mut out, &mut remaining, 0);
+        out
+    }
+
+    fn grow(&mut self, out: &mut String, remaining: &mut usize, depth: usize) {
+        while *remaining > 0 {
+            if depth < 3 && *remaining > 2 && self.rng.gen_bool(0.25) {
+                // Branch.
+                out.push('(');
+                out.push_str(self.bond());
+                out.push_str(self.atom());
+                *remaining -= 1;
+                self.grow(out, remaining, depth + 1);
+                out.push(')');
+                if *remaining == 0 {
+                    return;
+                }
+            }
+            out.push_str(self.bond());
+            out.push_str(self.atom());
+            *remaining -= 1;
+            if depth > 0 && self.rng.gen_bool(0.3) {
+                return; // end this branch
+            }
+        }
+    }
+
+    /// A molecule guaranteed to contain `fragment` (appended extensions).
+    pub fn molecule_containing(&mut self, fragment: &str, extra_atoms: usize) -> String {
+        let mut out = String::from(fragment);
+        let mut remaining = extra_atoms;
+        self.grow(&mut out, &mut remaining, 1);
+        out
+    }
+
+    /// A corpus of `n` molecules of `atoms`±50% size.
+    pub fn corpus(&mut self, n: usize, atoms: usize) -> Vec<String> {
+        (0..n)
+            .map(|_| {
+                let lo = (atoms / 2).max(1);
+                let hi = atoms + atoms / 2;
+                let size = self.rng.gen_range(lo..=hi);
+                self.molecule(size)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecule::Molecule;
+
+    #[test]
+    fn generated_molecules_parse() {
+        let mut g = MoleculeWorkload::new(42);
+        for _ in 0..200 {
+            let s = g.molecule(12);
+            assert!(Molecule::parse(&s).is_ok(), "unparseable generated molecule {s:?}");
+        }
+    }
+
+    #[test]
+    fn containing_molecules_contain_the_fragment() {
+        let mut g = MoleculeWorkload::new(7);
+        let frag = Molecule::parse("CC=O").unwrap();
+        for _ in 0..50 {
+            let s = g.molecule_containing("CC=O", 5);
+            let m = Molecule::parse(&s).expect("parseable");
+            assert!(m.contains_subgraph(&frag), "{s} should contain CC=O");
+        }
+    }
+
+    #[test]
+    fn corpus_sizes() {
+        let mut g = MoleculeWorkload::new(1);
+        let c = g.corpus(25, 10);
+        assert_eq!(c.len(), 25);
+        for s in &c {
+            let m = Molecule::parse(s).unwrap();
+            assert!(m.atom_count() >= 5 && m.atom_count() <= 15, "{s}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = MoleculeWorkload::new(5);
+        let mut b = MoleculeWorkload::new(5);
+        assert_eq!(a.molecule(10), b.molecule(10));
+    }
+}

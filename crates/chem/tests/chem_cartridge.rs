@@ -1,0 +1,213 @@
+//! End-to-end tests of the chemistry cartridge: substructure and
+//! similarity search, LOB vs file storage, and the §5 transactional
+//! limitation with its database-event fix.
+
+use extidx_common::Value;
+use extidx_sql::Database;
+use extidx_chem::{Molecule, MoleculeWorkload};
+
+fn chem_db() -> Database {
+    let mut db = Database::with_cache_pages(4096);
+    extidx_chem::install(&mut db).unwrap();
+    db
+}
+
+/// Load a known set plus noise: ids 0..n are random, 1000+i contain the
+/// fragment CC=O.
+fn load_molecules(db: &mut Database, noise: usize, planted: usize, seed: u64) {
+    db.execute("CREATE TABLE compounds (id INTEGER, mol VARCHAR2(256))").unwrap();
+    let mut wl = MoleculeWorkload::new(seed);
+    for i in 0..noise {
+        let m = wl.molecule(10);
+        db.execute_with("INSERT INTO compounds VALUES (?, ?)", &[(i as i64).into(), m.into()])
+            .unwrap();
+    }
+    for i in 0..planted {
+        let m = wl.molecule_containing("CC=O", 6);
+        db.execute_with(
+            "INSERT INTO compounds VALUES (?, ?)",
+            &[((1000 + i) as i64).into(), m.into()],
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn substructure_search_finds_planted() {
+    let mut db = chem_db();
+    load_molecules(&mut db, 100, 5, 17);
+    db.execute("CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType").unwrap();
+    let rows = db
+        .query("SELECT id FROM compounds WHERE MolContains(mol, 'CC=O') ORDER BY id")
+        .unwrap();
+    let ids: Vec<i64> = rows.iter().map(|r| r[0].as_integer().unwrap()).collect();
+    for planted in 1000..1005 {
+        assert!(ids.contains(&planted), "planted {planted} missing from {ids:?}");
+    }
+}
+
+#[test]
+fn functional_and_indexed_agree() {
+    let seed = 23;
+    let mut plain = chem_db();
+    load_molecules(&mut plain, 80, 4, seed);
+    let f = plain.query("SELECT id FROM compounds WHERE MolContains(mol, 'C=O') ORDER BY id").unwrap();
+
+    let mut indexed = chem_db();
+    load_molecules(&mut indexed, 80, 4, seed);
+    indexed.execute("CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType").unwrap();
+    let i = indexed.query("SELECT id FROM compounds WHERE MolContains(mol, 'C=O') ORDER BY id").unwrap();
+    assert_eq!(f, i);
+    assert!(!f.is_empty());
+}
+
+#[test]
+fn file_storage_agrees_with_lob_storage() {
+    let seed = 31;
+    let mut lob = chem_db();
+    load_molecules(&mut lob, 60, 3, seed);
+    lob.execute("CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType PARAMETERS (':Storage LOB')")
+        .unwrap();
+    let a = lob.query("SELECT id FROM compounds WHERE MolContains(mol, 'CC=O') ORDER BY id").unwrap();
+
+    let mut file = chem_db();
+    load_molecules(&mut file, 60, 3, seed);
+    file.execute(
+        "CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType PARAMETERS (':Storage FILE')",
+    )
+    .unwrap();
+    let b = file.query("SELECT id FROM compounds WHERE MolContains(mol, 'CC=O') ORDER BY id").unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn similarity_search_ranks_identical_first() {
+    let mut db = chem_db();
+    load_molecules(&mut db, 60, 0, 41);
+    let probe = "CC(=O)NC";
+    db.execute_with("INSERT INTO compounds VALUES (500, ?)", &[probe.into()]).unwrap();
+    db.execute("CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType").unwrap();
+    let rows = db
+        .query_with(
+            "SELECT id, SCORE(1) FROM compounds WHERE MolSimilar(mol, ?, 0.4, 1) \
+             ORDER BY SCORE(1) DESC",
+            &[probe.into()],
+        )
+        .unwrap();
+    assert!(!rows.is_empty());
+    assert_eq!(rows[0][0], Value::Integer(500), "exact copy ranks first");
+    assert_eq!(rows[0][1], Value::Number(1.0));
+}
+
+#[test]
+fn maintenance_tracks_dml_in_both_modes() {
+    for storage in [":Storage LOB", ":Storage FILE"] {
+        let mut db = chem_db();
+        load_molecules(&mut db, 30, 1, 53);
+        db.execute(&format!(
+            "CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType PARAMETERS ('{storage}')"
+        ))
+        .unwrap();
+        let q = "SELECT id FROM compounds WHERE MolContains(mol, 'CC=O')";
+        let before = db.query(q).unwrap().len();
+        db.execute("INSERT INTO compounds VALUES (600, 'CC=OC')").unwrap();
+        assert_eq!(db.query(q).unwrap().len(), before + 1, "{storage}");
+        db.execute("UPDATE compounds SET mol = 'CCC' WHERE id = 600").unwrap();
+        assert_eq!(db.query(q).unwrap().len(), before, "{storage}");
+        db.execute("DELETE FROM compounds WHERE id = 1000").unwrap();
+        assert_eq!(db.query(q).unwrap().len(), before - 1, "{storage}");
+    }
+}
+
+#[test]
+fn lob_index_rolls_back_but_file_index_does_not() {
+    // The §5 limitation, demonstrated head-to-head.
+    let q = "SELECT id FROM compounds WHERE MolContains(mol, 'CC=O')";
+
+    // LOB mode: transactional for free.
+    let mut lob = chem_db();
+    load_molecules(&mut lob, 20, 1, 61);
+    lob.execute("CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType PARAMETERS (':Storage LOB')")
+        .unwrap();
+    let before = lob.query(q).unwrap().len();
+    lob.execute("BEGIN").unwrap();
+    lob.execute("INSERT INTO compounds VALUES (700, 'CC=O')").unwrap();
+    lob.execute("ROLLBACK").unwrap();
+    assert_eq!(lob.query(q).unwrap().len(), before, "LOB index must roll back");
+
+    // FILE mode without events: the file keeps the phantom entry.
+    let mut file = chem_db();
+    load_molecules(&mut file, 20, 1, 61);
+    file.execute(
+        "CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType PARAMETERS (':Storage FILE')",
+    )
+    .unwrap();
+    let total_rows =
+        file.query("SELECT COUNT(*) FROM compounds").unwrap()[0][0].as_integer().unwrap() as u64;
+    file.execute("BEGIN").unwrap();
+    file.execute("INSERT INTO compounds VALUES (700, 'CC=O')").unwrap();
+    file.execute("ROLLBACK").unwrap();
+    // The scan screens a phantom rowid; the base row is gone so the exact
+    // phase drops it — but the stale record IS still in the file:
+    let stale = file.storage().files_ref().length("dr$cidx.fpidx").unwrap();
+    let expected = (total_rows + 1) * extidx_chem::store::RECORD_BYTES as u64;
+    assert_eq!(stale, expected, "external file retains the rolled-back entry");
+}
+
+#[test]
+fn events_resynchronize_external_file_after_rollback() {
+    // §5's proposed solution: database events repair the external store.
+    let mut db = chem_db();
+    load_molecules(&mut db, 20, 1, 71);
+    db.execute(
+        "CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType \
+         PARAMETERS (':Storage FILE :Events ON')",
+    )
+    .unwrap();
+    let clean = db.storage().files_ref().length("dr$cidx.fpidx").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO compounds VALUES (700, 'CC=O')").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    let after = db.storage().files_ref().length("dr$cidx.fpidx").unwrap();
+    assert_eq!(after, clean, "event handler rebuilt the file to the settled state");
+}
+
+#[test]
+fn truncate_and_drop() {
+    let mut db = chem_db();
+    load_molecules(&mut db, 10, 1, 81);
+    db.execute("CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType").unwrap();
+    db.execute("TRUNCATE TABLE compounds").unwrap();
+    assert!(db.query("SELECT id FROM compounds WHERE MolContains(mol, 'C')").unwrap().is_empty());
+    db.execute("DROP INDEX cidx").unwrap();
+    assert!(db.query("SELECT COUNT(*) FROM DR$CIDX$META").is_err());
+}
+
+#[test]
+fn screen_never_misses_plan_uses_domain_index() {
+    let mut db = chem_db();
+    load_molecules(&mut db, 200, 10, 91);
+    db.execute("CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType").unwrap();
+    let plan = db
+        .explain("SELECT id FROM compounds WHERE MolContains(mol, 'CC=O')")
+        .unwrap()
+        .join("\n");
+    assert!(plan.contains("DOMAIN INDEX SCAN"), "{plan}");
+    // Cross-check against a purely functional evaluation of every row.
+    let rows = db.query("SELECT id, mol FROM compounds").unwrap();
+    let frag = Molecule::parse("CC=O").unwrap();
+    let mut expected: Vec<i64> = rows
+        .iter()
+        .filter(|r| Molecule::parse(r[1].as_str().unwrap()).unwrap().contains_subgraph(&frag))
+        .map(|r| r[0].as_integer().unwrap())
+        .collect();
+    expected.sort_unstable();
+    let mut got: Vec<i64> = db
+        .query("SELECT id FROM compounds WHERE MolContains(mol, 'CC=O')")
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_integer().unwrap())
+        .collect();
+    got.sort_unstable();
+    assert_eq!(got, expected);
+}

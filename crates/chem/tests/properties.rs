@@ -1,0 +1,62 @@
+//! Property tests for the chemistry cartridge. The load-bearing
+//! invariant: the fingerprint screen never produces a false negative for
+//! substructure containment.
+
+use proptest::prelude::*;
+
+use extidx_chem::{Fingerprint, Molecule, MoleculeWorkload};
+
+proptest! {
+    /// Generated molecules always parse, and parsing is deterministic.
+    #[test]
+    fn generated_molecules_parse(seed in 0u64..10_000, atoms in 1usize..25) {
+        let mut wl = MoleculeWorkload::new(seed);
+        let s = wl.molecule(atoms);
+        let m1 = Molecule::parse(&s).expect("generated molecule parses");
+        let m2 = Molecule::parse(&s).expect("reparse");
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// molecule_containing(f) really contains f, and the screen agrees.
+    #[test]
+    fn screen_has_no_false_negatives(seed in 0u64..10_000, extra in 0usize..12) {
+        let fragments = ["CC=O", "CCN", "C(=O)N", "CCO", "CSC"];
+        let mut wl = MoleculeWorkload::new(seed);
+        let frag_text = fragments[(seed as usize) % fragments.len()];
+        let frag = Molecule::parse(frag_text).unwrap();
+        let mol_text = wl.molecule_containing(frag_text, extra);
+        let mol = Molecule::parse(&mol_text).unwrap();
+        prop_assert!(mol.contains_subgraph(&frag), "{mol_text} should contain {frag_text}");
+        prop_assert!(
+            Fingerprint::of(&frag).is_subset_of(&Fingerprint::of(&mol)),
+            "screen false negative for {frag_text} in {mol_text}"
+        );
+    }
+
+    /// Tanimoto is symmetric, in [0,1], and 1.0 for identical molecules.
+    #[test]
+    fn tanimoto_properties(seed_a in 0u64..5_000, seed_b in 0u64..5_000) {
+        let a = Fingerprint::of(&Molecule::parse(&MoleculeWorkload::new(seed_a).molecule(10)).unwrap());
+        let b = Fingerprint::of(&Molecule::parse(&MoleculeWorkload::new(seed_b).molecule(10)).unwrap());
+        let t = a.tanimoto(&b);
+        prop_assert!((0.0..=1.0).contains(&t));
+        prop_assert!((t - b.tanimoto(&a)).abs() < 1e-12);
+        prop_assert_eq!(a.tanimoto(&a), 1.0);
+    }
+
+    /// Subgraph containment is reflexive and respects atom counts.
+    #[test]
+    fn subgraph_reflexive(seed in 0u64..5_000, atoms in 1usize..18) {
+        let mut wl = MoleculeWorkload::new(seed);
+        let m = Molecule::parse(&wl.molecule(atoms)).unwrap();
+        prop_assert!(m.contains_subgraph(&m));
+    }
+
+    /// Fingerprint byte encoding round-trips exactly.
+    #[test]
+    fn fingerprint_bytes_roundtrip(seed in 0u64..5_000) {
+        let mut wl = MoleculeWorkload::new(seed);
+        let fp = Fingerprint::of(&Molecule::parse(&wl.molecule(12)).unwrap());
+        prop_assert_eq!(Fingerprint::from_bytes(&fp.to_bytes()).unwrap(), fp);
+    }
+}

@@ -1,0 +1,151 @@
+//! Workspace-wide error type.
+//!
+//! A single error enum keeps the cartridge-facing interfaces small: every
+//! ODCI routine, storage operation, and SQL statement returns
+//! [`Result<T>`]. Variants carry enough context to produce Oracle-style
+//! diagnostic messages without dragging in a backtrace framework.
+
+use std::fmt;
+
+/// Convenient alias used across the whole workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The unified error type for the engine, the framework, and cartridges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A SQL statement failed to lex or parse. Holds a human-readable
+    /// message including the offending position.
+    Parse(String),
+    /// Reference to a schema object (table, index, operator, indextype,
+    /// column, function…) that does not exist.
+    NotFound { kind: &'static str, name: String },
+    /// Attempt to create a schema object that already exists.
+    AlreadyExists { kind: &'static str, name: String },
+    /// A value had the wrong type for the operation, or an implicit
+    /// conversion was not possible.
+    TypeMismatch { expected: String, found: String },
+    /// Statement is syntactically valid but semantically wrong
+    /// (e.g. wrong number of INSERT values, unknown column in WHERE).
+    Semantic(String),
+    /// A domain-index routine (user cartridge code) reported a failure.
+    /// Mirrors Oracle's ODCI error reporting: the indextype name and the
+    /// routine are preserved for diagnostics.
+    Odci {
+        indextype: String,
+        routine: &'static str,
+        message: String,
+    },
+    /// A restriction imposed by the framework was violated, e.g. an index
+    /// maintenance routine attempted DDL, or a scan routine attempted DML
+    /// (paper §2.5: "Index maintenance routines can not execute DDL
+    /// statements… Index scan routines can only execute SQL query
+    /// statements").
+    CallbackViolation(String),
+    /// Storage-layer failure (page out of range, LOB missing, I/O error
+    /// from the external file store…).
+    Storage(String),
+    /// Transaction-state violation (e.g. COMMIT without BEGIN is fine in
+    /// autocommit, but re-entrant BEGIN is not).
+    Transaction(String),
+    /// Constraint violation (duplicate key in a unique/IOT primary key…).
+    Constraint(String),
+    /// Unsupported feature explicitly outside the reproduction's scope.
+    Unsupported(String),
+    /// Arithmetic / evaluation error (division by zero, numeric overflow).
+    Eval(String),
+}
+
+impl Error {
+    /// Shorthand for an ODCI routine failure.
+    pub fn odci(indextype: impl Into<String>, routine: &'static str, message: impl Into<String>) -> Self {
+        Error::Odci {
+            indextype: indextype.into(),
+            routine,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a missing schema object.
+    pub fn not_found(kind: &'static str, name: impl Into<String>) -> Self {
+        Error::NotFound { kind, name: name.into() }
+    }
+
+    /// Shorthand for a duplicate schema object.
+    pub fn already_exists(kind: &'static str, name: impl Into<String>) -> Self {
+        Error::AlreadyExists { kind, name: name.into() }
+    }
+
+    /// Shorthand for a type mismatch.
+    pub fn type_mismatch(expected: impl Into<String>, found: impl Into<String>) -> Self {
+        Error::TypeMismatch { expected: expected.into(), found: found.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::NotFound { kind, name } => write!(f, "{kind} \"{name}\" does not exist"),
+            Error::AlreadyExists { kind, name } => write!(f, "{kind} \"{name}\" already exists"),
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::Semantic(m) => write!(f, "semantic error: {m}"),
+            Error::Odci { indextype, routine, message } => {
+                write!(f, "indextype {indextype}: {routine} failed: {message}")
+            }
+            Error::CallbackViolation(m) => write!(f, "illegal server callback: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Transaction(m) => write!(f, "transaction error: {m}"),
+            Error::Constraint(m) => write!(f, "constraint violation: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse() {
+        let e = Error::Parse("unexpected token `FROM` at 12".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token `FROM` at 12");
+    }
+
+    #[test]
+    fn display_not_found() {
+        let e = Error::not_found("table", "EMPLOYEES");
+        assert_eq!(e.to_string(), "table \"EMPLOYEES\" does not exist");
+    }
+
+    #[test]
+    fn display_odci() {
+        let e = Error::odci("TextIndexType", "ODCIIndexCreate", "boom");
+        assert_eq!(
+            e.to_string(),
+            "indextype TextIndexType: ODCIIndexCreate failed: boom"
+        );
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = Error::type_mismatch("NUMBER", "VARCHAR2");
+        assert_eq!(e.to_string(), "type mismatch: expected NUMBER, found VARCHAR2");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::already_exists("operator", "Contains"),
+            Error::already_exists("operator", "Contains")
+        );
+        assert_ne!(
+            Error::already_exists("operator", "Contains"),
+            Error::not_found("operator", "Contains")
+        );
+    }
+}

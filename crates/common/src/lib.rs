@@ -1,0 +1,23 @@
+//! # extidx-common
+//!
+//! Shared foundation types for the `extidx` workspace: the SQL value model
+//! ([`Value`]), the type system ([`SqlType`]), physical row identifiers
+//! ([`RowId`]), large-object references ([`value::LobRef`]), and the common
+//! error type ([`Error`]).
+//!
+//! Everything in this crate is deliberately independent of storage, SQL
+//! processing, and the extensible-indexing framework so that cartridges,
+//! the engine, and the framework can all speak the same value vocabulary
+//! without depending on each other.
+
+pub mod error;
+pub mod key;
+pub mod rowid;
+pub mod types;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use key::Key;
+pub use rowid::RowId;
+pub use types::{ObjectTypeDef, SqlType};
+pub use value::{approx_row_size, approx_value_size, LobRef, Row, Value};

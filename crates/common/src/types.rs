@@ -1,0 +1,163 @@
+//! The SQL type system.
+//!
+//! Mirrors the subset of Oracle8i's type system the paper exercises:
+//! scalars (`NUMBER`, `INTEGER`, `VARCHAR2`, `BOOLEAN`), large objects
+//! (`LOB`), object types with named attributes (used by the spatial and
+//! image cartridges for `SDO_GEOMETRY`-like and signature-bearing columns),
+//! collections (`VARRAY`, used by the paper's `Contains(Hobbies, 'Skiing')`
+//! example), and `ROWID`.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// A SQL data type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// 64-bit signed integer (`INTEGER`).
+    Integer,
+    /// Double-precision number (`NUMBER`). Oracle's NUMBER is decimal; a
+    /// binary double is adequate for the workloads reproduced here.
+    Number,
+    /// Variable-length string (`VARCHAR2(n)`); the length bound is kept
+    /// for DDL fidelity but not enforced on assignment, like a declared
+    /// but unchecked constraint.
+    Varchar(u32),
+    /// Boolean (`BOOLEAN`). Oracle8i SQL lacks a true boolean column type;
+    /// the paper itself writes `Contains(...) = 1`. We allow both styles.
+    Boolean,
+    /// Large object (`LOB`): stored out-of-line in the LOB segment and
+    /// referenced by a locator value.
+    Lob,
+    /// Physical row address (`ROWID`).
+    RowId,
+    /// A named object type with ordered, typed attributes, e.g.
+    /// `SDO_GEOMETRY(gtype INTEGER, points VARRAY OF NUMBER)`.
+    Object(ObjectTypeDef),
+    /// Variable-length array of one element type (`VARRAY OF t`).
+    VArray(Box<SqlType>),
+}
+
+/// Definition of an object type: a name plus ordered attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectTypeDef {
+    /// Type name, stored upper-cased like all identifiers in the catalog.
+    pub name: String,
+    /// Ordered `(attribute name, attribute type)` pairs.
+    pub attrs: Vec<(String, SqlType)>,
+}
+
+impl ObjectTypeDef {
+    /// Create an object type definition; names are normalized to upper
+    /// case to match catalog identifier handling.
+    pub fn new(name: impl Into<String>, attrs: Vec<(String, SqlType)>) -> Self {
+        ObjectTypeDef {
+            name: name.into().to_ascii_uppercase(),
+            attrs: attrs
+                .into_iter()
+                .map(|(n, t)| (n.to_ascii_uppercase(), t))
+                .collect(),
+        }
+    }
+
+    /// Position of an attribute by (case-insensitive) name.
+    pub fn attr_index(&self, name: &str) -> Result<usize> {
+        let upper = name.to_ascii_uppercase();
+        self.attrs
+            .iter()
+            .position(|(n, _)| *n == upper)
+            .ok_or_else(|| Error::not_found("object attribute", format!("{}.{}", self.name, upper)))
+    }
+}
+
+impl SqlType {
+    /// `true` if values of `self` can be compared with `<`, `=`, `>`
+    /// natively (and therefore indexed by the built-in B-tree).
+    pub fn is_scalar_comparable(&self) -> bool {
+        matches!(
+            self,
+            SqlType::Integer | SqlType::Number | SqlType::Varchar(_) | SqlType::Boolean
+        )
+    }
+
+    /// `true` if assignment of a value of type `other` into a column of
+    /// type `self` is allowed (exact match plus the integer→number
+    /// widening Oracle performs implicitly).
+    pub fn accepts(&self, other: &SqlType) -> bool {
+        match (self, other) {
+            (SqlType::Number, SqlType::Integer) => true,
+            (SqlType::Varchar(_), SqlType::Varchar(_)) => true,
+            (SqlType::Lob, SqlType::Varchar(_)) => true, // string literal into LOB column
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlType::Integer => write!(f, "INTEGER"),
+            SqlType::Number => write!(f, "NUMBER"),
+            SqlType::Varchar(n) => write!(f, "VARCHAR2({n})"),
+            SqlType::Boolean => write!(f, "BOOLEAN"),
+            SqlType::Lob => write!(f, "LOB"),
+            SqlType::RowId => write!(f, "ROWID"),
+            SqlType::Object(def) => write!(f, "{}", def.name),
+            SqlType::VArray(elem) => write!(f, "VARRAY OF {elem}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point_type() -> ObjectTypeDef {
+        ObjectTypeDef::new(
+            "sdo_point",
+            vec![("x".into(), SqlType::Number), ("y".into(), SqlType::Number)],
+        )
+    }
+
+    #[test]
+    fn object_type_normalizes_names() {
+        let t = point_type();
+        assert_eq!(t.name, "SDO_POINT");
+        assert_eq!(t.attrs[0].0, "X");
+    }
+
+    #[test]
+    fn attr_index_case_insensitive() {
+        let t = point_type();
+        assert_eq!(t.attr_index("y").unwrap(), 1);
+        assert_eq!(t.attr_index("Y").unwrap(), 1);
+        assert!(t.attr_index("z").is_err());
+    }
+
+    #[test]
+    fn scalar_comparability() {
+        assert!(SqlType::Integer.is_scalar_comparable());
+        assert!(SqlType::Varchar(10).is_scalar_comparable());
+        assert!(!SqlType::Lob.is_scalar_comparable());
+        assert!(!SqlType::VArray(Box::new(SqlType::Integer)).is_scalar_comparable());
+        assert!(!SqlType::Object(point_type()).is_scalar_comparable());
+    }
+
+    #[test]
+    fn accepts_widening() {
+        assert!(SqlType::Number.accepts(&SqlType::Integer));
+        assert!(!SqlType::Integer.accepts(&SqlType::Number));
+        assert!(SqlType::Varchar(5).accepts(&SqlType::Varchar(500)));
+        assert!(SqlType::Lob.accepts(&SqlType::Varchar(10)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SqlType::Varchar(128).to_string(), "VARCHAR2(128)");
+        assert_eq!(
+            SqlType::VArray(Box::new(SqlType::Varchar(16))).to_string(),
+            "VARRAY OF VARCHAR2(16)"
+        );
+        assert_eq!(SqlType::Object(point_type()).to_string(), "SDO_POINT");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the value model: total ordering of keys,
+//! rowid packing, and size estimates.
+
+use proptest::prelude::*;
+
+use extidx_common::key::Key;
+use extidx_common::{RowId, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Integer),
+        (-1e12f64..1e12).prop_map(Value::Number),
+        "[a-z]{0,8}".prop_map(Value::from),
+        any::<bool>().prop_map(Value::Boolean),
+        (0u32..1 << 22, 0u32..1 << 26, any::<u16>())
+            .prop_map(|(t, p, s)| Value::RowId(RowId::new(t, p, s))),
+    ]
+}
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    prop::collection::vec(arb_value(), 0..4).prop_map(Key)
+}
+
+proptest! {
+    #[test]
+    fn rowid_pack_roundtrip(t in 0u32..1 << 22, p in 0u32..1 << 26, s in any::<u16>()) {
+        let r = RowId::new(t, p, s);
+        prop_assert_eq!(RowId::from_u64(r.to_u64()), r);
+    }
+
+    #[test]
+    fn key_ordering_is_total_and_consistent(a in arb_key(), b in arb_key(), c in arb_key()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity (≤).
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        // Reflexivity.
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn keys_sort_stably_in_collections(keys in prop::collection::vec(arb_key(), 0..20)) {
+        // Sorting twice yields the same order, and BTreeMap accepts all
+        // keys without panicking (Ord is total).
+        let mut v1 = keys.clone();
+        v1.sort();
+        let mut v2 = v1.clone();
+        v2.sort();
+        prop_assert_eq!(&v1, &v2);
+        let map: std::collections::BTreeMap<Key, ()> =
+            keys.into_iter().map(|k| (k, ())).collect();
+        let collected: Vec<&Key> = map.keys().collect();
+        let mut resorted = collected.clone();
+        resorted.sort();
+        prop_assert_eq!(collected, resorted);
+    }
+
+    #[test]
+    fn total_cmp_agrees_with_sql_cmp_when_defined(a in arb_value(), b in arb_value()) {
+        if let Some(ord) = a.sql_cmp(&b) {
+            prop_assert_eq!(a.total_cmp(&b), ord);
+        }
+    }
+
+    #[test]
+    fn nulls_always_sort_last(v in arb_value()) {
+        if !v.is_null() {
+            prop_assert_eq!(v.total_cmp(&Value::Null), std::cmp::Ordering::Less);
+            prop_assert_eq!(Value::Null.total_cmp(&v), std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn approx_sizes_are_positive(v in arb_value()) {
+        prop_assert!(extidx_common::approx_value_size(&v) >= 1);
+    }
+
+    #[test]
+    fn integer_number_comparison_is_coherent(i in -1_000_000i64..1_000_000, f in -1e6f64..1e6) {
+        let a = Value::Integer(i);
+        let b = Value::Number(f);
+        let expected = (i as f64).partial_cmp(&f).unwrap();
+        prop_assert_eq!(a.sql_cmp(&b), Some(expected));
+        prop_assert_eq!(b.sql_cmp(&a), Some(expected.reverse()));
+    }
+}

@@ -1,0 +1,67 @@
+//! Database events — commit/rollback hooks.
+//!
+//! The paper's §5 names the problem: "if the index data is stored outside
+//! the database, the transaction manager of the database server does not
+//! handle changes to index data… changes to the base table are rolled back
+//! whereas changes to the index data are not." Its proposed solution is
+//! *database events*: "register functions to be invoked when certain
+//! database events occur… for events such as commit and rollback, which
+//! contain code to take appropriate actions on index data stored
+//! externally."
+//!
+//! A cartridge that keeps index data in external files registers an
+//! [`EventHandler`]; the engine invokes it after every commit and rollback
+//! with a [`CallbackMode::Definition`](crate::server::CallbackMode)
+//! context so the handler can reconcile the external store against the
+//! (now settled) database state.
+
+use extidx_common::Result;
+
+use crate::server::ServerContext;
+
+/// A database event the engine notifies handlers about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbEvent {
+    /// A transaction committed.
+    Commit,
+    /// A transaction rolled back.
+    Rollback,
+}
+
+impl std::fmt::Display for DbEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbEvent::Commit => write!(f, "COMMIT"),
+            DbEvent::Rollback => write!(f, "ROLLBACK"),
+        }
+    }
+}
+
+/// A registered event handler. Handlers run *after* the transaction has
+/// settled; `srv` is a fresh Definition-mode context (full SQL rights) the
+/// handler can use to re-read database state and repair external stores.
+pub trait EventHandler: Send + Sync {
+    /// React to a database event.
+    fn on_event(&self, event: DbEvent, srv: &mut dyn ServerContext) -> Result<()>;
+}
+
+/// Blanket impl so closures can serve as handlers.
+impl<F> EventHandler for F
+where
+    F: Fn(DbEvent, &mut dyn ServerContext) -> Result<()> + Send + Sync,
+{
+    fn on_event(&self, event: DbEvent, srv: &mut dyn ServerContext) -> Result<()> {
+        self(event, srv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_display() {
+        assert_eq!(DbEvent::Commit.to_string(), "COMMIT");
+        assert_eq!(DbEvent::Rollback.to_string(), "ROLLBACK");
+    }
+}

@@ -1,0 +1,195 @@
+//! The Indextype schema object.
+//!
+//! The paper (§1): "A new schema object, called an Indextype, specifies
+//! the routines that manage all the aspects of application-specific
+//! index… It also specifies the set of user-defined operators that can be
+//! evaluated using a domain index defined using this indextype."
+//!
+//! `CREATE INDEXTYPE TextIndexType FOR Contains(VARCHAR2, VARCHAR2) USING
+//! TextIndexMethods` becomes an [`IndexType`] value: the supported
+//! operator signatures plus an `Arc<dyn OdciIndex>` standing in for the
+//! implementing object type, and optionally an `Arc<dyn OdciStats>` for
+//! the optimizer interface.
+
+use std::sync::Arc;
+
+use extidx_common::SqlType;
+
+use crate::odci::OdciIndex;
+use crate::stats::OdciStats;
+
+/// An operator signature an indextype declares support for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupportedOperator {
+    /// Operator name, upper-cased.
+    pub name: String,
+    /// Declared argument types of the supported binding.
+    pub arg_types: Vec<SqlType>,
+}
+
+/// The indextype schema object.
+#[derive(Clone)]
+pub struct IndexType {
+    /// Indextype name, upper-cased.
+    pub name: String,
+    /// Operators whose predicates a domain index of this type can
+    /// evaluate.
+    pub operators: Vec<SupportedOperator>,
+    /// The user implementation of the ODCIIndex routines (the paper's
+    /// `USING TextIndexMethods` clause).
+    pub implementation: Arc<dyn OdciIndex>,
+    /// Optional optimizer interface (ODCIStats).
+    pub stats: Arc<dyn OdciStats>,
+}
+
+impl IndexType {
+    /// Create an indextype.
+    pub fn new(
+        name: impl Into<String>,
+        operators: Vec<SupportedOperator>,
+        implementation: Arc<dyn OdciIndex>,
+        stats: Arc<dyn OdciStats>,
+    ) -> Self {
+        IndexType {
+            name: name.into().to_ascii_uppercase(),
+            operators: operators
+                .into_iter()
+                .map(|o| SupportedOperator { name: o.name.to_ascii_uppercase(), arg_types: o.arg_types })
+                .collect(),
+            implementation,
+            stats,
+        }
+    }
+
+    /// Whether this indextype supports evaluating `operator` (§2.4.2's
+    /// check that "the index is of type TextIndexType, and TextIndexType
+    /// supports the appropriate Contains() operator"). Arity is checked;
+    /// declared types are advisory, as binding resolution already
+    /// happened at the operator level.
+    pub fn supports(&self, operator: &str, arg_count: usize) -> bool {
+        let upper = operator.to_ascii_uppercase();
+        self.operators
+            .iter()
+            .any(|o| o.name == upper && o.arg_types.len() == arg_count)
+    }
+}
+
+impl std::fmt::Debug for IndexType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexType")
+            .field("name", &self.name)
+            .field("operators", &self.operators)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{IndexInfo, OperatorCall};
+    use crate::params::ParamString;
+    use crate::scan::{FetchResult, ScanContext};
+    use crate::server::ServerContext;
+    use crate::stats::{DefaultStats, IndexCost};
+    use extidx_common::{Result, RowId, Value};
+
+    struct NullIndex;
+
+    impl OdciIndex for NullIndex {
+        fn create(&self, _: &mut dyn ServerContext, _: &IndexInfo) -> Result<()> {
+            Ok(())
+        }
+        fn alter(&self, _: &mut dyn ServerContext, _: &IndexInfo, _: &ParamString) -> Result<()> {
+            Ok(())
+        }
+        fn truncate(&self, _: &mut dyn ServerContext, _: &IndexInfo) -> Result<()> {
+            Ok(())
+        }
+        fn drop_index(&self, _: &mut dyn ServerContext, _: &IndexInfo) -> Result<()> {
+            Ok(())
+        }
+        fn insert(&self, _: &mut dyn ServerContext, _: &IndexInfo, _: RowId, _: &Value) -> Result<()> {
+            Ok(())
+        }
+        fn update(
+            &self,
+            _: &mut dyn ServerContext,
+            _: &IndexInfo,
+            _: RowId,
+            _: &Value,
+            _: &Value,
+        ) -> Result<()> {
+            Ok(())
+        }
+        fn delete(&self, _: &mut dyn ServerContext, _: &IndexInfo, _: RowId, _: &Value) -> Result<()> {
+            Ok(())
+        }
+        fn start(
+            &self,
+            _: &mut dyn ServerContext,
+            _: &IndexInfo,
+            _: &OperatorCall,
+        ) -> Result<ScanContext> {
+            Ok(ScanContext::State(Box::new(())))
+        }
+        fn fetch(
+            &self,
+            _: &mut dyn ServerContext,
+            _: &IndexInfo,
+            _: &mut ScanContext,
+            _: usize,
+        ) -> Result<FetchResult> {
+            Ok(FetchResult::end())
+        }
+        fn close(&self, _: &mut dyn ServerContext, _: &IndexInfo, _: ScanContext) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    struct NullStats;
+    impl crate::stats::OdciStats for NullStats {
+        fn collect(&self, _: &mut dyn ServerContext, _: &IndexInfo) -> Result<()> {
+            Ok(())
+        }
+        fn selectivity(&self, _: &mut dyn ServerContext, _: &IndexInfo, _: &OperatorCall) -> Result<f64> {
+            Ok(DefaultStats::default().default_selectivity)
+        }
+        fn index_cost(
+            &self,
+            _: &mut dyn ServerContext,
+            _: &IndexInfo,
+            _: &OperatorCall,
+            _: f64,
+        ) -> Result<IndexCost> {
+            Ok(IndexCost { io_cost: 1.0, cpu_cost: 0.0 })
+        }
+    }
+
+    fn sample() -> IndexType {
+        IndexType::new(
+            "TextIndexType",
+            vec![SupportedOperator {
+                name: "contains".into(),
+                arg_types: vec![SqlType::Varchar(4000), SqlType::Varchar(4000)],
+            }],
+            Arc::new(NullIndex),
+            Arc::new(NullStats),
+        )
+    }
+
+    #[test]
+    fn supports_checks_name_and_arity() {
+        let it = sample();
+        assert_eq!(it.name, "TEXTINDEXTYPE");
+        assert!(it.supports("Contains", 2));
+        assert!(it.supports("CONTAINS", 2));
+        assert!(!it.supports("Contains", 3));
+        assert!(!it.supports("Overlaps", 2));
+    }
+
+    #[test]
+    fn debug_omits_trait_objects() {
+        let s = format!("{:?}", sample());
+        assert!(s.contains("TEXTINDEXTYPE"));
+    }
+}

@@ -1,0 +1,140 @@
+//! The ODCIIndex interface — the heart of the framework.
+//!
+//! The paper (§2.2.3): "Define a type or package that implements the index
+//! interface, ODCIIndex. These methods handle the definition, maintenance
+//! and scan of the domain indexes." [`OdciIndex`] is that interface. A
+//! cartridge implements it once per indexing scheme; the host engine
+//! invokes it implicitly:
+//!
+//! - `CREATE INDEX … INDEXTYPE IS …` → [`OdciIndex::create`]
+//! - `ALTER INDEX … PARAMETERS (…)` → [`OdciIndex::alter`]
+//! - `TRUNCATE TABLE` of the base table → [`OdciIndex::truncate`]
+//! - `DROP INDEX` → [`OdciIndex::drop_index`]
+//! - base-table `INSERT`/`UPDATE`/`DELETE` → the maintenance trio
+//! - an indexable operator predicate chosen by the optimizer →
+//!   [`OdciIndex::start`] / [`OdciIndex::fetch`] / [`OdciIndex::close`]
+//!
+//! Implementations are stateless (Oracle's were STATIC member functions):
+//! all per-index state lives in index storage tables reached via
+//! [`ServerContext`] callbacks, and all per-scan state lives in the
+//! [`ScanContext`].
+
+use extidx_common::{Result, RowId, Value};
+
+use crate::meta::{IndexInfo, OperatorCall};
+use crate::params::ParamString;
+use crate::scan::{FetchResult, ScanContext};
+use crate::server::ServerContext;
+
+/// The index implementation interface a cartridge supplies.
+///
+/// Routine-naming follows the paper (`ODCIIndexCreate` → `create`, …).
+/// Every routine receives the index metadata ([`IndexInfo`]) and a
+/// [`ServerContext`] whose [`CallbackMode`](crate::server::CallbackMode)
+/// matches the routine class, so the engine can enforce the §2.5 callback
+/// restrictions.
+pub trait OdciIndex: Send + Sync {
+    // ---- definition routines (Definition mode) ---------------------------
+
+    /// `ODCIIndexCreate`: build the index storage (typically `CREATE
+    /// TABLE`s via callbacks) and populate it from the base table if it
+    /// already has rows.
+    fn create(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()>;
+
+    /// `ODCIIndexAlter`: react to `ALTER INDEX … PARAMETERS`. `info`
+    /// carries the *merged* parameters; `delta` is the newly supplied
+    /// string alone.
+    fn alter(&self, srv: &mut dyn ServerContext, info: &IndexInfo, delta: &ParamString) -> Result<()>;
+
+    /// `ODCIIndexTruncate`: clear index data (invoked when the base table
+    /// is truncated — the paper notes there is no explicit statement for
+    /// truncating a domain index).
+    fn truncate(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()>;
+
+    /// `ODCIIndexDrop`: tear down index storage.
+    fn drop_index(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()>;
+
+    // ---- maintenance routines (Maintenance mode) --------------------------
+
+    /// `ODCIIndexInsert`: a base-table row gained the indexed value
+    /// `new_value` at `rid`.
+    fn insert(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        new_value: &Value,
+    ) -> Result<()>;
+
+    /// `ODCIIndexUpdate`: the indexed column at `rid` changed from
+    /// `old_value` to `new_value`. The paper's guidance: delete the old
+    /// entries, insert the new ones.
+    fn update(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        old_value: &Value,
+        new_value: &Value,
+    ) -> Result<()>;
+
+    /// `ODCIIndexDelete`: the row at `rid` (indexed value `old_value`)
+    /// was deleted.
+    fn delete(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        old_value: &Value,
+    ) -> Result<()>;
+
+    // ---- scan routines (Scan mode) ------------------------------------------
+
+    /// `ODCIIndexStart`: begin evaluating `op` with this index. Returns
+    /// the scan context threaded through fetch/close. Implementations
+    /// choose Precompute-All (materialize results here) or Incremental
+    /// (compute during fetch) — §2.2.3 describes both.
+    fn start(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+    ) -> Result<ScanContext>;
+
+    /// `ODCIIndexFetch`: produce up to `nrows` more rowids satisfying the
+    /// predicate (batch interface, §2.5). `done` in the result is the
+    /// paper's null-rowid end-of-scan marker.
+    fn fetch(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        ctx: &mut ScanContext,
+        nrows: usize,
+    ) -> Result<FetchResult>;
+
+    /// `ODCIIndexClose`: release scan resources.
+    fn close(&self, srv: &mut dyn ServerContext, info: &IndexInfo, ctx: ScanContext) -> Result<()>;
+}
+
+/// Drain an entire scan through the batch interface — convenience for
+/// callers (and tests) that want all rowids at once. Honors `batch_size`
+/// per fetch call, mirroring how the engine's executor drives scans.
+pub fn drain_scan(
+    index: &dyn OdciIndex,
+    srv: &mut dyn ServerContext,
+    info: &IndexInfo,
+    op: &OperatorCall,
+    batch_size: usize,
+) -> Result<Vec<crate::scan::FetchedRow>> {
+    let mut ctx = index.start(srv, info, op)?;
+    let mut out = Vec::new();
+    loop {
+        let batch = index.fetch(srv, info, &mut ctx, batch_size)?;
+        out.extend(batch.rows);
+        if batch.done {
+            break;
+        }
+    }
+    index.close(srv, info, ctx)?;
+    Ok(out)
+}

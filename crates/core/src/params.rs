@@ -1,0 +1,166 @@
+//! `PARAMETERS ('…')` strings.
+//!
+//! Domain-index DDL carries an *uninterpreted* parameter string that the
+//! server hands verbatim to the cartridge (§2.4.1: "invokes the
+//! ODCIIndexCreate() method, passing it the uninterpreted parameter
+//! string"). The paper's own example uses a `:Key value value…` syntax:
+//!
+//! ```text
+//! PARAMETERS (':Language English :Ignore the a an')
+//! ```
+//!
+//! [`ParamString`] keeps the raw text (the server's view) and offers the
+//! conventional parse cartridges in this workspace use (the cartridge's
+//! view). `ALTER INDEX … PARAMETERS` merges key-by-key, as the paper's
+//! `':Ignore COBOL'` example implies.
+
+use std::collections::BTreeMap;
+
+/// An index parameter string: raw text plus the `:key values…` parse.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParamString {
+    raw: String,
+    /// Parsed `:key` → values, keys upper-cased; insertion order is not
+    /// semantic so a sorted map keeps Display deterministic.
+    keys: BTreeMap<String, Vec<String>>,
+}
+
+impl ParamString {
+    /// Parse a raw parameter string.
+    ///
+    /// Grammar: zero or more groups of `:Key tok tok …`; tokens before the
+    /// first `:Key` are ignored (matching Oracle's treatment of the string
+    /// as opaque — cartridges define the convention).
+    pub fn parse(raw: &str) -> Self {
+        let mut keys: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        for tok in raw.split_whitespace() {
+            if let Some(key) = tok.strip_prefix(':') {
+                let key = key.to_ascii_uppercase();
+                keys.entry(key.clone()).or_default();
+                current = Some(key);
+            } else if let Some(ref key) = current {
+                keys.get_mut(key).expect("current key exists").push(tok.to_string());
+            }
+        }
+        ParamString { raw: raw.to_string(), keys }
+    }
+
+    /// Empty parameters.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The raw, uninterpreted text.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// All values listed under `:key` (empty slice if absent).
+    pub fn values(&self, key: &str) -> &[String] {
+        self.keys
+            .get(&key.to_ascii_uppercase())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// First value under `:key`, if any.
+    pub fn first(&self, key: &str) -> Option<&str> {
+        self.values(key).first().map(|s| s.as_str())
+    }
+
+    /// Whether `:key` appeared at all (even with no values).
+    pub fn has(&self, key: &str) -> bool {
+        self.keys.contains_key(&key.to_ascii_uppercase())
+    }
+
+    /// Keys present, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.keys.keys().map(|s| s.as_str())
+    }
+
+    /// ALTER-merge: keys in `newer` replace the same keys here; other keys
+    /// are preserved. The raw text becomes the canonical re-rendering.
+    pub fn merged_with(&self, newer: &ParamString) -> ParamString {
+        let mut keys = self.keys.clone();
+        for (k, v) in &newer.keys {
+            keys.insert(k.clone(), v.clone());
+        }
+        let raw = keys
+            .iter()
+            .map(|(k, vs)| {
+                if vs.is_empty() {
+                    format!(":{k}")
+                } else {
+                    format!(":{k} {}", vs.join(" "))
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        ParamString { raw, keys }
+    }
+}
+
+impl std::fmt::Display for ParamString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example() {
+        let p = ParamString::parse(":Language English :Ignore the a an");
+        assert_eq!(p.first("language"), Some("English"));
+        assert_eq!(p.values("IGNORE"), &["the", "a", "an"]);
+    }
+
+    #[test]
+    fn keys_are_case_insensitive() {
+        let p = ParamString::parse(":MemSize 4096");
+        assert!(p.has("memsize") && p.has("MEMSIZE"));
+        assert_eq!(p.first("MemSize"), Some("4096"));
+    }
+
+    #[test]
+    fn empty_and_missing() {
+        let p = ParamString::empty();
+        assert!(!p.has("anything"));
+        assert!(p.values("anything").is_empty());
+        assert_eq!(p.first("anything"), None);
+    }
+
+    #[test]
+    fn bare_key_with_no_values() {
+        let p = ParamString::parse(":NoPopulate :Language French");
+        assert!(p.has("NoPopulate"));
+        assert!(p.values("NoPopulate").is_empty());
+        assert_eq!(p.first("Language"), Some("French"));
+    }
+
+    #[test]
+    fn leading_tokens_without_key_ignored() {
+        let p = ParamString::parse("stray words :K v");
+        assert_eq!(p.values("K"), &["v"]);
+        assert_eq!(p.keys().count(), 1);
+    }
+
+    #[test]
+    fn alter_merge_replaces_only_named_keys() {
+        // The paper: ALTER INDEX ResumeTextIndex PARAMETERS (':Ignore COBOL')
+        let create = ParamString::parse(":Language English :Ignore the a an");
+        let alter = ParamString::parse(":Ignore COBOL");
+        let merged = create.merged_with(&alter);
+        assert_eq!(merged.first("Language"), Some("English"));
+        assert_eq!(merged.values("Ignore"), &["COBOL"]);
+    }
+
+    #[test]
+    fn raw_is_preserved_verbatim_on_parse() {
+        let raw = "  :A 1   :B  2 ";
+        assert_eq!(ParamString::parse(raw).raw(), raw);
+    }
+}

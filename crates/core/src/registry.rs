@@ -1,0 +1,189 @@
+//! Registries for extensibility schema objects.
+//!
+//! The engine's catalog embeds a [`SchemaRegistry`] holding everything the
+//! framework introduces as "top level schema objects" (§2.2.2): registered
+//! functions, user-defined operators, and indextypes. DDL statements
+//! (`CREATE OPERATOR`, `CREATE INDEXTYPE`, `DROP …`) resolve here, as does
+//! the optimizer when it checks whether an operator predicate has an
+//! index-based evaluation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use extidx_common::{Error, Result};
+
+use crate::indextype::IndexType;
+use crate::operator::{Operator, ScalarFunction};
+
+/// All registered extensibility schema objects.
+#[derive(Debug, Default, Clone)]
+pub struct SchemaRegistry {
+    functions: HashMap<String, ScalarFunction>,
+    operators: HashMap<String, Operator>,
+    indextypes: HashMap<String, Arc<IndexType>>,
+}
+
+impl SchemaRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- functions -----------------------------------------------------------
+
+    /// Register a function (`CREATE FUNCTION`).
+    pub fn create_function(&mut self, f: ScalarFunction) -> Result<()> {
+        if self.functions.contains_key(&f.name) {
+            return Err(Error::already_exists("function", &f.name));
+        }
+        self.functions.insert(f.name.clone(), f);
+        Ok(())
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Result<&ScalarFunction> {
+        let upper = name.to_ascii_uppercase();
+        self.functions.get(&upper).ok_or_else(|| Error::not_found("function", upper))
+    }
+
+    /// Drop a function.
+    pub fn drop_function(&mut self, name: &str) -> Result<()> {
+        let upper = name.to_ascii_uppercase();
+        self.functions
+            .remove(&upper)
+            .map(|_| ())
+            .ok_or_else(|| Error::not_found("function", upper))
+    }
+
+    // ---- operators -----------------------------------------------------------
+
+    /// Register an operator (`CREATE OPERATOR`). Every binding's function
+    /// must already exist — the paper requires a functional implementation
+    /// per binding (§2.2.2).
+    pub fn create_operator(&mut self, op: Operator) -> Result<()> {
+        if self.operators.contains_key(&op.name) {
+            return Err(Error::already_exists("operator", &op.name));
+        }
+        for b in &op.bindings {
+            if !self.functions.contains_key(&b.function_name) {
+                return Err(Error::not_found("function", &b.function_name));
+            }
+        }
+        self.operators.insert(op.name.clone(), op);
+        Ok(())
+    }
+
+    /// Look up an operator by name.
+    pub fn operator(&self, name: &str) -> Result<&Operator> {
+        let upper = name.to_ascii_uppercase();
+        self.operators.get(&upper).ok_or_else(|| Error::not_found("operator", upper))
+    }
+
+    /// Whether an operator exists.
+    pub fn has_operator(&self, name: &str) -> bool {
+        self.operators.contains_key(&name.to_ascii_uppercase())
+    }
+
+    /// Drop an operator.
+    pub fn drop_operator(&mut self, name: &str) -> Result<()> {
+        let upper = name.to_ascii_uppercase();
+        self.operators
+            .remove(&upper)
+            .map(|_| ())
+            .ok_or_else(|| Error::not_found("operator", upper))
+    }
+
+    // ---- indextypes -----------------------------------------------------------
+
+    /// Register an indextype (`CREATE INDEXTYPE`). Every supported
+    /// operator must already exist.
+    pub fn create_indextype(&mut self, it: IndexType) -> Result<()> {
+        if self.indextypes.contains_key(&it.name) {
+            return Err(Error::already_exists("indextype", &it.name));
+        }
+        for op in &it.operators {
+            if !self.operators.contains_key(&op.name) {
+                return Err(Error::not_found("operator", &op.name));
+            }
+        }
+        self.indextypes.insert(it.name.clone(), Arc::new(it));
+        Ok(())
+    }
+
+    /// Look up an indextype by name.
+    pub fn indextype(&self, name: &str) -> Result<Arc<IndexType>> {
+        let upper = name.to_ascii_uppercase();
+        self.indextypes
+            .get(&upper)
+            .cloned()
+            .ok_or_else(|| Error::not_found("indextype", upper))
+    }
+
+    /// Drop an indextype.
+    pub fn drop_indextype(&mut self, name: &str) -> Result<()> {
+        let upper = name.to_ascii_uppercase();
+        self.indextypes
+            .remove(&upper)
+            .map(|_| ())
+            .ok_or_else(|| Error::not_found("indextype", upper))
+    }
+
+    /// All indextype names (sorted, for catalog listings).
+    pub fn indextype_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.indextypes.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::ScalarFunction;
+    use extidx_common::Value;
+
+    fn registry_with_fn() -> SchemaRegistry {
+        let mut r = SchemaRegistry::new();
+        r.create_function(ScalarFunction::new("TextContains", |_, _| Ok(Value::Boolean(true))))
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn operator_requires_function() {
+        let mut r = SchemaRegistry::new();
+        let op = Operator::with_binding(
+            "Contains",
+            vec![],
+            extidx_common::SqlType::Boolean,
+            "Missing",
+        );
+        assert!(matches!(r.create_operator(op), Err(Error::NotFound { .. })));
+    }
+
+    #[test]
+    fn operator_lifecycle() {
+        let mut r = registry_with_fn();
+        let op = Operator::with_binding(
+            "Contains",
+            vec![],
+            extidx_common::SqlType::Boolean,
+            "TextContains",
+        );
+        r.create_operator(op.clone()).unwrap();
+        assert!(r.has_operator("contains"));
+        assert!(matches!(r.create_operator(op), Err(Error::AlreadyExists { .. })));
+        r.drop_operator("CONTAINS").unwrap();
+        assert!(!r.has_operator("contains"));
+        assert!(r.drop_operator("CONTAINS").is_err());
+    }
+
+    #[test]
+    fn function_duplicate_rejected() {
+        let mut r = registry_with_fn();
+        let dup = ScalarFunction::new("TEXTCONTAINS", |_, _| Ok(Value::Null));
+        assert!(r.create_function(dup).is_err());
+        r.drop_function("textcontains").unwrap();
+        assert!(r.function("TextContains").is_err());
+    }
+}

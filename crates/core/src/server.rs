@@ -1,0 +1,142 @@
+//! Server callbacks — how cartridge code talks back to the database.
+//!
+//! The paper (§2.5): "The index routines typically use SQL to access and
+//! manipulate index data. The SQL statements executed by the indexing
+//! logic are referred to as *server callbacks*." [`ServerContext`] is the
+//! callback surface handed to every ODCI routine. It offers:
+//!
+//! - parameterized SQL execution (`execute`/`query`) against the host
+//!   engine, which is how cartridges create, maintain, and search their
+//!   index storage tables;
+//! - the LOB interface (file-like, per §3.2.4);
+//! - the statement-duration workspace backing "Return Handle" scan
+//!   contexts (§2.2.3);
+//! - database-event registration (§5's proposed mechanism for external
+//!   index stores);
+//! - access to *external* (outside-the-database) storage for file-based
+//!   index schemes, which deliberately bypasses transactions.
+//!
+//! [`CallbackMode`] encodes the paper's §2.5 restrictions: "Index
+//! maintenance routines can not execute DDL statements. Also, these
+//! routines cannot update the base table… Index scan routines can only
+//! execute SQL query statements. There are no restrictions on the index
+//! definition routines." The host engine enforces these on every callback.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use extidx_common::{LobRef, Result, Row, Value};
+
+use crate::events::EventHandler;
+use crate::scan::WorkspaceHandle;
+
+/// Which class of ODCI routine is currently calling back into the server,
+/// determining which SQL statements are permitted (§2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallbackMode {
+    /// Index definition routines (create/alter/truncate/drop): no
+    /// restrictions.
+    Definition,
+    /// Index maintenance routines (insert/update/delete): no DDL, and no
+    /// DML against the base table being indexed.
+    Maintenance,
+    /// Index scan routines (start/fetch/close): queries only.
+    Scan,
+}
+
+/// The callback surface the server hands to every ODCI routine.
+pub trait ServerContext {
+    /// The restriction mode this context was issued under.
+    fn mode(&self) -> CallbackMode;
+
+    /// Execute a DDL or DML statement. `?` placeholders are substituted
+    /// from `binds` left-to-right. Returns affected row count.
+    fn execute(&mut self, sql: &str, binds: &[Value]) -> Result<u64>;
+
+    /// Execute a query, returning all rows. `?` placeholders as above.
+    fn query(&mut self, sql: &str, binds: &[Value]) -> Result<Vec<Row>>;
+
+    // ---- LOB interface (file-like, §3.2.4) --------------------------------
+
+    /// Allocate a new empty LOB.
+    fn lob_create(&mut self) -> Result<LobRef>;
+    /// LOB length in bytes.
+    fn lob_length(&mut self, lob: LobRef) -> Result<u64>;
+    /// Read `len` bytes at `offset`.
+    fn lob_read(&mut self, lob: LobRef, offset: u64, len: usize) -> Result<Vec<u8>>;
+    /// Read the whole LOB.
+    fn lob_read_all(&mut self, lob: LobRef) -> Result<Vec<u8>>;
+    /// Write bytes at `offset`.
+    fn lob_write(&mut self, lob: LobRef, offset: u64, bytes: &[u8]) -> Result<()>;
+    /// Append bytes; returns the offset written at.
+    fn lob_append(&mut self, lob: LobRef, bytes: &[u8]) -> Result<u64>;
+    /// Replace the whole LOB.
+    fn lob_overwrite(&mut self, lob: LobRef, bytes: &[u8]) -> Result<()>;
+    /// Free the LOB.
+    fn lob_free(&mut self, lob: LobRef) -> Result<()>;
+
+    // ---- statement workspace (Return Handle contexts, §2.2.3) ------------
+
+    /// Park state in the statement workspace; returns its handle.
+    fn workspace_put(&mut self, state: Box<dyn Any + Send>) -> WorkspaceHandle;
+    /// Borrow parked state mutably.
+    fn workspace_get(&mut self, handle: WorkspaceHandle) -> Option<&mut (dyn Any + Send)>;
+    /// Remove parked state (scan close).
+    fn workspace_take(&mut self, handle: WorkspaceHandle) -> Option<Box<dyn Any + Send>>;
+
+    // ---- database events (§5) ---------------------------------------------
+
+    /// Register a handler invoked on commit/rollback. Re-registering the
+    /// same name replaces the handler.
+    fn register_event_handler(&mut self, name: &str, handler: Arc<dyn EventHandler>);
+
+    // ---- external storage (§5 limitation) ----------------------------------
+    //
+    // Outside-the-database file storage for file-based index schemes.
+    // These operations are **not transactional**: they are invisible to
+    // undo, which is exactly the §5 limitation the events mechanism
+    // compensates for.
+
+    /// Create (or truncate) an external file.
+    fn file_create(&mut self, name: &str);
+    /// Whether an external file exists.
+    fn file_exists(&mut self, name: &str) -> bool;
+    /// Delete an external file.
+    fn file_remove(&mut self, name: &str) -> Result<()>;
+    /// Read a whole external file.
+    fn file_read(&mut self, name: &str) -> Result<Vec<u8>>;
+    /// Replace a whole external file.
+    fn file_write(&mut self, name: &str, bytes: &[u8]) -> Result<()>;
+    /// Append to an external file.
+    fn file_append(&mut self, name: &str, bytes: &[u8]) -> Result<()>;
+    /// Persist intermediate state (legacy engines checkpoint per update).
+    fn file_flush(&mut self, name: &str) -> Result<()>;
+    /// External file length in bytes.
+    fn file_length(&mut self, name: &str) -> Result<u64>;
+}
+
+/// Helper for cartridge workspace state: downcast a workspace entry to a
+/// concrete type, with a uniform error when the handle or type is wrong.
+pub fn workspace_state<'a, T: 'static>(
+    srv: &'a mut dyn ServerContext,
+    handle: WorkspaceHandle,
+    indextype: &str,
+    routine: &'static str,
+) -> Result<&'a mut T> {
+    srv.workspace_get(handle)
+        .and_then(|any| any.downcast_mut::<T>())
+        .ok_or_else(|| {
+            extidx_common::Error::odci(indextype, routine, "scan workspace state missing or of wrong type")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn callback_modes_are_distinct() {
+        assert_ne!(CallbackMode::Definition, CallbackMode::Maintenance);
+        assert_ne!(CallbackMode::Maintenance, CallbackMode::Scan);
+    }
+}

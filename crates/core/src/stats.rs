@@ -1,0 +1,104 @@
+//! The extensible optimizer interface (ODCIStats).
+//!
+//! Fig. 1 shows the optimizer calling `ODCIStatsIndexCost` and
+//! `ODCIStatsSelectivity` on the cartridge; §2.4.2 explains why: "The
+//! choice between the indexed implementation and the functional evaluation
+//! of the operator is made by the Oracle cost based optimizer using
+//! selectivity and cost functions." A cartridge that wants its index
+//! considered intelligently implements [`OdciStats`] and attaches it to
+//! the indextype; otherwise the engine falls back to
+//! [`DefaultStats`]-style guesses.
+
+use extidx_common::Result;
+
+use crate::meta::{IndexInfo, OperatorCall};
+use crate::server::ServerContext;
+
+/// Cost estimate for a domain-index scan, in the engine's cost units
+/// (1.0 ≈ one page read; CPU is expressed in the same currency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexCost {
+    /// Estimated page I/O.
+    pub io_cost: f64,
+    /// Estimated CPU, in page-read equivalents.
+    pub cpu_cost: f64,
+}
+
+impl IndexCost {
+    /// Combined cost the optimizer compares against other access paths.
+    pub fn total(&self) -> f64 {
+        self.io_cost + self.cpu_cost
+    }
+}
+
+/// The statistics interface a cartridge may implement per indextype.
+pub trait OdciStats: Send + Sync {
+    /// `ODCIStatsCollect`: gather statistics for a domain index (invoked
+    /// by `ANALYZE INDEX` / `ANALYZE TABLE`). Implementations usually
+    /// store what they need in their own storage tables.
+    fn collect(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()>;
+
+    /// `ODCIStatsSelectivity`: fraction (0..=1) of base-table rows
+    /// expected to satisfy the operator predicate.
+    fn selectivity(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+    ) -> Result<f64>;
+
+    /// `ODCIStatsIndexCost`: cost of evaluating the predicate through the
+    /// domain index, given the selectivity the optimizer settled on.
+    fn index_cost(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+        selectivity: f64,
+    ) -> Result<IndexCost>;
+}
+
+/// Engine-side fallback guesses used when an indextype registers no
+/// [`OdciStats`]: a fixed selectivity and a cost proportional to the base
+/// table, mirroring Oracle's default handling of unanalyzed paths.
+#[derive(Debug, Clone, Copy)]
+pub struct DefaultStats {
+    /// Selectivity assumed for any user-defined operator predicate.
+    pub default_selectivity: f64,
+}
+
+impl Default for DefaultStats {
+    fn default() -> Self {
+        // Oracle's traditional default for function-based predicates.
+        DefaultStats { default_selectivity: 0.01 }
+    }
+}
+
+impl DefaultStats {
+    /// The guessed cost of a domain scan over a base table of
+    /// `table_pages` pages: assume the index reads a selectivity-scaled
+    /// fraction of them plus a constant start-up.
+    pub fn guessed_cost(&self, table_pages: f64) -> IndexCost {
+        IndexCost { io_cost: 2.0 + table_pages * self.default_selectivity, cpu_cost: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_components() {
+        let c = IndexCost { io_cost: 10.0, cpu_cost: 2.5 };
+        assert!((c.total() - 12.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn default_guesses_scale_with_table() {
+        let d = DefaultStats::default();
+        let small = d.guessed_cost(10.0);
+        let big = d.guessed_cost(10_000.0);
+        assert!(big.total() > small.total());
+        assert!((d.default_selectivity - 0.01).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,171 @@
+//! Invocation tracing — Figure 1 made observable.
+//!
+//! The paper's Figure 1 shows the call flow: client SQL arrives, the
+//! indexing component calls the registered ODCIIndexStart/Fetch/Close
+//! routines, the optimizer calls ODCIStatsIndexCost/Selectivity, DML
+//! drives the maintenance routines. [`CallTrace`] records exactly those
+//! crossings of the server↔cartridge boundary so the E1 experiment (and
+//! any debugging session) can print the architecture diagram as a live
+//! event log.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Which server component invoked the cartridge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// DDL processing (CREATE/ALTER/TRUNCATE/DROP INDEX).
+    Ddl,
+    /// Implicit index maintenance during DML.
+    Dml,
+    /// The index-access component driving scans.
+    IndexAccess,
+    /// The cost-based optimizer.
+    Optimizer,
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Component::Ddl => "DDL",
+            Component::Dml => "DML",
+            Component::IndexAccess => "INDEX-ACCESS",
+            Component::Optimizer => "OPTIMIZER",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One server→cartridge invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Which server component made the call.
+    pub component: Component,
+    /// The ODCI routine name (e.g. `ODCIIndexFetch`).
+    pub routine: &'static str,
+    /// Which indextype was invoked.
+    pub indextype: String,
+    /// Human-readable argument summary.
+    pub detail: String,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {} -> {}.{}", self.component, self.detail, self.indextype, self.routine)
+    }
+}
+
+/// A shared, toggleable trace. Cloning shares the underlying buffer, so
+/// the engine and a test/bench harness can watch the same stream.
+#[derive(Clone, Default)]
+pub struct CallTrace {
+    inner: Arc<Mutex<TraceInner>>,
+}
+
+#[derive(Default)]
+struct TraceInner {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl CallTrace {
+    /// A new, disabled trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.lock().enabled = on;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.lock().enabled
+    }
+
+    /// Record an event (no-op while disabled).
+    pub fn record(
+        &self,
+        component: Component,
+        routine: &'static str,
+        indextype: &str,
+        detail: impl Into<String>,
+    ) {
+        let mut g = self.inner.lock();
+        if g.enabled {
+            g.events.push(TraceEvent {
+                component,
+                routine,
+                indextype: indextype.to_string(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// Snapshot the recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Clear recorded events.
+    pub fn clear(&self) {
+        self.inner.lock().events.clear();
+    }
+
+    /// Routine names in recorded order — handy for call-sequence asserts.
+    pub fn routine_sequence(&self) -> Vec<&'static str> {
+        self.inner.lock().events.iter().map(|e| e.routine).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = CallTrace::new();
+        t.record(Component::Ddl, "ODCIIndexCreate", "T", "x");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let t = CallTrace::new();
+        t.set_enabled(true);
+        t.record(Component::IndexAccess, "ODCIIndexStart", "T", "q1");
+        t.record(Component::IndexAccess, "ODCIIndexFetch", "T", "q1");
+        t.record(Component::IndexAccess, "ODCIIndexClose", "T", "q1");
+        assert_eq!(
+            t.routine_sequence(),
+            vec!["ODCIIndexStart", "ODCIIndexFetch", "ODCIIndexClose"]
+        );
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = CallTrace::new();
+        t.set_enabled(true);
+        let t2 = t.clone();
+        t2.record(Component::Optimizer, "ODCIStatsSelectivity", "T", "");
+        assert_eq!(t.events().len(), 1);
+        t.clear();
+        assert!(t2.events().is_empty());
+    }
+
+    #[test]
+    fn event_display() {
+        let e = TraceEvent {
+            component: Component::Dml,
+            routine: "ODCIIndexInsert",
+            indextype: "TEXTINDEXTYPE".into(),
+            detail: "EMPLOYEES row".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "[DML] EMPLOYEES row -> TEXTINDEXTYPE.ODCIIndexInsert"
+        );
+    }
+}

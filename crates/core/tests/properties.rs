@@ -1,0 +1,91 @@
+//! Property-based tests for framework utilities: LIKE matching against a
+//! reference implementation, parameter-string merge laws, predicate
+//! bounds.
+
+use proptest::prelude::*;
+
+use extidx_common::Value;
+use extidx_core::meta::{like_match, PredicateBound, RelOp};
+use extidx_core::params::ParamString;
+
+/// Naive backtracking LIKE used as the oracle.
+fn naive_like(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    fn go(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => (0..=t.len()).any(|k| go(&t[k..], &p[1..])),
+            Some('_') => !t.is_empty() && go(&t[1..], &p[1..]),
+            Some(c) => t.first() == Some(c) && go(&t[1..], &p[1..]),
+        }
+    }
+    go(&t, &p)
+}
+
+proptest! {
+    #[test]
+    fn like_agrees_with_reference(text in "[ab]{0,10}", pattern in "[ab%_]{0,8}") {
+        prop_assert_eq!(like_match(&text, &pattern), naive_like(&text, &pattern));
+    }
+
+    #[test]
+    fn like_self_match(text in "[a-z]{0,10}") {
+        prop_assert!(like_match(&text, &text), "every string LIKEs itself");
+        prop_assert!(like_match(&text, "%"), "%% matches everything");
+    }
+
+    #[test]
+    fn param_merge_right_bias(
+        keys1 in prop::collection::vec(("[A-Z]{1,4}", "[a-z0-9]{1,4}"), 0..4),
+        keys2 in prop::collection::vec(("[A-Z]{1,4}", "[a-z0-9]{1,4}"), 0..4),
+    ) {
+        let raw1: String = keys1.iter().map(|(k, v)| format!(":{k} {v} ")).collect();
+        let raw2: String = keys2.iter().map(|(k, v)| format!(":{k} {v} ")).collect();
+        let a = ParamString::parse(&raw1);
+        let b = ParamString::parse(&raw2);
+        let merged = a.merged_with(&b);
+        // Every key of b wins in the merge.
+        for (k, _) in &keys2 {
+            prop_assert_eq!(merged.values(k), b.values(k));
+        }
+        // Keys only in a survive.
+        for (k, _) in &keys1 {
+            if !b.has(k) {
+                prop_assert_eq!(merged.values(k), a.values(k));
+            }
+        }
+    }
+
+    #[test]
+    fn param_merge_with_empty_is_identity(
+        keys in prop::collection::vec(("[A-Z]{1,4}", "[a-z0-9]{1,4}"), 0..4),
+    ) {
+        let raw: String = keys.iter().map(|(k, v)| format!(":{k} {v} ")).collect();
+        let a = ParamString::parse(&raw);
+        let merged = a.merged_with(&ParamString::empty());
+        for (k, _) in &keys {
+            prop_assert_eq!(merged.values(k), a.values(k));
+        }
+    }
+
+    #[test]
+    fn relop_eval_is_coherent_with_ordering(a in -100i64..100, b in -100i64..100) {
+        let va = Value::Integer(a);
+        let vb = Value::Integer(b);
+        prop_assert_eq!(RelOp::Lt.eval(&va, &vb), Some(a < b));
+        prop_assert_eq!(RelOp::Le.eval(&va, &vb), Some(a <= b));
+        prop_assert_eq!(RelOp::Eq.eval(&va, &vb), Some(a == b));
+        prop_assert_eq!(RelOp::Ge.eval(&va, &vb), Some(a >= b));
+        prop_assert_eq!(RelOp::Gt.eval(&va, &vb), Some(a > b));
+    }
+
+    #[test]
+    fn bound_accepts_matches_relop(x in -50i64..50, thresh in -50i64..50) {
+        for relop in [RelOp::Lt, RelOp::Le, RelOp::Eq, RelOp::Ge, RelOp::Gt] {
+            let bound = PredicateBound { relop, value: Value::Integer(thresh) };
+            let expected = relop.eval(&Value::Integer(x), &Value::Integer(thresh)).unwrap();
+            prop_assert_eq!(bound.accepts(&Value::Integer(x)), expected);
+        }
+    }
+}

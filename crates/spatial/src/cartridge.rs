@@ -1,0 +1,353 @@
+//! The ODCIIndex implementation for the spatial indextype.
+//!
+//! Two storage tables per index (both index-organized, created through
+//! server callbacks):
+//!
+//! - `DR$<index>$T (tile, rid)` — the tile table: one row per (tile,
+//!   geometry) pair, the primary filter;
+//! - `DR$<index>$G (rid, geom)` — serialized geometries, the exact
+//!   filter's input.
+//!
+//! A scan evaluates `Sdo_Relate` in the two phases §3.2.2 describes: the
+//! primary filter ("determines the candidate set of tiles … which
+//! overlap") runs in `ODCIIndexStart`; the exact filter ("applies an exact
+//! filter to these candidate rows") runs incrementally during
+//! `ODCIIndexFetch`.
+
+use std::collections::BTreeSet;
+
+use extidx_common::{Error, Result, RowId, Value};
+use extidx_core::meta::{IndexInfo, OperatorCall};
+use extidx_core::params::ParamString;
+use extidx_core::scan::{FetchResult, FetchedRow, ScanContext};
+use extidx_core::server::ServerContext;
+use extidx_core::stats::{IndexCost, OdciStats};
+use extidx_core::OdciIndex;
+
+use crate::geometry::{Geometry, Mask};
+use crate::tiles::Tessellation;
+
+/// The indextype implementation.
+pub struct SpatialIndexMethods;
+
+fn tile_table(info: &IndexInfo) -> String {
+    info.storage_table_name("T")
+}
+
+pub(crate) fn geom_table(info: &IndexInfo) -> String {
+    info.storage_table_name("G")
+}
+
+/// Tessellation from index parameters (`:World 1024 :Level 6`).
+pub fn tessellation(params: &ParamString) -> Tessellation {
+    let mut t = Tessellation::default();
+    if let Some(w) = params.first("World").and_then(|v| v.parse::<f64>().ok()) {
+        if w > 0.0 {
+            t.world = w;
+        }
+    }
+    if let Some(l) = params.first("Level").and_then(|v| v.parse::<u32>().ok()) {
+        t.level = l.min(12);
+    }
+    t
+}
+
+fn index_one(
+    srv: &mut dyn ServerContext,
+    info: &IndexInfo,
+    tess: &Tessellation,
+    rid: RowId,
+    value: &Value,
+) -> Result<()> {
+    if value.is_null() {
+        return Ok(());
+    }
+    let g = Geometry::from_value(value)?;
+    for tile in tess.tiles_for(&g) {
+        srv.execute(
+            &format!("INSERT INTO {} VALUES (?, ?)", tile_table(info)),
+            &[Value::Integer(tile), Value::RowId(rid)],
+        )?;
+    }
+    srv.execute(
+        &format!("INSERT INTO {} VALUES (?, ?)", geom_table(info)),
+        &[Value::RowId(rid), Value::from(g.serialize())],
+    )?;
+    Ok(())
+}
+
+fn unindex_one(
+    srv: &mut dyn ServerContext,
+    info: &IndexInfo,
+    tess: &Tessellation,
+    rid: RowId,
+    value: &Value,
+) -> Result<()> {
+    if value.is_null() {
+        return Ok(());
+    }
+    let g = Geometry::from_value(value)?;
+    for tile in tess.tiles_for(&g) {
+        srv.execute(
+            &format!("DELETE FROM {} WHERE tile = ? AND rid = ?", tile_table(info)),
+            &[Value::Integer(tile), Value::RowId(rid)],
+        )?;
+    }
+    srv.execute(
+        &format!("DELETE FROM {} WHERE rid = ?", geom_table(info)),
+        &[Value::RowId(rid)],
+    )?;
+    Ok(())
+}
+
+/// Per-scan state: candidates awaiting the exact filter. Shared by the
+/// tile cartridge and the R-tree cartridge — both produce candidate
+/// rowids from a primary filter, then verify exact geometry during fetch.
+pub(crate) struct SpatialScan {
+    pub(crate) query: Geometry,
+    pub(crate) mask: Mask,
+    pub(crate) candidates: Vec<RowId>,
+    pub(crate) pos: usize,
+    /// Candidate-count diagnostics for the filter-effectiveness reports.
+    pub(crate) primary_candidates: usize,
+}
+
+/// The exact-filter fetch loop (§3.2.2's second phase), shared by both
+/// spatial indextypes: pull candidates, look up their geometry in the
+/// `…$G` table, emit those whose exact relation holds.
+pub(crate) fn exact_fetch(
+    srv: &mut dyn ServerContext,
+    geom_table_name: &str,
+    st: &mut SpatialScan,
+    nrows: usize,
+) -> Result<FetchResult> {
+    let mut out = Vec::with_capacity(nrows);
+    while out.len() < nrows && st.pos < st.candidates.len() {
+        let rid = st.candidates[st.pos];
+        st.pos += 1;
+        let rows = srv.query(
+            &format!("SELECT geom FROM {geom_table_name} WHERE rid = ?"),
+            &[Value::RowId(rid)],
+        )?;
+        let Some(row) = rows.first() else { continue };
+        let g = Geometry::deserialize(row[0].as_str()?)?;
+        if g.relate(&st.query, st.mask) {
+            out.push(FetchedRow::plain(rid));
+        }
+    }
+    let done = st.pos >= st.candidates.len();
+    let _ = st.primary_candidates;
+    Ok(FetchResult { rows: out, done })
+}
+
+impl OdciIndex for SpatialIndexMethods {
+    fn create(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        srv.execute(
+            &format!(
+                "CREATE TABLE {} (tile INTEGER, rid ROWID, PRIMARY KEY (tile, rid)) \
+                 ORGANIZATION INDEX",
+                tile_table(info)
+            ),
+            &[],
+        )?;
+        srv.execute(
+            &format!(
+                "CREATE TABLE {} (rid ROWID, geom VARCHAR2(4000), PRIMARY KEY (rid)) \
+                 ORGANIZATION INDEX",
+                geom_table(info)
+            ),
+            &[],
+        )?;
+        let tess = tessellation(&info.parameters);
+        let rows = srv.query(
+            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
+            &[],
+        )?;
+        for r in rows {
+            let rid = r[1].as_rowid()?;
+            index_one(srv, info, &tess, rid, &r[0])?;
+        }
+        Ok(())
+    }
+
+    fn alter(&self, srv: &mut dyn ServerContext, info: &IndexInfo, _delta: &ParamString) -> Result<()> {
+        // Changed tessellation parameters require a rebuild under the
+        // merged parameters.
+        srv.execute(&format!("TRUNCATE TABLE {}", tile_table(info)), &[])?;
+        srv.execute(&format!("TRUNCATE TABLE {}", geom_table(info)), &[])?;
+        let tess = tessellation(&info.parameters);
+        let rows = srv.query(
+            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
+            &[],
+        )?;
+        for r in rows {
+            let rid = r[1].as_rowid()?;
+            index_one(srv, info, &tess, rid, &r[0])?;
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        srv.execute(&format!("TRUNCATE TABLE {}", tile_table(info)), &[])?;
+        srv.execute(&format!("TRUNCATE TABLE {}", geom_table(info)), &[])?;
+        Ok(())
+    }
+
+    fn drop_index(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        srv.execute(&format!("DROP TABLE {}", tile_table(info)), &[])?;
+        srv.execute(&format!("DROP TABLE {}", geom_table(info)), &[])?;
+        Ok(())
+    }
+
+    fn insert(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        new_value: &Value,
+    ) -> Result<()> {
+        let tess = tessellation(&info.parameters);
+        index_one(srv, info, &tess, rid, new_value)
+    }
+
+    fn update(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        old_value: &Value,
+        new_value: &Value,
+    ) -> Result<()> {
+        let tess = tessellation(&info.parameters);
+        unindex_one(srv, info, &tess, rid, old_value)?;
+        index_one(srv, info, &tess, rid, new_value)
+    }
+
+    fn delete(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        old_value: &Value,
+    ) -> Result<()> {
+        let tess = tessellation(&info.parameters);
+        unindex_one(srv, info, &tess, rid, old_value)
+    }
+
+    fn start(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+    ) -> Result<ScanContext> {
+        let query = Geometry::from_value(op.args.first().ok_or_else(|| {
+            Error::odci(&info.indextype_name, "ODCIIndexStart", "missing query geometry")
+        })?)?;
+        let mask = Mask::parse(op.args.get(1).and_then(|v| v.as_str().ok()).unwrap_or("ANYINTERACT"))?;
+        let tess = tessellation(&info.parameters);
+
+        // Primary filter: candidate rowids sharing a tile with the query.
+        let mut candidates: BTreeSet<RowId> = BTreeSet::new();
+        for tile in tess.tiles_for(&query) {
+            let rows = srv.query(
+                &format!("SELECT rid FROM {} WHERE tile = ?", tile_table(info)),
+                &[Value::Integer(tile)],
+            )?;
+            for r in rows {
+                candidates.insert(r[0].as_rowid()?);
+            }
+        }
+        let candidates: Vec<RowId> = candidates.into_iter().collect();
+        let primary = candidates.len();
+        Ok(ScanContext::State(Box::new(SpatialScan {
+            query,
+            mask,
+            candidates,
+            pos: 0,
+            primary_candidates: primary,
+        })))
+    }
+
+    fn fetch(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        ctx: &mut ScanContext,
+        nrows: usize,
+    ) -> Result<FetchResult> {
+        let gt = geom_table(info);
+        let st = ctx.state_mut::<SpatialScan>().ok_or_else(|| {
+            Error::odci(&info.indextype_name, "ODCIIndexFetch", "bad scan state")
+        })?;
+        exact_fetch(srv, &gt, st, nrows)
+    }
+
+    fn close(&self, _srv: &mut dyn ServerContext, _info: &IndexInfo, _ctx: ScanContext) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// ODCIStats for the spatial indextype: candidate density from the tile
+/// table drives selectivity; cost counts tile probes plus exact
+/// comparisons.
+pub struct SpatialStats;
+
+impl OdciStats for SpatialStats {
+    fn collect(&self, _srv: &mut dyn ServerContext, _info: &IndexInfo) -> Result<()> {
+        Ok(())
+    }
+
+    fn selectivity(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+    ) -> Result<f64> {
+        let total =
+            srv.query(&format!("SELECT COUNT(*) FROM {}", geom_table(info)), &[])?[0][0].as_integer()? as f64;
+        if total == 0.0 {
+            return Ok(0.0);
+        }
+        let Some(first) = op.args.first() else { return Ok(0.01) };
+        let Ok(query) = Geometry::from_value(first) else { return Ok(0.01) };
+        let tess = tessellation(&info.parameters);
+        // Sample up to 8 query tiles to estimate candidate density.
+        let tiles = tess.tiles_for(&query);
+        let sample: Vec<i64> = tiles.iter().copied().take(8).collect();
+        let mut sampled = 0f64;
+        for t in &sample {
+            let n = srv.query(
+                &format!("SELECT COUNT(*) FROM {} WHERE tile = ?", tile_table(info)),
+                &[Value::Integer(*t)],
+            )?[0][0]
+                .as_integer()? as f64;
+            sampled += n;
+        }
+        let est_candidates = if sample.is_empty() {
+            0.0
+        } else {
+            sampled / sample.len() as f64 * tiles.len() as f64
+        };
+        Ok((est_candidates / total).clamp(0.0, 1.0))
+    }
+
+    fn index_cost(
+        &self,
+        _srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+        selectivity: f64,
+    ) -> Result<IndexCost> {
+        let tess = tessellation(&info.parameters);
+        let tiles = op
+            .args
+            .first()
+            .and_then(|v| Geometry::from_value(v).ok())
+            .map(|g| tess.tiles_for(&g).len())
+            .unwrap_or(1) as f64;
+        Ok(IndexCost {
+            io_cost: tiles + selectivity * 100.0,
+            cpu_cost: selectivity * 50.0,
+        })
+    }
+}

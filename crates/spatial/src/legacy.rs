@@ -1,0 +1,77 @@
+//! The pre-Oracle8i spatial query formulation — the §3.2.2 baseline.
+//!
+//! "Prior to Oracle8i, the above query had to be formulated as follows by
+//! the end user: SELECT DISTINCT r.gid, p.gid FROM roads_sdoindex r,
+//! parks_sdoindex p WHERE (r.grpcode = p.grpcode) AND (…) AND
+//! (sdo_geom.Relate(r.gid, p.gid, 'OVERLAPS') = 'TRUE')" — the user joins
+//! the *exposed index tables* on tile codes and applies the exact
+//! predicate manually. "The drawback … is that the querying algorithm
+//! which may be proprietary has to be exposed to the user."
+//!
+//! [`legacy_relate_join`] reproduces that formulation against the same
+//! `DR$…$T`/`DR$…$G` tables the modern cartridge maintains: a SQL tile
+//! join for the primary filter, then a hand-rolled exact filter.
+
+use std::collections::BTreeSet;
+
+use extidx_common::{Result, RowId, Value};
+use extidx_sql::Database;
+
+use crate::geometry::{Geometry, Mask};
+
+/// The pre-8i join of two spatial layers: returns `(gid_a, gid_b)` pairs
+/// whose geometries satisfy `mask`. `gid_col_*` name the id columns of
+/// the base tables; `index_*` name the domain indexes whose storage
+/// tables the legacy query reads directly.
+#[allow(clippy::too_many_arguments)]
+pub fn legacy_relate_join(
+    db: &mut Database,
+    table_a: &str,
+    gid_col_a: &str,
+    index_a: &str,
+    table_b: &str,
+    gid_col_b: &str,
+    index_b: &str,
+    mask: Mask,
+) -> Result<Vec<(Value, Value)>> {
+    let ta = format!("DR${}$T", index_a.to_ascii_uppercase());
+    let tb = format!("DR${}$T", index_b.to_ascii_uppercase());
+    let ga = format!("DR${}$G", index_a.to_ascii_uppercase());
+    let gb = format!("DR${}$G", index_b.to_ascii_uppercase());
+
+    // Primary filter, exposed to the "user" as a plain SQL join on tile
+    // codes (the r.grpcode = p.grpcode part of the paper's query).
+    let pairs = db.query(&format!(
+        "SELECT DISTINCT a.rid, b.rid FROM {ta} a, {tb} b WHERE a.tile = b.tile"
+    ))?;
+
+    // Exact filter, applied pair by pair — the sdo_geom.Relate(...) part.
+    let mut results = Vec::new();
+    let mut seen: BTreeSet<(RowId, RowId)> = BTreeSet::new();
+    for p in pairs {
+        let (ra, rb) = (p[0].as_rowid()?, p[1].as_rowid()?);
+        if !seen.insert((ra, rb)) {
+            continue;
+        }
+        let geom_a = db.query_with(&format!("SELECT geom FROM {ga} WHERE rid = ?"), &[Value::RowId(ra)])?;
+        let geom_b = db.query_with(&format!("SELECT geom FROM {gb} WHERE rid = ?"), &[Value::RowId(rb)])?;
+        let (Some(a_row), Some(b_row)) = (geom_a.first(), geom_b.first()) else { continue };
+        let a = Geometry::deserialize(a_row[0].as_str()?)?;
+        let b = Geometry::deserialize(b_row[0].as_str()?)?;
+        if a.relate(&b, mask) {
+            // Map rowids back to user-visible ids through the base tables.
+            let gid_a = db.query_with(
+                &format!("SELECT {gid_col_a} FROM {table_a} WHERE ROWID = ?"),
+                &[Value::RowId(ra)],
+            )?;
+            let gid_b = db.query_with(
+                &format!("SELECT {gid_col_b} FROM {table_b} WHERE ROWID = ?"),
+                &[Value::RowId(rb)],
+            )?;
+            if let (Some(x), Some(y)) = (gid_a.first(), gid_b.first()) {
+                results.push((x[0].clone(), y[0].clone()));
+            }
+        }
+    }
+    Ok(results)
+}

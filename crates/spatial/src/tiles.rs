@@ -1,0 +1,117 @@
+//! Fixed-grid tessellation.
+//!
+//! §3.2.2: "The spatial index consists of a collection of tiles (unit of
+//! space) corresponding to every spatial object, and is stored in an
+//! Oracle table." The world `[0, world)²` is divided into `2^level ×
+//! 2^level` tiles; a geometry's tile set is every tile its MBR touches.
+//! Two geometries can only interact if they share a tile — the primary
+//! filter of the two-phase evaluation.
+
+use crate::geometry::Geometry;
+
+/// Tessellation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Tessellation {
+    /// Side length of the (square) world.
+    pub world: f64,
+    /// Grid level: the world is `2^level` tiles on a side.
+    pub level: u32,
+}
+
+impl Default for Tessellation {
+    fn default() -> Self {
+        Tessellation { world: 1024.0, level: 6 }
+    }
+}
+
+impl Tessellation {
+    /// Grid cells per side.
+    pub fn grid(&self) -> u64 {
+        1 << self.level
+    }
+
+    /// Tile side length.
+    pub fn tile_size(&self) -> f64 {
+        self.world / self.grid() as f64
+    }
+
+    fn clamp_cell(&self, c: f64) -> u64 {
+        let g = self.grid() as i64;
+        (c.floor() as i64).clamp(0, g - 1) as u64
+    }
+
+    /// Tile code for a grid cell.
+    fn code(&self, ix: u64, iy: u64) -> i64 {
+        (iy * self.grid() + ix) as i64
+    }
+
+    /// All tiles a geometry's MBR touches.
+    pub fn tiles_for(&self, g: &Geometry) -> Vec<i64> {
+        let m = g.mbr();
+        let ts = self.tile_size();
+        let x0 = self.clamp_cell(m.xmin / ts);
+        let x1 = self.clamp_cell(m.xmax / ts);
+        let y0 = self.clamp_cell(m.ymin / ts);
+        let y1 = self.clamp_cell(m.ymax / ts);
+        let mut out = Vec::with_capacity(((x1 - x0 + 1) * (y1 - y0 + 1)) as usize);
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                out.push(self.code(ix, iy));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Mbr;
+
+    fn tess() -> Tessellation {
+        Tessellation { world: 100.0, level: 2 } // 4x4 grid, 25-unit tiles
+    }
+
+    #[test]
+    fn point_maps_to_one_tile() {
+        let t = tess();
+        let g = Geometry::Point { x: 10.0, y: 10.0 };
+        assert_eq!(t.tiles_for(&g), vec![0]);
+        let g = Geometry::Point { x: 30.0, y: 60.0 };
+        assert_eq!(t.tiles_for(&g), vec![2 * 4 + 1]);
+    }
+
+    #[test]
+    fn rect_spans_multiple_tiles() {
+        let t = tess();
+        let g = Geometry::Rect(Mbr { xmin: 20.0, ymin: 20.0, xmax: 30.0, ymax: 30.0 });
+        // crosses the 25-boundary in both axes → 4 tiles
+        assert_eq!(t.tiles_for(&g).len(), 4);
+    }
+
+    #[test]
+    fn out_of_world_clamps() {
+        let t = tess();
+        let g = Geometry::Point { x: -5.0, y: 1e9 };
+        let tiles = t.tiles_for(&g);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0], 12); // x clamped to col 0, y clamped to row 3
+    }
+
+    #[test]
+    fn overlapping_geometries_share_a_tile() {
+        let t = Tessellation::default();
+        let a = Geometry::Rect(Mbr { xmin: 100.0, ymin: 100.0, xmax: 120.0, ymax: 120.0 });
+        let b = Geometry::Rect(Mbr { xmin: 110.0, ymin: 110.0, xmax: 130.0, ymax: 130.0 });
+        let ta = t.tiles_for(&a);
+        let tb = t.tiles_for(&b);
+        assert!(ta.iter().any(|x| tb.contains(x)), "primary filter must not miss overlaps");
+    }
+
+    #[test]
+    fn whole_world_rect_touches_every_tile() {
+        let t = tess();
+        let g = Geometry::Rect(Mbr { xmin: 0.0, ymin: 0.0, xmax: 99.9, ymax: 99.9 });
+        assert_eq!(t.tiles_for(&g).len(), 16);
+    }
+}

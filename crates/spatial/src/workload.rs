@@ -1,0 +1,124 @@
+//! Synthetic spatial workloads.
+//!
+//! Stand-in for the paper's roads/parks layers: deterministic generators
+//! producing rectangles (and optional triangles) either uniformly over the
+//! world or clustered around hot spots, so overlap-join selectivity can be
+//! controlled.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geometry::{Geometry, Mbr};
+
+/// Deterministic geometry generator over a square world.
+pub struct SpatialWorkload {
+    rng: StdRng,
+    /// World side length.
+    pub world: f64,
+}
+
+impl SpatialWorkload {
+    /// Generator with a fixed seed.
+    pub fn new(world: f64, seed: u64) -> Self {
+        SpatialWorkload { rng: StdRng::seed_from_u64(seed), world }
+    }
+
+    /// A random rectangle with sides in `[min_size, max_size]`.
+    pub fn rect(&mut self, min_size: f64, max_size: f64) -> Geometry {
+        let w = self.rng.gen_range(min_size..=max_size);
+        let h = self.rng.gen_range(min_size..=max_size);
+        let x = self.rng.gen_range(0.0..(self.world - w));
+        let y = self.rng.gen_range(0.0..(self.world - h));
+        Geometry::Rect(Mbr { xmin: x, ymin: y, xmax: x + w, ymax: y + h })
+    }
+
+    /// A random triangle with extent about `size`.
+    pub fn triangle(&mut self, size: f64) -> Geometry {
+        let cx = self.rng.gen_range(size..(self.world - size));
+        let cy = self.rng.gen_range(size..(self.world - size));
+        let mut pts = Vec::with_capacity(3);
+        for _ in 0..3 {
+            pts.push((
+                cx + self.rng.gen_range(-size..size),
+                cy + self.rng.gen_range(-size..size),
+            ));
+        }
+        Geometry::Polygon(pts)
+    }
+
+    /// `n` rectangles clustered around `hotspots` centers (cluster radius
+    /// `spread`), the rest uniform; `cluster_fraction` of objects cluster.
+    pub fn clustered_rects(
+        &mut self,
+        n: usize,
+        hotspots: usize,
+        spread: f64,
+        cluster_fraction: f64,
+        min_size: f64,
+        max_size: f64,
+    ) -> Vec<Geometry> {
+        let centers: Vec<(f64, f64)> = (0..hotspots.max(1))
+            .map(|_| {
+                (
+                    self.rng.gen_range(spread..(self.world - spread)),
+                    self.rng.gen_range(spread..(self.world - spread)),
+                )
+            })
+            .collect();
+        (0..n)
+            .map(|_| {
+                if self.rng.gen_bool(cluster_fraction.clamp(0.0, 1.0)) {
+                    let (cx, cy) = centers[self.rng.gen_range(0..centers.len())];
+                    let w = self.rng.gen_range(min_size..=max_size);
+                    let h = self.rng.gen_range(min_size..=max_size);
+                    let x = (cx + self.rng.gen_range(-spread..spread))
+                        .clamp(0.0, self.world - w);
+                    let y = (cy + self.rng.gen_range(-spread..spread))
+                        .clamp(0.0, self.world - h);
+                    Geometry::Rect(Mbr { xmin: x, ymin: y, xmax: x + w, ymax: y + h })
+                } else {
+                    self.rect(min_size, max_size)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rects_stay_in_world() {
+        let mut w = SpatialWorkload::new(100.0, 3);
+        for _ in 0..100 {
+            let g = w.rect(1.0, 5.0);
+            let m = g.mbr();
+            assert!(m.xmin >= 0.0 && m.ymax <= 100.0);
+            assert!(m.xmax - m.xmin >= 1.0 && m.xmax - m.xmin <= 5.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = SpatialWorkload::new(100.0, 9);
+        let mut b = SpatialWorkload::new(100.0, 9);
+        assert_eq!(a.rect(1.0, 5.0), b.rect(1.0, 5.0));
+    }
+
+    #[test]
+    fn clustered_generation() {
+        let mut w = SpatialWorkload::new(1000.0, 5);
+        let geoms = w.clustered_rects(200, 3, 50.0, 0.8, 2.0, 10.0);
+        assert_eq!(geoms.len(), 200);
+    }
+
+    #[test]
+    fn triangles_have_three_vertices() {
+        let mut w = SpatialWorkload::new(100.0, 1);
+        match w.triangle(5.0) {
+            Geometry::Polygon(p) => assert_eq!(p.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Tests of the R-tree indextype: identical query answers to the tile
+//! indextype (the §3.2.2 algorithm-swap claim), plus R-tree structural
+//! behaviour under churn.
+
+use extidx_common::Value;
+use extidx_spatial::{geometry_sql, Geometry, SpatialWorkload};
+use extidx_sql::Database;
+
+fn spatial_db() -> Database {
+    let mut db = Database::with_cache_pages(8192);
+    extidx_spatial::install(&mut db).unwrap();
+    db
+}
+
+fn load_layer(db: &mut Database, geoms: &[Geometry]) {
+    db.execute("CREATE TABLE parcels (gid INTEGER, geometry SDO_GEOMETRY)").unwrap();
+    for (i, g) in geoms.iter().enumerate() {
+        db.execute(&format!("INSERT INTO parcels VALUES ({i}, {})", geometry_sql(g))).unwrap();
+    }
+}
+
+#[test]
+fn same_queries_same_answers_across_indextypes() {
+    let mut wl = SpatialWorkload::new(1024.0, 33);
+    let geoms: Vec<Geometry> = (0..150).map(|_| wl.rect(5.0, 50.0)).collect();
+    let windows: Vec<Geometry> = (0..6).map(|_| wl.rect(80.0, 200.0)).collect();
+
+    let mut answers: Vec<Vec<Vec<Vec<Value>>>> = Vec::new();
+    for indextype in ["SpatialIndexType", "RtreeIndexType"] {
+        let mut db = spatial_db();
+        load_layer(&mut db, &geoms);
+        db.execute(&format!(
+            "CREATE INDEX sidx ON parcels(geometry) INDEXTYPE IS {indextype}"
+        ))
+        .unwrap();
+        let mut per_query = Vec::new();
+        for (mask, w) in
+            windows.iter().enumerate().map(|(i, w)| (["ANYINTERACT", "OVERLAPS", "INSIDE"][i % 3], w))
+        {
+            // The END USER QUERY IS IDENTICAL for both indextypes.
+            let sql = format!(
+                "SELECT gid FROM parcels WHERE Sdo_Relate(geometry, {}, 'mask={mask}') ORDER BY gid",
+                geometry_sql(w)
+            );
+            per_query.push(db.query(&sql).unwrap());
+        }
+        answers.push(per_query);
+    }
+    assert_eq!(answers[0], answers[1], "tile and R-tree indextypes must agree");
+    assert!(answers[0].iter().any(|rows| !rows.is_empty()), "workload should produce matches");
+}
+
+#[test]
+fn rtree_plan_and_maintenance() {
+    let mut wl = SpatialWorkload::new(512.0, 44);
+    let geoms: Vec<Geometry> = (0..120).map(|_| wl.rect(4.0, 30.0)).collect();
+    let mut db = spatial_db();
+    load_layer(&mut db, &geoms);
+    db.execute("CREATE INDEX ridx ON parcels(geometry) INDEXTYPE IS RtreeIndexType").unwrap();
+
+    let window = geometry_sql(&Geometry::Rect(extidx_spatial::Mbr {
+        xmin: 0.0,
+        ymin: 0.0,
+        xmax: 100.0,
+        ymax: 100.0,
+    }));
+    let sql = format!(
+        "SELECT gid FROM parcels WHERE Sdo_Relate(geometry, {window}, 'mask=ANYINTERACT')"
+    );
+    let plan = db.explain(&sql).unwrap().join("\n");
+    assert!(plan.contains("RIDX"), "{plan}");
+
+    let before = db.query(&sql).unwrap().len();
+    db.execute(&format!(
+        "INSERT INTO parcels VALUES (900, {})",
+        geometry_sql(&Geometry::Point { x: 50.0, y: 50.0 })
+    ))
+    .unwrap();
+    assert_eq!(db.query(&sql).unwrap().len(), before + 1);
+    db.execute("DELETE FROM parcels WHERE gid = 900").unwrap();
+    assert_eq!(db.query(&sql).unwrap().len(), before);
+    // Move a matching parcel out of the window.
+    let first_gid = db.query(&sql).unwrap()[0][0].as_integer().unwrap();
+    db.execute(&format!(
+        "UPDATE parcels SET geometry = {} WHERE gid = {first_gid}",
+        geometry_sql(&Geometry::Point { x: 500.0, y: 500.0 })
+    ))
+    .unwrap();
+    assert_eq!(db.query(&sql).unwrap().len(), before - 1);
+}
+
+#[test]
+fn rtree_grows_multiple_levels_and_stays_exact() {
+    // Enough entries to force several splits (MAX_ENTRIES = 8).
+    let mut wl = SpatialWorkload::new(2048.0, 55);
+    let geoms: Vec<Geometry> = (0..300).map(|_| wl.rect(2.0, 12.0)).collect();
+    let mut db = spatial_db();
+    load_layer(&mut db, &geoms);
+    db.execute("CREATE INDEX ridx ON parcels(geometry) INDEXTYPE IS RtreeIndexType").unwrap();
+    // The node table should hold well more than a root.
+    let nodes = db.query("SELECT COUNT(*) FROM DR$RIDX$R").unwrap()[0][0].as_integer().unwrap();
+    assert!(nodes > 30, "expected a multi-level tree, got {nodes} node rows");
+
+    // Exactness: compare against functional evaluation for a window.
+    let window = wl.rect(150.0, 400.0);
+    let sql_idx = format!(
+        "SELECT gid FROM parcels WHERE Sdo_Relate(geometry, {}, 'mask=ANYINTERACT') ORDER BY gid",
+        geometry_sql(&window)
+    );
+    let indexed = db.query(&sql_idx).unwrap();
+    let expected: Vec<Vec<Value>> = geoms
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.intersects(&window))
+        .map(|(i, _)| vec![Value::Integer(i as i64)])
+        .collect();
+    assert_eq!(indexed, expected);
+}
+
+#[test]
+fn truncate_and_drop_rtree() {
+    let mut db = spatial_db();
+    load_layer(
+        &mut db,
+        &[Geometry::Rect(extidx_spatial::Mbr { xmin: 1.0, ymin: 1.0, xmax: 2.0, ymax: 2.0 })],
+    );
+    db.execute("CREATE INDEX ridx ON parcels(geometry) INDEXTYPE IS RtreeIndexType").unwrap();
+    db.execute("TRUNCATE TABLE parcels").unwrap();
+    let window = geometry_sql(&Geometry::Rect(extidx_spatial::Mbr {
+        xmin: 0.0,
+        ymin: 0.0,
+        xmax: 10.0,
+        ymax: 10.0,
+    }));
+    assert!(db
+        .query(&format!(
+            "SELECT gid FROM parcels WHERE Sdo_Relate(geometry, {window}, 'mask=ANYINTERACT')"
+        ))
+        .unwrap()
+        .is_empty());
+    // Index continues to work after truncate.
+    db.execute(&format!(
+        "INSERT INTO parcels VALUES (1, {})",
+        geometry_sql(&Geometry::Point { x: 5.0, y: 5.0 })
+    ))
+    .unwrap();
+    assert_eq!(
+        db.query(&format!(
+            "SELECT gid FROM parcels WHERE Sdo_Relate(geometry, {window}, 'mask=ANYINTERACT')"
+        ))
+        .unwrap()
+        .len(),
+        1
+    );
+    db.execute("DROP INDEX ridx").unwrap();
+    assert!(db.query("SELECT COUNT(*) FROM DR$RIDX$R").is_err());
+}

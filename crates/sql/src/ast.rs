@@ -1,0 +1,371 @@
+//! Abstract syntax for the engine's SQL dialect.
+//!
+//! The dialect covers everything the paper's examples use: the
+//! extensibility DDL (`CREATE OPERATOR`, `CREATE INDEXTYPE`, `CREATE INDEX
+//! … INDEXTYPE IS … PARAMETERS`), ordinary DDL/DML, and queries with
+//! joins, grouping, ordering, and user-defined operator predicates.
+
+use extidx_common::Value;
+
+/// Binary operators in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    And,
+    Or,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Like,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// A SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference: optional qualifier (table or alias) plus name.
+    /// `name` may be the ROWID pseudo-column.
+    Column { qualifier: Option<String>, name: String },
+    /// Attribute access on an object-typed expression (`t.img.signature`).
+    Attribute(Box<Expr>, String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `a BETWEEN lo AND hi`.
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `a IN (v1, v2, …)`.
+    InList(Box<Expr>, Vec<Expr>),
+    /// `a IS NULL` / `a IS NOT NULL` (`negated` for NOT).
+    IsNull(Box<Expr>, bool),
+    /// Function, user-defined operator, aggregate, or object-type
+    /// constructor call — disambiguated during planning.
+    Call { name: String, args: Vec<Expr> },
+    /// `*` inside `COUNT(*)`.
+    Star,
+    /// `?` bind placeholder (position assigned left-to-right).
+    Parameter(usize),
+}
+
+/// An item in a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// Expression with optional output alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table in the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+/// ORDER BY element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+/// Column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    pub name: String,
+    /// Type name as written; resolved against built-ins and object types
+    /// in the catalog.
+    pub type_name: TypeSpec,
+}
+
+/// A type as written in DDL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeSpec {
+    Integer,
+    Number,
+    Varchar(u32),
+    Boolean,
+    Lob,
+    RowId,
+    /// `VARRAY OF <elem>`
+    VArray(Box<TypeSpec>),
+    /// A named object type (resolved via the catalog).
+    Named(String),
+}
+
+impl TypeSpec {
+    /// Render for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TypeSpec::Integer => "INTEGER".into(),
+            TypeSpec::Number => "NUMBER".into(),
+            TypeSpec::Varchar(n) => format!("VARCHAR2({n})"),
+            TypeSpec::Boolean => "BOOLEAN".into(),
+            TypeSpec::Lob => "LOB".into(),
+            TypeSpec::RowId => "ROWID".into(),
+            TypeSpec::VArray(e) => format!("VARRAY OF {}", e.describe()),
+            TypeSpec::Named(n) => n.clone(),
+        }
+    }
+}
+
+/// One operator binding in CREATE OPERATOR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindingSpec {
+    pub arg_types: Vec<TypeSpec>,
+    pub return_type: TypeSpec,
+    pub function_name: String,
+}
+
+/// One supported operator in CREATE INDEXTYPE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexTypeOpSpec {
+    pub name: String,
+    pub arg_types: Vec<TypeSpec>,
+}
+
+/// Any statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    // ---- queries ----
+    Select(Select),
+    Explain(Box<Statement>),
+
+    // ---- DML ----
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        source: InsertSource,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        where_clause: Option<Expr>,
+    },
+
+    // ---- transactions ----
+    Begin,
+    Commit,
+    Rollback,
+
+    // ---- DDL ----
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnSpec>,
+        /// PRIMARY KEY column names, if declared.
+        primary_key: Vec<String>,
+        /// `ORGANIZATION INDEX` — store as an IOT on the primary key.
+        organization_index: bool,
+    },
+    DropTable {
+        name: String,
+    },
+    TruncateTable {
+        name: String,
+    },
+    CreateType {
+        name: String,
+        attrs: Vec<ColumnSpec>,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+        /// `INDEXTYPE IS <name>` for domain indexes; `None` → B-tree.
+        indextype: Option<String>,
+        /// `PARAMETERS ('…')`.
+        parameters: Option<String>,
+    },
+    AlterIndex {
+        name: String,
+        parameters: String,
+    },
+    DropIndex {
+        name: String,
+    },
+    CreateOperator {
+        name: String,
+        bindings: Vec<BindingSpec>,
+    },
+    CreateIndexType {
+        name: String,
+        operators: Vec<IndexTypeOpSpec>,
+        /// `USING <implementation>` — resolved against the registered
+        /// ODCI implementations.
+        using: String,
+    },
+    DropOperator {
+        name: String,
+    },
+    DropIndexType {
+        name: String,
+    },
+    /// `ANALYZE TABLE <t>` — compute optimizer statistics (and invoke
+    /// ODCIStatsCollect on the table's domain indexes).
+    AnalyzeTable {
+        name: String,
+    },
+}
+
+/// Rows for INSERT: literal VALUES or a sub-select.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Query(Box<Select>),
+}
+
+/// Walk an expression tree, replacing `Parameter(i)` with literal binds.
+pub fn bind_expr(expr: &mut Expr, binds: &[Value]) -> extidx_common::Result<()> {
+    match expr {
+        Expr::Parameter(i) => {
+            let v = binds.get(*i).ok_or_else(|| {
+                extidx_common::Error::Semantic(format!(
+                    "bind placeholder {} has no value ({} supplied)",
+                    i,
+                    binds.len()
+                ))
+            })?;
+            *expr = Expr::Literal(v.clone());
+        }
+        Expr::Literal(_) | Expr::Column { .. } | Expr::Star => {}
+        Expr::Attribute(e, _) | Expr::Unary(_, e) => bind_expr(e, binds)?,
+        Expr::Binary(_, a, b) => {
+            bind_expr(a, binds)?;
+            bind_expr(b, binds)?;
+        }
+        Expr::Between(a, b, c) => {
+            bind_expr(a, binds)?;
+            bind_expr(b, binds)?;
+            bind_expr(c, binds)?;
+        }
+        Expr::InList(a, list) => {
+            bind_expr(a, binds)?;
+            for e in list {
+                bind_expr(e, binds)?;
+            }
+        }
+        Expr::IsNull(e, _) => bind_expr(e, binds)?,
+        Expr::Call { args, .. } => {
+            for e in args {
+                bind_expr(e, binds)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replace `?` placeholders throughout a statement with literal binds.
+pub fn bind_statement(stmt: &mut Statement, binds: &[Value]) -> extidx_common::Result<()> {
+    fn bind_select(s: &mut Select, binds: &[Value]) -> extidx_common::Result<()> {
+        for item in &mut s.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                bind_expr(expr, binds)?;
+            }
+        }
+        if let Some(w) = &mut s.where_clause {
+            bind_expr(w, binds)?;
+        }
+        for e in &mut s.group_by {
+            bind_expr(e, binds)?;
+        }
+        if let Some(h) = &mut s.having {
+            bind_expr(h, binds)?;
+        }
+        for o in &mut s.order_by {
+            bind_expr(&mut o.expr, binds)?;
+        }
+        Ok(())
+    }
+    match stmt {
+        Statement::Select(s) => bind_select(s, binds)?,
+        Statement::Explain(inner) => bind_statement(inner, binds)?,
+        Statement::Insert { source, .. } => match source {
+            InsertSource::Values(rows) => {
+                for row in rows {
+                    for e in row {
+                        bind_expr(e, binds)?;
+                    }
+                }
+            }
+            InsertSource::Query(q) => bind_select(q, binds)?,
+        },
+        Statement::Update { assignments, where_clause, .. } => {
+            for (_, e) in assignments {
+                bind_expr(e, binds)?;
+            }
+            if let Some(w) = where_clause {
+                bind_expr(w, binds)?;
+            }
+        }
+        Statement::Delete { where_clause: Some(w), .. } => bind_expr(w, binds)?,
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_substitution() {
+        let mut e = Expr::Binary(
+            BinOp::Eq,
+            Box::new(Expr::Column { qualifier: None, name: "ID".into() }),
+            Box::new(Expr::Parameter(0)),
+        );
+        bind_expr(&mut e, &[Value::Integer(42)]).unwrap();
+        match e {
+            Expr::Binary(_, _, rhs) => assert_eq!(*rhs, Expr::Literal(Value::Integer(42))),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn missing_bind_errors() {
+        let mut e = Expr::Parameter(3);
+        assert!(bind_expr(&mut e, &[Value::Null]).is_err());
+    }
+
+    #[test]
+    fn typespec_describe() {
+        assert_eq!(
+            TypeSpec::VArray(Box::new(TypeSpec::Varchar(8))).describe(),
+            "VARRAY OF VARCHAR2(8)"
+        );
+    }
+}

@@ -1,0 +1,1268 @@
+//! The database engine: the "Oracle8i server" of the reproduction.
+//!
+//! [`Database`] owns the storage engine, the data dictionary, the
+//! extensibility registries, and the transaction state, and implements
+//! every behaviour Fig. 1 and §2.4 assign to the server:
+//!
+//! - DDL on domain indexes drives the cartridge's definition routines
+//!   ("creates the data dictionary entries pertaining to the domain index
+//!   and invokes the ODCIIndexCreate() method");
+//! - base-table DML implicitly maintains every domain index ("when the
+//!   base table is updated, all domain indexes built on columns of the
+//!   table are implicitly maintained");
+//! - queries go through the cost-based optimizer, which may choose a
+//!   domain-index scan over functional evaluation;
+//! - cartridge code calls back in through the internal `ServerCtx` under
+//!   the §2.5 restriction modes;
+//! - commit/rollback fire registered database events (§5).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use extidx_common::{Error, Key, LobRef, Result, Row, RowId, SqlType, Value};
+use extidx_core::events::{DbEvent, EventHandler};
+use extidx_core::indextype::{IndexType, SupportedOperator};
+use extidx_core::meta::IndexInfo;
+use extidx_core::operator::{Operator, ScalarFunction};
+use extidx_core::params::ParamString;
+use extidx_core::scan::WorkspaceHandle;
+use extidx_core::server::{CallbackMode, ServerContext};
+use extidx_core::stats::OdciStats;
+use extidx_core::trace::{CallTrace, Component};
+use extidx_core::OdciIndex;
+use extidx_storage::buffer::CacheStats;
+use extidx_storage::file_store::FileStats;
+use extidx_storage::{StorageEngine, UndoLog};
+
+use crate::ast::{bind_statement, ColumnSpec, InsertSource, Statement};
+use crate::catalog::{BTreeIndexDef, Catalog, ColumnDef, ColumnStats, DomainIndexDef, TableDef, TableOrg, TableStats};
+use crate::executor::{self, ExecNode};
+use crate::expr::{compile_expr, eval, EvalCtx, ExecRow, Scope};
+use crate::optimizer::{self, CostModel};
+use crate::parser::parse;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtResult {
+    /// A query's output.
+    Rows { columns: Vec<String>, rows: Vec<Row> },
+    /// DML row count.
+    Affected(u64),
+    /// DDL / transaction control.
+    Ok,
+}
+
+impl StmtResult {
+    /// The rows, if this is a query result.
+    pub fn rows(&self) -> &[Row] {
+        match self {
+            StmtResult::Rows { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    /// Affected-row count for DML (0 otherwise).
+    pub fn affected(&self) -> u64 {
+        match self {
+            StmtResult::Affected(n) => *n,
+            _ => 0,
+        }
+    }
+}
+
+/// The runtime pieces of one domain index: implementation, stats, and
+/// the metadata every ODCI routine receives.
+pub(crate) type DomainRuntime = (Arc<dyn OdciIndex>, Arc<dyn OdciStats>, IndexInfo);
+
+/// A registered ODCI implementation (the target of `USING <name>` in
+/// `CREATE INDEXTYPE`): the index routines plus the stats interface.
+#[derive(Clone)]
+pub struct OdciImplementation {
+    pub index: Arc<dyn OdciIndex>,
+    pub stats: Arc<dyn OdciStats>,
+}
+
+/// The database engine.
+pub struct Database {
+    pub(crate) storage: StorageEngine,
+    pub(crate) catalog: Catalog,
+    pub(crate) cost: CostModel,
+    odci_impls: HashMap<String, OdciImplementation>,
+    event_handlers: Vec<(String, Arc<dyn EventHandler>)>,
+    trace: CallTrace,
+    txn_undo: Option<UndoLog>,
+    pub(crate) stmt_undo: Option<UndoLog>,
+    workspace: HashMap<u64, Box<dyn Any + Send>>,
+    next_ws: u64,
+    /// Rows per ODCIIndexFetch call (the §2.5 batch interface, E8).
+    pub(crate) batch_size: usize,
+    /// Schema objects created during the current top-level statement —
+    /// compensated (dropped) if the statement fails, so a cartridge
+    /// routine that errors after issuing DDL leaves no debris.
+    stmt_created: Vec<CreatedObject>,
+}
+
+/// A schema object created during the current statement, for
+/// failure compensation.
+#[derive(Debug, Clone)]
+enum CreatedObject {
+    Table(String),
+    BTreeIndex(String),
+    Operator(String),
+    IndexType(String),
+    ObjectType(String),
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Engine with the default buffer cache.
+    pub fn new() -> Self {
+        Self::with_cache_pages(extidx_storage::engine::DEFAULT_CACHE_PAGES)
+    }
+
+    /// Engine with a buffer cache of `pages` pages.
+    pub fn with_cache_pages(pages: usize) -> Self {
+        Database {
+            storage: StorageEngine::new(pages),
+            catalog: Catalog::new(),
+            cost: CostModel::default(),
+            odci_impls: HashMap::new(),
+            event_handlers: Vec::new(),
+            trace: CallTrace::new(),
+            txn_undo: None,
+            stmt_undo: None,
+            workspace: HashMap::new(),
+            next_ws: 0,
+            batch_size: 32,
+            stmt_created: Vec::new(),
+        }
+    }
+
+    // ---- registration (the Rust side of CREATE FUNCTION / USING) -----------
+
+    /// Register an ODCI implementation under a name referencable from
+    /// `CREATE INDEXTYPE … USING <name>`. (The paper's implementations
+    /// were object types with C/Java/PLSQL bodies; ours are Rust values.)
+    pub fn register_odci_implementation(
+        &mut self,
+        name: &str,
+        index: Arc<dyn OdciIndex>,
+        stats: Arc<dyn OdciStats>,
+    ) {
+        self.odci_impls
+            .insert(name.to_ascii_uppercase(), OdciImplementation { index, stats });
+    }
+
+    /// Register a scalar function (the engine-side `CREATE FUNCTION`).
+    pub fn register_function(&mut self, f: ScalarFunction) -> Result<()> {
+        self.catalog.registry.create_function(f)
+    }
+
+    // ---- observation hooks ---------------------------------------------------
+
+    /// The framework invocation trace (Fig. 1 observability).
+    pub fn trace(&self) -> &CallTrace {
+        &self.trace
+    }
+
+    /// Read-only catalog access.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Buffer-cache statistics snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.storage.cache_stats()
+    }
+
+    /// Zero the buffer-cache counters.
+    pub fn reset_cache_stats(&self) {
+        self.storage.cache().reset_stats();
+    }
+
+    /// Empty the buffer cache (simulate a cold start).
+    pub fn cold_start(&self) {
+        self.storage.cache().invalidate_all();
+    }
+
+    /// External-file operation counters (the file-based baselines).
+    pub fn file_stats(&self) -> FileStats {
+        self.storage.files_ref().stats()
+    }
+
+    /// Zero the external-file counters.
+    pub fn reset_file_stats(&mut self) {
+        self.storage.files().reset_stats();
+    }
+
+    /// Set the domain-scan fetch batch size (E8's sweep variable).
+    pub fn set_batch_size(&mut self, n: usize) {
+        self.batch_size = n.max(1);
+    }
+
+    /// Current domain-scan fetch batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Direct storage access for white-box tests and benches.
+    pub fn storage(&self) -> &StorageEngine {
+        &self.storage
+    }
+
+    /// The optimizer's cost model (read).
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Replace the optimizer's cost model (ablation experiments).
+    pub fn set_cost_model(&mut self, cm: CostModel) {
+        self.cost = cm;
+    }
+
+    // ---- statement execution ------------------------------------------------
+
+    /// Execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<StmtResult> {
+        self.execute_with(sql, &[])
+    }
+
+    /// Execute one statement with `?` binds.
+    pub fn execute_with(&mut self, sql: &str, binds: &[Value]) -> Result<StmtResult> {
+        let mut stmt = parse(sql)?;
+        bind_statement(&mut stmt, binds)?;
+        self.run_top(stmt)
+    }
+
+    /// Convenience: run a query and return just the rows.
+    pub fn query(&mut self, sql: &str) -> Result<Vec<Row>> {
+        match self.execute(sql)? {
+            StmtResult::Rows { rows, .. } => Ok(rows),
+            _ => Err(Error::Semantic("statement did not produce rows".into())),
+        }
+    }
+
+    /// Convenience: run a query with binds and return just the rows.
+    pub fn query_with(&mut self, sql: &str, binds: &[Value]) -> Result<Vec<Row>> {
+        match self.execute_with(sql, binds)? {
+            StmtResult::Rows { rows, .. } => Ok(rows),
+            _ => Err(Error::Semantic("statement did not produce rows".into())),
+        }
+    }
+
+    /// EXPLAIN a query, returning the plan lines.
+    pub fn explain(&mut self, sql: &str) -> Result<Vec<String>> {
+        match self.execute(&format!("EXPLAIN {sql}"))? {
+            StmtResult::Rows { rows, .. } => Ok(rows
+                .into_iter()
+                .map(|r| r.first().map(|v| v.to_string()).unwrap_or_default())
+                .collect()),
+            _ => unreachable!("EXPLAIN always yields rows"),
+        }
+    }
+
+    /// Open a streaming cursor over a query — rows are produced on demand,
+    /// which is what makes the pipelined domain-scan's first-row latency
+    /// measurable (§3.2.1 benefit 2).
+    pub fn open_query(&mut self, sql: &str) -> Result<QueryCursor<'_>> {
+        let stmt = parse(sql)?;
+        let select = match stmt {
+            Statement::Select(s) => s,
+            _ => return Err(Error::Semantic("open_query requires a SELECT".into())),
+        };
+        let boundary = self.stmt_undo.is_none();
+        if boundary {
+            self.stmt_undo = Some(UndoLog::new());
+        }
+        let planned = optimizer::plan_select(self, &select)?;
+        let exec = executor::build(planned.root);
+        Ok(QueryCursor { db: self, exec, columns: planned.column_names, boundary })
+    }
+
+    /// Top-level statement wrapper: statement atomicity plus
+    /// statement-duration workspace teardown.
+    fn run_top(&mut self, stmt: Statement) -> Result<StmtResult> {
+        let boundary = self.stmt_undo.is_none();
+        if boundary {
+            self.stmt_undo = Some(UndoLog::new());
+        }
+        let result = self.run_statement(stmt);
+        if boundary {
+            let mut log = self.stmt_undo.take().expect("statement undo present");
+            let created = std::mem::take(&mut self.stmt_created);
+            match &result {
+                Ok(_) => {
+                    if let Some(txn) = self.txn_undo.as_mut() {
+                        txn.absorb(log);
+                    }
+                }
+                Err(_) => {
+                    // Statement atomicity: first compensate any DDL the
+                    // statement (or its callbacks) performed, then roll
+                    // back the row-level changes. Compensation failures
+                    // are swallowed — the original error wins.
+                    for obj in created.into_iter().rev() {
+                        let _ = self.compensate_created(obj);
+                    }
+                    let _ = self.storage.rollback(&mut log);
+                }
+            }
+            self.workspace.clear();
+        }
+        result
+    }
+
+    /// Dispatch without boundary bookkeeping (also the entry point for
+    /// nested callback statements).
+    pub(crate) fn run_statement(&mut self, stmt: Statement) -> Result<StmtResult> {
+        match stmt {
+            Statement::Select(s) => {
+                let planned = optimizer::plan_select(self, &s)?;
+                let columns = planned.column_names;
+                let mut exec = executor::build(planned.root);
+                let mut rows = Vec::new();
+                while let Some(r) = exec.next(self)? {
+                    rows.push(r.values);
+                }
+                Ok(StmtResult::Rows { columns, rows })
+            }
+            Statement::Explain(inner) => match *inner {
+                Statement::Select(s) => {
+                    let planned = optimizer::plan_select(self, &s)?;
+                    let rows: Vec<Row> = planned
+                        .root
+                        .explain()
+                        .into_iter()
+                        .map(|l| vec![Value::from(l)])
+                        .collect();
+                    Ok(StmtResult::Rows { columns: vec!["PLAN".into()], rows })
+                }
+                _ => Err(Error::Unsupported("EXPLAIN is only supported for SELECT".into())),
+            },
+            Statement::Insert { table, columns, source } => self.run_insert(&table, columns, source),
+            Statement::Update { table, assignments, where_clause } => {
+                self.run_update(&table, assignments, where_clause)
+            }
+            Statement::Delete { table, where_clause } => self.run_delete(&table, where_clause),
+            Statement::Begin => {
+                if self.txn_undo.is_some() {
+                    return Err(Error::Transaction("a transaction is already active".into()));
+                }
+                self.txn_undo = Some(UndoLog::new());
+                Ok(StmtResult::Ok)
+            }
+            Statement::Commit => {
+                self.txn_undo = None;
+                self.fire_event(DbEvent::Commit)?;
+                Ok(StmtResult::Ok)
+            }
+            Statement::Rollback => {
+                if let Some(mut log) = self.txn_undo.take() {
+                    self.storage.rollback(&mut log)?;
+                }
+                self.fire_event(DbEvent::Rollback)?;
+                Ok(StmtResult::Ok)
+            }
+            Statement::CreateTable { name, columns, primary_key, organization_index } => {
+                self.run_create_table(&name, columns, primary_key, organization_index)
+            }
+            Statement::DropTable { name } => self.run_drop_table(&name),
+            Statement::TruncateTable { name } => self.run_truncate_table(&name),
+            Statement::CreateType { name, attrs } => {
+                let mut resolved = Vec::with_capacity(attrs.len());
+                for a in &attrs {
+                    resolved.push((a.name.clone(), self.catalog.resolve_type(&a.type_name)?));
+                }
+                let upper = name.to_ascii_uppercase();
+                self.catalog
+                    .create_object_type(extidx_common::ObjectTypeDef::new(name, resolved))?;
+                self.stmt_created.push(CreatedObject::ObjectType(upper));
+                Ok(StmtResult::Ok)
+            }
+            Statement::CreateIndex { name, table, column, indextype, parameters } => {
+                match indextype {
+                    Some(it) => self.run_create_domain_index(&name, &table, &column, &it, parameters),
+                    None => self.run_create_btree_index(&name, &table, &column),
+                }
+            }
+            Statement::AlterIndex { name, parameters } => self.run_alter_index(&name, &parameters),
+            Statement::DropIndex { name } => self.run_drop_index(&name),
+            Statement::CreateOperator { name, bindings } => {
+                let mut op: Option<Operator> = None;
+                for b in &bindings {
+                    let args: Vec<SqlType> =
+                        b.arg_types.iter().map(|t| self.catalog.resolve_type(t)).collect::<Result<_>>()?;
+                    let ret = self.catalog.resolve_type(&b.return_type)?;
+                    match &mut op {
+                        None => {
+                            op = Some(Operator::with_binding(&name, args, ret, &b.function_name))
+                        }
+                        Some(o) => o.add_binding(args, ret, &b.function_name),
+                    }
+                }
+                let op = op.ok_or_else(|| Error::Semantic("operator needs a binding".into()))?;
+                let op_name = op.name.clone();
+                self.catalog.registry.create_operator(op)?;
+                self.stmt_created.push(CreatedObject::Operator(op_name));
+                Ok(StmtResult::Ok)
+            }
+            Statement::CreateIndexType { name, operators, using } => {
+                let implementation = self
+                    .odci_impls
+                    .get(&using.to_ascii_uppercase())
+                    .cloned()
+                    .ok_or_else(|| Error::not_found("ODCI implementation", &using))?;
+                let mut ops = Vec::with_capacity(operators.len());
+                for o in &operators {
+                    let args: Vec<SqlType> =
+                        o.arg_types.iter().map(|t| self.catalog.resolve_type(t)).collect::<Result<_>>()?;
+                    ops.push(SupportedOperator { name: o.name.clone(), arg_types: args });
+                }
+                let it = IndexType::new(&name, ops, implementation.index, implementation.stats);
+                let it_name = it.name.clone();
+                self.catalog.registry.create_indextype(it)?;
+                self.stmt_created.push(CreatedObject::IndexType(it_name));
+                Ok(StmtResult::Ok)
+            }
+            Statement::DropOperator { name } => {
+                self.catalog.registry.drop_operator(&name)?;
+                Ok(StmtResult::Ok)
+            }
+            Statement::DropIndexType { name } => {
+                let upper = name.to_ascii_uppercase();
+                for t in self.catalog.table_names() {
+                    if self.catalog.domain_indexes_on(&t).iter().any(|d| d.indextype == upper) {
+                        return Err(Error::Semantic(format!(
+                            "indextype {upper} has dependent domain indexes"
+                        )));
+                    }
+                }
+                self.catalog.registry.drop_indextype(&name)?;
+                Ok(StmtResult::Ok)
+            }
+            Statement::AnalyzeTable { name } => self.run_analyze(&name),
+        }
+    }
+
+    /// Drop a schema object created by a failed statement. Best-effort:
+    /// used only on the failure path.
+    fn compensate_created(&mut self, obj: CreatedObject) -> Result<()> {
+        match obj {
+            CreatedObject::Table(name) => {
+                if self.catalog.has_table(&name) {
+                    self.run_drop_table(&name)?;
+                }
+            }
+            CreatedObject::BTreeIndex(name) => {
+                if let Some(b) = self.catalog.drop_btree_index(&name) {
+                    self.storage.drop_segment(b.seg)?;
+                }
+            }
+            CreatedObject::Operator(name) => {
+                let _ = self.catalog.registry.drop_operator(&name);
+            }
+            CreatedObject::IndexType(name) => {
+                let _ = self.catalog.registry.drop_indextype(&name);
+            }
+            CreatedObject::ObjectType(name) => {
+                self.catalog.drop_object_type(&name);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- DDL ------------------------------------------------------------------
+
+    fn run_create_table(
+        &mut self,
+        name: &str,
+        columns: Vec<ColumnSpec>,
+        primary_key: Vec<String>,
+        organization_index: bool,
+    ) -> Result<StmtResult> {
+        let upper = name.to_ascii_uppercase();
+        if self.catalog.has_table(&upper) {
+            return Err(Error::already_exists("table", upper));
+        }
+        let mut cols = Vec::with_capacity(columns.len());
+        for c in &columns {
+            cols.push(ColumnDef {
+                name: c.name.to_ascii_uppercase(),
+                ty: self.catalog.resolve_type(&c.type_name)?,
+            });
+        }
+        let org = if organization_index {
+            if primary_key.is_empty() {
+                return Err(Error::Semantic(
+                    "ORGANIZATION INDEX requires a PRIMARY KEY".into(),
+                ));
+            }
+            for (i, pk) in primary_key.iter().enumerate() {
+                if cols.get(i).map(|c| c.name.as_str()) != Some(pk.to_ascii_uppercase().as_str()) {
+                    return Err(Error::Semantic(
+                        "PRIMARY KEY of an index-organized table must be a prefix of its columns"
+                            .into(),
+                    ));
+                }
+            }
+            TableOrg::Index { key_cols: primary_key.len() }
+        } else {
+            TableOrg::Heap
+        };
+        let seg = match org {
+            TableOrg::Heap => self.storage.create_heap(),
+            TableOrg::Index { key_cols } => self.storage.create_iot(key_cols),
+        };
+        self.catalog
+            .create_table(TableDef { name: upper.clone(), columns: cols, org, seg, stats: None })?;
+        self.stmt_created.push(CreatedObject::Table(upper));
+        Ok(StmtResult::Ok)
+    }
+
+    fn run_drop_table(&mut self, name: &str) -> Result<StmtResult> {
+        let tdef = self.catalog.table(name)?.clone();
+        // Domain indexes first: their drop routines may issue DDL on their
+        // own storage tables.
+        let domain: Vec<DomainIndexDef> =
+            self.catalog.domain_indexes_on(&tdef.name).into_iter().cloned().collect();
+        for d in domain {
+            self.drop_domain_index_entry(&d)?;
+        }
+        let btree: Vec<BTreeIndexDef> =
+            self.catalog.btree_indexes_on(&tdef.name).into_iter().cloned().collect();
+        for b in btree {
+            self.storage.drop_segment(b.seg)?;
+            self.catalog.drop_btree_index(&b.name);
+        }
+        self.storage.drop_segment(tdef.seg)?;
+        self.catalog.drop_table(&tdef.name)?;
+        Ok(StmtResult::Ok)
+    }
+
+    fn run_truncate_table(&mut self, name: &str) -> Result<StmtResult> {
+        let tdef = self.catalog.table(name)?.clone();
+        self.storage.truncate_segment(tdef.seg)?;
+        let btree: Vec<BTreeIndexDef> =
+            self.catalog.btree_indexes_on(&tdef.name).into_iter().cloned().collect();
+        for b in btree {
+            self.storage.truncate_segment(b.seg)?;
+        }
+        // "when the corresponding table is truncated, the truncate method
+        // specified as part of the indextype is invoked" (§2.4.1).
+        let domain: Vec<DomainIndexDef> =
+            self.catalog.domain_indexes_on(&tdef.name).into_iter().cloned().collect();
+        for d in domain {
+            let (index, _, info) = self.domain_index_runtime(&d)?;
+            self.trace.record(Component::Ddl, "ODCIIndexTruncate", &d.indextype, &d.name);
+            let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
+            index.truncate(&mut ctx, &info)?;
+        }
+        Ok(StmtResult::Ok)
+    }
+
+    fn run_create_btree_index(&mut self, name: &str, table: &str, column: &str) -> Result<StmtResult> {
+        let tdef = self.catalog.table(table)?.clone();
+        if tdef.org != TableOrg::Heap {
+            return Err(Error::Unsupported(
+                "secondary indexes on index-organized tables are not supported".into(),
+            ));
+        }
+        let col_idx = tdef.column_index(column)?;
+        if !tdef.columns[col_idx].ty.is_scalar_comparable() {
+            return Err(Error::Semantic(format!(
+                "column {} is not B-tree indexable; use a domain index (extensible indexing)",
+                tdef.columns[col_idx].name
+            )));
+        }
+        let seg = self.storage.create_iot(2); // (key, rowid)
+        self.catalog.create_btree_index(BTreeIndexDef {
+            name: name.to_ascii_uppercase(),
+            table: tdef.name.clone(),
+            column: tdef.columns[col_idx].name.clone(),
+            seg,
+        })?;
+        self.stmt_created.push(CreatedObject::BTreeIndex(name.to_ascii_uppercase()));
+        // Populate from existing rows.
+        let existing: Vec<(RowId, Value)> = self
+            .storage
+            .heap(tdef.seg)?
+            .scan()
+            .map(|(rid, _, row)| (rid, row[col_idx].clone()))
+            .collect();
+        for (rid, key) in existing {
+            let undo = self.stmt_undo.as_mut();
+            self.storage.iot_insert(seg, vec![key, Value::RowId(rid)], undo)?;
+        }
+        Ok(StmtResult::Ok)
+    }
+
+    fn run_create_domain_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        column: &str,
+        indextype: &str,
+        parameters: Option<String>,
+    ) -> Result<StmtResult> {
+        let tdef = self.catalog.table(table)?.clone();
+        if tdef.org != TableOrg::Heap {
+            return Err(Error::Unsupported(
+                "domain indexes require a heap-organized base table".into(),
+            ));
+        }
+        tdef.column_index(column)?;
+        let it = self.catalog.registry.indextype(indextype)?;
+        let params = ParamString::parse(parameters.as_deref().unwrap_or(""));
+        let def = DomainIndexDef {
+            name: name.to_ascii_uppercase(),
+            table: tdef.name.clone(),
+            column: column.to_ascii_uppercase(),
+            indextype: it.name.clone(),
+            parameters: params,
+        };
+        // §2.4.1: dictionary entries first, then ODCIIndexCreate.
+        self.catalog.create_domain_index(def.clone())?;
+        let (index, _, info) = self.domain_index_runtime(&def)?;
+        self.trace.record(
+            Component::Ddl,
+            "ODCIIndexCreate",
+            &def.indextype,
+            format!("{} ON {}({})", def.name, def.table, def.column),
+        );
+        let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
+        match index.create(&mut ctx, &info) {
+            Ok(()) => Ok(StmtResult::Ok),
+            Err(e) => {
+                self.catalog.drop_domain_index(&info.index_name);
+                Err(e)
+            }
+        }
+    }
+
+    fn run_alter_index(&mut self, name: &str, parameters: &str) -> Result<StmtResult> {
+        let delta = ParamString::parse(parameters);
+        let def = {
+            let d = self
+                .catalog
+                .domain_index_mut(name)
+                .ok_or_else(|| Error::not_found("domain index", name.to_ascii_uppercase()))?;
+            d.parameters = d.parameters.merged_with(&delta);
+            d.clone()
+        };
+        let (index, _, info) = self.domain_index_runtime(&def)?;
+        self.trace.record(Component::Ddl, "ODCIIndexAlter", &def.indextype, &def.name);
+        let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
+        index.alter(&mut ctx, &info, &delta)?;
+        Ok(StmtResult::Ok)
+    }
+
+    fn run_drop_index(&mut self, name: &str) -> Result<StmtResult> {
+        if let Some(d) = self.catalog.domain_index(name).cloned() {
+            self.drop_domain_index_entry(&d)?;
+            return Ok(StmtResult::Ok);
+        }
+        let b = self
+            .catalog
+            .drop_btree_index(name)
+            .ok_or_else(|| Error::not_found("index", name.to_ascii_uppercase()))?;
+        self.storage.drop_segment(b.seg)?;
+        Ok(StmtResult::Ok)
+    }
+
+    fn drop_domain_index_entry(&mut self, d: &DomainIndexDef) -> Result<()> {
+        let (index, _, info) = self.domain_index_runtime(d)?;
+        self.trace.record(Component::Ddl, "ODCIIndexDrop", &d.indextype, &d.name);
+        let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
+        index.drop_index(&mut ctx, &info)?;
+        self.catalog.drop_domain_index(&d.name);
+        Ok(())
+    }
+
+    fn run_analyze(&mut self, name: &str) -> Result<StmtResult> {
+        let tdef = self.catalog.table(name)?.clone();
+        let (rows, pages, col_count) = match tdef.org {
+            TableOrg::Heap => {
+                let h = self.storage.heap(tdef.seg)?;
+                (h.row_count(), h.page_count(), tdef.columns.len())
+            }
+            TableOrg::Index { .. } => {
+                let t = self.storage.iot(tdef.seg)?;
+                (t.row_count(), t.page_count(), tdef.columns.len())
+            }
+        };
+        let mut distinct: Vec<std::collections::BTreeSet<Key>> = vec![Default::default(); col_count];
+        let mut nulls = vec![0usize; col_count];
+        let mut mins: Vec<Option<Value>> = vec![None; col_count];
+        let mut maxs: Vec<Option<Value>> = vec![None; col_count];
+        let mut visit = |row: &Row| {
+            for (i, v) in row.iter().enumerate().take(col_count) {
+                if v.is_null() {
+                    nulls[i] += 1;
+                    continue;
+                }
+                distinct[i].insert(Key::single(v.clone()));
+                let lower = match &mins[i] {
+                    None => true,
+                    Some(m) => v.total_cmp(m) == std::cmp::Ordering::Less,
+                };
+                if lower {
+                    mins[i] = Some(v.clone());
+                }
+                let higher = match &maxs[i] {
+                    None => true,
+                    Some(m) => v.total_cmp(m) == std::cmp::Ordering::Greater,
+                };
+                if higher {
+                    maxs[i] = Some(v.clone());
+                }
+            }
+        };
+        match tdef.org {
+            TableOrg::Heap => {
+                for (_, _, row) in self.storage.heap(tdef.seg)?.scan() {
+                    visit(row);
+                }
+            }
+            TableOrg::Index { .. } => {
+                for row in self.storage.iot(tdef.seg)?.scan() {
+                    visit(row);
+                }
+            }
+        }
+        let columns = (0..col_count)
+            .map(|i| ColumnStats {
+                ndv: distinct[i].len(),
+                null_count: nulls[i],
+                min: mins[i].clone(),
+                max: maxs[i].clone(),
+            })
+            .collect();
+        self.catalog.table_mut(&tdef.name)?.stats =
+            Some(TableStats { row_count: rows, page_count: pages, columns });
+        // ODCIStatsCollect for every domain index on the table.
+        let domain: Vec<DomainIndexDef> =
+            self.catalog.domain_indexes_on(&tdef.name).into_iter().cloned().collect();
+        for d in domain {
+            let (_, stats, info) = self.domain_index_runtime(&d)?;
+            self.trace.record(Component::Optimizer, "ODCIStatsCollect", &d.indextype, &d.name);
+            let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
+            stats.collect(&mut ctx, &info)?;
+        }
+        Ok(StmtResult::Ok)
+    }
+
+    // ---- DML -------------------------------------------------------------------
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: Option<Vec<String>>,
+        source: InsertSource,
+    ) -> Result<StmtResult> {
+        let tdef = self.catalog.table(table)?.clone();
+        // Materialize source rows first (also avoids reading a table while
+        // inserting into it for INSERT … SELECT).
+        let mut rows: Vec<Row> = Vec::new();
+        match source {
+            InsertSource::Values(value_rows) => {
+                let empty_scope = Scope::default();
+                for exprs in &value_rows {
+                    let mut row = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        let compiled = compile_expr(e, &empty_scope, &self.catalog)?;
+                        let ctx = EvalCtx { catalog: &self.catalog, storage: &self.storage };
+                        row.push(eval(&compiled, &ExecRow::default(), &ctx)?);
+                    }
+                    rows.push(row);
+                }
+            }
+            InsertSource::Query(q) => {
+                let planned = optimizer::plan_select(self, &q)?;
+                let mut exec = executor::build(planned.root);
+                while let Some(r) = exec.next(self)? {
+                    rows.push(r.values);
+                }
+            }
+        }
+        // Map through the column list and coerce.
+        let col_map: Vec<usize> = match &columns {
+            None => (0..tdef.columns.len()).collect(),
+            Some(names) => {
+                let mut m = Vec::with_capacity(names.len());
+                for n in names {
+                    m.push(tdef.column_index(n)?);
+                }
+                m
+            }
+        };
+        let mut count = 0u64;
+        for src in rows {
+            if src.len() != col_map.len() {
+                return Err(Error::Semantic(format!(
+                    "INSERT supplies {} values for {} columns",
+                    src.len(),
+                    col_map.len()
+                )));
+            }
+            let mut full = vec![Value::Null; tdef.columns.len()];
+            for (v, &target) in src.into_iter().zip(&col_map) {
+                full[target] = self.coerce_value(v, &tdef.columns[target].ty)?;
+            }
+            self.insert_row(&tdef, full)?;
+            count += 1;
+        }
+        Ok(StmtResult::Affected(count))
+    }
+
+    /// Insert one fully-shaped row and maintain all indexes.
+    fn insert_row(&mut self, tdef: &TableDef, row: Row) -> Result<()> {
+        for (v, c) in row.iter().zip(&tdef.columns) {
+            if !v.conforms_to(&c.ty) {
+                return Err(Error::type_mismatch(c.ty.to_string(), v.type_name()));
+            }
+        }
+        match tdef.org {
+            TableOrg::Heap => {
+                let undo = self.stmt_undo.as_mut();
+                let rid = self.storage.heap_insert(tdef.seg, row.clone(), undo)?;
+                self.maintain_insert(tdef, rid, &row)?;
+            }
+            TableOrg::Index { .. } => {
+                let undo = self.stmt_undo.as_mut();
+                self.storage.iot_insert(tdef.seg, row, undo)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        assignments: Vec<(String, crate::ast::Expr)>,
+        where_clause: Option<crate::ast::Expr>,
+    ) -> Result<StmtResult> {
+        let tdef = self.catalog.table(table)?.clone();
+        let matches = self.collect_dml_targets(&tdef, where_clause.as_ref())?;
+        // Compile assignments against the table's scope.
+        let scope = optimizer::table_scope(&tdef, None);
+        let mut compiled = Vec::with_capacity(assignments.len());
+        for (col, e) in &assignments {
+            let idx = tdef.column_index(col)?;
+            compiled.push((idx, compile_expr(e, &scope, &self.catalog)?));
+        }
+        let mut count = 0u64;
+        for (rid, old_row) in matches {
+            let mut exec_row = ExecRow::new(old_row.clone());
+            if let Some(r) = rid {
+                exec_row.values.push(Value::RowId(r));
+            }
+            let mut new_row = old_row.clone();
+            for (idx, e) in &compiled {
+                let ctx = EvalCtx { catalog: &self.catalog, storage: &self.storage };
+                let v = eval(e, &exec_row, &ctx)?;
+                new_row[*idx] = self.coerce_value(v, &tdef.columns[*idx].ty)?;
+            }
+            match (tdef.org.clone(), rid) {
+                (TableOrg::Heap, Some(rid)) => {
+                    let undo = self.stmt_undo.as_mut();
+                    let old = self.storage.heap_update(tdef.seg, rid, new_row.clone(), undo)?;
+                    self.maintain_update(&tdef, rid, &old, &new_row)?;
+                }
+                (TableOrg::Index { key_cols }, _) => {
+                    let old_key = Key(old_row[..key_cols].to_vec());
+                    let undo = self.stmt_undo.as_mut();
+                    self.storage.iot_delete(tdef.seg, &old_key, undo)?;
+                    let undo = self.stmt_undo.as_mut();
+                    self.storage.iot_insert(tdef.seg, new_row, undo)?;
+                }
+                (TableOrg::Heap, None) => unreachable!("heap rows always carry rowids"),
+            }
+            count += 1;
+        }
+        Ok(StmtResult::Affected(count))
+    }
+
+    fn run_delete(&mut self, table: &str, where_clause: Option<crate::ast::Expr>) -> Result<StmtResult> {
+        let tdef = self.catalog.table(table)?.clone();
+        let matches = self.collect_dml_targets(&tdef, where_clause.as_ref())?;
+        let mut count = 0u64;
+        for (rid, old_row) in matches {
+            match (tdef.org.clone(), rid) {
+                (TableOrg::Heap, Some(rid)) => {
+                    let undo = self.stmt_undo.as_mut();
+                    let old = self.storage.heap_delete(tdef.seg, rid, undo)?;
+                    self.maintain_delete(&tdef, rid, &old)?;
+                }
+                (TableOrg::Index { key_cols }, _) => {
+                    let key = Key(old_row[..key_cols].to_vec());
+                    let undo = self.stmt_undo.as_mut();
+                    self.storage.iot_delete(tdef.seg, &key, undo)?;
+                }
+                (TableOrg::Heap, None) => unreachable!("heap rows always carry rowids"),
+            }
+            count += 1;
+        }
+        Ok(StmtResult::Affected(count))
+    }
+
+    /// Find the rows a DML statement targets: `(rowid?, row)` pairs,
+    /// materialized before mutation (Halloween-safe).
+    fn collect_dml_targets(
+        &mut self,
+        tdef: &TableDef,
+        where_clause: Option<&crate::ast::Expr>,
+    ) -> Result<Vec<(Option<RowId>, Row)>> {
+        let plan = optimizer::plan_dml_scan(self, tdef, where_clause)?;
+        let mut exec = executor::build(plan);
+        let col_count = tdef.columns.len();
+        let mut out = Vec::new();
+        while let Some(r) = exec.next(self)? {
+            let rid = match tdef.org {
+                TableOrg::Heap => Some(r.values[col_count].as_rowid()?),
+                TableOrg::Index { .. } => None,
+            };
+            out.push((rid, r.values[..col_count].to_vec()));
+        }
+        Ok(out)
+    }
+
+    // ---- index maintenance (the implicit part of §2.4.1) -----------------------
+
+    fn maintain_insert(&mut self, tdef: &TableDef, rid: RowId, row: &[Value]) -> Result<()> {
+        let btree: Vec<BTreeIndexDef> =
+            self.catalog.btree_indexes_on(&tdef.name).into_iter().cloned().collect();
+        for b in btree {
+            let idx = tdef.column_index(&b.column)?;
+            let undo = self.stmt_undo.as_mut();
+            self.storage.iot_insert(b.seg, vec![row[idx].clone(), Value::RowId(rid)], undo)?;
+        }
+        let domain: Vec<DomainIndexDef> =
+            self.catalog.domain_indexes_on(&tdef.name).into_iter().cloned().collect();
+        for d in domain {
+            let idx = tdef.column_index(&d.column)?;
+            let value = row[idx].clone();
+            let (index, _, info) = self.domain_index_runtime(&d)?;
+            self.trace.record(Component::Dml, "ODCIIndexInsert", &d.indextype, format!("{rid}"));
+            let mut ctx = ServerCtx {
+                db: self,
+                mode: CallbackMode::Maintenance,
+                base_table: Some(tdef.name.clone()),
+            };
+            index.insert(&mut ctx, &info, rid, &value)?;
+        }
+        Ok(())
+    }
+
+    fn maintain_update(&mut self, tdef: &TableDef, rid: RowId, old: &[Value], new: &[Value]) -> Result<()> {
+        let btree: Vec<BTreeIndexDef> =
+            self.catalog.btree_indexes_on(&tdef.name).into_iter().cloned().collect();
+        for b in btree {
+            let idx = tdef.column_index(&b.column)?;
+            if old[idx] != new[idx] {
+                let old_key = Key(vec![old[idx].clone(), Value::RowId(rid)]);
+                let undo = self.stmt_undo.as_mut();
+                self.storage.iot_delete(b.seg, &old_key, undo)?;
+                let undo = self.stmt_undo.as_mut();
+                self.storage.iot_insert(b.seg, vec![new[idx].clone(), Value::RowId(rid)], undo)?;
+            }
+        }
+        let domain: Vec<DomainIndexDef> =
+            self.catalog.domain_indexes_on(&tdef.name).into_iter().cloned().collect();
+        for d in domain {
+            let idx = tdef.column_index(&d.column)?;
+            let (old_v, new_v) = (old[idx].clone(), new[idx].clone());
+            let (index, _, info) = self.domain_index_runtime(&d)?;
+            self.trace.record(Component::Dml, "ODCIIndexUpdate", &d.indextype, format!("{rid}"));
+            let mut ctx = ServerCtx {
+                db: self,
+                mode: CallbackMode::Maintenance,
+                base_table: Some(tdef.name.clone()),
+            };
+            index.update(&mut ctx, &info, rid, &old_v, &new_v)?;
+        }
+        Ok(())
+    }
+
+    fn maintain_delete(&mut self, tdef: &TableDef, rid: RowId, old: &[Value]) -> Result<()> {
+        let btree: Vec<BTreeIndexDef> =
+            self.catalog.btree_indexes_on(&tdef.name).into_iter().cloned().collect();
+        for b in btree {
+            let idx = tdef.column_index(&b.column)?;
+            let key = Key(vec![old[idx].clone(), Value::RowId(rid)]);
+            let undo = self.stmt_undo.as_mut();
+            self.storage.iot_delete(b.seg, &key, undo)?;
+        }
+        let domain: Vec<DomainIndexDef> =
+            self.catalog.domain_indexes_on(&tdef.name).into_iter().cloned().collect();
+        for d in domain {
+            let idx = tdef.column_index(&d.column)?;
+            let old_v = old[idx].clone();
+            let (index, _, info) = self.domain_index_runtime(&d)?;
+            self.trace.record(Component::Dml, "ODCIIndexDelete", &d.indextype, format!("{rid}"));
+            let mut ctx = ServerCtx {
+                db: self,
+                mode: CallbackMode::Maintenance,
+                base_table: Some(tdef.name.clone()),
+            };
+            index.delete(&mut ctx, &info, rid, &old_v)?;
+        }
+        Ok(())
+    }
+
+    // ---- shared helpers --------------------------------------------------------
+
+    /// Coerce a value into a column type, allocating LOBs for string
+    /// values bound to LOB columns.
+    fn coerce_value(&mut self, v: Value, ty: &SqlType) -> Result<Value> {
+        match (v, ty) {
+            (Value::Varchar(s), SqlType::Lob) => {
+                let undo = self.stmt_undo.as_mut();
+                let lob = self.storage.lob_allocate(undo);
+                let undo = self.stmt_undo.as_mut();
+                self.storage.lob_write(lob, 0, s.as_bytes(), undo)?;
+                Ok(Value::Lob(lob))
+            }
+            (Value::Integer(i), SqlType::Number) => Ok(Value::Number(i as f64)),
+            (v, _) => Ok(v),
+        }
+    }
+
+    /// Resolve the runtime pieces of a domain index: implementation,
+    /// stats, and the [`IndexInfo`] every ODCI routine receives.
+    pub(crate) fn domain_index_runtime(
+        &self,
+        d: &DomainIndexDef,
+    ) -> Result<DomainRuntime> {
+        let it = self.catalog.registry.indextype(&d.indextype)?;
+        let tdef = self.catalog.table(&d.table)?;
+        let col = tdef.column(&d.column)?;
+        let info = IndexInfo {
+            index_name: d.name.clone(),
+            indextype_name: it.name.clone(),
+            table_name: d.table.clone(),
+            column_name: d.column.clone(),
+            column_type: col.ty.clone(),
+            parameters: d.parameters.clone(),
+        };
+        Ok((it.implementation.clone(), it.stats.clone(), info))
+    }
+
+    /// Record a framework trace event (engine-internal use).
+    pub(crate) fn trace_event(
+        &self,
+        component: Component,
+        routine: &'static str,
+        indextype: &str,
+        detail: impl Into<String>,
+    ) {
+        self.trace.record(component, routine, indextype, detail);
+    }
+
+    fn fire_event(&mut self, event: DbEvent) -> Result<()> {
+        let handlers = self.event_handlers.clone();
+        for (_, h) in handlers {
+            let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
+            h.on_event(event, &mut ctx)?;
+        }
+        Ok(())
+    }
+}
+
+/// A streaming query cursor (pull-based row delivery).
+pub struct QueryCursor<'a> {
+    db: &'a mut Database,
+    exec: Box<dyn ExecNode>,
+    columns: Vec<String>,
+    boundary: bool,
+}
+
+impl QueryCursor<'_> {
+    /// Output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Produce the next row, or `None` at end of results.
+    pub fn next_row(&mut self) -> Result<Option<Row>> {
+        Ok(self.exec.next(self.db)?.map(|r| r.values))
+    }
+}
+
+impl Drop for QueryCursor<'_> {
+    fn drop(&mut self) {
+        if self.boundary {
+            // Queries do not mutate database state (scan callbacks are
+            // restricted to SELECTs), so the statement log is discarded.
+            self.db.stmt_undo = None;
+            self.db.workspace.clear();
+        }
+    }
+}
+
+/// The [`ServerContext`] implementation: cartridge callbacks re-enter the
+/// engine through this, under a restriction mode (§2.5).
+pub(crate) struct ServerCtx<'a> {
+    pub db: &'a mut Database,
+    pub mode: CallbackMode,
+    /// For Maintenance mode: the base table that must not be modified.
+    pub base_table: Option<String>,
+}
+
+impl ServerCtx<'_> {
+    fn enforce(&self, stmt: &Statement) -> Result<()> {
+        let violation = |msg: &str| Err(Error::CallbackViolation(msg.to_string()));
+        match self.mode {
+            CallbackMode::Definition => match stmt {
+                Statement::Begin | Statement::Commit | Statement::Rollback => {
+                    violation("transaction control is not allowed inside index routines")
+                }
+                _ => Ok(()),
+            },
+            CallbackMode::Maintenance => match stmt {
+                Statement::Select(_) => Ok(()),
+                Statement::Insert { table, .. }
+                | Statement::Update { table, .. }
+                | Statement::Delete { table, .. } => {
+                    if Some(table.to_ascii_uppercase()) == self.base_table {
+                        violation("index maintenance routines cannot modify the base table")
+                    } else {
+                        Ok(())
+                    }
+                }
+                _ => violation("index maintenance routines cannot execute DDL"),
+            },
+            CallbackMode::Scan => match stmt {
+                Statement::Select(_) => Ok(()),
+                _ => violation("index scan routines can only execute query statements"),
+            },
+        }
+    }
+}
+
+impl ServerContext for ServerCtx<'_> {
+    fn mode(&self) -> CallbackMode {
+        self.mode
+    }
+
+    fn execute(&mut self, sql: &str, binds: &[Value]) -> Result<u64> {
+        let mut stmt = parse(sql)?;
+        bind_statement(&mut stmt, binds)?;
+        self.enforce(&stmt)?;
+        match self.db.run_statement(stmt)? {
+            StmtResult::Affected(n) => Ok(n),
+            _ => Ok(0),
+        }
+    }
+
+    fn query(&mut self, sql: &str, binds: &[Value]) -> Result<Vec<Row>> {
+        let mut stmt = parse(sql)?;
+        bind_statement(&mut stmt, binds)?;
+        if !matches!(stmt, Statement::Select(_)) {
+            return Err(Error::CallbackViolation("query() requires a SELECT".into()));
+        }
+        self.enforce(&stmt)?;
+        match self.db.run_statement(stmt)? {
+            StmtResult::Rows { rows, .. } => Ok(rows),
+            _ => unreachable!("SELECT produces rows"),
+        }
+    }
+
+    fn lob_create(&mut self) -> Result<LobRef> {
+        let undo = self.db.stmt_undo.as_mut();
+        Ok(self.db.storage.lob_allocate(undo))
+    }
+
+    fn lob_length(&mut self, lob: LobRef) -> Result<u64> {
+        self.db.storage.lob_length(lob)
+    }
+
+    fn lob_read(&mut self, lob: LobRef, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.db.storage.lob_read(lob, offset, len)
+    }
+
+    fn lob_read_all(&mut self, lob: LobRef) -> Result<Vec<u8>> {
+        self.db.storage.lob_read_all(lob)
+    }
+
+    fn lob_write(&mut self, lob: LobRef, offset: u64, bytes: &[u8]) -> Result<()> {
+        let undo = self.db.stmt_undo.as_mut();
+        self.db.storage.lob_write(lob, offset, bytes, undo)
+    }
+
+    fn lob_append(&mut self, lob: LobRef, bytes: &[u8]) -> Result<u64> {
+        let undo = self.db.stmt_undo.as_mut();
+        self.db.storage.lob_append(lob, bytes, undo)
+    }
+
+    fn lob_overwrite(&mut self, lob: LobRef, bytes: &[u8]) -> Result<()> {
+        let undo = self.db.stmt_undo.as_mut();
+        self.db.storage.lob_overwrite(lob, bytes, undo)
+    }
+
+    fn lob_free(&mut self, lob: LobRef) -> Result<()> {
+        let undo = self.db.stmt_undo.as_mut();
+        self.db.storage.lob_free(lob, undo)
+    }
+
+    fn workspace_put(&mut self, state: Box<dyn Any + Send>) -> WorkspaceHandle {
+        let h = WorkspaceHandle(self.db.next_ws);
+        self.db.next_ws += 1;
+        self.db.workspace.insert(h.0, state);
+        h
+    }
+
+    fn workspace_get(&mut self, handle: WorkspaceHandle) -> Option<&mut (dyn Any + Send)> {
+        self.db.workspace.get_mut(&handle.0).map(|b| b.as_mut())
+    }
+
+    fn workspace_take(&mut self, handle: WorkspaceHandle) -> Option<Box<dyn Any + Send>> {
+        self.db.workspace.remove(&handle.0)
+    }
+
+    fn register_event_handler(&mut self, name: &str, handler: Arc<dyn EventHandler>) {
+        let upper = name.to_ascii_uppercase();
+        if let Some(slot) = self.db.event_handlers.iter_mut().find(|(n, _)| *n == upper) {
+            slot.1 = handler;
+        } else {
+            self.db.event_handlers.push((upper, handler));
+        }
+    }
+
+    fn file_create(&mut self, name: &str) {
+        self.db.storage.files().create(name);
+    }
+
+    fn file_exists(&mut self, name: &str) -> bool {
+        self.db.storage.files().exists(name)
+    }
+
+    fn file_remove(&mut self, name: &str) -> Result<()> {
+        self.db.storage.files().remove(name)
+    }
+
+    fn file_read(&mut self, name: &str) -> Result<Vec<u8>> {
+        self.db.storage.files().read(name)
+    }
+
+    fn file_write(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.db.storage.files().write(name, bytes)
+    }
+
+    fn file_append(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.db.storage.files().append(name, bytes)
+    }
+
+    fn file_flush(&mut self, name: &str) -> Result<()> {
+        self.db.storage.files().flush(name)
+    }
+
+    fn file_length(&mut self, name: &str) -> Result<u64> {
+        self.db.storage.files_ref().length(name)
+    }
+}

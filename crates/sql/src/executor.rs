@@ -1,0 +1,950 @@
+//! The Volcano-style executor.
+//!
+//! Plan nodes become pull-based state machines ([`ExecNode`]); every
+//! `next` call re-borrows the [`Database`], which is what lets a domain
+//! scan re-enter the engine: each fetch drives the cartridge's
+//! `ODCIIndexFetch` through a Scan-mode server context, and the
+//! cartridge's own SQL callbacks recurse into the engine underneath.
+//!
+//! The crucial property reproduced from §3.2.1: domain-scan results are
+//! **streamed** ("the relevant row identifiers are streamed back to the
+//! server via the ODCI interfaces… all rows that satisfy the text
+//! predicate do not have to be identified before the first result row can
+//! be returned to the user"). `next` returns as soon as one fetched rowid
+//! has been joined to its base row.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use extidx_common::{Error, Key, Result, RowId, Value};
+use extidx_core::meta::{IndexInfo, OperatorCall, PredicateBound};
+use extidx_core::scan::{FetchedRow, ScanContext};
+use extidx_core::server::CallbackMode;
+use extidx_core::trace::Component;
+use extidx_core::OdciIndex;
+use extidx_storage::SegmentId;
+
+use crate::ast::BinOp;
+use crate::database::{Database, ServerCtx};
+use crate::expr::{eval, filter_accepts, AggKind, EvalCtx, ExecRow, RExpr};
+use crate::plan::{PlanKind, PlanNode};
+
+/// The largest possible rowid — used as an upper key pad so inclusive
+/// B-tree bounds cover every `(key, rowid)` entry of the bound key.
+const MAX_ROWID: RowId = RowId { table: u32::MAX, page: u32::MAX, slot: u16::MAX };
+
+/// A pull-based physical operator.
+pub trait ExecNode: Send {
+    /// Produce the next row, or `None` when exhausted.
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>>;
+    /// Rewind so the node can be executed again (nested-loop inners).
+    fn reset(&mut self, db: &mut Database) -> Result<()>;
+}
+
+/// Build the executor tree for a plan.
+pub fn build(plan: PlanNode) -> Box<dyn ExecNode> {
+    match plan.kind {
+        PlanKind::FullScan { table } => Box::new(FullScanExec::new(table)),
+        PlanKind::IotFullScan { table } => Box::new(IotScanExec::new(table, None, None)),
+        PlanKind::IotRange { table, lo, hi } => Box::new(IotScanExec::new(table, lo, hi)),
+        PlanKind::BTreeAccess { table, index, lo, hi } => {
+            Box::new(BTreeAccessExec::new(table, index, lo, hi))
+        }
+        PlanKind::RowIdEq { table, rid } => Box::new(RowIdEqExec { table, rid, done: false }),
+        PlanKind::ConstRows { rows } => Box::new(ConstRowsExec { rows, idx: 0 }),
+        PlanKind::DomainScan { table, index, call, label, .. } => {
+            Box::new(DomainScanExec::new(table, index, call, label))
+        }
+        PlanKind::Filter { input, pred } => Box::new(FilterExec { input: build(*input), pred }),
+        PlanKind::Project { input, exprs } => Box::new(ProjectExec { input: build(*input), exprs }),
+        PlanKind::NestedLoopJoin { left, right, pred } => Box::new(NestedLoopJoinExec {
+            left: build(*left),
+            right: build(*right),
+            pred,
+            current: None,
+            started: false,
+        }),
+        PlanKind::DomainJoin {
+            left,
+            right_table,
+            index,
+            operator,
+            arg_exprs,
+            bound,
+            label,
+            ..
+        } => Box::new(DomainJoinExec {
+            left: build(*left),
+            scan: DomainScanExec::new(
+                right_table,
+                index,
+                OperatorCall {
+                    operator,
+                    args: Vec::new(),
+                    bound: bound.clone(),
+                    wants_ancillary: label.is_some(),
+                },
+                label,
+            ),
+            arg_exprs,
+            current: None,
+        }),
+        PlanKind::HashJoin { left, right, left_key, right_key, extra_pred } => {
+            Box::new(HashJoinExec {
+                left: build(*left),
+                right: build(*right),
+                left_key,
+                right_key,
+                extra_pred,
+                table: None,
+                pending: VecDeque::new(),
+            })
+        }
+        PlanKind::Sort { input, keys } => {
+            Box::new(SortExec { input: build(*input), keys, sorted: None })
+        }
+        PlanKind::Limit { input, n } => Box::new(LimitExec { input: build(*input), n, produced: 0 }),
+        PlanKind::Distinct { input } => {
+            Box::new(DistinctExec { input: build(*input), seen: BTreeMap::new() })
+        }
+        PlanKind::Aggregate { input, group, aggs } => Box::new(AggregateExec {
+            input: build(*input),
+            group,
+            aggs,
+            output: None,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scans
+// ---------------------------------------------------------------------------
+
+struct FullScanExec {
+    table: String,
+    seg: Option<SegmentId>,
+    page: u32,
+    slot: u16,
+    charged_page: Option<u32>,
+}
+
+impl FullScanExec {
+    fn new(table: String) -> Self {
+        FullScanExec { table, seg: None, page: 0, slot: 0, charged_page: None }
+    }
+}
+
+impl ExecNode for FullScanExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        let seg = match self.seg {
+            Some(s) => s,
+            None => {
+                let s = db.catalog.table(&self.table)?.seg;
+                self.seg = Some(s);
+                s
+            }
+        };
+        loop {
+            let heap = db.storage.heap(seg)?;
+            if (self.page as usize) >= heap.page_count() {
+                return Ok(None);
+            }
+            let slots = heap.slots_in_page(self.page);
+            if (self.slot as usize) >= slots {
+                self.page += 1;
+                self.slot = 0;
+                continue;
+            }
+            if self.charged_page != Some(self.page) {
+                db.storage.charge_page_read(seg, self.page);
+                self.charged_page = Some(self.page);
+            }
+            let slot = self.slot;
+            self.slot += 1;
+            if let Some(row) = db.storage.heap(seg)?.slot(self.page, slot) {
+                let mut values = row.clone();
+                values.push(Value::RowId(RowId::new(seg.0, self.page, slot)));
+                return Ok(Some(ExecRow::new(values)));
+            }
+        }
+    }
+
+    fn reset(&mut self, _db: &mut Database) -> Result<()> {
+        self.page = 0;
+        self.slot = 0;
+        self.charged_page = None;
+        Ok(())
+    }
+}
+
+/// Full or range scan over an index-organized table (materialized — IOT
+/// ranges are returned by the storage layer in one call).
+struct IotScanExec {
+    table: String,
+    lo: Option<Key>,
+    hi: Option<Key>,
+    rows: Option<Vec<Vec<Value>>>,
+    idx: usize,
+}
+
+impl IotScanExec {
+    fn new(table: String, lo: Option<Key>, hi: Option<Key>) -> Self {
+        IotScanExec { table, lo, hi, rows: None, idx: 0 }
+    }
+}
+
+impl ExecNode for IotScanExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        if self.rows.is_none() {
+            let tdef = db.catalog.table(&self.table)?;
+            let seg = tdef.seg;
+            // A bound on a key prefix must cover all longer keys sharing
+            // the prefix: pad the upper bound with NULLs, which sort last.
+            let key_cols = match tdef.org {
+                crate::catalog::TableOrg::Index { key_cols } => key_cols,
+                _ => 1,
+            };
+            let hi = self.hi.clone().map(|mut k| {
+                while k.0.len() < key_cols {
+                    k.0.push(Value::Null);
+                }
+                k
+            });
+            let rows = if self.lo.is_none() && hi.is_none() {
+                let iot = db.storage.iot(seg)?;
+                let pages = iot.page_count();
+                let rows: Vec<Vec<Value>> = iot.scan().cloned().collect();
+                for p in 0..pages {
+                    db.storage.charge_page_read(seg, p as u32);
+                }
+                rows
+            } else {
+                db.storage.iot_range(seg, self.lo.as_ref(), hi.as_ref())?
+            };
+            self.rows = Some(rows);
+            self.idx = 0;
+        }
+        let rows = self.rows.as_ref().expect("materialized");
+        if self.idx >= rows.len() {
+            return Ok(None);
+        }
+        let row = rows[self.idx].clone();
+        self.idx += 1;
+        Ok(Some(ExecRow::new(row)))
+    }
+
+    fn reset(&mut self, _db: &mut Database) -> Result<()> {
+        self.rows = None;
+        self.idx = 0;
+        Ok(())
+    }
+}
+
+struct BTreeAccessExec {
+    table: String,
+    index: String,
+    lo: Option<Key>,
+    hi: Option<Key>,
+    entries: Option<Vec<RowId>>,
+    idx: usize,
+}
+
+impl BTreeAccessExec {
+    fn new(table: String, index: String, lo: Option<Key>, hi: Option<Key>) -> Self {
+        BTreeAccessExec { table, index, lo, hi, entries: None, idx: 0 }
+    }
+}
+
+impl ExecNode for BTreeAccessExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        if self.entries.is_none() {
+            let idef = db
+                .catalog
+                .btree_index(&self.index)
+                .ok_or_else(|| Error::not_found("index", self.index.clone()))?
+                .clone();
+            // Pad the upper bound with MAX_ROWID so every (key, rowid)
+            // entry of the boundary key is included.
+            let lo = self.lo.clone();
+            let hi = self
+                .hi
+                .clone()
+                .map(|k| Key(k.0.into_iter().chain([Value::RowId(MAX_ROWID)]).collect()));
+            let rows = db.storage.iot_range(idef.seg, lo.as_ref(), hi.as_ref())?;
+            let mut rids = Vec::with_capacity(rows.len());
+            for r in rows {
+                rids.push(r[1].as_rowid()?);
+            }
+            self.entries = Some(rids);
+            self.idx = 0;
+        }
+        let entries = self.entries.as_ref().expect("materialized");
+        if self.idx >= entries.len() {
+            return Ok(None);
+        }
+        let rid = entries[self.idx];
+        self.idx += 1;
+        let seg = db.catalog.table(&self.table)?.seg;
+        let mut values = db.storage.heap_fetch(seg, rid)?;
+        values.push(Value::RowId(rid));
+        Ok(Some(ExecRow::new(values)))
+    }
+
+    fn reset(&mut self, _db: &mut Database) -> Result<()> {
+        self.entries = None;
+        self.idx = 0;
+        Ok(())
+    }
+}
+
+/// Plan-time constant rows (COUNT(*) fast path).
+struct ConstRowsExec {
+    rows: Vec<Vec<Value>>,
+    idx: usize,
+}
+
+impl ExecNode for ConstRowsExec {
+    fn next(&mut self, _db: &mut Database) -> Result<Option<ExecRow>> {
+        if self.idx >= self.rows.len() {
+            return Ok(None);
+        }
+        let row = self.rows[self.idx].clone();
+        self.idx += 1;
+        Ok(Some(ExecRow::new(row)))
+    }
+
+    fn reset(&mut self, _db: &mut Database) -> Result<()> {
+        self.idx = 0;
+        Ok(())
+    }
+}
+
+/// Single-row fetch by rowid. A rowid pointing at a deleted slot yields
+/// no row (stale rowids simply do not match, like Oracle).
+struct RowIdEqExec {
+    table: String,
+    rid: RowId,
+    done: bool,
+}
+
+impl ExecNode for RowIdEqExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let seg = db.catalog.table(&self.table)?.seg;
+        match db.storage.heap_fetch(seg, self.rid) {
+            Ok(mut values) => {
+                values.push(Value::RowId(self.rid));
+                Ok(Some(ExecRow::new(values)))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    fn reset(&mut self, _db: &mut Database) -> Result<()> {
+        self.done = false;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// domain-index scan
+// ---------------------------------------------------------------------------
+
+/// Drives ODCIIndexStart/Fetch/Close on a cartridge and joins returned
+/// rowids to base rows — the server half of Fig. 1's index-access path.
+struct DomainScanExec {
+    table: String,
+    index: String,
+    call: OperatorCall,
+    label: Option<i64>,
+    runtime: Option<(Arc<dyn OdciIndex>, IndexInfo, String)>,
+    ctx: Option<ScanContext>,
+    buffer: VecDeque<FetchedRow>,
+    fetch_done: bool,
+    closed: bool,
+}
+
+impl DomainScanExec {
+    fn new(table: String, index: String, call: OperatorCall, label: Option<i64>) -> Self {
+        DomainScanExec {
+            table,
+            index,
+            call,
+            label,
+            runtime: None,
+            ctx: None,
+            buffer: VecDeque::new(),
+            fetch_done: false,
+            closed: false,
+        }
+    }
+
+    /// Replace the operator arguments (domain-join parameterization).
+    fn set_args(&mut self, args: Vec<Value>) {
+        self.call.args = args;
+    }
+
+    fn ensure_runtime(&mut self, db: &mut Database) -> Result<()> {
+        if self.runtime.is_none() {
+            let def = db
+                .catalog
+                .domain_index(&self.index)
+                .ok_or_else(|| Error::not_found("domain index", self.index.clone()))?
+                .clone();
+            let (index, _, info) = db.domain_index_runtime(&def)?;
+            self.runtime = Some((index, info, def.indextype));
+        }
+        Ok(())
+    }
+
+    fn open(&mut self, db: &mut Database) -> Result<()> {
+        self.ensure_runtime(db)?;
+        let (index, info, indextype) = self.runtime.as_ref().expect("runtime resolved").clone();
+        db.trace_event(
+            Component::IndexAccess,
+            "ODCIIndexStart",
+            &indextype,
+            format!("{}({} args)", self.call.operator, self.call.args.len()),
+        );
+        let mut ctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
+        let scan_ctx = index.start(&mut ctx, &info, &self.call)?;
+        self.ctx = Some(scan_ctx);
+        self.fetch_done = false;
+        self.closed = false;
+        self.buffer.clear();
+        Ok(())
+    }
+
+    fn close(&mut self, db: &mut Database) -> Result<()> {
+        if let Some(ctx) = self.ctx.take() {
+            if !self.closed {
+                let (index, info, indextype) =
+                    self.runtime.as_ref().expect("runtime resolved").clone();
+                db.trace_event(Component::IndexAccess, "ODCIIndexClose", &indextype, "");
+                let mut sctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
+                index.close(&mut sctx, &info, ctx)?;
+                self.closed = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ExecNode for DomainScanExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        if self.ctx.is_none() && !self.closed {
+            self.open(db)?;
+        }
+        loop {
+            if let Some(fr) = self.buffer.pop_front() {
+                let seg = db.catalog.table(&self.table)?.seg;
+                let mut values = db.storage.heap_fetch(seg, fr.rowid)?;
+                values.push(Value::RowId(fr.rowid));
+                let mut row = ExecRow::new(values);
+                if let (Some(label), Some(v)) = (self.label, fr.ancillary) {
+                    row.ancillary.push((label, v));
+                }
+                return Ok(Some(row));
+            }
+            if self.fetch_done {
+                self.close(db)?;
+                return Ok(None);
+            }
+            let (index, info, indextype) = self.runtime.as_ref().expect("runtime resolved").clone();
+            let batch = db.batch_size();
+            db.trace_event(
+                Component::IndexAccess,
+                "ODCIIndexFetch",
+                &indextype,
+                format!("nrows={batch}"),
+            );
+            let ctx = self.ctx.as_mut().expect("scan open");
+            let mut sctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
+            let result = index.fetch(&mut sctx, &info, ctx, batch)?;
+            self.fetch_done = result.done;
+            self.buffer.extend(result.rows);
+        }
+    }
+
+    fn reset(&mut self, db: &mut Database) -> Result<()> {
+        self.close(db)?;
+        self.ctx = None;
+        self.closed = false;
+        self.fetch_done = false;
+        self.buffer.clear();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// joins
+// ---------------------------------------------------------------------------
+
+struct NestedLoopJoinExec {
+    left: Box<dyn ExecNode>,
+    right: Box<dyn ExecNode>,
+    pred: Option<RExpr>,
+    current: Option<ExecRow>,
+    started: bool,
+}
+
+impl ExecNode for NestedLoopJoinExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        loop {
+            if self.current.is_none() {
+                match self.left.next(db)? {
+                    Some(l) => {
+                        self.current = Some(l);
+                        if self.started {
+                            self.right.reset(db)?;
+                        }
+                        self.started = true;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            match self.right.next(db)? {
+                Some(r) => {
+                    let left = self.current.as_ref().expect("outer row present");
+                    let mut values = left.values.clone();
+                    values.extend(r.values);
+                    let mut row = ExecRow::new(values);
+                    row.ancillary.extend(left.ancillary.iter().cloned());
+                    row.ancillary.extend(r.ancillary);
+                    if let Some(pred) = &self.pred {
+                        let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                        if !filter_accepts(&eval(pred, &row, &ctx)?) {
+                            continue;
+                        }
+                    }
+                    return Ok(Some(row));
+                }
+                None => {
+                    self.current = None;
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self, db: &mut Database) -> Result<()> {
+        self.left.reset(db)?;
+        self.right.reset(db)?;
+        self.current = None;
+        self.started = false;
+        Ok(())
+    }
+}
+
+/// Nested loop whose inner side is a parameterized domain scan: the outer
+/// row's values become the operator's arguments (spatial-join pattern).
+struct DomainJoinExec {
+    left: Box<dyn ExecNode>,
+    scan: DomainScanExec,
+    arg_exprs: Vec<RExpr>,
+    current: Option<ExecRow>,
+}
+
+impl ExecNode for DomainJoinExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        loop {
+            if self.current.is_none() {
+                match self.left.next(db)? {
+                    Some(l) => {
+                        let args: Vec<Value> = {
+                            let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                            self.arg_exprs
+                                .iter()
+                                .map(|e| eval(e, &l, &ctx))
+                                .collect::<Result<_>>()?
+                        };
+                        self.scan.reset(db)?;
+                        self.scan.set_args(args);
+                        self.current = Some(l);
+                    }
+                    None => return Ok(None),
+                }
+            }
+            match self.scan.next(db)? {
+                Some(r) => {
+                    let left = self.current.as_ref().expect("outer row present");
+                    let mut values = left.values.clone();
+                    values.extend(r.values);
+                    let mut row = ExecRow::new(values);
+                    row.ancillary.extend(left.ancillary.iter().cloned());
+                    row.ancillary.extend(r.ancillary);
+                    return Ok(Some(row));
+                }
+                None => {
+                    self.current = None;
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self, db: &mut Database) -> Result<()> {
+        self.left.reset(db)?;
+        self.scan.reset(db)?;
+        self.current = None;
+        Ok(())
+    }
+}
+
+struct HashJoinExec {
+    left: Box<dyn ExecNode>,
+    right: Box<dyn ExecNode>,
+    left_key: RExpr,
+    right_key: RExpr,
+    extra_pred: Option<RExpr>,
+    /// Build side (right input) keyed by join key.
+    table: Option<BTreeMap<Key, Vec<ExecRow>>>,
+    pending: VecDeque<ExecRow>,
+}
+
+impl ExecNode for HashJoinExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        if self.table.is_none() {
+            let mut table: BTreeMap<Key, Vec<ExecRow>> = BTreeMap::new();
+            while let Some(r) = self.right.next(db)? {
+                let key = {
+                    let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                    eval(&self.right_key, &r, &ctx)?
+                };
+                if key.is_null() {
+                    continue; // NULL keys never join
+                }
+                table.entry(Key::single(key)).or_default().push(r);
+            }
+            self.table = Some(table);
+        }
+        loop {
+            if let Some(row) = self.pending.pop_front() {
+                return Ok(Some(row));
+            }
+            let left = match self.left.next(db)? {
+                Some(l) => l,
+                None => return Ok(None),
+            };
+            let key = {
+                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                eval(&self.left_key, &left, &ctx)?
+            };
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = self.table.as_ref().expect("built").get(&Key::single(key)) {
+                for m in matches {
+                    let mut values = left.values.clone();
+                    values.extend(m.values.iter().cloned());
+                    let mut row = ExecRow::new(values);
+                    row.ancillary.extend(left.ancillary.iter().cloned());
+                    row.ancillary.extend(m.ancillary.iter().cloned());
+                    if let Some(pred) = &self.extra_pred {
+                        let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                        if !filter_accepts(&eval(pred, &row, &ctx)?) {
+                            continue;
+                        }
+                    }
+                    self.pending.push_back(row);
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self, db: &mut Database) -> Result<()> {
+        self.left.reset(db)?;
+        self.right.reset(db)?;
+        self.table = None;
+        self.pending.clear();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// row transforms
+// ---------------------------------------------------------------------------
+
+struct FilterExec {
+    input: Box<dyn ExecNode>,
+    pred: RExpr,
+}
+
+impl ExecNode for FilterExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        while let Some(row) = self.input.next(db)? {
+            let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+            if filter_accepts(&eval(&self.pred, &row, &ctx)?) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    fn reset(&mut self, db: &mut Database) -> Result<()> {
+        self.input.reset(db)
+    }
+}
+
+struct ProjectExec {
+    input: Box<dyn ExecNode>,
+    exprs: Vec<RExpr>,
+}
+
+impl ExecNode for ProjectExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        match self.input.next(db)? {
+            Some(row) => {
+                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                let values: Vec<Value> =
+                    self.exprs.iter().map(|e| eval(e, &row, &ctx)).collect::<Result<_>>()?;
+                let mut out = ExecRow::new(values);
+                out.ancillary = row.ancillary;
+                Ok(Some(out))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn reset(&mut self, db: &mut Database) -> Result<()> {
+        self.input.reset(db)
+    }
+}
+
+struct SortExec {
+    input: Box<dyn ExecNode>,
+    keys: Vec<(RExpr, bool)>,
+    sorted: Option<VecDeque<ExecRow>>,
+}
+
+impl ExecNode for SortExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        if self.sorted.is_none() {
+            let mut rows: Vec<(Vec<Value>, ExecRow)> = Vec::new();
+            while let Some(r) = self.input.next(db)? {
+                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                let key: Vec<Value> =
+                    self.keys.iter().map(|(e, _)| eval(e, &r, &ctx)).collect::<Result<_>>()?;
+                rows.push((key, r));
+            }
+            let dirs: Vec<bool> = self.keys.iter().map(|(_, d)| *d).collect();
+            rows.sort_by(|(a, _), (b, _)| {
+                for ((x, y), desc) in a.iter().zip(b.iter()).zip(&dirs) {
+                    let ord = x.total_cmp(y);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            self.sorted = Some(rows.into_iter().map(|(_, r)| r).collect());
+        }
+        Ok(self.sorted.as_mut().expect("sorted").pop_front())
+    }
+
+    fn reset(&mut self, db: &mut Database) -> Result<()> {
+        self.sorted = None;
+        self.input.reset(db)
+    }
+}
+
+struct LimitExec {
+    input: Box<dyn ExecNode>,
+    n: u64,
+    produced: u64,
+}
+
+impl ExecNode for LimitExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        if self.produced >= self.n {
+            // Give scans beneath a chance to close their ODCI contexts.
+            self.input.reset(db)?;
+            return Ok(None);
+        }
+        match self.input.next(db)? {
+            Some(r) => {
+                self.produced += 1;
+                Ok(Some(r))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn reset(&mut self, db: &mut Database) -> Result<()> {
+        self.produced = 0;
+        self.input.reset(db)
+    }
+}
+
+struct DistinctExec {
+    input: Box<dyn ExecNode>,
+    seen: BTreeMap<Key, ()>,
+}
+
+impl ExecNode for DistinctExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        while let Some(r) = self.input.next(db)? {
+            let key = Key(r.values.clone());
+            if self.seen.insert(key, ()).is_none() {
+                return Ok(Some(r));
+            }
+        }
+        Ok(None)
+    }
+
+    fn reset(&mut self, db: &mut Database) -> Result<()> {
+        self.seen.clear();
+        self.input.reset(db)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aggregation
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct AggState {
+    kind: AggKind,
+    count: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new(kind: AggKind) -> Self {
+        AggState { kind, count: 0, sum: 0.0, min: None, max: None }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match v {
+            None => {
+                // COUNT(*): every row counts.
+                self.count += 1;
+            }
+            Some(Value::Null) => {}
+            Some(v) => {
+                self.count += 1;
+                match self.kind {
+                    AggKind::Sum | AggKind::Avg => self.sum += v.as_number()?,
+                    AggKind::Min => {
+                        let lower = self
+                            .min
+                            .as_ref()
+                            .map(|m| v.total_cmp(m) == std::cmp::Ordering::Less)
+                            .unwrap_or(true);
+                        if lower {
+                            self.min = Some(v.clone());
+                        }
+                    }
+                    AggKind::Max => {
+                        let higher = self
+                            .max
+                            .as_ref()
+                            .map(|m| v.total_cmp(m) == std::cmp::Ordering::Greater)
+                            .unwrap_or(true);
+                        if higher {
+                            self.max = Some(v.clone());
+                        }
+                    }
+                    AggKind::Count => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self.kind {
+            AggKind::Count => Value::Integer(self.count as i64),
+            AggKind::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Number(self.sum)
+                }
+            }
+            AggKind::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Number(self.sum / self.count as f64)
+                }
+            }
+            AggKind::Min => self.min.clone().unwrap_or(Value::Null),
+            AggKind::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+struct AggregateExec {
+    input: Box<dyn ExecNode>,
+    group: Vec<RExpr>,
+    aggs: Vec<(AggKind, Option<RExpr>)>,
+    output: Option<VecDeque<ExecRow>>,
+}
+
+impl ExecNode for AggregateExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        if self.output.is_none() {
+            // Group order: first-seen, tracked separately from the map.
+            let mut groups: BTreeMap<Key, Vec<AggState>> = BTreeMap::new();
+            let mut order: Vec<Key> = Vec::new();
+            let mut any_row = false;
+            while let Some(r) = self.input.next(db)? {
+                any_row = true;
+                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                let key_vals: Vec<Value> =
+                    self.group.iter().map(|e| eval(e, &r, &ctx)).collect::<Result<_>>()?;
+                let key = Key(key_vals);
+                let states = match groups.get_mut(&key) {
+                    Some(s) => s,
+                    None => {
+                        order.push(key.clone());
+                        groups
+                            .entry(key.clone())
+                            .or_insert_with(|| self.aggs.iter().map(|(k, _)| AggState::new(*k)).collect())
+                    }
+                };
+                for ((_, arg), state) in self.aggs.iter().zip(states.iter_mut()) {
+                    match arg {
+                        None => state.update(None)?,
+                        Some(e) => {
+                            let v = eval(e, &r, &ctx)?;
+                            state.update(Some(&v))?;
+                        }
+                    }
+                }
+            }
+            // Global aggregate over zero rows still yields one group.
+            if !any_row && self.group.is_empty() {
+                groups.insert(
+                    Key(vec![]),
+                    self.aggs.iter().map(|(k, _)| AggState::new(*k)).collect(),
+                );
+                order.push(Key(vec![]));
+            }
+            let mut out = VecDeque::with_capacity(order.len());
+            for key in order {
+                let states = &groups[&key];
+                let mut values = key.0.clone();
+                values.extend(states.iter().map(|s| s.finish()));
+                out.push_back(ExecRow::new(values));
+            }
+            self.output = Some(out);
+        }
+        Ok(self.output.as_mut().expect("aggregated").pop_front())
+    }
+
+    fn reset(&mut self, db: &mut Database) -> Result<()> {
+        self.output = None;
+        self.input.reset(db)
+    }
+}
+
+// Re-export for the optimizer's BinOp usage in key matching (avoids an
+// unused-import warning when compiled standalone).
+#[allow(unused)]
+fn _uses(_: BinOp, _: PredicateBound) {}

@@ -1,0 +1,308 @@
+//! SQL lexer.
+//!
+//! Tokenizes the engine's Oracle-flavoured SQL dialect. Keywords are not
+//! reserved at the lexer level — identifiers are upper-cased and the
+//! parser decides contextually, which keeps cartridge-invented names
+//! (`Contains`, `Sdo_Relate`, …) usable everywhere.
+
+use extidx_common::{Error, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword, upper-cased.
+    Ident(String),
+    /// String literal (content, with `''` unescaped to `'`).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Num(f64),
+    /// `?` bind placeholder.
+    Question,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::Question => write!(f, "?"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // line comment
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // string literal with '' escaping
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            i += 1;
+                        }
+                        None => return Err(Error::Parse("unterminated string literal".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    let mut j = i + 1;
+                    if chars.get(j) == Some(&'+') || chars.get(j) == Some(&'-') {
+                        j += 1;
+                    }
+                    if chars.get(j).is_some_and(|d| d.is_ascii_digit()) {
+                        is_float = true;
+                        i = j;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| Error::Parse(format!("bad number literal {text}")))?;
+                    out.push(Token::Num(v));
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => out.push(Token::Int(v)),
+                        Err(_) => {
+                            let v = text
+                                .parse::<f64>()
+                                .map_err(|_| Error::Parse(format!("bad number literal {text}")))?;
+                            out.push(Token::Num(v));
+                        }
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(Token::Ident(text.to_ascii_uppercase()));
+            }
+            '?' => {
+                out.push(Token::Question);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            other => return Err(Error::Parse(format!("unexpected character {other:?} at {i}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_papers_query() {
+        let toks = lex("SELECT * FROM Employees WHERE Contains(resume, 'Oracle AND UNIX');").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[1], Token::Star);
+        assert!(toks.contains(&Token::Str("Oracle AND UNIX".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn identifiers_uppercase_and_allow_dollar() {
+        let toks = lex("dr$idx$i _x").unwrap();
+        assert_eq!(toks[0], Token::Ident("DR$IDX$I".into()));
+        assert_eq!(toks[1], Token::Ident("_X".into()));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks[0], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn unterminated_string_fails() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = lex("1 2.5 1e3 10.25e-1 99999999999999999999").unwrap();
+        assert_eq!(toks[0], Token::Int(1));
+        assert_eq!(toks[1], Token::Num(2.5));
+        assert_eq!(toks[2], Token::Num(1000.0));
+        assert_eq!(toks[3], Token::Num(1.025));
+        assert!(matches!(toks[4], Token::Num(_)), "overflowing int falls back to float");
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("= != <> < <= > >=").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Eq, Token::Ne, Token::Ne, Token::Lt, Token::Le, Token::Gt, Token::Ge]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn dotted_number_vs_member_access() {
+        // `t.img` must lex as Ident Dot Ident, while `1.5` is a number.
+        let toks = lex("t.img 1.5 r.rowid").unwrap();
+        assert_eq!(toks[0], Token::Ident("T".into()));
+        assert_eq!(toks[1], Token::Dot);
+        assert_eq!(toks[3], Token::Num(1.5));
+    }
+
+    #[test]
+    fn bind_placeholder() {
+        let toks = lex("WHERE id = ?").unwrap();
+        assert_eq!(*toks.last().unwrap(), Token::Question);
+    }
+}

@@ -1,0 +1,33 @@
+//! # extidx-sql — the host relational engine
+//!
+//! A compact Oracle8i stand-in hosting the extensible indexing framework:
+//! a SQL dialect (parser + AST), a data dictionary, a cost-based optimizer
+//! with cartridge-supplied selectivity/cost callbacks, a Volcano-style
+//! executor that drives ODCIIndex scan routines in a pipelined fashion,
+//! implicit domain-index maintenance on DML, transactions with rollback,
+//! and the server-callback surface cartridge code uses to store its index
+//! data inside the database.
+//!
+//! Entry point: [`Database`].
+//!
+//! ```
+//! use extidx_sql::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE t (id INTEGER, name VARCHAR2(20))").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 'ada'), (2, 'grace')").unwrap();
+//! let rows = db.query("SELECT name FROM t WHERE id = 2").unwrap();
+//! assert_eq!(rows[0][0].to_string(), "grace");
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod database;
+pub mod executor;
+pub mod expr;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+
+pub use database::{Database, QueryCursor, StmtResult};

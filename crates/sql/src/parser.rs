@@ -1,0 +1,1069 @@
+//! Recursive-descent SQL parser.
+//!
+//! Produces [`Statement`]s from token streams. The grammar mirrors the
+//! paper's examples, including the extensibility DDL:
+//!
+//! ```sql
+//! CREATE OPERATOR Contains BINDING (VARCHAR2, VARCHAR2) RETURN NUMBER USING TextContains;
+//! CREATE INDEXTYPE TextIndexType FOR Contains(VARCHAR2, VARCHAR2) USING TextIndexMethods;
+//! CREATE INDEX ResumeTextIndex ON Employees(resume)
+//!   INDEXTYPE IS TextIndexType PARAMETERS (':Language English :Ignore the a an');
+//! ```
+
+use extidx_common::{Error, Result, Value};
+
+use crate::ast::*;
+use crate::lexer::{lex, Token};
+
+/// Parse one statement (an optional trailing `;` is accepted).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let stmt = p.statement()?;
+    p.eat(&Token::Semicolon);
+    if !p.at_end() {
+        return Err(Error::Parse(format!("unexpected trailing input at token {}", p.pos)));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    params: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Parse("unexpected end of statement".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    /// Consume `tok` if present; report whether it was.
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<()> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected {tok} but found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    /// Consume a keyword (case-insensitive identifier) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Some(Token::Ident(s)) if s == kw => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected {kw} but found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Str(s) => Ok(s),
+            other => Err(Error::Parse(format!("expected string literal, found {other}"))),
+        }
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("EXPLAIN") {
+            let inner = self.statement()?;
+            return Ok(Statement::Explain(Box::new(inner)));
+        }
+        if self.peek_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("DELETE") {
+            return self.delete();
+        }
+        if self.eat_kw("BEGIN") {
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("COMMIT") {
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("ROLLBACK") {
+            return Ok(Statement::Rollback);
+        }
+        if self.eat_kw("CREATE") {
+            return self.create();
+        }
+        if self.eat_kw("DROP") {
+            return self.drop();
+        }
+        if self.eat_kw("ALTER") {
+            return self.alter();
+        }
+        if self.eat_kw("TRUNCATE") {
+            self.expect_kw("TABLE")?;
+            return Ok(Statement::TruncateTable { name: self.ident()? });
+        }
+        if self.eat_kw("ANALYZE") {
+            self.expect_kw("TABLE")?;
+            return Ok(Statement::AnalyzeTable { name: self.ident()? });
+        }
+        Err(Error::Parse(format!(
+            "unrecognized statement start: {}",
+            self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+        )))
+    }
+
+    // ---- SELECT ----------------------------------------------------------------
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident()?;
+            let alias = match self.peek() {
+                Some(Token::Ident(s)) if !is_clause_keyword(s) => {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            };
+            from.push(TableRef { table, alias });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => Some(n as u64),
+                other => return Err(Error::Parse(format!("expected LIMIT count, found {other}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Select { distinct, items, from, where_clause, group_by, having, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // alias.* form
+        if let (Some(Token::Ident(q)), Some(Token::Dot)) = (self.peek(), self.peek2()) {
+            if self.tokens.get(self.pos + 2) == Some(&Token::Star) {
+                let q = q.clone();
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            match self.peek() {
+                Some(Token::Ident(s)) if !is_clause_keyword(s) => {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            }
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // ---- DML --------------------------------------------------------------------
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let mut columns = None;
+        if self.peek() == Some(&Token::LParen) {
+            // Could be a column list; disambiguate by requiring idents
+            // only followed by VALUES/SELECT.
+            let save = self.pos;
+            self.pos += 1;
+            let mut cols = Vec::new();
+            let mut ok = true;
+            loop {
+                match self.peek() {
+                    Some(Token::Ident(_)) => {
+                        cols.push(self.ident()?);
+                    }
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                if !self.eat(&Token::Comma) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && (self.peek_kw("VALUES") || self.peek_kw("SELECT")) {
+                columns = Some(cols);
+            } else {
+                self.pos = save;
+            }
+        }
+        if self.eat_kw("VALUES") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Token::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                rows.push(row);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            return Ok(Statement::Insert { table, columns, source: InsertSource::Values(rows) });
+        }
+        if self.peek_kw("SELECT") {
+            let q = self.select()?;
+            return Ok(Statement::Insert { table, columns, source: InsertSource::Query(Box::new(q)) });
+        }
+        Err(Error::Parse("expected VALUES or SELECT in INSERT".into()))
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let value = self.expr()?;
+            assignments.push((col, value));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, assignments, where_clause })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, where_clause })
+    }
+
+    // ---- DDL -----------------------------------------------------------------------
+
+    fn create(&mut self) -> Result<Statement> {
+        if self.eat_kw("TABLE") {
+            return self.create_table();
+        }
+        if self.eat_kw("TYPE") {
+            let name = self.ident()?;
+            self.expect_kw("AS")?;
+            self.expect_kw("OBJECT")?;
+            self.expect(&Token::LParen)?;
+            let mut attrs = Vec::new();
+            loop {
+                let name = self.ident()?;
+                let type_name = self.type_spec()?;
+                attrs.push(ColumnSpec { name, type_name });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Statement::CreateType { name, attrs });
+        }
+        if self.eat_kw("INDEX") {
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let column = self.ident()?;
+            self.expect(&Token::RParen)?;
+            let mut indextype = None;
+            let mut parameters = None;
+            if self.eat_kw("INDEXTYPE") {
+                self.expect_kw("IS")?;
+                indextype = Some(self.ident()?);
+            }
+            if self.eat_kw("PARAMETERS") {
+                self.expect(&Token::LParen)?;
+                parameters = Some(self.string()?);
+                self.expect(&Token::RParen)?;
+            }
+            return Ok(Statement::CreateIndex { name, table, column, indextype, parameters });
+        }
+        if self.eat_kw("OPERATOR") {
+            let name = self.ident()?;
+            self.expect_kw("BINDING")?;
+            let mut bindings = Vec::new();
+            loop {
+                self.expect(&Token::LParen)?;
+                let mut arg_types = Vec::new();
+                if self.peek() != Some(&Token::RParen) {
+                    loop {
+                        arg_types.push(self.type_spec()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                self.expect_kw("RETURN")?;
+                let return_type = self.type_spec()?;
+                self.expect_kw("USING")?;
+                let function_name = self.ident()?;
+                bindings.push(BindingSpec { arg_types, return_type, function_name });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            return Ok(Statement::CreateOperator { name, bindings });
+        }
+        if self.eat_kw("INDEXTYPE") {
+            let name = self.ident()?;
+            self.expect_kw("FOR")?;
+            let mut operators = Vec::new();
+            loop {
+                let op_name = self.ident()?;
+                self.expect(&Token::LParen)?;
+                let mut arg_types = Vec::new();
+                if self.peek() != Some(&Token::RParen) {
+                    loop {
+                        arg_types.push(self.type_spec()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                operators.push(IndexTypeOpSpec { name: op_name, arg_types });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_kw("USING")?;
+            let using = self.ident()?;
+            return Ok(Statement::CreateIndexType { name, operators, using });
+        }
+        Err(Error::Parse("expected TABLE, TYPE, INDEX, OPERATOR, or INDEXTYPE after CREATE".into()))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key = Vec::new();
+        loop {
+            if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                self.expect(&Token::LParen)?;
+                loop {
+                    primary_key.push(self.ident()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            } else {
+                let col_name = self.ident()?;
+                let type_name = self.type_spec()?;
+                columns.push(ColumnSpec { name: col_name, type_name });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let organization_index = if self.eat_kw("ORGANIZATION") {
+            self.expect_kw("INDEX")?;
+            true
+        } else {
+            false
+        };
+        Ok(Statement::CreateTable { name, columns, primary_key, organization_index })
+    }
+
+    fn drop(&mut self) -> Result<Statement> {
+        if self.eat_kw("TABLE") {
+            return Ok(Statement::DropTable { name: self.ident()? });
+        }
+        if self.eat_kw("INDEX") {
+            return Ok(Statement::DropIndex { name: self.ident()? });
+        }
+        if self.eat_kw("OPERATOR") {
+            return Ok(Statement::DropOperator { name: self.ident()? });
+        }
+        if self.eat_kw("INDEXTYPE") {
+            return Ok(Statement::DropIndexType { name: self.ident()? });
+        }
+        Err(Error::Parse("expected TABLE, INDEX, OPERATOR, or INDEXTYPE after DROP".into()))
+    }
+
+    fn alter(&mut self) -> Result<Statement> {
+        self.expect_kw("INDEX")?;
+        let name = self.ident()?;
+        self.expect_kw("PARAMETERS")?;
+        self.expect(&Token::LParen)?;
+        let parameters = self.string()?;
+        self.expect(&Token::RParen)?;
+        Ok(Statement::AlterIndex { name, parameters })
+    }
+
+    fn type_spec(&mut self) -> Result<TypeSpec> {
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "INTEGER" | "INT" => TypeSpec::Integer,
+            "NUMBER" | "FLOAT" | "DOUBLE" => TypeSpec::Number,
+            "VARCHAR" | "VARCHAR2" | "CHAR" => {
+                let mut n = 4000;
+                if self.eat(&Token::LParen) {
+                    match self.next()? {
+                        Token::Int(v) if v > 0 => n = v as u32,
+                        other => {
+                            return Err(Error::Parse(format!("expected length, found {other}")))
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                TypeSpec::Varchar(n)
+            }
+            "BOOLEAN" => TypeSpec::Boolean,
+            "LOB" | "BLOB" | "CLOB" => TypeSpec::Lob,
+            "ROWID" => TypeSpec::RowId,
+            "VARRAY" => {
+                self.expect_kw("OF")?;
+                TypeSpec::VArray(Box::new(self.type_spec()?))
+            }
+            _ => TypeSpec::Named(name),
+        })
+    }
+
+    // ---- expressions ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let lhs = self.additive()?;
+        // postfix predicates
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull(Box::new(lhs), negated));
+        }
+        if self.eat_kw("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between(Box::new(lhs), Box::new(lo), Box::new(hi)));
+        }
+        if self.eat_kw("NOT") {
+            // NOT LIKE / NOT IN
+            if self.eat_kw("LIKE") {
+                let rhs = self.additive()?;
+                return Ok(Expr::Unary(
+                    UnOp::Not,
+                    Box::new(Expr::Binary(BinOp::Like, Box::new(lhs), Box::new(rhs))),
+                ));
+            }
+            if self.eat_kw("IN") {
+                let list = self.in_list()?;
+                return Ok(Expr::Unary(UnOp::Not, Box::new(Expr::InList(Box::new(lhs), list))));
+            }
+            return Err(Error::Parse("expected LIKE or IN after NOT".into()));
+        }
+        if self.eat_kw("LIKE") {
+            let rhs = self.additive()?;
+            return Ok(Expr::Binary(BinOp::Like, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.eat_kw("IN") {
+            let list = self.in_list()?;
+            return Ok(Expr::InList(Box::new(lhs), list));
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.additive()?;
+            return Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn in_list(&mut self) -> Result<Vec<Expr>> {
+        self.expect(&Token::LParen)?;
+        let mut list = Vec::new();
+        loop {
+            list.push(self.expr()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(list)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary()?;
+            // Fold negative literals immediately for cleaner plans.
+            if let Expr::Literal(Value::Integer(i)) = inner {
+                return Ok(Expr::Literal(Value::Integer(-i)));
+            }
+            if let Expr::Literal(Value::Number(n)) = inner {
+                return Ok(Expr::Literal(Value::Number(-n)));
+            }
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner)));
+        }
+        self.postfix()
+    }
+
+    /// Primary expression plus any `.attr` accesses.
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        while self.peek() == Some(&Token::Dot) {
+            // `.` after a column ref or call = attribute access; after an
+            // unqualified column it may also be a table qualifier, which
+            // primary() already folded. Here any further dots are
+            // attribute accesses.
+            self.pos += 1;
+            let attr = self.ident()?;
+            e = Expr::Attribute(Box::new(e), attr);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next()? {
+            Token::Int(i) => Ok(Expr::Literal(Value::Integer(i))),
+            Token::Num(n) => Ok(Expr::Literal(Value::Number(n))),
+            Token::Str(s) => Ok(Expr::Literal(Value::Varchar(s))),
+            Token::Question => {
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Parameter(idx))
+            }
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Star => Ok(Expr::Star),
+            Token::Ident(name) => {
+                match name.as_str() {
+                    "NULL" => return Ok(Expr::Literal(Value::Null)),
+                    "TRUE" => return Ok(Expr::Literal(Value::Boolean(true))),
+                    "FALSE" => return Ok(Expr::Literal(Value::Boolean(false))),
+                    _ => {}
+                }
+                // Function / operator / constructor call?
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            if self.peek() == Some(&Token::Star) {
+                                // COUNT(*)
+                                self.pos += 1;
+                                args.push(Expr::Star);
+                            } else {
+                                args.push(self.expr()?);
+                            }
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Call { name, args });
+                }
+                // Qualified column `q.name`?
+                if self.peek() == Some(&Token::Dot) {
+                    if let Some(Token::Ident(_)) = self.peek2() {
+                        self.pos += 1;
+                        let col = self.ident()?;
+                        return Ok(Expr::Column { qualifier: Some(name), name: col });
+                    }
+                }
+                Ok(Expr::Column { qualifier: None, name })
+            }
+            other => Err(Error::Parse(format!("unexpected token {other} in expression"))),
+        }
+    }
+}
+
+fn is_clause_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "FROM"
+            | "WHERE"
+            | "GROUP"
+            | "HAVING"
+            | "ORDER"
+            | "LIMIT"
+            | "ON"
+            | "SET"
+            | "VALUES"
+            | "AS"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "ASC"
+            | "DESC"
+            | "INDEXTYPE"
+            | "PARAMETERS"
+            | "UNION"
+            | "JOIN"
+            | "INNER"
+            | "LEFT"
+            | "SELECT"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query() {
+        let s = parse("SELECT * FROM Employees WHERE Contains(resume, 'Oracle AND UNIX');").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.items, vec![SelectItem::Wildcard]);
+                assert_eq!(sel.from[0].table, "EMPLOYEES");
+                match sel.where_clause.unwrap() {
+                    Expr::Call { name, args } => {
+                        assert_eq!(name, "CONTAINS");
+                        assert_eq!(args.len(), 2);
+                    }
+                    other => panic!("expected operator call, got {other:?}"),
+                }
+            }
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_domain_index() {
+        let s = parse(
+            "CREATE INDEX ResumeTextIndex ON Employees(resume) \
+             INDEXTYPE IS TextIndexType PARAMETERS (':Language English :Ignore the a an')",
+        )
+        .unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateIndex {
+                name: "RESUMETEXTINDEX".into(),
+                table: "EMPLOYEES".into(),
+                column: "RESUME".into(),
+                indextype: Some("TEXTINDEXTYPE".into()),
+                parameters: Some(":Language English :Ignore the a an".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_plain_btree_index() {
+        let s = parse("CREATE INDEX IdIdx ON Employees(id)").unwrap();
+        match s {
+            Statement::CreateIndex { indextype, parameters, .. } => {
+                assert!(indextype.is_none());
+                assert!(parameters.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_operator() {
+        let s = parse(
+            "CREATE OPERATOR Contains BINDING (VARCHAR2, VARCHAR2) RETURN NUMBER USING TextContains",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateOperator { name, bindings } => {
+                assert_eq!(name, "CONTAINS");
+                assert_eq!(bindings.len(), 1);
+                assert_eq!(bindings[0].function_name, "TEXTCONTAINS");
+                assert_eq!(bindings[0].arg_types.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_indextype() {
+        let s = parse(
+            "CREATE INDEXTYPE TextIndexType FOR Contains(VARCHAR2, VARCHAR2) USING TextIndexMethods",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateIndexType { name, operators, using } => {
+                assert_eq!(name, "TEXTINDEXTYPE");
+                assert_eq!(operators[0].name, "CONTAINS");
+                assert_eq!(using, "TEXTINDEXMETHODS");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_alter_index_parameters() {
+        let s = parse("ALTER INDEX ResumeTextIndex PARAMETERS (':Ignore COBOL')").unwrap();
+        assert_eq!(
+            s,
+            Statement::AlterIndex {
+                name: "RESUMETEXTINDEX".into(),
+                parameters: ":Ignore COBOL".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_create_table_with_iot() {
+        let s = parse(
+            "CREATE TABLE t (token VARCHAR2(64), rid INTEGER, cnt INTEGER, \
+             PRIMARY KEY (token, rid)) ORGANIZATION INDEX",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { columns, primary_key, organization_index, .. } => {
+                assert_eq!(columns.len(), 3);
+                assert_eq!(primary_key, vec!["TOKEN".to_string(), "RID".to_string()]);
+                assert!(organization_index);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_table_join_query() {
+        let s = parse(
+            "SELECT r.gid, p.gid FROM roads r, parks p \
+             WHERE Sdo_Relate(r.geometry, p.geometry, 'mask=OVERLAPS')",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.from.len(), 2);
+                assert_eq!(sel.from[0].alias.as_deref(), Some("R"));
+                assert_eq!(sel.from[1].alias.as_deref(), Some("P"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregates_group_order_limit() {
+        let s = parse(
+            "SELECT dept, COUNT(*), AVG(salary) FROM emp WHERE salary > 10 \
+             GROUP BY dept HAVING COUNT(*) > 2 ORDER BY dept DESC LIMIT 5",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.group_by.len(), 1);
+                assert!(sel.having.is_some());
+                assert!(sel.order_by[0].desc);
+                assert_eq!(sel.limit, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_between_in_isnull_like() {
+        let s = parse(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1,2,3) \
+             AND c IS NOT NULL AND d LIKE 'x%' AND e NOT LIKE 'y%'",
+        );
+        assert!(s.is_ok(), "{s:?}");
+    }
+
+    #[test]
+    fn parses_insert_forms() {
+        assert!(parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')").is_ok());
+        assert!(parse("INSERT INTO t (a, b) VALUES (1, 'a')").is_ok());
+        assert!(parse("INSERT INTO t SELECT a, b FROM s WHERE a > 1").is_ok());
+    }
+
+    #[test]
+    fn parses_update_delete() {
+        assert!(parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").is_ok());
+        assert!(parse("DELETE FROM t WHERE id = 3").is_ok());
+    }
+
+    #[test]
+    fn parses_explain() {
+        let s = parse("EXPLAIN SELECT * FROM t").unwrap();
+        assert!(matches!(s, Statement::Explain(_)));
+    }
+
+    #[test]
+    fn parses_transactions() {
+        assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse("ROLLBACK").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn parses_binds_in_order() {
+        let s = parse("SELECT * FROM t WHERE a = ? AND b = ?").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                let w = sel.where_clause.unwrap();
+                let printed = format!("{w:?}");
+                assert!(printed.contains("Parameter(0)") && printed.contains("Parameter(1)"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_attribute_access() {
+        let s = parse("SELECT t.img.signature FROM images t").unwrap();
+        match s {
+            Statement::Select(sel) => match &sel.items[0] {
+                SelectItem::Expr { expr: Expr::Attribute(inner, attr), .. } => {
+                    assert_eq!(attr, "SIGNATURE");
+                    assert!(matches!(**inner, Expr::Column { .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_rowid_pseudo_column() {
+        let s = parse("SELECT d.rowid FROM docs d WHERE d.rowid = ?").unwrap();
+        match s {
+            Statement::Select(sel) => match &sel.items[0] {
+                SelectItem::Expr { expr: Expr::Column { qualifier, name }, .. } => {
+                    assert_eq!(qualifier.as_deref(), Some("D"));
+                    assert_eq!(name, "ROWID");
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_truncate_analyze() {
+        assert!(matches!(parse("TRUNCATE TABLE t").unwrap(), Statement::TruncateTable { .. }));
+        assert!(matches!(parse("ANALYZE TABLE t").unwrap(), Statement::AnalyzeTable { .. }));
+    }
+
+    #[test]
+    fn parses_create_type() {
+        let s = parse("CREATE TYPE SDO_GEOMETRY AS OBJECT (gtype INTEGER, x NUMBER, y NUMBER)")
+            .unwrap();
+        match s {
+            Statement::CreateType { name, attrs } => {
+                assert_eq!(name, "SDO_GEOMETRY");
+                assert_eq!(attrs.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_varray_type() {
+        let s = parse("CREATE TABLE emp (hobbies VARRAY OF VARCHAR2(32))").unwrap();
+        match s {
+            Statement::CreateTable { columns, .. } => {
+                assert_eq!(columns[0].type_name, TypeSpec::VArray(Box::new(TypeSpec::Varchar(32))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("SELECT * FROM t garbage garbage garbage(").is_err());
+        assert!(parse("SELECT FROM").is_err());
+    }
+
+    #[test]
+    fn operator_relop_bound_parses() {
+        // VIRSimilar(...) <= 10 — operator call under a comparison.
+        let s = parse("SELECT * FROM images WHERE VIRSimilar(sig, ?, 0.5) <= 10").unwrap();
+        match s {
+            Statement::Select(sel) => match sel.where_clause.unwrap() {
+                Expr::Binary(BinOp::Le, lhs, _) => {
+                    assert!(matches!(*lhs, Expr::Call { .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}

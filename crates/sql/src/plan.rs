@@ -1,0 +1,207 @@
+//! Physical query plans.
+//!
+//! A [`PlanNode`] tree is what the optimizer hands the executor. Access
+//! paths mirror §2.4.2's choices: full table scan with functional operator
+//! evaluation, B-tree index access, index-organized-table key access, and
+//! the domain-index scan that drives the cartridge's
+//! ODCIIndexStart/Fetch/Close routines.
+
+use extidx_common::Key;
+use extidx_core::meta::{OperatorCall, PredicateBound};
+
+use crate::expr::{AggKind, RExpr, Scope};
+
+/// A physical plan node plus its output scope and optimizer estimates.
+#[derive(Debug)]
+pub struct PlanNode {
+    pub kind: PlanKind,
+    /// Columns this node outputs.
+    pub scope: Scope,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated cumulative cost (page-read equivalents).
+    pub est_cost: f64,
+}
+
+/// The physical operator.
+#[derive(Debug)]
+pub enum PlanKind {
+    /// Sequential scan of a heap table; exposes columns plus ROWID.
+    FullScan { table: String },
+    /// Full scan of an index-organized table (key order).
+    IotFullScan { table: String },
+    /// Key range access on an index-organized table's primary key.
+    IotRange { table: String, lo: Option<Key>, hi: Option<Key> },
+    /// B-tree index range access: scan index entries, fetch base rows.
+    BTreeAccess { table: String, index: String, lo: Option<Key>, hi: Option<Key> },
+    /// Direct fetch of one row by ROWID (`WHERE t.ROWID = <literal>`).
+    RowIdEq { table: String, rid: extidx_common::RowId },
+    /// Constant result rows computed at plan time (e.g. the COUNT(*)
+    /// fast path answered from table metadata).
+    ConstRows { rows: Vec<Vec<extidx_common::Value>> },
+    /// Domain-index scan: drives ODCIIndexStart/Fetch/Close on the
+    /// indextype, fetches base rows by the returned rowids.
+    DomainScan {
+        table: String,
+        index: String,
+        indextype: String,
+        call: OperatorCall,
+        /// Ancillary label bridging to `SCORE(label)` (§2.4.2 ancillary
+        /// operators).
+        label: Option<i64>,
+    },
+    /// Row filter.
+    Filter { input: Box<PlanNode>, pred: RExpr },
+    /// Projection.
+    Project { input: Box<PlanNode>, exprs: Vec<RExpr> },
+    /// Nested-loop join with optional residual predicate (over the
+    /// concatenated scope).
+    NestedLoopJoin { left: Box<PlanNode>, right: Box<PlanNode>, pred: Option<RExpr> },
+    /// Domain join: for each outer (left) row, evaluate `arg_exprs`
+    /// against it and drive a domain-index scan of `right_table` with the
+    /// resulting argument values — how a user-defined operator acting as
+    /// a *join* condition (`Sdo_Relate(r.geometry, p.geometry, …)`) is
+    /// evaluated through the index.
+    DomainJoin {
+        left: Box<PlanNode>,
+        right_table: String,
+        index: String,
+        indextype: String,
+        operator: String,
+        /// Non-indexed operator arguments, compiled against the left
+        /// scope, evaluated per outer row.
+        arg_exprs: Vec<RExpr>,
+        bound: PredicateBound,
+        label: Option<i64>,
+    },
+    /// Hash join on one equi-key pair (keys compiled against each side's
+    /// scope); `extra_pred` evaluated over the concatenated scope.
+    HashJoin {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        left_key: RExpr,
+        right_key: RExpr,
+        extra_pred: Option<RExpr>,
+    },
+    /// Sort by keys (`true` = descending).
+    Sort { input: Box<PlanNode>, keys: Vec<(RExpr, bool)> },
+    /// Row-count limit.
+    Limit { input: Box<PlanNode>, n: u64 },
+    /// Duplicate elimination over the full row.
+    Distinct { input: Box<PlanNode> },
+    /// Hash aggregation: output = group columns then aggregate results.
+    Aggregate {
+        input: Box<PlanNode>,
+        group: Vec<RExpr>,
+        aggs: Vec<(AggKind, Option<RExpr>)>,
+    },
+}
+
+impl PlanNode {
+    /// Indented one-line-per-node rendering for EXPLAIN.
+    pub fn explain(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut Vec<String>) {
+        let pad = "  ".repeat(depth);
+        let line = match &self.kind {
+            PlanKind::FullScan { table } => format!("{pad}FULL SCAN {table}"),
+            PlanKind::IotFullScan { table } => format!("{pad}IOT FULL SCAN {table}"),
+            PlanKind::IotRange { table, lo, hi } => {
+                format!("{pad}IOT RANGE {table} lo={lo:?} hi={hi:?}")
+            }
+            PlanKind::BTreeAccess { table, index, lo, hi } => {
+                format!("{pad}BTREE ACCESS {table} VIA {index} lo={lo:?} hi={hi:?}")
+            }
+            PlanKind::RowIdEq { table, rid } => format!("{pad}ROWID FETCH {table} {rid}"),
+            PlanKind::ConstRows { rows } => format!("{pad}CONSTANT ({} rows)", rows.len()),
+            PlanKind::DomainScan { table, index, indextype, call, .. } => format!(
+                "{pad}DOMAIN INDEX SCAN {table} VIA {index} ({indextype}) OP {}({} args)",
+                call.operator,
+                call.args.len()
+            ),
+            PlanKind::Filter { pred, .. } => format!("{pad}FILTER {pred:?}"),
+            PlanKind::Project { exprs, .. } => format!("{pad}PROJECT {} cols", exprs.len()),
+            PlanKind::NestedLoopJoin { pred, .. } => {
+                format!("{pad}NESTED LOOP JOIN pred={pred:?}")
+            }
+            PlanKind::DomainJoin { right_table, index, indextype, operator, .. } => format!(
+                "{pad}DOMAIN JOIN {right_table} VIA {index} ({indextype}) OP {operator}"
+            ),
+            PlanKind::HashJoin { left_key, right_key, .. } => {
+                format!("{pad}HASH JOIN {left_key:?} = {right_key:?}")
+            }
+            PlanKind::Sort { keys, .. } => format!("{pad}SORT {} keys", keys.len()),
+            PlanKind::Limit { n, .. } => format!("{pad}LIMIT {n}"),
+            PlanKind::Distinct { .. } => format!("{pad}DISTINCT"),
+            PlanKind::Aggregate { group, aggs, .. } => {
+                format!("{pad}AGGREGATE groups={} aggs={}", group.len(), aggs.len())
+            }
+        };
+        out.push(format!("{line}  (rows={:.0} cost={:.1})", self.est_rows, self.est_cost));
+        match &self.kind {
+            PlanKind::Filter { input, .. }
+            | PlanKind::Project { input, .. }
+            | PlanKind::Sort { input, .. }
+            | PlanKind::Limit { input, .. }
+            | PlanKind::Distinct { input }
+            | PlanKind::Aggregate { input, .. } => input.explain_into(depth + 1, out),
+            PlanKind::NestedLoopJoin { left, right, .. }
+            | PlanKind::HashJoin { left, right, .. } => {
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PlanKind::DomainJoin { left, .. } => left.explain_into(depth + 1, out),
+            _ => {}
+        }
+    }
+
+    /// The access-path names appearing in this plan, in pre-order — used
+    /// by tests asserting which path the optimizer chose.
+    pub fn access_paths(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_paths(&mut out);
+        out
+    }
+
+    fn collect_paths(&self, out: &mut Vec<String>) {
+        match &self.kind {
+            PlanKind::FullScan { table } => out.push(format!("FULL({table})")),
+            PlanKind::IotFullScan { table } => out.push(format!("IOTFULL({table})")),
+            PlanKind::IotRange { table, .. } => out.push(format!("IOTRANGE({table})")),
+            PlanKind::BTreeAccess { table, index, .. } => {
+                out.push(format!("BTREE({table},{index})"))
+            }
+            PlanKind::RowIdEq { table, .. } => out.push(format!("ROWIDEQ({table})")),
+            PlanKind::ConstRows { .. } => out.push("CONST".to_string()),
+            PlanKind::DomainScan { table, index, .. } => {
+                out.push(format!("DOMAIN({table},{index})"))
+            }
+            PlanKind::Filter { input, .. }
+            | PlanKind::Project { input, .. }
+            | PlanKind::Sort { input, .. }
+            | PlanKind::Limit { input, .. }
+            | PlanKind::Distinct { input }
+            | PlanKind::Aggregate { input, .. } => input.collect_paths(out),
+            PlanKind::NestedLoopJoin { left, right, .. }
+            | PlanKind::HashJoin { left, right, .. } => {
+                left.collect_paths(out);
+                right.collect_paths(out);
+            }
+            PlanKind::DomainJoin { left, right_table, index, .. } => {
+                left.collect_paths(out);
+                out.push(format!("DOMAINJOIN({right_table},{index})"));
+            }
+        }
+    }
+}
+
+/// A fully planned query: the root node plus output column names.
+#[derive(Debug)]
+pub struct PlannedQuery {
+    pub root: PlanNode,
+    pub column_names: Vec<String>,
+}

@@ -1,0 +1,71 @@
+//! Tests for scalar builtin functions through the SQL surface.
+
+use extidx_common::Value;
+use extidx_sql::Database;
+
+fn db_one_row() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (s VARCHAR2(40), n NUMBER, i INTEGER, nul VARCHAR2(4))").unwrap();
+    db.execute("INSERT INTO t VALUES ('Oracle8i', 3.25159, -7, NULL)").unwrap();
+    db
+}
+
+fn eval(db: &mut Database, expr: &str) -> Value {
+    db.query(&format!("SELECT {expr} FROM t")).unwrap()[0][0].clone()
+}
+
+#[test]
+fn string_builtins() {
+    let mut db = db_one_row();
+    assert_eq!(eval(&mut db, "UPPER(s)"), Value::from("ORACLE8I"));
+    assert_eq!(eval(&mut db, "LOWER(s)"), Value::from("oracle8i"));
+    assert_eq!(eval(&mut db, "LENGTH(s)"), Value::Integer(8));
+    assert_eq!(eval(&mut db, "SUBSTR(s, 1, 6)"), Value::from("Oracle"));
+    assert_eq!(eval(&mut db, "SUBSTR(s, 7)"), Value::from("8i"));
+    assert_eq!(eval(&mut db, "SUBSTR(s, -2)"), Value::from("8i"));
+    assert_eq!(eval(&mut db, "SUBSTR(s, 3, 100)"), Value::from("acle8i"));
+    assert_eq!(eval(&mut db, "INSTR(s, '8i')"), Value::Integer(7));
+    assert_eq!(eval(&mut db, "INSTR(s, 'zzz')"), Value::Integer(0));
+    assert_eq!(eval(&mut db, "CONCAT(s, '-', i)"), Value::from("Oracle8i--7"));
+}
+
+#[test]
+fn numeric_builtins() {
+    let mut db = db_one_row();
+    assert_eq!(eval(&mut db, "ABS(i)"), Value::Integer(7));
+    assert_eq!(eval(&mut db, "ROUND(n)"), Value::Number(3.0));
+    assert_eq!(eval(&mut db, "ROUND(n, 2)"), Value::Number(3.25));
+    assert_eq!(eval(&mut db, "FLOOR(n)"), Value::Integer(3));
+    assert_eq!(eval(&mut db, "CEIL(n)"), Value::Integer(4));
+    assert_eq!(eval(&mut db, "MOD(10, 3)"), Value::Integer(1));
+    assert_eq!(eval(&mut db, "MOD(10.5, 3)"), Value::Number(1.5));
+}
+
+#[test]
+fn null_handling() {
+    let mut db = db_one_row();
+    assert_eq!(eval(&mut db, "UPPER(nul)"), Value::Null);
+    assert_eq!(eval(&mut db, "LENGTH(nul)"), Value::Null);
+    assert_eq!(eval(&mut db, "SUBSTR(nul, 1)"), Value::Null);
+    assert_eq!(eval(&mut db, "NVL(nul, 'fallback')"), Value::from("fallback"));
+    assert_eq!(eval(&mut db, "NVL(s, 'fallback')"), Value::from("Oracle8i"));
+    assert_eq!(eval(&mut db, "COALESCE(nul, nul, i)"), Value::Integer(-7));
+    assert_eq!(eval(&mut db, "CONCAT(nul, 'x')"), Value::from("x"));
+}
+
+#[test]
+fn errors() {
+    let mut db = db_one_row();
+    assert!(db.query("SELECT MOD(1, 0) FROM t").is_err());
+    assert!(db.query("SELECT NOSUCHFN(1) FROM t").is_err());
+    assert!(db.query("SELECT ABS(s) FROM t").is_err());
+}
+
+#[test]
+fn builtins_in_where_and_order_by() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE names (n VARCHAR2(20))").unwrap();
+    db.execute("INSERT INTO names VALUES ('Charlie'), ('alice'), ('BOB')").unwrap();
+    let rows = db.query("SELECT n FROM names WHERE LENGTH(n) <= 5 ORDER BY LOWER(n)").unwrap();
+    assert_eq!(rows, vec![vec![Value::from("alice")], vec![Value::from("BOB")]]);
+}

@@ -1,0 +1,653 @@
+//! End-to-end engine tests: SQL surface, optimizer behaviour, and the full
+//! extensible-indexing lifecycle driven through a minimal test cartridge.
+
+use std::sync::Arc;
+
+use extidx_common::{Result, RowId, Value};
+use extidx_core::meta::{IndexInfo, OperatorCall};
+use extidx_core::operator::ScalarFunction;
+use extidx_core::params::ParamString;
+use extidx_core::scan::{FetchResult, FetchedRow, ScanContext};
+use extidx_core::server::ServerContext;
+use extidx_core::stats::{IndexCost, OdciStats};
+use extidx_core::OdciIndex;
+use extidx_sql::{Database, StmtResult};
+
+// ---------------------------------------------------------------------------
+// a minimal cartridge: exact-match inverted index over VARCHAR2 columns
+// ---------------------------------------------------------------------------
+
+/// `KeyMatch(col, key)` is true when `col = key`; the index stores
+/// `(value, rowid)` pairs in an IOT created through server callbacks.
+struct KvIndexMethods;
+
+fn kv_table(info: &IndexInfo) -> String {
+    info.storage_table_name("KV")
+}
+
+struct KvScanState {
+    rows: Vec<RowId>,
+    pos: usize,
+}
+
+impl OdciIndex for KvIndexMethods {
+    fn create(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        srv.execute(
+            &format!(
+                "CREATE TABLE {} (val VARCHAR2(4000), rid ROWID, PRIMARY KEY (val, rid)) \
+                 ORGANIZATION INDEX",
+                kv_table(info)
+            ),
+            &[],
+        )?;
+        // Populate from existing base rows.
+        let rows = srv.query(
+            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
+            &[],
+        )?;
+        for r in rows {
+            if r[0].is_null() {
+                continue;
+            }
+            srv.execute(
+                &format!("INSERT INTO {} VALUES (?, ?)", kv_table(info)),
+                &[r[0].clone(), r[1].clone()],
+            )?;
+        }
+        Ok(())
+    }
+
+    fn alter(&self, _srv: &mut dyn ServerContext, _info: &IndexInfo, _delta: &ParamString) -> Result<()> {
+        Ok(())
+    }
+
+    fn truncate(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        srv.execute(&format!("TRUNCATE TABLE {}", kv_table(info)), &[])?;
+        Ok(())
+    }
+
+    fn drop_index(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        srv.execute(&format!("DROP TABLE {}", kv_table(info)), &[])?;
+        Ok(())
+    }
+
+    fn insert(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        new_value: &Value,
+    ) -> Result<()> {
+        if new_value.is_null() {
+            return Ok(());
+        }
+        srv.execute(
+            &format!("INSERT INTO {} VALUES (?, ?)", kv_table(info)),
+            &[new_value.clone(), Value::RowId(rid)],
+        )?;
+        Ok(())
+    }
+
+    fn update(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        old_value: &Value,
+        new_value: &Value,
+    ) -> Result<()> {
+        self.delete(srv, info, rid, old_value)?;
+        self.insert(srv, info, rid, new_value)
+    }
+
+    fn delete(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        old_value: &Value,
+    ) -> Result<()> {
+        if old_value.is_null() {
+            return Ok(());
+        }
+        srv.execute(
+            &format!("DELETE FROM {} WHERE val = ? AND rid = ?", kv_table(info)),
+            &[old_value.clone(), Value::RowId(rid)],
+        )?;
+        Ok(())
+    }
+
+    fn start(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+    ) -> Result<ScanContext> {
+        let key = op.args[0].clone();
+        let rows = srv.query(
+            &format!("SELECT rid FROM {} WHERE val = ?", kv_table(info)),
+            &[key],
+        )?;
+        let rids: Vec<RowId> = rows.iter().map(|r| r[0].as_rowid()).collect::<Result<_>>()?;
+        Ok(ScanContext::State(Box::new(KvScanState { rows: rids, pos: 0 })))
+    }
+
+    fn fetch(
+        &self,
+        _srv: &mut dyn ServerContext,
+        _info: &IndexInfo,
+        ctx: &mut ScanContext,
+        nrows: usize,
+    ) -> Result<FetchResult> {
+        let st = ctx.state_mut::<KvScanState>().expect("state ctx");
+        let end = (st.pos + nrows).min(st.rows.len());
+        let batch: Vec<FetchedRow> =
+            st.rows[st.pos..end].iter().map(|r| FetchedRow::plain(*r)).collect();
+        st.pos = end;
+        Ok(FetchResult { rows: batch, done: st.pos >= st.rows.len() })
+    }
+
+    fn close(&self, _srv: &mut dyn ServerContext, _info: &IndexInfo, _ctx: ScanContext) -> Result<()> {
+        Ok(())
+    }
+}
+
+struct KvStats;
+
+impl OdciStats for KvStats {
+    fn collect(&self, _srv: &mut dyn ServerContext, _info: &IndexInfo) -> Result<()> {
+        Ok(())
+    }
+
+    fn selectivity(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+    ) -> Result<f64> {
+        let total = srv.query(&format!("SELECT COUNT(*) FROM {}", kv_table(info)), &[])?;
+        let matched = srv.query(
+            &format!("SELECT COUNT(*) FROM {} WHERE val = ?", kv_table(info)),
+            &[op.args[0].clone()],
+        )?;
+        let t = total[0][0].as_integer()? as f64;
+        let m = matched[0][0].as_integer()? as f64;
+        Ok(if t == 0.0 { 0.0 } else { m / t })
+    }
+
+    fn index_cost(
+        &self,
+        _srv: &mut dyn ServerContext,
+        _info: &IndexInfo,
+        _op: &OperatorCall,
+        selectivity: f64,
+    ) -> Result<IndexCost> {
+        Ok(IndexCost { io_cost: 2.0 + selectivity * 10.0, cpu_cost: 0.5 })
+    }
+}
+
+/// Database with the KV cartridge fully registered via SQL DDL.
+fn kv_db() -> Database {
+    let mut db = Database::with_cache_pages(1024);
+    db.register_function(ScalarFunction::new("KeyMatchFn", |_, args| {
+        if args[0].is_null() || args[1].is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(Value::Boolean(args[0].as_str()? == args[1].as_str()?))
+    }))
+    .unwrap();
+    db.register_odci_implementation("KvIndexMethods", Arc::new(KvIndexMethods), Arc::new(KvStats));
+    db.execute(
+        "CREATE OPERATOR KeyMatch BINDING (VARCHAR2, VARCHAR2) RETURN BOOLEAN USING KeyMatchFn",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE INDEXTYPE KvIndexType FOR KeyMatch(VARCHAR2, VARCHAR2) USING KvIndexMethods",
+    )
+    .unwrap();
+    db
+}
+
+fn setup_emp(db: &mut Database) {
+    db.execute("CREATE TABLE employees (name VARCHAR2(64), id INTEGER, dept VARCHAR2(16))").unwrap();
+    for (n, i, d) in [
+        ("alice", 1, "eng"),
+        ("bob", 2, "eng"),
+        ("carol", 3, "sales"),
+        ("dave", 4, "sales"),
+        ("erin", 5, "hr"),
+    ] {
+        db.execute_with("INSERT INTO employees VALUES (?, ?, ?)", &[n.into(), (i as i64).into(), d.into()])
+            .unwrap();
+    }
+}
+
+/// A larger employee table (plan-choice assertions need realistic sizes:
+/// the optimizer correctly prefers full scans on one-page tables).
+fn setup_emp_many(db: &mut Database, n: i64) {
+    db.execute("CREATE TABLE employees (name VARCHAR2(64), id INTEGER, dept VARCHAR2(16))").unwrap();
+    for i in 0..n {
+        db.execute_with(
+            "INSERT INTO employees VALUES (?, ?, ?)",
+            &[format!("emp{i}").into(), i.into(), format!("dept{}", i % 10).into()],
+        )
+        .unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// plain engine behaviour
+// ---------------------------------------------------------------------------
+
+#[test]
+fn basic_select_and_projection() {
+    let mut db = Database::new();
+    setup_emp(&mut db);
+    let rows = db.query("SELECT name, id FROM employees WHERE id > 3 ORDER BY id").unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], Value::from("dave"));
+    assert_eq!(rows[1][1], Value::Integer(5));
+}
+
+#[test]
+fn select_star_hides_rowid_but_rowid_is_queryable() {
+    let mut db = Database::new();
+    setup_emp(&mut db);
+    match db.execute("SELECT * FROM employees LIMIT 1").unwrap() {
+        StmtResult::Rows { columns, rows } => {
+            assert_eq!(columns, vec!["NAME", "ID", "DEPT"]);
+            assert_eq!(rows[0].len(), 3);
+        }
+        other => panic!("{other:?}"),
+    }
+    let rows = db.query("SELECT ROWID FROM employees WHERE id = 1").unwrap();
+    assert!(matches!(rows[0][0], Value::RowId(_)));
+}
+
+#[test]
+fn aggregates_group_having() {
+    let mut db = Database::new();
+    setup_emp(&mut db);
+    let rows = db
+        .query(
+            "SELECT dept, COUNT(*), MIN(id), MAX(id) FROM employees \
+             GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0], vec!["eng".into(), Value::Integer(2), Value::Integer(1), Value::Integer(2)]);
+    assert_eq!(rows[1][0], Value::from("sales"));
+}
+
+#[test]
+fn global_aggregate_on_empty_table() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    let rows = db.query("SELECT COUNT(*), SUM(a), AVG(a) FROM t").unwrap();
+    assert_eq!(rows[0], vec![Value::Integer(0), Value::Null, Value::Null]);
+}
+
+#[test]
+fn distinct_and_limit() {
+    let mut db = Database::new();
+    setup_emp(&mut db);
+    let rows = db.query("SELECT DISTINCT dept FROM employees ORDER BY dept").unwrap();
+    assert_eq!(rows.len(), 3);
+    let rows = db.query("SELECT name FROM employees ORDER BY id LIMIT 2").unwrap();
+    assert_eq!(rows.len(), 2);
+}
+
+#[test]
+fn update_and_delete() {
+    let mut db = Database::new();
+    setup_emp(&mut db);
+    let r = db.execute("UPDATE employees SET dept = 'exec' WHERE id = 5").unwrap();
+    assert_eq!(r.affected(), 1);
+    let r = db.execute("DELETE FROM employees WHERE dept = 'sales'").unwrap();
+    assert_eq!(r.affected(), 2);
+    let rows = db.query("SELECT COUNT(*) FROM employees").unwrap();
+    assert_eq!(rows[0][0], Value::Integer(3));
+}
+
+#[test]
+fn btree_index_is_used_and_maintained() {
+    let mut db = Database::new();
+    setup_emp_many(&mut db, 500);
+    db.execute("CREATE INDEX emp_id ON employees(id)").unwrap();
+    db.execute("ANALYZE TABLE employees").unwrap();
+    let plan = db.explain("SELECT name FROM employees WHERE id = 3").unwrap().join("\n");
+    assert!(plan.contains("BTREE ACCESS"), "plan should use btree:\n{plan}");
+    let rows = db.query("SELECT name FROM employees WHERE id = 3").unwrap();
+    assert_eq!(rows[0][0], Value::from("emp3"));
+    // Maintained across DML.
+    db.execute("UPDATE employees SET id = 3000 WHERE id = 3").unwrap();
+    assert!(db.query("SELECT name FROM employees WHERE id = 3").unwrap().is_empty());
+    assert_eq!(
+        db.query("SELECT name FROM employees WHERE id = 3000").unwrap()[0][0],
+        Value::from("emp3")
+    );
+    db.execute("DELETE FROM employees WHERE id = 3000").unwrap();
+    assert!(db.query("SELECT name FROM employees WHERE id = 3000").unwrap().is_empty());
+}
+
+#[test]
+fn hash_join_on_equality() {
+    let mut db = Database::new();
+    setup_emp(&mut db);
+    db.execute("CREATE TABLE depts (dname VARCHAR2(16), floor INTEGER)").unwrap();
+    db.execute("INSERT INTO depts VALUES ('eng', 3), ('sales', 1), ('hr', 2)").unwrap();
+    let rows = db
+        .query(
+            "SELECT e.name, d.floor FROM employees e, depts d \
+             WHERE e.dept = d.dname AND d.floor > 1 ORDER BY e.name",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 3); // alice, bob (eng/3), erin (hr/2)
+    assert_eq!(rows[0][0], Value::from("alice"));
+    let plan = db
+        .explain(
+            "SELECT e.name, d.floor FROM employees e, depts d WHERE e.dept = d.dname",
+        )
+        .unwrap()
+        .join("\n");
+    assert!(plan.contains("HASH JOIN"), "{plan}");
+}
+
+#[test]
+fn rowid_join_legacy_two_step_pattern() {
+    // The pre-8i text pattern: temp table of rowids joined back.
+    let mut db = Database::new();
+    setup_emp(&mut db);
+    db.execute("CREATE TABLE results (rid ROWID)").unwrap();
+    let rids = db.query("SELECT ROWID FROM employees WHERE dept = 'eng'").unwrap();
+    for r in &rids {
+        db.execute_with("INSERT INTO results VALUES (?)", &[r[0].clone()]).unwrap();
+    }
+    let rows = db
+        .query("SELECT e.name FROM employees e, results r WHERE e.ROWID = r.rid ORDER BY e.name")
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], Value::from("alice"));
+}
+
+#[test]
+fn iot_table_roundtrip_and_key_access() {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE kv (k VARCHAR2(10), seq INTEGER, payload VARCHAR2(20), \
+         PRIMARY KEY (k, seq)) ORGANIZATION INDEX",
+    )
+    .unwrap();
+    db.execute("INSERT INTO kv VALUES ('a', 1, 'x'), ('a', 2, 'y'), ('b', 1, 'z')").unwrap();
+    // Bulk rows so key access beats a full scan.
+    for i in 0..500 {
+        db.execute_with(
+            "INSERT INTO kv VALUES (?, ?, ?)",
+            &[format!("k{i}").into(), 1i64.into(), "p".into()],
+        )
+        .unwrap();
+    }
+    db.execute("ANALYZE TABLE kv").unwrap();
+    let rows = db.query("SELECT payload FROM kv WHERE k = 'a'").unwrap();
+    assert_eq!(rows.len(), 2);
+    // Duplicate primary key is rejected.
+    assert!(db.execute("INSERT INTO kv VALUES ('a', 1, 'dup')").is_err());
+    // Key access shows up in the plan.
+    let plan = db.explain("SELECT payload FROM kv WHERE k = 'b'").unwrap().join("\n");
+    assert!(plan.contains("IOT RANGE"), "{plan}");
+}
+
+#[test]
+fn transactions_rollback_and_commit() {
+    let mut db = Database::new();
+    setup_emp(&mut db);
+    db.execute("BEGIN").unwrap();
+    db.execute("DELETE FROM employees WHERE dept = 'eng'").unwrap();
+    assert_eq!(db.query("SELECT COUNT(*) FROM employees").unwrap()[0][0], Value::Integer(3));
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(db.query("SELECT COUNT(*) FROM employees").unwrap()[0][0], Value::Integer(5));
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO employees VALUES ('zed', 9, 'eng')").unwrap();
+    db.execute("COMMIT").unwrap();
+    assert_eq!(db.query("SELECT COUNT(*) FROM employees").unwrap()[0][0], Value::Integer(6));
+}
+
+#[test]
+fn statement_atomicity_on_error() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    // Division by zero mid-statement must roll the whole statement back.
+    let err = db.execute("UPDATE t SET a = 10 / (a - 2)");
+    assert!(err.is_err());
+    let rows = db.query("SELECT a FROM t ORDER BY a").unwrap();
+    assert_eq!(rows, vec![vec![Value::Integer(1)], vec![Value::Integer(2)]]);
+}
+
+#[test]
+fn streaming_cursor_yields_incrementally() {
+    let mut db = Database::new();
+    setup_emp(&mut db);
+    let mut cur = db.open_query("SELECT name FROM employees").unwrap();
+    assert_eq!(cur.columns(), &["NAME".to_string()]);
+    let first = cur.next_row().unwrap().unwrap();
+    assert!(!first.is_empty());
+    let mut rest = 0;
+    while cur.next_row().unwrap().is_some() {
+        rest += 1;
+    }
+    assert_eq!(rest, 4);
+}
+
+// ---------------------------------------------------------------------------
+// the extensible-indexing lifecycle through the KV cartridge
+// ---------------------------------------------------------------------------
+
+#[test]
+fn domain_index_full_lifecycle() {
+    let mut db = kv_db();
+    setup_emp_many(&mut db, 300);
+    // Create with pre-existing data → cartridge populates via callbacks.
+    db.execute("CREATE INDEX emp_dept_kv ON employees(dept) INDEXTYPE IS KvIndexType").unwrap();
+    // Index storage table exists and holds all entries.
+    let n = db.query("SELECT COUNT(*) FROM DR$EMP_DEPT_KV$KV").unwrap()[0][0].clone();
+    assert_eq!(n, Value::Integer(300));
+
+    // Query through the operator: optimizer should pick the domain scan.
+    let plan = db.explain("SELECT name FROM employees WHERE KeyMatch(dept, 'dept3')").unwrap().join("\n");
+    assert!(plan.contains("DOMAIN INDEX SCAN"), "{plan}");
+    let rows = db.query("SELECT name FROM employees WHERE KeyMatch(dept, 'dept3')").unwrap();
+    assert_eq!(rows.len(), 30);
+
+    // Implicit maintenance on INSERT/UPDATE/DELETE.
+    db.execute("INSERT INTO employees VALUES ('zed', 9001, 'dept3')").unwrap();
+    assert_eq!(db.query("SELECT name FROM employees WHERE KeyMatch(dept, 'dept3')").unwrap().len(), 31);
+    db.execute("UPDATE employees SET dept = 'dept4' WHERE name = 'zed'").unwrap();
+    assert_eq!(db.query("SELECT name FROM employees WHERE KeyMatch(dept, 'dept3')").unwrap().len(), 30);
+    db.execute("DELETE FROM employees WHERE name = 'emp3'").unwrap();
+    assert_eq!(db.query("SELECT name FROM employees WHERE KeyMatch(dept, 'dept3')").unwrap().len(), 29);
+
+    // TRUNCATE drives ODCIIndexTruncate.
+    db.execute("TRUNCATE TABLE employees").unwrap();
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM DR$EMP_DEPT_KV$KV").unwrap()[0][0],
+        Value::Integer(0)
+    );
+
+    // DROP INDEX drives ODCIIndexDrop (storage table disappears).
+    db.execute("DROP INDEX emp_dept_kv").unwrap();
+    assert!(db.query("SELECT COUNT(*) FROM DR$EMP_DEPT_KV$KV").is_err());
+}
+
+#[test]
+fn trace_records_fig1_call_flow() {
+    let mut db = kv_db();
+    setup_emp_many(&mut db, 300);
+    db.trace().set_enabled(true);
+    db.execute("CREATE INDEX emp_dept_kv ON employees(dept) INDEXTYPE IS KvIndexType").unwrap();
+    db.execute("INSERT INTO employees VALUES ('zed', 9001, 'dept3')").unwrap();
+    db.query("SELECT name FROM employees WHERE KeyMatch(dept, 'dept3')").unwrap();
+    let seq = db.trace().routine_sequence();
+    assert!(seq.contains(&"ODCIIndexCreate"));
+    assert!(seq.contains(&"ODCIIndexInsert"));
+    assert!(seq.contains(&"ODCIStatsSelectivity"));
+    assert!(seq.contains(&"ODCIStatsIndexCost"));
+    assert!(seq.contains(&"ODCIIndexStart"));
+    assert!(seq.contains(&"ODCIIndexFetch"));
+    assert!(seq.contains(&"ODCIIndexClose"));
+    // Start precedes Fetch precedes Close.
+    let p = |r: &str| seq.iter().position(|x| *x == r).unwrap();
+    assert!(p("ODCIIndexStart") < p("ODCIIndexFetch"));
+    assert!(p("ODCIIndexFetch") < p("ODCIIndexClose"));
+}
+
+#[test]
+fn optimizer_prefers_btree_when_cheaper() {
+    // The paper's §2.4.2 example: Contains(resume,…) AND id = 100 should
+    // use the id B-tree and evaluate the operator functionally.
+    let mut db = kv_db();
+    setup_emp_many(&mut db, 300);
+    db.execute("CREATE INDEX emp_dept_kv ON employees(dept) INDEXTYPE IS KvIndexType").unwrap();
+    db.execute("CREATE INDEX emp_id ON employees(id)").unwrap();
+    db.execute("ANALYZE TABLE employees").unwrap();
+    let plan = db
+        .explain("SELECT name FROM employees WHERE KeyMatch(dept, 'dept2') AND id = 2")
+        .unwrap()
+        .join("\n");
+    assert!(plan.contains("BTREE ACCESS"), "{plan}");
+    assert!(!plan.contains("DOMAIN INDEX SCAN"), "{plan}");
+    // And the result is still correct (functional fallback applied).
+    let rows =
+        db.query("SELECT name FROM employees WHERE KeyMatch(dept, 'dept2') AND id = 2").unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::from("emp2"));
+}
+
+#[test]
+fn functional_fallback_without_index() {
+    let mut db = kv_db();
+    setup_emp(&mut db);
+    // No domain index at all: operator evaluates through its function.
+    let rows = db.query("SELECT name FROM employees WHERE KeyMatch(dept, 'hr')").unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::from("erin"));
+}
+
+#[test]
+fn domain_index_rolls_back_with_transaction() {
+    // §2.5: "Updates to the index data are within the same transactional
+    // boundaries as updates to the base table."
+    let mut db = kv_db();
+    setup_emp(&mut db);
+    db.execute("CREATE INDEX emp_dept_kv ON employees(dept) INDEXTYPE IS KvIndexType").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO employees VALUES ('zed', 6, 'eng')").unwrap();
+    assert_eq!(db.query("SELECT name FROM employees WHERE KeyMatch(dept, 'eng')").unwrap().len(), 3);
+    db.execute("ROLLBACK").unwrap();
+    // Base table AND the cartridge's index table both rolled back.
+    assert_eq!(db.query("SELECT COUNT(*) FROM employees").unwrap()[0][0], Value::Integer(5));
+    assert_eq!(db.query("SELECT name FROM employees WHERE KeyMatch(dept, 'eng')").unwrap().len(), 2);
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM DR$EMP_DEPT_KV$KV").unwrap()[0][0],
+        Value::Integer(5)
+    );
+}
+
+#[test]
+fn create_index_on_missing_column_fails_cleanly() {
+    let mut db = kv_db();
+    setup_emp(&mut db);
+    assert!(db
+        .execute("CREATE INDEX broken ON employees(nope) INDEXTYPE IS KvIndexType")
+        .is_err());
+    // No stale dictionary entry.
+    assert!(db.catalog().domain_index("BROKEN").is_none());
+}
+
+#[test]
+fn alter_index_merges_parameters() {
+    let mut db = kv_db();
+    setup_emp(&mut db);
+    db.execute(
+        "CREATE INDEX emp_dept_kv ON employees(dept) INDEXTYPE IS KvIndexType \
+         PARAMETERS (':Language English :Ignore the a an')",
+    )
+    .unwrap();
+    db.execute("ALTER INDEX emp_dept_kv PARAMETERS (':Ignore COBOL')").unwrap();
+    let d = db.catalog().domain_index("EMP_DEPT_KV").unwrap();
+    assert_eq!(d.parameters.first("Language"), Some("English"));
+    assert_eq!(d.parameters.values("Ignore"), &["COBOL"]);
+}
+
+#[test]
+fn batch_size_controls_fetch_granularity() {
+    let mut db = kv_db();
+    setup_emp_many(&mut db, 300);
+    db.execute("CREATE INDEX emp_dept_kv ON employees(dept) INDEXTYPE IS KvIndexType").unwrap();
+    db.trace().set_enabled(true);
+
+    db.set_batch_size(1);
+    db.query("SELECT name FROM employees WHERE KeyMatch(dept, 'dept3')").unwrap();
+    let fetches_row_at_a_time =
+        db.trace().routine_sequence().iter().filter(|r| **r == "ODCIIndexFetch").count();
+
+    db.trace().clear();
+    db.set_batch_size(100);
+    db.query("SELECT name FROM employees WHERE KeyMatch(dept, 'dept3')").unwrap();
+    let fetches_batched =
+        db.trace().routine_sequence().iter().filter(|r| **r == "ODCIIndexFetch").count();
+
+    assert!(
+        fetches_row_at_a_time > fetches_batched,
+        "row-at-a-time {fetches_row_at_a_time} vs batched {fetches_batched}"
+    );
+}
+
+#[test]
+fn varray_contains_via_functional_operator() {
+    // The paper's collection example: Contains(Hobbies, 'Skiing').
+    let mut db = Database::new();
+    db.register_function(ScalarFunction::new("VArrayContainsFn", |_, args| {
+        let elems = args[0].as_array()?;
+        Ok(Value::Boolean(elems.iter().any(|e| e == &args[1])))
+    }))
+    .unwrap();
+    db.execute(
+        "CREATE OPERATOR VContains BINDING (VARRAY OF VARCHAR2(32), VARCHAR2) \
+         RETURN BOOLEAN USING VArrayContainsFn",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE people (name VARCHAR2(32), hobbies VARRAY OF VARCHAR2(32))").unwrap();
+    db.execute("INSERT INTO people VALUES ('ann', VARRAY('Skiing', 'Chess'))").unwrap();
+    db.execute("INSERT INTO people VALUES ('ben', VARRAY('Running'))").unwrap();
+    let rows = db.query("SELECT name FROM people WHERE VContains(hobbies, 'Skiing')").unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::from("ann"));
+}
+
+#[test]
+fn object_types_and_attribute_access() {
+    let mut db = Database::new();
+    db.execute("CREATE TYPE point AS OBJECT (x NUMBER, y NUMBER)").unwrap();
+    db.execute("CREATE TABLE sites (name VARCHAR2(20), loc POINT)").unwrap();
+    db.execute("INSERT INTO sites VALUES ('hq', POINT(1.5, 2.5))").unwrap();
+    let rows = db.query("SELECT s.loc.y FROM sites s WHERE s.loc.x = 1.5").unwrap();
+    assert_eq!(rows[0][0], Value::Number(2.5));
+}
+
+#[test]
+fn lob_columns_store_strings_out_of_line() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE docs (id INTEGER, body CLOB)").unwrap();
+    db.execute("INSERT INTO docs VALUES (1, 'a very large document body')").unwrap();
+    let rows = db.query("SELECT body FROM docs WHERE id = 1").unwrap();
+    assert!(matches!(rows[0][0], Value::Lob(_)), "LOB column holds a locator");
+}
+
+#[test]
+fn explain_shows_costs() {
+    let mut db = Database::new();
+    setup_emp(&mut db);
+    let lines = db.explain("SELECT name FROM employees WHERE id = 1").unwrap();
+    assert!(lines.iter().any(|l| l.contains("cost=")), "{lines:?}");
+}

@@ -1,0 +1,178 @@
+//! Property-based tests of the SQL engine against reference
+//! computations: insert/select round trips, predicate filtering, index
+//! vs full-scan equivalence, aggregates, and ordering.
+
+use proptest::prelude::*;
+
+use extidx_common::Value;
+use extidx_sql::Database;
+
+fn fresh_table(db: &mut Database) {
+    db.execute("CREATE TABLE t (id INTEGER, grp INTEGER, name VARCHAR2(16))").unwrap();
+}
+
+fn insert_rows(db: &mut Database, rows: &[(i64, i64, String)]) {
+    for (id, grp, name) in rows {
+        db.execute_with(
+            "INSERT INTO t VALUES (?, ?, ?)",
+            &[(*id).into(), (*grp).into(), name.clone().into()],
+        )
+        .unwrap();
+    }
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64, String)>> {
+    prop::collection::vec((0i64..1000, 0i64..10, "[a-d]{1,6}"), 0..60)
+}
+
+proptest! {
+    /// Everything inserted comes back, exactly once, via a full select.
+    #[test]
+    fn insert_select_roundtrip(rows in arb_rows()) {
+        let mut db = Database::new();
+        fresh_table(&mut db);
+        insert_rows(&mut db, &rows);
+        let mut got: Vec<(i64, i64, String)> = db
+            .query("SELECT id, grp, name FROM t")
+            .unwrap()
+            .into_iter()
+            .map(|r| {
+                (
+                    r[0].as_integer().unwrap(),
+                    r[1].as_integer().unwrap(),
+                    r[2].as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        let mut expected = rows.clone();
+        got.sort();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Range predicates filter exactly like the reference computation,
+    /// with and without a B-tree index (same results either way).
+    #[test]
+    fn predicate_filtering_matches_reference(rows in arb_rows(), lo in 0i64..1000, width in 0i64..500) {
+        let hi = lo + width;
+        let expected: Vec<i64> = {
+            let mut v: Vec<i64> = rows
+                .iter()
+                .filter(|(id, _, _)| *id >= lo && *id <= hi)
+                .map(|(id, _, _)| *id)
+                .collect();
+            v.sort();
+            v
+        };
+        for indexed in [false, true] {
+            let mut db = Database::new();
+            fresh_table(&mut db);
+            insert_rows(&mut db, &rows);
+            if indexed {
+                db.execute("CREATE INDEX t_id ON t(id)").unwrap();
+                db.execute("ANALYZE TABLE t").unwrap();
+            }
+            let got: Vec<i64> = db
+                .query_with(
+                    "SELECT id FROM t WHERE id BETWEEN ? AND ? ORDER BY id",
+                    &[lo.into(), hi.into()],
+                )
+                .unwrap()
+                .into_iter()
+                .map(|r| r[0].as_integer().unwrap())
+                .collect();
+            prop_assert_eq!(&got, &expected, "indexed={}", indexed);
+        }
+    }
+
+    /// GROUP BY aggregates agree with a reference fold.
+    #[test]
+    fn aggregates_match_reference(rows in arb_rows()) {
+        let mut db = Database::new();
+        fresh_table(&mut db);
+        insert_rows(&mut db, &rows);
+        let got = db
+            .query("SELECT grp, COUNT(*), SUM(id), MIN(id), MAX(id) FROM t GROUP BY grp ORDER BY grp")
+            .unwrap();
+        let mut expected: std::collections::BTreeMap<i64, (i64, i64, i64, i64)> = Default::default();
+        for (id, grp, _) in &rows {
+            let e = expected.entry(*grp).or_insert((0, 0, i64::MAX, i64::MIN));
+            e.0 += 1;
+            e.1 += id;
+            e.2 = e.2.min(*id);
+            e.3 = e.3.max(*id);
+        }
+        prop_assert_eq!(got.len(), expected.len());
+        for row in got {
+            let grp = row[0].as_integer().unwrap();
+            let (count, sum, min, max) = expected[&grp];
+            prop_assert_eq!(row[1].as_integer().unwrap(), count);
+            prop_assert_eq!(row[2].as_number().unwrap(), sum as f64);
+            prop_assert_eq!(row[3].as_integer().unwrap(), min);
+            prop_assert_eq!(row[4].as_integer().unwrap(), max);
+        }
+    }
+
+    /// ORDER BY produces a correctly sorted permutation; LIMIT takes a
+    /// prefix of it.
+    #[test]
+    fn order_by_and_limit(rows in arb_rows(), k in 0u64..20) {
+        let mut db = Database::new();
+        fresh_table(&mut db);
+        insert_rows(&mut db, &rows);
+        let all: Vec<i64> = db
+            .query("SELECT id FROM t ORDER BY id DESC")
+            .unwrap()
+            .into_iter()
+            .map(|r| r[0].as_integer().unwrap())
+            .collect();
+        let mut expected: Vec<i64> = rows.iter().map(|(id, _, _)| *id).collect();
+        expected.sort_by(|a, b| b.cmp(a));
+        prop_assert_eq!(&all, &expected);
+        let limited: Vec<i64> = db
+            .query(&format!("SELECT id FROM t ORDER BY id DESC LIMIT {k}"))
+            .unwrap()
+            .into_iter()
+            .map(|r| r[0].as_integer().unwrap())
+            .collect();
+        prop_assert_eq!(&limited[..], &expected[..(k as usize).min(expected.len())]);
+    }
+
+    /// DELETE removes exactly the matching rows; UPDATE rewrites exactly
+    /// the matching rows.
+    #[test]
+    fn dml_affects_exact_rows(rows in arb_rows(), pivot in 0i64..1000) {
+        let mut db = Database::new();
+        fresh_table(&mut db);
+        insert_rows(&mut db, &rows);
+        let expected_deleted = rows.iter().filter(|(id, _, _)| *id < pivot).count() as u64;
+        let deleted = db
+            .execute_with("DELETE FROM t WHERE id < ?", &[pivot.into()])
+            .unwrap()
+            .affected();
+        prop_assert_eq!(deleted, expected_deleted);
+
+        let expected_updated = rows.iter().filter(|(id, _, _)| *id >= pivot).count() as u64;
+        let updated = db.execute("UPDATE t SET grp = 99").unwrap().affected();
+        prop_assert_eq!(updated, expected_updated);
+        if expected_updated > 0 {
+            let grps = db.query("SELECT DISTINCT grp FROM t").unwrap();
+            prop_assert_eq!(grps, vec![vec![Value::Integer(99)]]);
+        }
+    }
+
+    /// Transactions: rollback returns the exact pre-transaction rows.
+    #[test]
+    fn rollback_is_exact(rows in arb_rows(), extra in arb_rows()) {
+        let mut db = Database::new();
+        fresh_table(&mut db);
+        insert_rows(&mut db, &rows);
+        let before = db.query("SELECT id, grp, name FROM t ORDER BY id, grp, name").unwrap();
+        db.execute("BEGIN").unwrap();
+        insert_rows(&mut db, &extra);
+        db.execute_with("DELETE FROM t WHERE grp < ?", &[5i64.into()]).unwrap();
+        db.execute("ROLLBACK").unwrap();
+        let after = db.query("SELECT id, grp, name FROM t ORDER BY id, grp, name").unwrap();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,286 @@
+//! Slotted-page heap tables.
+//!
+//! A heap table is a sequence of pages, each holding row slots. Rows are
+//! addressed by [`RowId`] (segment is implied by the table). Deleted slots
+//! are remembered in a free list and reused, so rowids of long-lived rows
+//! stay stable — which matters because domain indexes persist rowids in
+//! their index storage tables and hand them back during scans.
+
+use extidx_common::value::approx_row_size;
+use extidx_common::{Error, Result, Row, RowId};
+
+use crate::page::{SegmentId, MAX_SLOTS_PER_PAGE, PAGE_SIZE};
+
+/// One heap page: row slots plus a byte-occupancy estimate.
+#[derive(Debug, Default, Clone)]
+struct HeapPage {
+    slots: Vec<Option<Row>>,
+    bytes_used: usize,
+}
+
+impl HeapPage {
+    fn fits(&self, row_bytes: usize) -> bool {
+        self.slots.len() < MAX_SLOTS_PER_PAGE && self.bytes_used + row_bytes <= PAGE_SIZE
+    }
+}
+
+/// A heap table segment.
+#[derive(Debug)]
+pub struct HeapTable {
+    seg: SegmentId,
+    pages: Vec<HeapPage>,
+    /// Recycled slots from deletes: (page, slot).
+    free: Vec<(u32, u16)>,
+    rows: usize,
+}
+
+impl HeapTable {
+    /// Create an empty heap segment.
+    pub fn new(seg: SegmentId) -> Self {
+        HeapTable { seg, pages: Vec::new(), free: Vec::new(), rows: 0 }
+    }
+
+    /// This table's segment id.
+    pub fn segment(&self) -> SegmentId {
+        self.seg
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of allocated pages (the optimizer's full-scan cost input).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Insert a row; returns its new rowid and the page touched.
+    pub fn insert(&mut self, row: Row) -> (RowId, u32) {
+        let bytes = approx_row_size(&row);
+        // Prefer a recycled slot whose page still has byte room.
+        if let Some(pos) = self
+            .free
+            .iter()
+            .position(|&(p, _)| self.pages[p as usize].bytes_used + bytes <= PAGE_SIZE)
+        {
+            let (page, slot) = self.free.swap_remove(pos);
+            let p = &mut self.pages[page as usize];
+            debug_assert!(p.slots[slot as usize].is_none());
+            p.slots[slot as usize] = Some(row);
+            p.bytes_used += bytes;
+            self.rows += 1;
+            return (RowId::new(self.seg.0, page, slot), page);
+        }
+        // Append to the last page if it fits, else open a new page.
+        let page_no = match self.pages.last() {
+            Some(p) if p.fits(bytes) => self.pages.len() - 1,
+            _ => {
+                self.pages.push(HeapPage::default());
+                self.pages.len() - 1
+            }
+        };
+        let p = &mut self.pages[page_no];
+        let slot = p.slots.len() as u16;
+        p.slots.push(Some(row));
+        p.bytes_used += bytes;
+        self.rows += 1;
+        (RowId::new(self.seg.0, page_no as u32, slot), page_no as u32)
+    }
+
+    /// Re-insert a row at a specific rowid (undo of a delete). The slot
+    /// must currently be empty.
+    pub fn insert_at(&mut self, rid: RowId, row: Row) -> Result<()> {
+        let bytes = approx_row_size(&row);
+        let page = self
+            .pages
+            .get_mut(rid.page as usize)
+            .ok_or_else(|| Error::Storage(format!("{rid}: page out of range")))?;
+        let slot = page
+            .slots
+            .get_mut(rid.slot as usize)
+            .ok_or_else(|| Error::Storage(format!("{rid}: slot out of range")))?;
+        if slot.is_some() {
+            return Err(Error::Storage(format!("{rid}: slot is occupied")));
+        }
+        *slot = Some(row);
+        page.bytes_used += bytes;
+        self.free.retain(|&(p, s)| (p, s) != (rid.page, rid.slot));
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Fetch a row by rowid.
+    pub fn fetch(&self, rid: RowId) -> Result<&Row> {
+        self.pages
+            .get(rid.page as usize)
+            .and_then(|p| p.slots.get(rid.slot as usize))
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| Error::Storage(format!("{rid}: no such row")))
+    }
+
+    /// Replace a row in place; returns the old row.
+    pub fn update(&mut self, rid: RowId, new_row: Row) -> Result<Row> {
+        let new_bytes = approx_row_size(&new_row);
+        let page = self
+            .pages
+            .get_mut(rid.page as usize)
+            .ok_or_else(|| Error::Storage(format!("{rid}: page out of range")))?;
+        let slot = page
+            .slots
+            .get_mut(rid.slot as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or_else(|| Error::Storage(format!("{rid}: no such row")))?;
+        let old = std::mem::replace(slot, new_row);
+        page.bytes_used = page.bytes_used + new_bytes - approx_row_size(&old).min(page.bytes_used);
+        Ok(old)
+    }
+
+    /// Delete a row; returns it. The slot goes on the free list.
+    pub fn delete(&mut self, rid: RowId) -> Result<Row> {
+        let page = self
+            .pages
+            .get_mut(rid.page as usize)
+            .ok_or_else(|| Error::Storage(format!("{rid}: page out of range")))?;
+        let slot = page
+            .slots
+            .get_mut(rid.slot as usize)
+            .ok_or_else(|| Error::Storage(format!("{rid}: slot out of range")))?;
+        let old = slot.take().ok_or_else(|| Error::Storage(format!("{rid}: no such row")))?;
+        page.bytes_used = page.bytes_used.saturating_sub(approx_row_size(&old));
+        self.free.push((rid.page, rid.slot));
+        self.rows -= 1;
+        Ok(old)
+    }
+
+    /// Remove every row (TRUNCATE). Pages are released.
+    pub fn truncate(&mut self) {
+        self.pages.clear();
+        self.free.clear();
+        self.rows = 0;
+    }
+
+    /// Number of slots (live or free) in a page; 0 for out-of-range pages.
+    /// Together with [`HeapTable::slot`] this supports external cursors
+    /// (the executor's scan state machine).
+    pub fn slots_in_page(&self, page: u32) -> usize {
+        self.pages.get(page as usize).map_or(0, |p| p.slots.len())
+    }
+
+    /// The row at (page, slot), if live.
+    pub fn slot(&self, page: u32, slot: u16) -> Option<&Row> {
+        self.pages
+            .get(page as usize)
+            .and_then(|p| p.slots.get(slot as usize))
+            .and_then(|s| s.as_ref())
+    }
+
+    /// Iterate all live rows in physical order, with the page number of
+    /// each row exposed so the caller can charge page reads.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, u32, &Row)> + '_ {
+        let seg = self.seg.0;
+        self.pages.iter().enumerate().flat_map(move |(pno, page)| {
+            page.slots.iter().enumerate().filter_map(move |(sno, slot)| {
+                slot.as_ref()
+                    .map(|row| (RowId::new(seg, pno as u32, sno as u16), pno as u32, row))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extidx_common::Value;
+
+    fn table() -> HeapTable {
+        HeapTable::new(SegmentId(3))
+    }
+
+    fn row(i: i64) -> Row {
+        vec![Value::Integer(i), Value::from(format!("row-{i}"))]
+    }
+
+    #[test]
+    fn insert_fetch_roundtrip() {
+        let mut t = table();
+        let (rid, _) = t.insert(row(1));
+        assert_eq!(t.fetch(rid).unwrap(), &row(1));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn rowids_are_stable_across_other_deletes() {
+        let mut t = table();
+        let (r1, _) = t.insert(row(1));
+        let (r2, _) = t.insert(row(2));
+        let (r3, _) = t.insert(row(3));
+        t.delete(r2).unwrap();
+        assert_eq!(t.fetch(r1).unwrap(), &row(1));
+        assert_eq!(t.fetch(r3).unwrap(), &row(3));
+        assert!(t.fetch(r2).is_err());
+    }
+
+    #[test]
+    fn deleted_slots_are_reused() {
+        let mut t = table();
+        let (r1, _) = t.insert(row(1));
+        t.insert(row(2));
+        t.delete(r1).unwrap();
+        let (r3, _) = t.insert(row(3));
+        assert_eq!(r3, r1, "freed slot should be recycled");
+        assert_eq!(t.fetch(r3).unwrap(), &row(3));
+    }
+
+    #[test]
+    fn update_returns_old_row() {
+        let mut t = table();
+        let (rid, _) = t.insert(row(1));
+        let old = t.update(rid, row(9)).unwrap();
+        assert_eq!(old, row(1));
+        assert_eq!(t.fetch(rid).unwrap(), &row(9));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn insert_at_restores_deleted_row() {
+        let mut t = table();
+        let (rid, _) = t.insert(row(1));
+        let old = t.delete(rid).unwrap();
+        t.insert_at(rid, old).unwrap();
+        assert_eq!(t.fetch(rid).unwrap(), &row(1));
+        assert!(t.insert_at(rid, row(2)).is_err(), "occupied slot must refuse");
+    }
+
+    #[test]
+    fn scan_visits_live_rows_in_order() {
+        let mut t = table();
+        let (r1, _) = t.insert(row(1));
+        let (r2, _) = t.insert(row(2));
+        let (r3, _) = t.insert(row(3));
+        t.delete(r2).unwrap();
+        let seen: Vec<RowId> = t.scan().map(|(rid, _, _)| rid).collect();
+        assert_eq!(seen, vec![r1, r3]);
+    }
+
+    #[test]
+    fn pages_grow_with_volume() {
+        let mut t = table();
+        let wide = vec![Value::from("x".repeat(2000))];
+        for _ in 0..16 {
+            t.insert(wide.clone());
+        }
+        // 2 KB rows, 8 KB pages → 4 rows/page → 4 pages for 16 rows.
+        assert_eq!(t.page_count(), 4);
+    }
+
+    #[test]
+    fn truncate_releases_everything() {
+        let mut t = table();
+        let (rid, _) = t.insert(row(1));
+        t.truncate();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.page_count(), 0);
+        assert!(t.fetch(rid).is_err());
+    }
+}

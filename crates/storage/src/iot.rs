@@ -1,0 +1,299 @@
+//! Index-organized tables.
+//!
+//! An IOT stores whole rows in B-tree order on a key prefix of the row.
+//! The paper singles these out as the workhorse domain-index store (§2.5:
+//! "we have found that index-organized tables are commonly used as index
+//! data stores") — the text cartridge's inverted index lives in one, keyed
+//! by `(token, rowid)`.
+//!
+//! Rows live in an in-memory ordered map; I/O is *modeled*: a probe charges
+//! the tree height in page reads, a range scan additionally charges leaf
+//! pages proportional to rows returned, and mutations charge height reads
+//! plus one leaf write. The engine layer applies these charges to the
+//! buffer cache.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use extidx_common::value::approx_row_size;
+use extidx_common::{Error, Key, Result, Row};
+
+use crate::page::{btree_height, SegmentId, PAGE_SIZE};
+
+/// An index-organized table: rows stored in key order.
+#[derive(Debug)]
+pub struct IndexOrganizedTable {
+    seg: SegmentId,
+    /// Number of leading row columns forming the primary key.
+    key_cols: usize,
+    rows: BTreeMap<Key, Row>,
+    /// Running total of estimated row bytes, for leaf-page modeling.
+    total_bytes: usize,
+}
+
+/// Pages an IOT operation touched, to be charged to the buffer cache by
+/// the engine: `(reads, writes)` expressed as page counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IotIoCharge {
+    pub page_reads: usize,
+    pub page_writes: usize,
+}
+
+impl IndexOrganizedTable {
+    /// Create an empty IOT whose first `key_cols` row columns are the key.
+    pub fn new(seg: SegmentId, key_cols: usize) -> Self {
+        assert!(key_cols > 0, "an IOT needs at least one key column");
+        IndexOrganizedTable { seg, key_cols, rows: BTreeMap::new(), total_bytes: 0 }
+    }
+
+    /// This table's segment id.
+    pub fn segment(&self) -> SegmentId {
+        self.seg
+    }
+
+    /// Number of key columns.
+    pub fn key_cols(&self) -> usize {
+        self.key_cols
+    }
+
+    /// Live row count.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Modeled leaf-page count (optimizer input and scan-cost model).
+    pub fn page_count(&self) -> usize {
+        self.total_bytes.div_ceil(PAGE_SIZE).max(1)
+    }
+
+    /// Modeled rows per leaf page.
+    fn rows_per_leaf(&self) -> usize {
+        if self.rows.is_empty() {
+            return 1;
+        }
+        let avg = (self.total_bytes / self.rows.len()).max(1);
+        (PAGE_SIZE / avg).max(1)
+    }
+
+    /// Modeled tree height.
+    pub fn height(&self) -> usize {
+        btree_height(self.rows.len())
+    }
+
+    fn key_of(&self, row: &[extidx_common::Value]) -> Result<Key> {
+        if row.len() < self.key_cols {
+            return Err(Error::Storage(format!(
+                "IOT {} requires at least {} columns, row has {}",
+                self.seg,
+                self.key_cols,
+                row.len()
+            )));
+        }
+        Ok(Key(row[..self.key_cols].to_vec()))
+    }
+
+    /// Insert a row. Duplicate keys are a constraint violation, like an
+    /// IOT primary key in Oracle.
+    pub fn insert(&mut self, row: Row) -> Result<IotIoCharge> {
+        let key = self.key_of(&row)?;
+        if self.rows.contains_key(&key) {
+            return Err(Error::Constraint(format!(
+                "duplicate key {key} in index-organized table {}",
+                self.seg
+            )));
+        }
+        let charge = IotIoCharge { page_reads: self.height(), page_writes: 1 };
+        self.total_bytes += approx_row_size(&row);
+        self.rows.insert(key, row);
+        Ok(charge)
+    }
+
+    /// Insert or replace by key; returns the previous row if any.
+    pub fn upsert(&mut self, row: Row) -> Result<(Option<Row>, IotIoCharge)> {
+        let key = self.key_of(&row)?;
+        let charge = IotIoCharge { page_reads: self.height(), page_writes: 1 };
+        self.total_bytes += approx_row_size(&row);
+        let old = self.rows.insert(key, row);
+        if let Some(ref o) = old {
+            self.total_bytes = self.total_bytes.saturating_sub(approx_row_size(o));
+        }
+        Ok((old, charge))
+    }
+
+    /// Delete by exact key; returns the removed row if present.
+    pub fn delete(&mut self, key: &Key) -> (Option<Row>, IotIoCharge) {
+        let charge = IotIoCharge { page_reads: self.height(), page_writes: 1 };
+        let old = self.rows.remove(key);
+        if let Some(ref o) = old {
+            self.total_bytes = self.total_bytes.saturating_sub(approx_row_size(o));
+        }
+        (old, charge)
+    }
+
+    /// Point lookup by exact key.
+    pub fn get(&self, key: &Key) -> (Option<&Row>, IotIoCharge) {
+        let charge = IotIoCharge { page_reads: self.height(), page_writes: 0 };
+        (self.rows.get(key), charge)
+    }
+
+    /// Range scan over `[lo, hi]` key bounds (either side optional,
+    /// inclusive when present). Returns matching rows and the modeled I/O:
+    /// height to descend plus one read per leaf page spanned.
+    pub fn range(
+        &self,
+        lo: Option<&Key>,
+        hi: Option<&Key>,
+    ) -> (Vec<&Row>, IotIoCharge) {
+        let lower = lo.map_or(Bound::Unbounded, |k| Bound::Included(k.clone()));
+        let upper = hi.map_or(Bound::Unbounded, |k| Bound::Included(k.clone()));
+        let rows: Vec<&Row> = self.rows.range((lower, upper)).map(|(_, r)| r).collect();
+        let leaf_pages = rows.len().div_ceil(self.rows_per_leaf()).max(1);
+        (
+            rows,
+            IotIoCharge { page_reads: self.height() + leaf_pages, page_writes: 0 },
+        )
+    }
+
+    /// Scan every row whose key starts with `prefix` (prefix must be
+    /// shorter than or equal to the key length). The inverted-index
+    /// pattern: key `(token, rowid)`, prefix `(token)`.
+    pub fn prefix_scan(&self, prefix: &Key) -> (Vec<&Row>, IotIoCharge) {
+        let rows: Vec<&Row> = self
+            .rows
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| {
+                k.0.len() >= prefix.0.len()
+                    && Key(k.0[..prefix.0.len()].to_vec()) == *prefix
+            })
+            .map(|(_, r)| r)
+            .collect();
+        let leaf_pages = rows.len().div_ceil(self.rows_per_leaf()).max(1);
+        (
+            rows,
+            IotIoCharge { page_reads: self.height() + leaf_pages, page_writes: 0 },
+        )
+    }
+
+    /// Iterate all rows in key order (no I/O modeling; callers charge a
+    /// full-scan of `page_count()` themselves).
+    pub fn scan(&self) -> impl Iterator<Item = &Row> + '_ {
+        self.rows.values()
+    }
+
+    /// Remove every row.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        self.total_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extidx_common::Value;
+
+    fn iot() -> IndexOrganizedTable {
+        IndexOrganizedTable::new(SegmentId(9), 2)
+    }
+
+    fn entry(token: &str, doc: i64) -> Row {
+        vec![Value::from(token), Value::Integer(doc), Value::Integer(doc * 10)]
+    }
+
+    #[test]
+    fn insert_and_point_get() {
+        let mut t = iot();
+        t.insert(entry("oracle", 1)).unwrap();
+        let key = Key(vec![Value::from("oracle"), Value::Integer(1)]);
+        let (row, io) = t.get(&key);
+        assert_eq!(row.unwrap()[2], Value::Integer(10));
+        assert_eq!(io.page_reads, 1); // tiny tree: height 1
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = iot();
+        t.insert(entry("oracle", 1)).unwrap();
+        let err = t.insert(entry("oracle", 1)).unwrap_err();
+        assert!(matches!(err, Error::Constraint(_)));
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut t = iot();
+        t.insert(entry("oracle", 1)).unwrap();
+        let mut newer = entry("oracle", 1);
+        newer[2] = Value::Integer(999);
+        let (old, _) = t.upsert(newer).unwrap();
+        assert!(old.is_some());
+        let key = Key(vec![Value::from("oracle"), Value::Integer(1)]);
+        assert_eq!(t.get(&key).0.unwrap()[2], Value::Integer(999));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn prefix_scan_finds_posting_list() {
+        let mut t = iot();
+        for d in 1..=5 {
+            t.insert(entry("oracle", d)).unwrap();
+            t.insert(entry("unix", d * 100)).unwrap();
+        }
+        let (rows, _) = t.prefix_scan(&Key::single(Value::from("oracle")));
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r[0] == Value::from("oracle")));
+        // Results come back in key order.
+        let docs: Vec<i64> = rows.iter().map(|r| r[1].as_integer().unwrap()).collect();
+        assert_eq!(docs, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn prefix_scan_empty_for_absent_token() {
+        let mut t = iot();
+        t.insert(entry("oracle", 1)).unwrap();
+        let (rows, _) = t.prefix_scan(&Key::single(Value::from("cobol")));
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn range_scan_inclusive_bounds() {
+        let mut t = IndexOrganizedTable::new(SegmentId(1), 1);
+        for i in 0..10 {
+            t.insert(vec![Value::Integer(i)]).unwrap();
+        }
+        let lo = Key::single(Value::Integer(3));
+        let hi = Key::single(Value::Integer(6));
+        let (rows, _) = t.range(Some(&lo), Some(&hi));
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn delete_removes_and_reports() {
+        let mut t = iot();
+        t.insert(entry("oracle", 1)).unwrap();
+        let key = Key(vec![Value::from("oracle"), Value::Integer(1)]);
+        let (old, _) = t.delete(&key);
+        assert!(old.is_some());
+        let (again, _) = t.delete(&key);
+        assert!(again.is_none());
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn leaf_page_model_scales_with_rows() {
+        let mut t = IndexOrganizedTable::new(SegmentId(1), 1);
+        for i in 0..1000 {
+            t.insert(vec![Value::Integer(i), Value::from("x".repeat(100))]).unwrap();
+        }
+        // ~112 bytes/row → ~73 rows/page → ~14 pages.
+        assert!(t.page_count() >= 10 && t.page_count() <= 20, "{}", t.page_count());
+        let (rows, io) = t.range(None, None);
+        assert_eq!(rows.len(), 1000);
+        assert!(io.page_reads > 10, "full range should touch many leaves");
+    }
+
+    #[test]
+    fn key_shorter_than_declared_is_error() {
+        let mut t = iot();
+        assert!(t.insert(vec![Value::from("only-one-col")]).is_err());
+    }
+}

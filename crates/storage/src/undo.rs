@@ -1,0 +1,114 @@
+//! Row-level undo for transaction rollback.
+//!
+//! Every mutating operation on *database-resident* storage (heap rows, IOT
+//! rows, LOB bytes) appends a compensating record to the active
+//! [`UndoLog`]. Rolling back applies the records in reverse. Because
+//! domain-index data stored in tables/IOTs/LOBs flows through the same
+//! paths, the paper's claim falls out structurally (§2.5: "The
+//! transactional semantics are also automatically ensured for the user
+//! index data, if the index data resides within the database") — and the
+//! *absence* of any `FileStore` variant here is the §5 limitation.
+
+use extidx_common::{Key, LobRef, Row, RowId};
+
+use crate::page::SegmentId;
+
+/// One compensating action.
+#[derive(Debug, Clone)]
+pub enum UndoOp {
+    /// A row was inserted into a heap; undo deletes it.
+    HeapInsert { seg: SegmentId, rid: RowId },
+    /// A heap row was deleted; undo re-inserts the old image at its slot.
+    HeapDelete { seg: SegmentId, rid: RowId, old: Row },
+    /// A heap row was updated; undo restores the old image.
+    HeapUpdate { seg: SegmentId, rid: RowId, old: Row },
+    /// An IOT row was inserted (no previous row); undo deletes the key.
+    IotInsert { seg: SegmentId, key: Key },
+    /// An IOT row was replaced; undo restores the old row.
+    IotReplace { seg: SegmentId, old: Row },
+    /// An IOT row was deleted; undo re-inserts the old row.
+    IotDelete { seg: SegmentId, old: Row },
+    /// A LOB was allocated; undo frees it.
+    LobAllocate { lob: LobRef },
+    /// A LOB's bytes changed; undo restores the full prior image.
+    /// (Byte-range undo would be an optimization; whole-image undo is
+    /// simple and correct for the reproduction's LOB sizes.)
+    LobModify { lob: LobRef, old: Vec<u8> },
+    /// A LOB was freed; undo restores it.
+    LobFree { lob: LobRef, old: Vec<u8> },
+}
+
+/// An ordered log of compensating actions for one transaction.
+#[derive(Debug, Default)]
+pub struct UndoLog {
+    ops: Vec<UndoOp>,
+}
+
+impl UndoLog {
+    /// Fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a compensating action.
+    pub fn push(&mut self, op: UndoOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of recorded actions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drain the actions in reverse (rollback) order.
+    pub fn drain_reverse(&mut self) -> Vec<UndoOp> {
+        let mut ops = std::mem::take(&mut self.ops);
+        ops.reverse();
+        ops
+    }
+
+    /// Discard everything (commit).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Append another log's actions after this one's (a completed
+    /// statement's undo folding into its enclosing transaction).
+    pub fn absorb(&mut self, mut other: UndoLog) {
+        self.ops.append(&mut other.ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extidx_common::Value;
+
+    #[test]
+    fn drain_reverses_order() {
+        let mut log = UndoLog::new();
+        log.push(UndoOp::HeapInsert { seg: SegmentId(1), rid: RowId::new(1, 0, 0) });
+        log.push(UndoOp::HeapInsert { seg: SegmentId(1), rid: RowId::new(1, 0, 1) });
+        let ops = log.drain_reverse();
+        assert_eq!(ops.len(), 2);
+        match &ops[0] {
+            UndoOp::HeapInsert { rid, .. } => assert_eq!(rid.slot, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn clear_discards() {
+        let mut log = UndoLog::new();
+        log.push(UndoOp::IotDelete { seg: SegmentId(2), old: vec![Value::Integer(1)] });
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

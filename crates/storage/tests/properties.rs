@@ -1,0 +1,209 @@
+//! Model-based property tests for the storage engine: heap operations
+//! against a reference map, and rollback restoring exact prior state.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use extidx_common::{Key, Row, RowId, Value};
+use extidx_storage::{StorageEngine, UndoLog};
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Insert(i64),
+    Update(usize, i64),
+    Delete(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<i64>().prop_map(HeapOp::Insert),
+            (any::<usize>(), any::<i64>()).prop_map(|(i, v)| HeapOp::Update(i, v)),
+            any::<usize>().prop_map(HeapOp::Delete),
+        ],
+        0..60,
+    )
+}
+
+fn row(v: i64) -> Row {
+    vec![Value::Integer(v), Value::from(format!("payload-{v}"))]
+}
+
+proptest! {
+    /// Heap table behaves exactly like a map keyed by rowid.
+    #[test]
+    fn heap_matches_reference_model(ops in arb_ops()) {
+        let mut engine = StorageEngine::new(256);
+        let seg = engine.create_heap();
+        let mut model: BTreeMap<RowId, Row> = BTreeMap::new();
+        let mut live: Vec<RowId> = Vec::new();
+
+        for op in ops {
+            match op {
+                HeapOp::Insert(v) => {
+                    let rid = engine.heap_insert(seg, row(v), None).unwrap();
+                    prop_assert!(!model.contains_key(&rid), "fresh rowid must be unused");
+                    model.insert(rid, row(v));
+                    live.push(rid);
+                }
+                HeapOp::Update(i, v) if !live.is_empty() => {
+                    let rid = live[i % live.len()];
+                    let old = engine.heap_update(seg, rid, row(v), None).unwrap();
+                    prop_assert_eq!(&old, model.get(&rid).unwrap());
+                    model.insert(rid, row(v));
+                }
+                HeapOp::Delete(i) if !live.is_empty() => {
+                    let idx = i % live.len();
+                    let rid = live.swap_remove(idx);
+                    let old = engine.heap_delete(seg, rid, None).unwrap();
+                    prop_assert_eq!(&old, model.get(&rid).unwrap());
+                    model.remove(&rid);
+                }
+                _ => {}
+            }
+        }
+
+        // Final state: every model row fetchable, scan sees exactly them.
+        for (rid, expected) in &model {
+            prop_assert_eq!(&engine.heap_fetch(seg, *rid).unwrap(), expected);
+        }
+        let scanned: BTreeMap<RowId, Row> = engine
+            .heap(seg)
+            .unwrap()
+            .scan()
+            .map(|(rid, _, r)| (rid, r.clone()))
+            .collect();
+        prop_assert_eq!(scanned, model);
+    }
+
+    /// Any transactional op sequence fully unwinds on rollback.
+    #[test]
+    fn rollback_restores_exact_state(before in arb_ops(), during in arb_ops()) {
+        let mut engine = StorageEngine::new(256);
+        let seg = engine.create_heap();
+        let mut live: Vec<RowId> = Vec::new();
+
+        // Committed prefix.
+        for op in before {
+            match op {
+                HeapOp::Insert(v) => live.push(engine.heap_insert(seg, row(v), None).unwrap()),
+                HeapOp::Update(i, v) if !live.is_empty() => {
+                    let rid = live[i % live.len()];
+                    engine.heap_update(seg, rid, row(v), None).unwrap();
+                }
+                HeapOp::Delete(i) if !live.is_empty() => {
+                    let idx = i % live.len();
+                    let rid = live.swap_remove(idx);
+                    engine.heap_delete(seg, rid, None).unwrap();
+                }
+                _ => {}
+            }
+        }
+        let snapshot: BTreeMap<RowId, Row> = engine
+            .heap(seg)
+            .unwrap()
+            .scan()
+            .map(|(rid, _, r)| (rid, r.clone()))
+            .collect();
+
+        // Logged suffix, then rollback.
+        let mut log = UndoLog::new();
+        let mut txn_live = live.clone();
+        for op in during {
+            match op {
+                HeapOp::Insert(v) => {
+                    txn_live.push(engine.heap_insert(seg, row(v), Some(&mut log)).unwrap())
+                }
+                HeapOp::Update(i, v) if !txn_live.is_empty() => {
+                    let rid = txn_live[i % txn_live.len()];
+                    if engine.heap_fetch(seg, rid).is_ok() {
+                        engine.heap_update(seg, rid, row(v), Some(&mut log)).unwrap();
+                    }
+                }
+                HeapOp::Delete(i) if !txn_live.is_empty() => {
+                    let idx = i % txn_live.len();
+                    let rid = txn_live.swap_remove(idx);
+                    if engine.heap_fetch(seg, rid).is_ok() {
+                        engine.heap_delete(seg, rid, Some(&mut log)).unwrap();
+                    }
+                }
+                _ => {}
+            }
+        }
+        engine.rollback(&mut log).unwrap();
+
+        let after: BTreeMap<RowId, Row> = engine
+            .heap(seg)
+            .unwrap()
+            .scan()
+            .map(|(rid, _, r)| (rid, r.clone()))
+            .collect();
+        prop_assert_eq!(after, snapshot);
+    }
+
+    /// IOT range scans return exactly the model's range, in order.
+    #[test]
+    fn iot_range_matches_btreemap(
+        entries in prop::collection::btree_map(-500i64..500, any::<i64>(), 0..80),
+        lo in -600i64..600,
+        len in 0i64..400,
+    ) {
+        let mut engine = StorageEngine::new(256);
+        let seg = engine.create_iot(1);
+        for (k, v) in &entries {
+            engine
+                .iot_insert(seg, vec![Value::Integer(*k), Value::Integer(*v)], None)
+                .unwrap();
+        }
+        let hi = lo + len;
+        let got = engine
+            .iot_range(
+                seg,
+                Some(&Key::single(Value::Integer(lo))),
+                Some(&Key::single(Value::Integer(hi))),
+            )
+            .unwrap();
+        let expected: Vec<(i64, i64)> =
+            entries.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+        let got_pairs: Vec<(i64, i64)> = got
+            .iter()
+            .map(|r| (r[0].as_integer().unwrap(), r[1].as_integer().unwrap()))
+            .collect();
+        prop_assert_eq!(got_pairs, expected);
+    }
+
+    /// Cache counters: hits never exceed logical reads; physical reads
+    /// never exceed logical reads.
+    #[test]
+    fn cache_counter_invariants(pages in prop::collection::vec(0u32..40, 1..200), cap in 1usize..32) {
+        let engine = StorageEngine::new(cap);
+        let seg = extidx_storage::SegmentId(1);
+        for p in &pages {
+            engine.cache().read((seg, *p));
+        }
+        let s = engine.cache_stats();
+        prop_assert!(s.physical_reads <= s.logical_reads);
+        prop_assert_eq!(s.logical_reads, pages.len() as u64);
+        prop_assert!(engine.cache().resident_pages() <= cap);
+    }
+
+    /// LOB read-back equals what was written, at every offset.
+    #[test]
+    fn lob_write_read_consistency(
+        chunks in prop::collection::vec((0u64..5000, prop::collection::vec(any::<u8>(), 0..300)), 0..12),
+    ) {
+        let mut engine = StorageEngine::new(64);
+        let lob = engine.lob_allocate(None);
+        let mut model: Vec<u8> = Vec::new();
+        for (off, bytes) in &chunks {
+            let off = *off as usize;
+            if model.len() < off + bytes.len() {
+                model.resize(off + bytes.len(), 0);
+            }
+            model[off..off + bytes.len()].copy_from_slice(bytes);
+            engine.lob_write(lob, off as u64, bytes, None).unwrap();
+        }
+        prop_assert_eq!(engine.lob_read_all(lob).unwrap(), model);
+    }
+}

@@ -1,0 +1,441 @@
+//! The ODCIIndex implementation for the text indextype.
+//!
+//! Index storage (§3.2.1): "The inverted index is stored in an
+//! index-organized table, and is maintained by performing
+//! insert/update/delete on the table whenever the table on which the text
+//! index is defined is modified." The table is `DR$<index>$I (token, rid,
+//! freq)` keyed on `(token, rid)`.
+//!
+//! Scan implementations (§2.2.3): `PARAMETERS (':ScanMode PRECOMPUTE')`
+//! (default) materializes and *ranks* the whole result set in
+//! `ODCIIndexStart` and returns a small Return-State context;
+//! `':ScanMode INCREMENTAL'` computes candidate rows batch-by-batch inside
+//! `ODCIIndexFetch`, holding its larger merge state in a Return-Handle
+//! workspace context.
+
+use std::collections::BTreeMap;
+
+use extidx_common::{Error, Result, RowId, Value};
+use extidx_core::meta::{IndexInfo, OperatorCall};
+use extidx_core::params::ParamString;
+use extidx_core::scan::{FetchResult, FetchedRow, ScanContext};
+use extidx_core::server::{workspace_state, ServerContext};
+use extidx_core::stats::{IndexCost, OdciStats};
+use extidx_core::OdciIndex;
+
+use crate::query::{parse_query, TextQuery};
+use crate::tokenizer::{tokenize, StopWords};
+
+/// The indextype implementation (the paper's `TextIndexMethods` object
+/// type).
+pub struct TextIndexMethods;
+
+/// Name of the inverted-index storage table for an index.
+pub fn index_table(info: &IndexInfo) -> String {
+    info.storage_table_name("I")
+}
+
+/// Read a document value as text, dereferencing LOB locators through
+/// server callbacks.
+fn document_text(srv: &mut dyn ServerContext, v: &Value) -> Result<Option<String>> {
+    Ok(match v {
+        Value::Null => None,
+        Value::Varchar(s) => Some(s.clone()),
+        Value::Lob(l) => Some(String::from_utf8_lossy(&srv.lob_read_all(*l)?).into_owned()),
+        other => {
+            return Err(Error::type_mismatch("VARCHAR2 or LOB", other.type_name()));
+        }
+    })
+}
+
+/// Insert posting entries in batches to cut server round trips (§2.5's
+/// batch-interface point, applied to maintenance).
+fn insert_postings(
+    srv: &mut dyn ServerContext,
+    table: &str,
+    entries: &[(String, RowId, u32)],
+) -> Result<()> {
+    const CHUNK: usize = 256;
+    for chunk in entries.chunks(CHUNK) {
+        let mut sql = format!("INSERT INTO {table} VALUES ");
+        let mut binds: Vec<Value> = Vec::with_capacity(chunk.len() * 3);
+        for (i, (token, rid, freq)) in chunk.iter().enumerate() {
+            if i > 0 {
+                sql.push_str(", ");
+            }
+            sql.push_str("(?, ?, ?)");
+            binds.push(Value::from(token.clone()));
+            binds.push(Value::RowId(*rid));
+            binds.push(Value::Integer(*freq as i64));
+        }
+        srv.execute(&sql, &binds)?;
+    }
+    Ok(())
+}
+
+fn doc_entries(text: &str, rid: RowId, stop: &StopWords) -> Vec<(String, RowId, u32)> {
+    tokenize(text, stop).into_iter().map(|(t, f)| (t, rid, f)).collect()
+}
+
+/// Load the posting list of every positive query term.
+fn load_postings(
+    srv: &mut dyn ServerContext,
+    table: &str,
+    q: &TextQuery,
+) -> Result<BTreeMap<String, BTreeMap<RowId, u32>>> {
+    let mut postings = BTreeMap::new();
+    for term in q.terms() {
+        if postings.contains_key(&term) {
+            continue;
+        }
+        let rows = srv.query(
+            &format!("SELECT rid, freq FROM {table} WHERE token = ?"),
+            &[Value::from(term.clone())],
+        )?;
+        let mut list = BTreeMap::new();
+        for r in rows {
+            list.insert(r[0].as_rowid()?, r[1].as_integer()? as u32);
+        }
+        postings.insert(term, list);
+    }
+    Ok(postings)
+}
+
+/// Whether one rowid satisfies the query given the loaded postings.
+fn rid_matches(q: &TextQuery, postings: &BTreeMap<String, BTreeMap<RowId, u32>>, rid: RowId) -> bool {
+    match q {
+        TextQuery::Term(t) => postings.get(t).is_some_and(|p| p.contains_key(&rid)),
+        TextQuery::And(a, b) => rid_matches(a, postings, rid) && rid_matches(b, postings, rid),
+        TextQuery::Or(a, b) => rid_matches(a, postings, rid) || rid_matches(b, postings, rid),
+        TextQuery::Not(a) => !rid_matches(a, postings, rid),
+    }
+}
+
+fn rid_score(
+    terms: &[String],
+    postings: &BTreeMap<String, BTreeMap<RowId, u32>>,
+    rid: RowId,
+) -> u32 {
+    terms.iter().filter_map(|t| postings.get(t).and_then(|p| p.get(&rid))).sum()
+}
+
+/// Precompute-All scan state (Return State context): ranked result rows.
+struct PrecomputedScan {
+    /// `(rid, score)` sorted by descending score (ranking semantics).
+    rows: Vec<(RowId, u32)>,
+    pos: usize,
+    wants_ancillary: bool,
+}
+
+/// Incremental scan state (kept in the statement workspace behind a
+/// Return Handle): candidate rowids evaluated batch-by-batch.
+struct IncrementalScan {
+    query: TextQuery,
+    /// Positive terms, cached once (scoring would otherwise re-derive
+    /// them per candidate row).
+    terms: Vec<String>,
+    postings: BTreeMap<String, BTreeMap<RowId, u32>>,
+    candidates: Vec<RowId>,
+    pos: usize,
+    wants_ancillary: bool,
+}
+
+impl OdciIndex for TextIndexMethods {
+    fn create(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        let table = index_table(info);
+        srv.execute(
+            &format!(
+                "CREATE TABLE {table} (token VARCHAR2(128), rid ROWID, freq INTEGER, \
+                 PRIMARY KEY (token, rid)) ORGANIZATION INDEX"
+            ),
+            &[],
+        )?;
+        // Populate from existing base rows.
+        let stop = StopWords::from_params(&info.parameters);
+        let rows = srv.query(
+            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
+            &[],
+        )?;
+        let mut entries = Vec::new();
+        for r in rows {
+            let rid = r[1].as_rowid()?;
+            if let Some(text) = document_text(srv, &r[0])? {
+                entries.extend(doc_entries(&text, rid, &stop));
+            }
+        }
+        insert_postings(srv, &table, &entries)?;
+        Ok(())
+    }
+
+    fn alter(&self, srv: &mut dyn ServerContext, info: &IndexInfo, _delta: &ParamString) -> Result<()> {
+        // Parameters affecting the lexical analysis (e.g. a changed stop
+        // list) require a rebuild: truncate and repopulate under the
+        // merged parameters `info` already carries.
+        self.truncate(srv, info)?;
+        let stop = StopWords::from_params(&info.parameters);
+        let rows = srv.query(
+            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
+            &[],
+        )?;
+        let table = index_table(info);
+        let mut entries = Vec::new();
+        for r in rows {
+            let rid = r[1].as_rowid()?;
+            if let Some(text) = document_text(srv, &r[0])? {
+                entries.extend(doc_entries(&text, rid, &stop));
+            }
+        }
+        insert_postings(srv, &table, &entries)?;
+        Ok(())
+    }
+
+    fn truncate(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        srv.execute(&format!("TRUNCATE TABLE {}", index_table(info)), &[])?;
+        Ok(())
+    }
+
+    fn drop_index(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        srv.execute(&format!("DROP TABLE {}", index_table(info)), &[])?;
+        Ok(())
+    }
+
+    fn insert(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        new_value: &Value,
+    ) -> Result<()> {
+        if let Some(text) = document_text(srv, new_value)? {
+            let stop = StopWords::from_params(&info.parameters);
+            let entries = doc_entries(&text, rid, &stop);
+            insert_postings(srv, &index_table(info), &entries)?;
+        }
+        Ok(())
+    }
+
+    fn update(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        old_value: &Value,
+        new_value: &Value,
+    ) -> Result<()> {
+        // Paper §2.2.3: "ODCIIndexUpdate should delete the entries
+        // corresponding to the old indexed column value… and insert the
+        // new entries".
+        self.delete(srv, info, rid, old_value)?;
+        self.insert(srv, info, rid, new_value)
+    }
+
+    fn delete(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        rid: RowId,
+        old_value: &Value,
+    ) -> Result<()> {
+        if let Some(text) = document_text(srv, old_value)? {
+            let stop = StopWords::from_params(&info.parameters);
+            let table = index_table(info);
+            for (token, _) in tokenize(&text, &stop) {
+                srv.execute(
+                    &format!("DELETE FROM {table} WHERE token = ? AND rid = ?"),
+                    &[Value::from(token), Value::RowId(rid)],
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn start(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+    ) -> Result<ScanContext> {
+        let text_query = op
+            .args
+            .first()
+            .ok_or_else(|| Error::odci(&info.indextype_name, "ODCIIndexStart", "missing query argument"))?
+            .as_str()?;
+        let q = parse_query(text_query)?;
+        let incremental = info
+            .parameters
+            .first("ScanMode")
+            .is_some_and(|m| m.eq_ignore_ascii_case("INCREMENTAL"));
+        let table = index_table(info);
+        let postings = load_postings(srv, &table, &q)?;
+        if incremental {
+            // Incremental Computation: defer boolean evaluation and
+            // scoring to fetch time; keep (potentially large) merge state
+            // in the statement workspace.
+            let mut candidates: Vec<RowId> = Vec::new();
+            for list in postings.values() {
+                candidates.extend(list.keys().copied());
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            let state = IncrementalScan {
+                terms: q.terms(),
+                query: q,
+                postings,
+                candidates,
+                pos: 0,
+                wants_ancillary: op.wants_ancillary,
+            };
+            let handle = srv.workspace_put(Box::new(state));
+            Ok(ScanContext::Handle(handle))
+        } else {
+            // Precompute All: evaluate the boolean query and rank the
+            // entire result by score before the first fetch.
+            let result = q.evaluate_postings(&postings)?;
+            let mut rows: Vec<(RowId, u32)> = result.into_iter().collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            Ok(ScanContext::State(Box::new(PrecomputedScan {
+                rows,
+                pos: 0,
+                wants_ancillary: op.wants_ancillary,
+            })))
+        }
+    }
+
+    fn fetch(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        ctx: &mut ScanContext,
+        nrows: usize,
+    ) -> Result<FetchResult> {
+        match ctx {
+            ScanContext::State(_) => {
+                let st = ctx.state_mut::<PrecomputedScan>().ok_or_else(|| {
+                    Error::odci(&info.indextype_name, "ODCIIndexFetch", "bad scan state")
+                })?;
+                let end = (st.pos + nrows).min(st.rows.len());
+                let out: Vec<FetchedRow> = st.rows[st.pos..end]
+                    .iter()
+                    .map(|(rid, score)| {
+                        if st.wants_ancillary {
+                            FetchedRow::with_ancillary(*rid, Value::Number(*score as f64))
+                        } else {
+                            FetchedRow::plain(*rid)
+                        }
+                    })
+                    .collect();
+                st.pos = end;
+                Ok(FetchResult { rows: out, done: st.pos >= st.rows.len() })
+            }
+            ScanContext::Handle(h) => {
+                let handle = *h;
+                let st = workspace_state::<IncrementalScan>(
+                    srv,
+                    handle,
+                    &info.indextype_name,
+                    "ODCIIndexFetch",
+                )?;
+                let mut out = Vec::with_capacity(nrows);
+                while out.len() < nrows && st.pos < st.candidates.len() {
+                    let rid = st.candidates[st.pos];
+                    st.pos += 1;
+                    if rid_matches(&st.query, &st.postings, rid) {
+                        if st.wants_ancillary {
+                            let score = rid_score(&st.terms, &st.postings, rid);
+                            out.push(FetchedRow::with_ancillary(rid, Value::Number(score as f64)));
+                        } else {
+                            out.push(FetchedRow::plain(rid));
+                        }
+                    }
+                }
+                let done = st.pos >= st.candidates.len();
+                Ok(FetchResult { rows: out, done })
+            }
+        }
+    }
+
+    fn close(&self, srv: &mut dyn ServerContext, _info: &IndexInfo, ctx: ScanContext) -> Result<()> {
+        // Return-Handle state is released from the statement workspace;
+        // Return-State contexts drop with the context itself.
+        if let ScanContext::Handle(h) = ctx {
+            srv.workspace_take(h);
+        }
+        Ok(())
+    }
+}
+
+/// The ODCIStats implementation for the text indextype.
+pub struct TextStats;
+
+impl TextStats {
+    fn query_selectivity(
+        srv: &mut dyn ServerContext,
+        table: &str,
+        total_docs: f64,
+        q: &TextQuery,
+    ) -> Result<f64> {
+        Ok(match q {
+            TextQuery::Term(t) => {
+                let rows = srv.query(
+                    &format!("SELECT COUNT(*) FROM {table} WHERE token = ?"),
+                    &[Value::from(t.clone())],
+                )?;
+                let len = rows[0][0].as_integer()? as f64;
+                if total_docs == 0.0 {
+                    0.0
+                } else {
+                    (len / total_docs).min(1.0)
+                }
+            }
+            TextQuery::And(a, b) => {
+                Self::query_selectivity(srv, table, total_docs, a)?
+                    * Self::query_selectivity(srv, table, total_docs, b)?
+            }
+            TextQuery::Or(a, b) => (Self::query_selectivity(srv, table, total_docs, a)?
+                + Self::query_selectivity(srv, table, total_docs, b)?)
+            .min(1.0),
+            TextQuery::Not(a) => 1.0 - Self::query_selectivity(srv, table, total_docs, a)?,
+        })
+    }
+}
+
+impl OdciStats for TextStats {
+    fn collect(&self, _srv: &mut dyn ServerContext, _info: &IndexInfo) -> Result<()> {
+        // Posting lengths are queried live at selectivity time; nothing to
+        // precompute for this reproduction.
+        Ok(())
+    }
+
+    fn selectivity(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+    ) -> Result<f64> {
+        let text_query = op.args.first().and_then(|v| v.as_str().ok()).unwrap_or("");
+        let q = match parse_query(text_query) {
+            Ok(q) => q,
+            Err(_) => return Ok(0.01),
+        };
+        let total = srv.query(&format!("SELECT COUNT(*) FROM {}", info.table_name), &[])?;
+        let total_docs = total[0][0].as_integer()? as f64;
+        Self::query_selectivity(srv, &index_table(info), total_docs, &q)
+    }
+
+    fn index_cost(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        op: &OperatorCall,
+        selectivity: f64,
+    ) -> Result<IndexCost> {
+        // Cost ≈ one probe per query term plus the posting pages read.
+        let text_query = op.args.first().and_then(|v| v.as_str().ok()).unwrap_or("");
+        let terms = parse_query(text_query).map(|q| q.terms().len()).unwrap_or(1) as f64;
+        let total = srv.query(&format!("SELECT COUNT(*) FROM {}", index_table(info)), &[])?;
+        let entries = total[0][0].as_integer()? as f64;
+        // ~400 posting entries per 8 KiB leaf page.
+        let posting_pages = (entries * selectivity / 400.0).max(1.0);
+        Ok(IndexCost { io_cost: terms * 2.0 + posting_pages, cpu_cost: entries * selectivity * 0.0002 })
+    }
+}

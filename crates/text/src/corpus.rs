@@ -1,0 +1,108 @@
+//! Synthetic document corpus generation.
+//!
+//! Stand-in for the paper's real resumes/documents: documents are drawn
+//! from a Zipfian vocabulary so that term selectivities span the realistic
+//! range (a few very common terms, a long tail of rare ones). Benchmarks
+//! pick query terms by rank to sweep selectivity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic corpus generator.
+pub struct CorpusGenerator {
+    rng: StdRng,
+    vocab: Vec<String>,
+    /// Cumulative Zipf weights over the vocabulary.
+    cumulative: Vec<f64>,
+}
+
+impl CorpusGenerator {
+    /// Generator over `vocab_size` terms with Zipf exponent `s` (1.0 is
+    /// classic Zipf) and a fixed seed.
+    pub fn new(vocab_size: usize, s: f64, seed: u64) -> Self {
+        assert!(vocab_size > 0);
+        let vocab: Vec<String> = (0..vocab_size).map(|i| format!("term{i:05}")).collect();
+        let mut cumulative = Vec::with_capacity(vocab_size);
+        let mut sum = 0.0;
+        for i in 0..vocab_size {
+            sum += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(sum);
+        }
+        for c in &mut cumulative {
+            *c /= sum;
+        }
+        CorpusGenerator { rng: StdRng::seed_from_u64(seed), vocab, cumulative }
+    }
+
+    /// The vocabulary term of a given frequency rank (0 = most common).
+    pub fn term(&self, rank: usize) -> &str {
+        &self.vocab[rank.min(self.vocab.len() - 1)]
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    fn sample_term(&mut self) -> usize {
+        let x: f64 = self.rng.gen();
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.vocab.len() - 1),
+        }
+    }
+
+    /// One document of `len` terms.
+    pub fn document(&mut self, len: usize) -> String {
+        let mut words = Vec::with_capacity(len);
+        for _ in 0..len {
+            let t = self.sample_term();
+            words.push(self.vocab[t].clone());
+        }
+        words.join(" ")
+    }
+
+    /// A corpus of `n` documents, each of `doc_len` terms.
+    pub fn corpus(&mut self, n: usize, doc_len: usize) -> Vec<String> {
+        (0..n).map(|_| self.document(doc_len)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = CorpusGenerator::new(100, 1.0, 7);
+        let mut b = CorpusGenerator::new(100, 1.0, 7);
+        assert_eq!(a.document(20), b.document(20));
+        let mut c = CorpusGenerator::new(100, 1.0, 8);
+        assert_ne!(a.document(20), c.document(20));
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let mut g = CorpusGenerator::new(1000, 1.0, 42);
+        let text = g.document(20_000);
+        let common = text.matches("term00000").count();
+        let rare = text.matches("term00900").count();
+        assert!(common > rare * 5, "common={common} rare={rare}");
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let mut g = CorpusGenerator::new(50, 1.0, 1);
+        let docs = g.corpus(10, 30);
+        assert_eq!(docs.len(), 10);
+        assert!(docs.iter().all(|d| d.split(' ').count() == 30));
+    }
+
+    #[test]
+    fn term_by_rank() {
+        let g = CorpusGenerator::new(10, 1.0, 1);
+        assert_eq!(g.term(0), "term00000");
+        assert_eq!(g.term(9), "term00009");
+        assert_eq!(g.term(99), "term00009", "clamped to vocab");
+    }
+}

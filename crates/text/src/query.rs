@@ -1,0 +1,369 @@
+//! The `Contains` keyword-query language.
+//!
+//! Grammar (case-insensitive, mirroring the paper's `'Oracle AND UNIX'`
+//! example):
+//!
+//! ```text
+//! expr   := term (OR term)*
+//! term   := factor (AND factor)*
+//! factor := NOT factor | '(' expr ')' | WORD
+//! ```
+//!
+//! A parsed [`TextQuery`] can be evaluated two ways: against one
+//! document's token set (the functional implementation) or over posting
+//! lists from the inverted index (the index implementation). `NOT` is
+//! only meaningful when ANDed with a positive side — a bare `NOT x` would
+//! require enumerating all documents, which the index evaluation rejects
+//! (the functional fallback still handles it row-by-row).
+
+use std::collections::BTreeMap;
+
+use extidx_common::{Error, Result, RowId};
+
+use crate::tokenizer::normalize_term;
+
+/// A parsed boolean keyword query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextQuery {
+    Term(String),
+    And(Box<TextQuery>, Box<TextQuery>),
+    Or(Box<TextQuery>, Box<TextQuery>),
+    Not(Box<TextQuery>),
+}
+
+impl TextQuery {
+    /// All positive terms in the query (what the index must look up).
+    pub fn terms(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_terms(&mut out);
+        out
+    }
+
+    fn collect_terms(&self, out: &mut Vec<String>) {
+        match self {
+            TextQuery::Term(t) => out.push(t.clone()),
+            TextQuery::And(a, b) | TextQuery::Or(a, b) => {
+                a.collect_terms(out);
+                b.collect_terms(out);
+            }
+            TextQuery::Not(a) => a.collect_terms(out),
+        }
+    }
+
+    /// Evaluate against one document's token counts (functional path).
+    pub fn matches(&self, tokens: &BTreeMap<String, u32>) -> bool {
+        match self {
+            TextQuery::Term(t) => tokens.contains_key(t),
+            TextQuery::And(a, b) => a.matches(tokens) && b.matches(tokens),
+            TextQuery::Or(a, b) => a.matches(tokens) || b.matches(tokens),
+            TextQuery::Not(a) => !a.matches(tokens),
+        }
+    }
+
+    /// Evaluate over posting lists (index path): each term maps to its
+    /// posting list (rowid → term frequency). Returns the matching rowids
+    /// with an aggregate score (sum of matched-term frequencies).
+    ///
+    /// `NOT` subtrees subtract from their AND sibling; a query whose top
+    /// level is effectively negative is rejected.
+    pub fn evaluate_postings(
+        &self,
+        postings: &BTreeMap<String, BTreeMap<RowId, u32>>,
+    ) -> Result<BTreeMap<RowId, u32>> {
+        match self.eval_set(postings)? {
+            SetResult::Positive(m) => Ok(m),
+            SetResult::Negative(_) => Err(Error::Semantic(
+                "a Contains query cannot be purely negative (NOT without a positive side)".into(),
+            )),
+        }
+    }
+
+    fn eval_set(
+        &self,
+        postings: &BTreeMap<String, BTreeMap<RowId, u32>>,
+    ) -> Result<SetResult> {
+        Ok(match self {
+            TextQuery::Term(t) => {
+                SetResult::Positive(postings.get(t).cloned().unwrap_or_default())
+            }
+            TextQuery::Not(a) => match a.eval_set(postings)? {
+                SetResult::Positive(m) => SetResult::Negative(m),
+                SetResult::Negative(m) => SetResult::Positive(m),
+            },
+            TextQuery::And(a, b) => {
+                let (l, r) = (a.eval_set(postings)?, b.eval_set(postings)?);
+                match (l, r) {
+                    (SetResult::Positive(l), SetResult::Positive(r)) => {
+                        let mut out = BTreeMap::new();
+                        for (rid, f) in &l {
+                            if let Some(g) = r.get(rid) {
+                                out.insert(*rid, f + g);
+                            }
+                        }
+                        SetResult::Positive(out)
+                    }
+                    (SetResult::Positive(l), SetResult::Negative(r))
+                    | (SetResult::Negative(r), SetResult::Positive(l)) => {
+                        let mut out = l;
+                        for rid in r.keys() {
+                            out.remove(rid);
+                        }
+                        SetResult::Positive(out)
+                    }
+                    (SetResult::Negative(_), SetResult::Negative(_)) => {
+                        return Err(Error::Semantic(
+                            "AND of two NOT subqueries is purely negative".into(),
+                        ))
+                    }
+                }
+            }
+            TextQuery::Or(a, b) => {
+                let (l, r) = (a.eval_set(postings)?, b.eval_set(postings)?);
+                match (l, r) {
+                    (SetResult::Positive(mut l), SetResult::Positive(r)) => {
+                        for (rid, f) in r {
+                            *l.entry(rid).or_insert(0) += f;
+                        }
+                        SetResult::Positive(l)
+                    }
+                    _ => {
+                        return Err(Error::Semantic(
+                            "OR with a NOT subquery is purely negative on one side".into(),
+                        ))
+                    }
+                }
+            }
+        })
+    }
+}
+
+enum SetResult {
+    /// Rowids that match (with scores).
+    Positive(BTreeMap<RowId, u32>),
+    /// Rowids that must NOT match.
+    Negative(BTreeMap<RowId, u32>),
+}
+
+/// Parse a keyword query string.
+pub fn parse_query(input: &str) -> Result<TextQuery> {
+    let tokens: Vec<String> = lex(input);
+    let mut p = QParser { tokens, pos: 0 };
+    let q = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(Error::Parse(format!("unexpected token in text query: {}", p.tokens[p.pos])));
+    }
+    Ok(q)
+}
+
+fn lex(input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in input.chars() {
+        match c {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                out.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+struct QParser {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl QParser {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(|s| s.as_str())
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> Result<TextQuery> {
+        let mut lhs = self.term()?;
+        while self.eat_kw("OR") {
+            let rhs = self.term()?;
+            lhs = TextQuery::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<TextQuery> {
+        let mut lhs = self.factor()?;
+        loop {
+            if self.eat_kw("AND") {
+                let rhs = self.factor()?;
+                lhs = TextQuery::And(Box::new(lhs), Box::new(rhs));
+            } else {
+                // Implicit AND between adjacent words ("oracle unix").
+                match self.peek() {
+                    Some(t)
+                        if !t.eq_ignore_ascii_case("OR")
+                            && !t.eq_ignore_ascii_case("AND")
+                            && t != ")" =>
+                    {
+                        let rhs = self.factor()?;
+                        lhs = TextQuery::And(Box::new(lhs), Box::new(rhs));
+                    }
+                    _ => break,
+                }
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<TextQuery> {
+        if self.eat_kw("NOT") {
+            return Ok(TextQuery::Not(Box::new(self.factor()?)));
+        }
+        match self.peek() {
+            Some("(") => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                if self.peek() != Some(")") {
+                    return Err(Error::Parse("expected ) in text query".into()));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(word) if word != ")" => {
+                let term = normalize_term(word);
+                self.pos += 1;
+                Ok(TextQuery::Term(term))
+            }
+            other => Err(Error::Parse(format!("unexpected end of text query: {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::{tokenize, StopWords};
+
+    fn doc(text: &str) -> BTreeMap<String, u32> {
+        tokenize(text, &StopWords::none())
+    }
+
+    #[test]
+    fn parses_the_papers_query() {
+        let q = parse_query("Oracle AND UNIX").unwrap();
+        assert_eq!(
+            q,
+            TextQuery::And(
+                Box::new(TextQuery::Term("oracle".into())),
+                Box::new(TextQuery::Term("unix".into()))
+            )
+        );
+    }
+
+    #[test]
+    fn matches_documents() {
+        let q = parse_query("Oracle AND UNIX").unwrap();
+        assert!(q.matches(&doc("worked with Oracle on UNIX systems")));
+        assert!(!q.matches(&doc("worked with Oracle on Windows")));
+    }
+
+    #[test]
+    fn or_and_parens_and_not() {
+        let q = parse_query("(java OR cobol) AND NOT basic").unwrap();
+        assert!(q.matches(&doc("expert java developer")));
+        assert!(!q.matches(&doc("java and basic")));
+        assert!(q.matches(&doc("cobol mainframe")));
+        assert!(!q.matches(&doc("nothing relevant")));
+    }
+
+    #[test]
+    fn implicit_and_between_words() {
+        let q = parse_query("oracle unix").unwrap();
+        assert!(q.matches(&doc("unix oracle")));
+        assert!(!q.matches(&doc("only oracle")));
+    }
+
+    #[test]
+    fn posting_evaluation_and() {
+        let mut postings: BTreeMap<String, BTreeMap<RowId, u32>> = BTreeMap::new();
+        let r1 = RowId::new(1, 0, 0);
+        let r2 = RowId::new(1, 0, 1);
+        postings.insert("oracle".into(), [(r1, 2), (r2, 1)].into_iter().collect());
+        postings.insert("unix".into(), [(r1, 1)].into_iter().collect());
+        let q = parse_query("oracle AND unix").unwrap();
+        let out = q.evaluate_postings(&postings).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[&r1], 3); // summed frequencies as score
+    }
+
+    #[test]
+    fn posting_evaluation_or_scores_sum() {
+        let mut postings: BTreeMap<String, BTreeMap<RowId, u32>> = BTreeMap::new();
+        let r1 = RowId::new(1, 0, 0);
+        postings.insert("a".into(), [(r1, 2)].into_iter().collect());
+        postings.insert("b".into(), [(r1, 3)].into_iter().collect());
+        let q = parse_query("a OR b").unwrap();
+        let out = q.evaluate_postings(&postings).unwrap();
+        assert_eq!(out[&r1], 5);
+    }
+
+    #[test]
+    fn posting_evaluation_and_not() {
+        let mut postings: BTreeMap<String, BTreeMap<RowId, u32>> = BTreeMap::new();
+        let r1 = RowId::new(1, 0, 0);
+        let r2 = RowId::new(1, 0, 1);
+        postings.insert("oracle".into(), [(r1, 1), (r2, 1)].into_iter().collect());
+        postings.insert("cobol".into(), [(r2, 1)].into_iter().collect());
+        let q = parse_query("oracle AND NOT cobol").unwrap();
+        let out = q.evaluate_postings(&postings).unwrap();
+        assert_eq!(out.keys().copied().collect::<Vec<_>>(), vec![r1]);
+    }
+
+    #[test]
+    fn purely_negative_rejected_on_index_path() {
+        let postings = BTreeMap::new();
+        let q = parse_query("NOT oracle").unwrap();
+        assert!(q.evaluate_postings(&postings).is_err());
+        // …but the functional path handles it.
+        assert!(q.matches(&doc("plain document")));
+    }
+
+    #[test]
+    fn missing_term_is_empty_posting() {
+        let postings = BTreeMap::new();
+        let q = parse_query("absent").unwrap();
+        assert!(q.evaluate_postings(&postings).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("(oracle").is_err());
+        assert!(parse_query("oracle )").is_err());
+    }
+
+    #[test]
+    fn terms_lists_positive_terms() {
+        let q = parse_query("(a OR b) AND NOT c").unwrap();
+        let mut t = q.terms();
+        t.sort();
+        assert_eq!(t, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Lexical analysis of document text.
+//!
+//! The paper's index parameters identify "the language of the text
+//! document (thus identifying the lexical analyzer to use), and the list
+//! of stop words which are to be ignored while creating the text index".
+//! [`StopWords`] carries that list; [`tokenize`] produces the token
+//! multiset an inverted index stores.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use extidx_core::params::ParamString;
+
+/// A stop-word list (lower-cased).
+#[derive(Debug, Clone, Default)]
+pub struct StopWords {
+    words: BTreeSet<String>,
+}
+
+impl StopWords {
+    /// No stop words.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// From an explicit list.
+    pub fn from_words<I: IntoIterator<Item = S>, S: AsRef<str>>(words: I) -> Self {
+        StopWords {
+            words: words.into_iter().map(|w| w.as_ref().to_ascii_lowercase()).collect(),
+        }
+    }
+
+    /// From index parameters: the `:Ignore w1 w2 …` key of the paper's
+    /// example.
+    pub fn from_params(params: &ParamString) -> Self {
+        Self::from_words(params.values("Ignore"))
+    }
+
+    /// Whether a (lower-cased) token is a stop word.
+    pub fn contains(&self, token: &str) -> bool {
+        self.words.contains(token)
+    }
+
+    /// Number of stop words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Tokenize a document: lower-case, split on non-alphanumerics, drop stop
+/// words. Returns token → occurrence count.
+pub fn tokenize(text: &str, stop: &StopWords) -> BTreeMap<String, u32> {
+    let mut counts = BTreeMap::new();
+    for raw in text.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if raw.is_empty() {
+            continue;
+        }
+        let token = raw.to_ascii_lowercase();
+        if stop.contains(&token) {
+            continue;
+        }
+        *counts.entry(token).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Normalize a single query term the same way documents are tokenized.
+pub fn normalize_term(term: &str) -> String {
+    term.to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_and_counts() {
+        let t = tokenize("Oracle and UNIX, oracle!", &StopWords::none());
+        assert_eq!(t.get("oracle"), Some(&2));
+        assert_eq!(t.get("unix"), Some(&1));
+        assert_eq!(t.get("and"), Some(&1));
+    }
+
+    #[test]
+    fn stop_words_dropped() {
+        let stop = StopWords::from_words(["the", "a", "an"]);
+        let t = tokenize("The quick brown fox jumps over a lazy dog", &stop);
+        assert!(!t.contains_key("the"));
+        assert!(!t.contains_key("a"));
+        assert_eq!(t.get("quick"), Some(&1));
+    }
+
+    #[test]
+    fn stop_words_from_params() {
+        let p = ParamString::parse(":Language English :Ignore the a an");
+        let stop = StopWords::from_params(&p);
+        assert_eq!(stop.len(), 3);
+        assert!(stop.contains("the") && stop.contains("an"));
+        assert!(!stop.contains("oracle"));
+    }
+
+    #[test]
+    fn empty_text() {
+        assert!(tokenize("", &StopWords::none()).is_empty());
+        assert!(tokenize("!!! --- ???", &StopWords::none()).is_empty());
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        let t = tokenize("version 8i released 1999", &StopWords::none());
+        assert_eq!(t.get("1999"), Some(&1));
+        assert_eq!(t.get("8i"), Some(&1));
+    }
+}

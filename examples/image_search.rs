@@ -1,0 +1,97 @@
+//! Content-based image retrieval — the §3.2.3 VIR case study.
+//!
+//! Loads synthetic image signatures with a few planted near-duplicates,
+//! then runs `VirSimilar` queries with and without the domain index. The
+//! indexed path evaluates the operator in three phases (coarse range
+//! filter → coarse distance → full signature comparison); the unindexed
+//! path compares full signatures for every row — the pre-8i situation
+//! where "the operator was evaluated as a filter predicate for every row".
+//!
+//! Run with: `cargo run --release --example image_search`
+
+use std::time::Instant;
+
+use extidx::sql::Database;
+use extidx::vir::{SignatureWorkload, Weights};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_images = 5_000;
+    let mut wl = SignatureWorkload::new(2026);
+    let query_image = wl.random();
+
+    let mut db = Database::with_cache_pages(16_384);
+    extidx::vir::install(&mut db)?;
+    db.execute("CREATE TABLE images (id INTEGER, img VIR_IMAGE)")?;
+
+    print!("loading {n_images} image signatures (+5 planted near-duplicates)… ");
+    let t = Instant::now();
+    for i in 0..n_images {
+        let sig = wl.random();
+        db.execute_with(
+            "INSERT INTO images VALUES (?, VIR_IMAGE(?))",
+            &[(i as i64).into(), sig.serialize().into()],
+        )?;
+    }
+    for d in 0..5 {
+        let dup = wl.near_duplicate(&query_image, 0.8);
+        db.execute_with(
+            "INSERT INTO images VALUES (?, VIR_IMAGE(?))",
+            &[((n_images + d) as i64).into(), dup.serialize().into()],
+        )?;
+    }
+    println!("{:?}", t.elapsed());
+
+    let weights = "globalcolor=0.5, localcolor=0.0, texture=0.5, structure=0.0";
+    let threshold = 3.0;
+    let sql = format!(
+        "SELECT id, SCORE(1) FROM images \
+         WHERE VirSimilar(img, '{}', '{weights}', {threshold}, 1) ORDER BY SCORE(1)",
+        query_image.serialize()
+    );
+
+    // Baseline: no index → full signature comparison per row.
+    let t = Instant::now();
+    let baseline = db.query(&sql)?;
+    let baseline_time = t.elapsed();
+
+    // Build the index and re-run — three-phase filtered evaluation.
+    print!("building VIR index… ");
+    let t = Instant::now();
+    db.execute("CREATE INDEX img_idx ON images(img) INDEXTYPE IS VirIndexType")?;
+    println!("{:?}", t.elapsed());
+
+    let t = Instant::now();
+    let indexed = db.query(&sql)?;
+    let indexed_time = t.elapsed();
+    assert_eq!(baseline.len(), indexed.len());
+
+    println!("\nmatches within distance {threshold} (weights: {weights}):");
+    for row in indexed.iter().take(8) {
+        println!("  image {:>6}  distance {}", row[0], row[1]);
+    }
+
+    // Phase effectiveness straight off the index table.
+    let qc = query_image.coarse();
+    let w = Weights::parse(weights)?;
+    let r = threshold / w.0[0];
+    let phase1 = db.query_with(
+        "SELECT COUNT(*) FROM DR$IMG_IDX$S WHERE q1 BETWEEN ? AND ?",
+        &[(qc[0] - r).into(), (qc[0] + r).into()],
+    )?[0][0]
+        .as_integer()?;
+    let total = db.query("SELECT COUNT(*) FROM DR$IMG_IDX$S")?[0][0].as_integer()?;
+
+    println!("\nmulti-level filtering (§3.2.3):");
+    println!("  total images            {total:>8}");
+    println!("  after phase-1 range     {phase1:>8}");
+    println!("  final matches           {:>8}", indexed.len());
+    println!("\n{:<28} {:>12}", "execution", "time");
+    println!("{:<28} {:>12?}", "full-scan comparison", baseline_time);
+    println!("{:<28} {:>12?}", "three-phase via index", indexed_time);
+    println!(
+        "\nspeedup: {:.1}x — \"it is now possible to do content-based image queries on \
+         tables with millions of rows\"",
+        baseline_time.as_secs_f64() / indexed_time.as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Quickstart — the paper's running example, end to end.
+//!
+//! Builds the `Employees(resume)` scenario from §1: install the text
+//! cartridge, register the `Contains` operator and `TextIndexType`
+//! indextype, create a domain index with the paper's PARAMETERS string,
+//! and run content-based searches that the server evaluates through
+//! user-supplied ODCIIndex routines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use extidx::sql::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+
+    // The cartridge developer's steps (§2.2): functional implementation,
+    // CREATE OPERATOR, CREATE INDEXTYPE — bundled by install().
+    extidx::text::install(&mut db)?;
+    println!("text cartridge installed: operator CONTAINS, indextype TEXTINDEXTYPE\n");
+
+    // The end user's steps (§2.3).
+    db.execute(
+        "CREATE TABLE Employees (name VARCHAR(128), id INTEGER, resume VARCHAR2(1024))",
+    )?;
+    for (name, id, resume) in [
+        ("Alice", 1, "Ten years of Oracle administration on UNIX platforms"),
+        ("Bob", 2, "Java and Spring microservices, some COBOL maintenance"),
+        ("Carol", 3, "Oracle performance tuning, PL/SQL, Windows Server"),
+        ("Dave", 4, "UNIX kernel development; occasional Oracle consulting"),
+        ("Erin", 5, "Technical marketing and developer relations"),
+    ] {
+        db.execute_with(
+            "INSERT INTO Employees VALUES (?, ?, ?)",
+            &[name.into(), i64::from(id).into(), resume.into()],
+        )?;
+    }
+
+    // Filler rows so plan choices look like production, not a toy table
+    // (the cost-based optimizer rightly full-scans a one-page table).
+    for i in 10..400 {
+        db.execute_with(
+            "INSERT INTO Employees VALUES (?, ?, ?)",
+            &[
+                format!("emp{i}").into(),
+                i64::from(i).into(),
+                format!("generic resume body number {i} with assorted unrelated skills").into(),
+            ],
+        )?;
+    }
+
+    // CREATE INDEX … INDEXTYPE IS … PARAMETERS — verbatim from the paper.
+    db.execute(
+        "CREATE INDEX ResumeTextIndex ON Employees(resume) \
+         INDEXTYPE IS TextIndexType \
+         PARAMETERS (':Language English :Ignore the a an')",
+    )?;
+    println!("created domain index RESUMETEXTINDEX (inverted index in DR$RESUMETEXTINDEX$I)\n");
+
+    // The paper's flagship query.
+    let sql = "SELECT name FROM Employees WHERE Contains(resume, 'Oracle AND UNIX')";
+    println!("{sql}");
+    for row in db.query(sql)? {
+        println!("  -> {}", row[0]);
+    }
+
+    // The optimizer chose the domain-index scan; show the plan.
+    println!("\nEXPLAIN:");
+    for line in db.explain(sql)? {
+        println!("  {line}");
+    }
+
+    // Ancillary operator: relevance ranking with SCORE.
+    println!("\nSELECT name, SCORE(1) … WHERE Contains(resume, 'oracle', 1) ORDER BY SCORE(1) DESC");
+    for row in db.query(
+        "SELECT name, SCORE(1) FROM Employees \
+         WHERE Contains(resume, 'oracle', 1) ORDER BY SCORE(1) DESC",
+    )? {
+        println!("  {} (score {})", row[0], row[1]);
+    }
+
+    // Implicit index maintenance: DML keeps the domain index in sync.
+    db.execute(
+        "INSERT INTO Employees VALUES ('Frank', 6, 'Oracle on UNIX and Linux clusters')",
+    )?;
+    let rows = db.query("SELECT name FROM Employees WHERE Contains(resume, 'Oracle AND UNIX')")?;
+    println!("\nafter inserting Frank, the same query returns {} rows", rows.len());
+
+    // ALTER INDEX PARAMETERS — the paper's stop-word update. The rebuild
+    // removes COBOL postings from the inverted index.
+    db.execute("ALTER INDEX ResumeTextIndex PARAMETERS (':Ignore COBOL')")?;
+    let postings = db.query(
+        "SELECT COUNT(*) FROM DR$RESUMETEXTINDEX$I WHERE token = 'cobol'",
+    )?;
+    println!("after ALTER … (':Ignore COBOL'), the index holds {} cobol postings", postings[0][0]);
+
+    Ok(())
+}

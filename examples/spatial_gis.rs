@@ -1,0 +1,73 @@
+//! Spatial GIS demo — the §3.2.2 roads/parks case study.
+//!
+//! Loads two synthetic geometry layers, indexes both with the spatial
+//! indextype, and runs the paper's overlap query in both its Oracle8i
+//! form (one `Sdo_Relate` operator, evaluated through a domain join) and
+//! its pre-8i form (a hand-written join over exposed tile tables). The
+//! usability gap the paper emphasizes is visible in the SQL itself.
+//!
+//! Run with: `cargo run --release --example spatial_gis`
+
+use std::time::Instant;
+
+use extidx::spatial::{legacy, Mask, SpatialWorkload};
+use extidx::sql::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::with_cache_pages(16_384);
+    extidx::spatial::install(&mut db)?;
+
+    let mut wl = SpatialWorkload::new(1024.0, 7);
+    let roads: Vec<_> = (0..400).map(|_| wl.rect(8.0, 80.0)).collect();
+    let parks: Vec<_> = (0..400).map(|_| wl.rect(8.0, 80.0)).collect();
+
+    for (table, geoms) in [("roads", &roads), ("parks", &parks)] {
+        db.execute(&format!("CREATE TABLE {table} (gid INTEGER, geometry SDO_GEOMETRY)"))?;
+        for (i, g) in geoms.iter().enumerate() {
+            db.execute(&format!(
+                "INSERT INTO {table} VALUES ({i}, {})",
+                extidx::spatial::geometry_sql(g)
+            ))?;
+        }
+        db.execute(&format!(
+            "CREATE INDEX {table}_sidx ON {table}(geometry) INDEXTYPE IS SpatialIndexType"
+        ))?;
+        println!("loaded + indexed {} geometries into {table}", geoms.len());
+    }
+
+    // The Oracle8i query — verbatim shape from the paper.
+    let modern_sql = "SELECT r.gid, p.gid FROM roads r, parks p \
+                      WHERE Sdo_Relate(r.geometry, p.geometry, 'mask=OVERLAPS')";
+    println!("\nmodern query:\n  {modern_sql}\n");
+    println!("plan:");
+    for line in db.explain(modern_sql)? {
+        println!("  {line}");
+    }
+
+    db.reset_cache_stats();
+    let t = Instant::now();
+    let modern = db.query(modern_sql)?;
+    let modern_time = t.elapsed();
+    let modern_io = db.cache_stats().logical_reads;
+
+    // The pre-8i formulation: join the exposed tile tables by hand.
+    println!("\nlegacy query (pre-8i): SELECT DISTINCT a.rid, b.rid FROM DR$ROADS_SIDX$T a,");
+    println!("  DR$PARKS_SIDX$T b WHERE a.tile = b.tile  — plus manual exact filtering…");
+    db.reset_cache_stats();
+    let t = Instant::now();
+    let old = legacy::legacy_relate_join(
+        &mut db, "roads", "gid", "roads_sidx", "parks", "gid", "parks_sidx", Mask::Overlaps,
+    )?;
+    let legacy_time = t.elapsed();
+    let legacy_io = db.cache_stats().logical_reads;
+
+    println!("\n{:<22} {:>8} {:>12} {:>12}", "execution", "pairs", "time", "log.reads");
+    println!("{:<22} {:>8} {:>12?} {:>12}", "modern (Sdo_Relate)", modern.len(), modern_time, modern_io);
+    println!("{:<22} {:>8} {:>12?} {:>12}", "legacy (tile join)", old.len(), legacy_time, legacy_io);
+    assert_eq!(modern.len(), old.len(), "both formulations must agree");
+
+    println!("\n§3.2.2: \"The performance of spatial queries using the extensible indexing");
+    println!("framework has been as good as the performance of the prior implementation\"");
+    println!("— while hiding the tiles, the exact filter, and the storage schema entirely.");
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! An interactive SQL shell over the engine with all four cartridges
+//! installed — the "downstream user" experience.
+//!
+//! ```text
+//! cargo run --release --example sql_shell
+//! sql> CREATE TABLE docs (id INTEGER, body VARCHAR2(400));
+//! sql> INSERT INTO docs VALUES (1, 'extensible indexing in oracle 8i');
+//! sql> CREATE INDEX dt ON docs(body) INDEXTYPE IS TextIndexType;
+//! sql> SELECT id FROM docs WHERE Contains(body, 'oracle AND indexing');
+//! sql> EXPLAIN SELECT id FROM docs WHERE Contains(body, 'oracle');
+//! sql> .trace on          -- watch the ODCI call flow
+//! sql> .iostat            -- buffer-cache counters
+//! sql> .quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use extidx::sql::{Database, StmtResult};
+
+fn print_rows(columns: &[String], rows: &[Vec<extidx_common::Value>]) {
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    let rendered: Vec<Vec<String>> =
+        rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
+    for r in &rendered {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("  {s}");
+    };
+    line(&columns.to_vec());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for r in rendered {
+        line(&r);
+    }
+    println!("  ({} rows)", rows.len());
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+    extidx::text::install(&mut db)?;
+    extidx::spatial::install(&mut db)?;
+    extidx::vir::install(&mut db)?;
+    extidx::chem::install(&mut db)?;
+    println!("extidx shell — cartridges installed: TEXT, SPATIAL, VIR, CHEM");
+    println!("meta commands: .trace on|off  .iostat  .tables  .quit\n");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("sql> ");
+        } else {
+            print!("  -> ");
+        }
+        std::io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                ".quit" | ".exit" | "quit" | "exit" => break,
+                ".trace on" => {
+                    db.trace().set_enabled(true);
+                    db.trace().clear();
+                    println!("ODCI trace enabled");
+                    continue;
+                }
+                ".trace off" => {
+                    for e in db.trace().events() {
+                        println!("  {e}");
+                    }
+                    db.trace().set_enabled(false);
+                    db.trace().clear();
+                    continue;
+                }
+                ".iostat" => {
+                    let s = db.cache_stats();
+                    println!(
+                        "  logical reads {}  physical reads {}  physical writes {}",
+                        s.logical_reads, s.physical_reads, s.physical_writes
+                    );
+                    continue;
+                }
+                ".tables" => {
+                    for t in db.catalog().table_names() {
+                        println!("  {t}");
+                    }
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        // Statements end with `;` (or a meta command handled above).
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        let started = std::time::Instant::now();
+        match db.execute(sql.trim().trim_end_matches(';')) {
+            Ok(StmtResult::Rows { columns, rows }) => {
+                print_rows(&columns, &rows);
+                println!("  [{:?}]", started.elapsed());
+            }
+            Ok(StmtResult::Affected(n)) => println!("  {n} rows affected [{:?}]", started.elapsed()),
+            Ok(StmtResult::Ok) => println!("  ok [{:?}]", started.elapsed()),
+            Err(e) => println!("  ERROR: {e}"),
+        }
+        if db.trace().is_enabled() {
+            for e in db.trace().events() {
+                println!("  trace: {e}");
+            }
+            db.trace().clear();
+        }
+    }
+    println!("bye");
+    Ok(())
+}

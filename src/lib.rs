@@ -1,0 +1,27 @@
+//! # extidx — Extensible Indexing in Rust
+//!
+//! A reproduction of *“Extensible Indexing: A Framework for Integrating
+//! Domain-Specific Indexing Schemes into Oracle8i”* (ICDE 2000). This
+//! facade crate re-exports the whole workspace:
+//!
+//! - [`core`] — the extensible-indexing framework (operators, indextypes,
+//!   the `OdciIndex`/`OdciStats` interfaces, scan contexts, server
+//!   callbacks, database events);
+//! - [`sql`] — the host relational engine (SQL parser, catalog, cost-based
+//!   optimizer, executor, transactions);
+//! - [`storage`] — heap tables, index-organized tables, LOBs, the buffer
+//!   cache, and the external file store;
+//! - the four data cartridges mirroring the paper's case studies:
+//!   [`text`], [`spatial`], [`vir`], [`chem`];
+//! - [`common`] — the shared value model.
+//!
+//! See `examples/quickstart.rs` for the end-to-end tour.
+
+pub use extidx_chem as chem;
+pub use extidx_common as common;
+pub use extidx_core as core;
+pub use extidx_spatial as spatial;
+pub use extidx_sql as sql;
+pub use extidx_storage as storage;
+pub use extidx_text as text;
+pub use extidx_vir as vir;

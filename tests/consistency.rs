@@ -1,0 +1,241 @@
+//! Chaos consistency: a seeded random workload of DML, transactions, and
+//! queries over domain-indexed tables, continuously checking that the
+//! index-based answers equal a functional reference computed from the
+//! base table. This is the "indexes never drift from the base table"
+//! invariant §2.4.1's implicit maintenance promises.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use extidx::sql::Database;
+use extidx::text::tokenizer::{tokenize, StopWords};
+use extidx::text::query::parse_query;
+
+const VOCAB: [&str; 8] = ["ale", "brix", "cole", "dun", "erg", "fyn", "gorse", "hale"];
+
+fn random_doc(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(1..8);
+    (0..n).map(|_| VOCAB[rng.gen_range(0..VOCAB.len())]).collect::<Vec<_>>().join(" ")
+}
+
+fn reference_matches(db: &mut Database, query: &str) -> Vec<i64> {
+    let q = parse_query(query).unwrap();
+    let rows = db.query("SELECT id, body FROM docs").unwrap();
+    let mut ids: Vec<i64> = rows
+        .iter()
+        .filter(|r| {
+            !r[1].is_null() && q.matches(&tokenize(r[1].as_str().unwrap(), &StopWords::none()))
+        })
+        .map(|r| r[0].as_integer().unwrap())
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn indexed_matches(db: &mut Database, query: &str) -> Vec<i64> {
+    let mut ids: Vec<i64> = db
+        .query_with("SELECT id FROM docs WHERE Contains(body, ?)", &[query.into()])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_integer().unwrap())
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn random_workload_never_desynchronizes_the_index() {
+    let mut rng = StdRng::seed_from_u64(20_260_704);
+    let mut db = Database::with_cache_pages(8192);
+    extidx::text::install(&mut db).unwrap();
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(400))").unwrap();
+    db.execute("CREATE INDEX dt ON docs(body) INDEXTYPE IS TextIndexType").unwrap();
+
+    let mut next_id: i64 = 0;
+    let mut live: Vec<i64> = Vec::new();
+    let mut in_txn = false;
+
+    for step in 0..400 {
+        match rng.gen_range(0..100) {
+            // Insert (45%)
+            0..=44 => {
+                let body = random_doc(&mut rng);
+                db.execute_with("INSERT INTO docs VALUES (?, ?)", &[next_id.into(), body.into()])
+                    .unwrap();
+                live.push(next_id);
+                next_id += 1;
+            }
+            // Update (20%)
+            45..=64 if !live.is_empty() => {
+                let id = live[rng.gen_range(0..live.len())];
+                let body = random_doc(&mut rng);
+                db.execute_with(
+                    "UPDATE docs SET body = ? WHERE id = ?",
+                    &[body.into(), id.into()],
+                )
+                .unwrap();
+            }
+            // Delete (15%)
+            65..=79 if !live.is_empty() => {
+                let pos = rng.gen_range(0..live.len());
+                let id = live.swap_remove(pos);
+                db.execute_with("DELETE FROM docs WHERE id = ?", &[id.into()]).unwrap();
+            }
+            // Transaction toggles (10%): begin, then commit or roll back
+            // a couple of steps later.
+            80..=89 => {
+                if in_txn {
+                    if rng.gen_bool(0.5) {
+                        db.execute("COMMIT").unwrap();
+                    } else {
+                        db.execute("ROLLBACK").unwrap();
+                        // Resync the id model: re-read surviving ids.
+                        live = db
+                            .query("SELECT id FROM docs")
+                            .unwrap()
+                            .iter()
+                            .map(|r| r[0].as_integer().unwrap())
+                            .collect();
+                    }
+                    in_txn = false;
+                } else {
+                    db.execute("BEGIN").unwrap();
+                    in_txn = true;
+                }
+            }
+            // Everything else: consistency probe.
+            _ => {}
+        }
+
+        // Every few steps, compare index answers with the reference for a
+        // few query shapes.
+        if step % 7 == 0 {
+            let a = VOCAB[rng.gen_range(0..VOCAB.len())];
+            let b = VOCAB[rng.gen_range(0..VOCAB.len())];
+            for q in [a.to_string(), format!("{a} AND {b}"), format!("{a} OR {b}"), format!("{a} AND NOT {b}")] {
+                assert_eq!(
+                    indexed_matches(&mut db, &q),
+                    reference_matches(&mut db, &q),
+                    "index drifted from base table at step {step}, query {q:?}"
+                );
+            }
+        }
+    }
+    if in_txn {
+        db.execute("COMMIT").unwrap();
+    }
+    // Final deep check: the inverted index contains exactly the postings
+    // the base table implies.
+    let base = db.query("SELECT id, body FROM docs").unwrap();
+    let mut expected_postings = 0usize;
+    for r in &base {
+        expected_postings += tokenize(r[1].as_str().unwrap(), &StopWords::none()).len();
+    }
+    let actual = db.query("SELECT COUNT(*) FROM DR$DT$I").unwrap()[0][0].as_integer().unwrap();
+    assert_eq!(actual as usize, expected_postings);
+}
+
+#[test]
+fn two_spatial_indextypes_agree_under_churn() {
+    // Cross-validation: the tile index and the R-tree index are fully
+    // independent implementations of the same operator. Drive both with
+    // an identical random DML stream and demand identical query answers
+    // throughout — disagreement means one of them drifted.
+    use extidx::spatial::{geometry_sql, SpatialWorkload};
+
+    let mut dbs: Vec<Database> = Vec::new();
+    for indextype in ["SpatialIndexType", "RtreeIndexType"] {
+        let mut db = Database::with_cache_pages(8192);
+        extidx::spatial::install(&mut db).unwrap();
+        db.execute("CREATE TABLE parcels (gid INTEGER, geometry SDO_GEOMETRY)").unwrap();
+        db.execute(&format!(
+            "CREATE INDEX sidx ON parcels(geometry) INDEXTYPE IS {indextype}"
+        ))
+        .unwrap();
+        dbs.push(db);
+    }
+
+    let mut rng = StdRng::seed_from_u64(424_242);
+    let mut wl = SpatialWorkload::new(800.0, 9);
+    let mut live: Vec<i64> = Vec::new();
+    let mut next_gid = 0i64;
+    for step in 0..150 {
+        match rng.gen_range(0..10) {
+            0..=5 => {
+                let g = geometry_sql(&wl.rect(3.0, 60.0));
+                for db in dbs.iter_mut() {
+                    db.execute(&format!("INSERT INTO parcels VALUES ({next_gid}, {g})")).unwrap();
+                }
+                live.push(next_gid);
+                next_gid += 1;
+            }
+            6..=7 if !live.is_empty() => {
+                let gid = live[rng.gen_range(0..live.len())];
+                let g = geometry_sql(&wl.rect(3.0, 60.0));
+                for db in dbs.iter_mut() {
+                    db.execute(&format!("UPDATE parcels SET geometry = {g} WHERE gid = {gid}"))
+                        .unwrap();
+                }
+            }
+            _ if !live.is_empty() => {
+                let pos = rng.gen_range(0..live.len());
+                let gid = live.swap_remove(pos);
+                for db in dbs.iter_mut() {
+                    db.execute(&format!("DELETE FROM parcels WHERE gid = {gid}")).unwrap();
+                }
+            }
+            _ => {}
+        }
+        if step % 5 == 0 {
+            let window = geometry_sql(&wl.rect(100.0, 300.0));
+            for mask in ["ANYINTERACT", "OVERLAPS", "INSIDE"] {
+                let sql = format!(
+                    "SELECT gid FROM parcels WHERE Sdo_Relate(geometry, {window}, 'mask={mask}') \
+                     ORDER BY gid"
+                );
+                let a = dbs[0].query(&sql).unwrap();
+                let b = dbs[1].query(&sql).unwrap();
+                assert_eq!(a, b, "indextypes disagree at step {step}, mask {mask}");
+            }
+        }
+    }
+}
+
+#[test]
+fn text_operator_as_indexed_join_condition() {
+    // §2.3: "A user-defined operator can also be a join condition." A
+    // keyword table joined against the document corpus through Contains,
+    // evaluated via a parameterized domain-index scan per keyword row.
+    let mut db = Database::with_cache_pages(8192);
+    extidx::text::install(&mut db).unwrap();
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(400))").unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..300i64 {
+        let body = random_doc(&mut rng);
+        db.execute_with("INSERT INTO docs VALUES (?, ?)", &[i.into(), body.into()]).unwrap();
+    }
+    db.execute("CREATE INDEX dt ON docs(body) INDEXTYPE IS TextIndexType").unwrap();
+    db.execute("CREATE TABLE watchlist (term VARCHAR2(20))").unwrap();
+    db.execute("INSERT INTO watchlist VALUES ('ale'), ('gorse')").unwrap();
+
+    let sql = "SELECT w.term, d.id FROM watchlist w, docs d WHERE Contains(d.body, w.term)";
+    let plan = db.explain(sql).unwrap().join("\n");
+    assert!(plan.contains("DOMAIN JOIN"), "{plan}");
+    let mut got: Vec<(String, i64)> = db
+        .query(sql)
+        .unwrap()
+        .iter()
+        .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_integer().unwrap()))
+        .collect();
+    got.sort();
+
+    let mut expected = Vec::new();
+    for term in ["ale", "gorse"] {
+        for id in reference_matches(&mut db, term) {
+            expected.push((term.to_string(), id));
+        }
+    }
+    expected.sort();
+    assert_eq!(got, expected);
+    assert!(!got.is_empty());
+}
