@@ -1,0 +1,32 @@
+//! E10: parallel domain-index build — `CREATE INDEX … PARAMETERS
+//! ('PARALLEL n')` wall time as the worker degree sweeps from serial to
+//! 8. The build streams the base table in batches and fans tokenization
+//! across threads; speedup tracks available cores (a 1-core host shows
+//! none, by design — determinism is the invariant, speed the bonus).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use extidx_bench::text_corpus;
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut db = text_corpus(1500, 80, 1500, 42).expect("corpus");
+
+    let mut group = c.benchmark_group("e10_index_build");
+    group.sample_size(10);
+    for degree in [1usize, 2, 4, 8] {
+        let create = format!(
+            "CREATE INDEX doc_text ON docs(body) INDEXTYPE IS TextIndexType \
+             PARAMETERS ('PARALLEL {degree}')"
+        );
+        group.bench_with_input(BenchmarkId::new("parallel", degree), &create, |b, create| {
+            b.iter(|| {
+                db.execute(create).expect("create index");
+                db.execute("DROP INDEX doc_text").expect("drop index");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

@@ -51,6 +51,20 @@ pub fn text_fixture_with_params(
     Ok(TextFixture { db, gen, docs })
 }
 
+/// A text corpus WITHOUT its domain index — the index-build experiments
+/// (E10) create and drop the index around each measurement, varying the
+/// `PARALLEL` degree.
+pub fn text_corpus(docs: usize, doc_len: usize, vocab: usize, seed: u64) -> Result<Database> {
+    let mut db = Database::with_cache_pages(32_768);
+    extidx_text::install(&mut db)?;
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(4000))")?;
+    let mut gen = CorpusGenerator::new(vocab, 1.0, seed);
+    for (i, body) in gen.corpus(docs, doc_len).into_iter().enumerate() {
+        db.execute_with("INSERT INTO docs VALUES (?, ?)", &[(i as i64).into(), body.into()])?;
+    }
+    Ok(db)
+}
+
 /// A spatial fixture: two indexed layers of `n` rectangles each.
 pub struct SpatialFixture {
     pub db: Database,

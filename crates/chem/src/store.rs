@@ -21,8 +21,9 @@
 //!   here participates in transactions (§5's limitation).
 
 use extidx_common::{Error, LobRef, Result, RowId, Value};
+use extidx_core::build::{partition_map, DEFAULT_BUILD_BATCH_ROWS};
 use extidx_core::meta::IndexInfo;
-use extidx_core::server::ServerContext;
+use extidx_core::server::{BaseRow, ServerContext};
 
 use crate::fingerprint::{Fingerprint, FP_BYTES};
 
@@ -234,21 +235,39 @@ impl FingerprintStore {
         decode_records(&bytes)
     }
 
+    /// Fingerprint one base row: parse the molecule and encode its
+    /// record. Pure CPU — safe to run on a build worker thread.
+    /// Unparsable or non-text rows are skipped, as the serial rebuild
+    /// always did.
+    fn fingerprint_row(row: &BaseRow) -> Option<[u8; RECORD_BYTES]> {
+        let text = row.value().as_str().ok()?;
+        let mol = crate::molecule::Molecule::parse(text).ok()?;
+        Some(encode_record(row.rid.to_u64(), &Fingerprint::of(&mol)))
+    }
+
     /// Rebuild the store from the base table — used at create time and by
     /// the database-event handler that re-synchronizes an external file
     /// store after a rollback (§5's proposed solution).
+    ///
+    /// The base table is streamed batch-by-batch (never fully
+    /// materialized) and molecule parsing + fingerprinting — the CPU-heavy
+    /// part — fans across `PARALLEL <n>` worker threads; record order
+    /// stays identical to a serial rebuild.
     pub fn rebuild_from_base(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
-        let rows = srv.query(
-            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
-            &[],
+        let parallel = info.parameters.parallel_degree();
+        let mut bytes: Vec<u8> = Vec::new();
+        srv.scan_base_batches(
+            &info.table_name,
+            &[&info.column_name],
+            DEFAULT_BUILD_BATCH_ROWS,
+            &mut |_srv, batch| {
+                for rec in partition_map(batch, parallel, Self::fingerprint_row).into_iter().flatten()
+                {
+                    bytes.extend_from_slice(&rec);
+                }
+                Ok(())
+            },
         )?;
-        let mut bytes = Vec::with_capacity(rows.len() * RECORD_BYTES);
-        for r in &rows {
-            let Ok(text) = r[0].as_str() else { continue };
-            let Ok(mol) = crate::molecule::Molecule::parse(text) else { continue };
-            let fp = Fingerprint::of(&mol);
-            bytes.extend_from_slice(&encode_record(r[1].as_rowid()?.to_u64(), &fp));
-        }
         match self.mode {
             StorageMode::Lob => {
                 let lob = self.locator(srv, info)?;

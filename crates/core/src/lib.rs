@@ -28,6 +28,7 @@
 //! [`server::ServerContext`] and drives [`odci::OdciIndex`]
 //! implementations registered through [`registry::SchemaRegistry`].
 
+pub mod build;
 pub mod events;
 pub mod indextype;
 pub mod meta;
@@ -40,11 +41,12 @@ pub mod server;
 pub mod stats;
 pub mod trace;
 
+pub use build::{partition_map, try_partition_map, DEFAULT_BUILD_BATCH_ROWS};
 pub use indextype::IndexType;
 pub use meta::{IndexInfo, OperatorCall, PredicateBound, RelOp};
 pub use odci::OdciIndex;
 pub use params::ParamString;
 pub use registry::SchemaRegistry;
 pub use scan::{FetchResult, FetchedRow, ScanContext};
-pub use server::{CallbackMode, ServerContext};
+pub use server::{scan_base_batches_via_query, BaseRow, CallbackMode, ServerContext};
 pub use stats::{IndexCost, OdciStats};

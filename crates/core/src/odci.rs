@@ -24,7 +24,7 @@ use extidx_common::{Result, RowId, Value};
 use crate::meta::{IndexInfo, OperatorCall};
 use crate::params::ParamString;
 use crate::scan::{FetchResult, ScanContext};
-use crate::server::ServerContext;
+use crate::server::{BaseRow, ServerContext};
 
 /// The index implementation interface a cartridge supplies.
 ///
@@ -53,6 +53,30 @@ pub trait OdciIndex: Send + Sync {
 
     /// `ODCIIndexDrop`: tear down index storage.
     fn drop_index(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()>;
+
+    /// Bulk-build path: index one batch of base-table rows (each carrying
+    /// the indexed value in `values[0]`), with a hint of how many worker
+    /// threads the build may use for CPU-side work. Called by streaming
+    /// builds (`create`/`alter` driving
+    /// [`ServerContext::scan_base_batches`]).
+    ///
+    /// The default implementation keeps third-party cartridges working:
+    /// it loops over [`OdciIndex::insert`] serially. Cartridges override
+    /// it to fan the per-row CPU work across threads via
+    /// [`crate::build::partition_map`] — server callbacks must stay on
+    /// the calling thread either way.
+    fn build_batch(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        batch: &[BaseRow],
+        _parallel: usize,
+    ) -> Result<()> {
+        for row in batch {
+            self.insert(srv, info, row.rid, row.value())?;
+        }
+        Ok(())
+    }
 
     // ---- maintenance routines (Maintenance mode) --------------------------
 

@@ -79,6 +79,26 @@ impl ParamString {
         self.keys.keys().map(|s| s.as_str())
     }
 
+    /// The requested build parallelism: the paper-faithful `PARALLEL <n>`
+    /// knob. Accepts both this workspace's `:Parallel n` key convention
+    /// and Oracle's bare `PARALLEL n` spelling (which the `:Key` grammar
+    /// would otherwise discard as leading tokens). Absent, unparsable, or
+    /// zero degrees mean serial (1).
+    pub fn parallel_degree(&self) -> usize {
+        if let Some(n) = self.first("Parallel").and_then(|v| v.parse::<usize>().ok()) {
+            return n.max(1);
+        }
+        let toks: Vec<&str> = self.raw.split_whitespace().collect();
+        for pair in toks.windows(2) {
+            if pair[0].eq_ignore_ascii_case("PARALLEL") {
+                if let Ok(n) = pair[1].parse::<usize>() {
+                    return n.max(1);
+                }
+            }
+        }
+        1
+    }
+
     /// ALTER-merge: keys in `newer` replace the same keys here; other keys
     /// are preserved. The raw text becomes the canonical re-rendering.
     pub fn merged_with(&self, newer: &ParamString) -> ParamString {
@@ -162,5 +182,17 @@ mod tests {
     fn raw_is_preserved_verbatim_on_parse() {
         let raw = "  :A 1   :B  2 ";
         assert_eq!(ParamString::parse(raw).raw(), raw);
+    }
+
+    #[test]
+    fn parallel_degree_both_spellings() {
+        assert_eq!(ParamString::parse(":Parallel 4").parallel_degree(), 4);
+        assert_eq!(ParamString::parse("PARALLEL 4").parallel_degree(), 4);
+        assert_eq!(ParamString::parse("parallel 2 :Language English").parallel_degree(), 2);
+        assert_eq!(ParamString::parse(":Language English").parallel_degree(), 1);
+        assert_eq!(ParamString::empty().parallel_degree(), 1);
+        // Degenerate degrees clamp to serial.
+        assert_eq!(ParamString::parse(":Parallel 0").parallel_degree(), 1);
+        assert_eq!(ParamString::parse("PARALLEL x").parallel_degree(), 1);
     }
 }

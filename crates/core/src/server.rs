@@ -25,7 +25,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use extidx_common::{LobRef, Result, Row, Value};
+use extidx_common::{LobRef, Result, Row, RowId, Value};
 
 use crate::events::EventHandler;
 use crate::scan::WorkspaceHandle;
@@ -44,6 +44,27 @@ pub enum CallbackMode {
     Scan,
 }
 
+/// One base-table row delivered to a streaming index build: its rowid and
+/// the requested columns (in the order they were asked for). For index
+/// builds the indexed column is requested alone, so `values[0]` is the
+/// value to index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseRow {
+    pub rid: RowId,
+    pub values: Row,
+}
+
+impl BaseRow {
+    /// The indexed value when a single column was requested.
+    pub fn value(&self) -> &Value {
+        static NULL: Value = Value::Null;
+        self.values.first().unwrap_or(&NULL)
+    }
+}
+
+/// Callback type for [`ServerContext::scan_base_batches`].
+pub type BatchSink<'a> = dyn FnMut(&mut dyn ServerContext, &[BaseRow]) -> Result<()> + 'a;
+
 /// The callback surface the server hands to every ODCI routine.
 pub trait ServerContext {
     /// The restriction mode this context was issued under.
@@ -55,6 +76,27 @@ pub trait ServerContext {
 
     /// Execute a query, returning all rows. `?` placeholders as above.
     fn query(&mut self, sql: &str, binds: &[Value]) -> Result<Vec<Row>>;
+
+    /// Stream the base table to an index build in bounded batches instead
+    /// of materializing it with one big `query`. `cols` are the column
+    /// names to project; each [`BaseRow`] carries them plus the rowid. The
+    /// sink receives this same context, so it can issue callbacks (insert
+    /// postings, write LOBs, …) between batches while only `batch_size`
+    /// rows are ever held in memory.
+    ///
+    /// A host engine should override the page-clone fallback in
+    /// `scan_base_batches_via_query` with a true streaming scan; it is a
+    /// required method (not defaulted) only because a default body cannot
+    /// coerce `&mut Self` to `&mut dyn ServerContext` — implementors
+    /// without a native scan should delegate to
+    /// [`scan_base_batches_via_query`].
+    fn scan_base_batches(
+        &mut self,
+        table: &str,
+        cols: &[&str],
+        batch_size: usize,
+        sink: &mut BatchSink,
+    ) -> Result<()>;
 
     // ---- LOB interface (file-like, §3.2.4) --------------------------------
 
@@ -128,6 +170,45 @@ pub fn workspace_state<'a, T: 'static>(
         .ok_or_else(|| {
             extidx_common::Error::odci(indextype, routine, "scan workspace state missing or of wrong type")
         })
+}
+
+/// Query-based fallback for [`ServerContext::scan_base_batches`]: one
+/// `SELECT cols…, ROWID FROM table`, chunked into `batch_size` batches.
+/// Materializes the whole result (the behavior the streaming API exists
+/// to avoid) — intended for mock servers and third-party contexts that
+/// have no native heap scan.
+pub fn scan_base_batches_via_query(
+    srv: &mut dyn ServerContext,
+    table: &str,
+    cols: &[&str],
+    batch_size: usize,
+    sink: &mut BatchSink,
+) -> Result<()> {
+    let sql = format!("SELECT {}, ROWID FROM {}", cols.join(", "), table);
+    let rows = srv.query(&sql, &[])?;
+    let ncols = cols.len();
+    let batch_size = batch_size.max(1);
+    let mut batch = Vec::with_capacity(batch_size);
+    for mut row in rows {
+        let rid = match row.get(ncols) {
+            Some(Value::RowId(rid)) => *rid,
+            other => {
+                return Err(extidx_common::Error::Semantic(format!(
+                    "scan_base_batches fallback: expected ROWID in column {ncols}, got {other:?}"
+                )))
+            }
+        };
+        row.truncate(ncols);
+        batch.push(BaseRow { rid, values: row });
+        if batch.len() >= batch_size {
+            sink(srv, &batch)?;
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        sink(srv, &batch)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

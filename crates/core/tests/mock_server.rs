@@ -37,6 +37,17 @@ impl ServerContext for MockServer {
     fn query(&mut self, _sql: &str, _binds: &[Value]) -> Result<Vec<Row>> {
         Err(Error::Unsupported("mock server has no SQL".into()))
     }
+    fn scan_base_batches(
+        &mut self,
+        table: &str,
+        cols: &[&str],
+        batch_size: usize,
+        sink: &mut extidx_core::server::BatchSink,
+    ) -> Result<()> {
+        // No native heap here; the query-based fallback reports the same
+        // "no SQL" error the mock's query does.
+        extidx_core::server::scan_base_batches_via_query(self, table, cols, batch_size, sink)
+    }
     fn lob_create(&mut self) -> Result<LobRef> {
         self.next_lob += 1;
         self.lobs.insert(self.next_lob, Vec::new());

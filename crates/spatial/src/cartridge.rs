@@ -17,10 +17,11 @@
 use std::collections::BTreeSet;
 
 use extidx_common::{Error, Result, RowId, Value};
+use extidx_core::build::{try_partition_map, DEFAULT_BUILD_BATCH_ROWS};
 use extidx_core::meta::{IndexInfo, OperatorCall};
 use extidx_core::params::ParamString;
 use extidx_core::scan::{FetchResult, FetchedRow, ScanContext};
-use extidx_core::server::ServerContext;
+use extidx_core::server::{BaseRow, ServerContext};
 use extidx_core::stats::{IndexCost, OdciStats};
 use extidx_core::OdciIndex;
 
@@ -140,6 +141,20 @@ pub(crate) fn exact_fetch(
     Ok(FetchResult { rows: out, done })
 }
 
+impl SpatialIndexMethods {
+    /// Stream the base table through [`OdciIndex::build_batch`] — shared
+    /// by `create` and rebuild-on-`alter`, honoring `PARALLEL <n>`.
+    fn populate_from_base(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        let parallel = info.parameters.parallel_degree();
+        srv.scan_base_batches(
+            &info.table_name,
+            &[&info.column_name],
+            DEFAULT_BUILD_BATCH_ROWS,
+            &mut |srv, batch| self.build_batch(srv, info, batch, parallel),
+        )
+    }
+}
+
 impl OdciIndex for SpatialIndexMethods {
     fn create(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
         srv.execute(
@@ -158,16 +173,7 @@ impl OdciIndex for SpatialIndexMethods {
             ),
             &[],
         )?;
-        let tess = tessellation(&info.parameters);
-        let rows = srv.query(
-            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
-            &[],
-        )?;
-        for r in rows {
-            let rid = r[1].as_rowid()?;
-            index_one(srv, info, &tess, rid, &r[0])?;
-        }
-        Ok(())
+        self.populate_from_base(srv, info)
     }
 
     fn alter(&self, srv: &mut dyn ServerContext, info: &IndexInfo, _delta: &ParamString) -> Result<()> {
@@ -175,14 +181,41 @@ impl OdciIndex for SpatialIndexMethods {
         // merged parameters.
         srv.execute(&format!("TRUNCATE TABLE {}", tile_table(info)), &[])?;
         srv.execute(&format!("TRUNCATE TABLE {}", geom_table(info)), &[])?;
+        self.populate_from_base(srv, info)
+    }
+
+    fn build_batch(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        batch: &[BaseRow],
+        parallel: usize,
+    ) -> Result<()> {
         let tess = tessellation(&info.parameters);
-        let rows = srv.query(
-            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
-            &[],
-        )?;
-        for r in rows {
-            let rid = r[1].as_rowid()?;
-            index_one(srv, info, &tess, rid, &r[0])?;
+        // Geometry parsing, tile decomposition and serialization are pure
+        // CPU — fan them out; the tile/geom inserts stay on the
+        // coordinator, in input order.
+        let prepared = try_partition_map(batch, parallel, |row| {
+            let v = row.value();
+            if v.is_null() {
+                return Ok::<_, Error>(None);
+            }
+            let g = Geometry::from_value(v)?;
+            Ok(Some((row.rid, tess.tiles_for(&g), g.serialize())))
+        })?;
+        let tt = tile_table(info);
+        let gt = geom_table(info);
+        for (rid, tiles, geom) in prepared.into_iter().flatten() {
+            for tile in tiles {
+                srv.execute(
+                    &format!("INSERT INTO {tt} VALUES (?, ?)"),
+                    &[Value::Integer(tile), Value::RowId(rid)],
+                )?;
+            }
+            srv.execute(
+                &format!("INSERT INTO {gt} VALUES (?, ?)"),
+                &[Value::RowId(rid), Value::from(geom)],
+            )?;
         }
         Ok(())
     }

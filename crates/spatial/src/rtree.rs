@@ -347,8 +347,11 @@ impl<'a> RTree<'a> {
     }
 }
 
+/// One `(bounding box, child-or-rowid)` entry of an R-tree node.
+type SplitEntry = (Mbr, u64);
+
 /// Guttman's quadratic split.
-fn quadratic_split(entries: Vec<(Mbr, u64)>) -> (Vec<(Mbr, u64)>, Vec<(Mbr, u64)>) {
+fn quadratic_split(entries: Vec<SplitEntry>) -> (Vec<SplitEntry>, Vec<SplitEntry>) {
     debug_assert!(entries.len() >= 2);
     // Pick the pair wasting the most area as seeds.
     let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);

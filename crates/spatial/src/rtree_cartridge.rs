@@ -12,10 +12,11 @@
 //! geometries for the exact filter, identical to the tile cartridge's.
 
 use extidx_common::{Error, Result, RowId, Value};
+use extidx_core::build::{try_partition_map, DEFAULT_BUILD_BATCH_ROWS};
 use extidx_core::meta::{IndexInfo, OperatorCall};
 use extidx_core::params::ParamString;
 use extidx_core::scan::{FetchResult, ScanContext};
-use extidx_core::server::ServerContext;
+use extidx_core::server::{BaseRow, ServerContext};
 use extidx_core::stats::{IndexCost, OdciStats};
 use extidx_core::OdciIndex;
 
@@ -58,6 +59,20 @@ fn unindex_one(srv: &mut dyn ServerContext, info: &IndexInfo, rid: RowId, value:
     Ok(())
 }
 
+impl RtreeIndexMethods {
+    /// Stream the base table through [`OdciIndex::build_batch`] — the
+    /// R-tree itself mutates serially, but parsing still fans out.
+    fn populate_from_base(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        let parallel = info.parameters.parallel_degree();
+        srv.scan_base_batches(
+            &info.table_name,
+            &[&info.column_name],
+            DEFAULT_BUILD_BATCH_ROWS,
+            &mut |srv, batch| self.build_batch(srv, info, batch, parallel),
+        )
+    }
+}
+
 impl OdciIndex for RtreeIndexMethods {
     fn create(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
         RTree::create(srv, rtree_table(info))?;
@@ -69,26 +84,40 @@ impl OdciIndex for RtreeIndexMethods {
             ),
             &[],
         )?;
-        let rows = srv.query(
-            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
-            &[],
-        )?;
-        for r in rows {
-            let rid = r[1].as_rowid()?;
-            index_one(srv, info, rid, &r[0])?;
-        }
-        Ok(())
+        self.populate_from_base(srv, info)
     }
 
     fn alter(&self, srv: &mut dyn ServerContext, info: &IndexInfo, _delta: &ParamString) -> Result<()> {
         self.truncate(srv, info)?;
-        let rows = srv.query(
-            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
-            &[],
-        )?;
-        for r in rows {
-            let rid = r[1].as_rowid()?;
-            index_one(srv, info, rid, &r[0])?;
+        self.populate_from_base(srv, info)
+    }
+
+    fn build_batch(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        batch: &[BaseRow],
+        parallel: usize,
+    ) -> Result<()> {
+        // Parse + MBR + serialization are pure CPU and fan out; the tree
+        // insertions are stateful (node splits) and stay serial on the
+        // coordinator, in input order.
+        let prepared = try_partition_map(batch, parallel, |row| {
+            let v = row.value();
+            if v.is_null() {
+                return Ok::<_, Error>(None);
+            }
+            let g = Geometry::from_value(v)?;
+            Ok(Some((row.rid, g.mbr(), g.serialize())))
+        })?;
+        let rt = rtree_table(info);
+        let gt = geom_table(info);
+        for (rid, mbr, geom) in prepared.into_iter().flatten() {
+            RTree::open(srv, rt.clone()).insert(rid, mbr)?;
+            srv.execute(
+                &format!("INSERT INTO {gt} VALUES (?, ?)"),
+                &[Value::RowId(rid), Value::from(geom)],
+            )?;
         }
         Ok(())
     }

@@ -27,7 +27,7 @@ use extidx_core::meta::IndexInfo;
 use extidx_core::operator::{Operator, ScalarFunction};
 use extidx_core::params::ParamString;
 use extidx_core::scan::WorkspaceHandle;
-use extidx_core::server::{CallbackMode, ServerContext};
+use extidx_core::server::{BaseRow, BatchSink, CallbackMode, ServerContext};
 use extidx_core::stats::OdciStats;
 use extidx_core::trace::{CallTrace, Component};
 use extidx_core::OdciIndex;
@@ -639,6 +639,15 @@ impl Database {
         match index.create(&mut ctx, &info) {
             Ok(()) => Ok(StmtResult::Ok),
             Err(e) => {
+                // The cartridge may already have created index storage
+                // before failing. DR$ tables are rolled back by statement
+                // compensation, but *external* storage (file-based index
+                // stores) is invisible to undo — best-effort invoke the
+                // cartridge's own drop routine so nothing leaks, then
+                // remove the dictionary entry.
+                let mut ctx =
+                    ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
+                let _ = index.drop_index(&mut ctx, &info);
                 self.catalog.drop_domain_index(&info.index_name);
                 Err(e)
             }
@@ -1170,6 +1179,61 @@ impl ServerContext for ServerCtx<'_> {
         match self.db.run_statement(stmt)? {
             StmtResult::Rows { rows, .. } => Ok(rows),
             _ => unreachable!("SELECT produces rows"),
+        }
+    }
+
+    /// True streaming scan: walks the base heap page by page with a
+    /// (page, slot) cursor, cloning at most `batch_size` rows before
+    /// handing them (and this context) to the sink. The whole table is
+    /// never materialized, unlike the `SELECT …, ROWID` path a cartridge
+    /// would otherwise use. Page reads are charged to the buffer cache
+    /// exactly once per visited page.
+    fn scan_base_batches(
+        &mut self,
+        table: &str,
+        cols: &[&str],
+        batch_size: usize,
+        sink: &mut BatchSink,
+    ) -> Result<()> {
+        let tdef = self.db.catalog.table(table)?.clone();
+        if tdef.org != TableOrg::Heap {
+            return Err(Error::Unsupported(
+                "scan_base_batches requires a heap-organized base table".into(),
+            ));
+        }
+        let col_idx: Vec<usize> =
+            cols.iter().map(|c| tdef.column_index(c)).collect::<Result<Vec<_>>>()?;
+        let seg = tdef.seg;
+        let batch_size = batch_size.max(1);
+        let (mut page, mut slot): (u32, u16) = (0, 0);
+        let mut charged: Option<u32> = None;
+        loop {
+            let mut batch = Vec::with_capacity(batch_size);
+            {
+                // Immutable borrow of the heap while assembling one batch;
+                // released before the sink gets `&mut self` back.
+                let heap = self.db.storage.heap(seg)?;
+                while (page as usize) < heap.page_count() && batch.len() < batch_size {
+                    if (slot as usize) >= heap.slots_in_page(page) {
+                        page += 1;
+                        slot = 0;
+                        continue;
+                    }
+                    if charged != Some(page) {
+                        self.db.storage.charge_page_read(seg, page);
+                        charged = Some(page);
+                    }
+                    if let Some(row) = heap.slot(page, slot) {
+                        let values: Row = col_idx.iter().map(|&i| row[i].clone()).collect();
+                        batch.push(BaseRow { rid: RowId::new(seg.0, page, slot), values });
+                    }
+                    slot += 1;
+                }
+            }
+            if batch.is_empty() {
+                return Ok(());
+            }
+            sink(self, &batch)?;
         }
     }
 

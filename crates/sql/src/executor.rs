@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use extidx_common::{Error, Key, Result, RowId, Value};
 use extidx_core::meta::{IndexInfo, OperatorCall, PredicateBound};
-use extidx_core::scan::{FetchedRow, ScanContext};
+use extidx_core::scan::ScanContext;
 use extidx_core::server::CallbackMode;
 use extidx_core::trace::Component;
 use extidx_core::OdciIndex;
@@ -362,7 +362,11 @@ struct DomainScanExec {
     label: Option<i64>,
     runtime: Option<(Arc<dyn OdciIndex>, IndexInfo, String)>,
     ctx: Option<ScanContext>,
-    buffer: VecDeque<FetchedRow>,
+    /// Rows already joined to the base table, ready to stream out. Whole
+    /// `FetchResult` batches are joined at once through
+    /// `heap_fetch_multi`, which orders page touches, so the cache sees
+    /// each heap page once per batch instead of once per row.
+    buffer: VecDeque<ExecRow>,
     fetch_done: bool,
     closed: bool,
 }
@@ -439,14 +443,7 @@ impl ExecNode for DomainScanExec {
             self.open(db)?;
         }
         loop {
-            if let Some(fr) = self.buffer.pop_front() {
-                let seg = db.catalog.table(&self.table)?.seg;
-                let mut values = db.storage.heap_fetch(seg, fr.rowid)?;
-                values.push(Value::RowId(fr.rowid));
-                let mut row = ExecRow::new(values);
-                if let (Some(label), Some(v)) = (self.label, fr.ancillary) {
-                    row.ancillary.push((label, v));
-                }
+            if let Some(row) = self.buffer.pop_front() {
                 return Ok(Some(row));
             }
             if self.fetch_done {
@@ -465,7 +462,22 @@ impl ExecNode for DomainScanExec {
             let mut sctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
             let result = index.fetch(&mut sctx, &info, ctx, batch)?;
             self.fetch_done = result.done;
-            self.buffer.extend(result.rows);
+            if result.rows.is_empty() {
+                continue;
+            }
+            // Join the whole fetch batch at once: one page-ordered
+            // multi-fetch instead of a heap_fetch per rowid.
+            let seg = db.catalog.table(&self.table)?.seg;
+            let rids: Vec<RowId> = result.rows.iter().map(|fr| fr.rowid).collect();
+            let joined = db.storage.heap_fetch_multi(seg, &rids)?;
+            for (fr, mut values) in result.rows.into_iter().zip(joined) {
+                values.push(Value::RowId(fr.rowid));
+                let mut row = ExecRow::new(values);
+                if let (Some(label), Some(v)) = (self.label, fr.ancillary) {
+                    row.ancillary.push((label, v));
+                }
+                self.buffer.push_back(row);
+            }
         }
     }
 

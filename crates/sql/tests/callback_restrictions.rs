@@ -247,3 +247,89 @@ fn transaction_control_rejected_inside_callbacks() {
     let err = db.execute("CREATE INDEX tidx ON base(v) INDEXTYPE IS TxnType").unwrap_err();
     assert!(matches!(err, Error::CallbackViolation(_)), "{err}");
 }
+
+#[test]
+fn failed_create_releases_external_storage() {
+    // External storage (here: a server-managed file) is invisible to the
+    // statement-atomicity undo that cleans up SQL-level debris. The
+    // engine must instead invoke the cartridge's own ODCIIndexDrop on a
+    // failed ODCIIndexCreate, so the cartridge can release what it
+    // allocated.
+    use std::sync::atomic::AtomicBool;
+    static FAIL: AtomicBool = AtomicBool::new(true);
+    const EXT_FILE: &str = "dr$fidx.ext";
+
+    struct FileDebrisIndex;
+    impl OdciIndex for FileDebrisIndex {
+        fn create(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+            srv.file_create(EXT_FILE);
+            if FAIL.load(Ordering::SeqCst) {
+                return Err(Error::odci(&info.indextype_name, "ODCIIndexCreate", "injected"));
+            }
+            Ok(())
+        }
+        fn alter(&self, _: &mut dyn ServerContext, _: &IndexInfo, _: &ParamString) -> Result<()> {
+            Ok(())
+        }
+        fn truncate(&self, _: &mut dyn ServerContext, _: &IndexInfo) -> Result<()> {
+            Ok(())
+        }
+        fn drop_index(&self, srv: &mut dyn ServerContext, _: &IndexInfo) -> Result<()> {
+            srv.file_remove(EXT_FILE)?;
+            Ok(())
+        }
+        fn insert(&self, _: &mut dyn ServerContext, _: &IndexInfo, _: RowId, _: &Value) -> Result<()> {
+            Ok(())
+        }
+        fn update(
+            &self,
+            _: &mut dyn ServerContext,
+            _: &IndexInfo,
+            _: RowId,
+            _: &Value,
+            _: &Value,
+        ) -> Result<()> {
+            Ok(())
+        }
+        fn delete(&self, _: &mut dyn ServerContext, _: &IndexInfo, _: RowId, _: &Value) -> Result<()> {
+            Ok(())
+        }
+        fn start(&self, _: &mut dyn ServerContext, _: &IndexInfo, _: &OperatorCall) -> Result<ScanContext> {
+            Ok(ScanContext::State(Box::new(())))
+        }
+        fn fetch(
+            &self,
+            _: &mut dyn ServerContext,
+            _: &IndexInfo,
+            _: &mut ScanContext,
+            _: usize,
+        ) -> Result<FetchResult> {
+            Ok(FetchResult::end())
+        }
+        fn close(&self, _: &mut dyn ServerContext, _: &IndexInfo, _: ScanContext) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    let mut db = Database::new();
+    db.register_function(ScalarFunction::new("FMatchFn", |_, _| Ok(Value::Boolean(true)))).unwrap();
+    db.register_odci_implementation("FileDebrisIndex", Arc::new(FileDebrisIndex), Arc::new(NaughtyStats));
+    db.execute("CREATE OPERATOR FMatch BINDING (INTEGER) RETURN BOOLEAN USING FMatchFn").unwrap();
+    db.execute("CREATE INDEXTYPE FileType FOR FMatch(INTEGER) USING FileDebrisIndex").unwrap();
+    db.execute("CREATE TABLE fbase (v INTEGER)").unwrap();
+    db.execute("INSERT INTO fbase VALUES (1)").unwrap();
+
+    FAIL.store(true, Ordering::SeqCst);
+    let err = db.execute("CREATE INDEX fidx ON fbase(v) INDEXTYPE IS FileType").unwrap_err();
+    assert!(matches!(err, Error::Odci { .. }), "{err}");
+    // The external file the failed create allocated is gone, and the
+    // dictionary never recorded the index.
+    assert!(!db.storage().files_ref().exists(EXT_FILE), "leaked external file");
+    assert!(db.catalog().domain_index("FIDX").is_none());
+
+    // A retry on the same name now succeeds cleanly.
+    FAIL.store(false, Ordering::SeqCst);
+    db.execute("CREATE INDEX fidx ON fbase(v) INDEXTYPE IS FileType").unwrap();
+    assert!(db.storage().files_ref().exists(EXT_FILE));
+    assert!(db.catalog().domain_index("FIDX").is_some());
+}

@@ -162,6 +162,29 @@ impl StorageEngine {
         Ok(row)
     }
 
+    /// Fetch a batch of rows by rowid, visiting pages in (page, slot)
+    /// order so the buffer cache is charged **once per distinct page**
+    /// instead of once per row — the batched half of the domain-scan
+    /// rowid→row join. Results are returned aligned with the input order;
+    /// a missing row (deleted slot, out-of-range page) yields the same
+    /// error a single [`StorageEngine::heap_fetch`] would.
+    pub fn heap_fetch_multi(&self, seg: SegmentId, rids: &[RowId]) -> Result<Vec<Row>> {
+        let h = self.heap(seg)?;
+        let mut order: Vec<usize> = (0..rids.len()).collect();
+        order.sort_by_key(|&i| (rids[i].page, rids[i].slot));
+        let mut out: Vec<Option<Row>> = vec![None; rids.len()];
+        let mut last_page: Option<u32> = None;
+        for i in order {
+            let rid = rids[i];
+            if last_page != Some(rid.page) {
+                self.cache.read((seg, rid.page));
+                last_page = Some(rid.page);
+            }
+            out[i] = Some(h.fetch(rid)?.clone());
+        }
+        Ok(out.into_iter().map(|r| r.expect("every index filled")).collect())
+    }
+
     /// Update a row in place; returns the old image.
     pub fn heap_update(
         &mut self,

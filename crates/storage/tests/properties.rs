@@ -207,3 +207,47 @@ proptest! {
         prop_assert_eq!(engine.lob_read_all(lob).unwrap(), model);
     }
 }
+
+proptest! {
+    /// `heap_fetch_multi` returns exactly what N single `heap_fetch`
+    /// calls would, in the caller's order — regardless of how the batch
+    /// is internally sorted by (page, slot) — and errors whenever a
+    /// requested rowid is deleted, just like the single-row path.
+    #[test]
+    fn heap_fetch_multi_matches_single_fetches(
+        values in prop::collection::vec(any::<i64>(), 1..80),
+        picks in prop::collection::vec(any::<usize>(), 0..120),
+        deletes in prop::collection::vec(any::<usize>(), 0..10),
+    ) {
+        let mut engine = StorageEngine::new(256);
+        let seg = engine.create_heap();
+        let mut live: Vec<RowId> = values
+            .iter()
+            .map(|&v| engine.heap_insert(seg, row(v), None).unwrap())
+            .collect();
+        let mut dead: Vec<RowId> = Vec::new();
+        for d in deletes {
+            if live.len() <= 1 {
+                break;
+            }
+            let rid = live.swap_remove(d % live.len());
+            engine.heap_delete(seg, rid, None).unwrap();
+            dead.push(rid);
+        }
+
+        // All-live batch, in an arbitrary (possibly repeating) order.
+        let batch: Vec<RowId> = picks.iter().map(|&i| live[i % live.len()]).collect();
+        let multi = engine.heap_fetch_multi(seg, &batch).unwrap();
+        let singles: Vec<Row> =
+            batch.iter().map(|&rid| engine.heap_fetch(seg, rid).unwrap()).collect();
+        prop_assert_eq!(multi, singles);
+
+        // A batch containing any deleted rowid fails, as single fetch does.
+        if let Some(&bad) = dead.first() {
+            let mut poisoned = batch.clone();
+            poisoned.push(bad);
+            prop_assert!(engine.heap_fetch(seg, bad).is_err());
+            prop_assert!(engine.heap_fetch_multi(seg, &poisoned).is_err());
+        }
+    }
+}

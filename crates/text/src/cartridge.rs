@@ -16,10 +16,11 @@
 use std::collections::BTreeMap;
 
 use extidx_common::{Error, Result, RowId, Value};
+use extidx_core::build::{try_partition_map, DEFAULT_BUILD_BATCH_ROWS};
 use extidx_core::meta::{IndexInfo, OperatorCall};
 use extidx_core::params::ParamString;
 use extidx_core::scan::{FetchResult, FetchedRow, ScanContext};
-use extidx_core::server::{workspace_state, ServerContext};
+use extidx_core::server::{workspace_state, BaseRow, ServerContext};
 use extidx_core::stats::{IndexCost, OdciStats};
 use extidx_core::OdciIndex;
 
@@ -48,27 +49,57 @@ fn document_text(srv: &mut dyn ServerContext, v: &Value) -> Result<Option<String
     })
 }
 
+/// Rows per multi-row `INSERT` issued through the server callback.
+pub(crate) const INSERT_CHUNK: usize = 256;
+
+/// Build the `VALUES (?, ?, ?), …` clause for an n-row posting insert.
+fn postings_insert_sql(table: &str, nrows: usize) -> String {
+    let mut sql = format!("INSERT INTO {table} VALUES ");
+    for i in 0..nrows {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        sql.push_str("(?, ?, ?)");
+    }
+    sql
+}
+
 /// Insert posting entries in batches to cut server round trips (§2.5's
-/// batch-interface point, applied to maintenance).
+/// batch-interface point, applied to maintenance). The full-chunk SQL
+/// string is built once and reused for every full chunk; only a trailing
+/// partial chunk formats a second statement.
 fn insert_postings(
     srv: &mut dyn ServerContext,
     table: &str,
     entries: &[(String, RowId, u32)],
 ) -> Result<()> {
-    const CHUNK: usize = 256;
-    for chunk in entries.chunks(CHUNK) {
-        let mut sql = format!("INSERT INTO {table} VALUES ");
+    fn exec_chunk(
+        srv: &mut dyn ServerContext,
+        sql: &str,
+        chunk: &[(String, RowId, u32)],
+    ) -> Result<()> {
         let mut binds: Vec<Value> = Vec::with_capacity(chunk.len() * 3);
-        for (i, (token, rid, freq)) in chunk.iter().enumerate() {
-            if i > 0 {
-                sql.push_str(", ");
-            }
-            sql.push_str("(?, ?, ?)");
+        for (token, rid, freq) in chunk {
             binds.push(Value::from(token.clone()));
             binds.push(Value::RowId(*rid));
             binds.push(Value::Integer(*freq as i64));
         }
-        srv.execute(&sql, &binds)?;
+        srv.execute(sql, &binds)?;
+        Ok(())
+    }
+    // One statement string per distinct chunk size: the full-chunk SQL is
+    // formatted once and reused; only a trailing partial chunk needs its
+    // own (previously every chunk re-formatted the whole VALUES clause).
+    let full = entries.chunks_exact(INSERT_CHUNK);
+    let rest = full.remainder();
+    if entries.len() >= INSERT_CHUNK {
+        let sql = postings_insert_sql(table, INSERT_CHUNK);
+        for chunk in full {
+            exec_chunk(srv, &sql, chunk)?;
+        }
+    }
+    if !rest.is_empty() {
+        exec_chunk(srv, &postings_insert_sql(table, rest.len()), rest)?;
     }
     Ok(())
 }
@@ -140,6 +171,22 @@ struct IncrementalScan {
     wants_ancillary: bool,
 }
 
+impl TextIndexMethods {
+    /// Stream the base table through [`OdciIndex::build_batch`] — the
+    /// shared populate path for `create` and rebuild-on-`alter`. The whole
+    /// table is never materialized; `PARALLEL <n>` in the parameters fans
+    /// tokenization across worker threads.
+    fn populate_from_base(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
+        let parallel = info.parameters.parallel_degree();
+        srv.scan_base_batches(
+            &info.table_name,
+            &[&info.column_name],
+            DEFAULT_BUILD_BATCH_ROWS,
+            &mut |srv, batch| self.build_batch(srv, info, batch, parallel),
+        )
+    }
+}
+
 impl OdciIndex for TextIndexMethods {
     fn create(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
         let table = index_table(info);
@@ -150,21 +197,8 @@ impl OdciIndex for TextIndexMethods {
             ),
             &[],
         )?;
-        // Populate from existing base rows.
-        let stop = StopWords::from_params(&info.parameters);
-        let rows = srv.query(
-            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
-            &[],
-        )?;
-        let mut entries = Vec::new();
-        for r in rows {
-            let rid = r[1].as_rowid()?;
-            if let Some(text) = document_text(srv, &r[0])? {
-                entries.extend(doc_entries(&text, rid, &stop));
-            }
-        }
-        insert_postings(srv, &table, &entries)?;
-        Ok(())
+        // Populate from existing base rows, one batch at a time.
+        self.populate_from_base(srv, info)
     }
 
     fn alter(&self, srv: &mut dyn ServerContext, info: &IndexInfo, _delta: &ParamString) -> Result<()> {
@@ -172,21 +206,31 @@ impl OdciIndex for TextIndexMethods {
         // list) require a rebuild: truncate and repopulate under the
         // merged parameters `info` already carries.
         self.truncate(srv, info)?;
+        self.populate_from_base(srv, info)
+    }
+
+    fn build_batch(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        batch: &[BaseRow],
+        parallel: usize,
+    ) -> Result<()> {
         let stop = StopWords::from_params(&info.parameters);
-        let rows = srv.query(
-            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
-            &[],
-        )?;
-        let table = index_table(info);
-        let mut entries = Vec::new();
-        for r in rows {
-            let rid = r[1].as_rowid()?;
-            if let Some(text) = document_text(srv, &r[0])? {
-                entries.extend(doc_entries(&text, rid, &stop));
+        // LOB dereferencing is a server callback, so document text is
+        // resolved on the coordinating thread…
+        let mut docs: Vec<(RowId, String)> = Vec::with_capacity(batch.len());
+        for row in batch {
+            if let Some(text) = document_text(srv, row.value())? {
+                docs.push((row.rid, text));
             }
         }
-        insert_postings(srv, &table, &entries)?;
-        Ok(())
+        // …and tokenization — the CPU-heavy part — fans out across workers.
+        let per_doc = try_partition_map(&docs, parallel, |(rid, text)| {
+            Ok::<_, Error>(doc_entries(text, *rid, &stop))
+        })?;
+        let entries: Vec<(String, RowId, u32)> = per_doc.into_iter().flatten().collect();
+        insert_postings(srv, &index_table(info), &entries)
     }
 
     fn truncate(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {

@@ -12,10 +12,11 @@
 //! 3. full signature comparison ≤ threshold (during fetch).
 
 use extidx_common::{Error, Result, RowId, Value};
+use extidx_core::build::{try_partition_map, DEFAULT_BUILD_BATCH_ROWS};
 use extidx_core::meta::{IndexInfo, OperatorCall};
 use extidx_core::params::ParamString;
 use extidx_core::scan::{FetchResult, FetchedRow, ScanContext};
-use extidx_core::server::ServerContext;
+use extidx_core::server::{BaseRow, ServerContext};
 use extidx_core::stats::{IndexCost, OdciStats};
 use extidx_core::OdciIndex;
 
@@ -197,13 +198,48 @@ impl OdciIndex for VirIndexMethods {
             ),
             &[],
         )?;
-        let rows = srv.query(
-            &format!("SELECT {}, ROWID FROM {}", info.column_name, info.table_name),
-            &[],
-        )?;
-        for r in rows {
-            let rid = r[1].as_rowid()?;
-            index_one(srv, info, rid, &r[0])?;
+        let parallel = info.parameters.parallel_degree();
+        srv.scan_base_batches(
+            &info.table_name,
+            &[&info.column_name],
+            DEFAULT_BUILD_BATCH_ROWS,
+            &mut |srv, batch| self.build_batch(srv, info, batch, parallel),
+        )
+    }
+
+    fn build_batch(
+        &self,
+        srv: &mut dyn ServerContext,
+        info: &IndexInfo,
+        batch: &[BaseRow],
+        parallel: usize,
+    ) -> Result<()> {
+        // Signature extraction + coarse-channel computation is the
+        // CPU-heavy part (the paper's "feature extraction"); fan it out.
+        // The per-row inserts stay on the coordinator, in input order.
+        let prepared = try_partition_map(batch, parallel, |row| {
+            Ok::<_, Error>(match column_signature(row.value())? {
+                Some(sig) => {
+                    let c = sig.coarse();
+                    Some((row.rid, c, sig.serialize()))
+                }
+                None => None,
+            })
+        })?;
+        let table = sig_table(info);
+        let sql = format!("INSERT INTO {table} VALUES (?, ?, ?, ?, ?, ?)");
+        for (rid, c, sig_text) in prepared.into_iter().flatten() {
+            srv.execute(
+                &sql,
+                &[
+                    Value::Number(c[0]),
+                    Value::RowId(rid),
+                    Value::Number(c[1]),
+                    Value::Number(c[2]),
+                    Value::Number(c[3]),
+                    Value::from(sig_text),
+                ],
+            )?;
         }
         Ok(())
     }

@@ -35,7 +35,7 @@ fn print_rows(columns: &[String], rows: &[Vec<extidx_common::Value>]) {
         }
         println!("  {s}");
     };
-    line(&columns.to_vec());
+    line(columns);
     line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for r in rendered {
         line(&r);

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate + lints. Run from anywhere; works fully offline (all
+# third-party deps are vendored as path shims — see shims/README.md).
+#
+# Note: cargo only accepts CARGO_NET_OFFLINE=true/false, not 0/1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (workspace) =="
+cargo test --workspace -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

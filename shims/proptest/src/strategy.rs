@@ -1,0 +1,458 @@
+//! Strategy combinators for the shimmed proptest API.
+//!
+//! A [`Strategy`] here is just a deterministic-by-seed value generator;
+//! there is no shrink tree. Only the combinators the workspace's tests
+//! use are provided.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Depth-limited recursive strategies: each extra level recurses with
+    /// probability 1/2, bottoming out at `self` after `depth` levels.
+    /// The `desired_size`/`expected_branch_size` hints of real proptest
+    /// are accepted and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(strat.clone()).boxed();
+            strat = Union::new(vec![strat, deeper]).boxed();
+        }
+        strat
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `strategy.prop_map(f)`.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Finite values only; exponent scaled to span magnitudes tests care about.
+        let mantissa: f64 = rng.gen();
+        let exp = rng.gen_range(-64i32..64);
+        (mantissa - 0.5) * 2f64.powi(exp)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Length spec for [`vec`]: an exact size or a half-open range.
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange(n..n + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange(r)
+    }
+}
+
+/// `prop::collection::vec(element, len_range)`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, len: len.into().0 }
+}
+
+/// `prop::collection::btree_map(key, value, len_range)`. Duplicate keys
+/// collapse, so the realized size may be below the drawn length (real
+/// proptest retries; for a shim the weaker guarantee is fine).
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    len: Range<usize>,
+}
+
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    len: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, len: len.into().0 }
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let n = if self.len.start < self.len.end {
+            rng.gen_range(self.len.clone())
+        } else {
+            self.len.start
+        };
+        (0..n).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = if self.len.start < self.len.end {
+            rng.gen_range(self.len.clone())
+        } else {
+            self.len.start
+        };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// Regex-lite string strategies: `"[a-z]{0,8}"`, `"alpha"`, `"[ab%_]{0,8}"` …
+// ---------------------------------------------------------------------------
+
+/// One pattern element: a set of candidate chars and a repetition range.
+struct PatternElem {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternElem> {
+    let mut elems = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = if c == '[' {
+            let mut set = Vec::new();
+            let mut prev: Option<char> = None;
+            while let Some(d) = it.next() {
+                if d == ']' {
+                    break;
+                }
+                if d == '-' {
+                    // Range if bracketed by chars; trailing '-' is literal.
+                    if let (Some(lo), Some(&hi)) = (prev, it.peek()) {
+                        if hi != ']' {
+                            it.next();
+                            set.pop();
+                            for r in lo..=hi {
+                                set.push(r);
+                            }
+                            prev = None;
+                            continue;
+                        }
+                    }
+                }
+                set.push(d);
+                prev = Some(d);
+            }
+            assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+            set
+        } else {
+            vec![c]
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            for d in it.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition in pattern"),
+                    hi.trim().parse().expect("bad repetition in pattern"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition in pattern");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition bounds in pattern {pattern:?}");
+        elems.push(PatternElem { chars, min, max });
+    }
+    elems
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for elem in parse_pattern(self) {
+            let n = rng.gen_range(elem.min..=elem.max);
+            for _ in 0..n {
+                out.push(elem.chars[rng.gen_range(0..elem.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn pattern_literal() {
+        let mut rng = rng_for("pattern_literal");
+        assert_eq!("alpha".generate(&mut rng), "alpha");
+    }
+
+    #[test]
+    fn pattern_class_and_repetition() {
+        let mut rng = rng_for("pattern_class_and_repetition");
+        for _ in 0..200 {
+            let s = "[a-c]{2,5}".generate(&mut rng);
+            assert!((2..=5).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "bad char: {s:?}");
+            let t = "[ab%_]{0,3}".generate(&mut rng);
+            assert!(t.len() <= 3);
+            assert!(t.chars().all(|c| "ab%_".contains(c)), "bad char: {t:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_map_vec_compose() {
+        let mut rng = rng_for("oneof_map_vec_compose");
+        let strat = vec(
+            crate::prop_oneof![Just(1i64), 10i64..20, any::<bool>().prop_map(|b| b as i64)],
+            0..7,
+        );
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 7);
+            assert!(v.iter().all(|&x| x == 0 || x == 1 || (10..20).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = rng_for("recursive_bottoms_out");
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, Tree::Node(..));
+        }
+        assert!(saw_node, "recursion never taken");
+    }
+}

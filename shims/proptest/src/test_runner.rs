@@ -1,0 +1,46 @@
+//! Minimal test-runner plumbing for the shimmed `proptest!` macro.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A failed property case (what `prop_assert*` returns early with).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Number of cases per property: `PROPTEST_CASES` env var, default 32.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Deterministic RNG per property: seeded from the test name (FNV-1a),
+/// optionally perturbed by `PROPTEST_SEED` for exploring other streams.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Some(extra) = std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse::<u64>().ok()) {
+        h = h.wrapping_add(extra.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    StdRng::seed_from_u64(h)
+}
