@@ -115,6 +115,7 @@ impl OdciIndex for ChemIndexMethods {
     ) -> Result<()> {
         if let Some((_, fp)) = mol_fingerprint(new_value)? {
             FingerprintStore::for_index(info).append(srv, info, rid, &fp)?;
+            srv.fault_point("chem.maintenance.indexed")?;
         }
         Ok(())
     }
@@ -128,6 +129,8 @@ impl OdciIndex for ChemIndexMethods {
         new_value: &Value,
     ) -> Result<()> {
         self.delete(srv, info, rid, old_value)?;
+        // Old fingerprint tombstoned, new one not yet appended.
+        srv.fault_point("chem.maintenance.reindex")?;
         self.insert(srv, info, rid, new_value)
     }
 
@@ -140,6 +143,7 @@ impl OdciIndex for ChemIndexMethods {
     ) -> Result<()> {
         if !old_value.is_null() {
             FingerprintStore::for_index(info).remove(srv, info, rid)?;
+            srv.fault_point("chem.maintenance.unindexed")?;
         }
         Ok(())
     }

@@ -175,10 +175,14 @@ impl FingerprintStore {
                 // flush — the "intermediate write operations" the paper
                 // calls out.
                 let name = file_name(info);
-                let mut bytes = srv.file_read(&name)?;
+                // External file I/O during maintenance is classified
+                // retryable: the read-modify-rewrite cycle is restartable
+                // from scratch, so a transient filesystem error should be
+                // retried by the server rather than abort the statement.
+                let mut bytes = srv.file_read(&name).map_err(Error::retryable)?;
                 bytes.extend_from_slice(&rec);
-                srv.file_write(&name, &bytes)?;
-                srv.file_flush(&name)?;
+                srv.file_write(&name, &bytes).map_err(Error::retryable)?;
+                srv.file_flush(&name).map_err(Error::retryable)?;
             }
         }
         Ok(())
@@ -202,7 +206,9 @@ impl FingerprintStore {
             }
             StorageMode::File => {
                 let name = file_name(info);
-                let bytes = srv.file_read(&name)?;
+                // Retryable for the same reason as `append`: the whole
+                // cycle restarts cleanly from the on-disk image.
+                let bytes = srv.file_read(&name).map_err(Error::retryable)?;
                 let mut out = Vec::with_capacity(bytes.len());
                 for rec in bytes.chunks(RECORD_BYTES) {
                     if rec.len() == RECORD_BYTES
@@ -212,8 +218,8 @@ impl FingerprintStore {
                     }
                     out.extend_from_slice(rec);
                 }
-                srv.file_write(&name, &out)?;
-                srv.file_flush(&name)?;
+                srv.file_write(&name, &out).map_err(Error::retryable)?;
+                srv.file_flush(&name).map_err(Error::retryable)?;
             }
         }
         Ok(())

@@ -53,6 +53,16 @@ pub enum Error {
     Unsupported(String),
     /// Arithmetic / evaluation error (division by zero, numeric overflow).
     Eval(String),
+    /// A transient failure the caller may retry (e.g. an external-file
+    /// I/O hiccup reported by a cartridge). Wraps the underlying error so
+    /// diagnostics survive the classification.
+    Retryable(Box<Error>),
+    /// An artificial failure raised by the fault-injection harness at a
+    /// named server↔cartridge crossing.
+    Injected { point: String, call: u64 },
+    /// Double fault: a statement failed *and* rolling its storage effects
+    /// back failed too. State may be torn — this must never be swallowed.
+    RollbackFailed { original: Box<Error>, cause: Box<Error> },
 }
 
 impl Error {
@@ -79,6 +89,28 @@ impl Error {
     pub fn type_mismatch(expected: impl Into<String>, found: impl Into<String>) -> Self {
         Error::TypeMismatch { expected: expected.into(), found: found.into() }
     }
+
+    /// Classify an error as transient/retryable. Idempotent: an already
+    /// retryable error is not wrapped twice.
+    pub fn retryable(err: Error) -> Self {
+        match err {
+            e @ Error::Retryable(_) => e,
+            e => Error::Retryable(Box::new(e)),
+        }
+    }
+
+    /// Whether the caller may retry the failed operation.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Retryable(_))
+    }
+
+    /// Strip the retryable wrapper, yielding the underlying error.
+    pub fn into_permanent(self) -> Error {
+        match self {
+            Error::Retryable(inner) => *inner,
+            e => e,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -100,6 +132,13 @@ impl fmt::Display for Error {
             Error::Constraint(m) => write!(f, "constraint violation: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Retryable(inner) => write!(f, "transient error (retryable): {inner}"),
+            Error::Injected { point, call } => {
+                write!(f, "injected fault at {point} (call #{call})")
+            }
+            Error::RollbackFailed { original, cause } => {
+                write!(f, "rollback failed after error [{original}]: {cause}")
+            }
         }
     }
 }
@@ -135,6 +174,30 @@ mod tests {
     fn display_type_mismatch() {
         let e = Error::type_mismatch("NUMBER", "VARCHAR2");
         assert_eq!(e.to_string(), "type mismatch: expected NUMBER, found VARCHAR2");
+    }
+
+    #[test]
+    fn retryable_classification_is_idempotent() {
+        let base = Error::Storage("disk glitch".into());
+        let r = Error::retryable(base.clone());
+        assert!(r.is_retryable());
+        assert_eq!(Error::retryable(r.clone()), r);
+        assert_eq!(r.into_permanent(), base);
+        assert!(!base.is_retryable());
+    }
+
+    #[test]
+    fn display_injected_and_double_fault() {
+        let e = Error::Injected { point: "ODCIIndexInsert".into(), call: 2 };
+        assert_eq!(e.to_string(), "injected fault at ODCIIndexInsert (call #2)");
+        let d = Error::RollbackFailed {
+            original: Box::new(Error::Eval("boom".into())),
+            cause: Box::new(Error::Storage("page gone".into())),
+        };
+        assert_eq!(
+            d.to_string(),
+            "rollback failed after error [evaluation error: boom]: storage error: page gone"
+        );
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Fault injection at the server↔cartridge boundary, plus the retry
+//! policy for transient cartridge errors.
+//!
+//! The paper's §5 consistency discussion is only testable if a failure
+//! can be forced at *every* crossing between the server and user index
+//! code. [`FaultInjector`] mirrors [`crate::trace::CallTrace`]: a shared
+//! handle the engine threads through DDL, DML, scan, and optimizer
+//! crossings. Each crossing calls [`FaultInjector::check`] with the
+//! routine (or internal point) name; an armed fault fires on the N-th
+//! matching call and returns an error the engine must recover from
+//! without leaving base table, B-tree, or domain indexes out of sync.
+//!
+//! Faults come in two flavours:
+//!
+//! - [`FaultKind::Fail`] — a permanent error ([`Error::Injected`]); the
+//!   statement must fail and be rolled back atomically.
+//! - [`FaultKind::Transient`] — a bounded run of
+//!   [`Error::Retryable`]-wrapped failures; the engine's retry loop
+//!   (driven by [`RetryPolicy`]) should absorb them and the statement
+//!   should succeed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use extidx_common::{Error, Result};
+use parking_lot::Mutex;
+
+/// What an armed fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fire a permanent [`Error::Injected`] once, then disarm.
+    Fail,
+    /// Fire a retryable error for the next `failures` matching calls,
+    /// then disarm and let the call through.
+    Transient { failures: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct ArmedFault {
+    /// Crossing name — an ODCI routine (`ODCIIndexInsert`) or an internal
+    /// cartridge point (`chem.store.append`).
+    point: String,
+    /// Restrict to one indextype; `None` matches any.
+    indextype: Option<String>,
+    /// Fire on the N-th matching call after arming (1-based).
+    at_call: u64,
+    /// Matching calls seen since arming.
+    seen: u64,
+    kind: FaultKind,
+    /// Remaining transient failures (ignored for `Fail`).
+    remaining: u32,
+}
+
+#[derive(Default)]
+struct Inner {
+    armed: Vec<ArmedFault>,
+    fired: u64,
+    calls: u64,
+}
+
+/// A shared, cloneable fault injector. Cloning shares the armed set and
+/// counters, so a test harness and the engine observe the same state.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FaultInjector {
+    /// A new injector with nothing armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a fault at the `at_call`-th (1-based) crossing of `point`,
+    /// optionally restricted to one indextype (matched case-insensitively).
+    pub fn arm(&self, point: &str, indextype: Option<&str>, at_call: u64, kind: FaultKind) {
+        let remaining = match kind {
+            FaultKind::Fail => 1,
+            FaultKind::Transient { failures } => failures,
+        };
+        self.inner.lock().armed.push(ArmedFault {
+            point: point.to_string(),
+            indextype: indextype.map(|s| s.to_ascii_uppercase()),
+            at_call: at_call.max(1),
+            seen: 0,
+            kind,
+            remaining,
+        });
+    }
+
+    /// Shorthand: arm a one-shot permanent fault.
+    pub fn arm_fail(&self, point: &str, indextype: Option<&str>, at_call: u64) {
+        self.arm(point, indextype, at_call, FaultKind::Fail);
+    }
+
+    /// Called by the engine at every server↔cartridge crossing. Returns
+    /// `Err` when an armed fault fires; spent faults disarm themselves.
+    pub fn check(&self, point: &str, indextype: Option<&str>) -> Result<()> {
+        let mut g = self.inner.lock();
+        g.calls += 1;
+        let calls = g.calls;
+        let upper = indextype.map(|s| s.to_ascii_uppercase());
+        let mut fired: Option<Error> = None;
+        g.armed.retain_mut(|f| {
+            if fired.is_some() || f.point != point {
+                return true;
+            }
+            if let (Some(want), Some(have)) = (&f.indextype, &upper) {
+                if want != have {
+                    return true;
+                }
+            } else if f.indextype.is_some() && upper.is_none() {
+                return true;
+            }
+            f.seen += 1;
+            if f.seen < f.at_call {
+                return true;
+            }
+            match f.kind {
+                FaultKind::Fail => {
+                    fired = Some(Error::Injected { point: point.to_string(), call: calls });
+                    false // one-shot: disarm
+                }
+                FaultKind::Transient { .. } => {
+                    fired = Some(Error::retryable(Error::Injected {
+                        point: point.to_string(),
+                        call: calls,
+                    }));
+                    f.remaining -= 1;
+                    // Keep matching the same position until exhausted.
+                    f.seen -= 1;
+                    f.remaining > 0
+                }
+            }
+        });
+        match fired {
+            Some(e) => {
+                g.fired += 1;
+                Err(e)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// How many faults have fired since the last [`reset`](Self::reset).
+    pub fn fired(&self) -> u64 {
+        self.inner.lock().fired
+    }
+
+    /// Total crossings checked since the last reset.
+    pub fn calls(&self) -> u64 {
+        self.inner.lock().calls
+    }
+
+    /// Whether any fault is still armed.
+    pub fn is_armed(&self) -> bool {
+        !self.inner.lock().armed.is_empty()
+    }
+
+    /// Disarm everything (counters keep running).
+    pub fn disarm_all(&self) {
+        self.inner.lock().armed.clear();
+    }
+
+    /// Disarm everything and zero all counters.
+    pub fn reset(&self) {
+        *self.inner.lock() = Inner::default();
+    }
+}
+
+/// Bounded exponential backoff for transient cartridge errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (so 3 = up to 2 retries).
+    pub max_attempts: u32,
+    /// Sleep before retry k is `base << (k-1)`, capped at `cap`.
+    pub base: Duration,
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..Default::default() }
+    }
+
+    /// Backoff before retrying after `attempt` failed attempts (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        self.base.saturating_mul(1u32 << shift).min(self.cap)
+    }
+
+    /// Whether another attempt is allowed after `attempt` failures.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_injector_is_transparent() {
+        let f = FaultInjector::new();
+        for _ in 0..10 {
+            f.check("ODCIIndexInsert", Some("T")).unwrap();
+        }
+        assert_eq!(f.fired(), 0);
+        assert_eq!(f.calls(), 10);
+    }
+
+    #[test]
+    fn fail_fires_on_nth_matching_call_then_disarms() {
+        let f = FaultInjector::new();
+        f.arm_fail("ODCIIndexInsert", None, 3);
+        f.check("ODCIIndexInsert", None).unwrap();
+        f.check("ODCIIndexDelete", None).unwrap(); // different point
+        f.check("ODCIIndexInsert", None).unwrap();
+        let err = f.check("ODCIIndexInsert", None).unwrap_err();
+        assert!(matches!(err, Error::Injected { .. }));
+        assert!(!err.is_retryable());
+        // Disarmed: next call passes.
+        f.check("ODCIIndexInsert", None).unwrap();
+        assert_eq!(f.fired(), 1);
+        assert!(!f.is_armed());
+    }
+
+    #[test]
+    fn indextype_filter_respected() {
+        let f = FaultInjector::new();
+        f.arm_fail("ODCIIndexInsert", Some("TextIndexType"), 1);
+        f.check("ODCIIndexInsert", Some("RTREEINDEXTYPE")).unwrap();
+        f.check("ODCIIndexInsert", None).unwrap();
+        assert!(f.check("ODCIIndexInsert", Some("TEXTINDEXTYPE")).is_err());
+    }
+
+    #[test]
+    fn transient_fires_bounded_run_then_disarms() {
+        let f = FaultInjector::new();
+        f.arm("chem.store.append", None, 1, FaultKind::Transient { failures: 2 });
+        assert!(f.check("chem.store.append", None).unwrap_err().is_retryable());
+        assert!(f.check("chem.store.append", None).unwrap_err().is_retryable());
+        f.check("chem.store.append", None).unwrap();
+        assert_eq!(f.fired(), 2);
+    }
+
+    #[test]
+    fn reset_clears_armed_and_counters() {
+        let f = FaultInjector::new();
+        f.arm_fail("X", None, 1);
+        f.check("Y", None).unwrap();
+        f.reset();
+        assert_eq!(f.calls(), 0);
+        assert!(!f.is_armed());
+        f.check("X", None).unwrap();
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), Duration::from_millis(1));
+        assert_eq!(p.backoff(2), Duration::from_millis(2));
+        assert_eq!(p.backoff(3), Duration::from_millis(4));
+        assert_eq!(p.backoff(10), Duration::from_millis(20)); // capped
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(2));
+        assert!(!p.should_retry(3));
+        assert!(!RetryPolicy::none().should_retry(1));
+    }
+}

@@ -22,6 +22,7 @@
 //! | Ancillary operators (e.g. `Score`) | [`scan::FetchedRow`] |
 //! | Database events (§5 proposed solution) | [`events`] |
 //! | Fig. 1 call-flow | [`trace::CallTrace`] |
+//! | §5 fault testing at every crossing | [`fault::FaultInjector`] |
 //!
 //! The crate is engine-agnostic: it depends only on the shared value
 //! model, and the host engine (here `extidx-sql`) implements
@@ -30,6 +31,7 @@
 
 pub mod build;
 pub mod events;
+pub mod fault;
 pub mod indextype;
 pub mod meta;
 pub mod odci;
@@ -42,6 +44,7 @@ pub mod stats;
 pub mod trace;
 
 pub use build::{partition_map, try_partition_map, DEFAULT_BUILD_BATCH_ROWS};
+pub use fault::{FaultInjector, FaultKind, RetryPolicy};
 pub use indextype::IndexType;
 pub use meta::{IndexInfo, OperatorCall, PredicateBound, RelOp};
 pub use odci::OdciIndex;

@@ -132,6 +132,18 @@ pub trait ServerContext {
     /// same name replaces the handler.
     fn register_event_handler(&mut self, name: &str, handler: Arc<dyn EventHandler>);
 
+    // ---- fault injection ---------------------------------------------------
+
+    /// Declare a named intra-routine fault point. Cartridges call this at
+    /// internal milestones (after partial effects are applied, before an
+    /// external write, …) so the host's [`crate::fault::FaultInjector`]
+    /// can force failures *inside* a routine, not just at its entry.
+    /// Defaults to a no-op for contexts without an injector.
+    fn fault_point(&mut self, point: &str) -> Result<()> {
+        let _ = point;
+        Ok(())
+    }
+
     // ---- external storage (§5 limitation) ----------------------------------
     //
     // Outside-the-database file storage for file-based index schemes.

@@ -23,6 +23,11 @@ pub enum Component {
     IndexAccess,
     /// The cost-based optimizer.
     Optimizer,
+    /// Compensation replay after a failed statement — inverse maintenance
+    /// operations restoring domain indexes to pre-statement state.
+    Recovery,
+    /// The fault-injection harness firing at a crossing.
+    Fault,
 }
 
 impl std::fmt::Display for Component {
@@ -32,6 +37,8 @@ impl std::fmt::Display for Component {
             Component::Dml => "DML",
             Component::IndexAccess => "INDEX-ACCESS",
             Component::Optimizer => "OPTIMIZER",
+            Component::Recovery => "RECOVERY",
+            Component::Fault => "FAULT",
         };
         write!(f, "{s}")
     }

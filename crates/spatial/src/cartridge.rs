@@ -240,7 +240,8 @@ impl OdciIndex for SpatialIndexMethods {
         new_value: &Value,
     ) -> Result<()> {
         let tess = tessellation(&info.parameters);
-        index_one(srv, info, &tess, rid, new_value)
+        index_one(srv, info, &tess, rid, new_value)?;
+        srv.fault_point("spatial.maintenance.indexed")
     }
 
     fn update(
@@ -253,6 +254,8 @@ impl OdciIndex for SpatialIndexMethods {
     ) -> Result<()> {
         let tess = tessellation(&info.parameters);
         unindex_one(srv, info, &tess, rid, old_value)?;
+        // Old tiles removed, new tiles not yet written.
+        srv.fault_point("spatial.maintenance.reindex")?;
         index_one(srv, info, &tess, rid, new_value)
     }
 

@@ -145,7 +145,8 @@ impl OdciIndex for RtreeIndexMethods {
         rid: RowId,
         new_value: &Value,
     ) -> Result<()> {
-        index_one(srv, info, rid, new_value)
+        index_one(srv, info, rid, new_value)?;
+        srv.fault_point("rtree.maintenance.indexed")
     }
 
     fn update(
@@ -157,6 +158,8 @@ impl OdciIndex for RtreeIndexMethods {
         new_value: &Value,
     ) -> Result<()> {
         unindex_one(srv, info, rid, old_value)?;
+        // Old entry removed from the R-tree, new one not yet inserted.
+        srv.fault_point("rtree.maintenance.reindex")?;
         index_one(srv, info, rid, new_value)
     }
 

@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use extidx_common::{Error, Key, LobRef, Result, Row, RowId, SqlType, Value};
 use extidx_core::events::{DbEvent, EventHandler};
+use extidx_core::fault::{FaultInjector, RetryPolicy};
 use extidx_core::indextype::{IndexType, SupportedOperator};
 use extidx_core::meta::IndexInfo;
 use extidx_core::operator::{Operator, ScalarFunction};
@@ -101,6 +102,37 @@ pub struct Database {
     /// compensated (dropped) if the statement fails, so a cartridge
     /// routine that errors after issuing DDL leaves no debris.
     stmt_created: Vec<CreatedObject>,
+    /// Compensation log: every *successful* ODCIIndex maintenance call in
+    /// the current statement. On statement failure the inverse operations
+    /// are replayed in reverse before storage rollback, so domain indexes
+    /// (including external-file stores invisible to undo) return to their
+    /// pre-statement state (§5).
+    stmt_maint: Vec<MaintRecord>,
+    /// True while inverse maintenance operations are being replayed —
+    /// suppresses fault injection and compensation recording so recovery
+    /// itself is never sabotaged or re-logged.
+    compensating: bool,
+    /// Fault injection at every server↔cartridge crossing.
+    fault: FaultInjector,
+    /// Retry policy for cartridge-reported transient errors.
+    retry: RetryPolicy,
+}
+
+/// One successful domain-index maintenance call, with everything needed
+/// to replay its inverse.
+#[derive(Debug, Clone)]
+struct MaintRecord {
+    /// Domain index name (re-resolved through the catalog at replay time,
+    /// so an index dropped later in the statement is skipped cleanly).
+    index: String,
+    op: MaintOp,
+}
+
+#[derive(Debug, Clone)]
+enum MaintOp {
+    Insert { rid: RowId, value: Value },
+    Update { rid: RowId, old: Value, new: Value },
+    Delete { rid: RowId, old: Value },
 }
 
 /// A schema object created during the current statement, for
@@ -141,6 +173,10 @@ impl Database {
             next_ws: 0,
             batch_size: 32,
             stmt_created: Vec::new(),
+            stmt_maint: Vec::new(),
+            compensating: false,
+            fault: FaultInjector::new(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -214,6 +250,50 @@ impl Database {
     /// Direct storage access for white-box tests and benches.
     pub fn storage(&self) -> &StorageEngine {
         &self.storage
+    }
+
+    /// The fault injector threaded through every server↔cartridge
+    /// crossing. Cloning shares state, so a test can arm faults and watch
+    /// them fire while the engine runs.
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
+    }
+
+    /// Replace the retry policy for transient cartridge errors.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Register a commit/rollback event handler (§5). Re-registering the
+    /// same name replaces the handler. Cartridges normally do this through
+    /// their `ServerContext`; tests and host applications can use this
+    /// directly.
+    pub fn register_event_handler(&mut self, name: &str, handler: Arc<dyn EventHandler>) {
+        let upper = name.to_ascii_uppercase();
+        if let Some(slot) = self.event_handlers.iter_mut().find(|(n, _)| *n == upper) {
+            slot.1 = handler;
+        } else {
+            self.event_handlers.push((upper, handler));
+        }
+    }
+
+    /// Check the fault injector at a server↔cartridge crossing, tracing
+    /// fired faults. Suppressed during compensation replay: recovery must
+    /// never be sabotaged by the same harness that caused the failure.
+    pub(crate) fn fault_check(&self, routine: &str, indextype: Option<&str>) -> Result<()> {
+        if self.compensating {
+            return Ok(());
+        }
+        self.fault.check(routine, indextype).inspect_err(|e| {
+            // `e` carries the point name and call number, so a static
+            // routine label suffices for the FAULT trace row.
+            self.trace.record(Component::Fault, "FaultInjected", indextype.unwrap_or(""), e.to_string());
+        })
     }
 
     /// The optimizer's cost model (read).
@@ -292,30 +372,90 @@ impl Database {
         if boundary {
             self.stmt_undo = Some(UndoLog::new());
         }
-        let result = self.run_statement(stmt);
+        let mut result = self.run_statement(stmt);
         if boundary {
             let mut log = self.stmt_undo.take().expect("statement undo present");
             let created = std::mem::take(&mut self.stmt_created);
-            match &result {
+            let maint = std::mem::take(&mut self.stmt_maint);
+            match result {
                 Ok(_) => {
                     if let Some(txn) = self.txn_undo.as_mut() {
                         txn.absorb(log);
                     }
                 }
-                Err(_) => {
-                    // Statement atomicity: first compensate any DDL the
-                    // statement (or its callbacks) performed, then roll
-                    // back the row-level changes. Compensation failures
-                    // are swallowed — the original error wins.
+                Err(original) => {
+                    // Statement atomicity, in three layers: replay inverse
+                    // maintenance operations so domain indexes (including
+                    // external stores invisible to undo) return to their
+                    // pre-statement state, compensate any DDL the statement
+                    // (or its callbacks) performed, then roll back the
+                    // row-level changes. Compensation failures are
+                    // swallowed — the original error wins — but a failed
+                    // *storage* rollback is a double fault that must
+                    // surface: state may be torn.
+                    let had_effects = !log.is_empty() || !created.is_empty() || !maint.is_empty();
+                    self.compensate_maintenance(maint);
                     for obj in created.into_iter().rev() {
                         let _ = self.compensate_created(obj);
                     }
-                    let _ = self.storage.rollback(&mut log);
+                    let err = match self.storage.rollback(&mut log) {
+                        Ok(()) => original,
+                        Err(cause) => Error::RollbackFailed {
+                            original: Box::new(original),
+                            cause: Box::new(cause),
+                        },
+                    };
+                    // §5: a rolled-back statement delivers the Rollback
+                    // event so external-file cartridges can reconcile.
+                    // Handler errors cannot displace the statement's error.
+                    if had_effects {
+                        let _ = self.fire_event(DbEvent::Rollback);
+                    }
+                    result = Err(err);
                 }
             }
             self.workspace.clear();
         }
         result
+    }
+
+    /// Replay the inverse of every recorded maintenance operation, newest
+    /// first: delete-for-insert, re-insert-for-delete, reverse-update.
+    /// Best-effort — an index dropped later in the statement is skipped,
+    /// and inverse-call failures are swallowed (the statement's original
+    /// error wins; storage rollback still restores database-resident
+    /// index data).
+    fn compensate_maintenance(&mut self, maint: Vec<MaintRecord>) {
+        if maint.is_empty() {
+            return;
+        }
+        self.compensating = true;
+        for rec in maint.into_iter().rev() {
+            let Some(d) = self.catalog.domain_index(&rec.index).cloned() else { continue };
+            let Ok((index, _, info)) = self.domain_index_runtime(&d) else { continue };
+            let (routine, rid): (&'static str, RowId) = match &rec.op {
+                MaintOp::Insert { rid, .. } => ("ODCIIndexDelete", *rid),
+                MaintOp::Update { rid, .. } => ("ODCIIndexUpdate", *rid),
+                MaintOp::Delete { rid, .. } => ("ODCIIndexInsert", *rid),
+            };
+            self.trace.record(
+                Component::Recovery,
+                routine,
+                &d.indextype,
+                format!("compensate {rid}"),
+            );
+            let mut ctx = ServerCtx {
+                db: self,
+                mode: CallbackMode::Maintenance,
+                base_table: Some(d.table.clone()),
+            };
+            let _ = match &rec.op {
+                MaintOp::Insert { rid, value } => index.delete(&mut ctx, &info, *rid, value),
+                MaintOp::Update { rid, old, new } => index.update(&mut ctx, &info, *rid, new, old),
+                MaintOp::Delete { rid, old } => index.insert(&mut ctx, &info, *rid, old),
+            };
+        }
+        self.compensating = false;
     }
 
     /// Dispatch without boundary bookkeeping (also the entry point for
@@ -560,6 +700,7 @@ impl Database {
         for d in domain {
             let (index, _, info) = self.domain_index_runtime(&d)?;
             self.trace.record(Component::Ddl, "ODCIIndexTruncate", &d.indextype, &d.name);
+            self.fault_check("ODCIIndexTruncate", Some(&d.indextype))?;
             let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
             index.truncate(&mut ctx, &info)?;
         }
@@ -568,11 +709,6 @@ impl Database {
 
     fn run_create_btree_index(&mut self, name: &str, table: &str, column: &str) -> Result<StmtResult> {
         let tdef = self.catalog.table(table)?.clone();
-        if tdef.org != TableOrg::Heap {
-            return Err(Error::Unsupported(
-                "secondary indexes on index-organized tables are not supported".into(),
-            ));
-        }
         let col_idx = tdef.column_index(column)?;
         if !tdef.columns[col_idx].ty.is_scalar_comparable() {
             return Err(Error::Semantic(format!(
@@ -588,13 +724,23 @@ impl Database {
             seg,
         })?;
         self.stmt_created.push(CreatedObject::BTreeIndex(name.to_ascii_uppercase()));
-        // Populate from existing rows.
-        let existing: Vec<(RowId, Value)> = self
-            .storage
-            .heap(tdef.seg)?
-            .scan()
-            .map(|(rid, _, row)| (rid, row[col_idx].clone()))
-            .collect();
+        // Populate from existing rows. For IOT base tables the secondary
+        // index stores logical rowids (key ordinals), which stay valid
+        // across in-place updates.
+        let existing: Vec<(RowId, Value)> = match tdef.org {
+            TableOrg::Heap => self
+                .storage
+                .heap(tdef.seg)?
+                .scan()
+                .map(|(rid, _, row)| (rid, row[col_idx].clone()))
+                .collect(),
+            TableOrg::Index { .. } => self
+                .storage
+                .iot_range_with_rids(tdef.seg, None, None)?
+                .into_iter()
+                .map(|(rid, row)| (rid, row[col_idx].clone()))
+                .collect(),
+        };
         for (rid, key) in existing {
             let undo = self.stmt_undo.as_mut();
             self.storage.iot_insert(seg, vec![key, Value::RowId(rid)], undo)?;
@@ -611,11 +757,6 @@ impl Database {
         parameters: Option<String>,
     ) -> Result<StmtResult> {
         let tdef = self.catalog.table(table)?.clone();
-        if tdef.org != TableOrg::Heap {
-            return Err(Error::Unsupported(
-                "domain indexes require a heap-organized base table".into(),
-            ));
-        }
         tdef.column_index(column)?;
         let it = self.catalog.registry.indextype(indextype)?;
         let params = ParamString::parse(parameters.as_deref().unwrap_or(""));
@@ -635,8 +776,11 @@ impl Database {
             &def.indextype,
             format!("{} ON {}({})", def.name, def.table, def.column),
         );
-        let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
-        match index.create(&mut ctx, &info) {
+        let created = self.fault_check("ODCIIndexCreate", Some(&def.indextype)).and_then(|()| {
+            let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
+            index.create(&mut ctx, &info)
+        });
+        match created {
             Ok(()) => Ok(StmtResult::Ok),
             Err(e) => {
                 // The cartridge may already have created index storage
@@ -666,6 +810,7 @@ impl Database {
         };
         let (index, _, info) = self.domain_index_runtime(&def)?;
         self.trace.record(Component::Ddl, "ODCIIndexAlter", &def.indextype, &def.name);
+        self.fault_check("ODCIIndexAlter", Some(&def.indextype))?;
         let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
         index.alter(&mut ctx, &info, &delta)?;
         Ok(StmtResult::Ok)
@@ -687,6 +832,7 @@ impl Database {
     fn drop_domain_index_entry(&mut self, d: &DomainIndexDef) -> Result<()> {
         let (index, _, info) = self.domain_index_runtime(d)?;
         self.trace.record(Component::Ddl, "ODCIIndexDrop", &d.indextype, &d.name);
+        self.fault_check("ODCIIndexDrop", Some(&d.indextype))?;
         let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
         index.drop_index(&mut ctx, &info)?;
         self.catalog.drop_domain_index(&d.name);
@@ -760,6 +906,7 @@ impl Database {
         for d in domain {
             let (_, stats, info) = self.domain_index_runtime(&d)?;
             self.trace.record(Component::Optimizer, "ODCIStatsCollect", &d.indextype, &d.name);
+            self.fault_check("ODCIStatsCollect", Some(&d.indextype))?;
             let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
             stats.collect(&mut ctx, &info)?;
         }
@@ -844,7 +991,8 @@ impl Database {
             }
             TableOrg::Index { .. } => {
                 let undo = self.stmt_undo.as_mut();
-                self.storage.iot_insert(tdef.seg, row, undo)?;
+                let rid = self.storage.iot_insert(tdef.seg, row.clone(), undo)?;
+                self.maintain_insert(tdef, rid, &row)?;
             }
         }
         Ok(())
@@ -865,7 +1013,11 @@ impl Database {
             let idx = tdef.column_index(col)?;
             compiled.push((idx, compile_expr(e, &scope, &self.catalog)?));
         }
-        let mut count = 0u64;
+        // Phase 1 (Halloween-safe): evaluate every assignment against the
+        // pre-statement row images before mutating anything, so
+        // self-referencing updates (subqueries over the updated table,
+        // `SET x = x + 1`) all see the same snapshot.
+        let mut planned: Vec<(Option<RowId>, Row, Row)> = Vec::with_capacity(matches.len());
         for (rid, old_row) in matches {
             let mut exec_row = ExecRow::new(old_row.clone());
             if let Some(r) = rid {
@@ -877,18 +1029,37 @@ impl Database {
                 let v = eval(e, &exec_row, &ctx)?;
                 new_row[*idx] = self.coerce_value(v, &tdef.columns[*idx].ty)?;
             }
+            planned.push((rid, old_row, new_row));
+        }
+        // Phase 2: apply the mutations and maintain every index.
+        let mut count = 0u64;
+        for (rid, old_row, new_row) in planned {
             match (tdef.org.clone(), rid) {
                 (TableOrg::Heap, Some(rid)) => {
                     let undo = self.stmt_undo.as_mut();
                     let old = self.storage.heap_update(tdef.seg, rid, new_row.clone(), undo)?;
                     self.maintain_update(&tdef, rid, &old, &new_row)?;
                 }
-                (TableOrg::Index { key_cols }, _) => {
+                (TableOrg::Index { key_cols }, rid) => {
+                    let old_rid = rid.expect("IOT rows carry logical rowids");
                     let old_key = Key(old_row[..key_cols].to_vec());
-                    let undo = self.stmt_undo.as_mut();
-                    self.storage.iot_delete(tdef.seg, &old_key, undo)?;
-                    let undo = self.stmt_undo.as_mut();
-                    self.storage.iot_insert(tdef.seg, new_row, undo)?;
+                    let new_key = Key(new_row[..key_cols].to_vec());
+                    if old_key == new_key {
+                        // Key unchanged: in-place replace keeps the logical
+                        // rowid, so indexes see a plain update.
+                        let undo = self.stmt_undo.as_mut();
+                        self.storage.iot_upsert(tdef.seg, new_row.clone(), undo)?;
+                        self.maintain_update(&tdef, old_rid, &old_row, &new_row)?;
+                    } else {
+                        // Key change moves the row: a new logical rowid, so
+                        // indexes see delete-old + insert-new.
+                        let undo = self.stmt_undo.as_mut();
+                        self.storage.iot_delete(tdef.seg, &old_key, undo)?;
+                        let undo = self.stmt_undo.as_mut();
+                        let new_rid = self.storage.iot_insert(tdef.seg, new_row.clone(), undo)?;
+                        self.maintain_delete(&tdef, old_rid, &old_row)?;
+                        self.maintain_insert(&tdef, new_rid, &new_row)?;
+                    }
                 }
                 (TableOrg::Heap, None) => unreachable!("heap rows always carry rowids"),
             }
@@ -908,10 +1079,12 @@ impl Database {
                     let old = self.storage.heap_delete(tdef.seg, rid, undo)?;
                     self.maintain_delete(&tdef, rid, &old)?;
                 }
-                (TableOrg::Index { key_cols }, _) => {
+                (TableOrg::Index { key_cols }, rid) => {
+                    let old_rid = rid.expect("IOT rows carry logical rowids");
                     let key = Key(old_row[..key_cols].to_vec());
                     let undo = self.stmt_undo.as_mut();
                     self.storage.iot_delete(tdef.seg, &key, undo)?;
+                    self.maintain_delete(&tdef, old_rid, &old_row)?;
                 }
                 (TableOrg::Heap, None) => unreachable!("heap rows always carry rowids"),
             }
@@ -932,10 +1105,9 @@ impl Database {
         let col_count = tdef.columns.len();
         let mut out = Vec::new();
         while let Some(r) = exec.next(self)? {
-            let rid = match tdef.org {
-                TableOrg::Heap => Some(r.values[col_count].as_rowid()?),
-                TableOrg::Index { .. } => None,
-            };
+            // Heap rows carry physical rowids; IOT rows carry logical
+            // rowids (ordinals) — both arrive in the hidden ROWID column.
+            let rid = Some(r.values[col_count].as_rowid()?);
             out.push((rid, r.values[..col_count].to_vec()));
         }
         Ok(out)
@@ -956,14 +1128,7 @@ impl Database {
         for d in domain {
             let idx = tdef.column_index(&d.column)?;
             let value = row[idx].clone();
-            let (index, _, info) = self.domain_index_runtime(&d)?;
-            self.trace.record(Component::Dml, "ODCIIndexInsert", &d.indextype, format!("{rid}"));
-            let mut ctx = ServerCtx {
-                db: self,
-                mode: CallbackMode::Maintenance,
-                base_table: Some(tdef.name.clone()),
-            };
-            index.insert(&mut ctx, &info, rid, &value)?;
+            self.invoke_maintenance(tdef, &d, MaintOp::Insert { rid, value })?;
         }
         Ok(())
     }
@@ -986,14 +1151,7 @@ impl Database {
         for d in domain {
             let idx = tdef.column_index(&d.column)?;
             let (old_v, new_v) = (old[idx].clone(), new[idx].clone());
-            let (index, _, info) = self.domain_index_runtime(&d)?;
-            self.trace.record(Component::Dml, "ODCIIndexUpdate", &d.indextype, format!("{rid}"));
-            let mut ctx = ServerCtx {
-                db: self,
-                mode: CallbackMode::Maintenance,
-                base_table: Some(tdef.name.clone()),
-            };
-            index.update(&mut ctx, &info, rid, &old_v, &new_v)?;
+            self.invoke_maintenance(tdef, &d, MaintOp::Update { rid, old: old_v, new: new_v })?;
         }
         Ok(())
     }
@@ -1012,16 +1170,82 @@ impl Database {
         for d in domain {
             let idx = tdef.column_index(&d.column)?;
             let old_v = old[idx].clone();
-            let (index, _, info) = self.domain_index_runtime(&d)?;
-            self.trace.record(Component::Dml, "ODCIIndexDelete", &d.indextype, format!("{rid}"));
-            let mut ctx = ServerCtx {
-                db: self,
-                mode: CallbackMode::Maintenance,
-                base_table: Some(tdef.name.clone()),
-            };
-            index.delete(&mut ctx, &info, rid, &old_v)?;
+            self.invoke_maintenance(tdef, &d, MaintOp::Delete { rid, old: old_v })?;
         }
         Ok(())
+    }
+
+    /// The single chokepoint for domain-index maintenance crossings:
+    /// traces the call, consults the fault injector, invokes the cartridge
+    /// routine, and on success records the operation in the compensation
+    /// log. A retryable failure (cartridge-classified or injected) first
+    /// rewinds the failed call's partial storage effects — undo recorded
+    /// past a pre-call mark — then retries under the bounded-backoff
+    /// [`RetryPolicy`]. Exhausted retries surface the underlying error.
+    fn invoke_maintenance(
+        &mut self,
+        tdef: &TableDef,
+        d: &DomainIndexDef,
+        op: MaintOp,
+    ) -> Result<()> {
+        let (index, _, info) = self.domain_index_runtime(d)?;
+        let (routine, rid): (&'static str, RowId) = match &op {
+            MaintOp::Insert { rid, .. } => ("ODCIIndexInsert", *rid),
+            MaintOp::Update { rid, .. } => ("ODCIIndexUpdate", *rid),
+            MaintOp::Delete { rid, .. } => ("ODCIIndexDelete", *rid),
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            self.trace.record(Component::Dml, routine, &d.indextype, format!("{rid}"));
+            let mark = self.stmt_undo.as_ref().map(|u| u.len());
+            let result = match self.fault_check(routine, Some(&d.indextype)) {
+                Err(e) => Err(e),
+                Ok(()) => {
+                    let mut ctx = ServerCtx {
+                        db: self,
+                        mode: CallbackMode::Maintenance,
+                        base_table: Some(tdef.name.clone()),
+                    };
+                    match &op {
+                        MaintOp::Insert { rid, value } => index.insert(&mut ctx, &info, *rid, value),
+                        MaintOp::Update { rid, old, new } => {
+                            index.update(&mut ctx, &info, *rid, old, new)
+                        }
+                        MaintOp::Delete { rid, old } => index.delete(&mut ctx, &info, *rid, old),
+                    }
+                }
+            };
+            match result {
+                Ok(()) => {
+                    self.stmt_maint.push(MaintRecord { index: d.name.clone(), op });
+                    return Ok(());
+                }
+                Err(e) if e.is_retryable() && self.retry.should_retry(attempt) => {
+                    // Rewind just this call's partial effects so the retry
+                    // starts from a clean slate instead of double-applying.
+                    if let Some(m) = mark {
+                        let tail = self.stmt_undo.as_mut().map(|u| u.split_off(m));
+                        if let Some(mut t) = tail {
+                            self.storage.rollback(&mut t).map_err(|cause| {
+                                Error::RollbackFailed {
+                                    original: Box::new(e.clone()),
+                                    cause: Box::new(cause),
+                                }
+                            })?;
+                        }
+                    }
+                    self.trace.record(
+                        Component::Fault,
+                        "MaintenanceRetry",
+                        &d.indextype,
+                        format!("attempt {attempt}: {e}"),
+                    );
+                    std::thread::sleep(self.retry.backoff(attempt));
+                }
+                Err(e) => return Err(e.into_permanent()),
+            }
+        }
     }
 
     // ---- shared helpers --------------------------------------------------------
@@ -1196,13 +1420,27 @@ impl ServerContext for ServerCtx<'_> {
         sink: &mut BatchSink,
     ) -> Result<()> {
         let tdef = self.db.catalog.table(table)?.clone();
-        if tdef.org != TableOrg::Heap {
-            return Err(Error::Unsupported(
-                "scan_base_batches requires a heap-organized base table".into(),
-            ));
-        }
         let col_idx: Vec<usize> =
             cols.iter().map(|c| tdef.column_index(c)).collect::<Result<Vec<_>>>()?;
+        if let TableOrg::Index { .. } = tdef.org {
+            // IOT base table: page through in key order with an exclusive
+            // after-key cursor; rowids delivered are logical (ordinals).
+            let batch_size = batch_size.max(1);
+            let mut after: Option<Key> = None;
+            loop {
+                let chunk = self.db.storage.iot_batch_after(tdef.seg, after.as_ref(), batch_size)?;
+                let Some((_, last_key, _)) = chunk.last() else { return Ok(()) };
+                after = Some(last_key.clone());
+                let batch: Vec<BaseRow> = chunk
+                    .into_iter()
+                    .map(|(rid, _, row)| BaseRow {
+                        rid,
+                        values: col_idx.iter().map(|&i| row[i].clone()).collect(),
+                    })
+                    .collect();
+                sink(self, &batch)?;
+            }
+        }
         let seg = tdef.seg;
         let batch_size = batch_size.max(1);
         let (mut page, mut slot): (u32, u16) = (0, 0);
@@ -1235,6 +1473,10 @@ impl ServerContext for ServerCtx<'_> {
             }
             sink(self, &batch)?;
         }
+    }
+
+    fn fault_point(&mut self, point: &str) -> Result<()> {
+        self.db.fault_check(point, None)
     }
 
     fn lob_create(&mut self) -> Result<LobRef> {

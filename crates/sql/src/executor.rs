@@ -210,17 +210,20 @@ impl ExecNode for IotScanExec {
                 }
                 k
             });
-            let rows = if self.lo.is_none() && hi.is_none() {
-                let iot = db.storage.iot(seg)?;
-                let pages = iot.page_count();
-                let rows: Vec<Vec<Value>> = iot.scan().cloned().collect();
-                for p in 0..pages {
-                    db.storage.charge_page_read(seg, p as u32);
-                }
-                rows
+            // Every row carries its logical rowid in the hidden ROWID
+            // column, mirroring heap scans.
+            let with_rids = if self.lo.is_none() && hi.is_none() {
+                db.storage.iot_scan_with_rids(seg)?
             } else {
-                db.storage.iot_range(seg, self.lo.as_ref(), hi.as_ref())?
+                db.storage.iot_range_with_rids(seg, self.lo.as_ref(), hi.as_ref())?
             };
+            let rows: Vec<Vec<Value>> = with_rids
+                .into_iter()
+                .map(|(rid, mut row)| {
+                    row.push(Value::RowId(rid));
+                    row
+                })
+                .collect();
             self.rows = Some(rows);
             self.idx = 0;
         }
@@ -284,8 +287,12 @@ impl ExecNode for BTreeAccessExec {
         }
         let rid = entries[self.idx];
         self.idx += 1;
-        let seg = db.catalog.table(&self.table)?.seg;
-        let mut values = db.storage.heap_fetch(seg, rid)?;
+        let tdef = db.catalog.table(&self.table)?;
+        let (seg, org) = (tdef.seg, tdef.org.clone());
+        let mut values = match org {
+            crate::catalog::TableOrg::Heap => db.storage.heap_fetch(seg, rid)?,
+            crate::catalog::TableOrg::Index { .. } => db.storage.iot_fetch_by_rowid(seg, rid)?,
+        };
         values.push(Value::RowId(rid));
         Ok(Some(ExecRow::new(values)))
     }
@@ -333,8 +340,13 @@ impl ExecNode for RowIdEqExec {
             return Ok(None);
         }
         self.done = true;
-        let seg = db.catalog.table(&self.table)?.seg;
-        match db.storage.heap_fetch(seg, self.rid) {
+        let tdef = db.catalog.table(&self.table)?;
+        let (seg, org) = (tdef.seg, tdef.org.clone());
+        let fetched = match org {
+            crate::catalog::TableOrg::Heap => db.storage.heap_fetch(seg, self.rid),
+            crate::catalog::TableOrg::Index { .. } => db.storage.iot_fetch_by_rowid(seg, self.rid),
+        };
+        match fetched {
             Ok(mut values) => {
                 values.push(Value::RowId(self.rid));
                 Ok(Some(ExecRow::new(values)))
@@ -413,6 +425,7 @@ impl DomainScanExec {
             &indextype,
             format!("{}({} args)", self.call.operator, self.call.args.len()),
         );
+        db.fault_check("ODCIIndexStart", Some(&indextype))?;
         let mut ctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
         let scan_ctx = index.start(&mut ctx, &info, &self.call)?;
         self.ctx = Some(scan_ctx);
@@ -428,6 +441,7 @@ impl DomainScanExec {
                 let (index, info, indextype) =
                     self.runtime.as_ref().expect("runtime resolved").clone();
                 db.trace_event(Component::IndexAccess, "ODCIIndexClose", &indextype, "");
+                db.fault_check("ODCIIndexClose", Some(&indextype))?;
                 let mut sctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
                 index.close(&mut sctx, &info, ctx)?;
                 self.closed = true;
@@ -458,6 +472,7 @@ impl ExecNode for DomainScanExec {
                 &indextype,
                 format!("nrows={batch}"),
             );
+            db.fault_check("ODCIIndexFetch", Some(&indextype))?;
             let ctx = self.ctx.as_mut().expect("scan open");
             let mut sctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
             let result = index.fetch(&mut sctx, &info, ctx, batch)?;
@@ -467,9 +482,13 @@ impl ExecNode for DomainScanExec {
             }
             // Join the whole fetch batch at once: one page-ordered
             // multi-fetch instead of a heap_fetch per rowid.
-            let seg = db.catalog.table(&self.table)?.seg;
+            let tdef = db.catalog.table(&self.table)?;
+            let (seg, org) = (tdef.seg, tdef.org.clone());
             let rids: Vec<RowId> = result.rows.iter().map(|fr| fr.rowid).collect();
-            let joined = db.storage.heap_fetch_multi(seg, &rids)?;
+            let joined = match org {
+                crate::catalog::TableOrg::Heap => db.storage.heap_fetch_multi(seg, &rids)?,
+                crate::catalog::TableOrg::Index { .. } => db.storage.iot_fetch_multi(seg, &rids)?,
+            };
             for (fr, mut values) in result.rows.into_iter().zip(joined) {
                 values.push(Value::RowId(fr.rowid));
                 let mut row = ExecRow::new(values);

@@ -64,8 +64,10 @@ impl Default for CostModel {
     }
 }
 
-/// The scope a table contributes: its columns (plus a hidden ROWID
-/// pseudo-column for heap tables), qualified by alias or table name.
+/// The scope a table contributes: its columns plus a hidden ROWID
+/// pseudo-column, qualified by alias or table name. Heap tables expose
+/// physical rowids; index-organized tables expose logical rowids (stable
+/// key ordinals), so DML and index maintenance address both uniformly.
 pub fn table_scope(tdef: &TableDef, alias: Option<&str>) -> Scope {
     let q = alias.unwrap_or(&tdef.name).to_ascii_uppercase();
     let mut cols: Vec<ScopeCol> = tdef
@@ -73,9 +75,7 @@ pub fn table_scope(tdef: &TableDef, alias: Option<&str>) -> Scope {
         .iter()
         .map(|c| ScopeCol::visible(Some(q.clone()), c.name.clone(), Some(c.ty.clone())))
         .collect();
-    if tdef.org == TableOrg::Heap {
-        cols.push(ScopeCol::hidden(Some(q), "ROWID", Some(SqlType::RowId)));
-    }
+    cols.push(ScopeCol::hidden(Some(q), "ROWID", Some(SqlType::RowId)));
     Scope::new(cols)
 }
 
@@ -695,6 +695,7 @@ fn best_table_access(
                     &d.indextype,
                     format!("{}({})", call.operator, d.name),
                 );
+                db.fault_check("ODCIStatsSelectivity", Some(&d.indextype))?;
                 let mut ctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
                 let sel = stats.selectivity(&mut ctx, &info, &call)?.clamp(0.0, 1.0);
                 db.trace_event(
@@ -703,6 +704,7 @@ fn best_table_access(
                     &d.indextype,
                     format!("sel={sel:.4}"),
                 );
+                db.fault_check("ODCIStatsIndexCost", Some(&d.indextype))?;
                 let mut ctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
                 let icost = stats.index_cost(&mut ctx, &info, &call, sel)?;
                 let matched = (rows * sel).max(1.0);

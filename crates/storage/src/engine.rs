@@ -257,34 +257,48 @@ impl StorageEngine {
         (h.finish() % pages) as u32
     }
 
+    /// Pack an IOT logical-rowid ordinal into a `RowId` (and the inverse
+    /// below). Ordinals use the page/slot fields: 26 + 16 = 42 bits of
+    /// address space per IOT segment.
+    fn ord_to_rid(seg: SegmentId, ord: u64) -> RowId {
+        debug_assert!(ord < (1 << 42), "IOT ordinal overflows rowid packing");
+        RowId::new(seg.0, (ord >> 16) as u32, (ord & 0xFFFF) as u16)
+    }
+
+    fn rid_to_ord(rid: RowId) -> u64 {
+        ((rid.page as u64) << 16) | rid.slot as u64
+    }
+
     /// Insert a row into an IOT (duplicate key → constraint violation).
+    /// Returns the row's logical rowid.
     pub fn iot_insert(
         &mut self,
         seg: SegmentId,
         row: Row,
         undo: Option<&mut UndoLog>,
-    ) -> Result<()> {
+    ) -> Result<RowId> {
         let key_cols = self.iot(seg)?.key_cols();
         let key = Key(row[..key_cols.min(row.len())].to_vec());
-        let charge = self.iot_mut(seg)?.insert(row)?;
+        let (ord, charge) = self.iot_mut(seg)?.insert(row)?;
         let leaf = self.iot_leaf_page_for(seg, &key);
         self.charge_iot(seg, charge, leaf);
         if let Some(log) = undo {
             log.push(UndoOp::IotInsert { seg, key });
         }
-        Ok(())
+        Ok(Self::ord_to_rid(seg, ord))
     }
 
-    /// Insert-or-replace into an IOT.
+    /// Insert-or-replace into an IOT. Returns the previous row (if any)
+    /// and the row's logical rowid, which is stable across replaces.
     pub fn iot_upsert(
         &mut self,
         seg: SegmentId,
         row: Row,
         undo: Option<&mut UndoLog>,
-    ) -> Result<Option<Row>> {
+    ) -> Result<(Option<Row>, RowId)> {
         let key_cols = self.iot(seg)?.key_cols();
         let key = Key(row[..key_cols.min(row.len())].to_vec());
-        let (old, charge) = self.iot_mut(seg)?.upsert(row)?;
+        let (old, ord, charge) = self.iot_mut(seg)?.upsert(row)?;
         let leaf = self.iot_leaf_page_for(seg, &key);
         self.charge_iot(seg, charge, leaf);
         if let Some(log) = undo {
@@ -293,7 +307,7 @@ impl StorageEngine {
                 None => log.push(UndoOp::IotInsert { seg, key }),
             }
         }
-        Ok(old)
+        Ok((old, Self::ord_to_rid(seg, ord)))
     }
 
     /// Delete by key from an IOT; returns the removed row if present.
@@ -303,13 +317,102 @@ impl StorageEngine {
         key: &Key,
         undo: Option<&mut UndoLog>,
     ) -> Result<Option<Row>> {
-        let (old, charge) = self.iot_mut(seg)?.delete(key);
+        let (removed, charge) = self.iot_mut(seg)?.delete(key);
         let leaf = self.iot_leaf_page_for(seg, key);
         self.charge_iot(seg, charge, leaf);
-        if let (Some(log), Some(o)) = (undo, &old) {
-            log.push(UndoOp::IotDelete { seg, old: o.clone() });
-        }
+        let old = match removed {
+            Some((o, ord)) => {
+                if let Some(log) = undo {
+                    log.push(UndoOp::IotDelete { seg, old: o.clone(), ord });
+                }
+                Some(o)
+            }
+            None => None,
+        };
         Ok(old)
+    }
+
+    /// The logical rowid of an IOT row, if the key exists.
+    pub fn iot_rowid(&self, seg: SegmentId, key: &Key) -> Result<Option<RowId>> {
+        Ok(self.iot(seg)?.ordinal_of(key).map(|ord| Self::ord_to_rid(seg, ord)))
+    }
+
+    /// Fetch one IOT row by logical rowid (charges a height-probe read).
+    pub fn iot_fetch_by_rowid(&self, seg: SegmentId, rid: RowId) -> Result<Row> {
+        let iot = self.iot(seg)?;
+        let (found, charge) = iot.by_ordinal(Self::rid_to_ord(rid));
+        let (key, row) = found.ok_or_else(|| {
+            Error::Storage(format!("{rid} does not address a live row in IOT {seg}"))
+        })?;
+        let out = row.clone();
+        let leaf = self.iot_leaf_page_for(seg, &key.clone());
+        self.charge_iot(seg, charge, leaf);
+        Ok(out)
+    }
+
+    /// Batched logical-rowid→row join for IOTs, aligned with input order
+    /// — the IOT counterpart of [`StorageEngine::heap_fetch_multi`].
+    pub fn iot_fetch_multi(&self, seg: SegmentId, rids: &[RowId]) -> Result<Vec<Row>> {
+        rids.iter().map(|&rid| self.iot_fetch_by_rowid(seg, rid)).collect()
+    }
+
+    /// Full scan of an IOT with each row's logical rowid, charging one
+    /// read per page (the sequential full-scan cost model, matching the
+    /// rowid-less scan path).
+    pub fn iot_scan_with_rids(&self, seg: SegmentId) -> Result<Vec<(RowId, Row)>> {
+        let iot = self.iot(seg)?;
+        let out: Vec<(RowId, Row)> =
+            iot.scan_with_ordinals().map(|(ord, r)| (Self::ord_to_rid(seg, ord), r.clone())).collect();
+        let pages = iot.page_count();
+        for p in 0..pages {
+            self.charge_page_read(seg, p as u32);
+        }
+        Ok(out)
+    }
+
+    /// Inclusive range scan in an IOT with each row's logical rowid.
+    pub fn iot_range_with_rids(
+        &self,
+        seg: SegmentId,
+        lo: Option<&Key>,
+        hi: Option<&Key>,
+    ) -> Result<Vec<(RowId, Row)>> {
+        let iot = self.iot(seg)?;
+        let (rows, charge) = iot.range(lo, hi);
+        let key_cols = iot.key_cols();
+        let out: Vec<(RowId, Row)> = rows
+            .into_iter()
+            .map(|r| {
+                let key = Key(r[..key_cols.min(r.len())].to_vec());
+                let ord = iot.ordinal_of(&key).unwrap_or(u64::MAX >> 22);
+                (Self::ord_to_rid(seg, ord), r.clone())
+            })
+            .collect();
+        let leaf = lo.or(hi).map(|k| self.iot_leaf_page_for(seg, k)).unwrap_or(0);
+        self.charge_iot(seg, charge, leaf);
+        Ok(out)
+    }
+
+    /// Up to `limit` IOT rows with keys strictly after `after` (`None`
+    /// starts from the beginning), each with its logical rowid — the
+    /// streaming cursor behind base-table scans over IOTs.
+    pub fn iot_batch_after(
+        &self,
+        seg: SegmentId,
+        after: Option<&Key>,
+        limit: usize,
+    ) -> Result<Vec<(RowId, Key, Row)>> {
+        let iot = self.iot(seg)?;
+        let batch: Vec<(RowId, Key, Row)> = iot
+            .batch_after(after, limit.max(1))
+            .into_iter()
+            .map(|(ord, k, r)| (Self::ord_to_rid(seg, ord), k.clone(), r.clone()))
+            .collect();
+        let leaf_pages = batch.len().div_ceil(64).max(1);
+        let charge =
+            crate::iot::IotIoCharge { page_reads: iot.height() + leaf_pages, page_writes: 0 };
+        self.charge_iot(seg, charge, 0);
+        Ok(batch)
     }
 
     /// Point lookup in an IOT.
@@ -495,9 +598,17 @@ impl StorageEngine {
                         t.delete(&key);
                     }
                 }
-                UndoOp::IotReplace { seg, old } | UndoOp::IotDelete { seg, old } => {
+                UndoOp::IotReplace { seg, old } => {
+                    // The key still exists, so upsert preserves its ordinal.
                     if let Some(t) = self.iots.get_mut(&seg) {
                         t.upsert(old)?;
+                    }
+                }
+                UndoOp::IotDelete { seg, old, ord } => {
+                    // Restore under the original ordinal so logical rowids
+                    // held by secondary indexes stay valid after rollback.
+                    if let Some(t) = self.iots.get_mut(&seg) {
+                        t.insert_with_ordinal(old, ord)?;
                     }
                 }
                 UndoOp::LobAllocate { lob } => {
@@ -611,6 +722,30 @@ mod tests {
         e.truncate_segment(t).unwrap();
         assert_eq!(e.heap(h).unwrap().row_count(), 0);
         assert_eq!(e.iot(t).unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn iot_logical_rowids_survive_update_and_rollback() {
+        let mut e = StorageEngine::new(64);
+        let seg = e.create_iot(1);
+        let rid = e.iot_insert(seg, vec![Value::Integer(7), Value::from("v1")], None).unwrap();
+        assert_eq!(e.iot_fetch_by_rowid(seg, rid).unwrap()[1], Value::from("v1"));
+
+        // In-place replace keeps the logical rowid.
+        let (_, rid2) = e.iot_upsert(seg, vec![Value::Integer(7), Value::from("v2")], None).unwrap();
+        assert_eq!(rid, rid2);
+        assert_eq!(e.iot_rowid(seg, &Key::single(Value::Integer(7))).unwrap(), Some(rid));
+
+        // Delete + rollback restores the row under the same rowid.
+        let mut undo = UndoLog::new();
+        e.iot_delete(seg, &Key::single(Value::Integer(7)), Some(&mut undo)).unwrap();
+        assert!(e.iot_fetch_by_rowid(seg, rid).is_err());
+        e.rollback(&mut undo).unwrap();
+        assert_eq!(e.iot_fetch_by_rowid(seg, rid).unwrap()[1], Value::from("v2"));
+
+        // Range scan hands back the same rowids.
+        let pairs = e.iot_range_with_rids(seg, None, None).unwrap();
+        assert_eq!(pairs, vec![(rid, vec![Value::Integer(7), Value::from("v2")])]);
     }
 
     #[test]

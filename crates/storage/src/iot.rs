@@ -11,6 +11,17 @@
 //! pages proportional to rows returned, and mutations charge height reads
 //! plus one leaf write. The engine layer applies these charges to the
 //! buffer cache.
+//!
+//! ## Logical rowids
+//!
+//! IOT rows have no heap slot, so the engine cannot hand a physical
+//! `RowId` to secondary B-tree or domain indexes — the reason Oracle
+//! invented *logical rowids* for IOTs. Here every row carries a
+//! monotonically assigned **ordinal**: stable across in-place updates
+//! (upsert of an existing key keeps its ordinal), never reused after
+//! delete, and restorable by undo. The engine packs the ordinal into the
+//! page/slot fields of a `RowId`, giving IOT rows addresses that flow
+//! through index maintenance and rowid→row joins exactly like heap rows.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -27,6 +38,10 @@ pub struct IndexOrganizedTable {
     /// Number of leading row columns forming the primary key.
     key_cols: usize,
     rows: BTreeMap<Key, Row>,
+    /// Logical-rowid support: key → ordinal and the reverse map.
+    ords: BTreeMap<Key, u64>,
+    keys_by_ord: BTreeMap<u64, Key>,
+    next_ord: u64,
     /// Running total of estimated row bytes, for leaf-page modeling.
     total_bytes: usize,
 }
@@ -43,7 +58,15 @@ impl IndexOrganizedTable {
     /// Create an empty IOT whose first `key_cols` row columns are the key.
     pub fn new(seg: SegmentId, key_cols: usize) -> Self {
         assert!(key_cols > 0, "an IOT needs at least one key column");
-        IndexOrganizedTable { seg, key_cols, rows: BTreeMap::new(), total_bytes: 0 }
+        IndexOrganizedTable {
+            seg,
+            key_cols,
+            rows: BTreeMap::new(),
+            ords: BTreeMap::new(),
+            keys_by_ord: BTreeMap::new(),
+            next_ord: 0,
+            total_bytes: 0,
+        }
     }
 
     /// This table's segment id.
@@ -92,9 +115,17 @@ impl IndexOrganizedTable {
         Ok(Key(row[..self.key_cols].to_vec()))
     }
 
+    fn alloc_ord(&mut self, key: &Key) -> u64 {
+        let ord = self.next_ord;
+        self.next_ord += 1;
+        self.ords.insert(key.clone(), ord);
+        self.keys_by_ord.insert(ord, key.clone());
+        ord
+    }
+
     /// Insert a row. Duplicate keys are a constraint violation, like an
-    /// IOT primary key in Oracle.
-    pub fn insert(&mut self, row: Row) -> Result<IotIoCharge> {
+    /// IOT primary key in Oracle. Returns the row's logical-rowid ordinal.
+    pub fn insert(&mut self, row: Row) -> Result<(u64, IotIoCharge)> {
         let key = self.key_of(&row)?;
         if self.rows.contains_key(&key) {
             return Err(Error::Constraint(format!(
@@ -104,30 +135,94 @@ impl IndexOrganizedTable {
         }
         let charge = IotIoCharge { page_reads: self.height(), page_writes: 1 };
         self.total_bytes += approx_row_size(&row);
+        let ord = self.alloc_ord(&key);
         self.rows.insert(key, row);
-        Ok(charge)
+        Ok((ord, charge))
     }
 
-    /// Insert or replace by key; returns the previous row if any.
-    pub fn upsert(&mut self, row: Row) -> Result<(Option<Row>, IotIoCharge)> {
+    /// Re-insert a row under a previously assigned ordinal — the undo
+    /// path restoring a deleted row with its original logical rowid.
+    pub fn insert_with_ordinal(&mut self, row: Row, ord: u64) -> Result<IotIoCharge> {
         let key = self.key_of(&row)?;
         let charge = IotIoCharge { page_reads: self.height(), page_writes: 1 };
         self.total_bytes += approx_row_size(&row);
-        let old = self.rows.insert(key, row);
+        if let Some(old) = self.rows.insert(key.clone(), row) {
+            self.total_bytes = self.total_bytes.saturating_sub(approx_row_size(&old));
+        }
+        if let Some(prev) = self.ords.insert(key.clone(), ord) {
+            self.keys_by_ord.remove(&prev);
+        }
+        self.keys_by_ord.insert(ord, key);
+        self.next_ord = self.next_ord.max(ord + 1);
+        Ok(charge)
+    }
+
+    /// Insert or replace by key; returns the previous row if any plus the
+    /// row's ordinal (preserved across replace — logical rowids are
+    /// stable under in-place updates).
+    pub fn upsert(&mut self, row: Row) -> Result<(Option<Row>, u64, IotIoCharge)> {
+        let key = self.key_of(&row)?;
+        let charge = IotIoCharge { page_reads: self.height(), page_writes: 1 };
+        self.total_bytes += approx_row_size(&row);
+        let old = self.rows.insert(key.clone(), row);
         if let Some(ref o) = old {
             self.total_bytes = self.total_bytes.saturating_sub(approx_row_size(o));
         }
-        Ok((old, charge))
+        let ord = match self.ords.get(&key) {
+            Some(&ord) => ord,
+            None => self.alloc_ord(&key),
+        };
+        Ok((old, ord, charge))
     }
 
-    /// Delete by exact key; returns the removed row if present.
-    pub fn delete(&mut self, key: &Key) -> (Option<Row>, IotIoCharge) {
+    /// Delete by exact key; returns the removed row and its ordinal if
+    /// present.
+    pub fn delete(&mut self, key: &Key) -> (Option<(Row, u64)>, IotIoCharge) {
         let charge = IotIoCharge { page_reads: self.height(), page_writes: 1 };
         let old = self.rows.remove(key);
         if let Some(ref o) = old {
             self.total_bytes = self.total_bytes.saturating_sub(approx_row_size(o));
         }
-        (old, charge)
+        let removed = old.map(|o| {
+            let ord = self.ords.remove(key).unwrap_or(u64::MAX);
+            self.keys_by_ord.remove(&ord);
+            (o, ord)
+        });
+        (removed, charge)
+    }
+
+    /// The logical-rowid ordinal of a key, if the row exists.
+    pub fn ordinal_of(&self, key: &Key) -> Option<u64> {
+        self.ords.get(key).copied()
+    }
+
+    /// Point lookup by ordinal (logical-rowid fetch).
+    pub fn by_ordinal(&self, ord: u64) -> (Option<(&Key, &Row)>, IotIoCharge) {
+        let charge = IotIoCharge { page_reads: self.height(), page_writes: 0 };
+        let found = self
+            .keys_by_ord
+            .get(&ord)
+            .and_then(|k| self.rows.get_key_value(k));
+        (found, charge)
+    }
+
+    /// Up to `limit` rows with keys strictly greater than `after`
+    /// (`None` = from the start), each with its ordinal — the streaming
+    /// base-scan cursor for index builds over IOT base tables.
+    pub fn batch_after(&self, after: Option<&Key>, limit: usize) -> Vec<(u64, &Key, &Row)> {
+        let lower = after.map_or(Bound::Unbounded, |k| Bound::Excluded(k.clone()));
+        self.rows
+            .range((lower, Bound::Unbounded))
+            .take(limit)
+            .map(|(k, r)| (self.ords.get(k).copied().unwrap_or(u64::MAX), k, r))
+            .collect()
+    }
+
+    /// Iterate all rows in key order with their ordinals.
+    pub fn scan_with_ordinals(&self) -> impl Iterator<Item = (u64, &Row)> + '_ {
+        self.rows
+            .iter()
+            .map(|(k, r)| (self.ords.get(k).copied().unwrap_or(u64::MAX), r))
     }
 
     /// Point lookup by exact key.
@@ -180,9 +275,12 @@ impl IndexOrganizedTable {
         self.rows.values()
     }
 
-    /// Remove every row.
+    /// Remove every row. Ordinals are not reused, so logical rowids from
+    /// before the truncate never resurrect.
     pub fn truncate(&mut self) {
         self.rows.clear();
+        self.ords.clear();
+        self.keys_by_ord.clear();
         self.total_bytes = 0;
     }
 }
@@ -224,7 +322,7 @@ mod tests {
         t.insert(entry("oracle", 1)).unwrap();
         let mut newer = entry("oracle", 1);
         newer[2] = Value::Integer(999);
-        let (old, _) = t.upsert(newer).unwrap();
+        let (old, _, _) = t.upsert(newer).unwrap();
         assert!(old.is_some());
         let key = Key(vec![Value::from("oracle"), Value::Integer(1)]);
         assert_eq!(t.get(&key).0.unwrap()[2], Value::Integer(999));
@@ -295,5 +393,48 @@ mod tests {
     fn key_shorter_than_declared_is_error() {
         let mut t = iot();
         assert!(t.insert(vec![Value::from("only-one-col")]).is_err());
+    }
+
+    #[test]
+    fn ordinals_are_stable_and_never_reused() {
+        let mut t = iot();
+        let (o1, _) = t.insert(entry("a", 1)).unwrap();
+        let (o2, _) = t.insert(entry("b", 2)).unwrap();
+        assert_ne!(o1, o2);
+
+        // In-place replace keeps the ordinal.
+        let mut newer = entry("a", 1);
+        newer[2] = Value::Integer(777);
+        let (_, o1_again, _) = t.upsert(newer).unwrap();
+        assert_eq!(o1, o1_again);
+
+        // Delete retires the ordinal; a fresh insert gets a new one.
+        let key_a = Key(vec![Value::from("a"), Value::Integer(1)]);
+        let (removed, _) = t.delete(&key_a);
+        assert_eq!(removed.unwrap().1, o1);
+        let (o3, _) = t.insert(entry("a", 1)).unwrap();
+        assert!(o3 > o2);
+
+        // Undo-style restore brings back the original ordinal.
+        let key_a2 = key_a.clone();
+        t.delete(&key_a2);
+        t.insert_with_ordinal(entry("a", 1), o1).unwrap();
+        assert_eq!(t.ordinal_of(&key_a), Some(o1));
+        let (found, _) = t.by_ordinal(o1);
+        assert_eq!(found.unwrap().0, &key_a);
+    }
+
+    #[test]
+    fn batch_after_pages_through_in_key_order() {
+        let mut t = IndexOrganizedTable::new(SegmentId(1), 1);
+        for i in 0..7 {
+            t.insert(vec![Value::Integer(i)]).unwrap();
+        }
+        let first = t.batch_after(None, 3);
+        assert_eq!(first.len(), 3);
+        let last_key = first.last().unwrap().1.clone();
+        let second = t.batch_after(Some(&last_key), 10);
+        assert_eq!(second.len(), 4);
+        assert_eq!(second[0].2[0], Value::Integer(3));
     }
 }

@@ -26,8 +26,9 @@ pub enum UndoOp {
     IotInsert { seg: SegmentId, key: Key },
     /// An IOT row was replaced; undo restores the old row.
     IotReplace { seg: SegmentId, old: Row },
-    /// An IOT row was deleted; undo re-inserts the old row.
-    IotDelete { seg: SegmentId, old: Row },
+    /// An IOT row was deleted; undo re-inserts the old row under its
+    /// original logical-rowid ordinal.
+    IotDelete { seg: SegmentId, old: Row, ord: u64 },
     /// A LOB was allocated; undo frees it.
     LobAllocate { lob: LobRef },
     /// A LOB's bytes changed; undo restores the full prior image.
@@ -82,6 +83,14 @@ impl UndoLog {
     pub fn absorb(&mut self, mut other: UndoLog) {
         self.ops.append(&mut other.ops);
     }
+
+    /// Split off every action recorded at or after `mark` (a prior
+    /// [`len`](Self::len) observation) into its own log, leaving this one
+    /// at `mark` actions. The retry path uses this to rewind just the
+    /// partial effects of one failed cartridge call.
+    pub fn split_off(&mut self, mark: usize) -> UndoLog {
+        UndoLog { ops: self.ops.split_off(mark.min(self.ops.len())) }
+    }
 }
 
 #[cfg(test)]
@@ -106,9 +115,25 @@ mod tests {
     #[test]
     fn clear_discards() {
         let mut log = UndoLog::new();
-        log.push(UndoOp::IotDelete { seg: SegmentId(2), old: vec![Value::Integer(1)] });
+        log.push(UndoOp::IotDelete { seg: SegmentId(2), old: vec![Value::Integer(1)], ord: 0 });
         assert_eq!(log.len(), 1);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn split_off_partitions_at_mark() {
+        let mut log = UndoLog::new();
+        log.push(UndoOp::HeapInsert { seg: SegmentId(1), rid: RowId::new(1, 0, 0) });
+        let mark = log.len();
+        log.push(UndoOp::HeapInsert { seg: SegmentId(1), rid: RowId::new(1, 0, 1) });
+        log.push(UndoOp::HeapInsert { seg: SegmentId(1), rid: RowId::new(1, 0, 2) });
+        let tail = log.split_off(mark);
+        assert_eq!(log.len(), 1);
+        assert_eq!(tail.len(), 2);
+        // Out-of-range marks are clamped, not panicking.
+        let mut empty_tail = log.split_off(99);
+        assert!(empty_tail.is_empty());
+        assert_eq!(empty_tail.drain_reverse().len(), 0);
     }
 }

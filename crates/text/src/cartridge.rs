@@ -254,6 +254,9 @@ impl OdciIndex for TextIndexMethods {
             let stop = StopWords::from_params(&info.parameters);
             let entries = doc_entries(&text, rid, &stop);
             insert_postings(srv, &index_table(info), &entries)?;
+            // Postings are in the DR$ table at this point: a fault here
+            // exercises rewind of a routine's completed partial effects.
+            srv.fault_point("text.maintenance.indexed")?;
         }
         Ok(())
     }
@@ -270,6 +273,9 @@ impl OdciIndex for TextIndexMethods {
         // corresponding to the old indexed column value… and insert the
         // new entries".
         self.delete(srv, info, rid, old_value)?;
+        // Mid-update milestone: old postings gone, new ones not yet
+        // written — the worst place to die.
+        srv.fault_point("text.maintenance.reindex")?;
         self.insert(srv, info, rid, new_value)
     }
 
@@ -289,6 +295,7 @@ impl OdciIndex for TextIndexMethods {
                     &[Value::from(token), Value::RowId(rid)],
                 )?;
             }
+            srv.fault_point("text.maintenance.unindexed")?;
         }
         Ok(())
     }

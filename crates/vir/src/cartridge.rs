@@ -265,7 +265,8 @@ impl OdciIndex for VirIndexMethods {
         rid: RowId,
         new_value: &Value,
     ) -> Result<()> {
-        index_one(srv, info, rid, new_value)
+        index_one(srv, info, rid, new_value)?;
+        srv.fault_point("vir.maintenance.indexed")
     }
 
     fn update(
@@ -277,6 +278,8 @@ impl OdciIndex for VirIndexMethods {
         new_value: &Value,
     ) -> Result<()> {
         unindex_one(srv, info, rid, old_value)?;
+        // Old signature removed, new one not yet written.
+        srv.fault_point("vir.maintenance.reindex")?;
         index_one(srv, info, rid, new_value)
     }
 

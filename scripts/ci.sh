@@ -10,8 +10,11 @@ export CARGO_NET_OFFLINE=true
 echo "== build (release) =="
 cargo build --release
 
-echo "== tests (workspace) =="
-cargo test --workspace -q
+echo "== tests (workspace, including ignored long sweeps) =="
+cargo test --workspace -q -- --include-ignored
+
+echo "== fault matrix (statement atomicity at every cartridge crossing) =="
+cargo test -q --test fault_matrix -- --include-ignored
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
