@@ -1,0 +1,315 @@
+//! Execution, comparison, replay, and shrinking.
+//!
+//! Every generated query runs through each reachable engine plan —
+//! optimizer's choice, `/*+ FULL */`, `/*+ NO_INDEX */`, and one
+//! `/*+ INDEX(t idx) */` per applicable index — plus the mirror
+//! interpreter, and all answers must agree. `COUNT(*)` over the same
+//! predicate (the NoREC construction) must match the row count too.
+//!
+//! The replay rule that makes shrinking sound: a DML/DDL statement is
+//! applied to the mirror only if the *engine* accepted it, and engine
+//! errors on DML/DDL are no-ops on both sides. Any subset of the
+//! statement prefix is therefore a valid workload, so delta debugging
+//! can bisect freely.
+
+use extidx_common::Value;
+use extidx_sql::Database;
+
+use crate::gen::{generate, Query, Stmt};
+use crate::interp::{apply_cell, query_ids, Mirror};
+
+/// A confirmed disagreement between execution paths, with a minimized
+/// self-contained SQL reproduction script.
+#[derive(Debug)]
+pub struct Divergence {
+    pub seed: u64,
+    /// Index of the failing statement in the generated stream.
+    pub step: usize,
+    /// Human-readable description of the first disagreement.
+    pub detail: String,
+    /// Statements in the minimized repro (prefix + failing query).
+    pub minimized: usize,
+    /// Self-contained SQL script reproducing the divergence.
+    pub script: String,
+}
+
+/// A fresh engine with all five cartridges installed.
+pub fn fresh_db(chaos: bool) -> Database {
+    let mut db = Database::with_cache_pages(4096);
+    extidx_text::install(&mut db).expect("text cartridge");
+    extidx_spatial::install(&mut db).expect("spatial cartridge");
+    extidx_vir::install(&mut db).expect("vir cartridge");
+    extidx_chem::install(&mut db).expect("chem cartridge");
+    db.set_chaos_drop_last_domain_batch(chaos);
+    db
+}
+
+/// Indexes that can be *forced* for this query right now: the catalog
+/// must hold the index, and a top-level conjunct must be consumable by
+/// it (operator + arity supported, no NULL literal argument; `num`
+/// comparisons for the B-tree). Computed against the live catalog so
+/// replayed/shrunk workloads never emit an invalid hint.
+fn forcible_indexes(db: &Database, q: &Query) -> Vec<String> {
+    let atoms = q.pred.top_atoms();
+    let mut out = Vec::new();
+    for d in db.catalog().domain_indexes_on(q.table) {
+        let Ok(it) = db.catalog().registry.indextype(&d.indextype) else { continue };
+        let usable = atoms.iter().any(|a| {
+            a.op_info().is_some_and(|(op, col, arity, has_null)| {
+                !has_null && d.column.eq_ignore_ascii_case(col) && it.supports(op, arity)
+            })
+        });
+        if usable {
+            out.push(d.name.clone());
+        }
+    }
+    for b in db.catalog().btree_indexes_on(q.table) {
+        if b.column.eq_ignore_ascii_case("NUM") && atoms.iter().any(|a| a.btreeable_on_num()) {
+            out.push(b.name.clone());
+        }
+    }
+    out.sort();
+    out
+}
+
+fn fmt_ids(ids: &[i64]) -> String {
+    let shown: Vec<String> = ids.iter().take(24).map(|i| i.to_string()).collect();
+    let ellipsis = if ids.len() > 24 { ", …" } else { "" };
+    format!("[{}{ellipsis}] ({} rows)", shown.join(", "), ids.len())
+}
+
+/// Extract the id column (always column 0) from engine rows. Ancillary
+/// SCORE columns are deliberately ignored: the functional and full-scan
+/// paths have no index scan to produce a score, so only row membership
+/// is comparable across paths.
+fn ids_of(rows: &[Vec<Value>]) -> Result<Vec<i64>, String> {
+    rows.iter()
+        .map(|r| match r.first() {
+            Some(Value::Integer(i)) => Ok(*i),
+            other => Err(format!("expected integer id column, got {other:?}")),
+        })
+        .collect()
+}
+
+/// Run one query through every path and compare. `Some(detail)` on the
+/// first disagreement.
+fn check_query(db: &mut Database, mirror: &Mirror, q: &Query) -> Option<String> {
+    let expected = query_ids(q, mirror);
+    let expected_count = crate::interp::accepted_ids(q, mirror).len() as i64;
+
+    let mut variants: Vec<(String, String)> = vec![
+        ("plan".into(), q.sql(None)),
+        ("full".into(), q.sql(Some(&format!("FULL({})", q.table)))),
+        ("no_index".into(), q.sql(Some(&format!("NO_INDEX({})", q.table)))),
+    ];
+    for idx in forcible_indexes(db, q) {
+        let hint = format!("INDEX({} {idx})", q.table);
+        variants.push((format!("index:{idx}"), q.sql(Some(&hint))));
+    }
+
+    for (label, sql) in &variants {
+        let got = match db.query(sql) {
+            Err(e) => return Some(format!("variant [{label}] errored: {e}\n  sql: {sql}")),
+            Ok(rows) => match ids_of(&rows) {
+                Ok(ids) => ids,
+                Err(e) => return Some(format!("variant [{label}] bad row shape: {e}\n  sql: {sql}")),
+            },
+        };
+        // Ordered comparison under ORDER BY id LIMIT n; bag comparison
+        // otherwise (ids are unique, so a sorted list is the bag).
+        let got = if q.order_limit.is_some() {
+            got
+        } else {
+            let mut g = got;
+            g.sort_unstable();
+            g
+        };
+        if got != expected {
+            return Some(format!(
+                "variant [{label}] diverges from interpreter\n  sql: {sql}\n  expected {}\n  got      {}",
+                fmt_ids(&expected),
+                fmt_ids(&got)
+            ));
+        }
+    }
+
+    // NoREC: the aggregated form of the same predicate must agree with
+    // the row-retrieval count.
+    let full_hint = format!("FULL({})", q.table);
+    for (label, sql) in
+        [("count", q.count_sql(None)), ("count_full", q.count_sql(Some(&full_hint)))]
+    {
+        match db.query(&sql) {
+            Err(e) => return Some(format!("variant [{label}] errored: {e}\n  sql: {sql}")),
+            Ok(rows) => {
+                let got = rows.first().and_then(|r| r.first()).cloned();
+                if got != Some(Value::Integer(expected_count)) {
+                    return Some(format!(
+                        "variant [{label}] count diverges\n  sql: {sql}\n  expected {expected_count}, got {got:?}"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Execute one statement against engine + mirror. `Some(detail)` when a
+/// query statement exposes a divergence.
+fn step(db: &mut Database, mirror: &mut Mirror, stmt: &Stmt) -> Option<String> {
+    match stmt {
+        Stmt::Sql(sql) => {
+            let _ = db.execute(sql);
+            None
+        }
+        Stmt::Truncate { table } => {
+            if db.execute(&stmt.sql()).is_ok() {
+                mirror.table_mut(table).clear();
+            }
+            None
+        }
+        Stmt::Insert { table, row } => {
+            if db.execute(&stmt.sql()).is_ok() {
+                mirror.table_mut(table).insert(row.id, row.clone());
+            }
+            None
+        }
+        Stmt::Update { table, pred, cell } => {
+            if db.execute(&stmt.sql()).is_ok() {
+                for row in mirror.table_mut(table).values_mut() {
+                    if pred.matches(row.id) {
+                        apply_cell(row, cell);
+                    }
+                }
+            }
+            None
+        }
+        Stmt::Delete { table, pred } => {
+            if db.execute(&stmt.sql()).is_ok() {
+                mirror.table_mut(table).retain(|id, _| !pred.matches(*id));
+            }
+            None
+        }
+        Stmt::Query(q) => check_query(db, mirror, q),
+    }
+}
+
+/// Replay `preamble + stmts + final_stmt` from scratch; true if any
+/// divergence shows (used as the delta-debugging failure predicate).
+fn replay_fails(preamble: &[String], stmts: &[Stmt], final_stmt: &Stmt, chaos: bool) -> bool {
+    let mut db = fresh_db(chaos);
+    for sql in preamble {
+        if db.execute(sql).is_err() {
+            return false;
+        }
+    }
+    let mut mirror = Mirror::default();
+    for s in stmts {
+        if step(&mut db, &mut mirror, s).is_some() {
+            return true;
+        }
+    }
+    step(&mut db, &mut mirror, final_stmt).is_some()
+}
+
+/// Classic ddmin over the statement prefix: repeatedly drop chunks (then
+/// single statements) while the failure persists. Deterministic replay
+/// plus the errors-are-no-ops rule make every candidate subset valid.
+fn ddmin(preamble: &[String], prefix: &[Stmt], final_stmt: &Stmt, chaos: bool) -> Vec<Stmt> {
+    let mut kept: Vec<Stmt> = prefix.to_vec();
+    let mut chunk = kept.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < kept.len() {
+            let end = (i + chunk).min(kept.len());
+            let mut cand = kept.clone();
+            cand.drain(i..end);
+            if replay_fails(preamble, &cand, final_stmt, chaos) {
+                kept = cand;
+                removed_any = true;
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    kept
+}
+
+/// Render a self-contained SQL repro script.
+fn render_script(
+    seed: u64,
+    step_idx: usize,
+    detail: &str,
+    preamble: &[String],
+    kept: &[Stmt],
+    final_stmt: &Stmt,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("-- extidx differential oracle repro\n-- seed {seed}, divergence at statement {step_idx}\n"));
+    for line in detail.lines() {
+        out.push_str(&format!("-- {line}\n"));
+    }
+    out.push_str("-- schema preamble (cartridges installed via *::install):\n");
+    for sql in preamble {
+        out.push_str(sql);
+        out.push_str(";\n");
+    }
+    out.push_str(&format!("-- minimized prefix ({} statements):\n", kept.len()));
+    for s in kept {
+        out.push_str(&s.sql());
+        out.push_str(";\n");
+    }
+    out.push_str("-- failing statement — run each plan variant and compare:\n");
+    if let Stmt::Query(q) = final_stmt {
+        out.push_str(&q.sql(None));
+        out.push_str(";\n");
+        out.push_str(&q.sql(Some(&format!("FULL({})", q.table))));
+        out.push_str(";\n");
+        out.push_str(&q.sql(Some(&format!("NO_INDEX({})", q.table))));
+        out.push_str(";\n");
+    } else {
+        out.push_str(&final_stmt.sql());
+        out.push_str(";\n");
+    }
+    out
+}
+
+/// Run `n` seeded statements through the oracle. `None` means every
+/// query agreed on every path; `Some(divergence)` carries the first
+/// disagreement, already minimized by delta debugging.
+pub fn run_seed(seed: u64, n: usize, chaos: bool) -> Option<Divergence> {
+    let workload = generate(seed, n);
+    let mut db = fresh_db(chaos);
+    for sql in &workload.preamble {
+        db.execute(sql).unwrap_or_else(|e| panic!("preamble failed: {sql}: {e}"));
+    }
+    let mut mirror = Mirror::default();
+    for (i, s) in workload.stmts.iter().enumerate() {
+        if let Some(detail) = step(&mut db, &mut mirror, s) {
+            let kept = ddmin(&workload.preamble, &workload.stmts[..i], s, chaos);
+            let script = render_script(seed, i, &detail, &workload.preamble, &kept, s);
+            return Some(Divergence { seed, step: i, detail, minimized: kept.len() + 1, script });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_seeded_run_is_clean() {
+        if let Some(d) = run_seed(1, 40, false) {
+            panic!("unexpected divergence: {}\n{}", d.detail, d.script);
+        }
+    }
+}

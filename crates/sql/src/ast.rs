@@ -86,9 +86,43 @@ pub struct OrderItem {
     pub desc: bool,
 }
 
+/// An optimizer hint from a `/*+ … */` block after SELECT. Hints are
+/// *hard* overrides of the cost-based access-path decision (unlike
+/// Oracle's advisory hints): the differential test harness uses them to
+/// pin which of the semantically equivalent paths actually runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hint {
+    /// `INDEX(t idx)` — force access through the named (domain or B-tree)
+    /// index. The index name is validated against the catalog; naming a
+    /// dropped or never-created index is an error.
+    Index { table: String, index: String },
+    /// `NO_INDEX` / `NO_INDEX(t)` — forbid *domain* index access paths, so
+    /// user-defined operators fall back to functional evaluation. B-tree
+    /// and IOT key access for ordinary predicates stay available.
+    NoIndex { table: Option<String> },
+    /// `FULL` / `FULL(t)` — force a full table scan; every predicate is
+    /// evaluated as a filter.
+    Full { table: Option<String> },
+}
+
+impl Hint {
+    /// Render the hint as it would appear inside `/*+ … */`.
+    pub fn display(&self) -> String {
+        match self {
+            Hint::Index { table, index } => format!("INDEX({table} {index})"),
+            Hint::NoIndex { table: Some(t) } => format!("NO_INDEX({t})"),
+            Hint::NoIndex { table: None } => "NO_INDEX".into(),
+            Hint::Full { table: Some(t) } => format!("FULL({t})"),
+            Hint::Full { table: None } => "FULL".into(),
+        }
+    }
+}
+
 /// A SELECT statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Select {
+    /// Plan-forcing hints (`SELECT /*+ INDEX(t idx) */ …`).
+    pub hints: Vec<Hint>,
     pub distinct: bool,
     pub items: Vec<SelectItem>,
     pub from: Vec<TableRef>,

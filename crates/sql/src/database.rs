@@ -116,6 +116,10 @@ pub struct Database {
     fault: FaultInjector,
     /// Retry policy for cartridge-reported transient errors.
     retry: RetryPolicy,
+    /// Deliberate executor bug for validating the differential oracle:
+    /// when set, a domain scan silently discards the rows of its final
+    /// ODCIIndexFetch batch. Never enabled outside tests.
+    pub(crate) chaos_drop_last_domain_batch: bool,
 }
 
 /// One successful domain-index maintenance call, with everything needed
@@ -177,6 +181,7 @@ impl Database {
             compensating: false,
             fault: FaultInjector::new(),
             retry: RetryPolicy::default(),
+            chaos_drop_last_domain_batch: false,
         }
     }
 
@@ -245,6 +250,14 @@ impl Database {
     /// Current domain-scan fetch batch size.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// Plant the deliberate lost-last-batch executor bug. Exists solely
+    /// so the differential oracle's own tests can prove the oracle
+    /// detects (and minimizes) a real result-corruption defect.
+    #[doc(hidden)]
+    pub fn set_chaos_drop_last_domain_batch(&mut self, on: bool) {
+        self.chaos_drop_last_domain_batch = on;
     }
 
     /// Direct storage access for white-box tests and benches.
@@ -742,6 +755,12 @@ impl Database {
                 .collect(),
         };
         for (rid, key) in existing {
+            // B-trees do not index NULL keys (Oracle semantics): a NULL in
+            // the indexed column simply has no index entry, so range scans
+            // can never produce NULL-keyed rows.
+            if key.is_null() {
+                continue;
+            }
             let undo = self.stmt_undo.as_mut();
             self.storage.iot_insert(seg, vec![key, Value::RowId(rid)], undo)?;
         }
@@ -1120,6 +1139,9 @@ impl Database {
             self.catalog.btree_indexes_on(&tdef.name).into_iter().cloned().collect();
         for b in btree {
             let idx = tdef.column_index(&b.column)?;
+            if row[idx].is_null() {
+                continue; // B-trees do not index NULL keys
+            }
             let undo = self.stmt_undo.as_mut();
             self.storage.iot_insert(b.seg, vec![row[idx].clone(), Value::RowId(rid)], undo)?;
         }
@@ -1139,11 +1161,16 @@ impl Database {
         for b in btree {
             let idx = tdef.column_index(&b.column)?;
             if old[idx] != new[idx] {
-                let old_key = Key(vec![old[idx].clone(), Value::RowId(rid)]);
-                let undo = self.stmt_undo.as_mut();
-                self.storage.iot_delete(b.seg, &old_key, undo)?;
-                let undo = self.stmt_undo.as_mut();
-                self.storage.iot_insert(b.seg, vec![new[idx].clone(), Value::RowId(rid)], undo)?;
+                if !old[idx].is_null() {
+                    let old_key = Key(vec![old[idx].clone(), Value::RowId(rid)]);
+                    let undo = self.stmt_undo.as_mut();
+                    self.storage.iot_delete(b.seg, &old_key, undo)?;
+                }
+                if !new[idx].is_null() {
+                    let undo = self.stmt_undo.as_mut();
+                    self.storage
+                        .iot_insert(b.seg, vec![new[idx].clone(), Value::RowId(rid)], undo)?;
+                }
             }
         }
         let domain: Vec<DomainIndexDef> =
@@ -1161,6 +1188,9 @@ impl Database {
             self.catalog.btree_indexes_on(&tdef.name).into_iter().cloned().collect();
         for b in btree {
             let idx = tdef.column_index(&b.column)?;
+            if old[idx].is_null() {
+                continue; // NULL keys were never indexed
+            }
             let key = Key(vec![old[idx].clone(), Value::RowId(rid)]);
             let undo = self.stmt_undo.as_mut();
             self.storage.iot_delete(b.seg, &key, undo)?;

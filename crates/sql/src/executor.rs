@@ -44,10 +44,10 @@ pub trait ExecNode: Send {
 /// Build the executor tree for a plan.
 pub fn build(plan: PlanNode) -> Box<dyn ExecNode> {
     match plan.kind {
-        PlanKind::FullScan { table } => Box::new(FullScanExec::new(table)),
-        PlanKind::IotFullScan { table } => Box::new(IotScanExec::new(table, None, None)),
+        PlanKind::FullScan { table, .. } => Box::new(FullScanExec::new(table)),
+        PlanKind::IotFullScan { table, .. } => Box::new(IotScanExec::new(table, None, None)),
         PlanKind::IotRange { table, lo, hi } => Box::new(IotScanExec::new(table, lo, hi)),
-        PlanKind::BTreeAccess { table, index, lo, hi } => {
+        PlanKind::BTreeAccess { table, index, lo, hi, .. } => {
             Box::new(BTreeAccessExec::new(table, index, lo, hi))
         }
         PlanKind::RowIdEq { table, rid } => Box::new(RowIdEqExec { table, rid, done: false }),
@@ -55,7 +55,9 @@ pub fn build(plan: PlanNode) -> Box<dyn ExecNode> {
         PlanKind::DomainScan { table, index, call, label, .. } => {
             Box::new(DomainScanExec::new(table, index, call, label))
         }
-        PlanKind::Filter { input, pred } => Box::new(FilterExec { input: build(*input), pred }),
+        PlanKind::Filter { input, pred, .. } => {
+            Box::new(FilterExec { input: build(*input), pred })
+        }
         PlanKind::Project { input, exprs } => Box::new(ProjectExec { input: build(*input), exprs }),
         PlanKind::NestedLoopJoin { left, right, pred } => Box::new(NestedLoopJoinExec {
             left: build(*left),
@@ -478,6 +480,11 @@ impl ExecNode for DomainScanExec {
             let result = index.fetch(&mut sctx, &info, ctx, batch)?;
             self.fetch_done = result.done;
             if result.rows.is_empty() {
+                continue;
+            }
+            // Deliberate, test-armed bug: lose the scan's final batch.
+            // The differential oracle must catch this (ISSUE acceptance).
+            if result.done && db.chaos_drop_last_domain_batch {
                 continue;
             }
             // Join the whole fetch batch at once: one page-ordered

@@ -370,9 +370,19 @@ pub fn eval(expr: &RExpr, row: &ExecRow, ctx: &EvalCtx<'_>) -> Result<Value> {
         RExpr::OperatorCall { op, args } => {
             let vals: Vec<Value> =
                 args.iter().map(|a| eval(a, row, ctx)).collect::<Result<_>>()?;
-            let binding = op.resolve(&vals)?;
-            let func = ctx.catalog.registry.function(&binding.function_name)?;
-            func.call(ctx, &vals)?
+            // SQL three-valued logic: any NULL operand makes a
+            // user-defined operator NULL, uniformly across cartridges and
+            // before binding resolution (a NULL arg cannot select a
+            // binding by type). Keeps the functional fallback aligned
+            // with the index path, which never returns rows for NULL
+            // operator arguments.
+            if vals.iter().any(|v| v.is_null()) {
+                Value::Null
+            } else {
+                let binding = op.resolve(&vals)?;
+                let func = ctx.catalog.registry.function(&binding.function_name)?;
+                func.call(ctx, &vals)?
+            }
         }
         RExpr::FuncCall { func, args } => {
             let vals: Vec<Value> =

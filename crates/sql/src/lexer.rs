@@ -20,6 +20,10 @@ pub enum Token {
     Num(f64),
     /// `?` bind placeholder.
     Question,
+    /// Optimizer hint block `/*+ … */` (content between `+` and `*/`,
+    /// verbatim). Plain `/* … */` comments are skipped by the lexer and
+    /// never produce a token.
+    Hint(String),
     LParen,
     RParen,
     Comma,
@@ -46,6 +50,7 @@ impl std::fmt::Display for Token {
             Token::Int(i) => write!(f, "{i}"),
             Token::Num(n) => write!(f, "{n}"),
             Token::Question => write!(f, "?"),
+            Token::Hint(s) => write!(f, "/*+{s}*/"),
             Token::LParen => write!(f, "("),
             Token::RParen => write!(f, ")"),
             Token::Comma => write!(f, ","),
@@ -79,6 +84,27 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 while i < chars.len() && chars[i] != '\n' {
                     i += 1;
                 }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, or an optimizer hint when it opens with
+                // `/*+`. Hints keep their content; comments vanish.
+                let is_hint = chars.get(i + 2) == Some(&'+');
+                i += if is_hint { 3 } else { 2 };
+                let start = i;
+                loop {
+                    match (chars.get(i), chars.get(i + 1)) {
+                        (Some('*'), Some('/')) => break,
+                        (Some(_), _) => i += 1,
+                        (None, _) => {
+                            return Err(Error::Parse("unterminated /* comment".into()));
+                        }
+                    }
+                }
+                if is_hint {
+                    let text: String = chars[start..i].iter().collect();
+                    out.push(Token::Hint(text.trim().to_string()));
+                }
+                i += 2;
             }
             '\'' => {
                 // string literal with '' escaping
@@ -289,6 +315,33 @@ mod tests {
     fn comments_are_skipped() {
         let toks = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
         assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn block_comments_are_skipped_but_hints_survive() {
+        let toks = lex("SELECT /* plain */ 1").unwrap();
+        assert_eq!(toks, vec![Token::Ident("SELECT".into()), Token::Int(1)]);
+        let toks = lex("SELECT /*+ INDEX(t idx) */ 1").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Hint("INDEX(t idx)".into()),
+                Token::Int(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_fails() {
+        assert!(lex("SELECT /* oops").is_err());
+        assert!(lex("SELECT /*+ FULL ").is_err());
+    }
+
+    #[test]
+    fn slash_still_lexes_as_division() {
+        let toks = lex("6 / 2").unwrap();
+        assert_eq!(toks, vec![Token::Int(6), Token::Slash, Token::Int(2)]);
     }
 
     #[test]

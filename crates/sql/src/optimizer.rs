@@ -21,7 +21,7 @@ use extidx_core::meta::{OperatorCall, PredicateBound, RelOp};
 use extidx_core::server::CallbackMode;
 use extidx_core::trace::Component;
 
-use crate::ast::{BinOp, Expr, OrderItem, Select, SelectItem, UnOp};
+use crate::ast::{BinOp, Expr, Hint, OrderItem, Select, SelectItem, UnOp};
 use crate::catalog::{TableDef, TableOrg};
 use crate::database::{Database, ServerCtx};
 use crate::expr::{aggregate_kind, compile_expr, AggKind, RExpr, Scope, ScopeCol};
@@ -214,6 +214,127 @@ fn try_const_eval(db: &Database, e: &Expr) -> Option<Value> {
     let compiled = compile_expr(e, &empty, db.catalog()).ok()?;
     let ctx = crate::expr::EvalCtx { catalog: db.catalog(), storage: db.storage() };
     crate::expr::eval(&compiled, &crate::expr::ExecRow::default(), &ctx).ok()
+}
+
+// ---------------------------------------------------------------------------
+// plan-forcing hints
+// ---------------------------------------------------------------------------
+
+/// Plan-forcing hints resolved for one table reference. Unlike Oracle's
+/// advisory hints these are *hard* overrides of the cost decision — the
+/// differential test harness uses them to pin each of §2.4.2's
+/// semantically equivalent paths in turn.
+#[derive(Debug, Clone, Default)]
+pub struct TableHints {
+    /// `INDEX(t idx)`: access must go through the named index.
+    pub force_index: Option<String>,
+    /// `NO_INDEX[(t)]`: no domain-index paths; operators fall back to
+    /// functional evaluation. B-tree/IOT access stays available.
+    pub no_index: bool,
+    /// `FULL[(t)]`: full scan only.
+    pub full: bool,
+}
+
+/// Resolve a SELECT's hint list against its FROM clause and the catalog.
+/// Unknown tables, unknown index names, indexes on the wrong table, and
+/// contradictory combinations are all errors — a hint that cannot bind
+/// must not silently degrade to "optimizer's choice".
+fn resolve_table_hints(
+    db: &Database,
+    hints: &[Hint],
+    tdefs: &[TableDef],
+    aliases: &[String],
+) -> Result<Vec<TableHints>> {
+    let mut out = vec![TableHints::default(); tdefs.len()];
+    let find = |name: &str| -> Result<usize> {
+        aliases
+            .iter()
+            .position(|a| a.eq_ignore_ascii_case(name))
+            .or_else(|| tdefs.iter().position(|t| t.name.eq_ignore_ascii_case(name)))
+            .ok_or_else(|| {
+                Error::Semantic(format!("hint references table {name} not in FROM clause"))
+            })
+    };
+    for h in hints {
+        match h {
+            Hint::Index { table, index } => {
+                let i = find(table)?;
+                let owner = db
+                    .catalog()
+                    .domain_index(index)
+                    .map(|d| d.table.clone())
+                    .or_else(|| db.catalog().btree_index(index).map(|b| b.table.clone()))
+                    .ok_or_else(|| Error::not_found("index", index.clone()))?;
+                if !owner.eq_ignore_ascii_case(&tdefs[i].name) {
+                    return Err(Error::Semantic(format!(
+                        "hint INDEX({table} {index}): index {index} is on table {owner}, not {}",
+                        tdefs[i].name
+                    )));
+                }
+                out[i].force_index = Some(index.to_ascii_uppercase());
+            }
+            Hint::NoIndex { table: Some(t) } => out[find(t)?].no_index = true,
+            Hint::NoIndex { table: None } => out.iter_mut().for_each(|h| h.no_index = true),
+            Hint::Full { table: Some(t) } => out[find(t)?].full = true,
+            Hint::Full { table: None } => out.iter_mut().for_each(|h| h.full = true),
+        }
+    }
+    for (i, h) in out.iter().enumerate() {
+        if h.full && h.force_index.is_some() {
+            return Err(Error::Semantic(format!(
+                "conflicting hints FULL and INDEX on table {}",
+                tdefs[i].name
+            )));
+        }
+        if let (true, Some(idx)) = (h.no_index, &h.force_index) {
+            if db.catalog().domain_index(idx).is_some() {
+                return Err(Error::Semantic(format!(
+                    "conflicting hints NO_INDEX and INDEX({}) on table {}",
+                    idx, tdefs[i].name
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Collect the names of user-defined operators called inside `e` — these
+/// evaluate through their functional implementations when they end up in
+/// a Filter node.
+fn collect_op_call_names(e: &Expr, db: &Database, out: &mut Vec<String>) {
+    if let Expr::Call { name, args } = e {
+        if db.catalog().registry.has_operator(name) {
+            let upper = name.to_ascii_uppercase();
+            if !out.contains(&upper) {
+                out.push(upper);
+            }
+        }
+        for a in args {
+            collect_op_call_names(a, db, out);
+        }
+        return;
+    }
+    match e {
+        Expr::Attribute(x, _) | Expr::Unary(_, x) | Expr::IsNull(x, _) => {
+            collect_op_call_names(x, db, out)
+        }
+        Expr::Binary(_, a, b) => {
+            collect_op_call_names(a, db, out);
+            collect_op_call_names(b, db, out);
+        }
+        Expr::Between(a, b, c) => {
+            collect_op_call_names(a, db, out);
+            collect_op_call_names(b, db, out);
+            collect_op_call_names(c, db, out);
+        }
+        Expr::InList(a, l) => {
+            collect_op_call_names(a, db, out);
+            for x in l {
+                collect_op_call_names(x, db, out);
+            }
+        }
+        _ => {}
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -492,6 +613,7 @@ fn best_table_access(
     alias: &str,
     table_conjuncts: &[Expr],
     score_labels: &[i64],
+    hints: &TableHints,
 ) -> Result<PlanNode> {
     let cm = db.cost;
     let scope = table_scope(tdef, Some(alias));
@@ -542,7 +664,11 @@ fn best_table_access(
         kind: CandKind::Full,
     };
 
-    for (ci, e) in table_conjuncts.iter().enumerate() {
+    // `FULL` is a hard override: the default full-scan candidate stands
+    // and no alternative is even considered (or costed — cartridge stats
+    // routines are not consulted for a path that cannot be taken).
+    let consider_alternatives = !hints.full;
+    for (ci, e) in table_conjuncts.iter().enumerate().filter(|_| consider_alternatives) {
         // Direct ROWID fetch: `t.ROWID = <rowid literal>` (the legacy
         // temp-table join pattern resolves through this).
         if let Expr::Binary(BinOp::Eq, a, b) = e {
@@ -589,16 +715,27 @@ fn best_table_access(
                     if b.column != col {
                         continue;
                     }
+                    // An INDEX hint excludes every other index, and makes
+                    // the named one win unconditionally.
+                    let forced = match &hints.force_index {
+                        Some(f) if *f != b.name => continue,
+                        Some(_) => true,
+                        None => false,
+                    };
                     let (height, leaf_pages) = match db.storage().iot(b.seg) {
                         Ok(t) => (t.height() as f64, t.page_count() as f64),
                         Err(_) => (1.0, 1.0),
                     };
                     let matched = (rows * sel).max(1.0);
-                    let cost = height
-                        + sel * leaf_pages
-                        + matched * cm.rowid_fetch
-                        + matched * cm.cpu_tuple
-                        + matched * residual_row_cost(ci);
+                    let cost = if forced {
+                        f64::MIN
+                    } else {
+                        height
+                            + sel * leaf_pages
+                            + matched * cm.rowid_fetch
+                            + matched * cm.cpu_tuple
+                            + matched * residual_row_cost(ci)
+                    };
                     if cost < best.cost {
                         best = Candidate {
                             cost,
@@ -640,9 +777,16 @@ fn best_table_access(
             }
         }
 
-        // Domain-index scan (§2.4.2).
-        if let Some(op_pred) = match_op_predicate(e, db) {
+        // Domain-index scan (§2.4.2). `NO_INDEX` forbids this path
+        // entirely — the operator then evaluates functionally in the
+        // residual filter.
+        if let Some(op_pred) = match_op_predicate(e, db).filter(|_| !hints.no_index) {
             for d in db.catalog().domain_indexes_on(&tdef.name).into_iter().cloned().collect::<Vec<_>>() {
+                let forced = match &hints.force_index {
+                    Some(f) if *f != d.name => continue,
+                    Some(_) => true,
+                    None => false,
+                };
                 let Ok(it) = db.catalog().registry.indextype(&d.indextype) else { continue };
                 if !it.supports(&op_pred.name, op_pred.args.len()) {
                     continue;
@@ -664,6 +808,16 @@ fn best_table_access(
                         }
                     }
                     match try_const_eval(db, a) {
+                        // A NULL operand makes the operator NULL for every
+                        // row (three-valued logic), so the predicate can
+                        // never accept — the index path would have to
+                        // guess what the cartridge does with NULL. Leave
+                        // it to the functional fallback, which
+                        // short-circuits NULL args uniformly.
+                        Some(Value::Null) => {
+                            ok = false;
+                            break;
+                        }
                         Some(v) => literal_args.push(v),
                         None => {
                             ok = false;
@@ -710,8 +864,9 @@ fn best_table_access(
                 let matched = (rows * sel).max(1.0);
                 // Index scan + rowid fetches of matches. A query that
                 // references the scan's ancillary data (SCORE) can only be
-                // answered through the index — force the path then.
-                let cost = if label.is_some() {
+                // answered through the index — force the path then. An
+                // INDEX hint forces it the same way.
+                let cost = if forced || label.is_some() {
                     f64::MIN
                 } else {
                     icost.total()
@@ -736,12 +891,48 @@ fn best_table_access(
         }
     }
 
-    // Materialize the chosen access path.
+    // A forced index must actually carry the access: a hint naming a
+    // valid index that no predicate on this table can use is an error,
+    // never a silent fall-through to another path (the forcing contract
+    // the differential harness relies on).
+    if let Some(f) = &hints.force_index {
+        let used = match &best.kind {
+            CandKind::BTree { index, .. } | CandKind::Domain { index, .. } => index == f,
+            _ => false,
+        };
+        if !used {
+            return Err(Error::Semantic(format!(
+                "cannot force index {f} on {}: no predicate can use it",
+                tdef.name
+            )));
+        }
+    }
+
+    // Materialize the chosen access path. Hint-forced paths carry the
+    // hint text so EXPLAIN shows the cost decision was overridden.
+    let scan_forced = if hints.full {
+        Some(format!("FULL({alias})"))
+    } else if hints.no_index {
+        Some(format!("NO_INDEX({alias})"))
+    } else {
+        None
+    };
+    let forced_note = |index: &str| {
+        hints
+            .force_index
+            .as_deref()
+            .filter(|f| *f == index)
+            .map(|f| format!("INDEX({alias} {f})"))
+    };
     let access = match best.kind {
         CandKind::Full => PlanNode {
             kind: match tdef.org {
-                TableOrg::Heap => PlanKind::FullScan { table: tdef.name.clone() },
-                TableOrg::Index { .. } => PlanKind::IotFullScan { table: tdef.name.clone() },
+                TableOrg::Heap => {
+                    PlanKind::FullScan { table: tdef.name.clone(), forced: scan_forced }
+                }
+                TableOrg::Index { .. } => {
+                    PlanKind::IotFullScan { table: tdef.name.clone(), forced: scan_forced }
+                }
             },
             scope: scope.clone(),
             est_rows: rows.max(1.0),
@@ -753,24 +944,37 @@ fn best_table_access(
             est_rows: 1.0,
             est_cost: best.cost,
         },
-        CandKind::BTree { index, lo, hi } => PlanNode {
-            kind: PlanKind::BTreeAccess { table: tdef.name.clone(), index, lo, hi },
-            scope: scope.clone(),
-            est_rows: best.rows,
-            est_cost: best.cost,
-        },
+        CandKind::BTree { index, lo, hi } => {
+            let forced = forced_note(&index);
+            PlanNode {
+                kind: PlanKind::BTreeAccess { table: tdef.name.clone(), index, lo, hi, forced },
+                scope: scope.clone(),
+                est_rows: best.rows,
+                est_cost: best.cost,
+            }
+        }
         CandKind::IotRange { lo, hi } => PlanNode {
             kind: PlanKind::IotRange { table: tdef.name.clone(), lo, hi },
             scope: scope.clone(),
             est_rows: best.rows,
             est_cost: best.cost,
         },
-        CandKind::Domain { index, indextype, call, label } => PlanNode {
-            kind: PlanKind::DomainScan { table: tdef.name.clone(), index, indextype, call, label },
-            scope: scope.clone(),
-            est_rows: best.rows,
-            est_cost: best.cost,
-        },
+        CandKind::Domain { index, indextype, call, label } => {
+            let forced = forced_note(&index);
+            PlanNode {
+                kind: PlanKind::DomainScan {
+                    table: tdef.name.clone(),
+                    index,
+                    indextype,
+                    call,
+                    label,
+                    forced,
+                },
+                scope: scope.clone(),
+                est_rows: best.rows,
+                est_cost: best.cost,
+            }
+        }
     };
 
     // Residual conjuncts → Filter.
@@ -795,14 +999,20 @@ fn wrap_filter(db: &Database, input: PlanNode, residual: &[&Expr], scope: &Scope
             Some(c) => Expr::Binary(BinOp::And, Box::new(c), Box::new((*e).clone())),
         });
     }
-    let pred = compile_expr(&combined.expect("nonempty residual"), scope, db.catalog())?;
+    let combined = combined.expect("nonempty residual");
+    // User-defined operators left in the residual evaluate through their
+    // functional implementation — name them so EXPLAIN exposes the
+    // fallback path.
+    let mut functional_ops = Vec::new();
+    collect_op_call_names(&combined, db, &mut functional_ops);
+    let pred = compile_expr(&combined, scope, db.catalog())?;
     let est_rows = (input.est_rows * 0.5).max(1.0);
     let est_cost = input.est_cost + input.est_rows * db.cost.cpu_pred;
     Ok(PlanNode {
         scope: scope.clone(),
         est_rows,
         est_cost,
-        kind: PlanKind::Filter { input: Box::new(input), pred },
+        kind: PlanKind::Filter { input: Box::new(input), pred, functional_ops },
     })
 }
 
@@ -816,7 +1026,7 @@ pub fn plan_dml_scan(
     if let Some(w) = where_clause {
         conjuncts(w, &mut cs);
     }
-    best_table_access(db, tdef, &tdef.name.clone(), &cs, &[])
+    best_table_access(db, tdef, &tdef.name.clone(), &cs, &[], &TableHints::default())
 }
 
 // ---------------------------------------------------------------------------
@@ -830,9 +1040,13 @@ pub fn plan_select(db: &mut Database, s: &Select) -> Result<PlannedQuery> {
     }
     // Fast path: `SELECT COUNT(*) FROM t` with no predicates is answered
     // from table metadata without scanning — the single hottest callback
-    // query cartridge stats routines issue.
-    if let Some(planned) = plan_bare_count(db, s)? {
-        return Ok(planned);
+    // query cartridge stats routines issue. A hinted query must take a
+    // real scan (the differential oracle's NoREC checks compare hinted
+    // COUNT(*) results against actual row sets).
+    if s.hints.is_empty() {
+        if let Some(planned) = plan_bare_count(db, s)? {
+            return Ok(planned);
+        }
     }
     if s.from.len() > 63 {
         return Err(Error::Unsupported("too many tables in FROM".into()));
@@ -868,11 +1082,21 @@ pub fn plan_select(db: &mut Database, s: &Select) -> Result<PlannedQuery> {
         }
     }
 
+    // Resolve plan-forcing hints against the FROM clause and catalog
+    // before any costing; a malformed hint fails the statement.
+    let table_hints = resolve_table_hints(db, &s.hints, &tdefs, &aliases)?;
+
     // Best single-table access per table.
     let mut accesses: Vec<Option<PlanNode>> = Vec::new();
     for i in 0..tdefs.len() {
-        let node =
-            best_table_access(db, &tdefs[i], &aliases[i], &table_conjuncts[i], &score_labels)?;
+        let node = best_table_access(
+            db,
+            &tdefs[i],
+            &aliases[i],
+            &table_conjuncts[i],
+            &score_labels,
+            &table_hints[i],
+        )?;
         accesses.push(Some(node));
     }
 
@@ -1441,7 +1665,7 @@ fn plan_aggregate(db: &mut Database, s: &Select, source: PlanNode) -> Result<Agg
             scope: agg_scope,
             est_rows,
             est_cost,
-            kind: PlanKind::Filter { input: Box::new(node), pred },
+            kind: PlanKind::Filter { input: Box::new(node), pred, functional_ops: Vec::new() },
         };
     }
 

@@ -27,6 +27,46 @@ pub fn parse(sql: &str) -> Result<Statement> {
     Ok(stmt)
 }
 
+/// Parse the content of a `/*+ … */` hint block: a sequence of
+/// `INDEX(t idx)`, `NO_INDEX[(t)]`, and `FULL[(t)]` hints. Unlike
+/// Oracle — which silently ignores malformed hints — unknown or
+/// ill-formed hints are parse errors: the differential harness relies on
+/// hints being hard overrides, so a typo must not degrade to "optimizer's
+/// choice".
+fn parse_hints(text: &str) -> Result<Vec<Hint>> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let mut hints = Vec::new();
+    while !p.at_end() {
+        let name = p.ident()?;
+        match name.as_str() {
+            "INDEX" => {
+                p.expect(&Token::LParen)?;
+                let table = p.ident()?;
+                p.eat(&Token::Comma);
+                let index = p.ident()?;
+                p.expect(&Token::RParen)?;
+                hints.push(Hint::Index { table, index });
+            }
+            "NO_INDEX" | "FULL" => {
+                let table = if p.eat(&Token::LParen) {
+                    let t = p.ident()?;
+                    p.expect(&Token::RParen)?;
+                    Some(t)
+                } else {
+                    None
+                };
+                hints.push(match name.as_str() {
+                    "NO_INDEX" => Hint::NoIndex { table },
+                    _ => Hint::Full { table },
+                });
+            }
+            other => return Err(Error::Parse(format!("unknown hint {other}"))),
+        }
+    }
+    Ok(hints)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -172,6 +212,14 @@ impl Parser {
 
     fn select(&mut self) -> Result<Select> {
         self.expect_kw("SELECT")?;
+        let hints = match self.peek() {
+            Some(Token::Hint(text)) => {
+                let text = text.clone();
+                self.pos += 1;
+                parse_hints(&text)?
+            }
+            _ => Vec::new(),
+        };
         let distinct = self.eat_kw("DISTINCT");
         let mut items = Vec::new();
         loop {
@@ -234,7 +282,7 @@ impl Parser {
         } else {
             None
         };
-        Ok(Select { distinct, items, from, where_clause, group_by, having, order_by, limit })
+        Ok(Select { hints, distinct, items, from, where_clause, group_by, having, order_by, limit })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -964,6 +1012,48 @@ mod tests {
     fn parses_explain() {
         let s = parse("EXPLAIN SELECT * FROM t").unwrap();
         assert!(matches!(s, Statement::Explain(_)));
+    }
+
+    #[test]
+    fn parses_plan_forcing_hints() {
+        let s = parse("SELECT /*+ INDEX(t idx) NO_INDEX(u) FULL */ * FROM t, u").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(
+                    sel.hints,
+                    vec![
+                        Hint::Index { table: "T".into(), index: "IDX".into() },
+                        Hint::NoIndex { table: Some("U".into()) },
+                        Hint::Full { table: None },
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Comma between INDEX arguments is accepted, Oracle-style.
+        let s = parse("SELECT /*+ INDEX(t, idx) */ * FROM t").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.hints, vec![Hint::Index { table: "T".into(), index: "IDX".into() }]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_hints_are_errors_not_ignored() {
+        assert!(parse("SELECT /*+ FROB */ * FROM t").is_err());
+        assert!(parse("SELECT /*+ INDEX(t) */ * FROM t").is_err());
+        assert!(parse("SELECT /*+ INDEX */ * FROM t").is_err());
+    }
+
+    #[test]
+    fn plain_block_comment_is_not_a_hint() {
+        let s = parse("SELECT /* INDEX(t idx) */ * FROM t").unwrap();
+        match s {
+            Statement::Select(sel) => assert!(sel.hints.is_empty()),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -27,13 +27,20 @@ pub struct PlanNode {
 #[derive(Debug)]
 pub enum PlanKind {
     /// Sequential scan of a heap table; exposes columns plus ROWID.
-    FullScan { table: String },
+    /// `forced` names the hint that mandated this path, if any.
+    FullScan { table: String, forced: Option<String> },
     /// Full scan of an index-organized table (key order).
-    IotFullScan { table: String },
+    IotFullScan { table: String, forced: Option<String> },
     /// Key range access on an index-organized table's primary key.
     IotRange { table: String, lo: Option<Key>, hi: Option<Key> },
     /// B-tree index range access: scan index entries, fetch base rows.
-    BTreeAccess { table: String, index: String, lo: Option<Key>, hi: Option<Key> },
+    BTreeAccess {
+        table: String,
+        index: String,
+        lo: Option<Key>,
+        hi: Option<Key>,
+        forced: Option<String>,
+    },
     /// Direct fetch of one row by ROWID (`WHERE t.ROWID = <literal>`).
     RowIdEq { table: String, rid: extidx_common::RowId },
     /// Constant result rows computed at plan time (e.g. the COUNT(*)
@@ -49,9 +56,12 @@ pub enum PlanKind {
         /// Ancillary label bridging to `SCORE(label)` (§2.4.2 ancillary
         /// operators).
         label: Option<i64>,
+        forced: Option<String>,
     },
-    /// Row filter.
-    Filter { input: Box<PlanNode>, pred: RExpr },
+    /// Row filter. `functional_ops` names the user-defined operators this
+    /// filter evaluates through their functional implementations — the
+    /// §2.4.2 fallback path, surfaced in EXPLAIN so tests can pin it.
+    Filter { input: Box<PlanNode>, pred: RExpr, functional_ops: Vec<String> },
     /// Projection.
     Project { input: Box<PlanNode>, exprs: Vec<RExpr> },
     /// Nested-loop join with optional residual predicate (over the
@@ -107,23 +117,46 @@ impl PlanNode {
 
     fn explain_into(&self, depth: usize, out: &mut Vec<String>) {
         let pad = "  ".repeat(depth);
+        // `[FORCED BY /*+ hint */]` marks paths mandated by a hint rather
+        // than chosen by cost.
+        let forced_suffix = |forced: &Option<String>| match forced {
+            Some(h) => format!("  [FORCED BY /*+ {h} */]"),
+            None => String::new(),
+        };
         let line = match &self.kind {
-            PlanKind::FullScan { table } => format!("{pad}FULL SCAN {table}"),
-            PlanKind::IotFullScan { table } => format!("{pad}IOT FULL SCAN {table}"),
+            PlanKind::FullScan { table, forced } => {
+                format!("{pad}FULL SCAN {table}{}", forced_suffix(forced))
+            }
+            PlanKind::IotFullScan { table, forced } => {
+                format!("{pad}IOT FULL SCAN {table}{}", forced_suffix(forced))
+            }
             PlanKind::IotRange { table, lo, hi } => {
                 format!("{pad}IOT RANGE {table} lo={lo:?} hi={hi:?}")
             }
-            PlanKind::BTreeAccess { table, index, lo, hi } => {
-                format!("{pad}BTREE ACCESS {table} VIA {index} lo={lo:?} hi={hi:?}")
+            PlanKind::BTreeAccess { table, index, lo, hi, forced } => {
+                format!(
+                    "{pad}BTREE ACCESS {table} VIA {index} lo={lo:?} hi={hi:?}{}",
+                    forced_suffix(forced)
+                )
             }
             PlanKind::RowIdEq { table, rid } => format!("{pad}ROWID FETCH {table} {rid}"),
             PlanKind::ConstRows { rows } => format!("{pad}CONSTANT ({} rows)", rows.len()),
-            PlanKind::DomainScan { table, index, indextype, call, .. } => format!(
-                "{pad}DOMAIN INDEX SCAN {table} VIA {index} ({indextype}) OP {}({} args)",
+            PlanKind::DomainScan { table, index, indextype, call, forced, .. } => format!(
+                "{pad}DOMAIN INDEX SCAN {table} VIA {index} ({indextype}) OP {}({} args){}",
                 call.operator,
-                call.args.len()
+                call.args.len(),
+                forced_suffix(forced)
             ),
-            PlanKind::Filter { pred, .. } => format!("{pad}FILTER {pred:?}"),
+            PlanKind::Filter { pred, functional_ops, .. } => {
+                if functional_ops.is_empty() {
+                    format!("{pad}FILTER {pred:?}")
+                } else {
+                    format!(
+                        "{pad}FILTER [FUNCTIONAL FALLBACK {}] {pred:?}",
+                        functional_ops.join(", ")
+                    )
+                }
+            }
             PlanKind::Project { exprs, .. } => format!("{pad}PROJECT {} cols", exprs.len()),
             PlanKind::NestedLoopJoin { pred, .. } => {
                 format!("{pad}NESTED LOOP JOIN pred={pred:?}")
@@ -141,7 +174,13 @@ impl PlanNode {
                 format!("{pad}AGGREGATE groups={} aggs={}", group.len(), aggs.len())
             }
         };
-        out.push(format!("{line}  (rows={:.0} cost={:.1})", self.est_rows, self.est_cost));
+        // A cost of f64::MIN means the path was mandated (hint or SCORE
+        // reference), not costed — print that instead of a 300-digit number.
+        if self.est_cost == f64::MIN {
+            out.push(format!("{line}  (rows={:.0} cost=forced)", self.est_rows));
+        } else {
+            out.push(format!("{line}  (rows={:.0} cost={:.1})", self.est_rows, self.est_cost));
+        }
         match &self.kind {
             PlanKind::Filter { input, .. }
             | PlanKind::Project { input, .. }
@@ -169,8 +208,8 @@ impl PlanNode {
 
     fn collect_paths(&self, out: &mut Vec<String>) {
         match &self.kind {
-            PlanKind::FullScan { table } => out.push(format!("FULL({table})")),
-            PlanKind::IotFullScan { table } => out.push(format!("IOTFULL({table})")),
+            PlanKind::FullScan { table, .. } => out.push(format!("FULL({table})")),
+            PlanKind::IotFullScan { table, .. } => out.push(format!("IOTFULL({table})")),
             PlanKind::IotRange { table, .. } => out.push(format!("IOTRANGE({table})")),
             PlanKind::BTreeAccess { table, index, .. } => {
                 out.push(format!("BTREE({table},{index})"))

@@ -13,6 +13,14 @@ cargo build --release
 echo "== tests (workspace, including ignored long sweeps) =="
 cargo test --workspace -q -- --include-ignored
 
+# Differential query oracle (tests/differential.rs). DIFF_SEED picks the
+# seed of the default 200-statement run (decimal or 0x-hex); on a
+# divergence the test's panic output prints the failing seed and the
+# delta-debugged minimal SQL repro script.
+echo "== differential oracle (DIFF_SEED=${DIFF_SEED:-0xD1FF}) =="
+DIFF_SEED="${DIFF_SEED:-0xD1FF}" \
+    cargo test -q --test differential -- --include-ignored --nocapture
+
 echo "== fault matrix (statement atomicity at every cartridge crossing) =="
 cargo test -q --test fault_matrix -- --include-ignored
 

@@ -1,0 +1,91 @@
+//! The differential query oracle (see crates/qgen).
+//!
+//! A seeded workload — DDL, DML, and domain-operator queries over heap
+//! and index-organized tables with NULL-heavy columns — runs through
+//! every reachable engine plan (cost-chosen, `/*+ FULL */`,
+//! `/*+ NO_INDEX */`, and each forcible `/*+ INDEX(t idx) */`) plus a
+//! brute-force mirror interpreter, demanding bag-equality and NoREC
+//! `COUNT(*)` agreement at every query. A divergence is minimized by
+//! delta debugging into a self-contained SQL repro script.
+//!
+//! `DIFF_SEED` selects the default run's seed (decimal or 0x-hex);
+//! scripts/ci.sh threads it through and prints the failing seed plus the
+//! minimized script on failure.
+
+use extidx_qgen::run_seed;
+
+const DEFAULT_SEED: u64 = 0xD1FF;
+const STATEMENTS: usize = 200;
+
+fn seed_from_env() -> u64 {
+    match std::env::var("DIFF_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("DIFF_SEED must be a u64, got {s:?}"))
+        }
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// The default gate: one 200-statement seeded run must be divergence-
+/// free. On failure the panic message carries everything needed to
+/// reproduce: the seed, the first divergence, and the minimized script.
+#[test]
+fn seeded_workload_has_no_divergence() {
+    let seed = seed_from_env();
+    if let Some(d) = run_seed(seed, STATEMENTS, false) {
+        panic!(
+            "differential oracle found a divergence\n\
+             seed {} (rerun with DIFF_SEED={}), statement {}, minimized to {} statements\n\
+             {}\n--- minimized repro script ---\n{}",
+            d.seed, d.seed, d.step, d.minimized, d.detail, d.script
+        );
+    }
+}
+
+/// The acceptance check for the oracle itself: with the chaos knob
+/// dropping the final batch of every domain-index scan (the `done=true`
+/// batch carries rows), the default seeded run must catch the planted
+/// bug and shrink the repro to at most 10 statements.
+#[test]
+fn chaos_drop_last_batch_is_caught_and_minimized() {
+    let d = run_seed(seed_from_env(), STATEMENTS, true)
+        .expect("planted executor bug must be caught by the default seeded run");
+    assert!(
+        d.minimized <= 10,
+        "repro should shrink to <= 10 statements, got {}:\n{}",
+        d.minimized,
+        d.script
+    );
+    assert!(d.script.contains("-- seed"), "script must be self-describing:\n{}", d.script);
+}
+
+/// Long multi-seed sweep, run by scripts/ci.sh via `--include-ignored`.
+#[test]
+#[ignore = "long sweep; run via scripts/ci.sh or --include-ignored"]
+fn multi_seed_sweep_has_no_divergence() {
+    for seed in 0..24u64 {
+        if let Some(d) = run_seed(seed, STATEMENTS, false) {
+            panic!(
+                "divergence at seed {} (rerun with DIFF_SEED={}), statement {}\n{}\n{}",
+                d.seed, d.seed, d.step, d.detail, d.script
+            );
+        }
+    }
+}
+
+/// The chaos bug must be visible from many starting points, not just the
+/// default seed — every sweep seed has to catch it.
+#[test]
+#[ignore = "long sweep; run via scripts/ci.sh or --include-ignored"]
+fn multi_seed_sweep_catches_planted_bug() {
+    for seed in 0..8u64 {
+        let d = run_seed(seed, STATEMENTS, true)
+            .unwrap_or_else(|| panic!("seed {seed} missed the planted executor bug"));
+        assert!(d.minimized <= 10, "seed {seed}: repro has {} statements", d.minimized);
+    }
+}

@@ -1,0 +1,227 @@
+//! Plan-forcing hints as hard overrides: `/*+ INDEX(t idx) */`,
+//! `/*+ NO_INDEX */`, and `/*+ FULL */` must pin the access path, show up
+//! in EXPLAIN, and error — never silently fall through — when they cannot
+//! bind. Unlike Oracle, which ignores malformed hints, this engine treats
+//! every unbindable hint as an error because the differential oracle
+//! (tests/differential.rs) relies on hints being authoritative.
+
+use extidx::sql::Database;
+use extidx_common::Value;
+
+/// Text cartridge on `body`, plain B-tree on `num`, a handful of rows
+/// with a NULL mixed in.
+fn hint_db() -> Database {
+    let mut db = Database::with_cache_pages(2048);
+    extidx::text::install(&mut db).unwrap();
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(400), num NUMBER)").unwrap();
+    let rows = [
+        (1, "'alpha beta gamma'", "10.0"),
+        (2, "'alpha delta'", "20.0"),
+        (3, "'epsilon zeta'", "30.0"),
+        (4, "NULL", "40.0"),
+        (5, "'alpha omega'", "NULL"),
+    ];
+    for (id, body, num) in rows {
+        db.execute(&format!("INSERT INTO docs VALUES ({id}, {body}, {num})")).unwrap();
+    }
+    db.execute("CREATE INDEX d_txt ON docs(body) INDEXTYPE IS TextIndexType").unwrap();
+    db.execute("CREATE INDEX d_num ON docs(num)").unwrap();
+    db
+}
+
+fn ids(rows: &[Vec<Value>]) -> Vec<i64> {
+    let mut out: Vec<i64> = rows
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Integer(i) => *i,
+            other => panic!("expected integer id, got {other:?}"),
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn explain_renders_forced_full_scan_and_functional_fallback() {
+    let mut db = hint_db();
+    let plan = db
+        .explain("SELECT /*+ FULL(docs) */ id FROM docs WHERE Contains(body, 'alpha')")
+        .unwrap()
+        .join("\n");
+    assert!(plan.contains("FULL SCAN DOCS"), "plan:\n{plan}");
+    assert!(plan.contains("[FORCED BY /*+ FULL(DOCS) */]"), "plan:\n{plan}");
+    assert!(plan.contains("FUNCTIONAL FALLBACK CONTAINS"), "plan:\n{plan}");
+    assert!(!plan.contains("DOMAIN INDEX SCAN"), "plan:\n{plan}");
+}
+
+#[test]
+fn forced_index_hint_pins_domain_scan_and_shows_in_explain() {
+    let mut db = hint_db();
+    let plan = db
+        .explain("SELECT /*+ INDEX(docs d_txt) */ id FROM docs WHERE Contains(body, 'alpha')")
+        .unwrap()
+        .join("\n");
+    assert!(plan.contains("DOMAIN INDEX SCAN DOCS VIA D_TXT"), "plan:\n{plan}");
+    assert!(plan.contains("[FORCED BY /*+ INDEX(DOCS D_TXT) */]"), "plan:\n{plan}");
+    let rows = db
+        .query("SELECT /*+ INDEX(docs d_txt) */ id FROM docs WHERE Contains(body, 'alpha')")
+        .unwrap();
+    assert_eq!(ids(&rows), vec![1, 2, 5]);
+}
+
+#[test]
+fn no_index_keeps_btree_but_disables_domain_indexes() {
+    let mut db = hint_db();
+    let sql = "SELECT /*+ NO_INDEX(docs) */ id FROM docs \
+               WHERE num >= 15.0 AND Contains(body, 'alpha')";
+    let plan = db.explain(sql).unwrap().join("\n");
+    assert!(plan.contains("BTREE ACCESS DOCS VIA D_NUM"), "plan:\n{plan}");
+    assert!(!plan.contains("DOMAIN INDEX SCAN"), "plan:\n{plan}");
+    assert!(plan.contains("FUNCTIONAL FALLBACK CONTAINS"), "plan:\n{plan}");
+    let rows = db.query(sql).unwrap();
+    assert_eq!(ids(&rows), vec![2]);
+    // The forced full scan must agree.
+    let full =
+        db.query("SELECT /*+ FULL(docs) */ id FROM docs WHERE num >= 15.0 AND Contains(body, 'alpha')")
+            .unwrap();
+    assert_eq!(ids(&full), vec![2]);
+}
+
+#[test]
+fn unknown_and_dropped_indexes_are_clean_errors() {
+    let mut db = hint_db();
+    let err = db
+        .query("SELECT /*+ INDEX(docs nope) */ id FROM docs WHERE Contains(body, 'alpha')")
+        .unwrap_err();
+    assert!(err.to_string().contains("index"), "got: {err}");
+
+    db.execute("DROP INDEX d_txt").unwrap();
+    let err = db
+        .query("SELECT /*+ INDEX(docs d_txt) */ id FROM docs WHERE Contains(body, 'alpha')")
+        .unwrap_err();
+    assert!(err.to_string().contains("index"), "got: {err}");
+    // The operator still works functionally after the drop.
+    let rows = db.query("SELECT id FROM docs WHERE Contains(body, 'alpha')").unwrap();
+    assert_eq!(ids(&rows), vec![1, 2, 5]);
+}
+
+#[test]
+fn truncate_leaves_index_forcible_and_paths_agree() {
+    let mut db = hint_db();
+    db.execute("TRUNCATE TABLE docs").unwrap();
+    let forced = "SELECT /*+ INDEX(docs d_txt) */ id FROM docs WHERE Contains(body, 'alpha')";
+    assert_eq!(db.query(forced).unwrap().len(), 0);
+    db.execute("INSERT INTO docs VALUES (9, 'alpha reborn', 1.0)").unwrap();
+    assert_eq!(ids(&db.query(forced).unwrap()), vec![9]);
+    let full =
+        db.query("SELECT /*+ FULL(docs) */ id FROM docs WHERE Contains(body, 'alpha')").unwrap();
+    assert_eq!(ids(&full), vec![9]);
+}
+
+#[test]
+fn conflicting_hints_are_errors() {
+    let mut db = hint_db();
+    let err = db
+        .query(
+            "SELECT /*+ FULL(docs) INDEX(docs d_txt) */ id FROM docs \
+             WHERE Contains(body, 'alpha')",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("conflicting hints"), "got: {err}");
+    let err = db
+        .query(
+            "SELECT /*+ NO_INDEX(docs) INDEX(docs d_txt) */ id FROM docs \
+             WHERE Contains(body, 'alpha')",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("conflicting hints"), "got: {err}");
+}
+
+#[test]
+fn hint_on_table_not_in_from_is_an_error() {
+    let mut db = hint_db();
+    let err = db.query("SELECT /*+ FULL(elsewhere) */ id FROM docs").unwrap_err();
+    assert!(err.to_string().contains("not in FROM clause"), "got: {err}");
+    let err = db
+        .query("SELECT /*+ INDEX(elsewhere d_txt) */ id FROM docs WHERE Contains(body, 'x')")
+        .unwrap_err();
+    assert!(err.to_string().contains("not in FROM clause"), "got: {err}");
+}
+
+#[test]
+fn malformed_hints_are_parse_errors_not_ignored() {
+    let mut db = hint_db();
+    assert!(db.query("SELECT /*+ FROBNICATE */ id FROM docs").is_err());
+    assert!(db.query("SELECT /*+ INDEX(docs) */ id FROM docs").is_err());
+    // A plain block comment is not a hint and parses fine.
+    let rows = db.query("SELECT /* just a comment */ id FROM docs").unwrap();
+    assert_eq!(rows.len(), 5);
+}
+
+#[test]
+fn forcing_an_unusable_index_is_an_error() {
+    let mut db = hint_db();
+    // No predicate on body: d_txt cannot carry the access.
+    let err =
+        db.query("SELECT /*+ INDEX(docs d_txt) */ id FROM docs WHERE num > 5.0").unwrap_err();
+    assert!(err.to_string().contains("cannot force index"), "got: {err}");
+}
+
+#[test]
+fn hinted_bare_count_skips_const_fast_path_but_agrees() {
+    let mut db = hint_db();
+    let unhinted = db.explain("SELECT COUNT(*) FROM docs").unwrap().join("\n");
+    assert!(unhinted.contains("CONSTANT"), "plan:\n{unhinted}");
+    let hinted = db.explain("SELECT /*+ FULL(docs) */ COUNT(*) FROM docs").unwrap().join("\n");
+    assert!(!hinted.contains("CONSTANT"), "plan:\n{hinted}");
+    assert!(hinted.contains("FULL SCAN DOCS"), "plan:\n{hinted}");
+    let a = db.query("SELECT COUNT(*) FROM docs").unwrap();
+    let b = db.query("SELECT /*+ FULL(docs) */ COUNT(*) FROM docs").unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a[0][0], Value::Integer(5));
+}
+
+#[test]
+fn forced_index_survives_batched_rowid_join() {
+    // PR 1's batched rowid→row join must honor the forcing hint across
+    // batch boundaries: more matching rows than the batch size.
+    let mut db = Database::with_cache_pages(2048);
+    extidx::text::install(&mut db).unwrap();
+    db.execute("CREATE TABLE corpus (id INTEGER, body VARCHAR2(200))").unwrap();
+    for i in 0..20 {
+        db.execute(&format!("INSERT INTO corpus VALUES ({i}, 'needle item {i}')")).unwrap();
+    }
+    db.execute("CREATE INDEX c_txt ON corpus(body) INDEXTYPE IS TextIndexType").unwrap();
+    db.set_batch_size(4);
+    let sql = "SELECT /*+ INDEX(corpus c_txt) */ id FROM corpus WHERE Contains(body, 'needle')";
+    let plan = db.explain(sql).unwrap().join("\n");
+    assert!(plan.contains("DOMAIN INDEX SCAN CORPUS VIA C_TXT"), "plan:\n{plan}");
+    assert!(plan.contains("FORCED BY"), "plan:\n{plan}");
+    let rows = db.query(sql).unwrap();
+    assert_eq!(ids(&rows), (0..20).collect::<Vec<i64>>());
+}
+
+#[test]
+fn no_index_degrades_score_to_zero() {
+    let mut db = hint_db();
+    let indexed = db
+        .query("SELECT id, SCORE(1) FROM docs WHERE Contains(body, 'alpha', 1) ORDER BY id")
+        .unwrap();
+    assert!(
+        indexed.iter().any(|r| matches!(r[1], Value::Number(s) if s > 0.0)),
+        "index path should produce nonzero scores: {indexed:?}"
+    );
+    let fallback = db
+        .query(
+            "SELECT /*+ NO_INDEX(docs) */ id, SCORE(1) FROM docs \
+             WHERE Contains(body, 'alpha', 1) ORDER BY id",
+        )
+        .unwrap();
+    // No index scan ran, so there is no ancillary data: SCORE is 0.
+    assert!(
+        fallback.iter().all(|r| r[1] == Value::Number(0.0)),
+        "fallback path has no ancillary scores: {fallback:?}"
+    );
+    // Row membership still agrees.
+    assert_eq!(ids(&indexed), ids(&fallback));
+}

@@ -1,0 +1,192 @@
+//! NULL agreement between the index path and the functional fallback.
+//!
+//! SQL three-valued logic demands that an operator atom with any NULL
+//! operand — stored column value or literal argument — evaluates to
+//! UNKNOWN, which a WHERE clause rejects. Both engine strategies must
+//! agree: the domain-index scan never returns NULL-keyed rows (they are
+//! not in the index), and the functional fallback short-circuits NULL
+//! operands to NULL before calling the cartridge function. One test per
+//! cartridge pins the contract across the forced INDEX, NO_INDEX, and
+//! FULL paths.
+
+use extidx::chem::MoleculeWorkload;
+use extidx::spatial::{geometry_sql, Geometry, Mbr};
+use extidx::sql::Database;
+use extidx::vir::SignatureWorkload;
+use extidx_common::Value;
+
+fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> String {
+    geometry_sql(&Geometry::Rect(Mbr { xmin: x0, ymin: y0, xmax: x1, ymax: y1 }))
+}
+
+/// One table covering all five domains. Row 1 has every domain column
+/// populated; row 2 has them all NULL; row 3 is populated but disjoint
+/// from the probes below.
+fn null_db() -> Database {
+    let mut db = Database::with_cache_pages(2048);
+    extidx::text::install(&mut db).unwrap();
+    extidx::spatial::install(&mut db).unwrap();
+    extidx::vir::install(&mut db).unwrap();
+    extidx::chem::install(&mut db).unwrap();
+    db.execute(
+        "CREATE TABLE t (id INTEGER, doc VARCHAR2(400), geom SDO_GEOMETRY, \
+         img VIR_IMAGE, mol VARCHAR2(400), num NUMBER)",
+    )
+    .unwrap();
+
+    let mut sigs = SignatureWorkload::new(7);
+    let (s1, s3) = (sigs.random().serialize(), sigs.random().serialize());
+    let mut mols = MoleculeWorkload::new(7);
+    let frag = mols.molecule(3);
+    let m1 = mols.molecule_containing(&frag, 4);
+    db.execute(&format!(
+        "INSERT INTO t VALUES (1, 'alpha beta', {}, VIR_IMAGE('{s1}'), '{m1}', 10.0)",
+        rect(0.0, 0.0, 10.0, 10.0)
+    ))
+    .unwrap();
+    db.execute("INSERT INTO t VALUES (2, NULL, NULL, NULL, NULL, NULL)").unwrap();
+    db.execute(&format!(
+        "INSERT INTO t VALUES (3, 'gamma delta', {}, VIR_IMAGE('{s3}'), 'C', 30.0)",
+        rect(500.0, 500.0, 510.0, 510.0)
+    ))
+    .unwrap();
+
+    db.execute("CREATE INDEX i_txt ON t(doc) INDEXTYPE IS TextIndexType").unwrap();
+    db.execute("CREATE INDEX i_geo ON t(geom) INDEXTYPE IS SpatialIndexType").unwrap();
+    db.execute("CREATE INDEX i_img ON t(img) INDEXTYPE IS VirIndexType").unwrap();
+    db.execute("CREATE INDEX i_mol ON t(mol) INDEXTYPE IS ChemIndexType").unwrap();
+    db.execute("CREATE INDEX i_num ON t(num)").unwrap();
+    db
+}
+
+fn ids(rows: &[Vec<Value>]) -> Vec<i64> {
+    let mut out: Vec<i64> = rows
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Integer(i) => *i,
+            other => panic!("expected integer id, got {other:?}"),
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Run the predicate through the forced-index, NO_INDEX, and FULL paths
+/// and require identical id sets everywhere, returning that set.
+fn agree_all_paths(db: &mut Database, pred: &str, index: &str) -> Vec<i64> {
+    let base = format!("SELECT id FROM t WHERE {pred}");
+    let forced = db
+        .query(&format!("SELECT /*+ INDEX(t {index}) */ id FROM t WHERE {pred}"))
+        .unwrap_or_else(|e| panic!("forced {index} failed on `{pred}`: {e}"));
+    let no_index = db.query(&format!("SELECT /*+ NO_INDEX(t) */ id FROM t WHERE {pred}")).unwrap();
+    let full = db.query(&format!("SELECT /*+ FULL(t) */ id FROM t WHERE {pred}")).unwrap();
+    let plain = db.query(&base).unwrap();
+    let expected = ids(&forced);
+    assert_eq!(ids(&no_index), expected, "NO_INDEX diverges on `{pred}`");
+    assert_eq!(ids(&full), expected, "FULL diverges on `{pred}`");
+    assert_eq!(ids(&plain), expected, "cost-chosen plan diverges on `{pred}`");
+    expected
+}
+
+/// A NULL literal argument makes every path return nothing, and the
+/// index is not forcible (the optimizer refuses rather than scans).
+fn null_literal_all_paths_empty(db: &mut Database, pred: &str, index: &str) {
+    for hint in ["NO_INDEX(t)", "FULL(t)"] {
+        let rows = db.query(&format!("SELECT /*+ {hint} */ id FROM t WHERE {pred}")).unwrap();
+        assert_eq!(ids(&rows), Vec::<i64>::new(), "[{hint}] must reject NULL literal `{pred}`");
+    }
+    let rows = db.query(&format!("SELECT id FROM t WHERE {pred}")).unwrap();
+    assert_eq!(ids(&rows), Vec::<i64>::new(), "plan must reject NULL literal `{pred}`");
+    let err = db
+        .query(&format!("SELECT /*+ INDEX(t {index}) */ id FROM t WHERE {pred}"))
+        .unwrap_err();
+    assert!(err.to_string().contains("cannot force index"), "got: {err}");
+}
+
+#[test]
+fn text_contains_null_agreement() {
+    let mut db = null_db();
+    // Row 2's doc is NULL: UNKNOWN, never returned — on any path.
+    assert_eq!(agree_all_paths(&mut db, "Contains(doc, 'alpha')", "I_TXT"), vec![1]);
+    null_literal_all_paths_empty(&mut db, "Contains(doc, NULL)", "I_TXT");
+}
+
+#[test]
+fn spatial_relate_null_agreement() {
+    let mut db = null_db();
+    let w = rect(0.0, 0.0, 20.0, 20.0);
+    let pred = format!("Sdo_Relate(geom, {w}, 'mask=ANYINTERACT')");
+    assert_eq!(agree_all_paths(&mut db, &pred, "I_GEO"), vec![1]);
+    null_literal_all_paths_empty(&mut db, "Sdo_Relate(geom, NULL, 'mask=ANYINTERACT')", "I_GEO");
+}
+
+#[test]
+fn vir_similar_null_agreement() {
+    let mut db = null_db();
+    let mut sigs = SignatureWorkload::new(7);
+    let s1 = sigs.random().serialize();
+    // Distance to itself is 0.0 — row 1 matches; NULL img row 2 never.
+    let pred = format!("VirSimilar(img, '{s1}', 'globalcolor=1.0', 5.0)");
+    let got = agree_all_paths(&mut db, &pred, "I_IMG");
+    assert!(got.contains(&1), "self-similar row must match: {got:?}");
+    assert!(!got.contains(&2), "NULL img row must not match: {got:?}");
+    null_literal_all_paths_empty(&mut db, "VirSimilar(img, NULL, 'globalcolor=1.0', 5.0)", "I_IMG");
+}
+
+#[test]
+fn chem_operators_null_agreement() {
+    let mut db = null_db();
+    let mut mols = MoleculeWorkload::new(7);
+    let frag = mols.molecule(3);
+    let m1 = mols.molecule_containing(&frag, 4);
+    let got = agree_all_paths(&mut db, &format!("MolContains(mol, '{frag}')"), "I_MOL");
+    assert!(got.contains(&1), "containing molecule must match: {got:?}");
+    assert!(!got.contains(&2), "NULL mol row must not match: {got:?}");
+    null_literal_all_paths_empty(&mut db, "MolContains(mol, NULL)", "I_MOL");
+
+    // Tanimoto of a molecule with itself is 1.0.
+    let got = agree_all_paths(&mut db, &format!("MolSimilar(mol, '{m1}', 0.99)"), "I_MOL");
+    assert!(got.contains(&1), "identical molecule must match: {got:?}");
+    assert!(!got.contains(&2), "NULL mol row must not match: {got:?}");
+}
+
+#[test]
+fn btree_skips_null_keys_on_every_path() {
+    let mut db = null_db();
+    // num: 10.0, NULL, 30.0 — a range covering everything must still
+    // exclude the NULL row, whether answered by B-tree or scan.
+    assert_eq!(agree_all_paths(&mut db, "num > 0.0", "I_NUM"), vec![1, 3]);
+    assert_eq!(agree_all_paths(&mut db, "num <= 30.0", "I_NUM"), vec![1, 3]);
+    // Maintenance transitions: NULL→value adds an index entry,
+    // value→NULL removes it, DELETE of a NULL-keyed row is a no-op on
+    // the index.
+    db.execute("UPDATE t SET num = 20.0 WHERE id = 2").unwrap();
+    assert_eq!(agree_all_paths(&mut db, "num > 0.0", "I_NUM"), vec![1, 2, 3]);
+    db.execute("UPDATE t SET num = NULL WHERE id = 2").unwrap();
+    assert_eq!(agree_all_paths(&mut db, "num > 0.0", "I_NUM"), vec![1, 3]);
+    db.execute("DELETE FROM t WHERE id = 2").unwrap();
+    assert_eq!(agree_all_paths(&mut db, "num > 0.0", "I_NUM"), vec![1, 3]);
+}
+
+#[test]
+fn is_null_is_two_valued_and_or_rescues_unknown() {
+    let mut db = null_db();
+    let rows = db.query("SELECT id FROM t WHERE doc IS NULL").unwrap();
+    assert_eq!(ids(&rows), vec![2]);
+    let rows = db.query("SELECT id FROM t WHERE doc IS NOT NULL").unwrap();
+    assert_eq!(ids(&rows), vec![1, 3]);
+
+    // Kleene OR: UNKNOWN OR TRUE = TRUE. Row 2 has NULL doc (UNKNOWN
+    // Contains) but its id matches — the row must appear on all paths.
+    for hint in ["", "/*+ NO_INDEX(t) */ ", "/*+ FULL(t) */ "] {
+        let rows = db
+            .query(&format!(
+                "SELECT {hint}id FROM t WHERE Contains(doc, 'alpha') OR id = 2"
+            ))
+            .unwrap();
+        assert_eq!(ids(&rows), vec![1, 2], "hint={hint:?}");
+    }
+    // Kleene AND: UNKNOWN AND TRUE = UNKNOWN → rejected.
+    let rows = db.query("SELECT id FROM t WHERE Contains(doc, 'alpha') AND id = 2").unwrap();
+    assert_eq!(ids(&rows), Vec::<i64>::new());
+}
