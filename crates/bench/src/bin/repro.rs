@@ -13,6 +13,7 @@
 //! repro e8-batch          §2.5:   batched ODCIIndexFetch round trips
 //! repro e9-events         §5:     rollback vs external stores + events
 //! repro e10-build         parallel index build + batched rowid→row join
+//! repro e13-observe       EXPLAIN ANALYZE + V$ tables + tkprof-style report
 //! repro all               everything above
 //! ```
 //!
@@ -53,10 +54,12 @@ fn main() {
     run("e8-batch", e8_batch);
     run("e9-events", e9_events);
     run("e10-build", e10_build);
+    run("e13-observe", e13_observe);
     if !matches!(
         cmd.as_str(),
         "all" | "e1-architecture" | "e2-text" | "e3-spatial" | "e4-vir" | "e5-chem"
             | "e6-optimizer" | "e7-scan-modes" | "e8-batch" | "e9-events" | "e10-build"
+            | "e13-observe"
     ) {
         eprintln!("unknown experiment {cmd:?}; see `repro` source for the list");
         std::process::exit(2);
@@ -486,5 +489,53 @@ fn e10_build() -> Result<()> {
         s.logical_reads, s.physical_reads
     );
     println!("  ({:.1} rows joined per buffer-cache touch)", matches as f64 / s.logical_reads.max(1) as f64);
+    Ok(())
+}
+
+/// E13 — the observability layer: EXPLAIN ANALYZE row-source statistics
+/// over a text-cartridge query, the V$ virtual tables answering plain
+/// SQL, and the tkprof-style session report.
+fn e13_observe() -> Result<()> {
+    let mut fx = text_fixture(2000, 40, 800, 17)?;
+    let db = &mut fx.db;
+    db.trace().set_enabled(true);
+    db.trace().clear();
+
+    let term = fx.gen.term(60).to_string();
+    let scan = format!("SELECT id FROM docs WHERE Contains(body, '{term}')");
+    let score = format!(
+        "SELECT id, Score(1) FROM docs WHERE Contains(body, '{term}', 1) \
+         ORDER BY Score(1) DESC LIMIT 5"
+    );
+
+    // A small mixed session so every counter has something to show.
+    db.query(&scan)?;
+    db.query(&score)?;
+    db.execute(&format!("INSERT INTO docs VALUES (900001, '{term} fresh arrival')"))?;
+    db.execute("UPDATE docs SET body = 'rewritten away' WHERE id = 900001")?;
+    db.execute("DELETE FROM docs WHERE id = 900001")?;
+
+    println!("EXPLAIN ANALYZE {scan}\n");
+    for row in db.query(&format!("EXPLAIN ANALYZE {scan}"))? {
+        println!("  {}", row[0]);
+    }
+    println!("\neach line extends plain EXPLAIN with [actual rows/calls/gets/time];");
+    println!("accounting is inclusive, so the root's gets equal the statement delta.");
+
+    for vtab in [
+        "SELECT NAME, VALUE FROM V$CACHE_STATS ORDER BY NAME",
+        "SELECT INDEXTYPE, ROUTINE, CALLS, ELAPSED_MICROS FROM V$ODCI_CALLS",
+        "SELECT SQL_ID, ROWS_PROCESSED, ELAPSED_MICROS, SQL_TEXT FROM V$SQLSTATS \
+         ORDER BY ELAPSED_MICROS DESC LIMIT 5",
+        "SELECT SEQ, COMPONENT, ROUTINE, INDEXTYPE FROM V$TRACE ORDER BY SEQ LIMIT 8",
+    ] {
+        println!("\n{vtab}");
+        for row in db.query(vtab)? {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("  {}", cells.join(" | "));
+        }
+    }
+
+    println!("\n{}", db.trace_report());
     Ok(())
 }

@@ -211,3 +211,26 @@ fn screen_never_misses_plan_uses_domain_index() {
     got.sort_unstable();
     assert_eq!(got, expected);
 }
+
+/// EXPLAIN ANALYZE smoke: the substructure scan is annotated with actual
+/// counters and the summary reports the executed row count.
+#[test]
+fn explain_analyze_annotates_the_chem_scan() {
+    let mut db = chem_db();
+    load_molecules(&mut db, 60, 4, 41);
+    db.execute("CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType").unwrap();
+    let sql =
+        "SELECT /*+ INDEX(compounds cidx) */ id FROM compounds WHERE MolContains(mol, 'CC=O')";
+    let lines: Vec<String> = db
+        .query(&format!("EXPLAIN ANALYZE {sql}"))
+        .unwrap()
+        .into_iter()
+        .map(|r| r[0].to_string())
+        .collect();
+    let scan =
+        lines.iter().find(|l| l.contains("DOMAIN INDEX SCAN")).expect("domain scan in plan");
+    assert!(scan.contains("[actual rows="), "unannotated scan line: {scan}");
+    let expected = db.query(sql).unwrap().len();
+    let summary = lines.last().unwrap();
+    assert!(summary.contains(&format!("rows={expected}")), "{summary}");
+}

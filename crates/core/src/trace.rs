@@ -7,10 +7,22 @@
 //! crossings of the server↔cartridge boundary so the E1 experiment (and
 //! any debugging session) can print the architecture diagram as a live
 //! event log.
+//!
+//! Events live in a *bounded ring*: once `capacity` events are held the
+//! oldest are dropped and counted in [`CallTrace::dropped`], so long qgen
+//! sweeps cannot grow memory without limit. Per-(indextype, routine)
+//! aggregates — call counts and total elapsed time — are kept separately
+//! and are *not* subject to ring eviction; they back the `V$ODCI_CALLS`
+//! virtual table and the tkprof-style session report.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
+
+/// Default ring capacity (events retained before the oldest are dropped).
+pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
 
 /// Which server component invoked the cartridge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +59,9 @@ impl std::fmt::Display for Component {
 /// One server→cartridge invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
+    /// Monotonic sequence number (survives ring eviction — gaps at the
+    /// front of [`CallTrace::events`] mean events were dropped).
+    pub seq: u64,
     /// Which server component made the call.
     pub component: Component,
     /// The ODCI routine name (e.g. `ODCIIndexFetch`).
@@ -55,6 +70,10 @@ pub struct TraceEvent {
     pub indextype: String,
     /// Human-readable argument summary.
     pub detail: String,
+    /// Wall time spent inside the cartridge routine, in microseconds.
+    /// Zero until the crossing completes (or for crossings that are not
+    /// timed, e.g. fault-harness events).
+    pub elapsed_micros: u64,
 }
 
 impl std::fmt::Display for TraceEvent {
@@ -63,17 +82,55 @@ impl std::fmt::Display for TraceEvent {
     }
 }
 
-/// A shared, toggleable trace. Cloning shares the underlying buffer, so
-/// the engine and a test/bench harness can watch the same stream.
-#[derive(Clone, Default)]
-pub struct CallTrace {
-    inner: Arc<Mutex<TraceInner>>,
+/// Aggregate counters for one (indextype, routine) pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutineStats {
+    /// Number of crossings recorded.
+    pub calls: u64,
+    /// Total wall time spent inside the routine, microseconds.
+    pub total_micros: u64,
 }
 
 #[derive(Default)]
 struct TraceInner {
     enabled: bool,
-    events: Vec<TraceEvent>,
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    /// (indextype, routine) → aggregate. Not subject to ring eviction.
+    aggregates: BTreeMap<(String, &'static str), RoutineStats>,
+}
+
+/// A shared, toggleable trace. Cloning shares the underlying buffer, so
+/// the engine and a test/bench harness can watch the same stream.
+#[derive(Clone)]
+pub struct CallTrace {
+    inner: Arc<Mutex<TraceInner>>,
+}
+
+impl Default for CallTrace {
+    fn default() -> Self {
+        CallTrace {
+            inner: Arc::new(Mutex::new(TraceInner {
+                capacity: DEFAULT_TRACE_CAPACITY,
+                ..TraceInner::default()
+            })),
+        }
+    }
+}
+
+/// Handle returned by [`CallTrace::record`]; pass it to
+/// [`CallTrace::finish`] once the crossing returns to stamp the event's
+/// elapsed time and fold it into the per-routine aggregates.
+///
+/// The started-at instant lives in the handle (not the shared buffer), so
+/// nested crossings — a cartridge calling back into the server mid-routine
+/// — time correctly without any stack bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossingHandle {
+    seq: u64,
+    started: Instant,
 }
 
 impl CallTrace {
@@ -92,33 +149,100 @@ impl CallTrace {
         self.inner.lock().enabled
     }
 
-    /// Record an event (no-op while disabled).
+    /// Change the ring capacity. Excess oldest events are dropped (and
+    /// counted) immediately.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut g = self.inner.lock();
+        g.capacity = capacity.max(1);
+        while g.events.len() > g.capacity {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+    }
+
+    /// Events evicted from the ring since the last [`CallTrace::clear`].
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Record a crossing (no-op while disabled, but the returned handle is
+    /// still valid to pass to [`CallTrace::finish`]). The event enters the
+    /// stream *before* the cartridge routine runs, so events a routine
+    /// generates by calling back into the server appear after it.
     pub fn record(
         &self,
         component: Component,
         routine: &'static str,
         indextype: &str,
         detail: impl Into<String>,
-    ) {
+    ) -> CrossingHandle {
+        let started = Instant::now();
         let mut g = self.inner.lock();
+        // A disabled trace hands back a handle that can never match a
+        // recorded event, so a later `finish` stays a no-op.
+        let mut seq = u64::MAX;
         if g.enabled {
-            g.events.push(TraceEvent {
+            seq = g.next_seq;
+            g.next_seq += 1;
+            let agg = g.aggregates.entry((indextype.to_string(), routine)).or_default();
+            agg.calls += 1;
+            g.events.push_back(TraceEvent {
+                seq,
                 component,
                 routine,
                 indextype: indextype.to_string(),
                 detail: detail.into(),
+                elapsed_micros: 0,
             });
+            if g.events.len() > g.capacity {
+                g.events.pop_front();
+                g.dropped += 1;
+            }
+        }
+        CrossingHandle { seq, started }
+    }
+
+    /// Stamp the elapsed time for a crossing recorded by
+    /// [`CallTrace::record`], updating both the ring event (if still
+    /// resident) and the per-routine aggregates.
+    pub fn finish(&self, handle: CrossingHandle) {
+        let elapsed = handle.started.elapsed().as_micros() as u64;
+        let mut g = self.inner.lock();
+        if !g.enabled {
+            return;
+        }
+        // Events are seq-ordered; search from the back since the crossing
+        // we are finishing is normally the most recent few.
+        if let Some(ev) = g.events.iter_mut().rev().find(|e| e.seq == handle.seq) {
+            ev.elapsed_micros = elapsed;
+            let key = (ev.indextype.clone(), ev.routine);
+            if let Some(agg) = g.aggregates.get_mut(&key) {
+                agg.total_micros += elapsed;
+            }
         }
     }
 
-    /// Snapshot the recorded events.
+    /// Snapshot the recorded events (oldest retained first).
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.lock().events.clone()
+        self.inner.lock().events.iter().cloned().collect()
     }
 
-    /// Clear recorded events.
+    /// Snapshot the per-(indextype, routine) aggregates, sorted by key.
+    pub fn aggregates(&self) -> Vec<(String, &'static str, RoutineStats)> {
+        self.inner
+            .lock()
+            .aggregates
+            .iter()
+            .map(|((it, r), s)| (it.clone(), *r, *s))
+            .collect()
+    }
+
+    /// Clear recorded events, aggregates, and the dropped counter.
     pub fn clear(&self) {
-        self.inner.lock().events.clear();
+        let mut g = self.inner.lock();
+        g.events.clear();
+        g.aggregates.clear();
+        g.dropped = 0;
     }
 
     /// Routine names in recorded order — handy for call-sequence asserts.
@@ -136,6 +260,7 @@ mod tests {
         let t = CallTrace::new();
         t.record(Component::Ddl, "ODCIIndexCreate", "T", "x");
         assert!(t.events().is_empty());
+        assert!(t.aggregates().is_empty());
     }
 
     #[test]
@@ -165,14 +290,64 @@ mod tests {
     #[test]
     fn event_display() {
         let e = TraceEvent {
+            seq: 0,
             component: Component::Dml,
             routine: "ODCIIndexInsert",
             indextype: "TEXTINDEXTYPE".into(),
             detail: "EMPLOYEES row".into(),
+            elapsed_micros: 0,
         };
         assert_eq!(
             e.to_string(),
             "[DML] EMPLOYEES row -> TEXTINDEXTYPE.ODCIIndexInsert"
         );
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = CallTrace::new();
+        t.set_enabled(true);
+        t.set_capacity(3);
+        for i in 0..5 {
+            t.record(Component::Dml, "ODCIIndexInsert", "T", format!("row {i}"));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        // Oldest two (seq 0, 1) evicted; seqs of survivors are contiguous.
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        // Aggregates are immune to eviction.
+        let aggs = t.aggregates();
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].2.calls, 5);
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+        assert!(t.aggregates().is_empty());
+    }
+
+    #[test]
+    fn finish_stamps_elapsed_and_aggregates() {
+        let t = CallTrace::new();
+        t.set_enabled(true);
+        let h = t.record(Component::IndexAccess, "ODCIIndexFetch", "T", "q");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.finish(h);
+        let evs = t.events();
+        assert!(evs[0].elapsed_micros >= 1000, "elapsed = {}", evs[0].elapsed_micros);
+        let aggs = t.aggregates();
+        assert_eq!(aggs[0].2.calls, 1);
+        assert_eq!(aggs[0].2.total_micros, evs[0].elapsed_micros);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let t = CallTrace::new();
+        t.set_enabled(true);
+        for _ in 0..4 {
+            t.record(Component::Ddl, "ODCIIndexCreate", "T", "");
+        }
+        t.set_capacity(2);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 2);
     }
 }

@@ -155,3 +155,32 @@ fn truncate_and_drop_rtree() {
     db.execute("DROP INDEX ridx").unwrap();
     assert!(db.query("SELECT COUNT(*) FROM DR$RIDX$R").is_err());
 }
+
+/// EXPLAIN ANALYZE smoke: the same query annotated under the R-tree
+/// indextype — the observability layer is indexing-scheme agnostic.
+#[test]
+fn explain_analyze_annotates_the_rtree_scan() {
+    let mut wl = SpatialWorkload::new(1024.0, 19);
+    let geoms: Vec<Geometry> = (0..60).map(|_| wl.rect(5.0, 40.0)).collect();
+    let mut db = spatial_db();
+    load_layer(&mut db, &geoms);
+    db.execute("CREATE INDEX sidx ON parcels(geometry) INDEXTYPE IS RtreeIndexType").unwrap();
+    let window = geometry_sql(&wl.rect(100.0, 300.0));
+    let sql = format!(
+        "SELECT /*+ INDEX(parcels sidx) */ gid FROM parcels \
+         WHERE Sdo_Relate(geometry, {window}, 'mask=ANYINTERACT')"
+    );
+    let lines: Vec<String> = db
+        .query(&format!("EXPLAIN ANALYZE {sql}"))
+        .unwrap()
+        .into_iter()
+        .map(|r| r[0].to_string())
+        .collect();
+    let scan =
+        lines.iter().find(|l| l.contains("DOMAIN INDEX SCAN")).expect("domain scan in plan");
+    assert!(scan.contains("[actual rows="), "unannotated scan line: {scan}");
+    assert!(scan.contains("RTREEINDEXTYPE"), "wrong indextype: {scan}");
+    let expected = db.query(&sql).unwrap().len();
+    let summary = lines.last().unwrap();
+    assert!(summary.contains(&format!("rows={expected}")), "{summary}");
+}

@@ -194,6 +194,10 @@ pub enum Statement {
     // ---- queries ----
     Select(Select),
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE <select>` — execute the plan with every node
+    /// instrumented, render the tree annotated with actual row counts,
+    /// buffer gets, and wall time.
+    ExplainAnalyze(Box<Statement>),
 
     // ---- DML ----
     Insert {
@@ -346,7 +350,9 @@ pub fn bind_statement(stmt: &mut Statement, binds: &[Value]) -> extidx_common::R
     }
     match stmt {
         Statement::Select(s) => bind_select(s, binds)?,
-        Statement::Explain(inner) => bind_statement(inner, binds)?,
+        Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => {
+            bind_statement(inner, binds)?
+        }
         Statement::Insert { source, .. } => match source {
             InsertSource::Values(rows) => {
                 for row in rows {

@@ -114,6 +114,60 @@ impl Catalog {
         Self::default()
     }
 
+    // ---- V$ virtual tables ------------------------------------------------------
+
+    /// Whether a name addresses a `V$` dynamic-performance virtual table.
+    /// These are resolved by the optimizer like ordinary tables but are
+    /// materialized from engine state at plan time and are read-only.
+    pub fn is_vtable(name: &str) -> bool {
+        let n = name.as_bytes();
+        n.len() > 2 && (n[0] == b'V' || n[0] == b'v') && n[1] == b'$'
+    }
+
+    /// Schema of a `V$` virtual table, or `None` if the name is not one of
+    /// the defined views. Column order here is the row layout
+    /// [`vtable`-materialization in the engine] must produce.
+    pub fn vtable_columns(name: &str) -> Option<Vec<ColumnDef>> {
+        let col = |n: &str, ty: SqlType| ColumnDef { name: n.into(), ty };
+        let cols = match name.to_ascii_uppercase().as_str() {
+            // Buffer-cache counters as NAME/VALUE rows.
+            "V$CACHE_STATS" => vec![
+                col("NAME", SqlType::Varchar(64)),
+                col("VALUE", SqlType::Integer),
+            ],
+            // Per-(indextype, routine) crossing aggregates.
+            "V$ODCI_CALLS" => vec![
+                col("INDEXTYPE", SqlType::Varchar(128)),
+                col("ROUTINE", SqlType::Varchar(64)),
+                col("CALLS", SqlType::Integer),
+                col("ELAPSED_MICROS", SqlType::Integer),
+            ],
+            // Bounded per-statement execution history.
+            "V$SQLSTATS" => vec![
+                col("SQL_ID", SqlType::Integer),
+                col("SQL_TEXT", SqlType::Varchar(4096)),
+                col("ROWS_PROCESSED", SqlType::Integer),
+                col("ELAPSED_MICROS", SqlType::Integer),
+                col("LOGICAL_READS", SqlType::Integer),
+                col("PHYSICAL_READS", SqlType::Integer),
+                col("PHYSICAL_WRITES", SqlType::Integer),
+            ],
+            // The CallTrace ring. DROPPED repeats the ring's eviction
+            // counter on every row so `SELECT MAX(DROPPED)` surfaces it.
+            "V$TRACE" => vec![
+                col("SEQ", SqlType::Integer),
+                col("COMPONENT", SqlType::Varchar(32)),
+                col("ROUTINE", SqlType::Varchar(64)),
+                col("INDEXTYPE", SqlType::Varchar(128)),
+                col("DETAIL", SqlType::Varchar(1024)),
+                col("ELAPSED_MICROS", SqlType::Integer),
+                col("DROPPED", SqlType::Integer),
+            ],
+            _ => return None,
+        };
+        Some(cols)
+    }
+
     // ---- tables ---------------------------------------------------------------
 
     /// Add a table.

@@ -17,8 +17,9 @@
 //! - commit/rollback fire registered database events (§5).
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use extidx_common::{Error, Key, LobRef, Result, Row, RowId, SqlType, Value};
 use extidx_core::events::{DbEvent, EventHandler};
@@ -30,7 +31,7 @@ use extidx_core::params::ParamString;
 use extidx_core::scan::WorkspaceHandle;
 use extidx_core::server::{BaseRow, BatchSink, CallbackMode, ServerContext};
 use extidx_core::stats::OdciStats;
-use extidx_core::trace::{CallTrace, Component};
+use extidx_core::trace::{CallTrace, Component, CrossingHandle};
 use extidx_core::OdciIndex;
 use extidx_storage::buffer::CacheStats;
 use extidx_storage::file_store::FileStats;
@@ -120,6 +121,38 @@ pub struct Database {
     /// when set, a domain scan silently discards the rows of its final
     /// ODCIIndexFetch batch. Never enabled outside tests.
     pub(crate) chaos_drop_last_domain_batch: bool,
+    /// Bounded per-statement execution history backing `V$SQLSTATS`.
+    sqlstats: VecDeque<SqlStat>,
+    next_sql_id: u64,
+}
+
+/// One completed top-level statement's execution statistics.
+#[derive(Debug, Clone)]
+pub struct SqlStat {
+    /// Monotonic statement id.
+    pub sql_id: u64,
+    /// The statement text as submitted.
+    pub sql_text: String,
+    /// Rows returned (queries) or affected (DML).
+    pub rows_processed: u64,
+    /// Wall time for the whole statement, microseconds.
+    pub elapsed_micros: u64,
+    /// Buffer-cache delta across the statement.
+    pub cache: CacheStats,
+}
+
+/// Statements kept in the `V$SQLSTATS` history.
+const SQLSTATS_CAPACITY: usize = 256;
+
+/// `V$` virtual tables are read-only views over engine state.
+fn reject_vtable_dml(table: &str) -> Result<()> {
+    if Catalog::is_vtable(table) {
+        return Err(Error::Unsupported(format!(
+            "{} is a read-only V$ view",
+            table.to_ascii_uppercase()
+        )));
+    }
+    Ok(())
 }
 
 /// One successful domain-index maintenance call, with everything needed
@@ -182,6 +215,8 @@ impl Database {
             fault: FaultInjector::new(),
             retry: RetryPolicy::default(),
             chaos_drop_last_domain_batch: false,
+            sqlstats: VecDeque::new(),
+            next_sql_id: 0,
         }
     }
 
@@ -330,7 +365,32 @@ impl Database {
     pub fn execute_with(&mut self, sql: &str, binds: &[Value]) -> Result<StmtResult> {
         let mut stmt = parse(sql)?;
         bind_statement(&mut stmt, binds)?;
-        self.run_top(stmt)
+        let before = self.cache_stats();
+        let started = Instant::now();
+        let result = self.run_top(stmt);
+        // V$SQLSTATS: per-statement resource accounting for successful
+        // top-level statements (nested callback statements go through
+        // `run_statement` directly and are charged to their parent).
+        if let Ok(r) = &result {
+            let rows_processed = match r {
+                StmtResult::Rows { rows, .. } => rows.len() as u64,
+                StmtResult::Affected(n) => *n,
+                StmtResult::Ok => 0,
+            };
+            let stat = SqlStat {
+                sql_id: self.next_sql_id,
+                sql_text: sql.to_string(),
+                rows_processed,
+                elapsed_micros: started.elapsed().as_micros() as u64,
+                cache: self.cache_stats().since(&before),
+            };
+            self.next_sql_id += 1;
+            if self.sqlstats.len() == SQLSTATS_CAPACITY {
+                self.sqlstats.pop_front();
+            }
+            self.sqlstats.push_back(stat);
+        }
+        result
     }
 
     /// Convenience: run a query and return just the rows.
@@ -451,7 +511,7 @@ impl Database {
                 MaintOp::Update { rid, .. } => ("ODCIIndexUpdate", *rid),
                 MaintOp::Delete { rid, .. } => ("ODCIIndexInsert", *rid),
             };
-            self.trace.record(
+            let h = self.trace.record(
                 Component::Recovery,
                 routine,
                 &d.indextype,
@@ -467,6 +527,7 @@ impl Database {
                 MaintOp::Update { rid, old, new } => index.update(&mut ctx, &info, *rid, new, old),
                 MaintOp::Delete { rid, old } => index.insert(&mut ctx, &info, *rid, old),
             };
+            self.trace.finish(h);
         }
         self.compensating = false;
     }
@@ -497,6 +558,45 @@ impl Database {
                     Ok(StmtResult::Rows { columns: vec!["PLAN".into()], rows })
                 }
                 _ => Err(Error::Unsupported("EXPLAIN is only supported for SELECT".into())),
+            },
+            Statement::ExplainAnalyze(inner) => match *inner {
+                Statement::Select(s) => {
+                    let planned = optimizer::plan_select(self, &s)?;
+                    let lines = planned.root.explain();
+                    let (mut exec, cells) = executor::build_instrumented(planned.root);
+                    // Both the per-node cells and the summary delta span only
+                    // the execution loop, so the root cell's buffer gets must
+                    // equal the statement delta (planning-time cache touches
+                    // are outside both windows).
+                    let before = self.cache_stats();
+                    let started = Instant::now();
+                    let mut produced = 0u64;
+                    while exec.next(self)?.is_some() {
+                        produced += 1;
+                    }
+                    let elapsed = started.elapsed().as_micros() as u64;
+                    let delta = self.cache_stats().since(&before);
+                    let mut rows: Vec<Row> = lines
+                        .iter()
+                        .zip(cells.iter())
+                        .map(|(line, cell)| {
+                            let s = cell.snapshot();
+                            vec![Value::from(format!(
+                                "{line}  [actual rows={} calls={} gets={} ({} phys) time={}us]",
+                                s.rows, s.next_calls, s.logical_reads, s.physical_reads,
+                                s.elapsed_micros
+                            ))]
+                        })
+                        .collect();
+                    rows.push(vec![Value::from(format!(
+                        "statement: rows={produced} gets={} ({} phys, {} written) elapsed={elapsed}us",
+                        delta.logical_reads, delta.physical_reads, delta.physical_writes
+                    ))]);
+                    Ok(StmtResult::Rows { columns: vec!["PLAN".into()], rows })
+                }
+                _ => Err(Error::Unsupported(
+                    "EXPLAIN ANALYZE is only supported for SELECT".into(),
+                )),
             },
             Statement::Insert { table, columns, source } => self.run_insert(&table, columns, source),
             Statement::Update { table, assignments, where_clause } => {
@@ -712,10 +812,12 @@ impl Database {
             self.catalog.domain_indexes_on(&tdef.name).into_iter().cloned().collect();
         for d in domain {
             let (index, _, info) = self.domain_index_runtime(&d)?;
-            self.trace.record(Component::Ddl, "ODCIIndexTruncate", &d.indextype, &d.name);
+            let h = self.trace.record(Component::Ddl, "ODCIIndexTruncate", &d.indextype, &d.name);
             self.fault_check("ODCIIndexTruncate", Some(&d.indextype))?;
             let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
-            index.truncate(&mut ctx, &info)?;
+            let r = index.truncate(&mut ctx, &info);
+            self.trace.finish(h);
+            r?;
         }
         Ok(StmtResult::Ok)
     }
@@ -789,7 +891,7 @@ impl Database {
         // §2.4.1: dictionary entries first, then ODCIIndexCreate.
         self.catalog.create_domain_index(def.clone())?;
         let (index, _, info) = self.domain_index_runtime(&def)?;
-        self.trace.record(
+        let h = self.trace.record(
             Component::Ddl,
             "ODCIIndexCreate",
             &def.indextype,
@@ -799,6 +901,7 @@ impl Database {
             let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
             index.create(&mut ctx, &info)
         });
+        self.trace.finish(h);
         match created {
             Ok(()) => Ok(StmtResult::Ok),
             Err(e) => {
@@ -828,10 +931,12 @@ impl Database {
             d.clone()
         };
         let (index, _, info) = self.domain_index_runtime(&def)?;
-        self.trace.record(Component::Ddl, "ODCIIndexAlter", &def.indextype, &def.name);
+        let h = self.trace.record(Component::Ddl, "ODCIIndexAlter", &def.indextype, &def.name);
         self.fault_check("ODCIIndexAlter", Some(&def.indextype))?;
         let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
-        index.alter(&mut ctx, &info, &delta)?;
+        let r = index.alter(&mut ctx, &info, &delta);
+        self.trace.finish(h);
+        r?;
         Ok(StmtResult::Ok)
     }
 
@@ -850,10 +955,12 @@ impl Database {
 
     fn drop_domain_index_entry(&mut self, d: &DomainIndexDef) -> Result<()> {
         let (index, _, info) = self.domain_index_runtime(d)?;
-        self.trace.record(Component::Ddl, "ODCIIndexDrop", &d.indextype, &d.name);
+        let h = self.trace.record(Component::Ddl, "ODCIIndexDrop", &d.indextype, &d.name);
         self.fault_check("ODCIIndexDrop", Some(&d.indextype))?;
         let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
-        index.drop_index(&mut ctx, &info)?;
+        let r = index.drop_index(&mut ctx, &info);
+        self.trace.finish(h);
+        r?;
         self.catalog.drop_domain_index(&d.name);
         Ok(())
     }
@@ -924,10 +1031,13 @@ impl Database {
             self.catalog.domain_indexes_on(&tdef.name).into_iter().cloned().collect();
         for d in domain {
             let (_, stats, info) = self.domain_index_runtime(&d)?;
-            self.trace.record(Component::Optimizer, "ODCIStatsCollect", &d.indextype, &d.name);
+            let h =
+                self.trace.record(Component::Optimizer, "ODCIStatsCollect", &d.indextype, &d.name);
             self.fault_check("ODCIStatsCollect", Some(&d.indextype))?;
             let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
-            stats.collect(&mut ctx, &info)?;
+            let r = stats.collect(&mut ctx, &info);
+            self.trace.finish(h);
+            r?;
         }
         Ok(StmtResult::Ok)
     }
@@ -940,6 +1050,7 @@ impl Database {
         columns: Option<Vec<String>>,
         source: InsertSource,
     ) -> Result<StmtResult> {
+        reject_vtable_dml(table)?;
         let tdef = self.catalog.table(table)?.clone();
         // Materialize source rows first (also avoids reading a table while
         // inserting into it for INSERT … SELECT).
@@ -1023,6 +1134,7 @@ impl Database {
         assignments: Vec<(String, crate::ast::Expr)>,
         where_clause: Option<crate::ast::Expr>,
     ) -> Result<StmtResult> {
+        reject_vtable_dml(table)?;
         let tdef = self.catalog.table(table)?.clone();
         let matches = self.collect_dml_targets(&tdef, where_clause.as_ref())?;
         // Compile assignments against the table's scope.
@@ -1088,6 +1200,7 @@ impl Database {
     }
 
     fn run_delete(&mut self, table: &str, where_clause: Option<crate::ast::Expr>) -> Result<StmtResult> {
+        reject_vtable_dml(table)?;
         let tdef = self.catalog.table(table)?.clone();
         let matches = self.collect_dml_targets(&tdef, where_clause.as_ref())?;
         let mut count = 0u64;
@@ -1227,7 +1340,7 @@ impl Database {
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
-            self.trace.record(Component::Dml, routine, &d.indextype, format!("{rid}"));
+            let h = self.trace.record(Component::Dml, routine, &d.indextype, format!("{rid}"));
             let mark = self.stmt_undo.as_ref().map(|u| u.len());
             let result = match self.fault_check(routine, Some(&d.indextype)) {
                 Err(e) => Err(e),
@@ -1246,6 +1359,7 @@ impl Database {
                     }
                 }
             };
+            self.trace.finish(h);
             match result {
                 Ok(()) => {
                     self.stmt_maint.push(MaintRecord { index: d.name.clone(), op });
@@ -1316,15 +1430,143 @@ impl Database {
         Ok((it.implementation.clone(), it.stats.clone(), info))
     }
 
-    /// Record a framework trace event (engine-internal use).
+    /// Record a framework trace event (engine-internal use). The handle
+    /// can be passed to [`Database::trace_finish`] once the crossing
+    /// returns to stamp its elapsed time.
     pub(crate) fn trace_event(
         &self,
         component: Component,
         routine: &'static str,
         indextype: &str,
         detail: impl Into<String>,
-    ) {
-        self.trace.record(component, routine, indextype, detail);
+    ) -> CrossingHandle {
+        self.trace.record(component, routine, indextype, detail)
+    }
+
+    /// Stamp a crossing's elapsed time (engine-internal use).
+    pub(crate) fn trace_finish(&self, handle: CrossingHandle) {
+        self.trace.finish(handle);
+    }
+
+    /// Snapshot of the per-statement resource stats backing `V$SQLSTATS`.
+    pub fn sqlstats(&self) -> Vec<SqlStat> {
+        self.sqlstats.iter().cloned().collect()
+    }
+
+    /// Materialize the rows of a `V$` virtual table. Each row carries a
+    /// trailing NULL for the hidden ROWID slot every table scope exposes.
+    pub(crate) fn vtable_rows(&self, name: &str) -> Result<Vec<Row>> {
+        let upper = name.to_ascii_uppercase();
+        let mut rows: Vec<Row> = match upper.as_str() {
+            "V$CACHE_STATS" => {
+                let s = self.cache_stats();
+                vec![
+                    vec![Value::from("LOGICAL_READS"), Value::from(s.logical_reads as i64)],
+                    vec![Value::from("PHYSICAL_READS"), Value::from(s.physical_reads as i64)],
+                    vec![Value::from("PHYSICAL_WRITES"), Value::from(s.physical_writes as i64)],
+                ]
+            }
+            "V$ODCI_CALLS" => self
+                .trace
+                .aggregates()
+                .into_iter()
+                .map(|(indextype, routine, s)| {
+                    vec![
+                        Value::from(indextype),
+                        Value::from(routine),
+                        Value::from(s.calls as i64),
+                        Value::from(s.total_micros as i64),
+                    ]
+                })
+                .collect(),
+            "V$SQLSTATS" => self
+                .sqlstats
+                .iter()
+                .map(|s| {
+                    vec![
+                        Value::from(s.sql_id as i64),
+                        Value::from(s.sql_text.clone()),
+                        Value::from(s.rows_processed as i64),
+                        Value::from(s.elapsed_micros as i64),
+                        Value::from(s.cache.logical_reads as i64),
+                        Value::from(s.cache.physical_reads as i64),
+                        Value::from(s.cache.physical_writes as i64),
+                    ]
+                })
+                .collect(),
+            "V$TRACE" => {
+                let dropped = self.trace.dropped() as i64;
+                self.trace
+                    .events()
+                    .into_iter()
+                    .map(|e| {
+                        vec![
+                            Value::from(e.seq as i64),
+                            Value::from(e.component.to_string()),
+                            Value::from(e.routine),
+                            Value::from(e.indextype),
+                            Value::from(e.detail),
+                            Value::from(e.elapsed_micros as i64),
+                            Value::from(dropped),
+                        ]
+                    })
+                    .collect()
+            }
+            _ => return Err(Error::Semantic(format!("unknown V$ table {upper}"))),
+        };
+        for r in &mut rows {
+            r.push(Value::Null);
+        }
+        Ok(rows)
+    }
+
+    /// A tkprof-style session report: per-routine call counts and wall
+    /// time from the trace aggregates, buffer-cache totals, and the most
+    /// expensive recent statements from the `V$SQLSTATS` ring.
+    pub fn trace_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("==== extensible-indexing trace report ====\n\n");
+        out.push_str("ODCI routine                                        calls     total(us)       avg(us)\n");
+        out.push_str("------------------------------------------------ -------- ------------- -------------\n");
+        let aggs = self.trace.aggregates();
+        if aggs.is_empty() {
+            out.push_str("(no crossings recorded — is tracing enabled?)\n");
+        }
+        let mut total_calls = 0u64;
+        let mut total_micros = 0u64;
+        for (indextype, routine, s) in &aggs {
+            let avg = s.total_micros.checked_div(s.calls).unwrap_or(0);
+            let name = format!("{indextype}.{routine}");
+            let _ = writeln!(out, "{name:<48} {:>8} {:>13} {:>13}", s.calls, s.total_micros, avg);
+            total_calls += s.calls;
+            total_micros += s.total_micros;
+        }
+        if !aggs.is_empty() {
+            out.push_str("------------------------------------------------ -------- ------------- -------------\n");
+            let _ = writeln!(out, "{:<48} {:>8} {:>13}", "total", total_calls, total_micros);
+        }
+        let dropped = self.trace.dropped();
+        let _ = writeln!(out, "\ntrace ring: {} events retained, {} dropped", self.trace.events().len(), dropped);
+        let cs = self.cache_stats();
+        let _ = writeln!(
+            out,
+            "buffer cache: {} gets, {} physical reads, {} physical writes",
+            cs.logical_reads, cs.physical_reads, cs.physical_writes
+        );
+        let mut stmts: Vec<&SqlStat> = self.sqlstats.iter().collect();
+        stmts.sort_by_key(|s| std::cmp::Reverse(s.elapsed_micros));
+        if !stmts.is_empty() {
+            out.push_str("\ntop statements by elapsed time:\n");
+            for s in stmts.iter().take(10) {
+                let _ = writeln!(
+                    out,
+                    "  [{:>6}us rows={} gets={}] {}",
+                    s.elapsed_micros, s.rows_processed, s.cache.logical_reads, s.sql_text
+                );
+            }
+        }
+        out
     }
 
     fn fire_event(&mut self, event: DbEvent) -> Result<()> {

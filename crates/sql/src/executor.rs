@@ -14,7 +14,9 @@
 //! has been joined to its base row.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use extidx_common::{Error, Key, Result, RowId, Value};
 use extidx_core::meta::{IndexInfo, OperatorCall, PredicateBound};
@@ -43,7 +45,31 @@ pub trait ExecNode: Send {
 
 /// Build the executor tree for a plan.
 pub fn build(plan: PlanNode) -> Box<dyn ExecNode> {
-    match plan.kind {
+    build_node(plan, &mut None)
+}
+
+/// Build the executor tree with every node wrapped in an
+/// [`InstrumentExec`] (the EXPLAIN ANALYZE path). The returned stats
+/// cells are allocated in the same pre-order as
+/// [`PlanNode::explain`] renders lines, so `lines[i]` describes
+/// `cells[i]`. Accounting is *inclusive*: a node's counters cover its
+/// whole subtree, so the root cell's buffer gets equal the statement's
+/// cache delta.
+pub fn build_instrumented(plan: PlanNode) -> (Box<dyn ExecNode>, Vec<Arc<NodeStats>>) {
+    let mut cells = Some(Vec::new());
+    let node = build_node(plan, &mut cells);
+    (node, cells.expect("cells present"))
+}
+
+fn build_node(plan: PlanNode, cells: &mut Option<Vec<Arc<NodeStats>>>) -> Box<dyn ExecNode> {
+    // Pre-order: allocate this node's cell before descending, mirroring
+    // `explain_into` (self line first, then children left-to-right).
+    let stats = cells.as_mut().map(|v| {
+        let s: Arc<NodeStats> = Arc::default();
+        v.push(s.clone());
+        s
+    });
+    let inner: Box<dyn ExecNode> = match plan.kind {
         PlanKind::FullScan { table, .. } => Box::new(FullScanExec::new(table)),
         PlanKind::IotFullScan { table, .. } => Box::new(IotScanExec::new(table, None, None)),
         PlanKind::IotRange { table, lo, hi } => Box::new(IotScanExec::new(table, lo, hi)),
@@ -56,12 +82,14 @@ pub fn build(plan: PlanNode) -> Box<dyn ExecNode> {
             Box::new(DomainScanExec::new(table, index, call, label))
         }
         PlanKind::Filter { input, pred, .. } => {
-            Box::new(FilterExec { input: build(*input), pred })
+            Box::new(FilterExec { input: build_node(*input, cells), pred })
         }
-        PlanKind::Project { input, exprs } => Box::new(ProjectExec { input: build(*input), exprs }),
+        PlanKind::Project { input, exprs } => {
+            Box::new(ProjectExec { input: build_node(*input, cells), exprs })
+        }
         PlanKind::NestedLoopJoin { left, right, pred } => Box::new(NestedLoopJoinExec {
-            left: build(*left),
-            right: build(*right),
+            left: build_node(*left, cells),
+            right: build_node(*right, cells),
             pred,
             current: None,
             started: false,
@@ -76,7 +104,7 @@ pub fn build(plan: PlanNode) -> Box<dyn ExecNode> {
             label,
             ..
         } => Box::new(DomainJoinExec {
-            left: build(*left),
+            left: build_node(*left, cells),
             scan: DomainScanExec::new(
                 right_table,
                 index,
@@ -93,8 +121,8 @@ pub fn build(plan: PlanNode) -> Box<dyn ExecNode> {
         }),
         PlanKind::HashJoin { left, right, left_key, right_key, extra_pred } => {
             Box::new(HashJoinExec {
-                left: build(*left),
-                right: build(*right),
+                left: build_node(*left, cells),
+                right: build_node(*right, cells),
                 left_key,
                 right_key,
                 extra_pred,
@@ -103,18 +131,105 @@ pub fn build(plan: PlanNode) -> Box<dyn ExecNode> {
             })
         }
         PlanKind::Sort { input, keys } => {
-            Box::new(SortExec { input: build(*input), keys, sorted: None })
+            Box::new(SortExec { input: build_node(*input, cells), keys, sorted: None })
         }
-        PlanKind::Limit { input, n } => Box::new(LimitExec { input: build(*input), n, produced: 0 }),
+        PlanKind::Limit { input, n } => {
+            Box::new(LimitExec { input: build_node(*input, cells), n, produced: 0 })
+        }
         PlanKind::Distinct { input } => {
-            Box::new(DistinctExec { input: build(*input), seen: BTreeMap::new() })
+            Box::new(DistinctExec { input: build_node(*input, cells), seen: BTreeMap::new() })
         }
         PlanKind::Aggregate { input, group, aggs } => Box::new(AggregateExec {
-            input: build(*input),
+            input: build_node(*input, cells),
             group,
             aggs,
             output: None,
         }),
+    };
+    match stats {
+        Some(stats) => Box::new(InstrumentExec { inner, stats }),
+        None => inner,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// instrumentation (EXPLAIN ANALYZE)
+// ---------------------------------------------------------------------------
+
+/// Runtime counters for one instrumented plan node. Atomics because
+/// [`ExecNode`] is `Send` and the rendering side holds the cells through
+/// `Arc` while the tree executes.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    rows: AtomicU64,
+    next_calls: AtomicU64,
+    elapsed_nanos: AtomicU64,
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+}
+
+/// A plain snapshot of [`NodeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStatsSnapshot {
+    /// Rows this node produced.
+    pub rows: u64,
+    /// `next` calls (for a domain scan this bounds the batches fetched).
+    pub next_calls: u64,
+    /// Wall time inside this subtree, microseconds.
+    pub elapsed_micros: u64,
+    /// Buffer-cache logical reads charged while this subtree ran.
+    pub logical_reads: u64,
+    /// Cache misses ("disk" reads) while this subtree ran.
+    pub physical_reads: u64,
+    /// Dirty-page writebacks while this subtree ran.
+    pub physical_writes: u64,
+}
+
+impl NodeStats {
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> NodeStatsSnapshot {
+        NodeStatsSnapshot {
+            rows: self.rows.load(Ordering::Relaxed),
+            next_calls: self.next_calls.load(Ordering::Relaxed),
+            elapsed_micros: self.elapsed_nanos.load(Ordering::Relaxed) / 1_000,
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Wrapper recording rows, calls, wall time, and buffer-get deltas around
+/// every `next` of the wrapped node. Deltas are measured with per-call
+/// [`extidx_storage::buffer::CacheStats`] snapshots, so a parent's
+/// counters include its children's (inclusive accounting, like Oracle's
+/// row-source statistics).
+struct InstrumentExec {
+    inner: Box<dyn ExecNode>,
+    stats: Arc<NodeStats>,
+}
+
+impl ExecNode for InstrumentExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        let cache_before = db.cache_stats();
+        let started = Instant::now();
+        let out = self.inner.next(db);
+        let elapsed = started.elapsed().as_nanos() as u64;
+        let delta = db.cache_stats().since(&cache_before);
+        self.stats.next_calls.fetch_add(1, Ordering::Relaxed);
+        self.stats.elapsed_nanos.fetch_add(elapsed, Ordering::Relaxed);
+        self.stats.logical_reads.fetch_add(delta.logical_reads, Ordering::Relaxed);
+        self.stats.physical_reads.fetch_add(delta.physical_reads, Ordering::Relaxed);
+        self.stats.physical_writes.fetch_add(delta.physical_writes, Ordering::Relaxed);
+        if let Ok(Some(_)) = &out {
+            self.stats.rows.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    fn reset(&mut self, db: &mut Database) -> Result<()> {
+        self.inner.reset(db)
     }
 }
 
@@ -421,15 +536,36 @@ impl DomainScanExec {
     fn open(&mut self, db: &mut Database) -> Result<()> {
         self.ensure_runtime(db)?;
         let (index, info, indextype) = self.runtime.as_ref().expect("runtime resolved").clone();
-        db.trace_event(
+        let h = db.trace_event(
             Component::IndexAccess,
             "ODCIIndexStart",
             &indextype,
             format!("{}({} args)", self.call.operator, self.call.args.len()),
         );
-        db.fault_check("ODCIIndexStart", Some(&indextype))?;
-        let mut ctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
-        let scan_ctx = index.start(&mut ctx, &info, &self.call)?;
+        let started = match db.fault_check("ODCIIndexStart", Some(&indextype)) {
+            Err(e) => Err(e),
+            Ok(()) => {
+                let mut ctx =
+                    ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
+                index.start(&mut ctx, &info, &self.call)
+            }
+        };
+        db.trace_finish(h);
+        let scan_ctx = match started {
+            Ok(c) => c,
+            Err(e) => {
+                // A failed start leaves no scan context to close, but the
+                // event stream must still balance Start/Close pairs — the
+                // lifecycle invariant tests count events, not contexts.
+                db.trace_event(
+                    Component::Recovery,
+                    "ODCIIndexClose",
+                    &indextype,
+                    "start failed; no scan context",
+                );
+                return Err(e);
+            }
+        };
         self.ctx = Some(scan_ctx);
         self.fetch_done = false;
         self.closed = false;
@@ -442,14 +578,44 @@ impl DomainScanExec {
             if !self.closed {
                 let (index, info, indextype) =
                     self.runtime.as_ref().expect("runtime resolved").clone();
-                db.trace_event(Component::IndexAccess, "ODCIIndexClose", &indextype, "");
-                db.fault_check("ODCIIndexClose", Some(&indextype))?;
-                let mut sctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
-                index.close(&mut sctx, &info, ctx)?;
+                let h = db.trace_event(Component::IndexAccess, "ODCIIndexClose", &indextype, "");
+                let r = match db.fault_check("ODCIIndexClose", Some(&indextype)) {
+                    Err(e) => Err(e),
+                    Ok(()) => {
+                        let mut sctx =
+                            ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
+                        index.close(&mut sctx, &info, ctx)
+                    }
+                };
+                db.trace_finish(h);
                 self.closed = true;
+                r?;
             }
         }
         Ok(())
+    }
+
+    /// Best-effort close on the scan's error path. A failed
+    /// `ODCIIndexFetch` used to propagate with `?` and leak the
+    /// cartridge's scan context without ever calling `ODCIIndexClose`;
+    /// this runs the close routine directly — no fault check, recovery is
+    /// never sabotaged — and swallows any close failure (traced under
+    /// RECOVERY) so the original error wins.
+    fn close_on_error(&mut self, db: &mut Database) {
+        let Some(ctx) = self.ctx.take() else { return };
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let (index, info, indextype) = self.runtime.as_ref().expect("runtime resolved").clone();
+        let h =
+            db.trace_event(Component::Recovery, "ODCIIndexClose", &indextype, "error-path close");
+        let mut sctx = ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
+        let r = index.close(&mut sctx, &info, ctx);
+        db.trace_finish(h);
+        if let Err(e) = r {
+            db.trace_event(Component::Recovery, "CloseFailed", &indextype, e.to_string());
+        }
     }
 }
 
@@ -468,16 +634,31 @@ impl ExecNode for DomainScanExec {
             }
             let (index, info, indextype) = self.runtime.as_ref().expect("runtime resolved").clone();
             let batch = db.batch_size();
-            db.trace_event(
+            let h = db.trace_event(
                 Component::IndexAccess,
                 "ODCIIndexFetch",
                 &indextype,
                 format!("nrows={batch}"),
             );
-            db.fault_check("ODCIIndexFetch", Some(&indextype))?;
-            let ctx = self.ctx.as_mut().expect("scan open");
-            let mut sctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
-            let result = index.fetch(&mut sctx, &info, ctx, batch)?;
+            let fetched = match db.fault_check("ODCIIndexFetch", Some(&indextype)) {
+                Err(e) => Err(e),
+                Ok(()) => {
+                    let ctx = self.ctx.as_mut().expect("scan open");
+                    let mut sctx =
+                        ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
+                    index.fetch(&mut sctx, &info, ctx, batch)
+                }
+            };
+            db.trace_finish(h);
+            let result = match fetched {
+                Ok(r) => r,
+                Err(e) => {
+                    // Don't leak the cartridge scan context: close it
+                    // best-effort before surfacing the fetch error.
+                    self.close_on_error(db);
+                    return Err(e);
+                }
+            };
             self.fetch_done = result.done;
             if result.rows.is_empty() {
                 continue;

@@ -22,7 +22,7 @@ use extidx_core::server::CallbackMode;
 use extidx_core::trace::Component;
 
 use crate::ast::{BinOp, Expr, Hint, OrderItem, Select, SelectItem, UnOp};
-use crate::catalog::{TableDef, TableOrg};
+use crate::catalog::{Catalog, TableDef, TableOrg};
 use crate::database::{Database, ServerCtx};
 use crate::expr::{aggregate_kind, compile_expr, AggKind, RExpr, Scope, ScopeCol};
 use crate::plan::{PlanKind, PlanNode, PlannedQuery};
@@ -843,24 +843,28 @@ fn best_table_access(
                 call.operator = op_pred.name.clone();
                 // Ask the cartridge's ODCIStats for selectivity and cost.
                 let (_, stats, info) = db.domain_index_runtime(&d)?;
-                db.trace_event(
+                let h = db.trace_event(
                     Component::Optimizer,
                     "ODCIStatsSelectivity",
                     &d.indextype,
                     format!("{}({})", call.operator, d.name),
                 );
                 db.fault_check("ODCIStatsSelectivity", Some(&d.indextype))?;
-                let mut ctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
-                let sel = stats.selectivity(&mut ctx, &info, &call)?.clamp(0.0, 1.0);
-                db.trace_event(
+                let mut ctx = ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
+                let sel = stats.selectivity(&mut ctx, &info, &call);
+                db.trace_finish(h);
+                let sel = sel?.clamp(0.0, 1.0);
+                let h = db.trace_event(
                     Component::Optimizer,
                     "ODCIStatsIndexCost",
                     &d.indextype,
                     format!("sel={sel:.4}"),
                 );
                 db.fault_check("ODCIStatsIndexCost", Some(&d.indextype))?;
-                let mut ctx = ServerCtx { db, mode: CallbackMode::Scan, base_table: None };
-                let icost = stats.index_cost(&mut ctx, &info, &call, sel)?;
+                let mut ctx = ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
+                let icost = stats.index_cost(&mut ctx, &info, &call, sel);
+                db.trace_finish(h);
+                let icost = icost?;
                 let matched = (rows * sel).max(1.0);
                 // Index scan + rowid fetches of matches. A query that
                 // references the scan's ancillary data (SCORE) can only be
@@ -987,6 +991,45 @@ fn best_table_access(
     wrap_filter(db, access, &residual, &scope)
 }
 
+/// Synthetic catalog entry for a `V$` virtual table: a heap-shaped
+/// definition with no backing segment, so generic scope/join machinery
+/// treats it like any other table.
+fn vtable_def(name: &str) -> Result<TableDef> {
+    let upper = name.to_ascii_uppercase();
+    let columns = Catalog::vtable_columns(&upper)
+        .ok_or_else(|| Error::not_found("table", upper.clone()))?;
+    Ok(TableDef {
+        name: upper,
+        columns,
+        org: TableOrg::Heap,
+        seg: extidx_storage::SegmentId(u32::MAX),
+        stats: None,
+    })
+}
+
+/// Access path for a `V$` virtual table: rows materialized from engine
+/// state at plan time into a ConstRows node, table-local conjuncts on
+/// top as an ordinary Filter. ConstRows never qualifies as a domain-join
+/// right side, so joins against V$ tables take hash/NLJ paths.
+fn vtable_access(
+    db: &mut Database,
+    tdef: &TableDef,
+    alias: &str,
+    table_conjuncts: &[Expr],
+) -> Result<PlanNode> {
+    let rows = db.vtable_rows(&tdef.name)?;
+    let scope = table_scope(tdef, Some(alias));
+    let est_rows = rows.len().max(1) as f64;
+    let access = PlanNode {
+        kind: PlanKind::ConstRows { rows },
+        scope: scope.clone(),
+        est_rows,
+        est_cost: 0.0,
+    };
+    let residual: Vec<&Expr> = table_conjuncts.iter().collect();
+    wrap_filter(db, access, &residual, &scope)
+}
+
 /// AND-combine conjuncts into a Filter node over `input`.
 fn wrap_filter(db: &Database, input: PlanNode, residual: &[&Expr], scope: &Scope) -> Result<PlanNode> {
     if residual.is_empty() {
@@ -1058,7 +1101,11 @@ pub fn plan_select(db: &mut Database, s: &Select) -> Result<PlannedQuery> {
     let mut aliases = Vec::new();
     let mut scopes = Vec::new();
     for tref in &s.from {
-        let tdef = db.catalog.table(&tref.table)?.clone();
+        let tdef = if Catalog::is_vtable(&tref.table) {
+            vtable_def(&tref.table)?
+        } else {
+            db.catalog.table(&tref.table)?.clone()
+        };
         let alias = tref.alias.clone().unwrap_or_else(|| tdef.name.clone());
         scopes.push(table_scope(&tdef, Some(&alias)));
         tdefs.push(tdef);
@@ -1089,14 +1136,18 @@ pub fn plan_select(db: &mut Database, s: &Select) -> Result<PlannedQuery> {
     // Best single-table access per table.
     let mut accesses: Vec<Option<PlanNode>> = Vec::new();
     for i in 0..tdefs.len() {
-        let node = best_table_access(
-            db,
-            &tdefs[i],
-            &aliases[i],
-            &table_conjuncts[i],
-            &score_labels,
-            &table_hints[i],
-        )?;
+        let node = if Catalog::is_vtable(&tdefs[i].name) {
+            vtable_access(db, &tdefs[i], &aliases[i], &table_conjuncts[i])?
+        } else {
+            best_table_access(
+                db,
+                &tdefs[i],
+                &aliases[i],
+                &table_conjuncts[i],
+                &score_labels,
+                &table_hints[i],
+            )?
+        };
         accesses.push(Some(node));
     }
 
@@ -1455,6 +1506,10 @@ fn plan_bare_count(db: &Database, s: &Select) -> Result<Option<PlannedQuery>> {
     let SelectItem::Expr { expr, alias } = &s.items[0] else { return Ok(None) };
     let Expr::Call { name, args } = expr else { return Ok(None) };
     if !name.eq_ignore_ascii_case("COUNT") || !matches!(args.as_slice(), [] | [Expr::Star]) {
+        return Ok(None);
+    }
+    // V$ tables have no storage-layer shape — count their materialized rows.
+    if Catalog::is_vtable(&s.from[0].table) {
         return Ok(None);
     }
     let tdef = db.catalog.table(&s.from[0].table)?.clone();

@@ -161,6 +161,13 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("EXPLAIN") {
+            // `EXPLAIN ANALYZE` executes the plan under instrumentation;
+            // plain `EXPLAIN` only renders it. `ANALYZE` here cannot be the
+            // start of an `ANALYZE TABLE` statement, so eating it is safe.
+            if self.eat_kw("ANALYZE") {
+                let inner = self.statement()?;
+                return Ok(Statement::ExplainAnalyze(Box::new(inner)));
+            }
             let inner = self.statement()?;
             return Ok(Statement::Explain(Box::new(inner)));
         }

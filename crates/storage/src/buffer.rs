@@ -33,11 +33,16 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Difference between two snapshots (`self` later, `earlier` first).
+    ///
+    /// Saturating: if `reset_stats` landed between the two snapshots the
+    /// later counters can be *smaller* than the earlier ones, and a plain
+    /// subtraction would panic in debug builds (and wrap to garbage in
+    /// release). A clamped-to-zero delta is the only sensible answer.
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
-            logical_reads: self.logical_reads - earlier.logical_reads,
-            physical_reads: self.physical_reads - earlier.physical_reads,
-            physical_writes: self.physical_writes - earlier.physical_writes,
+            logical_reads: self.logical_reads.saturating_sub(earlier.logical_reads),
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
         }
     }
 }
@@ -239,6 +244,23 @@ mod tests {
         c.reset_stats();
         c.read((SEG, 0));
         assert_eq!(c.stats().physical_reads, 1);
+    }
+
+    #[test]
+    fn stats_since_survives_reset_between_snapshots() {
+        // Regression: `reset_stats` between two snapshots used to make
+        // `since` underflow (debug panic / release wraparound). It must
+        // saturate to zero instead.
+        let c = BufferCache::new(8);
+        c.read((SEG, 0));
+        c.read((SEG, 1));
+        let before = c.stats();
+        c.reset_stats();
+        c.read((SEG, 0));
+        let delta = c.stats().since(&before);
+        assert_eq!(delta.logical_reads, 0);
+        assert_eq!(delta.physical_reads, 0);
+        assert_eq!(delta.physical_writes, 0);
     }
 
     #[test]

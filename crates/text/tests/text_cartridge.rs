@@ -266,3 +266,27 @@ fn updating_a_non_indexed_column_keeps_index_consistent() {
         2
     );
 }
+
+/// EXPLAIN ANALYZE smoke: the forced domain scan line carries actual
+/// row/get/time counters and the summary reports the executed row count.
+#[test]
+fn explain_analyze_annotates_the_text_scan() {
+    let mut db = db_with_docs(&standard_docs());
+    db.execute("CREATE INDEX rti ON employees(resume) INDEXTYPE IS TextIndexType").unwrap();
+    let sql =
+        "SELECT /*+ INDEX(employees rti) */ id FROM employees WHERE Contains(resume, 'oracle')";
+    let lines: Vec<String> = db
+        .query(&format!("EXPLAIN ANALYZE {sql}"))
+        .unwrap()
+        .into_iter()
+        .map(|r| r[0].to_string())
+        .collect();
+    let scan =
+        lines.iter().find(|l| l.contains("DOMAIN INDEX SCAN")).expect("domain scan in plan");
+    assert!(scan.contains("[actual rows="), "unannotated scan line: {scan}");
+    assert!(scan.contains("time="), "no wall time: {scan}");
+    let expected = db.query(sql).unwrap().len();
+    let summary = lines.last().unwrap();
+    assert!(summary.starts_with("statement:"), "{summary}");
+    assert!(summary.contains(&format!("rows={expected}")), "{summary}");
+}

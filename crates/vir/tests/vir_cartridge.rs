@@ -233,3 +233,27 @@ fn zero_weight_on_first_channel_disables_phase1_pruning_safely() {
         .unwrap();
     assert_eq!(rows, f);
 }
+
+/// EXPLAIN ANALYZE smoke: the VIR similarity scan is annotated with
+/// actual counters and the summary reports the executed row count.
+#[test]
+fn explain_analyze_annotates_the_vir_scan() {
+    let mut db = vir_db();
+    let (base, _) = load_images(&mut db, 60, 3, 99);
+    db.execute("CREATE INDEX img_idx ON images(img) INDEXTYPE IS VirIndexType").unwrap();
+    let sql = "SELECT /*+ INDEX(images img_idx) */ id FROM images WHERE \
+               VirSimilar(img, ?, 'globalcolor=0.5, texture=0.5', 2.0)";
+    let binds = [extidx_common::Value::from(base.serialize())];
+    let lines: Vec<String> = db
+        .query_with(&format!("EXPLAIN ANALYZE {sql}"), &binds)
+        .unwrap()
+        .into_iter()
+        .map(|r| r[0].to_string())
+        .collect();
+    let scan =
+        lines.iter().find(|l| l.contains("DOMAIN INDEX SCAN")).expect("domain scan in plan");
+    assert!(scan.contains("[actual rows="), "unannotated scan line: {scan}");
+    let expected = db.query_with(sql, &binds).unwrap().len();
+    let summary = lines.last().unwrap();
+    assert!(summary.contains(&format!("rows={expected}")), "{summary}");
+}

@@ -54,6 +54,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();
+    // Live-trace echo prints only events newer than this; the ring and
+    // its aggregates are left intact so V$TRACE / V$ODCI_CALLS /
+    // `db.trace_report()` keep answering for the whole session.
+    let mut trace_seen: u64 = 0;
+    let echo_trace = |db: &Database, seen: &mut u64| {
+        let from = *seen;
+        for e in db.trace().events().iter().filter(|e| e.seq >= from) {
+            println!("  trace: {e}");
+            *seen = e.seq + 1;
+        }
+    };
     loop {
         if buffer.is_empty() {
             print!("sql> ");
@@ -71,16 +82,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ".quit" | ".exit" | "quit" | "exit" => break,
                 ".trace on" => {
                     db.trace().set_enabled(true);
-                    db.trace().clear();
+                    trace_seen = db.trace().events().last().map_or(0, |e| e.seq + 1);
                     println!("ODCI trace enabled");
                     continue;
                 }
                 ".trace off" => {
-                    for e in db.trace().events() {
-                        println!("  {e}");
-                    }
+                    echo_trace(&db, &mut trace_seen);
                     db.trace().set_enabled(false);
-                    db.trace().clear();
                     continue;
                 }
                 ".iostat" => {
@@ -118,10 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Err(e) => println!("  ERROR: {e}"),
         }
         if db.trace().is_enabled() {
-            for e in db.trace().events() {
-                println!("  trace: {e}");
-            }
-            db.trace().clear();
+            echo_trace(&db, &mut trace_seen);
         }
     }
     println!("bye");

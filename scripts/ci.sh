@@ -24,6 +24,13 @@ DIFF_SEED="${DIFF_SEED:-0xD1FF}" \
 echo "== fault matrix (statement atomicity at every cartridge crossing) =="
 cargo test -q --test fault_matrix -- --include-ignored
 
+# Observability layer: EXPLAIN ANALYZE instrumentation + V$ virtual
+# tables + scan-lifecycle invariants, then the per-cartridge EXPLAIN
+# ANALYZE smoke tests (all five indextypes annotate their domain scan).
+echo "== observability (EXPLAIN ANALYZE + V\$ smoke) =="
+cargo test -q --test observability --test scan_lifecycle
+cargo test -q -p extidx-text -p extidx-spatial -p extidx-vir -p extidx-chem explain_analyze
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
