@@ -14,6 +14,7 @@
 //! repro e9-events         §5:     rollback vs external stores + events
 //! repro e10-build         parallel index build + batched rowid→row join
 //! repro e13-observe       EXPLAIN ANALYZE + V$ tables + tkprof-style report
+//! repro e14-quarantine    sandbox: panic containment, quarantine, REBUILD
 //! repro all               everything above
 //! ```
 //!
@@ -55,11 +56,12 @@ fn main() {
     run("e9-events", e9_events);
     run("e10-build", e10_build);
     run("e13-observe", e13_observe);
+    run("e14-quarantine", e14_quarantine);
     if !matches!(
         cmd.as_str(),
         "all" | "e1-architecture" | "e2-text" | "e3-spatial" | "e4-vir" | "e5-chem"
             | "e6-optimizer" | "e7-scan-modes" | "e8-batch" | "e9-events" | "e10-build"
-            | "e13-observe"
+            | "e13-observe" | "e14-quarantine"
     ) {
         eprintln!("unknown experiment {cmd:?}; see `repro` source for the list");
         std::process::exit(2);
@@ -537,5 +539,79 @@ fn e13_observe() -> Result<()> {
     }
 
     println!("\n{}", db.trace_report());
+    Ok(())
+}
+
+/// E14 — the cartridge sandbox end to end: injected panics at the fetch
+/// crossing trip the circuit breaker, the index quarantines, queries
+/// degrade to the functional fallback with identical answers, DML lands
+/// in the pending-work log, and `ALTER INDEX … REBUILD` replays it and
+/// restores the index — verified against a never-faulted twin.
+fn e14_quarantine() -> Result<()> {
+    use extidx_core::fault::FaultKind;
+    use extidx_core::health::BreakerConfig;
+
+    let docs = 2000;
+    let seed = 17;
+    let mut fx = text_fixture(docs, 40, 800, seed)?;
+    let mut twin = text_fixture(docs, 40, 800, seed)?; // never faulted
+    let db = &mut fx.db;
+    db.trace().set_enabled(true);
+    db.catalog().health.set_breaker(BreakerConfig { threshold: 3, window: 50 });
+
+    let term = fx.gen.term(30).to_string();
+    let forced = format!(
+        "SELECT /*+ INDEX(docs doc_text) */ id FROM docs WHERE Contains(body, '{term}') ORDER BY id"
+    );
+    let plain = format!("SELECT id FROM docs WHERE Contains(body, '{term}') ORDER BY id");
+    let reference = twin.db.query(&plain)?;
+    println!("corpus: {docs} documents; probe term {term:?} matches {} rows\n", reference.len());
+
+    // Three injected panics at ODCIIndexFetch trip the breaker.
+    let inj = db.fault_injector().clone();
+    for i in 1..=3 {
+        inj.arm("ODCIIndexFetch", Some("TEXTINDEXTYPE"), 1, FaultKind::Panic);
+        let err = db.query(&forced).expect_err("armed fetch must fault");
+        inj.disarm_all();
+        println!("fault {i}: {err}");
+        println!("         health now {}", db.catalog().health.state("DOC_TEXT"));
+    }
+
+    // Degraded planning: the quarantined index vanishes from costing and
+    // the functional fallback answers, flagged in EXPLAIN.
+    println!("\nEXPLAIN {plain}");
+    for line in db.explain(&plain)? {
+        println!("  {line}");
+    }
+    let degraded_rows = db.query(&plain)?;
+    assert_eq!(degraded_rows, reference, "fallback must answer identically");
+    println!("\nfallback result agrees with the never-faulted twin ({} rows).", degraded_rows.len());
+
+    // DML while quarantined: the base table changes, the index defers.
+    db.execute(&format!("INSERT INTO docs VALUES (900100, '{term} quarantined arrival')"))?;
+    twin.db.execute(&format!("INSERT INTO docs VALUES (900100, '{term} quarantined arrival')"))?;
+    println!("\nV$INDEX_HEALTH after one deferred INSERT:");
+    for row in db.query(
+        "SELECT INDEX_NAME, STATE, RECENT_FAULTS, PENDING_OPS, NEEDS_FULL_REBUILD FROM V$INDEX_HEALTH",
+    )? {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}", cells.join(" | "));
+    }
+
+    // Recovery: replay the pending log, then compare against the twin.
+    let t = Instant::now();
+    db.execute("ALTER INDEX doc_text REBUILD")?;
+    println!("\nALTER INDEX doc_text REBUILD: {} (state now {})", fmt_dur(t.elapsed()), db.catalog().health.state("DOC_TEXT"));
+    let healed = db.query(&forced)?;
+    let expected = twin.db.query(&plain)?;
+    assert_eq!(healed, expected, "rebuilt index must agree with the never-faulted twin");
+    println!("forced domain scan after REBUILD agrees with the twin ({} rows).", healed.len());
+
+    println!("\nhealth transitions recorded in the call trace:");
+    for e in db.trace().events() {
+        if e.routine == "HealthTransition" {
+            println!("  {e}");
+        }
+    }
     Ok(())
 }

@@ -234,3 +234,41 @@ fn explain_analyze_annotates_the_chem_scan() {
     let summary = lines.last().unwrap();
     assert!(summary.contains(&format!("rows={expected}")), "{summary}");
 }
+
+/// A panic inside the fingerprint maintenance path is contained by the
+/// sandbox: the INSERT fails with `CartridgeFault`, nothing of the row
+/// survives (base table or index), and a clean retry succeeds.
+#[test]
+fn panic_in_maintenance_is_contained() {
+    use extidx_core::fault::FaultKind;
+
+    let mut db = chem_db();
+    load_molecules(&mut db, 40, 2, 11);
+    db.execute("CREATE INDEX cidx ON compounds(mol) INDEXTYPE IS ChemIndexType").unwrap();
+    let mut wl = MoleculeWorkload::new(99);
+    let probe: String = wl.molecule_containing("CC=O", 6);
+
+    let inj = db.fault_injector().clone();
+    inj.arm("chem.maintenance.indexed", None, 1, FaultKind::Panic);
+    let err = db
+        .execute_with("INSERT INTO compounds VALUES (?, ?)", &[5000_i64.into(), probe.clone().into()])
+        .expect_err("panicking maintenance must fail the statement");
+    assert!(
+        matches!(err, extidx_common::Error::CartridgeFault { .. }),
+        "expected CartridgeFault, got {err}"
+    );
+    inj.disarm_all();
+
+    let ids = |db: &mut Database| -> Vec<i64> {
+        db.query("SELECT id FROM compounds WHERE MolContains(mol, 'CC=O') ORDER BY id")
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_integer().unwrap())
+            .collect()
+    };
+    assert!(!ids(&mut db).contains(&5000), "failed insert must leave no fingerprint");
+
+    db.execute_with("INSERT INTO compounds VALUES (?, ?)", &[5000_i64.into(), probe.into()])
+        .unwrap();
+    assert!(ids(&mut db).contains(&5000), "clean retry must be indexed");
+}

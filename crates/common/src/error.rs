@@ -63,6 +63,17 @@ pub enum Error {
     /// Double fault: a statement failed *and* rolling its storage effects
     /// back failed too. State may be torn — this must never be swallowed.
     RollbackFailed { original: Box<Error>, cause: Box<Error> },
+    /// A cartridge routine violated the sandbox: it panicked, or exceeded
+    /// its per-call tick budget. Unlike [`Error::Odci`] (a failure the
+    /// cartridge *reported*), this is a failure the cartridge *suffered* —
+    /// the server caught it at the crossing, so the process survives and
+    /// the statement machinery can compensate. These errors feed the
+    /// index-health circuit breaker.
+    CartridgeFault {
+        indextype: String,
+        routine: &'static str,
+        reason: String,
+    },
 }
 
 impl Error {
@@ -72,6 +83,20 @@ impl Error {
             indextype: indextype.into(),
             routine,
             message: message.into(),
+        }
+    }
+
+    /// Shorthand for a sandbox-caught cartridge failure (panic or tick
+    /// budget overrun).
+    pub fn cartridge_fault(
+        indextype: impl Into<String>,
+        routine: &'static str,
+        reason: impl Into<String>,
+    ) -> Self {
+        Error::CartridgeFault {
+            indextype: indextype.into(),
+            routine,
+            reason: reason.into(),
         }
     }
 
@@ -139,6 +164,9 @@ impl fmt::Display for Error {
             Error::RollbackFailed { original, cause } => {
                 write!(f, "rollback failed after error [{original}]: {cause}")
             }
+            Error::CartridgeFault { indextype, routine, reason } => {
+                write!(f, "cartridge fault in {indextype}.{routine}: {reason}")
+            }
         }
     }
 }
@@ -198,6 +226,16 @@ mod tests {
             d.to_string(),
             "rollback failed after error [evaluation error: boom]: storage error: page gone"
         );
+    }
+
+    #[test]
+    fn display_cartridge_fault() {
+        let e = Error::cartridge_fault("TEXTINDEXTYPE", "ODCIIndexFetch", "panic: boom");
+        assert_eq!(
+            e.to_string(),
+            "cartridge fault in TEXTINDEXTYPE.ODCIIndexFetch: panic: boom"
+        );
+        assert!(!e.is_retryable());
     }
 
     #[test]

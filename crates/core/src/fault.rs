@@ -33,6 +33,12 @@ pub enum FaultKind {
     /// Fire a retryable error for the next `failures` matching calls,
     /// then disarm and let the call through.
     Transient { failures: u32 },
+    /// Panic (unwind) once, then disarm — simulating a cartridge bug
+    /// rather than a reported error. The sandbox's `catch_unwind` at the
+    /// crossing must contain it; since the injector is consulted *inside*
+    /// the sandboxed closure, every existing fault point doubles as a
+    /// panic-containment point.
+    Panic,
 }
 
 #[derive(Debug, Clone)]
@@ -75,7 +81,7 @@ impl FaultInjector {
     /// optionally restricted to one indextype (matched case-insensitively).
     pub fn arm(&self, point: &str, indextype: Option<&str>, at_call: u64, kind: FaultKind) {
         let remaining = match kind {
-            FaultKind::Fail => 1,
+            FaultKind::Fail | FaultKind::Panic => 1,
             FaultKind::Transient { failures } => failures,
         };
         self.inner.lock().armed.push(ArmedFault {
@@ -101,8 +107,9 @@ impl FaultInjector {
         let calls = g.calls;
         let upper = indextype.map(|s| s.to_ascii_uppercase());
         let mut fired: Option<Error> = None;
+        let mut panic_at: Option<u64> = None;
         g.armed.retain_mut(|f| {
-            if fired.is_some() || f.point != point {
+            if fired.is_some() || panic_at.is_some() || f.point != point {
                 return true;
             }
             if let (Some(want), Some(have)) = (&f.indextype, &upper) {
@@ -131,8 +138,19 @@ impl FaultInjector {
                     f.seen -= 1;
                     f.remaining > 0
                 }
+                FaultKind::Panic => {
+                    panic_at = Some(calls);
+                    false // one-shot: disarm
+                }
             }
         });
+        if let Some(call) = panic_at {
+            // Count the firing, release the lock, *then* unwind — the
+            // injector must stay usable after the sandbox catches this.
+            g.fired += 1;
+            drop(g);
+            std::panic::panic_any(format!("injected panic at {point} (call #{call})"));
+        }
         match fired {
             Some(e) => {
                 g.fired += 1;
@@ -253,6 +271,21 @@ mod tests {
         assert!(f.check("chem.store.append", None).unwrap_err().is_retryable());
         f.check("chem.store.append", None).unwrap();
         assert_eq!(f.fired(), 2);
+    }
+
+    #[test]
+    fn panic_kind_unwinds_once_then_disarms() {
+        let f = FaultInjector::new();
+        f.arm("ODCIIndexFetch", None, 2, FaultKind::Panic);
+        f.check("ODCIIndexFetch", None).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = f.check("ODCIIndexFetch", None);
+        }));
+        assert!(caught.is_err());
+        // Disarmed and the injector still works after the unwind.
+        f.check("ODCIIndexFetch", None).unwrap();
+        assert_eq!(f.fired(), 1);
+        assert!(!f.is_armed());
     }
 
     #[test]

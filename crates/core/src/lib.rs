@@ -23,6 +23,7 @@
 //! | Database events (§5 proposed solution) | [`events`] |
 //! | Fig. 1 call-flow | [`trace::CallTrace`] |
 //! | §5 fault testing at every crossing | [`fault::FaultInjector`] |
+//! | Safe callouts / `UNUSABLE` index state | [`sandbox`], [`health::HealthRegistry`] |
 //!
 //! The crate is engine-agnostic: it depends only on the shared value
 //! model, and the host engine (here `extidx-sql`) implements
@@ -32,12 +33,14 @@
 pub mod build;
 pub mod events;
 pub mod fault;
+pub mod health;
 pub mod indextype;
 pub mod meta;
 pub mod odci;
 pub mod operator;
 pub mod params;
 pub mod registry;
+pub mod sandbox;
 pub mod scan;
 pub mod server;
 pub mod stats;
@@ -45,11 +48,13 @@ pub mod trace;
 
 pub use build::{partition_map, try_partition_map, DEFAULT_BUILD_BATCH_ROWS};
 pub use fault::{FaultInjector, FaultKind, RetryPolicy};
+pub use health::{BreakerConfig, HealthRegistry, HealthState, PendingOp};
 pub use indextype::IndexType;
 pub use meta::{IndexInfo, OperatorCall, PredicateBound, RelOp};
 pub use odci::OdciIndex;
 pub use params::ParamString;
 pub use registry::SchemaRegistry;
+pub use sandbox::{sandboxed_call, tick, DEFAULT_TICK_BUDGET};
 pub use scan::{FetchResult, FetchedRow, ScanContext};
 pub use server::{scan_base_batches_via_query, BaseRow, CallbackMode, ServerContext};
 pub use stats::{IndexCost, OdciStats};

@@ -1,0 +1,241 @@
+//! The cartridge sandbox — panic containment and tick budgets at every
+//! server↔cartridge crossing.
+//!
+//! ODCIIndex routines are *user code* running inside the server (§2):
+//! Oracle8i answers the obvious risk with safe callouts and an index
+//! `UNUSABLE`/`FAILED` state machine. Our equivalent is this module:
+//! every crossing runs under [`sandboxed_call`], which
+//!
+//! - catches unwinds (`catch_unwind`) so a buggy cartridge cannot tear
+//!   down the process, and
+//! - meters the routine against a deterministic *tick budget*: each
+//!   server callback the routine issues ([`tick`] is invoked from the
+//!   host's `ServerContext` methods) costs one tick, and exceeding the
+//!   budget aborts the call via a sentinel unwind.
+//!
+//! Both failure shapes surface as [`Error::CartridgeFault`], which feeds
+//! the statement's existing compensation/undo machinery and the index
+//! health circuit breaker (`health` module) instead of killing anything.
+//!
+//! Ticks are counted, not timed, so budget verdicts are reproducible:
+//! the same statement against the same data always spends the same
+//! number of ticks. A routine that burns CPU without calling back is not
+//! caught — metering is cooperative, like the SQL-callback profile of
+//! real cartridges, where essentially all work flows through the server.
+//!
+//! The sandbox state is thread-local. The PR-1 parallel build fans out
+//! pure computation to worker threads without a `ServerContext`, so all
+//! metered callbacks happen on the driving thread; a worker panic
+//! surfaces on the driving thread when its result is joined and is
+//! caught there.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+use extidx_common::{Error, Result};
+
+/// Default per-call tick budget — generous enough that no legitimate
+/// routine in the workspace comes near it (a full text-index build over
+/// thousands of rows spends a few thousand ticks).
+pub const DEFAULT_TICK_BUDGET: u64 = 1_000_000;
+
+thread_local! {
+    /// Nesting depth of active sandboxes on this thread (a sandboxed
+    /// routine's callback may re-enter the engine, which may cross into
+    /// another sandboxed routine).
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Ticks spent by the *innermost* active sandboxed call, and its
+    /// budget. Saved/restored across nesting by the guard.
+    static USED: Cell<u64> = const { Cell::new(0) };
+    static BUDGET: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// Sentinel unwind payload distinguishing a budget overrun from a
+/// genuine cartridge panic.
+struct BudgetExceeded {
+    used: u64,
+    budget: u64,
+}
+
+/// Whether the current thread is inside a sandboxed crossing.
+fn in_sandbox() -> bool {
+    DEPTH.with(|d| d.get()) > 0
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked at …" report for panics the sandbox is about to
+/// catch, while delegating everything else to the previous hook.
+fn install_quiet_hook() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !in_sandbox() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// RAII guard establishing one sandbox scope; restores the enclosing
+/// scope's counters on drop (including on unwind).
+struct Guard {
+    prev_used: u64,
+    prev_budget: u64,
+}
+
+impl Guard {
+    fn enter(budget: u64) -> Self {
+        let prev_used = USED.with(|c| c.replace(0));
+        let prev_budget = BUDGET.with(|c| c.replace(budget));
+        DEPTH.with(|d| d.set(d.get() + 1));
+        Guard { prev_used, prev_budget }
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        USED.with(|c| c.set(self.prev_used));
+        BUDGET.with(|c| c.set(self.prev_budget));
+    }
+}
+
+/// Charge one tick against the innermost active sandbox. Called by the
+/// host engine's `ServerContext` methods on every callback a cartridge
+/// issues. A no-op outside any sandbox; unwinds with a sentinel payload
+/// when the budget is exhausted (caught and classified by
+/// [`sandboxed_call`]).
+pub fn tick() {
+    if !in_sandbox() {
+        return;
+    }
+    let used = USED.with(|c| {
+        let u = c.get() + 1;
+        c.set(u);
+        u
+    });
+    let budget = BUDGET.with(|c| c.get());
+    if used > budget {
+        std::panic::panic_any(BudgetExceeded { used, budget });
+    }
+}
+
+/// Ticks spent so far by the innermost active sandboxed call (0 outside
+/// a sandbox). Exposed for tests pinning determinism.
+pub fn ticks_used() -> u64 {
+    USED.with(|c| c.get())
+}
+
+/// Run one server↔cartridge crossing under the sandbox: panics and tick
+/// budget overruns become [`Error::CartridgeFault`] instead of unwinding
+/// through the engine.
+///
+/// `AssertUnwindSafe` is sound here because the engine recovers logical
+/// invariants itself: a `CartridgeFault` fails the statement, and the
+/// statement boundary replays compensation and storage undo over
+/// whatever partial state the interrupted routine left behind.
+pub fn sandboxed_call<T>(
+    indextype: &str,
+    routine: &'static str,
+    budget: u64,
+    f: impl FnOnce() -> Result<T>,
+) -> Result<T> {
+    install_quiet_hook();
+    let guard = Guard::enter(budget);
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    drop(guard);
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            let reason = if let Some(b) = payload.downcast_ref::<BudgetExceeded>() {
+                format!("tick budget exceeded ({} ticks spent, budget {})", b.used, b.budget)
+            } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+                format!("panic: {s}")
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                format!("panic: {s}")
+            } else {
+                "panic: <non-string payload>".to_string()
+            };
+            Err(Error::cartridge_fault(indextype, routine, reason))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_call_passes_through() {
+        let r = sandboxed_call("T", "ODCIIndexInsert", 10, || Ok(41 + 1));
+        assert_eq!(r.unwrap(), 42);
+        assert!(!in_sandbox());
+        assert_eq!(ticks_used(), 0);
+    }
+
+    #[test]
+    fn error_passes_through_unclassified() {
+        let r: Result<()> =
+            sandboxed_call("T", "ODCIIndexInsert", 10, || Err(Error::Storage("x".into())));
+        assert_eq!(r.unwrap_err(), Error::Storage("x".into()));
+    }
+
+    #[test]
+    fn panic_becomes_cartridge_fault() {
+        let r: Result<()> = sandboxed_call("T", "ODCIIndexFetch", 10, || panic!("kaboom"));
+        match r.unwrap_err() {
+            Error::CartridgeFault { indextype, routine, reason } => {
+                assert_eq!(indextype, "T");
+                assert_eq!(routine, "ODCIIndexFetch");
+                assert!(reason.contains("kaboom"), "reason: {reason}");
+            }
+            other => panic!("expected CartridgeFault, got {other}"),
+        }
+        // The thread is fully recovered.
+        assert!(!in_sandbox());
+        sandboxed_call("T", "ODCIIndexFetch", 10, || Ok(())).unwrap();
+    }
+
+    #[test]
+    fn budget_overrun_becomes_cartridge_fault() {
+        let r: Result<()> = sandboxed_call("T", "ODCIIndexCreate", 5, || {
+            for _ in 0..100 {
+                tick();
+            }
+            Ok(())
+        });
+        match r.unwrap_err() {
+            Error::CartridgeFault { reason, .. } => {
+                assert!(reason.contains("tick budget exceeded"), "reason: {reason}");
+                assert!(reason.contains("budget 5"), "reason: {reason}");
+            }
+            other => panic!("expected CartridgeFault, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nested_sandboxes_meter_independently() {
+        let r = sandboxed_call("OUTER", "ODCIIndexCreate", 100, || {
+            tick();
+            tick();
+            let inner: Result<u64> =
+                sandboxed_call("INNER", "ODCIIndexInsert", 100, || {
+                    tick();
+                    Ok(ticks_used())
+                });
+            assert_eq!(inner.unwrap(), 1); // inner counted from zero
+            Ok(ticks_used()) // outer's counter restored
+        });
+        assert_eq!(r.unwrap(), 2);
+    }
+
+    #[test]
+    fn tick_outside_sandbox_is_free() {
+        for _ in 0..1000 {
+            tick();
+        }
+        assert_eq!(ticks_used(), 0);
+    }
+}

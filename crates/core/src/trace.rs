@@ -40,6 +40,9 @@ pub enum Component {
     Recovery,
     /// The fault-injection harness firing at a crossing.
     Fault,
+    /// Index-health state machine transitions (VALID / SUSPECT /
+    /// QUARANTINED / BUILD_FAILED) recorded by the circuit breaker.
+    Health,
 }
 
 impl std::fmt::Display for Component {
@@ -51,6 +54,7 @@ impl std::fmt::Display for Component {
             Component::Optimizer => "OPTIMIZER",
             Component::Recovery => "RECOVERY",
             Component::Fault => "FAULT",
+            Component::Health => "HEALTH",
         };
         write!(f, "{s}")
     }

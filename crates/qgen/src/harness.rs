@@ -13,10 +13,38 @@
 //! can bisect freely.
 
 use extidx_common::Value;
+use extidx_core::HealthState;
 use extidx_sql::Database;
 
 use crate::gen::{generate, Query, Stmt};
 use crate::interp::{apply_cell, query_ids, Mirror};
+
+/// Chaos switches for an oracle run. Both are deterministic: batch
+/// dropping is stateless, and quarantine flips are keyed on the
+/// statement text (see [`quarantine_chaos`]) so delta-debugging subsets
+/// replay identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosOpts {
+    /// Drop the final batch of every domain-index scan (exercises the
+    /// executor's partial-fetch handling).
+    pub drop_last_batch: bool,
+    /// Randomly quarantine a healthy domain index — or `ALTER INDEX …
+    /// REBUILD` a quarantined one — before ~8% of statements, forcing
+    /// queries through the functional fallback mid-stream.
+    pub quarantine: bool,
+}
+
+impl ChaosOpts {
+    /// The pre-existing scan chaos mode.
+    pub fn drop_last_batch() -> Self {
+        Self { drop_last_batch: true, quarantine: false }
+    }
+
+    /// Quarantine/rebuild chaos only.
+    pub fn quarantine() -> Self {
+        Self { drop_last_batch: false, quarantine: true }
+    }
+}
 
 /// A confirmed disagreement between execution paths, with a minimized
 /// self-contained SQL reproduction script.
@@ -34,13 +62,13 @@ pub struct Divergence {
 }
 
 /// A fresh engine with all five cartridges installed.
-pub fn fresh_db(chaos: bool) -> Database {
+pub fn fresh_db(chaos: ChaosOpts) -> Database {
     let mut db = Database::with_cache_pages(4096);
     extidx_text::install(&mut db).expect("text cartridge");
     extidx_spatial::install(&mut db).expect("spatial cartridge");
     extidx_vir::install(&mut db).expect("vir cartridge");
     extidx_chem::install(&mut db).expect("chem cartridge");
-    db.set_chaos_drop_last_domain_batch(chaos);
+    db.set_chaos_drop_last_domain_batch(chaos.drop_last_batch);
     db
 }
 
@@ -53,6 +81,11 @@ fn forcible_indexes(db: &Database, q: &Query) -> Vec<String> {
     let atoms = q.pred.top_atoms();
     let mut out = Vec::new();
     for d in db.catalog().domain_indexes_on(q.table) {
+        // A quarantined index cannot be forced (the optimizer rejects the
+        // hint outright); the unhinted plan degrades to the fallback.
+        if !db.catalog().health.is_usable(&d.name) {
+            continue;
+        }
         let Ok(it) = db.catalog().registry.indextype(&d.indextype) else { continue };
         let usable = atoms.iter().any(|a| {
             a.op_info().is_some_and(|(op, col, arity, has_null)| {
@@ -154,9 +187,45 @@ fn check_query(db: &mut Database, mirror: &Mirror, q: &Query) -> Option<String> 
     None
 }
 
+/// Quarantine chaos: before ~8% of statements, flip one domain index's
+/// health — quarantine it if usable, `ALTER INDEX … REBUILD` it if
+/// already quarantined. Keyed on the statement *text*, not the stream
+/// position, so a ddmin-shrunk subset makes exactly the same flips for
+/// the statements it keeps; the differential oracle must see bag-equal
+/// results regardless, because degraded queries answer through the
+/// functional fallback.
+fn quarantine_chaos(db: &mut Database, stmt: &Stmt) {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    stmt.sql().hash(&mut h);
+    let roll = h.finish();
+    if roll % 100 >= 8 {
+        return;
+    }
+    let snap = db.catalog().health.snapshot();
+    if snap.is_empty() {
+        return;
+    }
+    let pick = &snap[(roll / 100) as usize % snap.len()];
+    match pick.state {
+        HealthState::Quarantined => {
+            let sql = format!("ALTER INDEX {} REBUILD", pick.index);
+            db.execute(&sql).expect("chaos rebuild of quarantined index");
+        }
+        HealthState::Valid | HealthState::Suspect => {
+            let name = pick.index.clone();
+            db.quarantine_index(&name).expect("chaos quarantine of live index");
+        }
+        HealthState::BuildFailed => {}
+    }
+}
+
 /// Execute one statement against engine + mirror. `Some(detail)` when a
 /// query statement exposes a divergence.
-fn step(db: &mut Database, mirror: &mut Mirror, stmt: &Stmt) -> Option<String> {
+fn step(db: &mut Database, mirror: &mut Mirror, stmt: &Stmt, chaos: ChaosOpts) -> Option<String> {
+    if chaos.quarantine {
+        quarantine_chaos(db, stmt);
+    }
     match stmt {
         Stmt::Sql(sql) => {
             let _ = db.execute(sql);
@@ -196,7 +265,7 @@ fn step(db: &mut Database, mirror: &mut Mirror, stmt: &Stmt) -> Option<String> {
 
 /// Replay `preamble + stmts + final_stmt` from scratch; true if any
 /// divergence shows (used as the delta-debugging failure predicate).
-fn replay_fails(preamble: &[String], stmts: &[Stmt], final_stmt: &Stmt, chaos: bool) -> bool {
+fn replay_fails(preamble: &[String], stmts: &[Stmt], final_stmt: &Stmt, chaos: ChaosOpts) -> bool {
     let mut db = fresh_db(chaos);
     for sql in preamble {
         if db.execute(sql).is_err() {
@@ -205,17 +274,17 @@ fn replay_fails(preamble: &[String], stmts: &[Stmt], final_stmt: &Stmt, chaos: b
     }
     let mut mirror = Mirror::default();
     for s in stmts {
-        if step(&mut db, &mut mirror, s).is_some() {
+        if step(&mut db, &mut mirror, s, chaos).is_some() {
             return true;
         }
     }
-    step(&mut db, &mut mirror, final_stmt).is_some()
+    step(&mut db, &mut mirror, final_stmt, chaos).is_some()
 }
 
 /// Classic ddmin over the statement prefix: repeatedly drop chunks (then
 /// single statements) while the failure persists. Deterministic replay
 /// plus the errors-are-no-ops rule make every candidate subset valid.
-fn ddmin(preamble: &[String], prefix: &[Stmt], final_stmt: &Stmt, chaos: bool) -> Vec<Stmt> {
+fn ddmin(preamble: &[String], prefix: &[Stmt], final_stmt: &Stmt, chaos: ChaosOpts) -> Vec<Stmt> {
     let mut kept: Vec<Stmt> = prefix.to_vec();
     let mut chunk = kept.len().div_ceil(2).max(1);
     loop {
@@ -285,7 +354,7 @@ fn render_script(
 /// Run `n` seeded statements through the oracle. `None` means every
 /// query agreed on every path; `Some(divergence)` carries the first
 /// disagreement, already minimized by delta debugging.
-pub fn run_seed(seed: u64, n: usize, chaos: bool) -> Option<Divergence> {
+pub fn run_seed(seed: u64, n: usize, chaos: ChaosOpts) -> Option<Divergence> {
     let workload = generate(seed, n);
     let mut db = fresh_db(chaos);
     for sql in &workload.preamble {
@@ -293,7 +362,7 @@ pub fn run_seed(seed: u64, n: usize, chaos: bool) -> Option<Divergence> {
     }
     let mut mirror = Mirror::default();
     for (i, s) in workload.stmts.iter().enumerate() {
-        if let Some(detail) = step(&mut db, &mut mirror, s) {
+        if let Some(detail) = step(&mut db, &mut mirror, s, chaos) {
             let kept = ddmin(&workload.preamble, &workload.stmts[..i], s, chaos);
             let script = render_script(seed, i, &detail, &workload.preamble, &kept, s);
             return Some(Divergence { seed, step: i, detail, minimized: kept.len() + 1, script });
@@ -308,8 +377,15 @@ mod tests {
 
     #[test]
     fn short_seeded_run_is_clean() {
-        if let Some(d) = run_seed(1, 40, false) {
+        if let Some(d) = run_seed(1, 40, ChaosOpts::default()) {
             panic!("unexpected divergence: {}\n{}", d.detail, d.script);
+        }
+    }
+
+    #[test]
+    fn short_seeded_run_survives_quarantine_chaos() {
+        if let Some(d) = run_seed(1, 40, ChaosOpts::quarantine()) {
+            panic!("unexpected divergence under quarantine chaos: {}\n{}", d.detail, d.script);
         }
     }
 }

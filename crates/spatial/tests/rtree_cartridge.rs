@@ -184,3 +184,41 @@ fn explain_analyze_annotates_the_rtree_scan() {
     let summary = lines.last().unwrap();
     assert!(summary.contains(&format!("rows={expected}")), "{summary}");
 }
+
+/// A panic in the R-tree indextype's maintenance path is contained by
+/// the sandbox: clean statement failure, engine alive, tree consistent.
+#[test]
+fn panic_in_maintenance_is_contained() {
+    use extidx_core::fault::FaultKind;
+    use extidx_spatial::Mbr;
+
+    let rect = |x0: f64, y0: f64, x1: f64, y1: f64| {
+        Geometry::Rect(Mbr { xmin: x0, ymin: y0, xmax: x1, ymax: y1 })
+    };
+    let mut db = spatial_db();
+    load_layer(&mut db, &[rect(0.0, 0.0, 10.0, 10.0), rect(50.0, 50.0, 60.0, 60.0)]);
+    db.execute("CREATE INDEX sidx ON parcels(geometry) INDEXTYPE IS RtreeIndexType").unwrap();
+    let inj = db.fault_injector().clone();
+    inj.arm("rtree.maintenance.indexed", None, 1, FaultKind::Panic);
+    let g = geometry_sql(&rect(2.0, 2.0, 4.0, 4.0));
+    let err = db
+        .execute(&format!("INSERT INTO parcels VALUES (9, {g})"))
+        .expect_err("panicking maintenance must fail the statement");
+    assert!(
+        matches!(err, extidx_common::Error::CartridgeFault { .. }),
+        "expected CartridgeFault, got {err}"
+    );
+    inj.disarm_all();
+
+    let window = geometry_sql(&rect(0.0, 0.0, 20.0, 20.0));
+    let probe =
+        format!("SELECT gid FROM parcels WHERE Sdo_Relate(geometry, {window}, 'mask=ANYINTERACT')");
+    let rows = db.query(&probe).unwrap();
+    assert_eq!(rows, vec![vec![Value::Integer(0)]], "failed insert must leave no tree entries");
+
+    db.execute(&format!("INSERT INTO parcels VALUES (9, {g})")).unwrap();
+    let mut gids: Vec<i64> =
+        db.query(&probe).unwrap().iter().map(|r| r[0].as_integer().unwrap()).collect();
+    gids.sort_unstable();
+    assert_eq!(gids, vec![0, 9]);
+}

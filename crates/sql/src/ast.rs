@@ -188,6 +188,17 @@ pub struct IndexTypeOpSpec {
     pub arg_types: Vec<TypeSpec>,
 }
 
+/// What an ALTER INDEX statement does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlterIndexAction {
+    /// `ALTER INDEX … PARAMETERS ('…')` — merge a parameter delta.
+    Parameters(String),
+    /// `ALTER INDEX … REBUILD` — recover a quarantined or build-failed
+    /// domain index: replay its pending-work log, or rebuild from the
+    /// base table when the cartridge storage may be inconsistent.
+    Rebuild,
+}
+
 /// Any statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -250,7 +261,7 @@ pub enum Statement {
     },
     AlterIndex {
         name: String,
-        parameters: String,
+        action: AlterIndexAction,
     },
     DropIndex {
         name: String,

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use extidx_common::{Error, ObjectTypeDef, Result, SqlType};
+use extidx_core::health::HealthRegistry;
 use extidx_core::params::ParamString;
 use extidx_core::registry::SchemaRegistry;
 use extidx_storage::SegmentId;
@@ -106,6 +107,9 @@ pub struct Catalog {
     object_types: HashMap<String, ObjectTypeDef>,
     /// Extensibility schema objects (functions, operators, indextypes).
     pub registry: SchemaRegistry,
+    /// Domain-index health: the VALID/SUSPECT/QUARANTINED/BUILD_FAILED
+    /// state machine, circuit breaker, and pending-work logs.
+    pub health: HealthRegistry,
 }
 
 impl Catalog {
@@ -151,6 +155,20 @@ impl Catalog {
                 col("LOGICAL_READS", SqlType::Integer),
                 col("PHYSICAL_READS", SqlType::Integer),
                 col("PHYSICAL_WRITES", SqlType::Integer),
+            ],
+            // Domain-index health state machine (one row per domain
+            // index): breaker window occupancy, pending-log depth, and
+            // whether REBUILD must go back to the base table.
+            "V$INDEX_HEALTH" => vec![
+                col("INDEX_NAME", SqlType::Varchar(128)),
+                col("TABLE_NAME", SqlType::Varchar(128)),
+                col("INDEXTYPE", SqlType::Varchar(128)),
+                col("STATE", SqlType::Varchar(16)),
+                col("RECENT_FAULTS", SqlType::Integer),
+                col("TOTAL_FAULTS", SqlType::Integer),
+                col("PENDING_OPS", SqlType::Integer),
+                col("CALLS", SqlType::Integer),
+                col("NEEDS_FULL_REBUILD", SqlType::Varchar(4)),
             ],
             // The CallTrace ring. DROPPED repeats the ring's eviction
             // counter on every row so `SELECT MAX(DROPPED)` surfaces it.
@@ -246,6 +264,7 @@ impl Catalog {
         if self.btree_indexes.contains_key(&def.name) || self.domain_indexes.contains_key(&def.name) {
             return Err(Error::already_exists("index", &def.name));
         }
+        self.health.register(&def.name);
         self.domain_indexes.insert(def.name.clone(), def);
         Ok(())
     }
@@ -269,8 +288,9 @@ impl Catalog {
         v
     }
 
-    /// Remove a domain index entry.
+    /// Remove a domain index entry (and its health record).
     pub fn drop_domain_index(&mut self, name: &str) -> Option<DomainIndexDef> {
+        self.health.remove(name);
         self.domain_indexes.remove(&name.to_ascii_uppercase())
     }
 

@@ -24,10 +24,12 @@ use std::time::Instant;
 use extidx_common::{Error, Key, LobRef, Result, Row, RowId, SqlType, Value};
 use extidx_core::events::{DbEvent, EventHandler};
 use extidx_core::fault::{FaultInjector, RetryPolicy};
+use extidx_core::health::{HealthState, PendingOp, Transition};
 use extidx_core::indextype::{IndexType, SupportedOperator};
 use extidx_core::meta::IndexInfo;
 use extidx_core::operator::{Operator, ScalarFunction};
 use extidx_core::params::ParamString;
+use extidx_core::sandbox;
 use extidx_core::scan::WorkspaceHandle;
 use extidx_core::server::{BaseRow, BatchSink, CallbackMode, ServerContext};
 use extidx_core::stats::OdciStats;
@@ -37,7 +39,7 @@ use extidx_storage::buffer::CacheStats;
 use extidx_storage::file_store::FileStats;
 use extidx_storage::{StorageEngine, UndoLog};
 
-use crate::ast::{bind_statement, ColumnSpec, InsertSource, Statement};
+use crate::ast::{bind_statement, AlterIndexAction, ColumnSpec, InsertSource, Statement};
 use crate::catalog::{BTreeIndexDef, Catalog, ColumnDef, ColumnStats, DomainIndexDef, TableDef, TableOrg, TableStats};
 use crate::executor::{self, ExecNode};
 use crate::expr::{compile_expr, eval, EvalCtx, ExecRow, Scope};
@@ -117,6 +119,14 @@ pub struct Database {
     fault: FaultInjector,
     /// Retry policy for cartridge-reported transient errors.
     retry: RetryPolicy,
+    /// Per-crossing tick budget for sandboxed cartridge calls: every
+    /// server callback a routine issues costs one tick, and exceeding the
+    /// budget converts the call into an [`Error::CartridgeFault`].
+    tick_budget: u64,
+    /// Pending-log appends made by the current statement (index names, in
+    /// order). A failed statement retracts them so the pending log only
+    /// ever mirrors committed statement effects.
+    stmt_pending: Vec<String>,
     /// Deliberate executor bug for validating the differential oracle:
     /// when set, a domain scan silently discards the rows of its final
     /// ODCIIndexFetch batch. Never enabled outside tests.
@@ -214,6 +224,8 @@ impl Database {
             compensating: false,
             fault: FaultInjector::new(),
             retry: RetryPolicy::default(),
+            tick_budget: extidx_core::DEFAULT_TICK_BUDGET,
+            stmt_pending: Vec::new(),
             chaos_drop_last_domain_batch: false,
             sqlstats: VecDeque::new(),
             next_sql_id: 0,
@@ -344,6 +356,109 @@ impl Database {
         })
     }
 
+    /// Replace the per-crossing tick budget for sandboxed cartridge
+    /// calls (tests use tiny budgets to force overruns).
+    pub fn set_tick_budget(&mut self, ticks: u64) {
+        self.tick_budget = ticks.max(1);
+    }
+
+    /// The current per-crossing tick budget.
+    pub fn tick_budget(&self) -> u64 {
+        self.tick_budget
+    }
+
+    /// Health state of an index (VALID for B-tree/unknown names).
+    pub fn index_health(&self, name: &str) -> HealthState {
+        self.catalog.health.state(name)
+    }
+
+    /// Force-quarantine a domain index (the qgen chaos knob and
+    /// administrative tests); traced like a breaker transition.
+    pub fn quarantine_index(&mut self, name: &str) -> Result<()> {
+        let d = self
+            .catalog
+            .domain_index(name)
+            .ok_or_else(|| Error::not_found("domain index", name.to_ascii_uppercase()))?
+            .clone();
+        let t = self.catalog.health.quarantine(&d.name);
+        self.trace_health_transition(&d.name, &d.indextype, t);
+        Ok(())
+    }
+
+    /// Record a health-state transition in the call trace.
+    fn trace_health_transition(&self, index: &str, indextype: &str, t: Option<Transition>) {
+        if let Some(t) = t {
+            self.trace.record(
+                Component::Health,
+                "HealthTransition",
+                indextype,
+                format!("{index}: {} -> {}", t.from, t.to),
+            );
+        }
+    }
+
+    /// Feed a sandboxed crossing's outcome to the index-health breaker.
+    /// Only [`Error::CartridgeFault`] counts as a fault — errors a
+    /// cartridge *reports* (including injected ones) keep their existing
+    /// fail-the-statement semantics and never degrade the index. Skipped
+    /// during compensation replay.
+    fn note_health_outcome(
+        &self,
+        routine: &'static str,
+        index: &str,
+        indextype: &str,
+        err: Option<&Error>,
+    ) {
+        if self.compensating {
+            return;
+        }
+        let t = match err {
+            Some(Error::CartridgeFault { .. }) => {
+                // A fault inside a routine that writes cartridge storage
+                // leaves that storage in an unknown state: REBUILD must go
+                // back to the base table instead of replaying pending ops.
+                let dirty = matches!(
+                    routine,
+                    "ODCIIndexInsert"
+                        | "ODCIIndexUpdate"
+                        | "ODCIIndexDelete"
+                        | "ODCIIndexCreate"
+                        | "ODCIIndexAlter"
+                        | "ODCIIndexTruncate"
+                        | "ODCIIndexDrop"
+                );
+                self.catalog.health.note_fault(index, dirty)
+            }
+            Some(_) => None,
+            None => self.catalog.health.note_success(index),
+        };
+        self.trace_health_transition(index, indextype, t);
+    }
+
+    /// The single sandboxed path for a server↔cartridge crossing: runs
+    /// the fault check *and* the cartridge routine under
+    /// [`sandbox::sandboxed_call`] (so an injected `FaultKind::Panic` is
+    /// contained exactly like a real cartridge bug), then feeds the
+    /// outcome to the health breaker.
+    pub(crate) fn sandboxed_odci<T>(
+        &mut self,
+        routine: &'static str,
+        index: &str,
+        indextype: &str,
+        mode: CallbackMode,
+        base_table: Option<String>,
+        f: impl FnOnce(&mut ServerCtx) -> Result<T>,
+    ) -> Result<T> {
+        let budget = self.tick_budget;
+        let result = sandbox::sandboxed_call(indextype, routine, budget, || {
+            self.fault_check(routine, Some(indextype))?;
+            let mut ctx = ServerCtx { db: self, mode, base_table };
+            f(&mut ctx)
+        });
+        self.note_health_outcome(routine, index, indextype, result.as_ref().err());
+        result
+    }
+
     /// The optimizer's cost model (read).
     pub fn cost_model(&self) -> CostModel {
         self.cost
@@ -450,6 +565,7 @@ impl Database {
             let mut log = self.stmt_undo.take().expect("statement undo present");
             let created = std::mem::take(&mut self.stmt_created);
             let maint = std::mem::take(&mut self.stmt_maint);
+            let pending = std::mem::take(&mut self.stmt_pending);
             match result {
                 Ok(_) => {
                     if let Some(txn) = self.txn_undo.as_mut() {
@@ -466,7 +582,16 @@ impl Database {
                     // swallowed — the original error wins — but a failed
                     // *storage* rollback is a double fault that must
                     // surface: state may be torn.
-                    let had_effects = !log.is_empty() || !created.is_empty() || !maint.is_empty();
+                    let had_effects = !log.is_empty()
+                        || !created.is_empty()
+                        || !maint.is_empty()
+                        || !pending.is_empty();
+                    // Retract this statement's pending-log appends first:
+                    // the deferred work must mirror only statements that
+                    // actually committed their base-table effects.
+                    for name in pending.iter().rev() {
+                        self.catalog.health.pop_pending(name);
+                    }
                     self.compensate_maintenance(maint);
                     for obj in created.into_iter().rev() {
                         let _ = self.compensate_created(obj);
@@ -517,16 +642,24 @@ impl Database {
                 &d.indextype,
                 format!("compensate {rid}"),
             );
-            let mut ctx = ServerCtx {
-                db: self,
-                mode: CallbackMode::Maintenance,
-                base_table: Some(d.table.clone()),
-            };
-            let _ = match &rec.op {
-                MaintOp::Insert { rid, value } => index.delete(&mut ctx, &info, *rid, value),
-                MaintOp::Update { rid, old, new } => index.update(&mut ctx, &info, *rid, new, old),
-                MaintOp::Delete { rid, old } => index.insert(&mut ctx, &info, *rid, old),
-            };
+            // Inverse calls run sandboxed too: a cartridge that panics
+            // while being compensated must not tear the process down, and
+            // its error is swallowed like any other compensation failure.
+            let budget = self.tick_budget;
+            let _ = sandbox::sandboxed_call(&d.indextype, routine, budget, || {
+                let mut ctx = ServerCtx {
+                    db: self,
+                    mode: CallbackMode::Maintenance,
+                    base_table: Some(d.table.clone()),
+                };
+                match &rec.op {
+                    MaintOp::Insert { rid, value } => index.delete(&mut ctx, &info, *rid, value),
+                    MaintOp::Update { rid, old, new } => {
+                        index.update(&mut ctx, &info, *rid, new, old)
+                    }
+                    MaintOp::Delete { rid, old } => index.insert(&mut ctx, &info, *rid, old),
+                }
+            });
             self.trace.finish(h);
         }
         self.compensating = false;
@@ -618,6 +751,14 @@ impl Database {
             Statement::Rollback => {
                 if let Some(mut log) = self.txn_undo.take() {
                     self.storage.rollback(&mut log)?;
+                    // Base rows the pending log refers to may have just
+                    // been un-made; a replay could double-apply or miss.
+                    // Force those indexes onto the full-rebuild path.
+                    for s in self.catalog.health.snapshot() {
+                        if s.pending_ops > 0 {
+                            self.catalog.health.mark_dirty(&s.index);
+                        }
+                    }
                 }
                 self.fire_event(DbEvent::Rollback)?;
                 Ok(StmtResult::Ok)
@@ -644,7 +785,12 @@ impl Database {
                     None => self.run_create_btree_index(&name, &table, &column),
                 }
             }
-            Statement::AlterIndex { name, parameters } => self.run_alter_index(&name, &parameters),
+            Statement::AlterIndex { name, action } => match action {
+                AlterIndexAction::Parameters(parameters) => {
+                    self.run_alter_index(&name, &parameters)
+                }
+                AlterIndexAction::Rebuild => self.run_rebuild_index(&name),
+            },
             Statement::DropIndex { name } => self.run_drop_index(&name),
             Statement::CreateOperator { name, bindings } => {
                 let mut op: Option<Operator> = None;
@@ -811,13 +957,26 @@ impl Database {
         let domain: Vec<DomainIndexDef> =
             self.catalog.domain_indexes_on(&tdef.name).into_iter().cloned().collect();
         for d in domain {
+            // A BUILD_FAILED index has no (trustworthy) storage to
+            // truncate; it stays failed until REBUILD or DROP.
+            if self.catalog.health.state(&d.name) == HealthState::BuildFailed {
+                continue;
+            }
             let (index, _, info) = self.domain_index_runtime(&d)?;
             let h = self.trace.record(Component::Ddl, "ODCIIndexTruncate", &d.indextype, &d.name);
-            self.fault_check("ODCIIndexTruncate", Some(&d.indextype))?;
-            let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
-            let r = index.truncate(&mut ctx, &info);
+            let r = self.sandboxed_odci(
+                "ODCIIndexTruncate",
+                &d.name,
+                &d.indextype,
+                CallbackMode::Definition,
+                None,
+                |ctx| index.truncate(ctx, &info),
+            );
             self.trace.finish(h);
             r?;
+            // An emptied index has no catch-up left to do: the pending
+            // log described rows that no longer exist.
+            let _ = self.catalog.health.take_pending(&d.name);
         }
         Ok(StmtResult::Ok)
     }
@@ -897,10 +1056,14 @@ impl Database {
             &def.indextype,
             format!("{} ON {}({})", def.name, def.table, def.column),
         );
-        let created = self.fault_check("ODCIIndexCreate", Some(&def.indextype)).and_then(|()| {
-            let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
-            index.create(&mut ctx, &info)
-        });
+        let created = self.sandboxed_odci(
+            "ODCIIndexCreate",
+            &def.name,
+            &def.indextype,
+            CallbackMode::Definition,
+            None,
+            |ctx| index.create(ctx, &info),
+        );
         self.trace.finish(h);
         match created {
             Ok(()) => Ok(StmtResult::Ok),
@@ -911,10 +1074,23 @@ impl Database {
                 // stores) is invisible to undo — best-effort invoke the
                 // cartridge's own drop routine so nothing leaks, then
                 // remove the dictionary entry.
-                let mut ctx =
-                    ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
-                let _ = index.drop_index(&mut ctx, &info);
-                self.catalog.drop_domain_index(&info.index_name);
+                let cleaned = self.sandboxed_odci(
+                    "ODCIIndexDrop",
+                    &def.name,
+                    &def.indextype,
+                    CallbackMode::Definition,
+                    None,
+                    |ctx| index.drop_index(ctx, &info),
+                );
+                if cleaned.is_ok() {
+                    self.catalog.drop_domain_index(&info.index_name);
+                } else {
+                    // Cleanup itself faulted: cartridge storage may
+                    // linger, so the dictionary entry stays and the name
+                    // is NOT silently reusable. REBUILD or DROP resolves.
+                    let t = self.catalog.health.set_build_failed(&info.index_name);
+                    self.trace_health_transition(&def.name, &def.indextype, t);
+                }
                 Err(e)
             }
         }
@@ -932,11 +1108,97 @@ impl Database {
         };
         let (index, _, info) = self.domain_index_runtime(&def)?;
         let h = self.trace.record(Component::Ddl, "ODCIIndexAlter", &def.indextype, &def.name);
-        self.fault_check("ODCIIndexAlter", Some(&def.indextype))?;
-        let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
-        let r = index.alter(&mut ctx, &info, &delta);
+        let r = self.sandboxed_odci(
+            "ODCIIndexAlter",
+            &def.name,
+            &def.indextype,
+            CallbackMode::Definition,
+            None,
+            |ctx| index.alter(ctx, &info, &delta),
+        );
         self.trace.finish(h);
         r?;
+        Ok(StmtResult::Ok)
+    }
+
+    /// `ALTER INDEX … REBUILD`: recover a degraded domain index. A
+    /// quarantined index whose cartridge storage is still trustworthy
+    /// catches up by replaying its pending-work log; a BUILD_FAILED or
+    /// dirty index (a maintenance/definition routine faulted mid-write)
+    /// is rebuilt from the base table via the cartridge's own create
+    /// path. Either way success restores VALID with a clean breaker.
+    fn run_rebuild_index(&mut self, name: &str) -> Result<StmtResult> {
+        let d = self
+            .catalog
+            .domain_index(name)
+            .cloned()
+            .ok_or_else(|| Error::not_found("domain index", name.to_ascii_uppercase()))?;
+        let tdef = self.catalog.table(&d.table)?.clone();
+        let (index, _, info) = self.domain_index_runtime(&d)?;
+        let state = self.catalog.health.state(&d.name);
+        let replay = state == HealthState::Quarantined && !self.catalog.health.needs_full_rebuild(&d.name);
+        if replay {
+            let ops = self.catalog.health.take_pending(&d.name);
+            let h = self.trace.record(
+                Component::Recovery,
+                "IndexRebuild",
+                &d.indextype,
+                format!("{}: replay {} pending ops", d.name, ops.len()),
+            );
+            for (i, op) in ops.iter().enumerate() {
+                let mop = match op.clone() {
+                    PendingOp::Insert { rid, value } => MaintOp::Insert { rid, value },
+                    PendingOp::Update { rid, old, new } => MaintOp::Update { rid, old, new },
+                    PendingOp::Delete { rid, old } => MaintOp::Delete { rid, old },
+                };
+                if let Err(e) = self.invoke_maintenance(&tdef, &d, mop) {
+                    // Statement compensation will inverse the prefix we
+                    // already applied, so the whole log is still owed —
+                    // but compensation is best-effort, so the only safe
+                    // recovery from here is a full rebuild.
+                    self.catalog.health.restore_pending(&d.name, ops[i..].to_vec());
+                    self.catalog.health.mark_dirty(&d.name);
+                    self.trace.finish(h);
+                    return Err(e);
+                }
+            }
+            self.trace.finish(h);
+        } else {
+            let h = self.trace.record(
+                Component::Recovery,
+                "IndexRebuild",
+                &d.indextype,
+                format!("{}: full rebuild from {}", d.name, d.table),
+            );
+            // Best-effort drop of whatever storage the cartridge has —
+            // it may be half-written, which is exactly why we're here.
+            let _ = self.sandboxed_odci(
+                "ODCIIndexDrop",
+                &d.name,
+                &d.indextype,
+                CallbackMode::Definition,
+                None,
+                |ctx| index.drop_index(ctx, &info),
+            );
+            // The rebuild re-reads the base table; deferred ops are moot.
+            let _ = self.catalog.health.take_pending(&d.name);
+            let r = self.sandboxed_odci(
+                "ODCIIndexCreate",
+                &d.name,
+                &d.indextype,
+                CallbackMode::Definition,
+                None,
+                |ctx| index.create(ctx, &info),
+            );
+            self.trace.finish(h);
+            if let Err(e) = r {
+                let t = self.catalog.health.set_build_failed(&d.name);
+                self.trace_health_transition(&d.name, &d.indextype, t);
+                return Err(e);
+            }
+        }
+        let t = self.catalog.health.restore_valid(&d.name);
+        self.trace_health_transition(&d.name, &d.indextype, t);
         Ok(StmtResult::Ok)
     }
 
@@ -955,12 +1217,34 @@ impl Database {
 
     fn drop_domain_index_entry(&mut self, d: &DomainIndexDef) -> Result<()> {
         let (index, _, info) = self.domain_index_runtime(d)?;
+        let healthy = matches!(
+            self.catalog.health.state(&d.name),
+            HealthState::Valid | HealthState::Suspect
+        );
         let h = self.trace.record(Component::Ddl, "ODCIIndexDrop", &d.indextype, &d.name);
-        self.fault_check("ODCIIndexDrop", Some(&d.indextype))?;
-        let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
-        let r = index.drop_index(&mut ctx, &info);
+        let r = self.sandboxed_odci(
+            "ODCIIndexDrop",
+            &d.name,
+            &d.indextype,
+            CallbackMode::Definition,
+            None,
+            |ctx| index.drop_index(ctx, &info),
+        );
         self.trace.finish(h);
-        r?;
+        if healthy {
+            r?;
+        } else if let Err(e) = r {
+            // Dropping a quarantined or build-failed index must always
+            // succeed — its cartridge is already known-bad and the user
+            // is getting rid of it. The cartridge's own cleanup failure
+            // is recorded, then the dictionary entry goes regardless.
+            self.trace.record(
+                Component::Recovery,
+                "ODCIIndexDrop",
+                &d.indextype,
+                format!("{}: cleanup failure ignored on drop: {e}", d.name),
+            );
+        }
         self.catalog.drop_domain_index(&d.name);
         Ok(())
     }
@@ -1030,12 +1314,22 @@ impl Database {
         let domain: Vec<DomainIndexDef> =
             self.catalog.domain_indexes_on(&tdef.name).into_iter().cloned().collect();
         for d in domain {
+            // Stats on a quarantined/build-failed index are pointless —
+            // the optimizer will not consider it until REBUILD.
+            if !self.catalog.health.is_usable(&d.name) {
+                continue;
+            }
             let (_, stats, info) = self.domain_index_runtime(&d)?;
             let h =
                 self.trace.record(Component::Optimizer, "ODCIStatsCollect", &d.indextype, &d.name);
-            self.fault_check("ODCIStatsCollect", Some(&d.indextype))?;
-            let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
-            let r = stats.collect(&mut ctx, &info);
+            let r = self.sandboxed_odci(
+                "ODCIStatsCollect",
+                &d.name,
+                &d.indextype,
+                CallbackMode::Definition,
+                None,
+                |ctx| stats.collect(ctx, &info),
+            );
             self.trace.finish(h);
             r?;
         }
@@ -1263,7 +1557,7 @@ impl Database {
         for d in domain {
             let idx = tdef.column_index(&d.column)?;
             let value = row[idx].clone();
-            self.invoke_maintenance(tdef, &d, MaintOp::Insert { rid, value })?;
+            self.maintain_or_defer(tdef, &d, MaintOp::Insert { rid, value })?;
         }
         Ok(())
     }
@@ -1291,7 +1585,7 @@ impl Database {
         for d in domain {
             let idx = tdef.column_index(&d.column)?;
             let (old_v, new_v) = (old[idx].clone(), new[idx].clone());
-            self.invoke_maintenance(tdef, &d, MaintOp::Update { rid, old: old_v, new: new_v })?;
+            self.maintain_or_defer(tdef, &d, MaintOp::Update { rid, old: old_v, new: new_v })?;
         }
         Ok(())
     }
@@ -1313,9 +1607,36 @@ impl Database {
         for d in domain {
             let idx = tdef.column_index(&d.column)?;
             let old_v = old[idx].clone();
-            self.invoke_maintenance(tdef, &d, MaintOp::Delete { rid, old: old_v })?;
+            self.maintain_or_defer(tdef, &d, MaintOp::Delete { rid, old: old_v })?;
         }
         Ok(())
+    }
+
+    /// Route one domain-index maintenance op by index health: a usable
+    /// index is maintained directly; a QUARANTINED index defers the op to
+    /// its pending-work log so base-table DML keeps succeeding; a
+    /// BUILD_FAILED index has no index data to maintain (REBUILD re-reads
+    /// the base table).
+    fn maintain_or_defer(
+        &mut self,
+        tdef: &TableDef,
+        d: &DomainIndexDef,
+        op: MaintOp,
+    ) -> Result<()> {
+        match self.catalog.health.state(&d.name) {
+            HealthState::Quarantined => {
+                let pending = match op {
+                    MaintOp::Insert { rid, value } => PendingOp::Insert { rid, value },
+                    MaintOp::Update { rid, old, new } => PendingOp::Update { rid, old, new },
+                    MaintOp::Delete { rid, old } => PendingOp::Delete { rid, old },
+                };
+                self.catalog.health.append_pending(&d.name, pending);
+                self.stmt_pending.push(d.name.clone());
+                Ok(())
+            }
+            HealthState::BuildFailed => Ok(()),
+            HealthState::Valid | HealthState::Suspect => self.invoke_maintenance(tdef, d, op),
+        }
     }
 
     /// The single chokepoint for domain-index maintenance crossings:
@@ -1342,23 +1663,18 @@ impl Database {
             attempt += 1;
             let h = self.trace.record(Component::Dml, routine, &d.indextype, format!("{rid}"));
             let mark = self.stmt_undo.as_ref().map(|u| u.len());
-            let result = match self.fault_check(routine, Some(&d.indextype)) {
-                Err(e) => Err(e),
-                Ok(()) => {
-                    let mut ctx = ServerCtx {
-                        db: self,
-                        mode: CallbackMode::Maintenance,
-                        base_table: Some(tdef.name.clone()),
-                    };
-                    match &op {
-                        MaintOp::Insert { rid, value } => index.insert(&mut ctx, &info, *rid, value),
-                        MaintOp::Update { rid, old, new } => {
-                            index.update(&mut ctx, &info, *rid, old, new)
-                        }
-                        MaintOp::Delete { rid, old } => index.delete(&mut ctx, &info, *rid, old),
-                    }
-                }
-            };
+            let result = self.sandboxed_odci(
+                routine,
+                &d.name,
+                &d.indextype,
+                CallbackMode::Maintenance,
+                Some(tdef.name.clone()),
+                |ctx| match &op {
+                    MaintOp::Insert { rid, value } => index.insert(ctx, &info, *rid, value),
+                    MaintOp::Update { rid, old, new } => index.update(ctx, &info, *rid, old, new),
+                    MaintOp::Delete { rid, old } => index.delete(ctx, &info, *rid, old),
+                },
+            );
             self.trace.finish(h);
             match result {
                 Ok(()) => {
@@ -1491,6 +1807,26 @@ impl Database {
                         Value::from(s.cache.logical_reads as i64),
                         Value::from(s.cache.physical_reads as i64),
                         Value::from(s.cache.physical_writes as i64),
+                    ]
+                })
+                .collect(),
+            "V$INDEX_HEALTH" => self
+                .catalog
+                .health
+                .snapshot()
+                .into_iter()
+                .map(|s| {
+                    let d = self.catalog.domain_index(&s.index);
+                    vec![
+                        Value::from(s.index.clone()),
+                        Value::from(d.map(|d| d.table.clone()).unwrap_or_default()),
+                        Value::from(d.map(|d| d.indextype.clone()).unwrap_or_default()),
+                        Value::from(s.state.to_string()),
+                        Value::from(s.recent_faults as i64),
+                        Value::from(s.total_faults as i64),
+                        Value::from(s.pending_ops as i64),
+                        Value::from(s.calls as i64),
+                        Value::from(if s.dirty { "YES" } else { "NO" }),
                     ]
                 })
                 .collect(),
@@ -1656,6 +1992,7 @@ impl ServerContext for ServerCtx<'_> {
     }
 
     fn execute(&mut self, sql: &str, binds: &[Value]) -> Result<u64> {
+        sandbox::tick();
         let mut stmt = parse(sql)?;
         bind_statement(&mut stmt, binds)?;
         self.enforce(&stmt)?;
@@ -1666,6 +2003,7 @@ impl ServerContext for ServerCtx<'_> {
     }
 
     fn query(&mut self, sql: &str, binds: &[Value]) -> Result<Vec<Row>> {
+        sandbox::tick();
         let mut stmt = parse(sql)?;
         bind_statement(&mut stmt, binds)?;
         if !matches!(stmt, Statement::Select(_)) {
@@ -1691,6 +2029,7 @@ impl ServerContext for ServerCtx<'_> {
         batch_size: usize,
         sink: &mut BatchSink,
     ) -> Result<()> {
+        sandbox::tick();
         let tdef = self.db.catalog.table(table)?.clone();
         let col_idx: Vec<usize> =
             cols.iter().map(|c| tdef.column_index(c)).collect::<Result<Vec<_>>>()?;
@@ -1710,6 +2049,7 @@ impl ServerContext for ServerCtx<'_> {
                         values: col_idx.iter().map(|&i| row[i].clone()).collect(),
                     })
                     .collect();
+                sandbox::tick();
                 sink(self, &batch)?;
             }
         }
@@ -1743,52 +2083,63 @@ impl ServerContext for ServerCtx<'_> {
             if batch.is_empty() {
                 return Ok(());
             }
+            sandbox::tick();
             sink(self, &batch)?;
         }
     }
 
     fn fault_point(&mut self, point: &str) -> Result<()> {
+        sandbox::tick();
         self.db.fault_check(point, None)
     }
 
     fn lob_create(&mut self) -> Result<LobRef> {
+        sandbox::tick();
         let undo = self.db.stmt_undo.as_mut();
         Ok(self.db.storage.lob_allocate(undo))
     }
 
     fn lob_length(&mut self, lob: LobRef) -> Result<u64> {
+        sandbox::tick();
         self.db.storage.lob_length(lob)
     }
 
     fn lob_read(&mut self, lob: LobRef, offset: u64, len: usize) -> Result<Vec<u8>> {
+        sandbox::tick();
         self.db.storage.lob_read(lob, offset, len)
     }
 
     fn lob_read_all(&mut self, lob: LobRef) -> Result<Vec<u8>> {
+        sandbox::tick();
         self.db.storage.lob_read_all(lob)
     }
 
     fn lob_write(&mut self, lob: LobRef, offset: u64, bytes: &[u8]) -> Result<()> {
+        sandbox::tick();
         let undo = self.db.stmt_undo.as_mut();
         self.db.storage.lob_write(lob, offset, bytes, undo)
     }
 
     fn lob_append(&mut self, lob: LobRef, bytes: &[u8]) -> Result<u64> {
+        sandbox::tick();
         let undo = self.db.stmt_undo.as_mut();
         self.db.storage.lob_append(lob, bytes, undo)
     }
 
     fn lob_overwrite(&mut self, lob: LobRef, bytes: &[u8]) -> Result<()> {
+        sandbox::tick();
         let undo = self.db.stmt_undo.as_mut();
         self.db.storage.lob_overwrite(lob, bytes, undo)
     }
 
     fn lob_free(&mut self, lob: LobRef) -> Result<()> {
+        sandbox::tick();
         let undo = self.db.stmt_undo.as_mut();
         self.db.storage.lob_free(lob, undo)
     }
 
     fn workspace_put(&mut self, state: Box<dyn Any + Send>) -> WorkspaceHandle {
+        sandbox::tick();
         let h = WorkspaceHandle(self.db.next_ws);
         self.db.next_ws += 1;
         self.db.workspace.insert(h.0, state);
@@ -1796,14 +2147,17 @@ impl ServerContext for ServerCtx<'_> {
     }
 
     fn workspace_get(&mut self, handle: WorkspaceHandle) -> Option<&mut (dyn Any + Send)> {
+        sandbox::tick();
         self.db.workspace.get_mut(&handle.0).map(|b| b.as_mut())
     }
 
     fn workspace_take(&mut self, handle: WorkspaceHandle) -> Option<Box<dyn Any + Send>> {
+        sandbox::tick();
         self.db.workspace.remove(&handle.0)
     }
 
     fn register_event_handler(&mut self, name: &str, handler: Arc<dyn EventHandler>) {
+        sandbox::tick();
         let upper = name.to_ascii_uppercase();
         if let Some(slot) = self.db.event_handlers.iter_mut().find(|(n, _)| *n == upper) {
             slot.1 = handler;
@@ -1813,34 +2167,42 @@ impl ServerContext for ServerCtx<'_> {
     }
 
     fn file_create(&mut self, name: &str) {
+        sandbox::tick();
         self.db.storage.files().create(name);
     }
 
     fn file_exists(&mut self, name: &str) -> bool {
+        sandbox::tick();
         self.db.storage.files().exists(name)
     }
 
     fn file_remove(&mut self, name: &str) -> Result<()> {
+        sandbox::tick();
         self.db.storage.files().remove(name)
     }
 
     fn file_read(&mut self, name: &str) -> Result<Vec<u8>> {
+        sandbox::tick();
         self.db.storage.files().read(name)
     }
 
     fn file_write(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        sandbox::tick();
         self.db.storage.files().write(name, bytes)
     }
 
     fn file_append(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        sandbox::tick();
         self.db.storage.files().append(name, bytes)
     }
 
     fn file_flush(&mut self, name: &str) -> Result<()> {
+        sandbox::tick();
         self.db.storage.files().flush(name)
     }
 
     fn file_length(&mut self, name: &str) -> Result<u64> {
+        sandbox::tick();
         self.db.storage.files_ref().length(name)
     }
 }

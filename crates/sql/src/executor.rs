@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use extidx_common::{Error, Key, Result, RowId, Value};
 use extidx_core::meta::{IndexInfo, OperatorCall, PredicateBound};
+use extidx_core::sandbox;
 use extidx_core::scan::ScanContext;
 use extidx_core::server::CallbackMode;
 use extidx_core::trace::Component;
@@ -542,14 +543,14 @@ impl DomainScanExec {
             &indextype,
             format!("{}({} args)", self.call.operator, self.call.args.len()),
         );
-        let started = match db.fault_check("ODCIIndexStart", Some(&indextype)) {
-            Err(e) => Err(e),
-            Ok(()) => {
-                let mut ctx =
-                    ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
-                index.start(&mut ctx, &info, &self.call)
-            }
-        };
+        let started = db.sandboxed_odci(
+            "ODCIIndexStart",
+            &self.index,
+            &indextype,
+            CallbackMode::Scan,
+            None,
+            |ctx| index.start(ctx, &info, &self.call),
+        );
         db.trace_finish(h);
         let scan_ctx = match started {
             Ok(c) => c,
@@ -579,14 +580,14 @@ impl DomainScanExec {
                 let (index, info, indextype) =
                     self.runtime.as_ref().expect("runtime resolved").clone();
                 let h = db.trace_event(Component::IndexAccess, "ODCIIndexClose", &indextype, "");
-                let r = match db.fault_check("ODCIIndexClose", Some(&indextype)) {
-                    Err(e) => Err(e),
-                    Ok(()) => {
-                        let mut sctx =
-                            ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
-                        index.close(&mut sctx, &info, ctx)
-                    }
-                };
+                let r = db.sandboxed_odci(
+                    "ODCIIndexClose",
+                    &self.index,
+                    &indextype,
+                    CallbackMode::Scan,
+                    None,
+                    |sctx| index.close(sctx, &info, ctx),
+                );
                 db.trace_finish(h);
                 self.closed = true;
                 r?;
@@ -610,8 +611,11 @@ impl DomainScanExec {
         let (index, info, indextype) = self.runtime.as_ref().expect("runtime resolved").clone();
         let h =
             db.trace_event(Component::Recovery, "ODCIIndexClose", &indextype, "error-path close");
-        let mut sctx = ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
-        let r = index.close(&mut sctx, &info, ctx);
+        let budget = db.tick_budget();
+        let r = sandbox::sandboxed_call(&indextype, "ODCIIndexClose", budget, || {
+            let mut sctx = ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
+            index.close(&mut sctx, &info, ctx)
+        });
         db.trace_finish(h);
         if let Err(e) = r {
             db.trace_event(Component::Recovery, "CloseFailed", &indextype, e.to_string());
@@ -640,15 +644,15 @@ impl ExecNode for DomainScanExec {
                 &indextype,
                 format!("nrows={batch}"),
             );
-            let fetched = match db.fault_check("ODCIIndexFetch", Some(&indextype)) {
-                Err(e) => Err(e),
-                Ok(()) => {
-                    let ctx = self.ctx.as_mut().expect("scan open");
-                    let mut sctx =
-                        ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
-                    index.fetch(&mut sctx, &info, ctx, batch)
-                }
-            };
+            let scan_ctx = self.ctx.as_mut().expect("scan open");
+            let fetched = db.sandboxed_odci(
+                "ODCIIndexFetch",
+                &self.index,
+                &indextype,
+                CallbackMode::Scan,
+                None,
+                |sctx| index.fetch(sctx, &info, scan_ctx, batch),
+            );
             db.trace_finish(h);
             let result = match fetched {
                 Ok(r) => r,

@@ -23,7 +23,7 @@ use extidx_core::trace::Component;
 
 use crate::ast::{BinOp, Expr, Hint, OrderItem, Select, SelectItem, UnOp};
 use crate::catalog::{Catalog, TableDef, TableOrg};
-use crate::database::{Database, ServerCtx};
+use crate::database::Database;
 use crate::expr::{aggregate_kind, compile_expr, AggKind, RExpr, Scope, ScopeCol};
 use crate::plan::{PlanKind, PlanNode, PlannedQuery};
 
@@ -668,6 +668,10 @@ fn best_table_access(
     // and no alternative is even considered (or costed — cartridge stats
     // routines are not consulted for a path that cannot be taken).
     let consider_alternatives = !hints.full;
+    // Quarantined domain indexes that would otherwise have been
+    // candidates for conjunct `ci` — if that conjunct ends up in the
+    // residual filter, EXPLAIN annotates the degradation.
+    let mut degraded: Vec<(usize, String)> = Vec::new();
     for (ci, e) in table_conjuncts.iter().enumerate().filter(|_| consider_alternatives) {
         // Direct ROWID fetch: `t.ROWID = <rowid literal>` (the legacy
         // temp-table join pattern resolves through this).
@@ -828,6 +832,23 @@ fn best_table_access(
                 if !ok || col_arg.is_none() {
                     continue;
                 }
+                // Health gate: a quarantined (or build-failed) index is
+                // invisible to costing — its stats routines are never
+                // consulted — and the conjunct degrades to the functional
+                // fallback. Forcing an unusable index is an error, not a
+                // silent fall-through.
+                if !db.catalog().health.is_usable(&d.name) {
+                    if forced {
+                        return Err(Error::Semantic(format!(
+                            "cannot force index {} on {}: index is {}",
+                            d.name,
+                            tdef.name,
+                            db.catalog().health.state(&d.name)
+                        )));
+                    }
+                    degraded.push((ci, d.name.clone()));
+                    continue;
+                }
                 // Ancillary label convention: a trailing integer literal
                 // argument matching a SCORE(n) reference in the query.
                 let label = literal_args.last().and_then(|v| match v {
@@ -849,9 +870,14 @@ fn best_table_access(
                     &d.indextype,
                     format!("{}({})", call.operator, d.name),
                 );
-                db.fault_check("ODCIStatsSelectivity", Some(&d.indextype))?;
-                let mut ctx = ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
-                let sel = stats.selectivity(&mut ctx, &info, &call);
+                let sel = db.sandboxed_odci(
+                    "ODCIStatsSelectivity",
+                    &d.name,
+                    &d.indextype,
+                    CallbackMode::Scan,
+                    None,
+                    |ctx| stats.selectivity(ctx, &info, &call),
+                );
                 db.trace_finish(h);
                 let sel = sel?.clamp(0.0, 1.0);
                 let h = db.trace_event(
@@ -860,9 +886,14 @@ fn best_table_access(
                     &d.indextype,
                     format!("sel={sel:.4}"),
                 );
-                db.fault_check("ODCIStatsIndexCost", Some(&d.indextype))?;
-                let mut ctx = ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
-                let icost = stats.index_cost(&mut ctx, &info, &call, sel);
+                let icost = db.sandboxed_odci(
+                    "ODCIStatsIndexCost",
+                    &d.name,
+                    &d.indextype,
+                    CallbackMode::Scan,
+                    None,
+                    |ctx| stats.index_cost(ctx, &info, &call, sel),
+                );
                 db.trace_finish(h);
                 let icost = icost?;
                 let matched = (rows * sel).max(1.0);
@@ -981,14 +1012,21 @@ fn best_table_access(
         }
     };
 
-    // Residual conjuncts → Filter.
+    // Residual conjuncts → Filter. A conjunct whose quarantined index was
+    // skipped degrades to the residual; surface the index names unless
+    // another access path consumed the conjunct after all.
     let residual: Vec<&Expr> = table_conjuncts
         .iter()
         .enumerate()
         .filter(|(i, _)| best.consumed != Some(*i))
         .map(|(_, e)| e)
         .collect();
-    wrap_filter(db, access, &residual, &scope)
+    let degraded_names: Vec<String> = degraded
+        .into_iter()
+        .filter(|(ci, _)| best.consumed != Some(*ci))
+        .map(|(_, name)| name)
+        .collect();
+    wrap_filter(db, access, &residual, &scope, &degraded_names)
 }
 
 /// Synthetic catalog entry for a `V$` virtual table: a heap-shaped
@@ -1027,11 +1065,18 @@ fn vtable_access(
         est_cost: 0.0,
     };
     let residual: Vec<&Expr> = table_conjuncts.iter().collect();
-    wrap_filter(db, access, &residual, &scope)
+    wrap_filter(db, access, &residual, &scope, &[])
 }
 
-/// AND-combine conjuncts into a Filter node over `input`.
-fn wrap_filter(db: &Database, input: PlanNode, residual: &[&Expr], scope: &Scope) -> Result<PlanNode> {
+/// AND-combine conjuncts into a Filter node over `input`. `degraded`
+/// names quarantined indexes whose conjuncts fell back to this filter.
+fn wrap_filter(
+    db: &Database,
+    input: PlanNode,
+    residual: &[&Expr],
+    scope: &Scope,
+    degraded: &[String],
+) -> Result<PlanNode> {
     if residual.is_empty() {
         return Ok(input);
     }
@@ -1055,7 +1100,17 @@ fn wrap_filter(db: &Database, input: PlanNode, residual: &[&Expr], scope: &Scope
         scope: scope.clone(),
         est_rows,
         est_cost,
-        kind: PlanKind::Filter { input: Box::new(input), pred, functional_ops },
+        kind: PlanKind::Filter {
+            input: Box::new(input),
+            pred,
+            functional_ops,
+            degraded: {
+                let mut d = degraded.to_vec();
+                d.sort();
+                d.dedup();
+                d
+            },
+        },
     })
 }
 
@@ -1223,12 +1278,20 @@ fn build_join(
     let right_scope = table_scope(tdef, Some(alias));
 
     // 1. Domain join.
+    let mut degraded: Vec<(usize, String)> = Vec::new();
     if matches!(right.kind, PlanKind::FullScan { .. } | PlanKind::IotFullScan { .. }) {
         for (ci, e) in conjuncts.iter().enumerate() {
             let Some(op_pred) = match_op_predicate(e, db) else { continue };
             for d in db.catalog().domain_indexes_on(&tdef.name).into_iter().cloned().collect::<Vec<_>>() {
                 let Ok(it) = db.catalog().registry.indextype(&d.indextype) else { continue };
                 if !it.supports(&op_pred.name, op_pred.args.len()) {
+                    continue;
+                }
+                // Health gate: quarantined indexes cannot carry a domain
+                // join — the operator evaluates functionally in the join
+                // residual instead.
+                if !db.catalog().health.is_usable(&d.name) {
+                    degraded.push((ci, d.name.clone()));
                     continue;
                 }
                 // Indexed column must be a bare arg resolving in `right`;
@@ -1281,10 +1344,16 @@ fn build_join(
                         label,
                     },
                 };
-                return wrap_filter(db, node, &residual, &joined_scope);
+                let degraded_names: Vec<String> = degraded
+                    .into_iter()
+                    .filter(|(i, _)| *i != ci)
+                    .map(|(_, name)| name)
+                    .collect();
+                return wrap_filter(db, node, &residual, &joined_scope, &degraded_names);
             }
         }
     }
+    let degraded_names: Vec<String> = degraded.into_iter().map(|(_, name)| name).collect();
 
     // 2. Hash join on an equality conjunct between the two sides.
     for (ci, e) in conjuncts.iter().enumerate() {
@@ -1314,7 +1383,7 @@ fn build_join(
                         extra_pred: None,
                     },
                 };
-                return wrap_filter(db, node, &residual, &joined_scope);
+                return wrap_filter(db, node, &residual, &joined_scope, &degraded_names);
             }
         }
     }
@@ -1333,7 +1402,7 @@ fn build_join(
         est_cost,
         kind: PlanKind::NestedLoopJoin { left: Box::new(left), right: Box::new(right), pred: None },
     };
-    wrap_filter(db, node, &residual, &joined_scope)
+    wrap_filter(db, node, &residual, &joined_scope, &degraded_names)
 }
 
 /// Aggregation, projection, DISTINCT, ORDER BY, LIMIT on top of the join
@@ -1720,7 +1789,12 @@ fn plan_aggregate(db: &mut Database, s: &Select, source: PlanNode) -> Result<Agg
             scope: agg_scope,
             est_rows,
             est_cost,
-            kind: PlanKind::Filter { input: Box::new(node), pred, functional_ops: Vec::new() },
+            kind: PlanKind::Filter {
+                input: Box::new(node),
+                pred,
+                functional_ops: Vec::new(),
+                degraded: Vec::new(),
+            },
         };
     }
 

@@ -560,11 +560,14 @@ impl Parser {
     fn alter(&mut self) -> Result<Statement> {
         self.expect_kw("INDEX")?;
         let name = self.ident()?;
+        if self.eat_kw("REBUILD") {
+            return Ok(Statement::AlterIndex { name, action: AlterIndexAction::Rebuild });
+        }
         self.expect_kw("PARAMETERS")?;
         self.expect(&Token::LParen)?;
         let parameters = self.string()?;
         self.expect(&Token::RParen)?;
-        Ok(Statement::AlterIndex { name, parameters })
+        Ok(Statement::AlterIndex { name, action: AlterIndexAction::Parameters(parameters) })
     }
 
     fn type_spec(&mut self) -> Result<TypeSpec> {
@@ -936,9 +939,22 @@ mod tests {
             s,
             Statement::AlterIndex {
                 name: "RESUMETEXTINDEX".into(),
-                parameters: ":Ignore COBOL".into()
+                action: AlterIndexAction::Parameters(":Ignore COBOL".into()),
             }
         );
+    }
+
+    #[test]
+    fn parses_alter_index_rebuild() {
+        let s = parse("ALTER INDEX ResumeTextIndex REBUILD").unwrap();
+        assert_eq!(
+            s,
+            Statement::AlterIndex {
+                name: "RESUMETEXTINDEX".into(),
+                action: AlterIndexAction::Rebuild,
+            }
+        );
+        assert!(parse("ALTER INDEX i REBUILD EXTRA").is_err());
     }
 
     #[test]

@@ -61,7 +61,15 @@ pub enum PlanKind {
     /// Row filter. `functional_ops` names the user-defined operators this
     /// filter evaluates through their functional implementations — the
     /// §2.4.2 fallback path, surfaced in EXPLAIN so tests can pin it.
-    Filter { input: Box<PlanNode>, pred: RExpr, functional_ops: Vec<String> },
+    /// `degraded` names quarantined domain indexes that would have served
+    /// a conjunct now evaluated here instead — the health machinery's
+    /// silent degradation, made visible to EXPLAIN.
+    Filter {
+        input: Box<PlanNode>,
+        pred: RExpr,
+        functional_ops: Vec<String>,
+        degraded: Vec<String>,
+    },
     /// Projection.
     Project { input: Box<PlanNode>, exprs: Vec<RExpr> },
     /// Nested-loop join with optional residual predicate (over the
@@ -147,12 +155,17 @@ impl PlanNode {
                 call.args.len(),
                 forced_suffix(forced)
             ),
-            PlanKind::Filter { pred, functional_ops, .. } => {
+            PlanKind::Filter { pred, functional_ops, degraded, .. } => {
+                let degraded_suffix = if degraded.is_empty() {
+                    String::new()
+                } else {
+                    format!("  [DEGRADED: index quarantined: {}]", degraded.join(", "))
+                };
                 if functional_ops.is_empty() {
-                    format!("{pad}FILTER {pred:?}")
+                    format!("{pad}FILTER {pred:?}{degraded_suffix}")
                 } else {
                     format!(
-                        "{pad}FILTER [FUNCTIONAL FALLBACK {}] {pred:?}",
+                        "{pad}FILTER [FUNCTIONAL FALLBACK {}] {pred:?}{degraded_suffix}",
                         functional_ops.join(", ")
                     )
                 }

@@ -290,3 +290,32 @@ fn explain_analyze_annotates_the_text_scan() {
     assert!(summary.starts_with("statement:"), "{summary}");
     assert!(summary.contains(&format!("rows={expected}")), "{summary}");
 }
+
+/// A panic inside the cartridge's own maintenance code (after the
+/// postings are written) is contained by the sandbox: the statement
+/// fails with a `CartridgeFault`, the engine stays alive, the row is
+/// rolled back everywhere, and the same insert then runs clean.
+#[test]
+fn panic_in_maintenance_is_contained() {
+    use extidx_core::fault::FaultKind;
+
+    let mut db = db_with_docs(&standard_docs());
+    db.execute("CREATE INDEX rti ON employees(resume) INDEXTYPE IS TextIndexType").unwrap();
+    let inj = db.fault_injector().clone();
+    inj.arm("text.maintenance.indexed", None, 1, FaultKind::Panic);
+    let err = db
+        .execute("INSERT INTO employees VALUES ('emp9', 9, 'oracle containment probe')")
+        .expect_err("panicking maintenance must fail the statement");
+    assert!(
+        matches!(err, extidx_common::Error::CartridgeFault { .. }),
+        "expected CartridgeFault, got {err}"
+    );
+    inj.disarm_all();
+
+    let rows = db.query("SELECT id FROM employees WHERE Contains(resume, 'containment')").unwrap();
+    assert!(rows.is_empty(), "failed statement must leave no postings: {rows:?}");
+
+    db.execute("INSERT INTO employees VALUES ('emp9', 9, 'oracle containment probe')").unwrap();
+    let rows = db.query("SELECT id FROM employees WHERE Contains(resume, 'containment')").unwrap();
+    assert_eq!(rows, vec![vec![Value::Integer(9)]]);
+}

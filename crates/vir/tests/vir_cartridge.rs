@@ -257,3 +257,49 @@ fn explain_analyze_annotates_the_vir_scan() {
     let summary = lines.last().unwrap();
     assert!(summary.contains(&format!("rows={expected}")), "{summary}");
 }
+
+/// A panic inside the signature maintenance path is contained by the
+/// sandbox: the INSERT fails with `CartridgeFault`, the near-duplicate
+/// stays invisible, and a clean retry makes it findable.
+#[test]
+fn panic_in_maintenance_is_contained() {
+    use extidx_core::fault::FaultKind;
+
+    let mut db = vir_db();
+    let (base, _) = load_images(&mut db, 60, 0, 42);
+    db.execute("CREATE INDEX img_idx ON images(img) INDEXTYPE IS VirIndexType").unwrap();
+    let mut wl = SignatureWorkload::new(43);
+    let dup = wl.near_duplicate(&base, 0.5);
+
+    let inj = db.fault_injector().clone();
+    inj.arm("vir.maintenance.indexed", None, 1, FaultKind::Panic);
+    let err = db
+        .execute_with(
+            "INSERT INTO images VALUES (?, VIR_IMAGE(?))",
+            &[9000_i64.into(), dup.serialize().into()],
+        )
+        .expect_err("panicking maintenance must fail the statement");
+    assert!(
+        matches!(err, extidx_common::Error::CartridgeFault { .. }),
+        "expected CartridgeFault, got {err}"
+    );
+    inj.disarm_all();
+
+    let sql = "SELECT id FROM images WHERE \
+               VirSimilar(img, ?, 'globalcolor=0.5, texture=0.5', 2.0) ORDER BY id";
+    let found = |db: &mut Database, base: &Signature| -> Vec<i64> {
+        db.query_with(sql, &[base.serialize().into()])
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_integer().unwrap())
+            .collect()
+    };
+    assert!(!found(&mut db, &base).contains(&9000), "failed insert must leave no signature");
+
+    db.execute_with(
+        "INSERT INTO images VALUES (?, VIR_IMAGE(?))",
+        &[9000_i64.into(), dup.serialize().into()],
+    )
+    .unwrap();
+    assert!(found(&mut db, &base).contains(&9000), "clean retry must be findable");
+}

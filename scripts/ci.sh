@@ -31,6 +31,15 @@ echo "== observability (EXPLAIN ANALYZE + V\$ smoke) =="
 cargo test -q --test observability --test scan_lifecycle
 cargo test -q -p extidx-text -p extidx-spatial -p extidx-vir -p extidx-chem explain_analyze
 
+# Cartridge sandbox: the quarantine state machine end to end, the panic
+# fault matrix (FaultKind::Panic at every ODCI crossing and every
+# cartridge-internal fault point), and the 3-seed qgen chaos sweep that
+# flips indexes QUARANTINED<->VALID mid-workload demanding bag-equality.
+echo "== cartridge sandbox (quarantine + panic containment) =="
+cargo test -q --test quarantine
+cargo test -q --test fault_matrix panic_at_every_crossing -- --include-ignored
+cargo test -q --test differential quarantine_chaos_sweep -- --include-ignored
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

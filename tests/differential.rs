@@ -12,7 +12,7 @@
 //! scripts/ci.sh threads it through and prints the failing seed plus the
 //! minimized script on failure.
 
-use extidx_qgen::run_seed;
+use extidx_qgen::{run_seed, ChaosOpts};
 
 const DEFAULT_SEED: u64 = 0xD1FF;
 const STATEMENTS: usize = 200;
@@ -37,7 +37,7 @@ fn seed_from_env() -> u64 {
 #[test]
 fn seeded_workload_has_no_divergence() {
     let seed = seed_from_env();
-    if let Some(d) = run_seed(seed, STATEMENTS, false) {
+    if let Some(d) = run_seed(seed, STATEMENTS, ChaosOpts::default()) {
         panic!(
             "differential oracle found a divergence\n\
              seed {} (rerun with DIFF_SEED={}), statement {}, minimized to {} statements\n\
@@ -53,7 +53,7 @@ fn seeded_workload_has_no_divergence() {
 /// bug and shrink the repro to at most 10 statements.
 #[test]
 fn chaos_drop_last_batch_is_caught_and_minimized() {
-    let d = run_seed(seed_from_env(), STATEMENTS, true)
+    let d = run_seed(seed_from_env(), STATEMENTS, ChaosOpts::drop_last_batch())
         .expect("planted executor bug must be caught by the default seeded run");
     assert!(
         d.minimized <= 10,
@@ -69,10 +69,29 @@ fn chaos_drop_last_batch_is_caught_and_minimized() {
 #[ignore = "long sweep; run via scripts/ci.sh or --include-ignored"]
 fn multi_seed_sweep_has_no_divergence() {
     for seed in 0..24u64 {
-        if let Some(d) = run_seed(seed, STATEMENTS, false) {
+        if let Some(d) = run_seed(seed, STATEMENTS, ChaosOpts::default()) {
             panic!(
                 "divergence at seed {} (rerun with DIFF_SEED={}), statement {}\n{}\n{}",
                 d.seed, d.seed, d.step, d.detail, d.script
+            );
+        }
+    }
+}
+
+/// Quarantine chaos: flip domain indexes between QUARANTINED and VALID
+/// (via `ALTER INDEX … REBUILD`) mid-stream. Unlike the planted executor
+/// bug, this must NOT produce a divergence — a quarantined index
+/// degrades to the functional fallback, which answers identically, and a
+/// rebuild replays the pending DML log (or rebuilds from the base table)
+/// before the index serves scans again.
+#[test]
+#[ignore = "long sweep; run via scripts/ci.sh or --include-ignored"]
+fn quarantine_chaos_sweep_has_no_divergence() {
+    for seed in [seed_from_env(), 7, 23] {
+        if let Some(d) = run_seed(seed, STATEMENTS, ChaosOpts::quarantine()) {
+            panic!(
+                "quarantine chaos must degrade silently, but seed {} diverged at statement {}\n{}\n{}",
+                d.seed, d.step, d.detail, d.script
             );
         }
     }
@@ -84,7 +103,7 @@ fn multi_seed_sweep_has_no_divergence() {
 #[ignore = "long sweep; run via scripts/ci.sh or --include-ignored"]
 fn multi_seed_sweep_catches_planted_bug() {
     for seed in 0..8u64 {
-        let d = run_seed(seed, STATEMENTS, true)
+        let d = run_seed(seed, STATEMENTS, ChaosOpts::drop_last_batch())
             .unwrap_or_else(|| panic!("seed {seed} missed the planted executor bug"));
         assert!(d.minimized <= 10, "seed {seed}: repro has {} statements", d.minimized);
     }

@@ -171,7 +171,7 @@ fn qgen_sweep_never_leaks_a_scan_context() {
 
     for seed in [0xD1FF_u64, 7, 23] {
         let workload = extidx_qgen::generate(seed, 120);
-        let mut db = extidx_qgen::fresh_db(false);
+        let mut db = extidx_qgen::fresh_db(extidx_qgen::ChaosOpts::default());
         for sql in &workload.preamble {
             db.execute(sql).unwrap_or_else(|e| panic!("preamble {sql}: {e}"));
         }
