@@ -15,6 +15,7 @@
 //! repro e10-build         parallel index build + batched rowid→row join
 //! repro e13-observe       EXPLAIN ANALYZE + V$ tables + tkprof-style report
 //! repro e14-quarantine    sandbox: panic containment, quarantine, REBUILD
+//! repro e15-vectorized    batch executor + zone maps + cost-ordered conjuncts
 //! repro all               everything above
 //! ```
 //!
@@ -57,11 +58,12 @@ fn main() {
     run("e10-build", e10_build);
     run("e13-observe", e13_observe);
     run("e14-quarantine", e14_quarantine);
+    run("e15-vectorized", e15_vectorized);
     if !matches!(
         cmd.as_str(),
         "all" | "e1-architecture" | "e2-text" | "e3-spatial" | "e4-vir" | "e5-chem"
             | "e6-optimizer" | "e7-scan-modes" | "e8-batch" | "e9-events" | "e10-build"
-            | "e13-observe" | "e14-quarantine"
+            | "e13-observe" | "e14-quarantine" | "e15-vectorized"
     ) {
         eprintln!("unknown experiment {cmd:?}; see `repro` source for the list");
         std::process::exit(2);
@@ -613,5 +615,132 @@ fn e14_quarantine() -> Result<()> {
             println!("  {e}");
         }
     }
+    Ok(())
+}
+
+/// E15 — the vectorized executor: cold filtered full scan with zone-map
+/// pruning + batching vs the row-at-a-time path, and cost-ordered
+/// conjunct evaluation on a selective domain-operator query. Emits
+/// `BENCH_*.json` for both workloads (see `emit_bench_json`).
+/// Speedup floors are env-tunable so CI can tighten or relax them
+/// without a rebuild; the defaults are the acceptance thresholds.
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn e15_vectorized() -> Result<()> {
+    let n: usize = std::env::var("E15_N").ok().and_then(|v| v.parse().ok()).unwrap_or(100_000);
+    let runs: usize = std::env::var("E15_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+
+    // -- Part A: cold 100k-row filtered full scan -------------------------
+    // Sequential ids cluster naturally per page, so zone maps prune ~99%
+    // of pages for a narrow BETWEEN; batching removes the per-row
+    // virtual-call + borrow overhead on whatever survives.
+    let mut db = Database::with_cache_pages(32_768);
+    db.execute("CREATE TABLE events (id INTEGER, val INTEGER, note VARCHAR2(64))")?;
+    for i in 0..n {
+        db.execute_with(
+            "INSERT INTO events VALUES (?, ?, ?)",
+            &[(i as i64).into(), ((i * 7 % 1000) as i64).into(), format!("event {i}").into()],
+        )?;
+    }
+    db.execute("ANALYZE TABLE events")?;
+    let lo = (n / 2) as i64;
+    let hi = lo + (n / 100).max(1) as i64;
+    let sql = format!("SELECT id, val FROM events WHERE id BETWEEN {lo} AND {hi}");
+    let expect = db.query(&sql)?.len();
+    println!("table: {n} rows; predicate selects {expect} (cold cache per run)\n");
+
+    let cold_time = |db: &mut Database, sql: &str| {
+        time_median(runs, || {
+            db.cold_start();
+            let got = db.query(sql).expect("scan").len();
+            assert_eq!(got, expect, "both paths must agree");
+        })
+    };
+    db.set_batch_execution(false);
+    db.set_zone_pruning(false);
+    let row_t = cold_time(&mut db, &sql);
+    db.set_batch_execution(true);
+    db.set_zone_pruning(true);
+    let vec_t = cold_time(&mut db, &sql);
+
+    let mut rep = Report::new(&["path", "median", "rows/s", "speedup"]);
+    let rate = |d: std::time::Duration| format!("{:.0}", n as f64 / d.as_secs_f64());
+    rep.row(&["row-at-a-time".into(), fmt_dur(row_t), rate(row_t), "1.0x".into()]);
+    rep.row(&[
+        "batch + zone maps".into(),
+        fmt_dur(vec_t),
+        rate(vec_t),
+        format!("{:.1}x", row_t.as_secs_f64() / vec_t.as_secs_f64()),
+    ]);
+    rep.print();
+    println!(
+        "\nEXPLAIN ANALYZE (vectorized) — note `pruned=` on the scan and batches≪rows:"
+    );
+    for line in db.query(&format!("EXPLAIN ANALYZE {sql}"))? {
+        println!("  {}", line[0]);
+    }
+    let path_a = extidx_bench::emit_bench_json("e15-cold-scan", vec_t, n as u64)
+        .map_err(|e| extidx_common::Error::Storage(e.to_string()))?;
+    println!("\nwrote {path_a}");
+    let floor_a = env_f64("E15_MIN_SCAN_SPEEDUP", 5.0);
+    let speedup_a = row_t.as_secs_f64() / vec_t.as_secs_f64();
+    assert!(
+        speedup_a >= floor_a,
+        "cold pruned scan speedup {speedup_a:.1}x below the {floor_a:.1}x floor"
+    );
+
+    // -- Part B: cost-ordered conjuncts on a domain-operator query --------
+    // `Contains(...) AND id < K` with a forced full scan: source order
+    // evaluates the functional Contains on every row; cost order runs the
+    // cheap range first so the cartridge sees only ~5% of rows. Zone
+    // pruning is off on both sides to isolate the term-ordering effect.
+    let docs = (n / 33).clamp(300, 3000);
+    let mut fx = text_fixture(docs, 40, 800, 7)?;
+    let term = fx.gen.term(25).to_string();
+    let k = (docs / 20).max(10);
+    let sql_b = format!(
+        "SELECT /*+ FULL(docs) */ id FROM docs WHERE Contains(body, '{term}') AND id < {k}"
+    );
+    let db = &mut fx.db;
+    db.set_zone_pruning(false);
+    let expect_b = db.query(&sql_b)?.len();
+    println!(
+        "\ncorpus: {docs} docs; {:?} AND id < {k} selects {expect_b} via functional fallback\n",
+        term
+    );
+    let warm_time = |db: &mut Database, sql: &str| {
+        time_median(runs, || {
+            let got = db.query(sql).expect("filter").len();
+            assert_eq!(got, expect_b, "term order must not change results");
+        })
+    };
+    db.set_cost_ordered_terms(false);
+    let src_t = warm_time(db, &sql_b);
+    db.set_cost_ordered_terms(true);
+    let ord_t = warm_time(db, &sql_b);
+
+    let mut rep_b = Report::new(&["conjunct order", "median", "speedup"]);
+    rep_b.row(&["source (Contains first)".into(), fmt_dur(src_t), "1.0x".into()]);
+    rep_b.row(&[
+        "cost-ordered (range first)".into(),
+        fmt_dur(ord_t),
+        format!("{:.1}x", src_t.as_secs_f64() / ord_t.as_secs_f64()),
+    ]);
+    rep_b.print();
+    println!("\nEXPLAIN (cost-ordered) — terms print in evaluation order, op last:");
+    for line in db.explain(&sql_b)? {
+        println!("  {line}");
+    }
+    let path_b = extidx_bench::emit_bench_json("e15-cost-ordered", ord_t, docs as u64)
+        .map_err(|e| extidx_common::Error::Storage(e.to_string()))?;
+    println!("\nwrote {path_b}");
+    let floor_b = env_f64("E15_MIN_ORDER_SPEEDUP", 2.0);
+    let speedup_b = src_t.as_secs_f64() / ord_t.as_secs_f64();
+    assert!(
+        speedup_b >= floor_b,
+        "cost-ordered conjunct speedup {speedup_b:.1}x below the {floor_b:.1}x floor"
+    );
     Ok(())
 }

@@ -19,10 +19,11 @@ use extidx_sql::Database;
 use crate::gen::{generate, Query, Stmt};
 use crate::interp::{apply_cell, query_ids, Mirror};
 
-/// Chaos switches for an oracle run. Both are deterministic: batch
-/// dropping is stateless, and quarantine flips are keyed on the
+/// Chaos switches for an oracle run. All are deterministic: batch
+/// dropping is stateless, quarantine flips are keyed on the
 /// statement text (see [`quarantine_chaos`]) so delta-debugging subsets
-/// replay identically.
+/// replay identically, and row-at-a-time execution is a global engine
+/// knob.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChaosOpts {
     /// Drop the final batch of every domain-index scan (exercises the
@@ -32,17 +33,26 @@ pub struct ChaosOpts {
     /// REBUILD` a quarantined one — before ~8% of statements, forcing
     /// queries through the functional fallback mid-stream.
     pub quarantine: bool,
+    /// Run the engine on the legacy row-at-a-time executor path instead
+    /// of the vectorized default — a sweep on this flag is the
+    /// batch-vs-row bag-equality oracle.
+    pub row_exec: bool,
 }
 
 impl ChaosOpts {
     /// The pre-existing scan chaos mode.
     pub fn drop_last_batch() -> Self {
-        Self { drop_last_batch: true, quarantine: false }
+        Self { drop_last_batch: true, ..Self::default() }
     }
 
     /// Quarantine/rebuild chaos only.
     pub fn quarantine() -> Self {
-        Self { drop_last_batch: false, quarantine: true }
+        Self { quarantine: true, ..Self::default() }
+    }
+
+    /// Row-at-a-time executor (batch path disabled).
+    pub fn row_exec() -> Self {
+        Self { row_exec: true, ..Self::default() }
     }
 }
 
@@ -69,6 +79,7 @@ pub fn fresh_db(chaos: ChaosOpts) -> Database {
     extidx_vir::install(&mut db).expect("vir cartridge");
     extidx_chem::install(&mut db).expect("chem cartridge");
     db.set_chaos_drop_last_domain_batch(chaos.drop_last_batch);
+    db.set_batch_execution(!chaos.row_exec);
     db
 }
 
@@ -386,6 +397,17 @@ mod tests {
     fn short_seeded_run_survives_quarantine_chaos() {
         if let Some(d) = run_seed(1, 40, ChaosOpts::quarantine()) {
             panic!("unexpected divergence under quarantine chaos: {}\n{}", d.detail, d.script);
+        }
+    }
+
+    /// Cost-ordered conjuncts + the row-at-a-time executor must agree
+    /// with the Kleene mirror interpreter: the engine's term reordering
+    /// and NULL short-circuiting are semantics-preserving under 3VL on
+    /// both executor paths.
+    #[test]
+    fn short_seeded_run_is_clean_on_row_path() {
+        if let Some(d) = run_seed(1, 40, ChaosOpts::row_exec()) {
+            panic!("unexpected divergence on row executor: {}\n{}", d.detail, d.script);
         }
     }
 }

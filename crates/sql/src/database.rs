@@ -101,6 +101,16 @@ pub struct Database {
     next_ws: u64,
     /// Rows per ODCIIndexFetch call (the §2.5 batch interface, E8).
     pub(crate) batch_size: usize,
+    /// Drive SELECT through the vectorized `next_batch` path (default).
+    /// Off = the legacy row-at-a-time loop, kept for A/B benchmarking
+    /// and the differential oracle's batch-vs-row sweep.
+    pub(crate) batch_exec: bool,
+    /// Sort residual WHERE conjuncts cheapest-first before building the
+    /// Filter node (const < zone/B-tree shaped < plain column < ODCI op).
+    pub(crate) cost_ordered_terms: bool,
+    /// Consult per-page zone maps in full scans to skip pages whose
+    /// min/max provably exclude the scan's pruning bounds.
+    pub(crate) zone_pruning: bool,
     /// Schema objects created during the current top-level statement —
     /// compensated (dropped) if the statement fails, so a cartridge
     /// routine that errors after issuing DDL leaves no debris.
@@ -219,6 +229,9 @@ impl Database {
             workspace: HashMap::new(),
             next_ws: 0,
             batch_size: 32,
+            batch_exec: true,
+            cost_ordered_terms: true,
+            zone_pruning: true,
             stmt_created: Vec::new(),
             stmt_maint: Vec::new(),
             compensating: false,
@@ -297,6 +310,38 @@ impl Database {
     /// Current domain-scan fetch batch size.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// Toggle the vectorized executor drive loop (on by default). Off
+    /// falls back to row-at-a-time `next()` — the A/B baseline for E15
+    /// and the oracle's batch-vs-row equivalence sweep.
+    pub fn set_batch_execution(&mut self, on: bool) {
+        self.batch_exec = on;
+    }
+
+    /// Whether SELECT drives the executor batch-at-a-time.
+    pub fn batch_execution(&self) -> bool {
+        self.batch_exec
+    }
+
+    /// Toggle cost-ordered residual-conjunct evaluation (on by default).
+    pub fn set_cost_ordered_terms(&mut self, on: bool) {
+        self.cost_ordered_terms = on;
+    }
+
+    /// Whether Filter terms are sorted cheapest-first.
+    pub fn cost_ordered_terms(&self) -> bool {
+        self.cost_ordered_terms
+    }
+
+    /// Toggle zone-map page pruning in full scans (on by default).
+    pub fn set_zone_pruning(&mut self, on: bool) {
+        self.zone_pruning = on;
+    }
+
+    /// Whether full scans consult zone maps.
+    pub fn zone_pruning(&self) -> bool {
+        self.zone_pruning
     }
 
     /// Plant the deliberate lost-last-batch executor bug. Exists solely
@@ -674,8 +719,18 @@ impl Database {
                 let columns = planned.column_names;
                 let mut exec = executor::build(planned.root);
                 let mut rows = Vec::new();
-                while let Some(r) = exec.next(self)? {
-                    rows.push(r.values);
+                if self.batch_exec {
+                    loop {
+                        let b = exec.next_batch(self, executor::BATCH_TARGET)?;
+                        if b.rows.is_empty() {
+                            break;
+                        }
+                        rows.extend(b.rows.into_iter().map(|r| r.values));
+                    }
+                } else {
+                    while let Some(r) = exec.next(self)? {
+                        rows.push(r.values);
+                    }
                 }
                 Ok(StmtResult::Rows { columns, rows })
             }
@@ -704,8 +759,18 @@ impl Database {
                     let before = self.cache_stats();
                     let started = Instant::now();
                     let mut produced = 0u64;
-                    while exec.next(self)?.is_some() {
-                        produced += 1;
+                    if self.batch_exec {
+                        loop {
+                            let b = exec.next_batch(self, executor::BATCH_TARGET)?;
+                            if b.rows.is_empty() {
+                                break;
+                            }
+                            produced += b.rows.len() as u64;
+                        }
+                    } else {
+                        while exec.next(self)?.is_some() {
+                            produced += 1;
+                        }
                     }
                     let elapsed = started.elapsed().as_micros() as u64;
                     let delta = self.cache_stats().since(&before);
@@ -714,15 +779,20 @@ impl Database {
                         .zip(cells.iter())
                         .map(|(line, cell)| {
                             let s = cell.snapshot();
+                            // Rows ≠ calls on the vectorized path: batches
+                            // and pruned pages are reported as their own
+                            // fields alongside the row-path call count.
                             vec![Value::from(format!(
-                                "{line}  [actual rows={} calls={} gets={} ({} phys) time={}us]",
-                                s.rows, s.next_calls, s.logical_reads, s.physical_reads,
-                                s.elapsed_micros
+                                "{line}  [actual rows={} calls={} batches={} pruned={} gets={} ({} phys) time={}us]",
+                                s.rows, s.next_calls, s.batches, s.pages_pruned,
+                                s.logical_reads, s.physical_reads, s.elapsed_micros
                             ))]
                         })
                         .collect();
+                    let pages_pruned: u64 =
+                        cells.iter().map(|c| c.snapshot().pages_pruned).sum();
                     rows.push(vec![Value::from(format!(
-                        "statement: rows={produced} gets={} ({} phys, {} written) elapsed={elapsed}us",
+                        "statement: rows={produced} gets={} ({} phys, {} written) pages pruned={pages_pruned} elapsed={elapsed}us",
                         delta.logical_reads, delta.physical_reads, delta.physical_writes
                     ))]);
                     Ok(StmtResult::Rows { columns: vec!["PLAN".into()], rows })
@@ -1365,8 +1435,18 @@ impl Database {
             InsertSource::Query(q) => {
                 let planned = optimizer::plan_select(self, &q)?;
                 let mut exec = executor::build(planned.root);
-                while let Some(r) = exec.next(self)? {
-                    rows.push(r.values);
+                if self.batch_exec {
+                    loop {
+                        let b = exec.next_batch(self, executor::BATCH_TARGET)?;
+                        if b.rows.is_empty() {
+                            break;
+                        }
+                        rows.extend(b.rows.into_iter().map(|r| r.values));
+                    }
+                } else {
+                    while let Some(r) = exec.next(self)? {
+                        rows.push(r.values);
+                    }
                 }
             }
         }

@@ -30,18 +30,50 @@ use extidx_storage::SegmentId;
 use crate::ast::BinOp;
 use crate::database::{Database, ServerCtx};
 use crate::expr::{eval, filter_accepts, AggKind, EvalCtx, ExecRow, RExpr};
-use crate::plan::{PlanKind, PlanNode};
+use crate::plan::{FilterTerm, PlanKind, PlanNode, ZoneBound};
 
 /// The largest possible rowid — used as an upper key pad so inclusive
 /// B-tree bounds cover every `(key, rowid)` entry of the bound key.
 const MAX_ROWID: RowId = RowId { table: u32::MAX, page: u32::MAX, slot: u16::MAX };
 
+/// Target rows per executor batch on the vectorized path.
+pub const BATCH_TARGET: usize = 1024;
+
+/// A batch of rows flowing through the vectorized executor path. An
+/// empty batch means the producing node is exhausted — nodes never
+/// return an empty batch while more rows remain.
+#[derive(Debug, Default)]
+pub struct RowBatch {
+    pub rows: Vec<ExecRow>,
+}
+
 /// A pull-based physical operator.
 pub trait ExecNode: Send {
     /// Produce the next row, or `None` when exhausted.
     fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>>;
+
+    /// Produce up to `max_rows` rows at once; an empty batch means
+    /// exhausted. The default adapter loops `next`, so row-only nodes
+    /// (joins, sorts, V$ const rows) ride the vectorized path unmodified;
+    /// hot nodes override this with a native batch implementation.
+    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+        let mut rows = Vec::new();
+        while rows.len() < max_rows {
+            match self.next(db)? {
+                Some(r) => rows.push(r),
+                None => break,
+            }
+        }
+        Ok(RowBatch { rows })
+    }
+
     /// Rewind so the node can be executed again (nested-loop inners).
     fn reset(&mut self, db: &mut Database) -> Result<()>;
+
+    /// Pages this node skipped via zone maps (full scans only).
+    fn pages_pruned(&self) -> u64 {
+        0
+    }
 }
 
 /// Build the executor tree for a plan.
@@ -71,7 +103,7 @@ fn build_node(plan: PlanNode, cells: &mut Option<Vec<Arc<NodeStats>>>) -> Box<dy
         s
     });
     let inner: Box<dyn ExecNode> = match plan.kind {
-        PlanKind::FullScan { table, .. } => Box::new(FullScanExec::new(table)),
+        PlanKind::FullScan { table, prune, .. } => Box::new(FullScanExec::new(table, prune)),
         PlanKind::IotFullScan { table, .. } => Box::new(IotScanExec::new(table, None, None)),
         PlanKind::IotRange { table, lo, hi } => Box::new(IotScanExec::new(table, lo, hi)),
         PlanKind::BTreeAccess { table, index, lo, hi, .. } => {
@@ -82,8 +114,8 @@ fn build_node(plan: PlanNode, cells: &mut Option<Vec<Arc<NodeStats>>>) -> Box<dy
         PlanKind::DomainScan { table, index, call, label, .. } => {
             Box::new(DomainScanExec::new(table, index, call, label))
         }
-        PlanKind::Filter { input, pred, .. } => {
-            Box::new(FilterExec { input: build_node(*input, cells), pred })
+        PlanKind::Filter { input, terms, .. } => {
+            Box::new(FilterExec { input: build_node(*input, cells), terms })
         }
         PlanKind::Project { input, exprs } => {
             Box::new(ProjectExec { input: build_node(*input, cells), exprs })
@@ -164,6 +196,8 @@ fn build_node(plan: PlanNode, cells: &mut Option<Vec<Arc<NodeStats>>>) -> Box<dy
 pub struct NodeStats {
     rows: AtomicU64,
     next_calls: AtomicU64,
+    batches: AtomicU64,
+    pages_pruned: AtomicU64,
     elapsed_nanos: AtomicU64,
     logical_reads: AtomicU64,
     physical_reads: AtomicU64,
@@ -177,6 +211,11 @@ pub struct NodeStatsSnapshot {
     pub rows: u64,
     /// `next` calls (for a domain scan this bounds the batches fetched).
     pub next_calls: u64,
+    /// `next_batch` calls — on the vectorized path rows ≠ calls, so the
+    /// two are accounted (and reported) separately.
+    pub batches: u64,
+    /// Pages this node's scan skipped via zone maps.
+    pub pages_pruned: u64,
     /// Wall time inside this subtree, microseconds.
     pub elapsed_micros: u64,
     /// Buffer-cache logical reads charged while this subtree ran.
@@ -193,6 +232,8 @@ impl NodeStats {
         NodeStatsSnapshot {
             rows: self.rows.load(Ordering::Relaxed),
             next_calls: self.next_calls.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            pages_pruned: self.pages_pruned.load(Ordering::Relaxed),
             elapsed_micros: self.elapsed_nanos.load(Ordering::Relaxed) / 1_000,
             logical_reads: self.logical_reads.load(Ordering::Relaxed),
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
@@ -226,11 +267,34 @@ impl ExecNode for InstrumentExec {
         if let Ok(Some(_)) = &out {
             self.stats.rows.fetch_add(1, Ordering::Relaxed);
         }
+        self.stats.pages_pruned.store(self.inner.pages_pruned(), Ordering::Relaxed);
+        out
+    }
+
+    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+        let cache_before = db.cache_stats();
+        let started = Instant::now();
+        let out = self.inner.next_batch(db, max_rows);
+        let elapsed = started.elapsed().as_nanos() as u64;
+        let delta = db.cache_stats().since(&cache_before);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.elapsed_nanos.fetch_add(elapsed, Ordering::Relaxed);
+        self.stats.logical_reads.fetch_add(delta.logical_reads, Ordering::Relaxed);
+        self.stats.physical_reads.fetch_add(delta.physical_reads, Ordering::Relaxed);
+        self.stats.physical_writes.fetch_add(delta.physical_writes, Ordering::Relaxed);
+        if let Ok(b) = &out {
+            self.stats.rows.fetch_add(b.rows.len() as u64, Ordering::Relaxed);
+        }
+        self.stats.pages_pruned.store(self.inner.pages_pruned(), Ordering::Relaxed);
         out
     }
 
     fn reset(&mut self, db: &mut Database) -> Result<()> {
         self.inner.reset(db)
+    }
+
+    fn pages_pruned(&self) -> u64 {
+        self.inner.pages_pruned()
     }
 }
 
@@ -240,20 +304,29 @@ impl ExecNode for InstrumentExec {
 
 struct FullScanExec {
     table: String,
+    /// Zone-map bounds from the residual predicate: a page whose
+    /// recorded min/max excludes *any* bound (they are ANDed conjuncts)
+    /// is skipped without ever charging a buffer read.
+    prune: Vec<ZoneBound>,
     seg: Option<SegmentId>,
     page: u32,
     slot: u16,
     charged_page: Option<u32>,
+    pruned: u64,
 }
 
 impl FullScanExec {
-    fn new(table: String) -> Self {
-        FullScanExec { table, seg: None, page: 0, slot: 0, charged_page: None }
+    fn new(table: String, prune: Vec<ZoneBound>) -> Self {
+        FullScanExec { table, prune, seg: None, page: 0, slot: 0, charged_page: None, pruned: 0 }
     }
 }
 
 impl ExecNode for FullScanExec {
     fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        Ok(self.next_batch(db, 1)?.rows.pop())
+    }
+
+    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
         let seg = match self.seg {
             Some(s) => s,
             None => {
@@ -262,12 +335,29 @@ impl ExecNode for FullScanExec {
                 s
             }
         };
+        let mut rows = Vec::new();
         loop {
+            if rows.len() >= max_rows {
+                return Ok(RowBatch { rows });
+            }
             let heap = db.storage.heap(seg)?;
             if (self.page as usize) >= heap.page_count() {
-                return Ok(None);
+                return Ok(RowBatch { rows });
             }
             let slots = heap.slots_in_page(self.page);
+            // Zone check once per page, on first entry, before any read
+            // is charged: consulting segment metadata costs no cache get.
+            if self.slot == 0 && !self.prune.is_empty() {
+                let page = self.page;
+                let excluded = self.prune.iter().any(|b| {
+                    db.storage.heap_zone_excludes(seg, page, b.col, b.lo.as_ref(), b.hi.as_ref())
+                });
+                if excluded {
+                    self.pruned += 1;
+                    self.page += 1;
+                    continue;
+                }
+            }
             if (self.slot as usize) >= slots {
                 self.page += 1;
                 self.slot = 0;
@@ -282,7 +372,7 @@ impl ExecNode for FullScanExec {
             if let Some(row) = db.storage.heap(seg)?.slot(self.page, slot) {
                 let mut values = row.clone();
                 values.push(Value::RowId(RowId::new(seg.0, self.page, slot)));
-                return Ok(Some(ExecRow::new(values)));
+                rows.push(ExecRow::new(values));
             }
         }
     }
@@ -292,6 +382,10 @@ impl ExecNode for FullScanExec {
         self.slot = 0;
         self.charged_page = None;
         Ok(())
+    }
+
+    fn pages_pruned(&self) -> u64 {
+        self.pruned
     }
 }
 
@@ -309,10 +403,8 @@ impl IotScanExec {
     fn new(table: String, lo: Option<Key>, hi: Option<Key>) -> Self {
         IotScanExec { table, lo, hi, rows: None, idx: 0 }
     }
-}
 
-impl ExecNode for IotScanExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn ensure_rows(&mut self, db: &mut Database) -> Result<()> {
         if self.rows.is_none() {
             let tdef = db.catalog.table(&self.table)?;
             let seg = tdef.seg;
@@ -345,6 +437,13 @@ impl ExecNode for IotScanExec {
             self.rows = Some(rows);
             self.idx = 0;
         }
+        Ok(())
+    }
+}
+
+impl ExecNode for IotScanExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        self.ensure_rows(db)?;
         let rows = self.rows.as_ref().expect("materialized");
         if self.idx >= rows.len() {
             return Ok(None);
@@ -352,6 +451,16 @@ impl ExecNode for IotScanExec {
         let row = rows[self.idx].clone();
         self.idx += 1;
         Ok(Some(ExecRow::new(row)))
+    }
+
+    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+        self.ensure_rows(db)?;
+        let rows = self.rows.as_ref().expect("materialized");
+        let end = (self.idx + max_rows).min(rows.len());
+        let out: Vec<ExecRow> =
+            rows[self.idx..end].iter().map(|r| ExecRow::new(r.clone())).collect();
+        self.idx = end;
+        Ok(RowBatch { rows: out })
     }
 
     fn reset(&mut self, _db: &mut Database) -> Result<()> {
@@ -623,18 +732,21 @@ impl DomainScanExec {
     }
 }
 
-impl ExecNode for DomainScanExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+impl DomainScanExec {
+    /// Drive ODCIIndexFetch until the join buffer holds at least one row
+    /// or the scan is exhausted (closing it). Returns whether rows are
+    /// buffered — the shared engine under both `next` and `next_batch`.
+    fn fill_buffer(&mut self, db: &mut Database) -> Result<bool> {
         if self.ctx.is_none() && !self.closed {
             self.open(db)?;
         }
         loop {
-            if let Some(row) = self.buffer.pop_front() {
-                return Ok(Some(row));
+            if !self.buffer.is_empty() {
+                return Ok(true);
             }
             if self.fetch_done {
                 self.close(db)?;
-                return Ok(None);
+                return Ok(false);
             }
             let (index, info, indextype) = self.runtime.as_ref().expect("runtime resolved").clone();
             let batch = db.batch_size();
@@ -690,6 +802,27 @@ impl ExecNode for DomainScanExec {
                 self.buffer.push_back(row);
             }
         }
+    }
+}
+
+impl ExecNode for DomainScanExec {
+    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+        if self.fill_buffer(db)? {
+            Ok(self.buffer.pop_front())
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+        // The rowid→row join already happened a whole ODCIIndexFetch
+        // batch at a time (`heap_fetch_multi`); hand that work out
+        // wholesale instead of draining it row by row.
+        if !self.fill_buffer(db)? {
+            return Ok(RowBatch::default());
+        }
+        let k = self.buffer.len().min(max_rows);
+        Ok(RowBatch { rows: self.buffer.drain(..k).collect() })
     }
 
     fn reset(&mut self, db: &mut Database) -> Result<()> {
@@ -891,18 +1024,55 @@ impl ExecNode for HashJoinExec {
 
 struct FilterExec {
     input: Box<dyn ExecNode>,
-    pred: RExpr,
+    /// Conjuncts in optimizer-chosen (cost-ordered) evaluation order.
+    terms: Vec<FilterTerm>,
+}
+
+impl FilterExec {
+    /// Kleene-AND over the ordered terms, short-circuiting at the first
+    /// non-TRUE (FALSE or NULL) result — sound under any term order,
+    /// since three-valued AND is commutative and a row qualifies only
+    /// when every conjunct is TRUE.
+    fn accepts(&self, row: &ExecRow, ctx: &EvalCtx) -> Result<bool> {
+        for t in &self.terms {
+            if !filter_accepts(&eval(&t.pred, row, ctx)?) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
 }
 
 impl ExecNode for FilterExec {
     fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
         while let Some(row) = self.input.next(db)? {
             let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
-            if filter_accepts(&eval(&self.pred, &row, &ctx)?) {
+            if self.accepts(&row, &ctx)? {
                 return Ok(Some(row));
             }
         }
         Ok(None)
+    }
+
+    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+        // Keep pulling input batches until at least one row survives (or
+        // the input is exhausted) — an empty batch means "done" upstream.
+        loop {
+            let batch = self.input.next_batch(db, max_rows)?;
+            if batch.rows.is_empty() {
+                return Ok(batch);
+            }
+            let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+            let mut out = Vec::with_capacity(batch.rows.len());
+            for row in batch.rows {
+                if self.accepts(&row, &ctx)? {
+                    out.push(row);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(RowBatch { rows: out });
+            }
+        }
     }
 
     fn reset(&mut self, db: &mut Database) -> Result<()> {
@@ -928,6 +1098,20 @@ impl ExecNode for ProjectExec {
             }
             None => Ok(None),
         }
+    }
+
+    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+        let batch = self.input.next_batch(db, max_rows)?;
+        let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+        let mut rows = Vec::with_capacity(batch.rows.len());
+        for row in batch.rows {
+            let values: Vec<Value> =
+                self.exprs.iter().map(|e| eval(e, &row, &ctx)).collect::<Result<_>>()?;
+            let mut out = ExecRow::new(values);
+            out.ancillary = row.ancillary;
+            rows.push(out);
+        }
+        Ok(RowBatch { rows })
     }
 
     fn reset(&mut self, db: &mut Database) -> Result<()> {
@@ -993,6 +1177,20 @@ impl ExecNode for LimitExec {
             }
             None => Ok(None),
         }
+    }
+
+    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+        if self.produced >= self.n {
+            // Give scans beneath a chance to close their ODCI contexts.
+            self.input.reset(db)?;
+            return Ok(RowBatch::default());
+        }
+        // Push the remaining quota down as the batch size, so the child
+        // never produces rows past the limit (batch early termination).
+        let want = ((self.n - self.produced) as usize).min(max_rows);
+        let batch = self.input.next_batch(db, want)?;
+        self.produced += batch.rows.len() as u64;
+        Ok(batch)
     }
 
     fn reset(&mut self, db: &mut Database) -> Result<()> {

@@ -25,7 +25,7 @@ use crate::ast::{BinOp, Expr, Hint, OrderItem, Select, SelectItem, UnOp};
 use crate::catalog::{Catalog, TableDef, TableOrg};
 use crate::database::Database;
 use crate::expr::{aggregate_kind, compile_expr, AggKind, RExpr, Scope, ScopeCol};
-use crate::plan::{PlanKind, PlanNode, PlannedQuery};
+use crate::plan::{FilterTerm, PlanKind, PlanNode, PlannedQuery, TermClass, ZoneBound};
 
 /// Tunable cost constants (page-read units).
 #[derive(Debug, Clone, Copy)]
@@ -334,6 +334,50 @@ fn collect_op_call_names(e: &Expr, db: &Database, out: &mut Vec<String>) {
             }
         }
         _ => {}
+    }
+}
+
+/// Does `e` reference any column (or `*`, which stands for whole rows)?
+fn expr_has_column(e: &Expr) -> bool {
+    match e {
+        Expr::Column { .. } | Expr::Star => true,
+        Expr::Literal(_) | Expr::Parameter(_) => false,
+        Expr::Attribute(x, _) | Expr::Unary(_, x) | Expr::IsNull(x, _) => expr_has_column(x),
+        Expr::Binary(_, a, b) => expr_has_column(a) || expr_has_column(b),
+        Expr::Between(a, b, c) => {
+            expr_has_column(a) || expr_has_column(b) || expr_has_column(c)
+        }
+        Expr::InList(a, l) => expr_has_column(a) || l.iter().any(expr_has_column),
+        Expr::Call { args, .. } => args.iter().any(expr_has_column),
+    }
+}
+
+/// Is `e` the `col relop literal` / `col BETWEEN lit AND lit` shape that
+/// zone maps and B-trees cover? Purely structural — scope-independent,
+/// so join residuals classify identically to single-table ones.
+fn is_indexed_col_shape(e: &Expr) -> bool {
+    let is_col = |x: &Expr| matches!(x, Expr::Column { .. });
+    let is_lit = |x: &Expr| matches!(x, Expr::Literal(_));
+    match e {
+        Expr::Binary(op, a, b) => {
+            matches!(op, BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+                && ((is_col(a) && is_lit(b)) || (is_lit(a) && is_col(b)))
+        }
+        Expr::Between(a, lo, hi) => is_col(a) && is_lit(lo) && is_lit(hi),
+        _ => false,
+    }
+}
+
+/// Rank one WHERE conjunct by evaluation cost (see [`TermClass`]).
+fn classify_conjunct(db: &Database, e: &Expr) -> TermClass {
+    if count_op_calls(e, db) > 0 {
+        TermClass::DomainOp
+    } else if !expr_has_column(e) {
+        TermClass::Const
+    } else if is_indexed_col_shape(e) {
+        TermClass::IndexedCol
+    } else {
+        TermClass::PlainCol
     }
 }
 
@@ -959,12 +1003,43 @@ fn best_table_access(
             .filter(|f| *f == index)
             .map(|f| format!("INDEX({alias} {f})"))
     };
+    // Zone-map pruning bounds for a heap full scan: every range-shaped
+    // conjunct restated over physical column indexes. The conjunct stays
+    // in the residual filter — the bound only lets the scan skip pages
+    // whose recorded min/max provably exclude every qualifying row.
+    let zone_prune: Vec<ZoneBound> = if db.zone_pruning()
+        && matches!(best.kind, CandKind::Full)
+        && matches!(tdef.org, TableOrg::Heap)
+    {
+        table_conjuncts
+            .iter()
+            .filter_map(|e| {
+                match_col_relop(e, &scope, tdef)
+                    .and_then(|(col, relop, v)| match relop {
+                        RelOp::Eq => Some((col, Some(v.clone()), Some(v))),
+                        RelOp::Lt | RelOp::Le => Some((col, None, Some(v))),
+                        RelOp::Gt | RelOp::Ge => Some((col, Some(v), None)),
+                        RelOp::Like => None,
+                    })
+                    .or_else(|| {
+                        match_between(e, &scope, tdef).map(|(c, l, h)| (c, Some(l), Some(h)))
+                    })
+            })
+            .filter_map(|(col_name, lo, hi)| {
+                tdef.column_index(&col_name).ok().map(|col| ZoneBound { col, col_name, lo, hi })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let access = match best.kind {
         CandKind::Full => PlanNode {
             kind: match tdef.org {
-                TableOrg::Heap => {
-                    PlanKind::FullScan { table: tdef.name.clone(), forced: scan_forced }
-                }
+                TableOrg::Heap => PlanKind::FullScan {
+                    table: tdef.name.clone(),
+                    forced: scan_forced,
+                    prune: zone_prune,
+                },
                 TableOrg::Index { .. } => {
                     PlanKind::IotFullScan { table: tdef.name.clone(), forced: scan_forced }
                 }
@@ -1080,20 +1155,26 @@ fn wrap_filter(
     if residual.is_empty() {
         return Ok(input);
     }
-    let mut combined: Option<Expr> = None;
-    for e in residual {
-        combined = Some(match combined {
-            None => (*e).clone(),
-            Some(c) => Expr::Binary(BinOp::And, Box::new(c), Box::new((*e).clone())),
-        });
+    // Classify each conjunct by evaluation cost and stable-sort
+    // cheapest-first (source order preserved within a class), so the
+    // executor short-circuits into the expensive cartridge operators with
+    // the fewest surviving rows. Reordering is sound under Kleene logic:
+    // three-valued AND is commutative, and a row is rejected at the first
+    // non-TRUE (FALSE *or* NULL) term either way.
+    let mut classed: Vec<(TermClass, &Expr)> =
+        residual.iter().map(|e| (classify_conjunct(db, e), *e)).collect();
+    if db.cost_ordered_terms() {
+        classed.sort_by_key(|(c, _)| *c);
     }
-    let combined = combined.expect("nonempty residual");
     // User-defined operators left in the residual evaluate through their
     // functional implementation — name them so EXPLAIN exposes the
     // fallback path.
     let mut functional_ops = Vec::new();
-    collect_op_call_names(&combined, db, &mut functional_ops);
-    let pred = compile_expr(&combined, scope, db.catalog())?;
+    let mut terms = Vec::with_capacity(classed.len());
+    for (class, e) in &classed {
+        collect_op_call_names(e, db, &mut functional_ops);
+        terms.push(FilterTerm { pred: compile_expr(e, scope, db.catalog())?, class: *class });
+    }
     let est_rows = (input.est_rows * 0.5).max(1.0);
     let est_cost = input.est_cost + input.est_rows * db.cost.cpu_pred;
     Ok(PlanNode {
@@ -1102,7 +1183,7 @@ fn wrap_filter(
         est_cost,
         kind: PlanKind::Filter {
             input: Box::new(input),
-            pred,
+            terms,
             functional_ops,
             degraded: {
                 let mut d = degraded.to_vec();
@@ -1782,7 +1863,23 @@ fn plan_aggregate(db: &mut Database, s: &Select, source: PlanNode) -> Result<Agg
     };
 
     if let Some(h) = rewritten_having {
-        let pred = compile_expr(&h, &agg_scope, db.catalog())?;
+        // HAVING goes through the same cost-ordered term machinery as
+        // WHERE residuals (split into conjuncts, cheapest first).
+        let mut having_conjuncts = Vec::new();
+        conjuncts(&h, &mut having_conjuncts);
+        let mut classed: Vec<(TermClass, &Expr)> = having_conjuncts
+            .iter()
+            .map(|e| (classify_conjunct(db, e), e))
+            .collect();
+        if db.cost_ordered_terms() {
+            classed.sort_by_key(|(c, _)| *c);
+        }
+        let terms = classed
+            .iter()
+            .map(|(class, e)| {
+                Ok(FilterTerm { pred: compile_expr(e, &agg_scope, db.catalog())?, class: *class })
+            })
+            .collect::<Result<Vec<_>>>()?;
         let est_rows = (node.est_rows * 0.5).max(1.0);
         let est_cost = node.est_cost + node.est_rows * cm.cpu_pred;
         node = PlanNode {
@@ -1791,7 +1888,7 @@ fn plan_aggregate(db: &mut Database, s: &Select, source: PlanNode) -> Result<Agg
             est_cost,
             kind: PlanKind::Filter {
                 input: Box::new(node),
-                pred,
+                terms,
                 functional_ops: Vec::new(),
                 degraded: Vec::new(),
             },

@@ -6,10 +6,58 @@
 //! the domain-index scan that drives the cartridge's
 //! ODCIIndexStart/Fetch/Close routines.
 
-use extidx_common::Key;
+use extidx_common::{Key, Value};
 use extidx_core::meta::{OperatorCall, PredicateBound};
 
 use crate::expr::{AggKind, RExpr, Scope};
+
+/// Evaluation-cost class of one WHERE conjunct, cheapest first. The
+/// optimizer sorts Filter terms by this rank (stably, preserving source
+/// order within a class) so short-circuit evaluation runs the expensive
+/// cartridge operators against the fewest surviving rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TermClass {
+    /// References no columns — constant-foldable, evaluated once per row
+    /// at register-compare cost.
+    Const,
+    /// Simple `col relop literal` / `col BETWEEN` shape — the same shape
+    /// zone maps and B-trees cover, cheap single-column compare.
+    IndexedCol,
+    /// Any other column-referencing expression.
+    PlainCol,
+    /// Contains a user-defined (ODCI) operator call — a cartridge
+    /// dispatch, possibly re-entering SQL; by far the most expensive.
+    DomainOp,
+}
+
+impl std::fmt::Display for TermClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TermClass::Const => "const",
+            TermClass::IndexedCol => "zone",
+            TermClass::PlainCol => "col",
+            TermClass::DomainOp => "op",
+        })
+    }
+}
+
+/// One ordered conjunct of a [`PlanKind::Filter`] node.
+#[derive(Debug)]
+pub struct FilterTerm {
+    pub pred: RExpr,
+    pub class: TermClass,
+}
+
+/// A zone-map pruning bound a full scan applies before reading a page:
+/// the residual conjunct restated as `col ∈ [lo, hi]` over the table's
+/// physical column index (`None` = unbounded on that side).
+#[derive(Debug, Clone)]
+pub struct ZoneBound {
+    pub col: usize,
+    pub col_name: String,
+    pub lo: Option<Value>,
+    pub hi: Option<Value>,
+}
 
 /// A physical plan node plus its output scope and optimizer estimates.
 #[derive(Debug)]
@@ -28,7 +76,9 @@ pub struct PlanNode {
 pub enum PlanKind {
     /// Sequential scan of a heap table; exposes columns plus ROWID.
     /// `forced` names the hint that mandated this path, if any.
-    FullScan { table: String, forced: Option<String> },
+    /// `prune` lists zone-map bounds the scan checks per page so it can
+    /// skip pages whose min/max provably exclude every bound.
+    FullScan { table: String, forced: Option<String>, prune: Vec<ZoneBound> },
     /// Full scan of an index-organized table (key order).
     IotFullScan { table: String, forced: Option<String> },
     /// Key range access on an index-organized table's primary key.
@@ -58,15 +108,17 @@ pub enum PlanKind {
         label: Option<i64>,
         forced: Option<String>,
     },
-    /// Row filter. `functional_ops` names the user-defined operators this
-    /// filter evaluates through their functional implementations — the
-    /// §2.4.2 fallback path, surfaced in EXPLAIN so tests can pin it.
+    /// Row filter over cost-ordered conjuncts (see [`TermClass`]), each
+    /// evaluated under Kleene logic and short-circuited at the first
+    /// non-TRUE term. `functional_ops` names the user-defined operators
+    /// this filter evaluates through their functional implementations —
+    /// the §2.4.2 fallback path, surfaced in EXPLAIN so tests can pin it.
     /// `degraded` names quarantined domain indexes that would have served
     /// a conjunct now evaluated here instead — the health machinery's
     /// silent degradation, made visible to EXPLAIN.
     Filter {
         input: Box<PlanNode>,
-        pred: RExpr,
+        terms: Vec<FilterTerm>,
         functional_ops: Vec<String>,
         degraded: Vec<String>,
     },
@@ -132,8 +184,15 @@ impl PlanNode {
             None => String::new(),
         };
         let line = match &self.kind {
-            PlanKind::FullScan { table, forced } => {
-                format!("{pad}FULL SCAN {table}{}", forced_suffix(forced))
+            PlanKind::FullScan { table, forced, prune } => {
+                let prune_suffix = if prune.is_empty() {
+                    String::new()
+                } else {
+                    let cols: Vec<&str> =
+                        prune.iter().map(|b| b.col_name.as_str()).collect();
+                    format!("  zone-prune[{}]", cols.join(", "))
+                };
+                format!("{pad}FULL SCAN {table}{prune_suffix}{}", forced_suffix(forced))
             }
             PlanKind::IotFullScan { table, forced } => {
                 format!("{pad}IOT FULL SCAN {table}{}", forced_suffix(forced))
@@ -155,17 +214,24 @@ impl PlanNode {
                 call.args.len(),
                 forced_suffix(forced)
             ),
-            PlanKind::Filter { pred, functional_ops, degraded, .. } => {
+            PlanKind::Filter { terms, functional_ops, degraded, .. } => {
                 let degraded_suffix = if degraded.is_empty() {
                     String::new()
                 } else {
                     format!("  [DEGRADED: index quarantined: {}]", degraded.join(", "))
                 };
+                // Terms print in evaluation order, each tagged with its
+                // cost class, so tests can pin the chosen ordering.
+                let pred = terms
+                    .iter()
+                    .map(|t| format!("{}:{:?}", t.class, t.pred))
+                    .collect::<Vec<_>>()
+                    .join(" AND ");
                 if functional_ops.is_empty() {
-                    format!("{pad}FILTER {pred:?}{degraded_suffix}")
+                    format!("{pad}FILTER {pred}{degraded_suffix}")
                 } else {
                     format!(
-                        "{pad}FILTER [FUNCTIONAL FALLBACK {}] {pred:?}{degraded_suffix}",
+                        "{pad}FILTER [FUNCTIONAL FALLBACK {}] {pred}{degraded_suffix}",
                         functional_ops.join(", ")
                     )
                 }

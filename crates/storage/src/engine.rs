@@ -128,6 +128,29 @@ impl StorageEngine {
         self.cache.read((seg, page));
     }
 
+    /// Zone-map check for a full scan: true when the page provably holds
+    /// no `col` value inside `[lo, hi]`, so the scan may skip it without
+    /// charging a page read. Zone maps are segment metadata, not page
+    /// data — consulting them costs no buffer-cache touch.
+    pub fn heap_zone_excludes(
+        &self,
+        seg: SegmentId,
+        page: u32,
+        col: usize,
+        lo: Option<&extidx_common::Value>,
+        hi: Option<&extidx_common::Value>,
+    ) -> bool {
+        self.heaps.get(&seg).is_some_and(|h| h.zone_excludes(page, col, lo, hi))
+    }
+
+    /// Recompute exact zone-map bounds for a heap segment (ANALYZE-time
+    /// rebuild; no-op for non-heap segments).
+    pub fn heap_rebuild_zone_maps(&mut self, seg: SegmentId) {
+        if let Some(h) = self.heaps.get_mut(&seg) {
+            h.rebuild_zone_maps();
+        }
+    }
+
     /// Snapshot of cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()

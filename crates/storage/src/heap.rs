@@ -6,21 +6,123 @@
 //! stay stable — which matters because domain indexes persist rowids in
 //! their index storage tables and hand them back during scans.
 
+use std::cmp::Ordering;
+
 use extidx_common::value::approx_row_size;
-use extidx_common::{Error, Result, Row, RowId};
+use extidx_common::{Error, Result, Row, RowId, Value};
 
 use crate::page::{SegmentId, MAX_SLOTS_PER_PAGE, PAGE_SIZE};
 
-/// One heap page: row slots plus a byte-occupancy estimate.
+/// Per-page, per-column min/max bounds — a zone map entry. The invariant
+/// scans rely on is *superset validity*: the recorded range always covers
+/// every live value in the column on this page. Inserts and updates widen
+/// the range; deletes never narrow it (a stale-but-wide range is still
+/// valid, just less selective). Exact bounds come back when the page is
+/// rewritten (emptied) or on an explicit [`HeapTable::rebuild_zone_maps`].
+#[derive(Debug, Default, Clone)]
+pub struct ZoneEntry {
+    /// `(min, max)` over comparable non-NULL values seen; `None` when
+    /// nothing comparable has landed yet (an all-NULL column still prunes:
+    /// NULL satisfies no comparison predicate).
+    bounds: Option<(Value, Value)>,
+    /// Mixed incomparable types defeated the ordering — the entry never
+    /// prunes again until a rebuild.
+    unbounded: bool,
+}
+
+impl ZoneEntry {
+    fn widen(&mut self, v: &Value) {
+        if self.unbounded || v.is_null() {
+            return;
+        }
+        match &mut self.bounds {
+            None => self.bounds = Some((v.clone(), v.clone())),
+            Some((mn, mx)) => {
+                match v.sql_cmp(mn) {
+                    Some(Ordering::Less) => *mn = v.clone(),
+                    Some(_) => {}
+                    None => {
+                        self.unbounded = true;
+                        self.bounds = None;
+                        return;
+                    }
+                }
+                match v.sql_cmp(mx) {
+                    Some(Ordering::Greater) => *mx = v.clone(),
+                    Some(_) => {}
+                    None => {
+                        self.unbounded = true;
+                        self.bounds = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when no live value in this column can fall inside the
+    /// inclusive interval `[lo, hi]` (`None` = open end). Conservative:
+    /// incomparable literals never prune.
+    fn excludes(&self, lo: Option<&Value>, hi: Option<&Value>) -> bool {
+        if self.unbounded {
+            return false;
+        }
+        let Some((mn, mx)) = &self.bounds else {
+            // Every value this entry has ever covered was NULL, and NULL
+            // satisfies no comparison predicate.
+            return true;
+        };
+        if let Some(lo) = lo {
+            match lo.sql_cmp(mx) {
+                Some(Ordering::Greater) => return true,
+                Some(_) => {}
+                None => return false,
+            }
+        }
+        if let Some(hi) = hi {
+            match hi.sql_cmp(mn) {
+                Some(Ordering::Less) => return true,
+                Some(_) => {}
+                None => return false,
+            }
+        }
+        false
+    }
+}
+
+/// One heap page: row slots plus a byte-occupancy estimate and the
+/// page's zone map (one [`ZoneEntry`] per column seen).
 #[derive(Debug, Default, Clone)]
 struct HeapPage {
     slots: Vec<Option<Row>>,
     bytes_used: usize,
+    zone: Vec<ZoneEntry>,
 }
 
 impl HeapPage {
     fn fits(&self, row_bytes: usize) -> bool {
         self.slots.len() < MAX_SLOTS_PER_PAGE && self.bytes_used + row_bytes <= PAGE_SIZE
+    }
+
+    fn widen_zone(&mut self, row: &Row) {
+        if self.zone.len() < row.len() {
+            self.zone.resize(row.len(), ZoneEntry::default());
+        }
+        for (entry, v) in self.zone.iter_mut().zip(row) {
+            entry.widen(v);
+        }
+    }
+
+    /// Recompute exact bounds from the live rows (the page-rewrite path).
+    fn rebuild_zone(&mut self) {
+        self.zone.clear();
+        let rows: Vec<Row> = self.slots.iter().flatten().cloned().collect();
+        for row in &rows {
+            self.widen_zone(row);
+        }
+    }
+
+    fn live_rows(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
     }
 }
 
@@ -67,6 +169,7 @@ impl HeapTable {
             let (page, slot) = self.free.swap_remove(pos);
             let p = &mut self.pages[page as usize];
             debug_assert!(p.slots[slot as usize].is_none());
+            p.widen_zone(&row);
             p.slots[slot as usize] = Some(row);
             p.bytes_used += bytes;
             self.rows += 1;
@@ -82,6 +185,7 @@ impl HeapTable {
         };
         let p = &mut self.pages[page_no];
         let slot = p.slots.len() as u16;
+        p.widen_zone(&row);
         p.slots.push(Some(row));
         p.bytes_used += bytes;
         self.rows += 1;
@@ -103,7 +207,8 @@ impl HeapTable {
         if slot.is_some() {
             return Err(Error::Storage(format!("{rid}: slot is occupied")));
         }
-        *slot = Some(row);
+        *slot = Some(row.clone());
+        page.widen_zone(&row);
         page.bytes_used += bytes;
         self.free.retain(|&(p, s)| (p, s) != (rid.page, rid.slot));
         self.rows += 1;
@@ -131,7 +236,10 @@ impl HeapTable {
             .get_mut(rid.slot as usize)
             .and_then(|s| s.as_mut())
             .ok_or_else(|| Error::Storage(format!("{rid}: no such row")))?;
-        let old = std::mem::replace(slot, new_row);
+        let old = std::mem::replace(slot, new_row.clone());
+        // Widen with the new image only: removing the old value must not
+        // narrow the zone (the stale range stays a valid superset).
+        page.widen_zone(&new_row);
         page.bytes_used = page.bytes_used + new_bytes - approx_row_size(&old).min(page.bytes_used);
         Ok(old)
     }
@@ -148,9 +256,39 @@ impl HeapTable {
             .ok_or_else(|| Error::Storage(format!("{rid}: slot out of range")))?;
         let old = slot.take().ok_or_else(|| Error::Storage(format!("{rid}: no such row")))?;
         page.bytes_used = page.bytes_used.saturating_sub(approx_row_size(&old));
+        // Deletes never narrow the zone map. Only when the page empties
+        // entirely (the cheap "page rewrite" moment) are exact bounds
+        // recomputed — which for an empty page means clearing them.
+        if page.live_rows() == 0 {
+            page.rebuild_zone();
+        }
         self.free.push((rid.page, rid.slot));
         self.rows -= 1;
         Ok(old)
+    }
+
+    /// Recompute exact zone-map bounds for every page (the ANALYZE-style
+    /// lazy rebuild; between rebuilds bounds may be stale but wide).
+    pub fn rebuild_zone_maps(&mut self) {
+        for p in &mut self.pages {
+            p.rebuild_zone();
+        }
+    }
+
+    /// True when the zone map proves no live row on `page` has a `col`
+    /// value inside the inclusive interval `[lo, hi]` (`None` = open
+    /// end), so a scan may skip the page without touching it.
+    pub fn zone_excludes(&self, page: u32, col: usize, lo: Option<&Value>, hi: Option<&Value>) -> bool {
+        self.pages
+            .get(page as usize)
+            .and_then(|p| p.zone.get(col))
+            .is_some_and(|entry| entry.excludes(lo, hi))
+    }
+
+    /// The recorded `(min, max)` for a column on a page, if bounded
+    /// (test/diagnostic hook; `None` for unbounded or all-NULL entries).
+    pub fn zone_bounds(&self, page: u32, col: usize) -> Option<(Value, Value)> {
+        self.pages.get(page as usize).and_then(|p| p.zone.get(col)).and_then(|e| e.bounds.clone())
     }
 
     /// Remove every row (TRUNCATE). Pages are released.
@@ -272,6 +410,60 @@ mod tests {
         }
         // 2 KB rows, 8 KB pages → 4 rows/page → 4 pages for 16 rows.
         assert_eq!(t.page_count(), 4);
+    }
+
+    #[test]
+    fn zone_maps_track_min_max_per_page() {
+        let mut t = table();
+        for i in [5i64, 1, 9, 3] {
+            t.insert(row(i));
+        }
+        assert_eq!(t.zone_bounds(0, 0), Some((Value::Integer(1), Value::Integer(9))));
+        // Interval wholly above the recorded max prunes; overlap does not.
+        assert!(t.zone_excludes(0, 0, Some(&Value::Integer(10)), None));
+        assert!(!t.zone_excludes(0, 0, Some(&Value::Integer(9)), None));
+        assert!(t.zone_excludes(0, 0, None, Some(&Value::Integer(0))));
+        assert!(!t.zone_excludes(0, 0, Some(&Value::Integer(2)), Some(&Value::Integer(4))));
+    }
+
+    #[test]
+    fn zone_maps_widen_never_narrow_under_update_and_delete() {
+        let mut t = table();
+        let (rid, _) = t.insert(row(5));
+        let (other, _) = t.insert(row(50));
+        // Update widens with the new image; the old value's removal must
+        // not narrow the range.
+        t.update(rid, row(100)).unwrap();
+        assert_eq!(t.zone_bounds(0, 0), Some((Value::Integer(5), Value::Integer(100))));
+        // Deleting the extreme row leaves the (now stale, still valid)
+        // wide bounds in place.
+        t.delete(rid).unwrap();
+        assert_eq!(t.zone_bounds(0, 0), Some((Value::Integer(5), Value::Integer(100))));
+        assert!(!t.zone_excludes(0, 0, Some(&Value::Integer(90)), None));
+        // Emptying the page is the rewrite moment: bounds reset exactly.
+        t.delete(other).unwrap();
+        assert_eq!(t.zone_bounds(0, 0), None);
+        // Explicit rebuild recomputes exact bounds from live rows.
+        let (r7, _) = t.insert(row(7));
+        t.insert(row(8));
+        t.update(r7, row(2)).unwrap();
+        t.rebuild_zone_maps();
+        assert_eq!(t.zone_bounds(0, 0), Some((Value::Integer(2), Value::Integer(8))));
+    }
+
+    #[test]
+    fn zone_maps_handle_nulls_and_mixed_types() {
+        let mut t = table();
+        t.insert(vec![Value::Null, Value::from("x")]);
+        // All-NULL column: no comparison predicate can match the page.
+        assert!(t.zone_excludes(0, 0, Some(&Value::Integer(1)), None));
+        // A real value arrives: pruning now respects it.
+        t.insert(vec![Value::Integer(4), Value::from("y")]);
+        assert!(!t.zone_excludes(0, 0, Some(&Value::Integer(4)), None));
+        // Mixed incomparable types make the entry unbounded — never prune.
+        t.insert(vec![Value::from("oops"), Value::from("z")]);
+        assert!(!t.zone_excludes(0, 0, Some(&Value::Integer(99)), None));
+        assert_eq!(t.zone_bounds(0, 0), None);
     }
 
     #[test]

@@ -40,6 +40,25 @@ cargo test -q --test quarantine
 cargo test -q --test fault_matrix panic_at_every_crossing -- --include-ignored
 cargo test -q --test differential quarantine_chaos_sweep -- --include-ignored
 
+# Vectorized batch executor: batch-vs-row bag equality (direct + qgen
+# sweep on both executor paths), zone-map widen-never-narrow under
+# UPDATE/DELETE, LIMIT early termination, and the pruning-aware
+# root-gets == cache-delta invariant.
+echo "== vectorized executor (batch/row equality + zone maps) =="
+cargo test -q --test vectorized -- --include-ignored
+
+# Bench smoke: the E15 repro must clear its speedup floors (>=5x cold
+# pruned scan, >=2x cost-ordered conjuncts) at a reduced N, and leave
+# machine-readable BENCH_*.json records under target/bench-json.
+echo "== bench smoke (e15-vectorized + BENCH_*.json) =="
+mkdir -p target/bench-json
+E15_N=20000 E15_RUNS=3 \
+    BENCH_OUT=target/bench-json \
+    GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    BENCH_DATE="$(date -u +%F)" \
+    cargo run --release -q -p extidx-bench --bin repro -- e15-vectorized
+ls target/bench-json/BENCH_e15_cold_scan.json target/bench-json/BENCH_e15_cost_ordered.json
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

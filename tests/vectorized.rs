@@ -1,0 +1,231 @@
+//! The vectorized batch executor (see DESIGN.md §4h).
+//!
+//! Three things are load-bearing and checked here:
+//! - the batch path and the row path are bag-equal — directly on pinned
+//!   queries across heap, B-tree, and domain-index access paths, and
+//!   through the differential oracle's forced-plan sweep with the
+//!   executor pinned to each path;
+//! - zone maps only ever widen under UPDATE/DELETE (superset validity),
+//!   so pruning never drops a live row even after heavy churn; and
+//! - LIMIT terminates a batched scan early by shrinking the batch quota
+//!   it hands downstream, visible in EXPLAIN ANALYZE actual-row counts.
+
+use extidx::sql::Database;
+use extidx_qgen::{run_seed, ChaosOpts};
+
+/// Parse `key=<digits>` from a plan line, searching from the *last*
+/// occurrence (lines carry both the estimate and the actual).
+fn field(line: &str, key: &str) -> u64 {
+    let pat = format!("{key}=");
+    let at = line.rfind(&pat).unwrap_or_else(|| panic!("no {pat} in {line:?}"));
+    line[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+fn analyze(db: &mut Database, sql: &str) -> Vec<String> {
+    db.query(&format!("EXPLAIN ANALYZE {sql}"))
+        .unwrap()
+        .into_iter()
+        .map(|r| r[0].to_string())
+        .collect()
+}
+
+/// Sorted stringified rows — the bag, order-insensitively.
+fn bag(db: &mut Database, sql: &str) -> Vec<String> {
+    let mut rows: Vec<String> = db
+        .query(sql)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
+        .into_iter()
+        .map(|r| r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("|"))
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn mixed_db() -> Database {
+    let mut db = Database::with_cache_pages(4096);
+    extidx::text::install(&mut db).unwrap();
+    db.execute("CREATE TABLE docs (id INTEGER, score INTEGER, body VARCHAR2(200))").unwrap();
+    for i in 0..600i64 {
+        let body = if i % 9 == 0 {
+            format!("heather moor number {i}")
+        } else {
+            format!("plain filler row {i}")
+        };
+        db.execute_with(
+            "INSERT INTO docs VALUES (?, ?, ?)",
+            &[i.into(), ((i * 31) % 500).into(), body.into()],
+        )
+        .unwrap();
+    }
+    db.execute("CREATE INDEX ds ON docs(score)").unwrap();
+    db.execute("CREATE INDEX dt ON docs(body) INDEXTYPE IS TextIndexType").unwrap();
+    db.execute("ANALYZE TABLE docs").unwrap();
+    db
+}
+
+/// Batch and row execution must return the same bag on every access
+/// path: full scan, B-tree range, domain-index scan, and the functional
+/// fallback, with and without cost-ordered conjuncts.
+#[test]
+fn batch_and_row_paths_are_bag_equal() {
+    let mut db = mixed_db();
+    let queries = [
+        "SELECT id, score FROM docs WHERE id BETWEEN 100 AND 180".to_string(),
+        "SELECT /*+ FULL(docs) */ id FROM docs WHERE score < 40".to_string(),
+        "SELECT /*+ INDEX(docs ds) */ id FROM docs WHERE score < 40".to_string(),
+        "SELECT id FROM docs WHERE Contains(body, 'heather') AND id < 300".to_string(),
+        "SELECT /*+ NO_INDEX(docs) */ id FROM docs WHERE Contains(body, 'moor')".to_string(),
+        "SELECT id FROM docs WHERE score > 450 OR body LIKE '%number 9%'".to_string(),
+        "SELECT COUNT(*), MAX(score) FROM docs WHERE id > 250".to_string(),
+        "SELECT score, COUNT(*) FROM docs GROUP BY score HAVING COUNT(*) > 1".to_string(),
+    ];
+    for sql in &queries {
+        for ordered in [true, false] {
+            db.set_cost_ordered_terms(ordered);
+            db.set_batch_execution(true);
+            let batched = bag(&mut db, sql);
+            db.set_batch_execution(false);
+            let rowed = bag(&mut db, sql);
+            assert_eq!(batched, rowed, "batch/row divergence (ordered={ordered}) on {sql}");
+        }
+    }
+}
+
+/// The differential oracle's full forced-plan sweep, pinned to each
+/// executor path. Every reachable plan must stay bag-equal to the
+/// brute-force mirror whether rows flow one at a time or in batches.
+#[test]
+fn qgen_sweep_agrees_on_batch_and_row_paths() {
+    for seed in [1u64, 2, 3] {
+        for (label, chaos) in
+            [("batch", ChaosOpts::default()), ("row", ChaosOpts::row_exec())]
+        {
+            if let Some(d) = run_seed(seed, 120, chaos) {
+                panic!(
+                    "{label} path diverged at seed {} statement {}\n{}\n{}",
+                    d.seed, d.step, d.detail, d.script
+                );
+            }
+        }
+    }
+}
+
+/// Zone maps must stay supersets of page contents under churn: UPDATE
+/// may move a value outside the original bounds (the map widens) and
+/// DELETE leaves the map stale-but-valid (never narrowed). Pruned
+/// execution must agree with unpruned execution after every mutation.
+#[test]
+fn zone_maps_widen_never_narrow_under_update_delete() {
+    let mut db = Database::with_cache_pages(4096);
+    db.execute("CREATE TABLE zt (id INTEGER, val INTEGER)").unwrap();
+    for i in 0..3000i64 {
+        db.execute_with("INSERT INTO zt VALUES (?, ?)", &[i.into(), i.into()]).unwrap();
+    }
+    db.execute("ANALYZE TABLE zt").unwrap();
+
+    let probes = [
+        "SELECT id FROM zt WHERE val BETWEEN 10 AND 60",
+        "SELECT id FROM zt WHERE val = 999999",
+        "SELECT id FROM zt WHERE val > 2900",
+        "SELECT COUNT(*) FROM zt WHERE val < 0",
+    ];
+    let check = |db: &mut Database, stage: &str| {
+        for sql in &probes {
+            db.set_zone_pruning(true);
+            let pruned = bag(db, sql);
+            db.set_zone_pruning(false);
+            let full = bag(db, sql);
+            assert_eq!(pruned, full, "zone pruning changed the result after {stage}: {sql}");
+        }
+        db.set_zone_pruning(true);
+    };
+    check(&mut db, "load");
+
+    // UPDATE: teleport a low-page row's value far outside its page's
+    // original [min,max]. The map must widen or the row disappears from
+    // pruned range scans.
+    db.execute("UPDATE zt SET val = 999999 WHERE id = 25").unwrap();
+    let hit = db.query("SELECT id FROM zt WHERE val = 999999").unwrap();
+    assert_eq!(hit.len(), 1, "widened zone map must keep the updated row reachable");
+    check(&mut db, "UPDATE out of range");
+
+    // The same page now answers for both its old neighborhood and the
+    // teleported value (stale-but-valid covers both).
+    db.execute("UPDATE zt SET val = -7 WHERE id = 26").unwrap();
+    check(&mut db, "UPDATE below range");
+
+    // DELETE: bounds go stale (too wide), never narrow — correctness
+    // must hold even though pruning is now less effective.
+    db.execute("DELETE FROM zt WHERE val BETWEEN 100 AND 2000").unwrap();
+    check(&mut db, "bulk DELETE");
+    db.execute("DELETE FROM zt WHERE val = 999999").unwrap();
+    assert!(db.query("SELECT id FROM zt WHERE val = 999999").unwrap().is_empty());
+    check(&mut db, "DELETE of widened row");
+}
+
+/// A pruning scan still satisfies the observability invariant: pruned
+/// pages are never charged to the buffer cache, so the root node's gets
+/// equal the statement cache delta — on both executor paths.
+#[test]
+fn pruned_scan_keeps_root_gets_equal_statement_delta() {
+    let mut db = Database::with_cache_pages(4096);
+    db.execute("CREATE TABLE big (id INTEGER, val INTEGER)").unwrap();
+    for i in 0..5000i64 {
+        db.execute_with("INSERT INTO big VALUES (?, ?)", &[i.into(), i.into()]).unwrap();
+    }
+    db.execute("ANALYZE TABLE big").unwrap();
+    let sql = "SELECT id FROM big WHERE id BETWEEN 2400 AND 2450";
+
+    for batch in [true, false] {
+        db.set_batch_execution(batch);
+        let lines = analyze(&mut db, sql);
+        let root = &lines[0];
+        let summary = lines.last().unwrap();
+        assert!(summary.starts_with("statement:"), "{summary}");
+        assert_eq!(
+            field(root, "gets"),
+            field(summary, "gets"),
+            "batch={batch}\nroot: {root}\nsummary: {summary}"
+        );
+        assert_eq!(field(summary, "rows"), 51, "batch={batch}");
+        let scan = lines.iter().find(|l| l.contains("FULL SCAN")).unwrap();
+        assert!(scan.contains("zone-prune[ID]"), "plan should advertise pruning: {scan}");
+        assert!(field(scan, "pruned") > 0, "a tight range over 5000 rows must skip pages: {scan}");
+        assert_eq!(field(summary, "pages pruned"), field(scan, "pruned"));
+        if batch {
+            assert!(field(root, "batches") >= 1, "{root}");
+        }
+    }
+    db.set_batch_execution(true);
+}
+
+/// LIMIT inside the batch path: the limit node shrinks the batch quota
+/// it requests, so the scan materializes only as many rows as the limit
+/// needs instead of a full BATCH_TARGET batch per call.
+#[test]
+fn limit_terminates_batched_scan_early() {
+    let mut db = Database::with_cache_pages(4096);
+    db.execute("CREATE TABLE lt (id INTEGER)").unwrap();
+    for i in 0..4000i64 {
+        db.execute_with("INSERT INTO lt VALUES (?)", &[i.into()]).unwrap();
+    }
+    db.execute("ANALYZE TABLE lt").unwrap();
+
+    let lines = analyze(&mut db, "SELECT id FROM lt LIMIT 5");
+    let summary = lines.last().unwrap();
+    assert_eq!(field(summary, "rows"), 5);
+    let scan = lines.iter().find(|l| l.contains("FULL SCAN")).unwrap();
+    assert_eq!(
+        field(scan, "actual rows"),
+        5,
+        "limit must push its quota into the scan's batch size: {scan}"
+    );
+    // Early termination is also visible in I/O: 4000 rows span many
+    // pages, but a LIMIT 5 scan touches only the first.
+    assert!(field(scan, "gets") <= 2, "LIMIT 5 should touch at most a page or two: {scan}");
+}
