@@ -106,6 +106,13 @@ impl OdciIndex for ChemIndexMethods {
         FingerprintStore::for_index(info).drop_store(srv, info)
     }
 
+    fn external_files(&self, info: &IndexInfo) -> Vec<String> {
+        match StorageMode::from_info(info) {
+            StorageMode::File => vec![crate::store::file_name(info)],
+            StorageMode::Lob => Vec::new(),
+        }
+    }
+
     fn insert(
         &self,
         srv: &mut dyn ServerContext,

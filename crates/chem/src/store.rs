@@ -113,7 +113,7 @@ impl FingerprintStore {
                 )?;
             }
             StorageMode::File => {
-                srv.file_create(&file_name(info));
+                srv.file_create(&file_name(info))?;
             }
         }
         Ok(())
@@ -128,7 +128,12 @@ impl FingerprintStore {
                 srv.execute(&format!("DROP TABLE {}", meta_table(info)), &[])?;
             }
             StorageMode::File => {
-                srv.file_remove(&file_name(info))?;
+                // A half-created or already-cleaned index may have no
+                // file; dropping it must still succeed (idempotent).
+                let name = file_name(info);
+                if srv.file_exists(&name) {
+                    srv.file_remove(&name)?;
+                }
             }
         }
         Ok(())
@@ -142,7 +147,7 @@ impl FingerprintStore {
                 srv.lob_overwrite(lob, &[])?;
             }
             StorageMode::File => {
-                srv.file_create(&file_name(info)); // create truncates
+                srv.file_create(&file_name(info))?; // create truncates
             }
         }
         Ok(())
@@ -274,6 +279,10 @@ impl FingerprintStore {
                 Ok(())
             },
         )?;
+        // Internal milestone: the fingerprint image is assembled but not
+        // yet written — a fault here leaves the store created-but-stale
+        // (the lifecycle orphan-audit tests arm this).
+        srv.fault_point("chem.build.assembled")?;
         match self.mode {
             StorageMode::Lob => {
                 let lob = self.locator(srv, info)?;

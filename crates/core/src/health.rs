@@ -93,7 +93,7 @@ pub struct Transition {
     pub to: HealthState,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct IndexHealth {
     state: HealthState,
     /// Per-index crossing-call clock (successes and faults both count).
@@ -121,6 +121,15 @@ pub struct HealthSnapshot {
 
 #[derive(Debug, Default)]
 struct Inner {
+    config: BreakerConfig,
+    indexes: HashMap<String, IndexHealth>,
+}
+
+/// A deep copy of the registry's whole state — attached (opaquely) to WAL
+/// commit markers and checkpoints so recovery restores health verbatim:
+/// quarantines, pending-work logs, and dirty flags survive a crash.
+#[derive(Debug, Clone)]
+pub struct HealthDump {
     config: BreakerConfig,
     indexes: HashMap<String, IndexHealth>,
 }
@@ -329,6 +338,21 @@ impl HealthRegistry {
         let from = h.state;
         *h = IndexHealth::default();
         (from != HealthState::Valid).then_some(Transition { from, to: HealthState::Valid })
+    }
+
+    /// Deep-copy the whole registry state (durability commit markers).
+    pub fn export(&self) -> HealthDump {
+        let g = self.inner.lock();
+        HealthDump { config: g.config, indexes: g.indexes.clone() }
+    }
+
+    /// Replace the whole registry state from a dump (crash recovery). The
+    /// shared handle is kept — every clone of this registry sees the
+    /// imported state.
+    pub fn import(&self, dump: &HealthDump) {
+        let mut g = self.inner.lock();
+        g.config = dump.config;
+        g.indexes = dump.indexes.clone();
     }
 
     /// Snapshot of every tracked index, name-sorted (backs

@@ -54,6 +54,17 @@ pub trait OdciIndex: Send + Sync {
     /// `ODCIIndexDrop`: tear down index storage.
     fn drop_index(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()>;
 
+    /// External files backing this index, if any (empty for indexes whose
+    /// data lives in database objects). The engine uses this for two
+    /// recovery duties the cartridge cannot perform itself: force-removing
+    /// orphaned files when a faulted `ODCIIndexDrop` is bypassed, and
+    /// quarantining the index after a crash whose uncommitted tail touched
+    /// one of these files.
+    fn external_files(&self, info: &IndexInfo) -> Vec<String> {
+        let _ = info;
+        Vec::new()
+    }
+
     /// Bulk-build path: index one batch of base-table rows (each carrying
     /// the indexed value in `values[0]`), with a hint of how many worker
     /// threads the build may use for CPU-side work. Called by streaming

@@ -152,7 +152,7 @@ pub trait ServerContext {
     // compensates for.
 
     /// Create (or truncate) an external file.
-    fn file_create(&mut self, name: &str);
+    fn file_create(&mut self, name: &str) -> Result<()>;
     /// Whether an external file exists.
     fn file_exists(&mut self, name: &str) -> bool;
     /// Delete an external file.

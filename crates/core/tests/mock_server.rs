@@ -101,8 +101,9 @@ impl ServerContext for MockServer {
     fn register_event_handler(&mut self, name: &str, handler: Arc<dyn EventHandler>) {
         self.handlers.push((name.to_string(), handler));
     }
-    fn file_create(&mut self, name: &str) {
+    fn file_create(&mut self, name: &str) -> Result<()> {
         self.files.insert(name.to_string(), Vec::new());
+        Ok(())
     }
     fn file_exists(&mut self, name: &str) -> bool {
         self.files.contains_key(name)

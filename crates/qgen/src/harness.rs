@@ -14,7 +14,7 @@
 
 use extidx_common::Value;
 use extidx_core::HealthState;
-use extidx_sql::Database;
+use extidx_sql::{Database, DurableMedium, WAL_FAULT_POINTS};
 
 use crate::gen::{generate, Query, Stmt};
 use crate::interp::{apply_cell, query_ids, Mirror};
@@ -378,6 +378,172 @@ pub fn run_seed(seed: u64, n: usize, chaos: ChaosOpts) -> Option<Divergence> {
             let script = render_script(seed, i, &detail, &workload.preamble, &kept, s);
             return Some(Divergence { seed, step: i, detail, minimized: kept.len() + 1, script });
         }
+    }
+    None
+}
+
+// ---- crash-recover-compare mode --------------------------------------------
+
+/// `SELECT *` bag of one table, as sorted display strings (rows have no
+/// guaranteed order, and `Value` is not `Ord`).
+fn table_bag(db: &mut Database, table: &str) -> Result<Vec<String>, String> {
+    let rows = db
+        .query(&format!("SELECT * FROM {table}"))
+        .map_err(|e| format!("SELECT * FROM {table}: {e}"))?;
+    let mut bag: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    bag.sort();
+    Ok(bag)
+}
+
+/// `ALTER INDEX … REBUILD` every non-VALID domain index (recovery may
+/// legitimately leave external-file indexes quarantined).
+fn rebuild_degraded(db: &mut Database) -> Result<(), String> {
+    let degraded: Vec<String> = db
+        .catalog()
+        .health
+        .snapshot()
+        .into_iter()
+        .filter(|s| s.state != HealthState::Valid)
+        .map(|s| s.index)
+        .collect();
+    for name in degraded {
+        db.execute(&format!("ALTER INDEX {name} REBUILD"))
+            .map_err(|e| format!("post-recovery REBUILD of {name}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Crash-recover-compare: run a seeded workload on a durable engine,
+/// kill it at an injected WAL crash point mid-stream, recover a fresh
+/// engine from the surviving medium, and demand the recovered state be
+/// bag-equal (per table, plus index health after REBUILD of quarantined
+/// indexes) to a twin engine that executed exactly the committed prefix.
+///
+/// Every `wal.*` crash point is exercised in turn, each against a crash
+/// site derived from the seed. `None` means all points recovered
+/// cleanly; `Some(detail)` describes the first mismatch.
+pub fn run_crash_seed(seed: u64, n: usize) -> Option<String> {
+    let workload = generate(seed, n);
+    // Crash on a mutation statement (queries never touch the WAL, so a
+    // fault armed there would sit unfired and the run would not crash).
+    let mutation_idxs: Vec<usize> = workload
+        .stmts
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !matches!(s, Stmt::Query(_)))
+        .map(|(i, _)| i)
+        .collect();
+    if mutation_idxs.is_empty() {
+        return None;
+    }
+    for (pi, point) in WAL_FAULT_POINTS.iter().enumerate() {
+        let crash_at = mutation_idxs[(seed as usize + pi) % mutation_idxs.len()];
+        if let Some(detail) = crash_recover_once(&workload.preamble, &workload.stmts, point, crash_at)
+        {
+            return Some(format!("seed {seed}, crash point {point}, statement {crash_at}: {detail}"));
+        }
+    }
+    None
+}
+
+fn crash_recover_once(
+    preamble: &[String],
+    stmts: &[Stmt],
+    point: &str,
+    crash_at: usize,
+) -> Option<String> {
+    let medium = DurableMedium::new();
+    let chaos = ChaosOpts::default();
+    // Victim: durable engine that will die mid-statement.
+    {
+        let mut db = fresh_db(chaos);
+        db.enable_durability(medium.clone()).expect("enable durability");
+        for sql in preamble {
+            db.execute(sql).unwrap_or_else(|e| panic!("preamble failed: {sql}: {e}"));
+        }
+        for (i, s) in stmts.iter().enumerate() {
+            if i == crash_at {
+                db.fault_injector().arm_fail(point, None, 1);
+                // Checkpoint crash points only fire inside `checkpoint()`;
+                // the others fire inside ordinary statements.
+                let r = if point.starts_with("wal.checkpoint") {
+                    db.checkpoint()
+                } else {
+                    db.execute(&s.sql()).map(|_| ())
+                };
+                if db.fault_injector().fired() == 0 {
+                    // The statement never reached the WAL (e.g. a DML
+                    // matching zero rows appends nothing). No crash
+                    // happened; nothing to recover — the scenario is
+                    // vacuous for this site.
+                    db.fault_injector().disarm_all();
+                    return None;
+                }
+                assert!(r.is_err(), "statement survived a WAL crash at {point}");
+                break;
+            }
+            let _ = db.execute(&s.sql());
+        }
+        // Victim dropped here: the process is dead; only `medium` survives.
+    }
+    // Recovered engine from the surviving medium.
+    let mut recovered = fresh_db(chaos);
+    if let Err(e) = recovered.enable_durability(medium) {
+        return Some(format!("recovery failed: {e}"));
+    }
+    // Twin: a fresh engine that executes exactly the committed prefix.
+    let mut twin = fresh_db(chaos);
+    for sql in preamble {
+        twin.execute(sql).unwrap_or_else(|e| panic!("preamble failed: {sql}: {e}"));
+    }
+    for s in &stmts[..crash_at] {
+        let _ = twin.execute(&s.sql());
+    }
+    // External-file indexes may come back QUARANTINED (their files do
+    // not wait for commit); REBUILD restores them, and nothing else may
+    // be degraded on either side afterwards.
+    if let Err(e) = rebuild_degraded(&mut recovered) {
+        return Some(e);
+    }
+    if let Err(e) = rebuild_degraded(&mut twin) {
+        return Some(format!("twin: {e}"));
+    }
+    // Per-table bag equality.
+    let mut tables = recovered.catalog().table_names();
+    let mut twin_tables = twin.catalog().table_names();
+    tables.sort();
+    twin_tables.sort();
+    if tables != twin_tables {
+        return Some(format!(
+            "recovered tables {tables:?} != committed-prefix tables {twin_tables:?}"
+        ));
+    }
+    for t in &tables {
+        let got = match table_bag(&mut recovered, t) {
+            Ok(b) => b,
+            Err(e) => return Some(format!("recovered: {e}")),
+        };
+        let want = match table_bag(&mut twin, t) {
+            Ok(b) => b,
+            Err(e) => return Some(format!("twin: {e}")),
+        };
+        if got != want {
+            return Some(format!(
+                "table {t}: recovered bag ({} rows) != committed-prefix bag ({} rows)",
+                got.len(),
+                want.len()
+            ));
+        }
+    }
+    // Health must agree too (all VALID after the rebuild pass).
+    let mut rh: Vec<(String, HealthState)> =
+        recovered.catalog().health.snapshot().into_iter().map(|s| (s.index, s.state)).collect();
+    let mut th: Vec<(String, HealthState)> =
+        twin.catalog().health.snapshot().into_iter().map(|s| (s.index, s.state)).collect();
+    rh.sort_by(|a, b| a.0.cmp(&b.0));
+    th.sort_by(|a, b| a.0.cmp(&b.0));
+    if rh != th {
+        return Some(format!("index health diverges: recovered {rh:?} != twin {th:?}"));
     }
     None
 }

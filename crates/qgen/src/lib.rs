@@ -26,4 +26,4 @@ pub mod harness;
 pub mod interp;
 
 pub use gen::{generate, Workload};
-pub use harness::{fresh_db, run_seed, ChaosOpts, Divergence};
+pub use harness::{fresh_db, run_crash_seed, run_seed, ChaosOpts, Divergence};

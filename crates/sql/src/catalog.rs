@@ -334,6 +334,55 @@ impl Catalog {
             }
         })
     }
+
+    /// All domain indexes, sorted by name (recovery audits each one).
+    pub fn domain_index_defs(&self) -> Vec<&DomainIndexDef> {
+        let mut v: Vec<&DomainIndexDef> = self.domain_indexes.values().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    // ---- durability -------------------------------------------------------
+
+    /// Deep-copy the whole catalog for a WAL commit marker or checkpoint.
+    /// `SchemaRegistry` clones its maps (indextype implementations stay
+    /// shared `Arc`s, which is fine — they are immutable once registered);
+    /// health is exported by value.
+    pub fn dump(&self) -> CatalogDump {
+        CatalogDump {
+            tables: self.tables.clone(),
+            btree_indexes: self.btree_indexes.clone(),
+            domain_indexes: self.domain_indexes.clone(),
+            object_types: self.object_types.clone(),
+            registry: self.registry.clone(),
+            health: self.health.export(),
+        }
+    }
+
+    /// Restore catalog contents from a dump taken by [`Catalog::dump`].
+    /// The existing `HealthRegistry` handle is kept (so clones held by
+    /// V$ views and cartridges stay wired) and its contents replaced.
+    pub fn restore(&mut self, dump: &CatalogDump) {
+        self.tables = dump.tables.clone();
+        self.btree_indexes = dump.btree_indexes.clone();
+        self.domain_indexes = dump.domain_indexes.clone();
+        self.object_types = dump.object_types.clone();
+        self.registry = dump.registry.clone();
+        self.health.import(&dump.health);
+    }
+}
+
+/// Point-in-time deep copy of the catalog: the durable half of a WAL
+/// commit marker (the other half being engine row/LOB state, which the
+/// WAL records rebuild directly).
+#[derive(Debug, Clone)]
+pub struct CatalogDump {
+    tables: HashMap<String, TableDef>,
+    btree_indexes: HashMap<String, BTreeIndexDef>,
+    domain_indexes: HashMap<String, DomainIndexDef>,
+    object_types: HashMap<String, ObjectTypeDef>,
+    registry: SchemaRegistry,
+    health: extidx_core::HealthDump,
 }
 
 #[cfg(test)]

@@ -37,10 +37,10 @@ use extidx_core::trace::{CallTrace, Component, CrossingHandle};
 use extidx_core::OdciIndex;
 use extidx_storage::buffer::CacheStats;
 use extidx_storage::file_store::FileStats;
-use extidx_storage::{StorageEngine, UndoLog};
+use extidx_storage::{CommitBlob, DurableMedium, StorageEngine, UndoLog, WalRecord};
 
 use crate::ast::{bind_statement, AlterIndexAction, ColumnSpec, InsertSource, Statement};
-use crate::catalog::{BTreeIndexDef, Catalog, ColumnDef, ColumnStats, DomainIndexDef, TableDef, TableOrg, TableStats};
+use crate::catalog::{BTreeIndexDef, Catalog, CatalogDump, ColumnDef, ColumnStats, DomainIndexDef, TableDef, TableOrg, TableStats};
 use crate::executor::{self, ExecNode};
 use crate::expr::{compile_expr, eval, EvalCtx, ExecRow, Scope};
 use crate::optimizer::{self, CostModel};
@@ -430,6 +430,115 @@ impl Database {
         Ok(())
     }
 
+    // ---- durability (WAL + checkpoints) -----------------------------------
+
+    /// Attach a durable medium (write-ahead log + checkpoint store).
+    ///
+    /// On an empty medium this takes an initial checkpoint of current
+    /// state and starts logging. On a medium with data — the survivor of
+    /// a crashed instance — it first runs recovery: restore the last
+    /// checkpoint, replay committed WAL records, discard the uncommitted
+    /// tail, adopt the external-file mirror, restore the catalog from the
+    /// last commit marker, rebuild zone maps, and quarantine any domain
+    /// index whose external files saw activity after the last commit.
+    ///
+    /// Crash points (`wal.*`, see [`extidx_storage::WAL_FAULT_POINTS`])
+    /// are checked through this database's [`FaultInjector`].
+    pub fn enable_durability(&mut self, medium: DurableMedium) -> Result<()> {
+        let fault = self.fault.clone();
+        medium.set_fault_hook(Arc::new(move |point| fault.check(point, None)));
+        if medium.has_data() {
+            self.recover_from(&medium)?;
+            self.storage.attach_wal(medium);
+            Ok(())
+        } else {
+            self.storage.attach_wal(medium);
+            self.checkpoint()
+        }
+    }
+
+    /// Take a checkpoint: snapshot engine + catalog into the durable
+    /// medium and truncate the WAL up to the snapshot's LSN. Refused
+    /// inside an open transaction (its effects are not yet committed).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.txn_undo.is_some() {
+            return Err(Error::Transaction(
+                "cannot checkpoint inside an open transaction".into(),
+            ));
+        }
+        let Some(medium) = self.storage.wal_medium().cloned() else {
+            return Err(Error::Unsupported("durability is not enabled".into()));
+        };
+        medium.checkpoint_begin()?;
+        let engine = self.storage.snapshot();
+        let payload: CommitBlob = Arc::new(self.catalog.dump());
+        medium.install_checkpoint(engine, Some(payload))
+    }
+
+    /// Crash recovery (ARIES-lite, logical redo): rebuild this instance's
+    /// state from what the medium durably holds.
+    fn recover_from(&mut self, medium: &DurableMedium) -> Result<()> {
+        // The medium may still be marked crashed from the instance that
+        // died on it; this instance is a fresh process.
+        medium.clear_crash();
+        let img = medium.recovery_image();
+        let mut payload: Option<CommitBlob> =
+            img.checkpoint.as_ref().and_then(|c| c.payload.clone());
+        if let Some(cp) = img.checkpoint {
+            self.storage.restore_snapshot(cp.engine);
+        }
+        for rec in &img.committed {
+            if let WalRecord::Commit { payload: p } = rec {
+                if p.is_some() {
+                    payload = p.clone();
+                }
+            } else {
+                self.storage.apply_wal_record(rec);
+            }
+        }
+        // External files write through to the medium immediately (like a
+        // real filesystem), so the mirror — not the replay — is the
+        // authoritative post-crash file state.
+        self.storage.set_files(img.files);
+        if let Some(p) = payload {
+            let dump = p.downcast_ref::<CatalogDump>().ok_or_else(|| {
+                Error::Storage("durable commit payload is not a catalog dump".into())
+            })?;
+            self.catalog.restore(dump);
+        }
+        self.storage.rebuild_all_zone_maps();
+        // Domain indexes over internal tables recovered for free via the
+        // WAL. Indexes backed by *external files* may have absorbed
+        // writes from the uncommitted tail (files do not wait for
+        // commit): quarantine them for replay or REBUILD.
+        if !img.dirty_files.is_empty() {
+            let dirty: std::collections::HashSet<&str> =
+                img.dirty_files.iter().map(String::as_str).collect();
+            let defs: Vec<DomainIndexDef> =
+                self.catalog.domain_index_defs().into_iter().cloned().collect();
+            for d in defs {
+                let Ok((index, _, info)) = self.domain_index_runtime(&d) else {
+                    continue;
+                };
+                if index.external_files(&info).iter().any(|f| dirty.contains(f.as_str())) {
+                    let t = self.catalog.health.quarantine(&d.name);
+                    self.catalog.health.mark_dirty(&d.name);
+                    self.trace_health_transition(&d.name, &d.indextype, t);
+                    self.trace.record(
+                        Component::Recovery,
+                        "CrashRecovery",
+                        &d.indextype,
+                        format!(
+                            "{}: external file activity after last commit; quarantined",
+                            d.name
+                        ),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Record a health-state transition in the call trace.
     fn trace_health_transition(&self, index: &str, indextype: &str, t: Option<Transition>) {
         if let Some(t) = t {
@@ -658,8 +767,34 @@ impl Database {
                 }
             }
             self.workspace.clear();
+            // Durability: a top-level statement outside an explicit
+            // transaction is a commit boundary — stamp the WAL with a
+            // commit marker carrying the catalog image. Inside BEGIN…
+            // COMMIT no marker is written, so a crash discards the whole
+            // open transaction. A marker failure means the durable
+            // medium is gone (simulated crash): the statement must not
+            // report success.
+            if self.txn_undo.is_none() {
+                if let Err(e) = self.wal_commit_marker() {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+            }
         }
         result
+    }
+
+    /// Append a WAL commit marker (no-op when durability is off). The
+    /// marker carries a full catalog dump — tables, indexes, registry,
+    /// health — so recovery restores dictionary state as of the last
+    /// committed statement without replaying DDL logic.
+    fn wal_commit_marker(&mut self) -> Result<()> {
+        let Some(medium) = self.storage.wal_medium().cloned() else {
+            return Ok(());
+        };
+        let payload: CommitBlob = Arc::new(self.catalog.dump());
+        medium.commit(Some(payload))
     }
 
     /// Replay the inverse of every recorded maintenance operation, newest
@@ -985,8 +1120,8 @@ impl Database {
             TableOrg::Heap
         };
         let seg = match org {
-            TableOrg::Heap => self.storage.create_heap(),
-            TableOrg::Index { key_cols } => self.storage.create_iot(key_cols),
+            TableOrg::Heap => self.storage.create_heap()?,
+            TableOrg::Index { key_cols } => self.storage.create_iot(key_cols)?,
         };
         self.catalog
             .create_table(TableDef { name: upper.clone(), columns: cols, org, seg, stats: None })?;
@@ -1060,7 +1195,7 @@ impl Database {
                 tdef.columns[col_idx].name
             )));
         }
-        let seg = self.storage.create_iot(2); // (key, rowid)
+        let seg = self.storage.create_iot(2)?; // (key, rowid)
         self.catalog.create_btree_index(BTreeIndexDef {
             name: name.to_ascii_uppercase(),
             table: tdef.name.clone(),
@@ -1153,6 +1288,11 @@ impl Database {
                     |ctx| index.drop_index(ctx, &info),
                 );
                 if cleaned.is_ok() {
+                    // Belt and braces: even a successful cartridge drop
+                    // can leave external files behind if the drop was
+                    // bypassed or partial. The name is being released —
+                    // nothing may linger under it.
+                    self.force_remove_external_files(&index, &info);
                     self.catalog.drop_domain_index(&info.index_name);
                 } else {
                     // Cleanup itself faulted: cartridge storage may
@@ -1215,19 +1355,24 @@ impl Database {
                 &d.indextype,
                 format!("{}: replay {} pending ops", d.name, ops.len()),
             );
-            for (i, op) in ops.iter().enumerate() {
+            for op in ops.iter() {
                 let mop = match op.clone() {
                     PendingOp::Insert { rid, value } => MaintOp::Insert { rid, value },
                     PendingOp::Update { rid, old, new } => MaintOp::Update { rid, old, new },
                     PendingOp::Delete { rid, old } => MaintOp::Delete { rid, old },
                 };
                 if let Err(e) = self.invoke_maintenance(&tdef, &d, mop) {
-                    // Statement compensation will inverse the prefix we
-                    // already applied, so the whole log is still owed —
-                    // but compensation is best-effort, so the only safe
-                    // recovery from here is a full rebuild.
-                    self.catalog.health.restore_pending(&d.name, ops[i..].to_vec());
-                    self.catalog.health.mark_dirty(&d.name);
+                    // Statement compensation inverses the prefix we
+                    // already applied (each replayed op was recorded as
+                    // this statement's maintenance), so the index returns
+                    // to its pre-REBUILD state and the WHOLE log is still
+                    // owed — restoring only the `ops[i..]` suffix would
+                    // silently drop the compensated prefix. The health
+                    // breaker decides separately whether the fault makes
+                    // this index rebuild-only (`note_health_outcome`
+                    // marks dirty on a cartridge fault); a transient
+                    // fault leaves the replay path retryable.
+                    self.catalog.health.restore_pending(&d.name, ops.to_vec());
                     self.trace.finish(h);
                     return Err(e);
                 }
@@ -1250,6 +1395,10 @@ impl Database {
                 None,
                 |ctx| index.drop_index(ctx, &info),
             );
+            // Rebuild-from-scratch must *replace* external storage, not
+            // append to half-written leftovers the faulted drop may have
+            // missed.
+            self.force_remove_external_files(&index, &info);
             // The rebuild re-reads the base table; deferred ops are moot.
             let _ = self.catalog.health.take_pending(&d.name);
             let r = self.sandboxed_odci(
@@ -1315,8 +1464,24 @@ impl Database {
                 format!("{}: cleanup failure ignored on drop: {e}", d.name),
             );
         }
+        // The dictionary entry is going away on every path that reaches
+        // here, so nothing may linger under the index's name: even if the
+        // cartridge's own drop faulted (or silently skipped files), its
+        // external storage is force-removed. This is the orphan audit —
+        // a dropped index must never leak its backing file.
+        self.force_remove_external_files(&index, &info);
         self.catalog.drop_domain_index(&d.name);
         Ok(())
+    }
+
+    /// Force-remove every external file an index claims, tolerating
+    /// already-missing files. Used wherever an index's name is released
+    /// or its storage is rebuilt from scratch: cartridge cleanup is
+    /// best-effort, this is the engine's guarantee.
+    fn force_remove_external_files(&mut self, index: &Arc<dyn OdciIndex>, info: &IndexInfo) {
+        for f in index.external_files(info) {
+            let _ = self.storage.file_remove_if_exists(&f);
+        }
     }
 
     fn run_analyze(&mut self, name: &str) -> Result<StmtResult> {
@@ -1796,7 +1961,7 @@ impl Database {
         match (v, ty) {
             (Value::Varchar(s), SqlType::Lob) => {
                 let undo = self.stmt_undo.as_mut();
-                let lob = self.storage.lob_allocate(undo);
+                let lob = self.storage.lob_allocate(undo)?;
                 let undo = self.stmt_undo.as_mut();
                 self.storage.lob_write(lob, 0, s.as_bytes(), undo)?;
                 Ok(Value::Lob(lob))
@@ -2176,7 +2341,7 @@ impl ServerContext for ServerCtx<'_> {
     fn lob_create(&mut self) -> Result<LobRef> {
         sandbox::tick();
         let undo = self.db.stmt_undo.as_mut();
-        Ok(self.db.storage.lob_allocate(undo))
+        self.db.storage.lob_allocate(undo)
     }
 
     fn lob_length(&mut self, lob: LobRef) -> Result<u64> {
@@ -2246,19 +2411,19 @@ impl ServerContext for ServerCtx<'_> {
         }
     }
 
-    fn file_create(&mut self, name: &str) {
+    fn file_create(&mut self, name: &str) -> Result<()> {
         sandbox::tick();
-        self.db.storage.files().create(name);
+        self.db.storage.file_create(name)
     }
 
     fn file_exists(&mut self, name: &str) -> bool {
         sandbox::tick();
-        self.db.storage.files().exists(name)
+        self.db.storage.files_ref().exists(name)
     }
 
     fn file_remove(&mut self, name: &str) -> Result<()> {
         sandbox::tick();
-        self.db.storage.files().remove(name)
+        self.db.storage.file_remove(name)
     }
 
     fn file_read(&mut self, name: &str) -> Result<Vec<u8>> {
@@ -2268,17 +2433,17 @@ impl ServerContext for ServerCtx<'_> {
 
     fn file_write(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
         sandbox::tick();
-        self.db.storage.files().write(name, bytes)
+        self.db.storage.file_write(name, bytes)
     }
 
     fn file_append(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
         sandbox::tick();
-        self.db.storage.files().append(name, bytes)
+        self.db.storage.file_append(name, bytes)
     }
 
     fn file_flush(&mut self, name: &str) -> Result<()> {
         sandbox::tick();
-        self.db.storage.files().flush(name)
+        self.db.storage.file_flush(name)
     }
 
     fn file_length(&mut self, name: &str) -> Result<u64> {

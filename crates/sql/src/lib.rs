@@ -31,3 +31,7 @@ pub mod parser;
 pub mod plan;
 
 pub use database::{Database, QueryCursor, StmtResult};
+// Durability surface: callers hand a `DurableMedium` to
+// `Database::enable_durability` and arm `WAL_FAULT_POINTS` to simulate
+// crashes, so the types are re-exported here.
+pub use extidx_storage::{DurableMedium, WalStats, WAL_FAULT_POINTS};

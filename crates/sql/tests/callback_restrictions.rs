@@ -262,7 +262,7 @@ fn failed_create_releases_external_storage() {
     struct FileDebrisIndex;
     impl OdciIndex for FileDebrisIndex {
         fn create(&self, srv: &mut dyn ServerContext, info: &IndexInfo) -> Result<()> {
-            srv.file_create(EXT_FILE);
+            srv.file_create(EXT_FILE)?;
             if FAIL.load(Ordering::SeqCst) {
                 return Err(Error::odci(&info.indextype_name, "ODCIIndexCreate", "injected"));
             }

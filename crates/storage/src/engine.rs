@@ -22,6 +22,7 @@ use crate::iot::IndexOrganizedTable;
 use crate::lob::LobStore;
 use crate::page::SegmentId;
 use crate::undo::{UndoLog, UndoOp};
+use crate::wal::{DurableMedium, EngineSnapshot, WalRecord};
 
 /// Synthetic segment id under which LOB pages are charged to the cache.
 const LOB_SEGMENT: SegmentId = SegmentId(u32::MAX);
@@ -37,6 +38,10 @@ pub struct StorageEngine {
     lobs: LobStore,
     files: FileStore,
     next_segment: u32,
+    /// When attached, every mutation appends a redo record here *before*
+    /// applying (write-ahead rule) and external-file ops write through to
+    /// the medium's file mirror.
+    wal: Option<DurableMedium>,
 }
 
 impl Default for StorageEngine {
@@ -55,6 +60,7 @@ impl StorageEngine {
             lobs: LobStore::new(),
             files: FileStore::new(),
             next_segment: 1,
+            wal: None,
         }
     }
 
@@ -64,36 +70,184 @@ impl StorageEngine {
         id
     }
 
+    // ----- write-ahead logging ---------------------------------------------
+
+    /// Attach a durable medium: from now on, write-ahead before apply.
+    pub fn attach_wal(&mut self, medium: DurableMedium) {
+        self.wal = Some(medium);
+    }
+
+    /// Detach the medium (recovery replays with logging off).
+    pub fn detach_wal(&mut self) -> Option<DurableMedium> {
+        self.wal.take()
+    }
+
+    /// The attached medium, if durability is on.
+    pub fn wal_medium(&self) -> Option<&DurableMedium> {
+        self.wal.as_ref()
+    }
+
+    fn wal_append(&self, rec: WalRecord) -> Result<()> {
+        match &self.wal {
+            Some(w) => w.append(rec),
+            None => Ok(()),
+        }
+    }
+
+    fn wal_applied(&self) -> Result<()> {
+        match &self.wal {
+            Some(w) => w.applied(),
+            None => Ok(()),
+        }
+    }
+
+    /// Deep snapshot of all durable state (checkpoint source).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            heaps: self.heaps.clone(),
+            iots: self.iots.clone(),
+            lobs: self.lobs.clone(),
+            files: self.files.clone(),
+            next_segment: self.next_segment,
+        }
+    }
+
+    /// Replace all durable state from a snapshot. The buffer cache comes
+    /// up cold, as it would after a real restart.
+    pub fn restore_snapshot(&mut self, snap: EngineSnapshot) {
+        self.cache.invalidate_all();
+        self.heaps = snap.heaps;
+        self.iots = snap.iots;
+        self.lobs = snap.lobs;
+        self.files = snap.files;
+        self.next_segment = snap.next_segment;
+    }
+
+    /// Replace the external file store wholesale (recovery installs the
+    /// medium's crash-surviving file mirror).
+    pub fn set_files(&mut self, files: FileStore) {
+        self.files = files;
+    }
+
+    /// Redo one WAL record against current state. Used only by recovery,
+    /// with the WAL detached. Application errors are swallowed: a record
+    /// whose original apply failed fails identically on replay (same
+    /// state, deterministic operations), leaving state unchanged both
+    /// times.
+    pub fn apply_wal_record(&mut self, rec: &WalRecord) {
+        match rec {
+            WalRecord::CreateHeap => {
+                let _ = self.create_heap();
+            }
+            WalRecord::CreateIot { key_cols } => {
+                let _ = self.create_iot(*key_cols);
+            }
+            WalRecord::DropSegment { seg } => {
+                let _ = self.drop_segment(*seg);
+            }
+            WalRecord::TruncateSegment { seg } => {
+                let _ = self.truncate_segment(*seg);
+            }
+            WalRecord::HeapInsert { seg, row } => {
+                let _ = self.heap_insert(*seg, row.clone(), None);
+            }
+            WalRecord::HeapInsertAt { seg, rid, row } => {
+                if let Some(h) = self.heaps.get_mut(seg) {
+                    let _ = h.insert_at(*rid, row.clone());
+                    self.cache.write((*seg, rid.page));
+                }
+            }
+            WalRecord::HeapUpdate { seg, rid, row } => {
+                let _ = self.heap_update(*seg, *rid, row.clone(), None);
+            }
+            WalRecord::HeapDelete { seg, rid } => {
+                let _ = self.heap_delete(*seg, *rid, None);
+            }
+            WalRecord::IotInsert { seg, row } => {
+                let _ = self.iot_insert(*seg, row.clone(), None);
+            }
+            WalRecord::IotInsertOrd { seg, row, ord } => {
+                if let Some(t) = self.iots.get_mut(seg) {
+                    let _ = t.insert_with_ordinal(row.clone(), *ord);
+                }
+            }
+            WalRecord::IotUpsert { seg, row } => {
+                let _ = self.iot_upsert(*seg, row.clone(), None);
+            }
+            WalRecord::IotDelete { seg, key } => {
+                let _ = self.iot_delete(*seg, key, None);
+            }
+            WalRecord::LobAllocate => {
+                let _ = self.lob_allocate(None);
+            }
+            WalRecord::LobWrite { lob, offset, bytes } => {
+                let _ = self.lob_write(*lob, *offset, bytes, None);
+            }
+            WalRecord::LobAppend { lob, bytes } => {
+                let _ = self.lob_append(*lob, bytes, None);
+            }
+            WalRecord::LobOverwrite { lob, bytes } => {
+                let _ = self.lob_overwrite(*lob, bytes, None);
+            }
+            WalRecord::LobFree { lob } => {
+                let _ = self.lob_free(*lob, None);
+            }
+            WalRecord::LobRestore { lob, bytes } => {
+                self.lobs.restore(*lob, bytes.clone());
+            }
+            // File content survives in the medium's mirror; commit markers
+            // are the SQL layer's business.
+            WalRecord::FileActivity { .. } | WalRecord::Commit { .. } => {}
+        }
+    }
+
+    /// Recompute exact zone maps on every heap segment (end of recovery:
+    /// replay re-derives superset bounds, this tightens them).
+    pub fn rebuild_all_zone_maps(&mut self) {
+        for h in self.heaps.values_mut() {
+            h.rebuild_zone_maps();
+        }
+    }
+
     // ----- segment lifecycle ------------------------------------------------
 
     /// Create a heap segment.
-    pub fn create_heap(&mut self) -> SegmentId {
+    pub fn create_heap(&mut self) -> Result<SegmentId> {
+        self.wal_append(WalRecord::CreateHeap)?;
         let seg = self.alloc_segment();
         self.heaps.insert(seg, HeapTable::new(seg));
-        seg
+        self.wal_applied()?;
+        Ok(seg)
     }
 
     /// Create an index-organized segment keyed on the first `key_cols`
     /// row columns.
-    pub fn create_iot(&mut self, key_cols: usize) -> SegmentId {
+    pub fn create_iot(&mut self, key_cols: usize) -> Result<SegmentId> {
+        self.wal_append(WalRecord::CreateIot { key_cols })?;
         let seg = self.alloc_segment();
         self.iots.insert(seg, IndexOrganizedTable::new(seg, key_cols));
-        seg
+        self.wal_applied()?;
+        Ok(seg)
     }
 
     /// Drop any segment; its cached pages are discarded.
     pub fn drop_segment(&mut self, seg: SegmentId) -> Result<()> {
-        let existed = self.heaps.remove(&seg).is_some() || self.iots.remove(&seg).is_some();
-        if !existed {
+        if !self.heaps.contains_key(&seg) && !self.iots.contains_key(&seg) {
             return Err(Error::Storage(format!("{seg}: no such segment")));
         }
+        self.wal_append(WalRecord::DropSegment { seg })?;
+        self.heaps.remove(&seg);
+        self.iots.remove(&seg);
         self.cache.discard_segment(seg);
-        Ok(())
+        self.wal_applied()
     }
 
     /// Truncate a segment in place (non-transactional, like Oracle
     /// TRUNCATE: it is DDL and cannot be rolled back).
     pub fn truncate_segment(&mut self, seg: SegmentId) -> Result<()> {
+        if self.heaps.contains_key(&seg) || self.iots.contains_key(&seg) {
+            self.wal_append(WalRecord::TruncateSegment { seg })?;
+        }
         if let Some(h) = self.heaps.get_mut(&seg) {
             h.truncate();
         } else if let Some(t) = self.iots.get_mut(&seg) {
@@ -102,7 +256,7 @@ impl StorageEngine {
             return Err(Error::Storage(format!("{seg}: no such segment")));
         }
         self.cache.discard_segment(seg);
-        Ok(())
+        self.wal_applied()
     }
 
     // ----- read-only access (callers charge scans themselves) --------------
@@ -165,15 +319,17 @@ impl StorageEngine {
         row: Row,
         undo: Option<&mut UndoLog>,
     ) -> Result<RowId> {
-        let h = self
-            .heaps
-            .get_mut(&seg)
-            .ok_or_else(|| Error::Storage(format!("{seg}: no such heap segment")))?;
+        if !self.heaps.contains_key(&seg) {
+            return Err(Error::Storage(format!("{seg}: no such heap segment")));
+        }
+        self.wal_append(WalRecord::HeapInsert { seg, row: row.clone() })?;
+        let h = self.heaps.get_mut(&seg).expect("existence checked above");
         let (rid, page) = h.insert(row);
         self.cache.write((seg, page));
         if let Some(log) = undo {
             log.push(UndoOp::HeapInsert { seg, rid });
         }
+        self.wal_applied()?;
         Ok(rid)
     }
 
@@ -216,15 +372,17 @@ impl StorageEngine {
         new_row: Row,
         undo: Option<&mut UndoLog>,
     ) -> Result<Row> {
-        let h = self
-            .heaps
-            .get_mut(&seg)
-            .ok_or_else(|| Error::Storage(format!("{seg}: no such heap segment")))?;
+        if !self.heaps.contains_key(&seg) {
+            return Err(Error::Storage(format!("{seg}: no such heap segment")));
+        }
+        self.wal_append(WalRecord::HeapUpdate { seg, rid, row: new_row.clone() })?;
+        let h = self.heaps.get_mut(&seg).expect("existence checked above");
         let old = h.update(rid, new_row)?;
         self.cache.write((seg, rid.page));
         if let Some(log) = undo {
             log.push(UndoOp::HeapUpdate { seg, rid, old: old.clone() });
         }
+        self.wal_applied()?;
         Ok(old)
     }
 
@@ -235,15 +393,17 @@ impl StorageEngine {
         rid: RowId,
         undo: Option<&mut UndoLog>,
     ) -> Result<Row> {
-        let h = self
-            .heaps
-            .get_mut(&seg)
-            .ok_or_else(|| Error::Storage(format!("{seg}: no such heap segment")))?;
+        if !self.heaps.contains_key(&seg) {
+            return Err(Error::Storage(format!("{seg}: no such heap segment")));
+        }
+        self.wal_append(WalRecord::HeapDelete { seg, rid })?;
+        let h = self.heaps.get_mut(&seg).expect("existence checked above");
         let old = h.delete(rid)?;
         self.cache.write((seg, rid.page));
         if let Some(log) = undo {
             log.push(UndoOp::HeapDelete { seg, rid, old: old.clone() });
         }
+        self.wal_applied()?;
         Ok(old)
     }
 
@@ -302,12 +462,14 @@ impl StorageEngine {
     ) -> Result<RowId> {
         let key_cols = self.iot(seg)?.key_cols();
         let key = Key(row[..key_cols.min(row.len())].to_vec());
+        self.wal_append(WalRecord::IotInsert { seg, row: row.clone() })?;
         let (ord, charge) = self.iot_mut(seg)?.insert(row)?;
         let leaf = self.iot_leaf_page_for(seg, &key);
         self.charge_iot(seg, charge, leaf);
         if let Some(log) = undo {
             log.push(UndoOp::IotInsert { seg, key });
         }
+        self.wal_applied()?;
         Ok(Self::ord_to_rid(seg, ord))
     }
 
@@ -321,6 +483,7 @@ impl StorageEngine {
     ) -> Result<(Option<Row>, RowId)> {
         let key_cols = self.iot(seg)?.key_cols();
         let key = Key(row[..key_cols.min(row.len())].to_vec());
+        self.wal_append(WalRecord::IotUpsert { seg, row: row.clone() })?;
         let (old, ord, charge) = self.iot_mut(seg)?.upsert(row)?;
         let leaf = self.iot_leaf_page_for(seg, &key);
         self.charge_iot(seg, charge, leaf);
@@ -330,6 +493,7 @@ impl StorageEngine {
                 None => log.push(UndoOp::IotInsert { seg, key }),
             }
         }
+        self.wal_applied()?;
         Ok((old, Self::ord_to_rid(seg, ord)))
     }
 
@@ -340,6 +504,7 @@ impl StorageEngine {
         key: &Key,
         undo: Option<&mut UndoLog>,
     ) -> Result<Option<Row>> {
+        self.wal_append(WalRecord::IotDelete { seg, key: key.clone() })?;
         let (removed, charge) = self.iot_mut(seg)?.delete(key);
         let leaf = self.iot_leaf_page_for(seg, key);
         self.charge_iot(seg, charge, leaf);
@@ -352,6 +517,7 @@ impl StorageEngine {
             }
             None => None,
         };
+        self.wal_applied()?;
         Ok(old)
     }
 
@@ -492,12 +658,14 @@ impl StorageEngine {
     }
 
     /// Allocate an empty LOB.
-    pub fn lob_allocate(&mut self, undo: Option<&mut UndoLog>) -> LobRef {
+    pub fn lob_allocate(&mut self, undo: Option<&mut UndoLog>) -> Result<LobRef> {
+        self.wal_append(WalRecord::LobAllocate)?;
         let lob = self.lobs.allocate();
         if let Some(log) = undo {
             log.push(UndoOp::LobAllocate { lob });
         }
-        lob
+        self.wal_applied()?;
+        Ok(lob)
     }
 
     /// LOB length.
@@ -527,13 +695,14 @@ impl StorageEngine {
         bytes: &[u8],
         undo: Option<&mut UndoLog>,
     ) -> Result<()> {
+        self.wal_append(WalRecord::LobWrite { lob, offset, bytes: bytes.to_vec() })?;
         if let Some(log) = undo {
             let (old, _) = self.lobs.read_all(lob)?;
             log.push(UndoOp::LobModify { lob, old });
         }
         let charge = self.lobs.write(lob, offset, bytes)?;
         self.charge_lob(lob, charge);
-        Ok(())
+        self.wal_applied()
     }
 
     /// Append to a LOB; returns the offset written at.
@@ -543,12 +712,14 @@ impl StorageEngine {
         bytes: &[u8],
         undo: Option<&mut UndoLog>,
     ) -> Result<u64> {
+        self.wal_append(WalRecord::LobAppend { lob, bytes: bytes.to_vec() })?;
         if let Some(log) = undo {
             let (old, _) = self.lobs.read_all(lob)?;
             log.push(UndoOp::LobModify { lob, old });
         }
         let (off, charge) = self.lobs.append(lob, bytes)?;
         self.charge_lob(lob, charge);
+        self.wal_applied()?;
         Ok(off)
     }
 
@@ -559,28 +730,32 @@ impl StorageEngine {
         bytes: &[u8],
         undo: Option<&mut UndoLog>,
     ) -> Result<()> {
+        self.wal_append(WalRecord::LobOverwrite { lob, bytes: bytes.to_vec() })?;
         if let Some(log) = undo {
             let (old, _) = self.lobs.read_all(lob)?;
             log.push(UndoOp::LobModify { lob, old });
         }
         let charge = self.lobs.overwrite(lob, bytes)?;
         self.charge_lob(lob, charge);
-        Ok(())
+        self.wal_applied()
     }
 
     /// Free a LOB.
     pub fn lob_free(&mut self, lob: LobRef, undo: Option<&mut UndoLog>) -> Result<()> {
+        self.wal_append(WalRecord::LobFree { lob })?;
         let old = self.lobs.free(lob)?;
         if let Some(log) = undo {
             log.push(UndoOp::LobFree { lob, old });
         }
-        Ok(())
+        self.wal_applied()
     }
 
     // ----- external file store (NOT transactional, by design) -------------------
 
     /// The external file store. Mutations here are invisible to undo —
-    /// this is the paper's §5 limitation made concrete.
+    /// this is the paper's §5 limitation made concrete. Callers that need
+    /// crash-consistency stamps must use the `file_*` wrappers below;
+    /// this raw handle exists for stats access and tests.
     pub fn files(&mut self) -> &mut FileStore {
         &mut self.files
     }
@@ -590,54 +765,144 @@ impl StorageEngine {
         &self.files
     }
 
+    /// Stamp a file mutation in the WAL (for post-crash dirty detection)
+    /// and mirror it to the durable medium. File content is written
+    /// through immediately — real files do not wait for commit, which is
+    /// exactly why file-backed indexes need the quarantine path.
+    fn file_mutate(
+        &mut self,
+        name: &str,
+        op: impl Fn(&mut FileStore) -> Result<()>,
+    ) -> Result<()> {
+        self.wal_append(WalRecord::FileActivity { name: name.to_string() })?;
+        op(&mut self.files)?;
+        if let Some(w) = &self.wal {
+            w.mirror_files(|fs| {
+                let _ = op(fs);
+            });
+        }
+        self.wal_applied()
+    }
+
+    /// Create (or truncate) an external file.
+    pub fn file_create(&mut self, name: &str) -> Result<()> {
+        self.file_mutate(name, |fs| {
+            fs.create(name);
+            Ok(())
+        })
+    }
+
+    /// Remove an external file.
+    pub fn file_remove(&mut self, name: &str) -> Result<()> {
+        self.file_mutate(name, |fs| fs.remove(name))
+    }
+
+    /// Remove an external file if it exists (idempotent cleanup).
+    pub fn file_remove_if_exists(&mut self, name: &str) -> Result<()> {
+        if self.files.exists(name) {
+            self.file_remove(name)?;
+        }
+        Ok(())
+    }
+
+    /// Replace a whole external file.
+    pub fn file_write(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.file_mutate(name, |fs| fs.write(name, bytes))
+    }
+
+    /// Append to an external file.
+    pub fn file_append(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.file_mutate(name, |fs| fs.append(name, bytes))
+    }
+
+    /// Flush an external file (content unchanged — no WAL stamp needed,
+    /// but the op counter ticks on both stores).
+    pub fn file_flush(&mut self, name: &str) -> Result<()> {
+        self.files.flush(name)?;
+        if let Some(w) = &self.wal {
+            w.mirror_files(|fs| {
+                let _ = fs.flush(name);
+            });
+        }
+        Ok(())
+    }
+
     // ----- rollback ---------------------------------------------------------------
 
     /// Apply a transaction's undo log in reverse, restoring all
     /// database-resident state. External files are untouched.
+    ///
+    /// Every undo application is itself written ahead as a *redo* record:
+    /// an explicit-transaction ROLLBACK is a completed statement followed
+    /// by a commit marker, so its effects must replay on recovery exactly
+    /// like forward work.
     pub fn rollback(&mut self, log: &mut UndoLog) -> Result<()> {
         for op in log.drain_reverse() {
             match op {
                 UndoOp::HeapInsert { seg, rid } => {
-                    if let Some(h) = self.heaps.get_mut(&seg) {
+                    if self.heaps.contains_key(&seg) {
+                        self.wal_append(WalRecord::HeapDelete { seg, rid })?;
+                        let h = self.heaps.get_mut(&seg).expect("checked");
                         h.delete(rid)?;
                         self.cache.write((seg, rid.page));
                     }
                 }
                 UndoOp::HeapDelete { seg, rid, old } | UndoOp::HeapUpdate { seg, rid, old } => {
-                    if let Some(h) = self.heaps.get_mut(&seg) {
+                    if self.heaps.contains_key(&seg) {
                         // Update restores in place; delete restores into the
                         // freed slot. `insert_at` covers the delete case and
                         // `update` the update case — try update first.
-                        if h.fetch(rid).is_ok() {
-                            h.update(rid, old)?;
+                        let live =
+                            self.heaps.get_mut(&seg).expect("checked").fetch(rid).is_ok();
+                        if live {
+                            self.wal_append(WalRecord::HeapUpdate {
+                                seg,
+                                rid,
+                                row: old.clone(),
+                            })?;
+                            self.heaps.get_mut(&seg).expect("checked").update(rid, old)?;
                         } else {
-                            h.insert_at(rid, old)?;
+                            self.wal_append(WalRecord::HeapInsertAt {
+                                seg,
+                                rid,
+                                row: old.clone(),
+                            })?;
+                            self.heaps.get_mut(&seg).expect("checked").insert_at(rid, old)?;
                         }
                         self.cache.write((seg, rid.page));
                     }
                 }
                 UndoOp::IotInsert { seg, key } => {
-                    if let Some(t) = self.iots.get_mut(&seg) {
-                        t.delete(&key);
+                    if self.iots.contains_key(&seg) {
+                        self.wal_append(WalRecord::IotDelete { seg, key: key.clone() })?;
+                        self.iots.get_mut(&seg).expect("checked").delete(&key);
                     }
                 }
                 UndoOp::IotReplace { seg, old } => {
                     // The key still exists, so upsert preserves its ordinal.
-                    if let Some(t) = self.iots.get_mut(&seg) {
-                        t.upsert(old)?;
+                    if self.iots.contains_key(&seg) {
+                        self.wal_append(WalRecord::IotUpsert { seg, row: old.clone() })?;
+                        self.iots.get_mut(&seg).expect("checked").upsert(old)?;
                     }
                 }
                 UndoOp::IotDelete { seg, old, ord } => {
                     // Restore under the original ordinal so logical rowids
                     // held by secondary indexes stay valid after rollback.
-                    if let Some(t) = self.iots.get_mut(&seg) {
-                        t.insert_with_ordinal(old, ord)?;
+                    if self.iots.contains_key(&seg) {
+                        self.wal_append(WalRecord::IotInsertOrd {
+                            seg,
+                            row: old.clone(),
+                            ord,
+                        })?;
+                        self.iots.get_mut(&seg).expect("checked").insert_with_ordinal(old, ord)?;
                     }
                 }
                 UndoOp::LobAllocate { lob } => {
+                    self.wal_append(WalRecord::LobFree { lob })?;
                     let _ = self.lobs.free(lob);
                 }
                 UndoOp::LobModify { lob, old } | UndoOp::LobFree { lob, old } => {
+                    self.wal_append(WalRecord::LobRestore { lob, bytes: old.clone() })?;
                     self.lobs.restore(lob, old);
                 }
             }
@@ -658,7 +923,7 @@ mod tests {
     #[test]
     fn heap_rollback_restores_all_three_ops() {
         let mut e = StorageEngine::new(64);
-        let seg = e.create_heap();
+        let seg = e.create_heap().unwrap();
         let keep = e.heap_insert(seg, row(1), None).unwrap();
         let doomed = e.heap_insert(seg, row(2), None).unwrap();
 
@@ -677,7 +942,7 @@ mod tests {
     #[test]
     fn iot_rollback_restores() {
         let mut e = StorageEngine::new(64);
-        let seg = e.create_iot(1);
+        let seg = e.create_iot(1).unwrap();
         e.iot_insert(seg, vec![Value::Integer(1), Value::from("old")], None).unwrap();
 
         let mut undo = UndoLog::new();
@@ -695,11 +960,11 @@ mod tests {
     fn lob_rollback_restores_bytes() {
         let mut e = StorageEngine::new(64);
         let mut undo = UndoLog::new();
-        let keep = e.lob_allocate(None);
+        let keep = e.lob_allocate(None).unwrap();
         e.lob_write(keep, 0, b"stable", None).unwrap();
 
         e.lob_write(keep, 0, b"CLOBBERED!", Some(&mut undo)).unwrap();
-        let temp = e.lob_allocate(Some(&mut undo));
+        let temp = e.lob_allocate(Some(&mut undo)).unwrap();
         e.lob_write(temp, 0, b"scratch", Some(&mut undo)).unwrap();
 
         e.rollback(&mut undo).unwrap();
@@ -711,7 +976,7 @@ mod tests {
     fn external_files_survive_rollback() {
         let mut e = StorageEngine::new(64);
         let mut undo = UndoLog::new();
-        let seg = e.create_heap();
+        let seg = e.create_heap().unwrap();
         e.heap_insert(seg, row(1), Some(&mut undo)).unwrap();
         e.files().create("external.idx");
         e.files().write("external.idx", b"orphaned index entry").unwrap();
@@ -726,7 +991,7 @@ mod tests {
     #[test]
     fn drop_segment_discards_cache_pages() {
         let mut e = StorageEngine::new(64);
-        let seg = e.create_heap();
+        let seg = e.create_heap().unwrap();
         e.heap_insert(seg, row(1), None).unwrap();
         assert!(e.cache().resident_pages() > 0);
         e.drop_segment(seg).unwrap();
@@ -737,8 +1002,8 @@ mod tests {
     #[test]
     fn truncate_works_for_both_kinds() {
         let mut e = StorageEngine::new(64);
-        let h = e.create_heap();
-        let t = e.create_iot(1);
+        let h = e.create_heap().unwrap();
+        let t = e.create_iot(1).unwrap();
         e.heap_insert(h, row(1), None).unwrap();
         e.iot_insert(t, vec![Value::Integer(1)], None).unwrap();
         e.truncate_segment(h).unwrap();
@@ -750,7 +1015,7 @@ mod tests {
     #[test]
     fn iot_logical_rowids_survive_update_and_rollback() {
         let mut e = StorageEngine::new(64);
-        let seg = e.create_iot(1);
+        let seg = e.create_iot(1).unwrap();
         let rid = e.iot_insert(seg, vec![Value::Integer(7), Value::from("v1")], None).unwrap();
         assert_eq!(e.iot_fetch_by_rowid(seg, rid).unwrap()[1], Value::from("v1"));
 
@@ -774,7 +1039,7 @@ mod tests {
     #[test]
     fn repeated_point_probes_hit_cache() {
         let mut e = StorageEngine::new(1024);
-        let seg = e.create_iot(1);
+        let seg = e.create_iot(1).unwrap();
         for i in 0..100 {
             e.iot_insert(seg, vec![Value::Integer(i), Value::from("v")], None).unwrap();
         }

@@ -31,7 +31,7 @@ pub struct FileStats {
 }
 
 /// An in-memory external "file system" with operation accounting.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FileStore {
     files: HashMap<String, Vec<u8>>,
     stats: FileStats,

@@ -127,7 +127,7 @@ impl HeapPage {
 }
 
 /// A heap table segment.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HeapTable {
     seg: SegmentId,
     pages: Vec<HeapPage>,

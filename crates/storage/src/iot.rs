@@ -32,7 +32,7 @@ use extidx_common::{Error, Key, Result, Row};
 use crate::page::{btree_height, SegmentId, PAGE_SIZE};
 
 /// An index-organized table: rows stored in key order.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IndexOrganizedTable {
     seg: SegmentId,
     /// Number of leading row columns forming the primary key.

@@ -34,8 +34,13 @@ pub mod iot;
 pub mod lob;
 pub mod page;
 pub mod undo;
+pub mod wal;
 
 pub use buffer::{BufferCache, CacheStats};
 pub use engine::StorageEngine;
 pub use page::{SegmentId, PAGE_SIZE};
 pub use undo::{UndoLog, UndoOp};
+pub use wal::{
+    CommitBlob, DurableMedium, EngineSnapshot, RecoveryImage, WalRecord, WalStats,
+    WAL_FAULT_POINTS,
+};

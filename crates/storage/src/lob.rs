@@ -27,7 +27,7 @@ pub struct LobIoCharge {
 }
 
 /// The LOB segment: all large objects in the database.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LobStore {
     lobs: HashMap<LobRef, Vec<u8>>,
     next: u64,

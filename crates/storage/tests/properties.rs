@@ -35,7 +35,7 @@ proptest! {
     #[test]
     fn heap_matches_reference_model(ops in arb_ops()) {
         let mut engine = StorageEngine::new(256);
-        let seg = engine.create_heap();
+        let seg = engine.create_heap().unwrap();
         let mut model: BTreeMap<RowId, Row> = BTreeMap::new();
         let mut live: Vec<RowId> = Vec::new();
 
@@ -81,7 +81,7 @@ proptest! {
     #[test]
     fn rollback_restores_exact_state(before in arb_ops(), during in arb_ops()) {
         let mut engine = StorageEngine::new(256);
-        let seg = engine.create_heap();
+        let seg = engine.create_heap().unwrap();
         let mut live: Vec<RowId> = Vec::new();
 
         // Committed prefix.
@@ -150,7 +150,7 @@ proptest! {
         len in 0i64..400,
     ) {
         let mut engine = StorageEngine::new(256);
-        let seg = engine.create_iot(1);
+        let seg = engine.create_iot(1).unwrap();
         for (k, v) in &entries {
             engine
                 .iot_insert(seg, vec![Value::Integer(*k), Value::Integer(*v)], None)
@@ -194,7 +194,7 @@ proptest! {
         chunks in prop::collection::vec((0u64..5000, prop::collection::vec(any::<u8>(), 0..300)), 0..12),
     ) {
         let mut engine = StorageEngine::new(64);
-        let lob = engine.lob_allocate(None);
+        let lob = engine.lob_allocate(None).unwrap();
         let mut model: Vec<u8> = Vec::new();
         for (off, bytes) in &chunks {
             let off = *off as usize;
@@ -220,7 +220,7 @@ proptest! {
         deletes in prop::collection::vec(any::<usize>(), 0..10),
     ) {
         let mut engine = StorageEngine::new(256);
-        let seg = engine.create_heap();
+        let seg = engine.create_heap().unwrap();
         let mut live: Vec<RowId> = values
             .iter()
             .map(|&v| engine.heap_insert(seg, row(v), None).unwrap())

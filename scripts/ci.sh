@@ -47,6 +47,15 @@ cargo test -q --test differential quarantine_chaos_sweep -- --include-ignored
 echo "== vectorized executor (batch/row equality + zone maps) =="
 cargo test -q --test vectorized -- --include-ignored
 
+# Durability: WAL + checkpoints. The crash-point matrix (every wal.*
+# fault point x {heap, IOT, LOB, each cartridge}, with an at-call sweep
+# over every call site inside the crashing statement), checkpoint
+# crash/truncate behaviour, the external-file quarantine contract, the
+# lifecycle/rollback bugfix pins, and the 3-seed qgen crash-recover
+# sweep (recovered state bag-equal to a committed-prefix twin).
+echo "== crash recovery (WAL + checkpoints + qgen sweep) =="
+cargo test -q --test recovery
+
 # Bench smoke: the E15 repro must clear its speedup floors (>=5x cold
 # pruned scan, >=2x cost-ordered conjuncts) at a reduced N, and leave
 # machine-readable BENCH_*.json records under target/bench-json.
@@ -58,6 +67,17 @@ E15_N=20000 E15_RUNS=3 \
     BENCH_DATE="$(date -u +%F)" \
     cargo run --release -q -p extidx-bench --bin repro -- e15-vectorized
 ls target/bench-json/BENCH_e15_cold_scan.json target/bench-json/BENCH_e15_cost_ordered.json
+
+# Durability tax: the E16 repro measures the same workload with the WAL
+# off vs on (ceiling: 3x), plus checkpoint and recovery timings, and
+# records the durable-run median as BENCH_e16_wal_overhead.json.
+echo "== bench smoke (e16-wal + wal_overhead BENCH json) =="
+E16_N=5000 E16_RUNS=3 \
+    BENCH_OUT=target/bench-json \
+    GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    BENCH_DATE="$(date -u +%F)" \
+    cargo run --release -q -p extidx-bench --bin repro -- e16-wal
+ls target/bench-json/BENCH_e16_wal_overhead.json
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
