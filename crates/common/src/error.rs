@@ -63,6 +63,12 @@ pub enum Error {
     /// Double fault: a statement failed *and* rolling its storage effects
     /// back failed too. State may be torn — this must never be swallowed.
     RollbackFailed { original: Box<Error>, cause: Box<Error> },
+    /// Snapshot-isolation write conflict: the transaction tried to write a
+    /// row version another in-flight transaction has already written
+    /// (immediate detection), or commit-time validation found a committed
+    /// writer newer than the transaction's snapshot (first-writer-wins).
+    /// The losing transaction is rolled back and may be retried.
+    WriteConflict { detail: String },
     /// A cartridge routine violated the sandbox: it panicked, or exceeded
     /// its per-call tick budget. Unlike [`Error::Odci`] (a failure the
     /// cartridge *reported*), this is a failure the cartridge *suffered* —
@@ -113,6 +119,11 @@ impl Error {
     /// Shorthand for a type mismatch.
     pub fn type_mismatch(expected: impl Into<String>, found: impl Into<String>) -> Self {
         Error::TypeMismatch { expected: expected.into(), found: found.into() }
+    }
+
+    /// Shorthand for a snapshot-isolation write conflict.
+    pub fn write_conflict(detail: impl Into<String>) -> Self {
+        Error::WriteConflict { detail: detail.into() }
     }
 
     /// Classify an error as transient/retryable. Idempotent: an already
@@ -166,6 +177,9 @@ impl fmt::Display for Error {
             }
             Error::CartridgeFault { indextype, routine, reason } => {
                 write!(f, "cartridge fault in {indextype}.{routine}: {reason}")
+            }
+            Error::WriteConflict { detail } => {
+                write!(f, "write conflict (serialization failure): {detail}")
             }
         }
     }

@@ -1,0 +1,530 @@
+//! The concurrent differential oracle: MVCC snapshot isolation under a
+//! deterministic multi-session scheduler.
+//!
+//! N [`Session`]s share one [`Server`]; a single-threaded scheduler
+//! (seeded, fully deterministic) interleaves their statements — explicit
+//! `BEGIN…COMMIT/ROLLBACK` transactions, autocommit DML, and
+//! domain-operator queries across every reachable plan. Three oracles
+//! run simultaneously:
+//!
+//! 1. **Per-snapshot bag equality.** Every session query is checked
+//!    against a mirror of exactly what its snapshot must see: the
+//!    committed state at `BEGIN` plus the session's own accepted
+//!    statements (read-your-own-writes), or the current committed state
+//!    in autocommit mode. The check runs the unhinted plan, `/*+ FULL */`,
+//!    and every forcible `/*+ INDEX */` — so the domain-index Fetch path
+//!    and the zone-pruned batch full scan must both honor the snapshot.
+//! 2. **First-writer-wins outcomes.** The scheduler tracks each
+//!    transaction's user-row write set and everything committed since its
+//!    snapshot. A commit that *succeeds* despite overlapping a
+//!    concurrently committed write is reported as a lost update. (The
+//!    converse is deliberately one-sided: the engine may conflict more
+//!    often than the user-row model predicts, because concurrent index
+//!    maintenance can collide on cartridge-internal rows — e.g. two
+//!    transactions extending the same text postings entry — and a
+//!    spurious abort never breaks isolation.)
+//! 3. **Serial twin replay.** Committed transactions' statements,
+//!    concatenated in commit (csn) order, replay on a fresh
+//!    single-session engine; the final per-table row bags must be
+//!    identical. Restricting concurrent DML to fresh-id inserts and
+//!    `id =` updates/deletes (see [`ConcurrentGen`]) is what makes
+//!    statement-level serial replay equivalent to the SI execution — any
+//!    snapshot/commit-time divergence in a statement's match set implies
+//!    a write-write overlap, which first-writer-wins aborts.
+//!
+//! [`lost_update_demo`] plants the classic anomaly (two transactions
+//! writing disjoint columns of one row from overlapping snapshots) and
+//! shows the oracle catches it the moment conflict enforcement is
+//! switched off.
+
+use std::collections::HashSet;
+
+use extidx_common::{Error, Value};
+use extidx_sql::{Server, Session};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::gen::{ConcurrentGen, Query, Stmt, HEAP, IOT};
+use crate::harness::{forcible_indexes, fresh_db, ChaosOpts};
+use crate::interp::{apply_cell, query_ids, Mirror};
+
+/// Counters from a clean concurrent run — returned so tests can assert
+/// the schedule actually exercised commits, conflicts, and queries
+/// rather than vacuously passing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConcurrentReport {
+    pub steps: usize,
+    /// Explicit transactions committed.
+    pub commits: usize,
+    /// Explicit transactions that lost first-writer-wins at COMMIT.
+    pub commit_conflicts: usize,
+    /// Statements rejected mid-transaction with a write conflict.
+    pub stmt_conflicts: usize,
+    /// Statements rejected for any other engine reason (no-ops).
+    pub stmt_errors: usize,
+    /// Queries checked against a snapshot mirror (all variants).
+    pub queries: usize,
+}
+
+/// One session's open transaction, as the oracle models it.
+struct TxnState {
+    /// What this transaction's snapshot must see: committed state at
+    /// BEGIN plus own accepted statements.
+    expected: Mirror,
+    /// Accepted statements, in order — the unit of serial replay.
+    stmts: Vec<Stmt>,
+    /// User rows written: `(table, id)`.
+    writes: HashSet<(&'static str, i64)>,
+    /// Commit-sequence watermark at BEGIN; commits after it are
+    /// concurrent with this transaction.
+    begin_seq: u64,
+}
+
+struct Sess {
+    session: Session,
+    txn: Option<TxnState>,
+}
+
+/// Apply one accepted DML statement to a mirror.
+fn apply_stmt(mirror: &mut Mirror, stmt: &Stmt) {
+    match stmt {
+        Stmt::Insert { table, row } => {
+            mirror.table_mut(table).insert(row.id, row.clone());
+        }
+        Stmt::Update { table, pred, cell } => {
+            for row in mirror.table_mut(table).values_mut() {
+                if pred.matches(row.id) {
+                    apply_cell(row, cell);
+                }
+            }
+        }
+        Stmt::Delete { table, pred } => {
+            mirror.table_mut(table).retain(|id, _| !pred.matches(*id));
+        }
+        other => unreachable!("concurrent stream emits only DML, got {other:?}"),
+    }
+}
+
+/// User rows a statement writes, evaluated against the state it executes
+/// in (matched ids for UPDATE/DELETE, the fresh id for INSERT).
+fn writes_of(mirror: &Mirror, stmt: &Stmt) -> Vec<(&'static str, i64)> {
+    match stmt {
+        Stmt::Insert { table, row } => vec![(*table, row.id)],
+        Stmt::Update { table, pred, .. } | Stmt::Delete { table, pred } => mirror
+            .table(table)
+            .keys()
+            .filter(|id| pred.matches(**id))
+            .map(|id| (*table, *id))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn is_conflict(e: &Error) -> bool {
+    matches!(e, Error::WriteConflict { .. })
+}
+
+fn ids_of(rows: &[Vec<Value>]) -> Result<Vec<i64>, String> {
+    rows.iter()
+        .map(|r| match r.first() {
+            Some(Value::Integer(i)) => Ok(*i),
+            other => Err(format!("expected integer id column, got {other:?}")),
+        })
+        .collect()
+}
+
+/// Run one query through the unhinted plan, the forced full scan, and
+/// every forcible index, comparing each against the snapshot mirror.
+fn check_snapshot_query(
+    server: &Server,
+    sess: &mut Session,
+    q: &Query,
+    expected_mirror: &Mirror,
+    report: &mut ConcurrentReport,
+) -> Result<(), String> {
+    let expected = query_ids(q, expected_mirror);
+    let mut variants: Vec<(String, String)> = vec![
+        ("plan".into(), q.sql(None)),
+        ("full".into(), q.sql(Some(&format!("FULL({})", q.table)))),
+    ];
+    for idx in server.read(|db| forcible_indexes(db, q)) {
+        let hint = format!("INDEX({} {idx})", q.table);
+        variants.push((format!("index:{idx}"), q.sql(Some(&hint))));
+    }
+    let mut bad: Vec<String> = Vec::new();
+    for (label, sql) in &variants {
+        let rows = sess
+            .query(sql)
+            .map_err(|e| format!("variant [{label}] errored: {e}\n  sql: {sql}"))?;
+        let got = ids_of(&rows).map_err(|e| format!("variant [{label}]: {e}\n  sql: {sql}"))?;
+        let got = if q.order_limit.is_some() {
+            got
+        } else {
+            let mut g = got;
+            g.sort_unstable();
+            g
+        };
+        if got != expected {
+            bad.push(format!("variant [{label}]\n  sql: {sql}\n  got      {got:?}"));
+        }
+        report.queries += 1;
+    }
+    if !bad.is_empty() {
+        return Err(format!(
+            "{} of {} variants violate the snapshot (expected {expected:?}):\n{}",
+            bad.len(),
+            variants.len(),
+            bad.join("\n")
+        ));
+    }
+    Ok(())
+}
+
+/// `SELECT * FROM t` as a sorted bag of row renderings (engine-vs-engine
+/// comparison; both sides render `Value` identically).
+fn table_bag_rows(rows: Vec<Vec<Value>>) -> Vec<String> {
+    let mut bag: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    bag.sort();
+    bag
+}
+
+/// Pick a random live id of `table` from a mirror, if any.
+fn pick_id(rng: &mut StdRng, mirror: &Mirror, table: &'static str) -> Option<i64> {
+    let ids: Vec<i64> = mirror.table(table).keys().copied().collect();
+    if ids.is_empty() {
+        return None;
+    }
+    Some(ids[rng.gen_range(0..ids.len())])
+}
+
+/// Drive `sessions` sessions for `steps` scheduler steps and check every
+/// oracle. `Ok(report)` when every snapshot read, conflict outcome, and
+/// the final serial-twin comparison agree; `Err(detail)` on the first
+/// divergence.
+pub fn run_concurrent_seed(
+    seed: u64,
+    sessions: usize,
+    steps: usize,
+) -> Result<ConcurrentReport, String> {
+    assert!(sessions >= 2, "a concurrent run needs at least two sessions");
+    let server = Server::new(fresh_db(ChaosOpts::default()));
+    let mut gen = ConcurrentGen::new(seed);
+    let preamble = gen.preamble();
+    {
+        let mut s0 = server.session();
+        for sql in &preamble {
+            s0.execute(sql).map_err(|e| format!("preamble failed: {sql}: {e}"))?;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0CC);
+    let mut sess: Vec<Sess> = (0..sessions)
+        .map(|_| Sess { session: server.session(), txn: None })
+        .collect();
+    let mut report = ConcurrentReport::default();
+
+    // Committed state, as the oracle knows it.
+    let mut committed = Mirror::default();
+    // Committed transactions' statements, concatenated in commit order.
+    let mut committed_log: Vec<Stmt> = Vec::new();
+    // (commit sequence, user-row write set) per commit, for the
+    // first-writer-wins expectation.
+    let mut committed_writes: Vec<(u64, HashSet<(&'static str, i64)>)> = Vec::new();
+    let mut commit_seq: u64 = 0;
+
+    // Commit bookkeeping shared by the scheduler loop and the wind-down.
+    let do_commit = |s: &mut Sess,
+                         committed: &mut Mirror,
+                         committed_log: &mut Vec<Stmt>,
+                         committed_writes: &mut Vec<(u64, HashSet<(&'static str, i64)>)>,
+                         commit_seq: &mut u64,
+                         report: &mut ConcurrentReport|
+     -> Result<(), String> {
+        let t = s.txn.take().expect("commit with no open transaction");
+        match s.session.execute("COMMIT") {
+            Ok(_) => {
+                let overlap: Vec<&(&'static str, i64)> = committed_writes
+                    .iter()
+                    .filter(|(cs, _)| *cs > t.begin_seq)
+                    .flat_map(|(_, ws)| ws.intersection(&t.writes))
+                    .collect();
+                if !overlap.is_empty() {
+                    return Err(format!(
+                        "lost update: transaction committed although rows {overlap:?} were \
+                         concurrently committed by another writer after its snapshot"
+                    ));
+                }
+                for st in &t.stmts {
+                    apply_stmt(committed, st);
+                }
+                committed_log.extend(t.stmts);
+                *commit_seq += 1;
+                committed_writes.push((*commit_seq, t.writes));
+                report.commits += 1;
+                Ok(())
+            }
+            Err(e) if is_conflict(&e) => {
+                // The engine may conflict on cartridge-internal rows even
+                // when user rows are disjoint — a spurious abort is a
+                // legal outcome, and the transaction's effects must now
+                // be invisible (the mirror simply never learns them).
+                report.commit_conflicts += 1;
+                Ok(())
+            }
+            Err(e) => Err(format!("COMMIT failed with a non-conflict error: {e}")),
+        }
+    };
+
+    for step in 0..steps {
+        report.steps = step + 1;
+        let si = rng.gen_range(0..sessions);
+        let in_txn = sess[si].txn.is_some();
+        let roll = rng.gen_range(0..100u32);
+        if in_txn {
+            let s = &mut sess[si];
+            if roll < 15 {
+                do_commit(
+                    s,
+                    &mut committed,
+                    &mut committed_log,
+                    &mut committed_writes,
+                    &mut commit_seq,
+                    &mut report,
+                )
+                .map_err(|e| format!("step {step}: {e}"))?;
+            } else if roll < 22 {
+                let t = s.txn.take().expect("rollback with no open transaction");
+                drop(t);
+                s.session
+                    .execute("ROLLBACK")
+                    .map_err(|e| format!("step {step}: ROLLBACK failed: {e}"))?;
+            } else if roll < 50 {
+                let q = gen.query();
+                let t = s.txn.as_ref().expect("txn query");
+                // Borrow dance: clone the expected mirror view out of the
+                // txn so the session can be borrowed mutably.
+                let expected = t.expected.clone();
+                check_snapshot_query(&server, &mut s.session, &q, &expected, &mut report)
+                    .map_err(|e| format!("step {step} (in txn): {e}"))?;
+            } else {
+                let table = gen.table();
+                let t = s.txn.as_ref().expect("txn dml");
+                let stmt = if roll < 75 {
+                    gen.insert(table)
+                } else {
+                    match pick_id(&mut rng, &t.expected, table) {
+                        Some(id) if roll < 90 => gen.update_eq(table, id),
+                        Some(id) => gen.delete_eq(table, id),
+                        None => gen.insert(table),
+                    }
+                };
+                match s.session.execute(&stmt.sql()) {
+                    Ok(_) => {
+                        let t = s.txn.as_mut().expect("txn dml state");
+                        t.writes.extend(writes_of(&t.expected, &stmt));
+                        apply_stmt(&mut t.expected, &stmt);
+                        t.stmts.push(stmt);
+                    }
+                    Err(e) if is_conflict(&e) => report.stmt_conflicts += 1,
+                    Err(_) => report.stmt_errors += 1,
+                }
+            }
+        } else if roll < 20 {
+            let s = &mut sess[si];
+            s.session
+                .execute("BEGIN")
+                .map_err(|e| format!("step {step}: BEGIN failed: {e}"))?;
+            s.txn = Some(TxnState {
+                expected: committed.clone(),
+                stmts: Vec::new(),
+                writes: HashSet::new(),
+                begin_seq: commit_seq,
+            });
+        } else if roll < 50 {
+            let q = gen.query();
+            check_snapshot_query(&server, &mut sess[si].session, &q, &committed, &mut report)
+                .map_err(|e| format!("step {step} (autocommit): {e}"))?;
+        } else {
+            // Autocommit DML: an implicit begin+statement+commit under one
+            // exclusive hold — it commits (and joins the serial history) at
+            // its own scheduler position.
+            let table = gen.table();
+            let stmt = if roll < 80 {
+                gen.insert(table)
+            } else {
+                match pick_id(&mut rng, &committed, table) {
+                    Some(id) if roll < 92 => gen.update_eq(table, id),
+                    Some(id) => gen.delete_eq(table, id),
+                    None => gen.insert(table),
+                }
+            };
+            match sess[si].session.execute(&stmt.sql()) {
+                Ok(_) => {
+                    let writes: HashSet<(&'static str, i64)> =
+                        writes_of(&committed, &stmt).into_iter().collect();
+                    apply_stmt(&mut committed, &stmt);
+                    committed_log.push(stmt);
+                    commit_seq += 1;
+                    committed_writes.push((commit_seq, writes));
+                }
+                Err(e) if is_conflict(&e) => report.stmt_conflicts += 1,
+                Err(_) => report.stmt_errors += 1,
+            }
+        }
+    }
+
+    // Wind down: commit every open transaction so the committed log is
+    // the complete history.
+    for s in sess.iter_mut() {
+        if s.txn.is_some() {
+            do_commit(
+                s,
+                &mut committed,
+                &mut committed_log,
+                &mut committed_writes,
+                &mut commit_seq,
+                &mut report,
+            )
+            .map_err(|e| format!("wind-down: {e}"))?;
+        }
+    }
+
+    // Final oracle 1: committed mirror vs engine, via fresh generated
+    // queries through an autocommit session.
+    let mut check = server.session();
+    for _ in 0..8 {
+        let q = gen.query();
+        check_snapshot_query(&server, &mut check, &q, &committed, &mut report)
+            .map_err(|e| format!("final state: {e}"))?;
+    }
+    for table in [HEAP, IOT] {
+        let rows = check
+            .query(&format!("SELECT id FROM {table}"))
+            .map_err(|e| format!("final SELECT id FROM {table}: {e}"))?;
+        let mut got = ids_of(&rows).map_err(|e| format!("final {table}: {e}"))?;
+        got.sort_unstable();
+        let want: Vec<i64> = committed.table(table).keys().copied().collect();
+        if got != want {
+            return Err(format!(
+                "final id bag of {table} diverges: engine has {} rows, mirror {} rows",
+                got.len(),
+                want.len()
+            ));
+        }
+    }
+
+    // Final oracle 2: serial twin — replay the committed history in
+    // commit order on a fresh single-session engine and demand identical
+    // per-table row bags.
+    let mut twin = fresh_db(ChaosOpts::default());
+    for sql in &preamble {
+        twin.execute(sql).map_err(|e| format!("twin preamble: {sql}: {e}"))?;
+    }
+    for st in &committed_log {
+        twin
+            .execute(&st.sql())
+            .map_err(|e| format!("twin replay of committed statement failed: {}: {e}", st.sql()))?;
+    }
+    for table in [HEAP, IOT] {
+        let eng = table_bag_rows(
+            check
+                .query(&format!("SELECT * FROM {table}"))
+                .map_err(|e| format!("engine SELECT * FROM {table}: {e}"))?,
+        );
+        let tw = table_bag_rows(
+            twin.query(&format!("SELECT * FROM {table}"))
+                .map_err(|e| format!("twin SELECT * FROM {table}: {e}"))?,
+        );
+        if eng != tw {
+            let missing: Vec<&String> = tw.iter().filter(|r| !eng.contains(r)).collect();
+            let extra: Vec<&String> = eng.iter().filter(|r| !tw.contains(r)).collect();
+            return Err(format!(
+                "table {table}: concurrent result bag != serial commit-order replay\n  \
+                 rows only in twin: {missing:?}\n  rows only in engine: {extra:?}"
+            ));
+        }
+    }
+    Ok(report)
+}
+
+/// Plant the classic lost update and report whether the final state
+/// diverges from serial commit-order replay.
+///
+/// Two transactions read row 1 under overlapping snapshots and write
+/// *disjoint* columns; because an UPDATE writes the full row image from
+/// its snapshot, the second commit silently reverts the first writer's
+/// column. With `enforce` on (first-writer-wins), the engine refuses the
+/// second write and the state stays serial — `None`. With `enforce` off
+/// (the deliberate anomaly knob), the oracle must return `Some(detail)`
+/// describing the divergence.
+pub fn lost_update_demo(enforce: bool) -> Option<String> {
+    let server = Server::new(fresh_db(ChaosOpts::default()));
+    server.admin(|db| db.storage_mut().set_conflict_checks(enforce));
+    let mut a = server.session();
+    let mut b = server.session();
+    a.execute("CREATE TABLE LU (id INTEGER, x NUMBER, y NUMBER)").expect("create");
+    a.execute("INSERT INTO LU VALUES (1, 10, 20)").expect("seed row");
+
+    // b's snapshot predates a's commit.
+    b.execute("BEGIN").expect("begin b");
+    let pre = b.query("SELECT x FROM LU WHERE id = 1").expect("b reads");
+    assert_eq!(pre, vec![vec![Value::Number(10.0)]]);
+
+    a.execute("BEGIN").expect("begin a");
+    a.execute("UPDATE LU SET x = 11 WHERE id = 1").expect("a writes x");
+    a.execute("COMMIT").expect("a commits");
+
+    // b writes the same row from its stale snapshot (x still 10 there).
+    let b_committed = match b
+        .execute("UPDATE LU SET y = 21 WHERE id = 1")
+        .and_then(|_| b.execute("COMMIT"))
+    {
+        Ok(_) => true,
+        Err(e) => {
+            assert!(
+                matches!(e, Error::WriteConflict { .. }),
+                "only a write conflict may stop the second writer, got {e}"
+            );
+            let _ = b.execute("ROLLBACK");
+            false
+        }
+    };
+
+    // Serial twin: a's transaction, then b's iff it committed.
+    let mut twin = fresh_db(ChaosOpts::default());
+    twin.execute("CREATE TABLE LU (id INTEGER, x NUMBER, y NUMBER)").expect("twin create");
+    twin.execute("INSERT INTO LU VALUES (1, 10, 20)").expect("twin seed");
+    twin.execute("UPDATE LU SET x = 11 WHERE id = 1").expect("twin a");
+    if b_committed {
+        twin.execute("UPDATE LU SET y = 21 WHERE id = 1").expect("twin b");
+    }
+
+    let eng = table_bag_rows(a.query("SELECT * FROM LU").expect("engine final"));
+    let tw = table_bag_rows(twin.query("SELECT * FROM LU").expect("twin final"));
+    (eng != tw).then(|| {
+        format!(
+            "lost update detected: concurrent state {eng:?} != serial commit-order replay {tw:?} \
+             (second writer reverted the first writer's column from its stale snapshot)"
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_concurrent_run_is_clean() {
+        let report = run_concurrent_seed(1, 3, 60).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.queries > 0, "schedule never checked a query: {report:?}");
+        assert!(report.commits > 0, "schedule never committed a transaction: {report:?}");
+    }
+
+    #[test]
+    fn lost_update_caught_without_enforcement_and_prevented_with() {
+        let caught = lost_update_demo(false);
+        assert!(caught.is_some(), "oracle must catch the planted lost update");
+        assert!(
+            lost_update_demo(true).is_none(),
+            "first-writer-wins must prevent the lost update"
+        );
+    }
+}

@@ -616,6 +616,56 @@ impl WorkloadGen {
     }
 }
 
+/// Structured statement source for the concurrent scheduler
+/// (`crate::concurrent`): the same seeded vocabulary as [`generate`],
+/// handed out one statement at a time, restricted to the forms whose
+/// serial commit-order replay is sound under snapshot isolation —
+/// inserts of globally fresh ids and UPDATE/DELETE keyed by `id =`
+/// equality. (Range predicates could straddle a concurrent insert, and
+/// the resulting phantom behavior under SI legitimately differs from a
+/// serial replay, so they stay out of the concurrent stream.)
+pub struct ConcurrentGen {
+    inner: WorkloadGen,
+}
+
+impl ConcurrentGen {
+    pub fn new(seed: u64) -> Self {
+        ConcurrentGen { inner: WorkloadGen::new(seed) }
+    }
+
+    /// The fixed schema preamble (both fuzz tables + all index slots).
+    pub fn preamble(&mut self) -> Vec<String> {
+        self.inner.preamble()
+    }
+
+    /// Pick one of the two fuzz tables.
+    pub fn table(&mut self) -> &'static str {
+        self.inner.table()
+    }
+
+    /// An INSERT of a globally fresh id.
+    pub fn insert(&mut self, table: &'static str) -> Stmt {
+        let row = self.inner.row();
+        Stmt::Insert { table, row }
+    }
+
+    /// An UPDATE of exactly the row `id` (one random cell).
+    pub fn update_eq(&mut self, table: &'static str, id: i64) -> Stmt {
+        let cell = self.inner.cell();
+        Stmt::Update { table, pred: IdPred::Eq(id), cell }
+    }
+
+    /// A DELETE of exactly the row `id`.
+    pub fn delete_eq(&mut self, table: &'static str, id: i64) -> Stmt {
+        Stmt::Delete { table, pred: IdPred::Eq(id) }
+    }
+
+    /// A domain-operator query (same shape as the serial stream's).
+    pub fn query(&mut self) -> Query {
+        self.inner.query()
+    }
+}
+
 /// Generate the workload for `seed`: the fixed schema preamble plus `n`
 /// random statements. Pure — identical inputs yield identical output.
 pub fn generate(seed: u64, n: usize) -> Workload {

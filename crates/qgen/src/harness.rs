@@ -88,7 +88,7 @@ pub fn fresh_db(chaos: ChaosOpts) -> Database {
 /// it (operator + arity supported, no NULL literal argument; `num`
 /// comparisons for the B-tree). Computed against the live catalog so
 /// replayed/shrunk workloads never emit an invalid hint.
-fn forcible_indexes(db: &Database, q: &Query) -> Vec<String> {
+pub(crate) fn forcible_indexes(db: &Database, q: &Query) -> Vec<String> {
     let atoms = q.pred.top_atoms();
     let mut out = Vec::new();
     for d in db.catalog().domain_indexes_on(q.table) {

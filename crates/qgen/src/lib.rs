@@ -21,9 +21,11 @@
 //! - [`harness`] — execution, comparison, deterministic replay, and
 //!   delta-debugging shrink to a minimal self-contained SQL repro.
 
+pub mod concurrent;
 pub mod gen;
 pub mod harness;
 pub mod interp;
 
+pub use concurrent::{lost_update_demo, run_concurrent_seed, ConcurrentReport};
 pub use gen::{generate, Workload};
 pub use harness::{fresh_db, run_crash_seed, run_seed, ChaosOpts, Divergence};

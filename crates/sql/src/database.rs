@@ -18,8 +18,11 @@
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+use parking_lot::Mutex;
 
 use extidx_common::{Error, Key, LobRef, Result, Row, RowId, SqlType, Value};
 use extidx_core::events::{DbEvent, EventHandler};
@@ -37,10 +40,11 @@ use extidx_core::trace::{CallTrace, Component, CrossingHandle};
 use extidx_core::OdciIndex;
 use extidx_storage::buffer::CacheStats;
 use extidx_storage::file_store::FileStats;
-use extidx_storage::{CommitBlob, DurableMedium, StorageEngine, UndoLog, WalRecord};
+use extidx_storage::{CommitBlob, DurableMedium, Snapshot, StorageEngine, UndoLog, WalRecord};
 
 use crate::ast::{bind_statement, AlterIndexAction, ColumnSpec, InsertSource, Statement};
 use crate::catalog::{BTreeIndexDef, Catalog, CatalogDump, ColumnDef, ColumnStats, DomainIndexDef, TableDef, TableOrg, TableStats};
+use crate::exec_ctx::{self, Exec, SessionScratch};
 use crate::executor::{self, ExecNode};
 use crate::expr::{compile_expr, eval, EvalCtx, ExecRow, Scope};
 use crate::optimizer::{self, CostModel};
@@ -97,7 +101,7 @@ pub struct Database {
     trace: CallTrace,
     txn_undo: Option<UndoLog>,
     pub(crate) stmt_undo: Option<UndoLog>,
-    workspace: HashMap<u64, Box<dyn Any + Send>>,
+    workspace: Mutex<HashMap<u64, Box<dyn Any + Send>>>,
     next_ws: u64,
     /// Rows per ODCIIndexFetch call (the §2.5 batch interface, E8).
     pub(crate) batch_size: usize,
@@ -142,8 +146,8 @@ pub struct Database {
     /// ODCIIndexFetch batch. Never enabled outside tests.
     pub(crate) chaos_drop_last_domain_batch: bool,
     /// Bounded per-statement execution history backing `V$SQLSTATS`.
-    sqlstats: VecDeque<SqlStat>,
-    next_sql_id: u64,
+    sqlstats: Mutex<VecDeque<SqlStat>>,
+    next_sql_id: AtomicU64,
 }
 
 /// One completed top-level statement's execution statistics.
@@ -226,7 +230,7 @@ impl Database {
             trace: CallTrace::new(),
             txn_undo: None,
             stmt_undo: None,
-            workspace: HashMap::new(),
+            workspace: Mutex::new(HashMap::new()),
             next_ws: 0,
             batch_size: 32,
             batch_exec: true,
@@ -240,8 +244,8 @@ impl Database {
             tick_budget: extidx_core::DEFAULT_TICK_BUDGET,
             stmt_pending: Vec::new(),
             chaos_drop_last_domain_batch: false,
-            sqlstats: VecDeque::new(),
-            next_sql_id: 0,
+            sqlstats: Mutex::new(VecDeque::new()),
+            next_sql_id: AtomicU64::new(0),
         }
     }
 
@@ -355,6 +359,12 @@ impl Database {
     /// Direct storage access for white-box tests and benches.
     pub fn storage(&self) -> &StorageEngine {
         &self.storage
+    }
+
+    /// Mutable storage access for admin knobs (conflict-check ablation,
+    /// vacuum forcing) in tests and benches.
+    pub fn storage_mut(&mut self) -> &mut StorageEngine {
+        &mut self.storage
     }
 
     /// The fault injector threaded through every server↔cartridge
@@ -556,7 +566,7 @@ impl Database {
     /// cartridge *reports* (including injected ones) keep their existing
     /// fail-the-statement semantics and never degrade the index. Skipped
     /// during compensation replay.
-    fn note_health_outcome(
+    pub(crate) fn note_health_outcome(
         &self,
         routine: &'static str,
         index: &str,
@@ -646,18 +656,13 @@ impl Database {
                 StmtResult::Affected(n) => *n,
                 StmtResult::Ok => 0,
             };
-            let stat = SqlStat {
-                sql_id: self.next_sql_id,
+            self.record_sql_stat(SqlStat {
+                sql_id: 0, // assigned inside record_sql_stat
                 sql_text: sql.to_string(),
                 rows_processed,
                 elapsed_micros: started.elapsed().as_micros() as u64,
                 cache: self.cache_stats().since(&before),
-            };
-            self.next_sql_id += 1;
-            if self.sqlstats.len() == SQLSTATS_CAPACITY {
-                self.sqlstats.pop_front();
-            }
-            self.sqlstats.push_back(stat);
+            });
         }
         result
     }
@@ -702,9 +707,21 @@ impl Database {
         if boundary {
             self.stmt_undo = Some(UndoLog::new());
         }
-        let planned = optimizer::plan_select(self, &select)?;
+        let snap = self.storage.current_snapshot();
+        let planned = {
+            let scratch = std::cell::RefCell::new(SessionScratch::default());
+            let ecx = Exec::new(&*self, &scratch, snap);
+            optimizer::plan_select(&ecx, &select)?
+        };
         let exec = executor::build(planned.root);
-        Ok(QueryCursor { db: self, exec, columns: planned.column_names, boundary })
+        Ok(QueryCursor {
+            db: self,
+            exec,
+            columns: planned.column_names,
+            boundary,
+            snap,
+            scratch: std::cell::RefCell::new(SessionScratch::default()),
+        })
     }
 
     /// Top-level statement wrapper: statement atomicity plus
@@ -766,7 +783,7 @@ impl Database {
                     result = Err(err);
                 }
             }
-            self.workspace.clear();
+            self.workspace.get_mut().clear();
             // Durability: a top-level statement outside an explicit
             // transaction is a commit boundary — stamp the WAL with a
             // commit marker carrying the catalog image. Inside BEGIN…
@@ -794,7 +811,86 @@ impl Database {
             return Ok(());
         };
         let payload: CommitBlob = Arc::new(self.catalog.dump());
-        medium.commit(Some(payload))
+        // Tag the marker with the transaction whose records it flushes:
+        // legacy autocommit statements run as txn 0, session statements as
+        // their session's transaction. Recovery replays only records whose
+        // transaction reached a marker, in marker (= commit) order.
+        medium.commit_txn(self.storage.current_txn(), Some(payload))
+    }
+
+    // ---- session (multi-version) statement plumbing -----------------------
+    //
+    // `Session` (see `crate::session`) drives explicit transactions through
+    // these three methods while holding the server's write lock, so ODCI
+    // maintenance, the compensation log, and the pending-work log are
+    // trivially serialized per statement: a cartridge never observes a torn
+    // statement, and the WAL commit marker for a transaction is appended in
+    // commit (csn) order because csn assignment and the marker append happen
+    // under the same exclusive hold.
+
+    /// Run one statement as part of a session transaction: install the
+    /// session's snapshot as the mutation driver, swap its accumulated undo
+    /// in as the transaction log (so `run_top` absorbs statement effects
+    /// into it and writes no commit marker), and restore the legacy lane
+    /// afterwards.
+    pub(crate) fn session_statement(
+        &mut self,
+        stmt: Statement,
+        snap: Snapshot,
+        undo: &mut UndoLog,
+    ) -> Result<StmtResult> {
+        self.storage.set_current_txn(snap);
+        let session_undo = std::mem::replace(undo, UndoLog::new());
+        let saved = self.txn_undo.replace(session_undo);
+        let result = self.run_top(stmt);
+        let session_undo = self.txn_undo.take().expect("session undo present");
+        *undo = session_undo;
+        self.txn_undo = saved;
+        self.storage.set_current_txn(Snapshot::latest());
+        result
+    }
+
+    /// Post-validation commit work for a session transaction whose
+    /// `TxnManager::commit` already succeeded: append the commit marker
+    /// tagged with the transaction (still under the caller's exclusive
+    /// hold, so markers land in csn order), garbage-collect versions if
+    /// the system is quiescent, and fire the Commit event.
+    pub(crate) fn session_commit_finish(&mut self, snap: Snapshot) -> Result<()> {
+        self.storage.set_current_txn(snap);
+        let marker = self.wal_commit_marker();
+        self.storage.set_current_txn(Snapshot::latest());
+        self.storage.vacuum();
+        let ev = self.fire_event(DbEvent::Commit);
+        marker?;
+        ev
+    }
+
+    /// Roll back a session transaction: reverse its undo (chain-aware),
+    /// force indexes with replayable pending work onto the rebuild path
+    /// (mirroring the legacy ROLLBACK arm), abort the transaction, vacuum,
+    /// and fire the Rollback event.
+    pub(crate) fn session_abort(&mut self, snap: Snapshot, undo: &mut UndoLog) -> Result<()> {
+        self.storage.set_current_txn(snap);
+        let rolled = self.storage.rollback(undo);
+        for s in self.catalog.health.snapshot() {
+            if s.pending_ops > 0 {
+                self.catalog.health.mark_dirty(&s.index);
+            }
+        }
+        self.storage.set_current_txn(Snapshot::latest());
+        self.storage.txn_manager().abort(snap.txn);
+        self.storage.vacuum();
+        let ev = self.fire_event(DbEvent::Rollback);
+        rolled?;
+        ev
+    }
+
+    /// Drop a session transaction that has no surviving effects (its only
+    /// statement already rolled itself back): abort and vacuum, without
+    /// firing a second Rollback event.
+    pub(crate) fn session_discard(&mut self, snap: Snapshot) {
+        self.storage.txn_manager().abort(snap.txn);
+        self.storage.vacuum();
     }
 
     /// Replay the inverse of every recorded maintenance operation, newest
@@ -850,28 +946,19 @@ impl Database {
     pub(crate) fn run_statement(&mut self, stmt: Statement) -> Result<StmtResult> {
         match stmt {
             Statement::Select(s) => {
-                let planned = optimizer::plan_select(self, &s)?;
-                let columns = planned.column_names;
-                let mut exec = executor::build(planned.root);
-                let mut rows = Vec::new();
-                if self.batch_exec {
-                    loop {
-                        let b = exec.next_batch(self, executor::BATCH_TARGET)?;
-                        if b.rows.is_empty() {
-                            break;
-                        }
-                        rows.extend(b.rows.into_iter().map(|r| r.values));
-                    }
-                } else {
-                    while let Some(r) = exec.next(self)? {
-                        rows.push(r.values);
-                    }
-                }
+                // All SELECTs run on the shared read lane, pinned to the
+                // current snapshot: `Snapshot::latest()` in the autocommit
+                // lane, the session's fixed snapshot inside BEGIN…COMMIT.
+                let snap = self.storage.current_snapshot();
+                let (columns, rows) = exec_ctx::run_select_shared(self, snap, &s)?;
                 Ok(StmtResult::Rows { columns, rows })
             }
             Statement::Explain(inner) => match *inner {
                 Statement::Select(s) => {
-                    let planned = optimizer::plan_select(self, &s)?;
+                    let snap = self.storage.current_snapshot();
+                    let scratch = std::cell::RefCell::new(SessionScratch::default());
+                    let ecx = Exec::new(&*self, &scratch, snap);
+                    let planned = optimizer::plan_select(&ecx, &s)?;
                     let rows: Vec<Row> = planned
                         .root
                         .explain()
@@ -884,7 +971,10 @@ impl Database {
             },
             Statement::ExplainAnalyze(inner) => match *inner {
                 Statement::Select(s) => {
-                    let planned = optimizer::plan_select(self, &s)?;
+                    let snap = self.storage.current_snapshot();
+                    let scratch = std::cell::RefCell::new(SessionScratch::default());
+                    let ecx = Exec::new(&*self, &scratch, snap);
+                    let planned = optimizer::plan_select(&ecx, &s)?;
                     let lines = planned.root.explain();
                     let (mut exec, cells) = executor::build_instrumented(planned.root);
                     // Both the per-node cells and the summary delta span only
@@ -896,14 +986,14 @@ impl Database {
                     let mut produced = 0u64;
                     if self.batch_exec {
                         loop {
-                            let b = exec.next_batch(self, executor::BATCH_TARGET)?;
+                            let b = exec.next_batch(&ecx, executor::BATCH_TARGET)?;
                             if b.rows.is_empty() {
                                 break;
                             }
                             produced += b.rows.len() as u64;
                         }
                     } else {
-                        while exec.next(self)?.is_some() {
+                        while exec.next(&ecx)?.is_some() {
                             produced += 1;
                         }
                     }
@@ -1591,28 +1681,16 @@ impl Database {
                     let mut row = Vec::with_capacity(exprs.len());
                     for e in exprs {
                         let compiled = compile_expr(e, &empty_scope, &self.catalog)?;
-                        let ctx = EvalCtx { catalog: &self.catalog, storage: &self.storage };
+                        let ctx = EvalCtx { catalog: &self.catalog, storage: &self.storage, snap: self.storage.current_snapshot() };
                         row.push(eval(&compiled, &ExecRow::default(), &ctx)?);
                     }
                     rows.push(row);
                 }
             }
             InsertSource::Query(q) => {
-                let planned = optimizer::plan_select(self, &q)?;
-                let mut exec = executor::build(planned.root);
-                if self.batch_exec {
-                    loop {
-                        let b = exec.next_batch(self, executor::BATCH_TARGET)?;
-                        if b.rows.is_empty() {
-                            break;
-                        }
-                        rows.extend(b.rows.into_iter().map(|r| r.values));
-                    }
-                } else {
-                    while let Some(r) = exec.next(self)? {
-                        rows.push(r.values);
-                    }
-                }
+                let snap = self.storage.current_snapshot();
+                let (_, qrows) = exec_ctx::run_select_shared(self, snap, &q)?;
+                rows.extend(qrows);
             }
         }
         // Map through the column list and coerce.
@@ -1695,7 +1773,7 @@ impl Database {
             }
             let mut new_row = old_row.clone();
             for (idx, e) in &compiled {
-                let ctx = EvalCtx { catalog: &self.catalog, storage: &self.storage };
+                let ctx = EvalCtx { catalog: &self.catalog, storage: &self.storage, snap: self.storage.current_snapshot() };
                 let v = eval(e, &exec_row, &ctx)?;
                 new_row[*idx] = self.coerce_value(v, &tdef.columns[*idx].ty)?;
             }
@@ -1771,11 +1849,14 @@ impl Database {
         tdef: &TableDef,
         where_clause: Option<&crate::ast::Expr>,
     ) -> Result<Vec<(Option<RowId>, Row)>> {
-        let plan = optimizer::plan_dml_scan(self, tdef, where_clause)?;
+        let snap = self.storage.current_snapshot();
+        let scratch = std::cell::RefCell::new(SessionScratch::default());
+        let ecx = Exec::new(&*self, &scratch, snap);
+        let plan = optimizer::plan_dml_scan(&ecx, tdef, where_clause)?;
         let mut exec = executor::build(plan);
         let col_count = tdef.columns.len();
         let mut out = Vec::new();
-        while let Some(r) = exec.next(self)? {
+        while let Some(r) = exec.next(&ecx)? {
             // Heap rows carry physical rowids; IOT rows carry logical
             // rowids (ordinals) — both arrive in the hidden ROWID column.
             let rid = Some(r.values[col_count].as_rowid()?);
@@ -2011,7 +2092,19 @@ impl Database {
 
     /// Snapshot of the per-statement resource stats backing `V$SQLSTATS`.
     pub fn sqlstats(&self) -> Vec<SqlStat> {
-        self.sqlstats.iter().cloned().collect()
+        self.sqlstats.lock().iter().cloned().collect()
+    }
+
+    /// Append one completed statement's stats to the bounded `V$SQLSTATS`
+    /// ring. Thread-safe: concurrent session statements interleave without
+    /// corrupting the ring or reusing ids.
+    pub(crate) fn record_sql_stat(&self, mut stat: SqlStat) {
+        stat.sql_id = self.next_sql_id.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.sqlstats.lock();
+        if q.len() == SQLSTATS_CAPACITY {
+            q.pop_front();
+        }
+        q.push_back(stat);
     }
 
     /// Materialize the rows of a `V$` virtual table. Each row carries a
@@ -2042,6 +2135,7 @@ impl Database {
                 .collect(),
             "V$SQLSTATS" => self
                 .sqlstats
+                .lock()
                 .iter()
                 .map(|s| {
                     vec![
@@ -2135,7 +2229,8 @@ impl Database {
             "buffer cache: {} gets, {} physical reads, {} physical writes",
             cs.logical_reads, cs.physical_reads, cs.physical_writes
         );
-        let mut stmts: Vec<&SqlStat> = self.sqlstats.iter().collect();
+        let sqlstats = self.sqlstats.lock();
+        let mut stmts: Vec<&SqlStat> = sqlstats.iter().collect();
         stmts.sort_by_key(|s| std::cmp::Reverse(s.elapsed_micros));
         if !stmts.is_empty() {
             out.push_str("\ntop statements by elapsed time:\n");
@@ -2150,7 +2245,7 @@ impl Database {
         out
     }
 
-    fn fire_event(&mut self, event: DbEvent) -> Result<()> {
+    pub(crate) fn fire_event(&mut self, event: DbEvent) -> Result<()> {
         let handlers = self.event_handlers.clone();
         for (_, h) in handlers {
             let mut ctx = ServerCtx { db: self, mode: CallbackMode::Definition, base_table: None };
@@ -2166,6 +2261,12 @@ pub struct QueryCursor<'a> {
     exec: Box<dyn ExecNode>,
     columns: Vec<String>,
     boundary: bool,
+    /// The snapshot the cursor was opened under. Fetch state stays pinned
+    /// to it for the cursor's whole lifetime: rows committed after open
+    /// never appear, no matter how long the cursor is drained.
+    snap: extidx_storage::Snapshot,
+    /// Cursor-private cartridge scratch (ODCI scan workspace).
+    scratch: std::cell::RefCell<SessionScratch>,
 }
 
 impl QueryCursor<'_> {
@@ -2176,7 +2277,8 @@ impl QueryCursor<'_> {
 
     /// Produce the next row, or `None` at end of results.
     pub fn next_row(&mut self) -> Result<Option<Row>> {
-        Ok(self.exec.next(self.db)?.map(|r| r.values))
+        let ecx = Exec::new(&*self.db, &self.scratch, self.snap);
+        Ok(self.exec.next(&ecx)?.map(|r| r.values))
     }
 }
 
@@ -2186,7 +2288,6 @@ impl Drop for QueryCursor<'_> {
             // Queries do not mutate database state (scan callbacks are
             // restricted to SELECTs), so the statement log is discarded.
             self.db.stmt_undo = None;
-            self.db.workspace.clear();
         }
     }
 }
@@ -2387,18 +2488,18 @@ impl ServerContext for ServerCtx<'_> {
         sandbox::tick();
         let h = WorkspaceHandle(self.db.next_ws);
         self.db.next_ws += 1;
-        self.db.workspace.insert(h.0, state);
+        self.db.workspace.get_mut().insert(h.0, state);
         h
     }
 
     fn workspace_get(&mut self, handle: WorkspaceHandle) -> Option<&mut (dyn Any + Send)> {
         sandbox::tick();
-        self.db.workspace.get_mut(&handle.0).map(|b| b.as_mut())
+        self.db.workspace.get_mut().get_mut(&handle.0).map(|b| b.as_mut())
     }
 
     fn workspace_take(&mut self, handle: WorkspaceHandle) -> Option<Box<dyn Any + Send>> {
         sandbox::tick();
-        self.db.workspace.remove(&handle.0)
+        self.db.workspace.get_mut().remove(&handle.0)
     }
 
     fn register_event_handler(&mut self, name: &str, handler: Arc<dyn EventHandler>) {

@@ -1,0 +1,316 @@
+//! Read-lane execution context for MVCC query processing.
+//!
+//! Historically every executor node and planner routine took
+//! `&mut Database`, which made the whole query path exclusive: one
+//! statement at a time, even for pure reads. Snapshot isolation removes
+//! the semantic need for that exclusivity — a reader pinned to a snapshot
+//! never observes concurrent writers — so this module provides the shared
+//! counterpart of the write path's plumbing:
+//!
+//! - [`Exec`]: a `&Database` plus the statement's [`Snapshot`] and a
+//!   private cartridge scratch. It derefs to `Database` so the existing
+//!   `db.catalog` / `db.storage()` call sites compile unchanged, and it
+//!   carries the snapshot every visibility-aware storage read needs.
+//! - [`SharedCtx`]: the read-only [`ServerContext`] handed to cartridge
+//!   scan and costing routines (`ODCIIndexStart/Fetch/Close`,
+//!   `ODCIStatsSelectivity/IndexCost`). It is the §2.5 `Scan` restriction
+//!   made structural: mutation entry points fail with
+//!   [`Error::CallbackViolation`] instead of merely being policed.
+//! - [`run_select_shared`]: the single SELECT implementation used by the
+//!   legacy `Database::execute` lane, nested cartridge callbacks, and the
+//!   concurrent `Session` read lane — all three produce byte-identical
+//!   results for a given snapshot.
+//!
+//! Scan workspace state (what `ODCIIndexStart` stores and `Fetch`/`Close`
+//! retrieve) lives in a per-statement [`SessionScratch`] rather than the
+//! shared `Database`, so concurrent readers cannot collide on handles and
+//! a fetch context stays pinned to the statement (and snapshot) that
+//! opened it.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use extidx_common::{Error, LobRef, Result, Row, Value};
+use extidx_core::events::EventHandler;
+use extidx_core::sandbox;
+use extidx_core::scan::WorkspaceHandle;
+use extidx_core::server::{
+    scan_base_batches_via_query, BatchSink, CallbackMode, ServerContext,
+};
+use extidx_storage::Snapshot;
+
+use crate::ast::{bind_statement, Select, Statement};
+use crate::database::Database;
+use crate::executor;
+use crate::optimizer;
+use crate::parser::parse;
+
+/// Per-statement cartridge scratch: the scan workspace `ODCIIndexStart`
+/// fills and `ODCIIndexFetch`/`Close` consume. Owned by the statement
+/// (or cursor), never by the shared `Database`.
+#[derive(Default)]
+pub(crate) struct SessionScratch {
+    ws: HashMap<u64, Box<dyn Any + Send>>,
+    next: u64,
+}
+
+/// The read-lane execution context threaded through the planner and every
+/// executor node in place of `&mut Database`.
+pub struct Exec<'a> {
+    pub(crate) db: &'a Database,
+    scratch: &'a RefCell<SessionScratch>,
+    /// The snapshot this statement reads under. `Snapshot::latest()` in
+    /// the legacy autocommit lane (sees all committed versions), a fixed
+    /// snapshot inside an explicit transaction.
+    pub(crate) snap: Snapshot,
+}
+
+impl Deref for Exec<'_> {
+    type Target = Database;
+    fn deref(&self) -> &Database {
+        self.db
+    }
+}
+
+impl<'a> Exec<'a> {
+    pub(crate) fn new(
+        db: &'a Database,
+        scratch: &'a RefCell<SessionScratch>,
+        snap: Snapshot,
+    ) -> Self {
+        Exec { db, scratch, snap }
+    }
+
+    /// Read-lane twin of `Database::sandboxed_odci`: same sandbox, fault
+    /// check, and health-breaker accounting, but the cartridge sees a
+    /// read-only [`SharedCtx`] bound to this statement's snapshot and
+    /// scratch. `base_table` is accepted for call-site parity and unused —
+    /// read contexts never run maintenance routines.
+    pub(crate) fn sandboxed_odci<T>(
+        &self,
+        routine: &'static str,
+        index: &str,
+        indextype: &str,
+        mode: CallbackMode,
+        _base_table: Option<String>,
+        f: impl FnOnce(&mut SharedCtx) -> Result<T>,
+    ) -> Result<T> {
+        let budget = self.db.tick_budget();
+        let result = sandbox::sandboxed_call(indextype, routine, budget, || {
+            self.db.fault_check(routine, Some(indextype))?;
+            let mut guard = self.scratch.borrow_mut();
+            let mut ctx = SharedCtx { db: self.db, snap: self.snap, ws: &mut guard, mode };
+            f(&mut ctx)
+        });
+        self.db.note_health_outcome(routine, index, indextype, result.as_ref().err());
+        result
+    }
+
+    /// Build a [`SharedCtx`] and hand it to `f` without the fault-check /
+    /// health plumbing — the executor's best-effort error-path close uses
+    /// this so recovery is never sabotaged by injected faults.
+    pub(crate) fn with_shared_ctx<T>(
+        &self,
+        mode: CallbackMode,
+        f: impl FnOnce(&mut SharedCtx) -> T,
+    ) -> T {
+        let mut guard = self.scratch.borrow_mut();
+        let mut ctx = SharedCtx { db: self.db, snap: self.snap, ws: &mut guard, mode };
+        f(&mut ctx)
+    }
+}
+
+/// Read-only [`ServerContext`] for cartridge crossings on the query path.
+///
+/// Queries re-enter through [`run_select_shared`] under the *same*
+/// snapshot, so a cartridge that probes its own metadata table mid-scan
+/// sees the statement-consistent image. All mutation entry points return
+/// [`Error::CallbackViolation`].
+pub(crate) struct SharedCtx<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) snap: Snapshot,
+    ws: &'a mut SessionScratch,
+    mode: CallbackMode,
+}
+
+fn read_only_violation(what: &str) -> Error {
+    Error::CallbackViolation(format!("{what} is not allowed in a read-only scan context"))
+}
+
+impl ServerContext for SharedCtx<'_> {
+    fn mode(&self) -> CallbackMode {
+        self.mode
+    }
+
+    fn execute(&mut self, sql: &str, binds: &[Value]) -> Result<u64> {
+        sandbox::tick();
+        let mut stmt = parse(sql)?;
+        bind_statement(&mut stmt, binds)?;
+        match stmt {
+            Statement::Select(s) => {
+                run_select_shared(self.db, self.snap, &s)?;
+                Ok(0)
+            }
+            _ => Err(read_only_violation("execute() of a non-SELECT statement")),
+        }
+    }
+
+    fn query(&mut self, sql: &str, binds: &[Value]) -> Result<Vec<Row>> {
+        sandbox::tick();
+        let mut stmt = parse(sql)?;
+        bind_statement(&mut stmt, binds)?;
+        let Statement::Select(s) = stmt else {
+            return Err(Error::CallbackViolation("query() requires a SELECT".into()));
+        };
+        let (_, rows) = run_select_shared(self.db, self.snap, &s)?;
+        Ok(rows)
+    }
+
+    fn scan_base_batches(
+        &mut self,
+        table: &str,
+        cols: &[&str],
+        batch_size: usize,
+        sink: &mut BatchSink,
+    ) -> Result<()> {
+        sandbox::tick();
+        // The snapshot-consistent SELECT path; the streaming heap walk is
+        // a write-lane (index build) optimization and is not needed here.
+        scan_base_batches_via_query(self, table, cols, batch_size, sink)
+    }
+
+    fn fault_point(&mut self, point: &str) -> Result<()> {
+        sandbox::tick();
+        self.db.fault_check(point, None)
+    }
+
+    fn lob_create(&mut self) -> Result<LobRef> {
+        Err(read_only_violation("lob_create"))
+    }
+
+    fn lob_length(&mut self, lob: LobRef) -> Result<u64> {
+        sandbox::tick();
+        self.db.storage.lob_length_at(lob, &self.snap)
+    }
+
+    fn lob_read(&mut self, lob: LobRef, offset: u64, len: usize) -> Result<Vec<u8>> {
+        sandbox::tick();
+        self.db.storage.lob_read_at(lob, offset, len, &self.snap)
+    }
+
+    fn lob_read_all(&mut self, lob: LobRef) -> Result<Vec<u8>> {
+        sandbox::tick();
+        self.db.storage.lob_read_all_at(lob, &self.snap)
+    }
+
+    fn lob_write(&mut self, _lob: LobRef, _offset: u64, _bytes: &[u8]) -> Result<()> {
+        Err(read_only_violation("lob_write"))
+    }
+
+    fn lob_append(&mut self, _lob: LobRef, _bytes: &[u8]) -> Result<u64> {
+        Err(read_only_violation("lob_append"))
+    }
+
+    fn lob_overwrite(&mut self, _lob: LobRef, _bytes: &[u8]) -> Result<()> {
+        Err(read_only_violation("lob_overwrite"))
+    }
+
+    fn lob_free(&mut self, _lob: LobRef) -> Result<()> {
+        Err(read_only_violation("lob_free"))
+    }
+
+    fn workspace_put(&mut self, state: Box<dyn Any + Send>) -> WorkspaceHandle {
+        sandbox::tick();
+        let h = WorkspaceHandle(self.ws.next);
+        self.ws.next += 1;
+        self.ws.ws.insert(h.0, state);
+        h
+    }
+
+    fn workspace_get(&mut self, handle: WorkspaceHandle) -> Option<&mut (dyn Any + Send)> {
+        sandbox::tick();
+        self.ws.ws.get_mut(&handle.0).map(|b| b.as_mut())
+    }
+
+    fn workspace_take(&mut self, handle: WorkspaceHandle) -> Option<Box<dyn Any + Send>> {
+        sandbox::tick();
+        self.ws.ws.remove(&handle.0)
+    }
+
+    fn register_event_handler(&mut self, _name: &str, _handler: Arc<dyn EventHandler>) {
+        // Handler registration mutates shared server state; scan routines
+        // have no business doing it. The trait cannot report an error
+        // here, so the registration is dropped — definition/maintenance
+        // routines (write lane) remain the supported registration points.
+        sandbox::tick();
+    }
+
+    fn file_create(&mut self, _name: &str) -> Result<()> {
+        Err(read_only_violation("file_create"))
+    }
+
+    fn file_exists(&mut self, name: &str) -> bool {
+        sandbox::tick();
+        self.db.storage.files_ref().exists(name)
+    }
+
+    fn file_remove(&mut self, _name: &str) -> Result<()> {
+        Err(read_only_violation("file_remove"))
+    }
+
+    fn file_read(&mut self, name: &str) -> Result<Vec<u8>> {
+        sandbox::tick();
+        self.db.storage.files_ref().read(name)
+    }
+
+    fn file_write(&mut self, _name: &str, _bytes: &[u8]) -> Result<()> {
+        Err(read_only_violation("file_write"))
+    }
+
+    fn file_append(&mut self, _name: &str, _bytes: &[u8]) -> Result<()> {
+        Err(read_only_violation("file_append"))
+    }
+
+    fn file_flush(&mut self, _name: &str) -> Result<()> {
+        Err(read_only_violation("file_flush"))
+    }
+
+    fn file_length(&mut self, name: &str) -> Result<u64> {
+        sandbox::tick();
+        self.db.storage.files_ref().length(name)
+    }
+}
+
+/// Plan and run one SELECT against `db` under `snap`, returning the
+/// column names and result rows. This is the only SELECT implementation:
+/// the autocommit lane, nested cartridge callbacks, and concurrent
+/// sessions all route here.
+pub(crate) fn run_select_shared(
+    db: &Database,
+    snap: Snapshot,
+    s: &Select,
+) -> Result<(Vec<String>, Vec<Row>)> {
+    let scratch = RefCell::new(SessionScratch::default());
+    let ecx = Exec::new(db, &scratch, snap);
+    let planned = optimizer::plan_select(&ecx, s)?;
+    let columns = planned.column_names;
+    let mut exec = executor::build(planned.root);
+    let mut rows = Vec::new();
+    if db.batch_exec {
+        loop {
+            let b = exec.next_batch(&ecx, executor::BATCH_TARGET)?;
+            if b.rows.is_empty() {
+                break;
+            }
+            rows.extend(b.rows.into_iter().map(|r| r.values));
+        }
+    } else {
+        while let Some(r) = exec.next(&ecx)? {
+            rows.push(r.values);
+        }
+    }
+    Ok((columns, rows))
+}

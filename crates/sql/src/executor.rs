@@ -1,10 +1,12 @@
 //! The Volcano-style executor.
 //!
 //! Plan nodes become pull-based state machines ([`ExecNode`]); every
-//! `next` call re-borrows the [`Database`], which is what lets a domain
-//! scan re-enter the engine: each fetch drives the cartridge's
+//! `next` call receives the read-lane [`Exec`] context — a shared
+//! database reference plus the statement's snapshot — which is what lets
+//! a domain scan re-enter the engine: each fetch drives the cartridge's
 //! `ODCIIndexFetch` through a Scan-mode server context, and the
-//! cartridge's own SQL callbacks recurse into the engine underneath.
+//! cartridge's own SQL callbacks recurse into the engine underneath, all
+//! pinned to the snapshot that opened the scan.
 //!
 //! The crucial property reproduced from §3.2.1: domain-scan results are
 //! **streamed** ("the relevant row identifiers are streamed back to the
@@ -28,7 +30,7 @@ use extidx_core::OdciIndex;
 use extidx_storage::SegmentId;
 
 use crate::ast::BinOp;
-use crate::database::{Database, ServerCtx};
+use crate::exec_ctx::Exec;
 use crate::expr::{eval, filter_accepts, AggKind, EvalCtx, ExecRow, RExpr};
 use crate::plan::{FilterTerm, PlanKind, PlanNode, ZoneBound};
 
@@ -50,13 +52,13 @@ pub struct RowBatch {
 /// A pull-based physical operator.
 pub trait ExecNode: Send {
     /// Produce the next row, or `None` when exhausted.
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>>;
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>>;
 
     /// Produce up to `max_rows` rows at once; an empty batch means
     /// exhausted. The default adapter loops `next`, so row-only nodes
     /// (joins, sorts, V$ const rows) ride the vectorized path unmodified;
     /// hot nodes override this with a native batch implementation.
-    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+    fn next_batch(&mut self, db: &Exec<'_>, max_rows: usize) -> Result<RowBatch> {
         let mut rows = Vec::new();
         while rows.len() < max_rows {
             match self.next(db)? {
@@ -68,7 +70,7 @@ pub trait ExecNode: Send {
     }
 
     /// Rewind so the node can be executed again (nested-loop inners).
-    fn reset(&mut self, db: &mut Database) -> Result<()>;
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()>;
 
     /// Pages this node skipped via zone maps (full scans only).
     fn pages_pruned(&self) -> u64 {
@@ -253,7 +255,7 @@ struct InstrumentExec {
 }
 
 impl ExecNode for InstrumentExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         let cache_before = db.cache_stats();
         let started = Instant::now();
         let out = self.inner.next(db);
@@ -271,7 +273,7 @@ impl ExecNode for InstrumentExec {
         out
     }
 
-    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+    fn next_batch(&mut self, db: &Exec<'_>, max_rows: usize) -> Result<RowBatch> {
         let cache_before = db.cache_stats();
         let started = Instant::now();
         let out = self.inner.next_batch(db, max_rows);
@@ -289,7 +291,7 @@ impl ExecNode for InstrumentExec {
         out
     }
 
-    fn reset(&mut self, db: &mut Database) -> Result<()> {
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.inner.reset(db)
     }
 
@@ -322,11 +324,11 @@ impl FullScanExec {
 }
 
 impl ExecNode for FullScanExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         Ok(self.next_batch(db, 1)?.rows.pop())
     }
 
-    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+    fn next_batch(&mut self, db: &Exec<'_>, max_rows: usize) -> Result<RowBatch> {
         let seg = match self.seg {
             Some(s) => s,
             None => {
@@ -335,6 +337,9 @@ impl ExecNode for FullScanExec {
                 s
             }
         };
+        // Fast gate: no version chains on the segment ⇒ every physical
+        // row is visible to every snapshot and the legacy path is exact.
+        let versioned = db.storage.segment_has_chains(seg);
         let mut rows = Vec::new();
         loop {
             if rows.len() >= max_rows {
@@ -347,7 +352,12 @@ impl ExecNode for FullScanExec {
             let slots = heap.slots_in_page(self.page);
             // Zone check once per page, on first entry, before any read
             // is charged: consulting segment metadata costs no cache get.
-            if self.slot == 0 && !self.prune.is_empty() {
+            // Skipped while the segment carries version chains: zone
+            // bounds describe the physical (newest) rows, and a page may
+            // be excluded even though a displaced version some snapshot
+            // still sees would match — that version is only reachable by
+            // walking the page's rowids.
+            if self.slot == 0 && !self.prune.is_empty() && !versioned {
                 let page = self.page;
                 let excluded = self.prune.iter().any(|b| {
                     db.storage.heap_zone_excludes(seg, page, b.col, b.lo.as_ref(), b.hi.as_ref())
@@ -370,14 +380,25 @@ impl ExecNode for FullScanExec {
             let slot = self.slot;
             self.slot += 1;
             if let Some(row) = db.storage.heap(seg)?.slot(self.page, slot) {
-                let mut values = row.clone();
-                values.push(Value::RowId(RowId::new(seg.0, self.page, slot)));
-                rows.push(ExecRow::new(values));
+                let rid = RowId::new(seg.0, self.page, slot);
+                // Snapshot isolation: replace the in-place (newest) image
+                // with the version this statement's snapshot may see —
+                // possibly a displaced older version, possibly nothing
+                // (uncommitted insert, or a delete committed before us).
+                let visible = if versioned {
+                    db.storage.heap_visible_image(seg, rid, row, &db.snap)
+                } else {
+                    Some(row.clone())
+                };
+                if let Some(mut values) = visible {
+                    values.push(Value::RowId(rid));
+                    rows.push(ExecRow::new(values));
+                }
             }
         }
     }
 
-    fn reset(&mut self, _db: &mut Database) -> Result<()> {
+    fn reset(&mut self, _db: &Exec<'_>) -> Result<()> {
         self.page = 0;
         self.slot = 0;
         self.charged_page = None;
@@ -404,7 +425,7 @@ impl IotScanExec {
         IotScanExec { table, lo, hi, rows: None, idx: 0 }
     }
 
-    fn ensure_rows(&mut self, db: &mut Database) -> Result<()> {
+    fn ensure_rows(&mut self, db: &Exec<'_>) -> Result<()> {
         if self.rows.is_none() {
             let tdef = db.catalog.table(&self.table)?;
             let seg = tdef.seg;
@@ -423,9 +444,14 @@ impl IotScanExec {
             // Every row carries its logical rowid in the hidden ROWID
             // column, mirroring heap scans.
             let with_rids = if self.lo.is_none() && hi.is_none() {
-                db.storage.iot_scan_with_rids(seg)?
+                db.storage.iot_scan_with_rids_visible(seg, &db.snap)?
             } else {
-                db.storage.iot_range_with_rids(seg, self.lo.as_ref(), hi.as_ref())?
+                db.storage.iot_range_with_rids_visible(
+                    seg,
+                    self.lo.as_ref(),
+                    hi.as_ref(),
+                    &db.snap,
+                )?
             };
             let rows: Vec<Vec<Value>> = with_rids
                 .into_iter()
@@ -442,7 +468,7 @@ impl IotScanExec {
 }
 
 impl ExecNode for IotScanExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         self.ensure_rows(db)?;
         let rows = self.rows.as_ref().expect("materialized");
         if self.idx >= rows.len() {
@@ -453,7 +479,7 @@ impl ExecNode for IotScanExec {
         Ok(Some(ExecRow::new(row)))
     }
 
-    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+    fn next_batch(&mut self, db: &Exec<'_>, max_rows: usize) -> Result<RowBatch> {
         self.ensure_rows(db)?;
         let rows = self.rows.as_ref().expect("materialized");
         let end = (self.idx + max_rows).min(rows.len());
@@ -463,7 +489,7 @@ impl ExecNode for IotScanExec {
         Ok(RowBatch { rows: out })
     }
 
-    fn reset(&mut self, _db: &mut Database) -> Result<()> {
+    fn reset(&mut self, _db: &Exec<'_>) -> Result<()> {
         self.rows = None;
         self.idx = 0;
         Ok(())
@@ -486,7 +512,7 @@ impl BTreeAccessExec {
 }
 
 impl ExecNode for BTreeAccessExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         if self.entries.is_none() {
             let idef = db
                 .catalog
@@ -500,7 +526,8 @@ impl ExecNode for BTreeAccessExec {
                 .hi
                 .clone()
                 .map(|k| Key(k.0.into_iter().chain([Value::RowId(MAX_ROWID)]).collect()));
-            let rows = db.storage.iot_range(idef.seg, lo.as_ref(), hi.as_ref())?;
+            let rows =
+                db.storage.iot_range_visible(idef.seg, lo.as_ref(), hi.as_ref(), &db.snap)?;
             let mut rids = Vec::with_capacity(rows.len());
             for r in rows {
                 rids.push(r[1].as_rowid()?);
@@ -508,23 +535,34 @@ impl ExecNode for BTreeAccessExec {
             self.entries = Some(rids);
             self.idx = 0;
         }
-        let entries = self.entries.as_ref().expect("materialized");
-        if self.idx >= entries.len() {
-            return Ok(None);
+        // Index entries and base rows are maintained in the same
+        // transaction, but the *versions* can diverge mid-statement: an
+        // entry visible in the index may point at a base row whose visible
+        // image is a different (or no) version — skip those.
+        loop {
+            let entries = self.entries.as_ref().expect("materialized");
+            if self.idx >= entries.len() {
+                return Ok(None);
+            }
+            let rid = entries[self.idx];
+            self.idx += 1;
+            let tdef = db.catalog.table(&self.table)?;
+            let (seg, org) = (tdef.seg, tdef.org.clone());
+            let fetched = match org {
+                crate::catalog::TableOrg::Heap => {
+                    db.storage.heap_fetch_multi_visible(seg, &[rid], &db.snap)?.pop().flatten()
+                }
+                crate::catalog::TableOrg::Index { .. } => {
+                    db.storage.iot_fetch_by_rowid_visible(seg, rid, &db.snap)?
+                }
+            };
+            let Some(mut values) = fetched else { continue };
+            values.push(Value::RowId(rid));
+            return Ok(Some(ExecRow::new(values)));
         }
-        let rid = entries[self.idx];
-        self.idx += 1;
-        let tdef = db.catalog.table(&self.table)?;
-        let (seg, org) = (tdef.seg, tdef.org.clone());
-        let mut values = match org {
-            crate::catalog::TableOrg::Heap => db.storage.heap_fetch(seg, rid)?,
-            crate::catalog::TableOrg::Index { .. } => db.storage.iot_fetch_by_rowid(seg, rid)?,
-        };
-        values.push(Value::RowId(rid));
-        Ok(Some(ExecRow::new(values)))
     }
 
-    fn reset(&mut self, _db: &mut Database) -> Result<()> {
+    fn reset(&mut self, _db: &Exec<'_>) -> Result<()> {
         self.entries = None;
         self.idx = 0;
         Ok(())
@@ -538,7 +576,7 @@ struct ConstRowsExec {
 }
 
 impl ExecNode for ConstRowsExec {
-    fn next(&mut self, _db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, _db: &Exec<'_>) -> Result<Option<ExecRow>> {
         if self.idx >= self.rows.len() {
             return Ok(None);
         }
@@ -547,7 +585,7 @@ impl ExecNode for ConstRowsExec {
         Ok(Some(ExecRow::new(row)))
     }
 
-    fn reset(&mut self, _db: &mut Database) -> Result<()> {
+    fn reset(&mut self, _db: &Exec<'_>) -> Result<()> {
         self.idx = 0;
         Ok(())
     }
@@ -562,7 +600,7 @@ struct RowIdEqExec {
 }
 
 impl ExecNode for RowIdEqExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         if self.done {
             return Ok(None);
         }
@@ -570,19 +608,27 @@ impl ExecNode for RowIdEqExec {
         let tdef = db.catalog.table(&self.table)?;
         let (seg, org) = (tdef.seg, tdef.org.clone());
         let fetched = match org {
-            crate::catalog::TableOrg::Heap => db.storage.heap_fetch(seg, self.rid),
-            crate::catalog::TableOrg::Index { .. } => db.storage.iot_fetch_by_rowid(seg, self.rid),
+            crate::catalog::TableOrg::Heap => db
+                .storage
+                .heap_fetch_multi_visible(seg, &[self.rid], &db.snap)
+                .ok()
+                .and_then(|mut v| v.pop().flatten()),
+            crate::catalog::TableOrg::Index { .. } => db
+                .storage
+                .iot_fetch_by_rowid_visible(seg, self.rid, &db.snap)
+                .ok()
+                .flatten(),
         };
         match fetched {
-            Ok(mut values) => {
+            Some(mut values) => {
                 values.push(Value::RowId(self.rid));
                 Ok(Some(ExecRow::new(values)))
             }
-            Err(_) => Ok(None),
+            None => Ok(None),
         }
     }
 
-    fn reset(&mut self, _db: &mut Database) -> Result<()> {
+    fn reset(&mut self, _db: &Exec<'_>) -> Result<()> {
         self.done = false;
         Ok(())
     }
@@ -630,7 +676,7 @@ impl DomainScanExec {
         self.call.args = args;
     }
 
-    fn ensure_runtime(&mut self, db: &mut Database) -> Result<()> {
+    fn ensure_runtime(&mut self, db: &Exec<'_>) -> Result<()> {
         if self.runtime.is_none() {
             let def = db
                 .catalog
@@ -643,7 +689,7 @@ impl DomainScanExec {
         Ok(())
     }
 
-    fn open(&mut self, db: &mut Database) -> Result<()> {
+    fn open(&mut self, db: &Exec<'_>) -> Result<()> {
         self.ensure_runtime(db)?;
         let (index, info, indextype) = self.runtime.as_ref().expect("runtime resolved").clone();
         let h = db.trace_event(
@@ -683,7 +729,7 @@ impl DomainScanExec {
         Ok(())
     }
 
-    fn close(&mut self, db: &mut Database) -> Result<()> {
+    fn close(&mut self, db: &Exec<'_>) -> Result<()> {
         if let Some(ctx) = self.ctx.take() {
             if !self.closed {
                 let (index, info, indextype) =
@@ -711,7 +757,7 @@ impl DomainScanExec {
     /// this runs the close routine directly — no fault check, recovery is
     /// never sabotaged — and swallows any close failure (traced under
     /// RECOVERY) so the original error wins.
-    fn close_on_error(&mut self, db: &mut Database) {
+    fn close_on_error(&mut self, db: &Exec<'_>) {
         let Some(ctx) = self.ctx.take() else { return };
         if self.closed {
             return;
@@ -722,8 +768,7 @@ impl DomainScanExec {
             db.trace_event(Component::Recovery, "ODCIIndexClose", &indextype, "error-path close");
         let budget = db.tick_budget();
         let r = sandbox::sandboxed_call(&indextype, "ODCIIndexClose", budget, || {
-            let mut sctx = ServerCtx { db: &mut *db, mode: CallbackMode::Scan, base_table: None };
-            index.close(&mut sctx, &info, ctx)
+            db.with_shared_ctx(CallbackMode::Scan, |sctx| index.close(sctx, &info, ctx))
         });
         db.trace_finish(h);
         if let Err(e) = r {
@@ -736,7 +781,7 @@ impl DomainScanExec {
     /// Drive ODCIIndexFetch until the join buffer holds at least one row
     /// or the scan is exhausted (closing it). Returns whether rows are
     /// buffered — the shared engine under both `next` and `next_batch`.
-    fn fill_buffer(&mut self, db: &mut Database) -> Result<bool> {
+    fn fill_buffer(&mut self, db: &Exec<'_>) -> Result<bool> {
         if self.ctx.is_none() && !self.closed {
             self.open(db)?;
         }
@@ -789,11 +834,20 @@ impl DomainScanExec {
             let tdef = db.catalog.table(&self.table)?;
             let (seg, org) = (tdef.seg, tdef.org.clone());
             let rids: Vec<RowId> = result.rows.iter().map(|fr| fr.rowid).collect();
+            // Visibility-aware join: a rowid the cartridge streams back
+            // may resolve to an older displaced version under this
+            // snapshot, or to nothing at all (version not yet visible) —
+            // invisible rowids are silently skipped, like a non-match.
             let joined = match org {
-                crate::catalog::TableOrg::Heap => db.storage.heap_fetch_multi(seg, &rids)?,
-                crate::catalog::TableOrg::Index { .. } => db.storage.iot_fetch_multi(seg, &rids)?,
+                crate::catalog::TableOrg::Heap => {
+                    db.storage.heap_fetch_multi_visible(seg, &rids, &db.snap)?
+                }
+                crate::catalog::TableOrg::Index { .. } => {
+                    db.storage.iot_fetch_multi_visible(seg, &rids, &db.snap)?
+                }
             };
-            for (fr, mut values) in result.rows.into_iter().zip(joined) {
+            for (fr, values) in result.rows.into_iter().zip(joined) {
+                let Some(mut values) = values else { continue };
                 values.push(Value::RowId(fr.rowid));
                 let mut row = ExecRow::new(values);
                 if let (Some(label), Some(v)) = (self.label, fr.ancillary) {
@@ -806,7 +860,7 @@ impl DomainScanExec {
 }
 
 impl ExecNode for DomainScanExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         if self.fill_buffer(db)? {
             Ok(self.buffer.pop_front())
         } else {
@@ -814,7 +868,7 @@ impl ExecNode for DomainScanExec {
         }
     }
 
-    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+    fn next_batch(&mut self, db: &Exec<'_>, max_rows: usize) -> Result<RowBatch> {
         // The rowid→row join already happened a whole ODCIIndexFetch
         // batch at a time (`heap_fetch_multi`); hand that work out
         // wholesale instead of draining it row by row.
@@ -825,7 +879,7 @@ impl ExecNode for DomainScanExec {
         Ok(RowBatch { rows: self.buffer.drain(..k).collect() })
     }
 
-    fn reset(&mut self, db: &mut Database) -> Result<()> {
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.close(db)?;
         self.ctx = None;
         self.closed = false;
@@ -848,7 +902,7 @@ struct NestedLoopJoinExec {
 }
 
 impl ExecNode for NestedLoopJoinExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         loop {
             if self.current.is_none() {
                 match self.left.next(db)? {
@@ -871,7 +925,7 @@ impl ExecNode for NestedLoopJoinExec {
                     row.ancillary.extend(left.ancillary.iter().cloned());
                     row.ancillary.extend(r.ancillary);
                     if let Some(pred) = &self.pred {
-                        let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                        let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
                         if !filter_accepts(&eval(pred, &row, &ctx)?) {
                             continue;
                         }
@@ -885,7 +939,7 @@ impl ExecNode for NestedLoopJoinExec {
         }
     }
 
-    fn reset(&mut self, db: &mut Database) -> Result<()> {
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.left.reset(db)?;
         self.right.reset(db)?;
         self.current = None;
@@ -904,13 +958,13 @@ struct DomainJoinExec {
 }
 
 impl ExecNode for DomainJoinExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         loop {
             if self.current.is_none() {
                 match self.left.next(db)? {
                     Some(l) => {
                         let args: Vec<Value> = {
-                            let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                            let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
                             self.arg_exprs
                                 .iter()
                                 .map(|e| eval(e, &l, &ctx))
@@ -940,7 +994,7 @@ impl ExecNode for DomainJoinExec {
         }
     }
 
-    fn reset(&mut self, db: &mut Database) -> Result<()> {
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.left.reset(db)?;
         self.scan.reset(db)?;
         self.current = None;
@@ -960,12 +1014,12 @@ struct HashJoinExec {
 }
 
 impl ExecNode for HashJoinExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         if self.table.is_none() {
             let mut table: BTreeMap<Key, Vec<ExecRow>> = BTreeMap::new();
             while let Some(r) = self.right.next(db)? {
                 let key = {
-                    let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                    let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
                     eval(&self.right_key, &r, &ctx)?
                 };
                 if key.is_null() {
@@ -984,7 +1038,7 @@ impl ExecNode for HashJoinExec {
                 None => return Ok(None),
             };
             let key = {
-                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
                 eval(&self.left_key, &left, &ctx)?
             };
             if key.is_null() {
@@ -998,7 +1052,7 @@ impl ExecNode for HashJoinExec {
                     row.ancillary.extend(left.ancillary.iter().cloned());
                     row.ancillary.extend(m.ancillary.iter().cloned());
                     if let Some(pred) = &self.extra_pred {
-                        let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                        let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
                         if !filter_accepts(&eval(pred, &row, &ctx)?) {
                             continue;
                         }
@@ -1009,7 +1063,7 @@ impl ExecNode for HashJoinExec {
         }
     }
 
-    fn reset(&mut self, db: &mut Database) -> Result<()> {
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.left.reset(db)?;
         self.right.reset(db)?;
         self.table = None;
@@ -1044,9 +1098,9 @@ impl FilterExec {
 }
 
 impl ExecNode for FilterExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         while let Some(row) = self.input.next(db)? {
-            let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+            let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
             if self.accepts(&row, &ctx)? {
                 return Ok(Some(row));
             }
@@ -1054,7 +1108,7 @@ impl ExecNode for FilterExec {
         Ok(None)
     }
 
-    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+    fn next_batch(&mut self, db: &Exec<'_>, max_rows: usize) -> Result<RowBatch> {
         // Keep pulling input batches until at least one row survives (or
         // the input is exhausted) — an empty batch means "done" upstream.
         loop {
@@ -1062,7 +1116,7 @@ impl ExecNode for FilterExec {
             if batch.rows.is_empty() {
                 return Ok(batch);
             }
-            let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+            let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
             let mut out = Vec::with_capacity(batch.rows.len());
             for row in batch.rows {
                 if self.accepts(&row, &ctx)? {
@@ -1075,7 +1129,7 @@ impl ExecNode for FilterExec {
         }
     }
 
-    fn reset(&mut self, db: &mut Database) -> Result<()> {
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.input.reset(db)
     }
 }
@@ -1086,10 +1140,10 @@ struct ProjectExec {
 }
 
 impl ExecNode for ProjectExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         match self.input.next(db)? {
             Some(row) => {
-                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
                 let values: Vec<Value> =
                     self.exprs.iter().map(|e| eval(e, &row, &ctx)).collect::<Result<_>>()?;
                 let mut out = ExecRow::new(values);
@@ -1100,9 +1154,9 @@ impl ExecNode for ProjectExec {
         }
     }
 
-    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+    fn next_batch(&mut self, db: &Exec<'_>, max_rows: usize) -> Result<RowBatch> {
         let batch = self.input.next_batch(db, max_rows)?;
-        let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+        let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
         let mut rows = Vec::with_capacity(batch.rows.len());
         for row in batch.rows {
             let values: Vec<Value> =
@@ -1114,7 +1168,7 @@ impl ExecNode for ProjectExec {
         Ok(RowBatch { rows })
     }
 
-    fn reset(&mut self, db: &mut Database) -> Result<()> {
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.input.reset(db)
     }
 }
@@ -1126,11 +1180,11 @@ struct SortExec {
 }
 
 impl ExecNode for SortExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         if self.sorted.is_none() {
             let mut rows: Vec<(Vec<Value>, ExecRow)> = Vec::new();
             while let Some(r) = self.input.next(db)? {
-                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
                 let key: Vec<Value> =
                     self.keys.iter().map(|(e, _)| eval(e, &r, &ctx)).collect::<Result<_>>()?;
                 rows.push((key, r));
@@ -1151,7 +1205,7 @@ impl ExecNode for SortExec {
         Ok(self.sorted.as_mut().expect("sorted").pop_front())
     }
 
-    fn reset(&mut self, db: &mut Database) -> Result<()> {
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.sorted = None;
         self.input.reset(db)
     }
@@ -1164,7 +1218,7 @@ struct LimitExec {
 }
 
 impl ExecNode for LimitExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         if self.produced >= self.n {
             // Give scans beneath a chance to close their ODCI contexts.
             self.input.reset(db)?;
@@ -1179,7 +1233,7 @@ impl ExecNode for LimitExec {
         }
     }
 
-    fn next_batch(&mut self, db: &mut Database, max_rows: usize) -> Result<RowBatch> {
+    fn next_batch(&mut self, db: &Exec<'_>, max_rows: usize) -> Result<RowBatch> {
         if self.produced >= self.n {
             // Give scans beneath a chance to close their ODCI contexts.
             self.input.reset(db)?;
@@ -1193,7 +1247,7 @@ impl ExecNode for LimitExec {
         Ok(batch)
     }
 
-    fn reset(&mut self, db: &mut Database) -> Result<()> {
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.produced = 0;
         self.input.reset(db)
     }
@@ -1205,7 +1259,7 @@ struct DistinctExec {
 }
 
 impl ExecNode for DistinctExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         while let Some(r) = self.input.next(db)? {
             let key = Key(r.values.clone());
             if self.seen.insert(key, ()).is_none() {
@@ -1215,7 +1269,7 @@ impl ExecNode for DistinctExec {
         Ok(None)
     }
 
-    fn reset(&mut self, db: &mut Database) -> Result<()> {
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.seen.clear();
         self.input.reset(db)
     }
@@ -1308,7 +1362,7 @@ struct AggregateExec {
 }
 
 impl ExecNode for AggregateExec {
-    fn next(&mut self, db: &mut Database) -> Result<Option<ExecRow>> {
+    fn next(&mut self, db: &Exec<'_>) -> Result<Option<ExecRow>> {
         if self.output.is_none() {
             // Group order: first-seen, tracked separately from the map.
             let mut groups: BTreeMap<Key, Vec<AggState>> = BTreeMap::new();
@@ -1316,7 +1370,7 @@ impl ExecNode for AggregateExec {
             let mut any_row = false;
             while let Some(r) = self.input.next(db)? {
                 any_row = true;
-                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage };
+                let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
                 let key_vals: Vec<Value> =
                     self.group.iter().map(|e| eval(e, &r, &ctx)).collect::<Result<_>>()?;
                 let key = Key(key_vals);
@@ -1359,7 +1413,7 @@ impl ExecNode for AggregateExec {
         Ok(self.output.as_mut().expect("aggregated").pop_front())
     }
 
-    fn reset(&mut self, db: &mut Database) -> Result<()> {
+    fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.output = None;
         self.input.reset(db)
     }

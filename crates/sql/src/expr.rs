@@ -702,15 +702,17 @@ fn and3(a: Option<bool>, b: Option<bool>) -> Value {
 }
 
 /// Evaluation context: catalog access for types/registry plus LOB reads
-/// for functional operator implementations.
+/// for functional operator implementations. Carries the statement's
+/// snapshot so LOB-column reads are as version-consistent as row reads.
 pub struct EvalCtx<'a> {
     pub catalog: &'a Catalog,
     pub storage: &'a extidx_storage::StorageEngine,
+    pub snap: extidx_storage::Snapshot,
 }
 
 impl FnContext for EvalCtx<'_> {
     fn lob_read_all(&self, lob: extidx_common::LobRef) -> Result<Vec<u8>> {
-        self.storage.lob_read_all(lob)
+        self.storage.lob_read_all_at(lob, &self.snap)
     }
 }
 
@@ -749,7 +751,7 @@ mod tests {
         let storage = extidx_storage::StorageEngine::new(4);
         let e = where_expr(sql);
         let compiled = compile_expr(&e, &scope(), &catalog).unwrap();
-        let ctx = EvalCtx { catalog: &catalog, storage: &storage };
+        let ctx = EvalCtx { catalog: &catalog, storage: &storage, snap: extidx_storage::Snapshot::latest() };
         eval(&compiled, &ExecRow::new(values), &ctx).unwrap()
     }
 
@@ -829,7 +831,7 @@ mod tests {
         let storage = extidx_storage::StorageEngine::new(4);
         let e = where_expr("SELECT * FROM t WHERE id / 0 = 1");
         let c = compile_expr(&e, &scope(), &catalog).unwrap();
-        let ctx = EvalCtx { catalog: &catalog, storage: &storage };
+        let ctx = EvalCtx { catalog: &catalog, storage: &storage, snap: extidx_storage::Snapshot::latest() };
         assert!(eval(&c, &ExecRow::new(vec![Value::Integer(1), Value::Null]), &ctx).is_err());
     }
 
@@ -865,7 +867,7 @@ mod tests {
         let storage = extidx_storage::StorageEngine::new(4);
         let e = where_expr("SELECT * FROM t WHERE Contains(name, 'acl')");
         let c = compile_expr(&e, &scope(), &catalog).unwrap();
-        let ctx = EvalCtx { catalog: &catalog, storage: &storage };
+        let ctx = EvalCtx { catalog: &catalog, storage: &storage, snap: extidx_storage::Snapshot::latest() };
         let v = eval(&c, &ExecRow::new(vec![Value::Integer(1), Value::from("oracle")]), &ctx).unwrap();
         assert_eq!(v, Value::Boolean(true));
     }
@@ -882,7 +884,7 @@ mod tests {
         .unwrap();
         let mut row = ExecRow::new(vec![Value::Null, Value::Null]);
         row.ancillary.push((1, Value::Number(0.75)));
-        let ctx = EvalCtx { catalog: &catalog, storage: &storage };
+        let ctx = EvalCtx { catalog: &catalog, storage: &storage, snap: extidx_storage::Snapshot::latest() };
         assert_eq!(eval(&c, &row, &ctx).unwrap(), Value::Number(0.75));
         // Missing label → 0.
         let empty = ExecRow::new(vec![Value::Null, Value::Null]);
@@ -912,7 +914,7 @@ mod tests {
         )
         .unwrap();
         let attr = RExpr::Attr(Box::new(ctor), "Y".into());
-        let ctx = EvalCtx { catalog: &catalog, storage: &storage };
+        let ctx = EvalCtx { catalog: &catalog, storage: &storage, snap: extidx_storage::Snapshot::latest() };
         let v = eval(&attr, &ExecRow::new(vec![Value::Null, Value::Null]), &ctx).unwrap();
         assert_eq!(v, Value::Number(2.0));
     }
@@ -921,7 +923,7 @@ mod tests {
     fn builtins() {
         let catalog = Catalog::new();
         let storage = extidx_storage::StorageEngine::new(4);
-        let ctx = EvalCtx { catalog: &catalog, storage: &storage };
+        let ctx = EvalCtx { catalog: &catalog, storage: &storage, snap: extidx_storage::Snapshot::latest() };
         let c = compile_expr(
             &Expr::Call {
                 name: "UPPER".into(),

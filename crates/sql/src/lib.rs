@@ -23,14 +23,17 @@
 pub mod ast;
 pub mod catalog;
 pub mod database;
+pub mod exec_ctx;
 pub mod executor;
 pub mod expr;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
+pub mod session;
 
 pub use database::{Database, QueryCursor, StmtResult};
+pub use session::{Server, Session};
 // Durability surface: callers hand a `DurableMedium` to
 // `Database::enable_durability` and arm `WAL_FAULT_POINTS` to simulate
 // crashes, so the types are re-exported here.

@@ -24,6 +24,7 @@ use extidx_core::trace::Component;
 use crate::ast::{BinOp, Expr, Hint, OrderItem, Select, SelectItem, UnOp};
 use crate::catalog::{Catalog, TableDef, TableOrg};
 use crate::database::Database;
+use crate::exec_ctx::Exec;
 use crate::expr::{aggregate_kind, compile_expr, AggKind, RExpr, Scope, ScopeCol};
 use crate::plan::{FilterTerm, PlanKind, PlanNode, PlannedQuery, TermClass, ZoneBound};
 
@@ -212,7 +213,11 @@ fn try_const_eval(db: &Database, e: &Expr) -> Option<Value> {
     }
     let empty = Scope::default();
     let compiled = compile_expr(e, &empty, db.catalog()).ok()?;
-    let ctx = crate::expr::EvalCtx { catalog: db.catalog(), storage: db.storage() };
+    let ctx = crate::expr::EvalCtx {
+        catalog: db.catalog(),
+        storage: db.storage(),
+        snap: db.storage().current_snapshot(),
+    };
     crate::expr::eval(&compiled, &crate::expr::ExecRow::default(), &ctx).ok()
 }
 
@@ -652,7 +657,7 @@ fn collect_score_labels(s: &Select) -> Vec<i64> {
 /// conjuncts. Consumed conjuncts are absorbed by the access path; the
 /// rest become a Filter node on top.
 fn best_table_access(
-    db: &mut Database,
+    db: &Exec<'_>,
     tdef: &TableDef,
     alias: &str,
     table_conjuncts: &[Expr],
@@ -1125,7 +1130,7 @@ fn vtable_def(name: &str) -> Result<TableDef> {
 /// top as an ordinary Filter. ConstRows never qualifies as a domain-join
 /// right side, so joins against V$ tables take hash/NLJ paths.
 fn vtable_access(
-    db: &mut Database,
+    db: &Exec<'_>,
     tdef: &TableDef,
     alias: &str,
     table_conjuncts: &[Expr],
@@ -1196,8 +1201,8 @@ fn wrap_filter(
 }
 
 /// Plan the table access for UPDATE/DELETE target collection.
-pub fn plan_dml_scan(
-    db: &mut Database,
+pub(crate) fn plan_dml_scan(
+    db: &Exec<'_>,
     tdef: &TableDef,
     where_clause: Option<&Expr>,
 ) -> Result<PlanNode> {
@@ -1213,7 +1218,7 @@ pub fn plan_dml_scan(
 // ---------------------------------------------------------------------------
 
 /// Plan a SELECT statement.
-pub fn plan_select(db: &mut Database, s: &Select) -> Result<PlannedQuery> {
+pub(crate) fn plan_select(db: &Exec<'_>, s: &Select) -> Result<PlannedQuery> {
     if s.from.is_empty() {
         return Err(Error::Semantic("SELECT requires a FROM clause".into()));
     }
@@ -1346,7 +1351,7 @@ pub fn plan_select(db: &mut Database, s: &Select) -> Result<PlannedQuery> {
 /// 2. a hash join on an equality conjunct;
 /// 3. a nested-loop join with the conjuncts as a residual filter.
 fn build_join(
-    db: &mut Database,
+    db: &Exec<'_>,
     left: PlanNode,
     right: PlanNode,
     tdef: &TableDef,
@@ -1488,7 +1493,7 @@ fn build_join(
 
 /// Aggregation, projection, DISTINCT, ORDER BY, LIMIT on top of the join
 /// tree; also computes output column names.
-fn finish_select(db: &mut Database, s: &Select, source: PlanNode) -> Result<PlannedQuery> {
+fn finish_select(db: &Exec<'_>, s: &Select, source: PlanNode) -> Result<PlannedQuery> {
     let cm = db.cost;
     // Detect aggregation.
     let has_aggs = s
@@ -1663,6 +1668,12 @@ fn plan_bare_count(db: &Database, s: &Select) -> Result<Option<PlannedQuery>> {
         return Ok(None);
     }
     let tdef = db.catalog.table(&s.from[0].table)?.clone();
+    // Physical row counts are only snapshot-exact while no version chains
+    // exist; with concurrent writers in flight the count must come from a
+    // visibility-filtered scan instead.
+    if db.storage.segment_has_chains(tdef.seg) {
+        return Ok(None);
+    }
     let (rows, _) = table_shape(db, &tdef);
     let name = alias.clone().unwrap_or_else(|| "COUNT(*)".to_string());
     Ok(Some(PlannedQuery {
@@ -1784,7 +1795,7 @@ fn replace_group_exprs(e: &Expr, group_by: &[Expr]) -> Expr {
 /// select expressions, their output names, and rewritten ORDER BY items.
 type AggregatePlan = (PlanNode, Vec<Expr>, Vec<String>, Vec<OrderItem>);
 
-fn plan_aggregate(db: &mut Database, s: &Select, source: PlanNode) -> Result<AggregatePlan> {
+fn plan_aggregate(db: &Exec<'_>, s: &Select, source: PlanNode) -> Result<AggregatePlan> {
     let cm = db.cost;
     let mut aggs: Vec<(AggKind, Option<Expr>)> = Vec::new();
     let mut rewritten_items = Vec::new();

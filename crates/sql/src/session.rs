@@ -1,0 +1,253 @@
+//! Concurrent multi-session front end over one shared [`Database`].
+//!
+//! The paper's framework runs inside a multi-user server: many sessions
+//! issue statements against one instance, each session seeing a
+//! transaction-consistent snapshot while domain-index maintenance stays
+//! statement-atomic. This module supplies that front end for the
+//! reproduction:
+//!
+//! - [`Server`] wraps the engine in an `Arc<RwLock<Database>>` and hands
+//!   out [`Session`]s (independent handles, one per "connection").
+//! - SELECT statements take the **read lock**: any number of sessions
+//!   scan concurrently, each pinned to its snapshot — its own
+//!   transaction's snapshot inside `BEGIN…COMMIT`, latest-committed
+//!   otherwise. Cartridge scan callbacks (`ODCIIndexStart/Fetch/Close`)
+//!   run under the read lock through the read-only `SharedCtx`, so a
+//!   cartridge can never mutate shared state from a reader.
+//! - Everything else (DML, DDL, transaction control) takes the **write
+//!   lock** for the duration of the statement. That exclusivity is what
+//!   serializes ODCIIndex maintenance, the compensation log, and the
+//!   pending-work log per index: a cartridge never observes a torn
+//!   statement, and crash recovery's commit markers are appended in
+//!   commit order because csn assignment and the marker append happen
+//!   under one exclusive hold.
+//!
+//! Isolation level is **snapshot isolation** with first-writer-wins:
+//! `COMMIT` validates the transaction's write set against concurrently
+//! committed writers and fails with a conflict error on overlap,
+//! auto-rolling the loser back (its session returns to autocommit mode).
+//! Statements outside an explicit transaction are an implicit
+//! begin+statement+commit, so autocommit writers participate in the same
+//! conflict protocol.
+
+use std::sync::Arc;
+
+use extidx_common::{Error, Result, Row, Value};
+use extidx_core::events::DbEvent;
+use extidx_storage::{Snapshot, UndoLog};
+use parking_lot::RwLock;
+
+use crate::ast::{bind_statement, Statement};
+use crate::database::{Database, SqlStat, StmtResult};
+use crate::exec_ctx::run_select_shared;
+use crate::parser::parse;
+
+/// A shared database server: the constructor of [`Session`]s.
+#[derive(Clone)]
+pub struct Server {
+    db: Arc<RwLock<Database>>,
+}
+
+// The whole point: a `Server` (and its `Database`) crosses threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Server>();
+};
+
+impl Server {
+    /// Wrap an engine (typically already loaded with schema/cartridges)
+    /// for shared multi-session access.
+    pub fn new(db: Database) -> Self {
+        Server { db: Arc::new(RwLock::new(db)) }
+    }
+
+    /// Open a new session. Sessions are independent: each owns its
+    /// transaction state and can run on its own thread.
+    pub fn session(&self) -> Session {
+        Session { db: Arc::clone(&self.db), txn: None }
+    }
+
+    /// Run `f` with exclusive access to the engine — setup, ablation
+    /// toggles, assertions. Not a statement path.
+    pub fn admin<T>(&self, f: impl FnOnce(&mut Database) -> T) -> T {
+        f(&mut self.db.write())
+    }
+
+    /// Run `f` with shared access to the engine (metrics, catalog reads).
+    pub fn read<T>(&self, f: impl FnOnce(&Database) -> T) -> T {
+        f(&self.db.read())
+    }
+
+    /// Tear the server down and reclaim the engine. Fails (returning the
+    /// still-shared server) if sessions or clones are alive.
+    pub fn into_inner(self) -> std::result::Result<Database, Server> {
+        match Arc::try_unwrap(self.db) {
+            Ok(lock) => Ok(lock.into_inner()),
+            Err(db) => Err(Server { db }),
+        }
+    }
+}
+
+/// The session's open transaction: the snapshot every statement reads
+/// under plus the accumulated undo for rollback.
+struct SessionTxn {
+    snap: Snapshot,
+    undo: UndoLog,
+}
+
+/// One database connection. `Send` — hand sessions to worker threads —
+/// but driven by one thread at a time.
+pub struct Session {
+    db: Arc<RwLock<Database>>,
+    txn: Option<SessionTxn>,
+}
+
+impl Session {
+    /// Whether an explicit transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// The open transaction's snapshot (None in autocommit mode).
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.txn.as_ref().map(|t| t.snap)
+    }
+
+    /// Execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<StmtResult> {
+        self.execute_with(sql, &[])
+    }
+
+    /// Convenience: run a query and return just the rows.
+    pub fn query(&mut self, sql: &str) -> Result<Vec<Row>> {
+        match self.execute(sql)? {
+            StmtResult::Rows { rows, .. } => Ok(rows),
+            _ => Err(Error::Semantic("statement did not produce rows".into())),
+        }
+    }
+
+    /// Execute one statement with `?` binds.
+    pub fn execute_with(&mut self, sql: &str, binds: &[Value]) -> Result<StmtResult> {
+        let mut stmt = parse(sql)?;
+        bind_statement(&mut stmt, binds)?;
+        match stmt {
+            Statement::Begin => self.begin(),
+            Statement::Commit => self.commit(),
+            Statement::Rollback => self.rollback(),
+            Statement::Select(s) => {
+                // Read lane: shared lock, snapshot-pinned, no mutation.
+                let started = std::time::Instant::now();
+                let db = self.db.read();
+                let snap =
+                    self.txn.as_ref().map(|t| t.snap).unwrap_or_else(Snapshot::latest);
+                let before = db.cache_stats();
+                let (columns, rows) = run_select_shared(&db, snap, &s)?;
+                db.record_sql_stat(SqlStat {
+                    sql_id: 0, // assigned by record_sql_stat
+                    sql_text: sql.to_string(),
+                    rows_processed: rows.len() as u64,
+                    elapsed_micros: started.elapsed().as_micros() as u64,
+                    cache: db.cache_stats().since(&before),
+                });
+                Ok(StmtResult::Rows { columns, rows })
+            }
+            other => self.write_statement(other),
+        }
+    }
+
+    /// Open an explicit transaction: reserve a txn id and pin the
+    /// snapshot every subsequent statement reads under.
+    fn begin(&mut self) -> Result<StmtResult> {
+        if self.txn.is_some() {
+            return Err(Error::Transaction("a transaction is already active".into()));
+        }
+        let snap = self.db.read().storage().txn_manager().begin();
+        self.txn = Some(SessionTxn { snap, undo: UndoLog::new() });
+        Ok(StmtResult::Ok)
+    }
+
+    /// Commit the open transaction: first-writer-wins validation, then
+    /// the commit marker (in csn order) and version GC. On a write-write
+    /// conflict the transaction is rolled back automatically and the
+    /// conflict error surfaces — the session drops back to autocommit.
+    fn commit(&mut self) -> Result<StmtResult> {
+        let Some(mut t) = self.txn.take() else {
+            // COMMIT with nothing open mirrors the legacy arm: fire the
+            // event, succeed.
+            self.db.write().fire_event(DbEvent::Commit)?;
+            return Ok(StmtResult::Ok);
+        };
+        let mut db = self.db.write();
+        let txns = db.storage().txn_manager();
+        let enforce = db.storage().conflict_checks();
+        match txns.commit(&t.snap, enforce) {
+            Ok(_csn) => {
+                db.session_commit_finish(t.snap)?;
+                Ok(StmtResult::Ok)
+            }
+            Err(conflict) => {
+                let _ = db.session_abort(t.snap, &mut t.undo);
+                Err(conflict)
+            }
+        }
+    }
+
+    /// Roll back the open transaction (no-op + event when none is open,
+    /// mirroring the legacy arm).
+    fn rollback(&mut self) -> Result<StmtResult> {
+        let Some(mut t) = self.txn.take() else {
+            self.db.write().fire_event(DbEvent::Rollback)?;
+            return Ok(StmtResult::Ok);
+        };
+        self.db.write().session_abort(t.snap, &mut t.undo)?;
+        Ok(StmtResult::Ok)
+    }
+
+    /// Write lane: DML/DDL under the exclusive lock. Inside an explicit
+    /// transaction the statement joins it; otherwise the statement is an
+    /// implicit begin+statement+commit so autocommit writers take part in
+    /// the same first-writer-wins protocol.
+    fn write_statement(&mut self, stmt: Statement) -> Result<StmtResult> {
+        if let Some(t) = self.txn.as_mut() {
+            let mut db = self.db.write();
+            // A failed statement already rolled its own effects back
+            // inside `run_top`; the transaction stays open either way.
+            return db.session_statement(stmt, t.snap, &mut t.undo);
+        }
+        let mut db = self.db.write();
+        let txns = db.storage().txn_manager();
+        let snap = txns.begin();
+        let mut undo = UndoLog::new();
+        match db.session_statement(stmt, snap, &mut undo) {
+            Ok(result) => {
+                let enforce = db.storage().conflict_checks();
+                match txns.commit(&snap, enforce) {
+                    Ok(_csn) => {
+                        db.session_commit_finish(snap)?;
+                        Ok(result)
+                    }
+                    Err(conflict) => {
+                        let _ = db.session_abort(snap, &mut undo);
+                        Err(conflict)
+                    }
+                }
+            }
+            Err(e) => {
+                // Statement-level rollback (and its Rollback event) ran in
+                // `run_top`; just retire the implicit transaction.
+                db.session_discard(snap);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // An abandoned open transaction must not pin versions or leave
+        // uncommitted in-place images behind: roll it back.
+        if let Some(mut t) = self.txn.take() {
+            let _ = self.db.write().session_abort(t.snap, &mut t.undo);
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //!    data.
 
 use std::collections::HashMap;
+use std::ops::Bound;
+use std::sync::Arc;
 
 use extidx_common::{Error, Key, LobRef, Result, Row, RowId};
 
@@ -20,7 +22,11 @@ use crate::file_store::FileStore;
 use crate::heap::HeapTable;
 use crate::iot::IndexOrganizedTable;
 use crate::lob::LobStore;
-use crate::page::SegmentId;
+use crate::mvcc::{
+    self, HeapVersion, IotCurrent, IotVersion, LobVersion, LobVisibility, Snapshot, TxnManager,
+    VersionStore, WriteKey, WriteRef,
+};
+use crate::page::{SegmentId, PAGE_SIZE};
 use crate::undo::{UndoLog, UndoOp};
 use crate::wal::{DurableMedium, EngineSnapshot, WalRecord};
 
@@ -42,6 +48,17 @@ pub struct StorageEngine {
     /// applying (write-ahead rule) and external-file ops write through to
     /// the medium's file mirror.
     wal: Option<DurableMedium>,
+    /// Transaction manager shared with every session of the database.
+    txns: Arc<TxnManager>,
+    /// Snapshot of the transaction currently driving mutations. Txn 0 is
+    /// the legacy single-session/autocommit lane: no version chains are
+    /// created and every path behaves exactly as before MVCC.
+    current: Snapshot,
+    /// First-writer-wins enforcement knob. Turned off only by the
+    /// differential oracle to demonstrate that it catches lost updates.
+    conflict_checks: bool,
+    /// Overlay version chains; empty whenever no transaction is active.
+    versions: VersionStore,
 }
 
 impl Default for StorageEngine {
@@ -61,7 +78,202 @@ impl StorageEngine {
             files: FileStore::new(),
             next_segment: 1,
             wal: None,
+            txns: Arc::new(TxnManager::default()),
+            current: Snapshot::latest(),
+            conflict_checks: true,
+            versions: VersionStore::default(),
         }
+    }
+
+    // ----- transactions -----------------------------------------------------
+
+    /// The shared transaction manager (sessions begin/commit through it).
+    pub fn txn_manager(&self) -> Arc<TxnManager> {
+        Arc::clone(&self.txns)
+    }
+
+    /// Install the snapshot whose transaction drives subsequent mutations
+    /// and latest-visibility reads. `Snapshot::latest()` (txn 0) restores
+    /// the legacy lane.
+    pub fn set_current_txn(&mut self, snap: Snapshot) {
+        self.current = snap;
+    }
+
+    /// Id of the transaction currently driving mutations (0 = legacy lane).
+    pub fn current_txn(&self) -> u64 {
+        self.current.txn
+    }
+
+    /// Snapshot of the transaction currently driving mutations.
+    pub fn current_snapshot(&self) -> Snapshot {
+        self.current
+    }
+
+    /// Toggle first-writer-wins enforcement (early conflict detection and
+    /// commit-time validation). Structural conflicts between two *active*
+    /// writers are always rejected regardless — overlay MVCC cannot hold
+    /// two uncommitted in-place versions of one row.
+    pub fn set_conflict_checks(&mut self, on: bool) {
+        self.conflict_checks = on;
+    }
+
+    /// Whether first-writer-wins enforcement is on.
+    pub fn conflict_checks(&self) -> bool {
+        self.conflict_checks
+    }
+
+    /// True when any version chain exists for the segment (fast gate for
+    /// scan paths: no chains ⇒ every physical row is visible to every
+    /// snapshot and legacy code paths are exact).
+    pub fn segment_has_chains(&self, seg: SegmentId) -> bool {
+        self.versions.heap.get(&seg).is_some_and(|m| !m.is_empty())
+            || self.versions.iot.get(&seg).is_some_and(|m| !m.is_empty())
+    }
+
+    /// Garbage-collect version chains. Only runs at quiescence (no active
+    /// transaction): frees heap slots whose in-place version carries a
+    /// committed delete mark (deferred physical delete — the reason rowids
+    /// are never recycled while a snapshot can still see the old row),
+    /// drops every chain, and forgets commit history. After vacuum the
+    /// store is empty and all legacy invariants hold again.
+    pub fn vacuum(&mut self) {
+        if self.txns.active_count() != 0 {
+            return;
+        }
+        let mut dead: Vec<(SegmentId, RowId)> = Vec::new();
+        for (&seg, chains) in &self.versions.heap {
+            for (&rid, chain) in chains {
+                if chain.dead.is_some_and(|d| self.txns.committed_csn(d).is_some()) {
+                    dead.push((seg, rid));
+                }
+            }
+        }
+        // Deterministic free order so repeated runs produce identical
+        // free-list state.
+        dead.sort_by_key(|&(s, r)| (s.0, r.page, r.slot));
+        for (seg, rid) in dead {
+            if let Some(h) = self.heaps.get_mut(&seg) {
+                let _ = h.delete(rid);
+                self.cache.write((seg, rid.page));
+            }
+        }
+        self.versions.heap.clear();
+        self.versions.iot.clear();
+        self.versions.lobs.clear();
+        self.txns.forget_history();
+    }
+
+    /// Structural + early conflict check for a heap row write.
+    fn check_heap_write(&self, seg: SegmentId, rid: RowId) -> Result<()> {
+        let t = self.current.txn;
+        if t == 0 {
+            return Ok(());
+        }
+        if let Some(chain) = self.versions.heap_chain(seg, rid) {
+            for stamp in [Some(chain.begin), chain.dead].into_iter().flatten() {
+                if stamp != 0 && stamp != t && self.txns.is_active(stamp) {
+                    return Err(Error::write_conflict(format!(
+                        "txn {t}: heap row {rid} in {seg} has an uncommitted version from txn {stamp}"
+                    )));
+                }
+            }
+        }
+        if self.conflict_checks {
+            let wref = WriteRef { seg, key: WriteKey::Rid(rid) };
+            if let Some(csn) = self.txns.committed_writer(&wref) {
+                if csn > self.current.high {
+                    return Err(Error::write_conflict(format!(
+                        "txn {t}: heap row {rid} in {seg} was committed at csn {csn}, after this snapshot (high {})",
+                        self.current.high
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural + early conflict check for an IOT key write.
+    fn check_iot_write(&self, seg: SegmentId, key: &Key) -> Result<()> {
+        let t = self.current.txn;
+        if t == 0 {
+            return Ok(());
+        }
+        if let Some(chain) = self.versions.iot_chain(seg, key) {
+            let stamps = chain
+                .current
+                .as_ref()
+                .map(|c| c.begin)
+                .into_iter()
+                .chain(chain.older.first().map(|v| v.end));
+            for stamp in stamps {
+                if stamp != 0 && stamp != t && self.txns.is_active(stamp) {
+                    return Err(Error::write_conflict(format!(
+                        "txn {t}: IOT key {key} in {seg} has an uncommitted version from txn {stamp}"
+                    )));
+                }
+            }
+        }
+        if self.conflict_checks {
+            let wref = WriteRef { seg, key: WriteKey::Key(key.clone()) };
+            if let Some(csn) = self.txns.committed_writer(&wref) {
+                if csn > self.current.high {
+                    return Err(Error::write_conflict(format!(
+                        "txn {t}: IOT key {key} in {seg} was committed at csn {csn}, after this snapshot (high {})",
+                        self.current.high
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural + early conflict check for a LOB write. LOB-backed
+    /// index stores share one LOB across all of an index's rows, so this
+    /// serializes concurrent maintenance of the same index — a coarser
+    /// grain than row-level, never a lost update.
+    fn check_lob_write(&self, lob: LobRef) -> Result<()> {
+        let t = self.current.txn;
+        if t == 0 {
+            return Ok(());
+        }
+        if let Some(chain) = self.versions.lobs.get(&lob) {
+            let stamp = chain.begin;
+            if stamp != 0 && stamp != t && self.txns.is_active(stamp) {
+                return Err(Error::write_conflict(format!(
+                    "txn {t}: LOB {lob} has an uncommitted version from txn {stamp}"
+                )));
+            }
+        }
+        if self.conflict_checks {
+            let wref = WriteRef { seg: LOB_SEGMENT, key: WriteKey::Lob(lob) };
+            if let Some(csn) = self.txns.committed_writer(&wref) {
+                if csn > self.current.high {
+                    return Err(Error::write_conflict(format!(
+                        "txn {t}: LOB {lob} was committed at csn {csn}, after this snapshot (high {})",
+                        self.current.high
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// MVCC bookkeeping before a LOB mutation: displace the before-image
+    /// into the version chain (first touch per transaction) and record the
+    /// write for commit-time validation. No-op on the legacy lane.
+    fn displace_lob(&mut self, lob: LobRef) {
+        let t = self.current.txn;
+        if t == 0 {
+            return;
+        }
+        let prior = self.versions.lobs.get(&lob).map_or(0, |c| c.begin);
+        if prior != t {
+            let before = self.lobs.read_all(lob).map(|(b, _)| b).unwrap_or_default();
+            let chain = self.versions.lobs.entry(lob).or_default();
+            chain.older.insert(0, LobVersion { bytes: before, begin: prior, end: t });
+            chain.begin = t;
+        }
+        self.txns.record_write(t, WriteRef { seg: LOB_SEGMENT, key: WriteKey::Lob(lob) });
     }
 
     fn alloc_segment(&mut self) -> SegmentId {
@@ -89,7 +301,9 @@ impl StorageEngine {
 
     fn wal_append(&self, rec: WalRecord) -> Result<()> {
         match &self.wal {
-            Some(w) => w.append(rec),
+            // Tag every record with the driving transaction so recovery can
+            // replay whole-transaction groups in commit order.
+            Some(w) => w.append_txn(self.current.txn, rec),
             None => Ok(()),
         }
     }
@@ -121,6 +335,10 @@ impl StorageEngine {
         self.lobs = snap.lobs;
         self.files = snap.files;
         self.next_segment = snap.next_segment;
+        // Checkpoints are only taken at quiescence after a vacuum, so the
+        // restored state carries no version chains.
+        self.versions = VersionStore::default();
+        self.current = Snapshot::latest();
     }
 
     /// Replace the external file store wholesale (recovery installs the
@@ -171,6 +389,22 @@ impl StorageEngine {
                     let _ = t.insert_with_ordinal(row.clone(), *ord);
                 }
             }
+            WalRecord::IotUpsertOrd { seg, row, ord } => {
+                if let Some(t) = self.iots.get_mut(seg) {
+                    let _ = t.insert_with_ordinal(row.clone(), *ord);
+                }
+            }
+            WalRecord::CreateHeapAt { seg } => {
+                self.heaps.insert(*seg, HeapTable::new(*seg));
+                self.next_segment = self.next_segment.max(seg.0 + 1);
+            }
+            WalRecord::CreateIotAt { seg, key_cols } => {
+                self.iots.insert(*seg, IndexOrganizedTable::new(*seg, *key_cols));
+                self.next_segment = self.next_segment.max(seg.0 + 1);
+            }
+            WalRecord::LobAllocateAt { lob } => {
+                self.lobs.allocate_at(*lob);
+            }
             WalRecord::IotUpsert { seg, row } => {
                 let _ = self.iot_upsert(*seg, row.clone(), None);
             }
@@ -211,9 +445,12 @@ impl StorageEngine {
 
     // ----- segment lifecycle ------------------------------------------------
 
-    /// Create a heap segment.
+    /// Create a heap segment. The WAL record carries the assigned segment
+    /// id explicitly: commit-order replay may apply records in a different
+    /// order than live execution, so allocations must not depend on replay
+    /// order.
     pub fn create_heap(&mut self) -> Result<SegmentId> {
-        self.wal_append(WalRecord::CreateHeap)?;
+        self.wal_append(WalRecord::CreateHeapAt { seg: SegmentId(self.next_segment) })?;
         let seg = self.alloc_segment();
         self.heaps.insert(seg, HeapTable::new(seg));
         self.wal_applied()?;
@@ -223,7 +460,10 @@ impl StorageEngine {
     /// Create an index-organized segment keyed on the first `key_cols`
     /// row columns.
     pub fn create_iot(&mut self, key_cols: usize) -> Result<SegmentId> {
-        self.wal_append(WalRecord::CreateIot { key_cols })?;
+        self.wal_append(WalRecord::CreateIotAt {
+            seg: SegmentId(self.next_segment),
+            key_cols,
+        })?;
         let seg = self.alloc_segment();
         self.iots.insert(seg, IndexOrganizedTable::new(seg, key_cols));
         self.wal_applied()?;
@@ -238,6 +478,7 @@ impl StorageEngine {
         self.wal_append(WalRecord::DropSegment { seg })?;
         self.heaps.remove(&seg);
         self.iots.remove(&seg);
+        self.versions.forget_segment(seg);
         self.cache.discard_segment(seg);
         self.wal_applied()
     }
@@ -255,6 +496,7 @@ impl StorageEngine {
         } else {
             return Err(Error::Storage(format!("{seg}: no such segment")));
         }
+        self.versions.forget_segment(seg);
         self.cache.discard_segment(seg);
         self.wal_applied()
     }
@@ -312,25 +554,35 @@ impl StorageEngine {
 
     // ----- heap mutations ----------------------------------------------------
 
-    /// Insert a row into a heap segment.
+    /// Insert a row into a heap segment. The WAL record names the rowid
+    /// the insert will land on (peeked before the apply) so commit-order
+    /// replay reproduces live placement exactly.
     pub fn heap_insert(
         &mut self,
         seg: SegmentId,
         row: Row,
         undo: Option<&mut UndoLog>,
     ) -> Result<RowId> {
-        if !self.heaps.contains_key(&seg) {
+        let Some(h) = self.heaps.get(&seg) else {
             return Err(Error::Storage(format!("{seg}: no such heap segment")));
-        }
-        self.wal_append(WalRecord::HeapInsert { seg, row: row.clone() })?;
+        };
+        let rid = h.peek_insert_rid(&row);
+        self.wal_append(WalRecord::HeapInsertAt { seg, rid, row: row.clone() })?;
         let h = self.heaps.get_mut(&seg).expect("existence checked above");
-        let (rid, page) = h.insert(row);
+        let (inserted, page) = h.insert(row);
+        debug_assert_eq!(inserted, rid, "peeked rowid must match actual placement");
         self.cache.write((seg, page));
+        let t = self.current.txn;
+        if t != 0 {
+            let chain = self.versions.heap_chain_mut(seg, inserted);
+            chain.begin = t;
+            self.txns.record_write(t, WriteRef { seg, key: WriteKey::Rid(inserted) });
+        }
         if let Some(log) = undo {
-            log.push(UndoOp::HeapInsert { seg, rid });
+            log.push(UndoOp::HeapInsert { seg, rid: inserted });
         }
         self.wal_applied()?;
-        Ok(rid)
+        Ok(inserted)
     }
 
     /// Fetch one row by rowid (charges one page read).
@@ -364,7 +616,9 @@ impl StorageEngine {
         Ok(out.into_iter().map(|r| r.expect("every index filled")).collect())
     }
 
-    /// Update a row in place; returns the old image.
+    /// Update a row in place; returns the old image. Under a transaction
+    /// the displaced image is pushed onto the row's version chain so
+    /// concurrent snapshots keep seeing it.
     pub fn heap_update(
         &mut self,
         seg: SegmentId,
@@ -375,10 +629,26 @@ impl StorageEngine {
         if !self.heaps.contains_key(&seg) {
             return Err(Error::Storage(format!("{seg}: no such heap segment")));
         }
+        self.check_heap_write(seg, rid)?;
         self.wal_append(WalRecord::HeapUpdate { seg, rid, row: new_row.clone() })?;
         let h = self.heaps.get_mut(&seg).expect("existence checked above");
         let old = h.update(rid, new_row)?;
         self.cache.write((seg, rid.page));
+        let t = self.current.txn;
+        if t != 0 {
+            let chain = self.versions.heap_chain_mut(seg, rid);
+            if chain.begin != t {
+                // Displace the previous writer's version; a second update
+                // by the same transaction overwrites silently (nobody else
+                // can see the intermediate image).
+                chain.older.insert(
+                    0,
+                    HeapVersion { row: old.clone(), begin: chain.begin, end: t },
+                );
+                chain.begin = t;
+            }
+            self.txns.record_write(t, WriteRef { seg, key: WriteKey::Rid(rid) });
+        }
         if let Some(log) = undo {
             log.push(UndoOp::HeapUpdate { seg, rid, old: old.clone() });
         }
@@ -386,7 +656,11 @@ impl StorageEngine {
         Ok(old)
     }
 
-    /// Delete a row; returns the old image.
+    /// Delete a row; returns the old image. Under a transaction the delete
+    /// is *deferred*: the chain marks the in-place version dead and the
+    /// physical slot survives until vacuum, so the rowid is never recycled
+    /// while a snapshot can still see the row. (Replay applies the delete
+    /// physically — by then the commit is durable and unconditional.)
     pub fn heap_delete(
         &mut self,
         seg: SegmentId,
@@ -396,9 +670,30 @@ impl StorageEngine {
         if !self.heaps.contains_key(&seg) {
             return Err(Error::Storage(format!("{seg}: no such heap segment")));
         }
+        self.check_heap_write(seg, rid)?;
+        let t = self.current.txn;
+        if t != 0 {
+            // Validate before logging: replay applies the delete physically
+            // and unconditionally, so a record must only exist for deletes
+            // that succeed live.
+            let h = self.heaps.get(&seg).expect("existence checked above");
+            h.fetch(rid)?;
+            if self.versions.heap_chain(seg, rid).is_some_and(|c| c.dead.is_some()) {
+                return Err(Error::Storage(format!("{rid}: row already deleted")));
+            }
+        }
         self.wal_append(WalRecord::HeapDelete { seg, rid })?;
-        let h = self.heaps.get_mut(&seg).expect("existence checked above");
-        let old = h.delete(rid)?;
+        let old = if t == 0 {
+            let h = self.heaps.get_mut(&seg).expect("existence checked above");
+            h.delete(rid)?
+        } else {
+            let h = self.heaps.get(&seg).expect("existence checked above");
+            let old = h.fetch(rid)?.clone();
+            let chain = self.versions.heap_chain_mut(seg, rid);
+            chain.dead = Some(t);
+            self.txns.record_write(t, WriteRef { seg, key: WriteKey::Rid(rid) });
+            old
+        };
         self.cache.write((seg, rid.page));
         if let Some(log) = undo {
             log.push(UndoOp::HeapDelete { seg, rid, old: old.clone() });
@@ -453,24 +748,40 @@ impl StorageEngine {
     }
 
     /// Insert a row into an IOT (duplicate key → constraint violation).
-    /// Returns the row's logical rowid.
+    /// Returns the row's logical rowid. The WAL record carries the ordinal
+    /// the insert will receive so commit-order replay reproduces logical
+    /// rowids exactly; consequently the duplicate check runs *before*
+    /// logging (replay applies ordinal-explicit records unconditionally).
     pub fn iot_insert(
         &mut self,
         seg: SegmentId,
         row: Row,
         undo: Option<&mut UndoLog>,
     ) -> Result<RowId> {
-        let key_cols = self.iot(seg)?.key_cols();
+        let iot = self.iot(seg)?;
+        let key_cols = iot.key_cols();
         let key = Key(row[..key_cols.min(row.len())].to_vec());
-        self.wal_append(WalRecord::IotInsert { seg, row: row.clone() })?;
-        let (ord, charge) = self.iot_mut(seg)?.insert(row)?;
+        if iot.ordinal_of(&key).is_some() {
+            return Err(Error::Constraint(format!("duplicate key {key} in IOT {seg}")));
+        }
+        self.check_iot_write(seg, &key)?;
+        let ord = iot.peek_next_ord();
+        self.wal_append(WalRecord::IotInsertOrd { seg, row: row.clone(), ord })?;
+        let (inserted, charge) = self.iot_mut(seg)?.insert(row)?;
+        debug_assert_eq!(inserted, ord, "peeked ordinal must match actual assignment");
         let leaf = self.iot_leaf_page_for(seg, &key);
         self.charge_iot(seg, charge, leaf);
+        let t = self.current.txn;
+        if t != 0 {
+            let chain = self.versions.iot_chain_mut(seg, key.clone());
+            chain.current = Some(IotCurrent { begin: t });
+            self.txns.record_write(t, WriteRef { seg, key: WriteKey::Key(key.clone()) });
+        }
         if let Some(log) = undo {
             log.push(UndoOp::IotInsert { seg, key });
         }
         self.wal_applied()?;
-        Ok(Self::ord_to_rid(seg, ord))
+        Ok(Self::ord_to_rid(seg, inserted))
     }
 
     /// Insert-or-replace into an IOT. Returns the previous row (if any)
@@ -481,12 +792,30 @@ impl StorageEngine {
         row: Row,
         undo: Option<&mut UndoLog>,
     ) -> Result<(Option<Row>, RowId)> {
-        let key_cols = self.iot(seg)?.key_cols();
+        let iot = self.iot(seg)?;
+        let key_cols = iot.key_cols();
         let key = Key(row[..key_cols.min(row.len())].to_vec());
-        self.wal_append(WalRecord::IotUpsert { seg, row: row.clone() })?;
+        self.check_iot_write(seg, &key)?;
+        let ord = iot.peek_upsert_ord(&row)?;
+        self.wal_append(WalRecord::IotUpsertOrd { seg, row: row.clone(), ord })?;
         let (old, ord, charge) = self.iot_mut(seg)?.upsert(row)?;
         let leaf = self.iot_leaf_page_for(seg, &key);
         self.charge_iot(seg, charge, leaf);
+        let t = self.current.txn;
+        if t != 0 {
+            let chain = self.versions.iot_chain_mut(seg, key.clone());
+            let prev_begin = chain.current.as_ref().map(|c| c.begin).unwrap_or(0);
+            if let Some(o) = &old {
+                if prev_begin != t {
+                    chain.older.insert(
+                        0,
+                        IotVersion { row: o.clone(), begin: prev_begin, end: t, ord },
+                    );
+                }
+            }
+            chain.current = Some(IotCurrent { begin: t });
+            self.txns.record_write(t, WriteRef { seg, key: WriteKey::Key(key.clone()) });
+        }
         if let Some(log) = undo {
             match &old {
                 Some(o) => log.push(UndoOp::IotReplace { seg, old: o.clone() }),
@@ -504,12 +833,27 @@ impl StorageEngine {
         key: &Key,
         undo: Option<&mut UndoLog>,
     ) -> Result<Option<Row>> {
+        self.check_iot_write(seg, key)?;
         self.wal_append(WalRecord::IotDelete { seg, key: key.clone() })?;
+        // IOT deletes are physically immediate (ordinals are never reused,
+        // so no rowid-recycling hazard); the removed row survives as a
+        // ghost version in the chain for older snapshots.
         let (removed, charge) = self.iot_mut(seg)?.delete(key);
         let leaf = self.iot_leaf_page_for(seg, key);
         self.charge_iot(seg, charge, leaf);
+        let t = self.current.txn;
         let old = match removed {
             Some((o, ord)) => {
+                if t != 0 {
+                    let chain = self.versions.iot_chain_mut(seg, key.clone());
+                    let prev_begin = chain.current.as_ref().map(|c| c.begin).unwrap_or(0);
+                    chain.older.insert(
+                        0,
+                        IotVersion { row: o.clone(), begin: prev_begin, end: t, ord },
+                    );
+                    chain.current = None;
+                    self.txns.record_write(t, WriteRef { seg, key: WriteKey::Key(key.clone()) });
+                }
                 if let Some(log) = undo {
                     log.push(UndoOp::IotDelete { seg, old: o.clone(), ord });
                 }
@@ -642,6 +986,367 @@ impl StorageEngine {
         Ok(out)
     }
 
+    // ----- MVCC-visible reads ----------------------------------------------
+    //
+    // Every variant degrades to the legacy path (bit-identical results and
+    // identical cache charges) when the segment carries no version chains —
+    // which is always the case outside concurrent multi-session windows,
+    // because the engine vacuums at quiescence.
+
+    /// The image of a physically present heap row visible under `snap`
+    /// (`None` = invisible: written by a concurrent uncommitted/too-new
+    /// transaction, or deleted for this snapshot). Callers gate on
+    /// [`Self::segment_has_chains`] to skip per-row calls entirely.
+    pub fn heap_visible_image(
+        &self,
+        seg: SegmentId,
+        rid: RowId,
+        physical: &Row,
+        snap: &Snapshot,
+    ) -> Option<Row> {
+        match self.versions.heap_chain(seg, rid) {
+            None => Some(physical.clone()),
+            Some(chain) => {
+                mvcc::resolve_heap(&self.txns, chain, Some(physical), snap).cloned()
+            }
+        }
+    }
+
+    /// Batched rowid→row join that drops rows invisible to `snap` (the
+    /// domain-scan join: cartridge postings are not versioned, so
+    /// visibility is applied at the base-row fetch). Aligned with the
+    /// input: `None` marks an invisible rowid. A rowid that addresses no
+    /// physical row errors exactly like [`Self::heap_fetch_multi`] when no
+    /// chain explains its absence.
+    pub fn heap_fetch_multi_visible(
+        &self,
+        seg: SegmentId,
+        rids: &[RowId],
+        snap: &Snapshot,
+    ) -> Result<Vec<Option<Row>>> {
+        if !self.segment_has_chains(seg) {
+            return Ok(self.heap_fetch_multi(seg, rids)?.into_iter().map(Some).collect());
+        }
+        let h = self.heap(seg)?;
+        let mut order: Vec<usize> = (0..rids.len()).collect();
+        order.sort_by_key(|&i| (rids[i].page, rids[i].slot));
+        let mut out: Vec<Option<Row>> = vec![None; rids.len()];
+        let mut last_page: Option<u32> = None;
+        for i in order {
+            let rid = rids[i];
+            if last_page != Some(rid.page) {
+                self.cache.read((seg, rid.page));
+                last_page = Some(rid.page);
+            }
+            match h.fetch(rid) {
+                Ok(row) => out[i] = self.heap_visible_image(seg, rid, row, snap),
+                Err(e) => {
+                    if self.versions.heap_chain(seg, rid).is_none() {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of heap rows visible under `snap` (COUNT(*) fast path).
+    pub fn heap_visible_row_count(&self, seg: SegmentId, snap: &Snapshot) -> Result<usize> {
+        let h = self.heap(seg)?;
+        if !self.segment_has_chains(seg) {
+            return Ok(h.row_count());
+        }
+        let mut n = 0;
+        for (rid, _page, row) in h.scan() {
+            if self.heap_visible_image(seg, rid, row, snap).is_some() {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Key-ordered rows of an IOT visible under `snap` within the given
+    /// bounds, each with the ordinal it is (or was) reachable under. Merges
+    /// physical rows with ghost chain versions — a row deleted by a
+    /// concurrent transaction is physically absent but still visible to
+    /// snapshots that predate the delete.
+    fn iot_visible_merged(
+        &self,
+        seg: SegmentId,
+        lo: Bound<&Key>,
+        hi: Bound<&Key>,
+        snap: &Snapshot,
+    ) -> Result<Vec<(Key, u64, Row)>> {
+        let iot = self.iot(seg)?;
+        let key_cols = iot.key_cols();
+        let in_range = |k: &Key| {
+            (match lo {
+                Bound::Unbounded => true,
+                Bound::Included(b) => k >= b,
+                Bound::Excluded(b) => k > b,
+            }) && (match hi {
+                Bound::Unbounded => true,
+                Bound::Included(b) => k <= b,
+                Bound::Excluded(b) => k < b,
+            })
+        };
+        let chains = self.versions.iot.get(&seg);
+        let mut out: Vec<(Key, u64, Row)> = Vec::new();
+        for (ord, row) in iot.scan_with_ordinals() {
+            let key = Key(row[..key_cols.min(row.len())].to_vec());
+            if !in_range(&key) {
+                continue;
+            }
+            match chains.and_then(|m| m.get(&key)) {
+                None => out.push((key, ord, row.clone())),
+                Some(chain) => {
+                    if let Some((r, gord)) = mvcc::resolve_iot(&self.txns, chain, Some(row), snap)
+                    {
+                        out.push((key, gord.unwrap_or(ord), r.clone()));
+                    }
+                }
+            }
+        }
+        if let Some(m) = chains {
+            let mut added_ghosts = false;
+            for (key, chain) in m {
+                if !in_range(key) || iot.ordinal_of(key).is_some() {
+                    continue;
+                }
+                if let Some((r, gord)) = mvcc::resolve_iot(&self.txns, chain, None, snap) {
+                    out.push((key.clone(), gord.unwrap_or(0), r.clone()));
+                    added_ghosts = true;
+                }
+            }
+            if added_ghosts {
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Visibility-filtered [`Self::iot_get`].
+    pub fn iot_get_visible(
+        &self,
+        seg: SegmentId,
+        key: &Key,
+        snap: &Snapshot,
+    ) -> Result<Option<Row>> {
+        let Some(chain) = self.versions.iot_chain(seg, key) else {
+            return self.iot_get(seg, key);
+        };
+        let iot = self.iot(seg)?;
+        let (row, charge) = iot.get(key);
+        let out = mvcc::resolve_iot(&self.txns, chain, row, snap).map(|(r, _)| r.clone());
+        let leaf = self.iot_leaf_page_for(seg, key);
+        self.charge_iot(seg, charge, leaf);
+        Ok(out)
+    }
+
+    /// Visibility-filtered [`Self::iot_scan_with_rids`].
+    pub fn iot_scan_with_rids_visible(
+        &self,
+        seg: SegmentId,
+        snap: &Snapshot,
+    ) -> Result<Vec<(RowId, Row)>> {
+        if !self.segment_has_chains(seg) {
+            return self.iot_scan_with_rids(seg);
+        }
+        let rows = self.iot_visible_merged(seg, Bound::Unbounded, Bound::Unbounded, snap)?;
+        let pages = self.iot(seg)?.page_count();
+        for p in 0..pages {
+            self.charge_page_read(seg, p as u32);
+        }
+        Ok(rows.into_iter().map(|(_, ord, r)| (Self::ord_to_rid(seg, ord), r)).collect())
+    }
+
+    /// Visibility-filtered [`Self::iot_range_with_rids`].
+    pub fn iot_range_with_rids_visible(
+        &self,
+        seg: SegmentId,
+        lo: Option<&Key>,
+        hi: Option<&Key>,
+        snap: &Snapshot,
+    ) -> Result<Vec<(RowId, Row)>> {
+        if !self.segment_has_chains(seg) {
+            return self.iot_range_with_rids(seg, lo, hi);
+        }
+        let rows = self.iot_visible_merged(
+            seg,
+            lo.map_or(Bound::Unbounded, Bound::Included),
+            hi.map_or(Bound::Unbounded, Bound::Included),
+            snap,
+        )?;
+        let charge = crate::iot::IotIoCharge {
+            page_reads: self.iot(seg)?.height() + rows.len().div_ceil(64).max(1),
+            page_writes: 0,
+        };
+        let leaf = lo.or(hi).map(|k| self.iot_leaf_page_for(seg, k)).unwrap_or(0);
+        self.charge_iot(seg, charge, leaf);
+        Ok(rows.into_iter().map(|(_, ord, r)| (Self::ord_to_rid(seg, ord), r)).collect())
+    }
+
+    /// Visibility-filtered [`Self::iot_range`].
+    pub fn iot_range_visible(
+        &self,
+        seg: SegmentId,
+        lo: Option<&Key>,
+        hi: Option<&Key>,
+        snap: &Snapshot,
+    ) -> Result<Vec<Row>> {
+        if !self.segment_has_chains(seg) {
+            return self.iot_range(seg, lo, hi);
+        }
+        Ok(self
+            .iot_range_with_rids_visible(seg, lo, hi, snap)?
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect())
+    }
+
+    /// Visibility-filtered [`Self::iot_prefix_scan`].
+    pub fn iot_prefix_scan_visible(
+        &self,
+        seg: SegmentId,
+        prefix: &Key,
+        snap: &Snapshot,
+    ) -> Result<Vec<Row>> {
+        if !self.segment_has_chains(seg) {
+            return self.iot_prefix_scan(seg, prefix);
+        }
+        let rows =
+            self.iot_visible_merged(seg, Bound::Included(prefix), Bound::Unbounded, snap)?;
+        let leaf = self.iot_leaf_page_for(seg, prefix);
+        let charge = crate::iot::IotIoCharge {
+            page_reads: self.iot(seg)?.height().max(1),
+            page_writes: 0,
+        };
+        self.charge_iot(seg, charge, leaf);
+        Ok(rows
+            .into_iter()
+            .filter(|(k, _, _)| k.0.len() >= prefix.0.len() && k.0[..prefix.0.len()] == prefix.0)
+            .map(|(_, _, r)| r)
+            .collect())
+    }
+
+    /// Visibility-filtered [`Self::iot_batch_after`]. Ghost rows (visible
+    /// to `snap` but physically deleted by a concurrent transaction) are
+    /// merged into the batch in key order, and invisible physical rows are
+    /// dropped, so the cursor never terminates early or stalls.
+    pub fn iot_batch_after_visible(
+        &self,
+        seg: SegmentId,
+        after: Option<&Key>,
+        limit: usize,
+        snap: &Snapshot,
+    ) -> Result<Vec<(RowId, Key, Row)>> {
+        if !self.segment_has_chains(seg) {
+            return self.iot_batch_after(seg, after, limit);
+        }
+        let rows = self.iot_visible_merged(
+            seg,
+            after.map_or(Bound::Unbounded, Bound::Excluded),
+            Bound::Unbounded,
+            snap,
+        )?;
+        let out: Vec<(RowId, Key, Row)> = rows
+            .into_iter()
+            .take(limit.max(1))
+            .map(|(k, ord, r)| (Self::ord_to_rid(seg, ord), k, r))
+            .collect();
+        let leaf_pages = out.len().div_ceil(64).max(1);
+        let charge = crate::iot::IotIoCharge {
+            page_reads: self.iot(seg)?.height() + leaf_pages,
+            page_writes: 0,
+        };
+        self.charge_iot(seg, charge, 0);
+        Ok(out)
+    }
+
+    /// Visibility-filtered [`Self::iot_fetch_by_rowid`]: resolves ghost
+    /// ordinals through the chains, returns `None` when nothing visible
+    /// lives at the logical rowid.
+    pub fn iot_fetch_by_rowid_visible(
+        &self,
+        seg: SegmentId,
+        rid: RowId,
+        snap: &Snapshot,
+    ) -> Result<Option<Row>> {
+        let iot = self.iot(seg)?;
+        let ord = Self::rid_to_ord(rid);
+        let (found, charge) = iot.by_ordinal(ord);
+        if let Some((key, row)) = found {
+            let out = match self.versions.iot_chain(seg, key) {
+                None => Some(row.clone()),
+                Some(chain) => mvcc::resolve_iot(&self.txns, chain, Some(row), snap)
+                    .and_then(|(r, gord)| match gord {
+                        // A ghost at a different ordinal is addressed by a
+                        // different rowid — nothing visible *here*.
+                        Some(g) if g != ord => None,
+                        _ => Some(r.clone()),
+                    }),
+            };
+            let leaf = self.iot_leaf_page_for(seg, &key.clone());
+            self.charge_iot(seg, charge, leaf);
+            return Ok(out);
+        }
+        self.charge_iot(seg, charge, 0);
+        // Physically absent: the rowid may address a ghost version.
+        if let Some(m) = self.versions.iot.get(&seg) {
+            for chain in m.values() {
+                if let Some(v) = chain.older.iter().find(|v| {
+                    v.ord == ord
+                        && self.txns.stamp_visible(v.begin, snap)
+                        && !self.txns.stamp_visible(v.end, snap)
+                }) {
+                    return Ok(Some(v.row.clone()));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Batched visibility-filtered logical-rowid→row join for IOTs.
+    pub fn iot_fetch_multi_visible(
+        &self,
+        seg: SegmentId,
+        rids: &[RowId],
+        snap: &Snapshot,
+    ) -> Result<Vec<Option<Row>>> {
+        rids.iter().map(|&rid| self.iot_fetch_by_rowid_visible(seg, rid, snap)).collect()
+    }
+
+    /// Number of IOT rows visible under `snap` (COUNT(*) fast path).
+    pub fn iot_visible_row_count(&self, seg: SegmentId, snap: &Snapshot) -> Result<usize> {
+        if !self.segment_has_chains(seg) {
+            return Ok(self.iot(seg)?.row_count());
+        }
+        Ok(self.iot_visible_merged(seg, Bound::Unbounded, Bound::Unbounded, snap)?.len())
+    }
+
+    /// Pop the version a transactional IOT write displaced (rollback
+    /// support): only if this write was the displacing one — its undo
+    /// image matches the displaced row.
+    fn pop_iot_version(
+        versions: &mut VersionStore,
+        seg: SegmentId,
+        key: &Key,
+        t: u64,
+        old: &Row,
+    ) {
+        if let Some(m) = versions.iot.get_mut(&seg) {
+            if let Some(chain) = m.get_mut(key) {
+                if chain.older.first().is_some_and(|v| v.end == t && v.row == *old) {
+                    let popped = chain.older.remove(0);
+                    chain.current = Some(IotCurrent { begin: popped.begin });
+                }
+                if chain.is_trivial() {
+                    m.remove(key);
+                }
+            }
+        }
+    }
+
     // ----- LOB operations -------------------------------------------------------
 
     fn lob_page(lob: LobRef, page: usize) -> u32 {
@@ -657,34 +1362,104 @@ impl StorageEngine {
         }
     }
 
-    /// Allocate an empty LOB.
+    /// Allocate an empty LOB. The record names the locator explicitly so
+    /// commit-order replay reproduces live assignments.
     pub fn lob_allocate(&mut self, undo: Option<&mut UndoLog>) -> Result<LobRef> {
-        self.wal_append(WalRecord::LobAllocate)?;
+        self.wal_append(WalRecord::LobAllocateAt { lob: self.lobs.peek_next_ref() })?;
         let lob = self.lobs.allocate();
         if let Some(log) = undo {
             log.push(UndoOp::LobAllocate { lob });
+        }
+        // Stamp the new LOB with its creating transaction so snapshots
+        // that cannot see the creator do not see its content either.
+        let t = self.current.txn;
+        if t != 0 {
+            self.versions.lobs.insert(lob, crate::mvcc::LobChain { begin: t, older: Vec::new() });
+            self.txns.record_write(t, WriteRef { seg: LOB_SEGMENT, key: WriteKey::Lob(lob) });
         }
         self.wal_applied()?;
         Ok(lob)
     }
 
-    /// LOB length.
+    /// LOB length as the write lane's current snapshot sees it.
     pub fn lob_length(&self, lob: LobRef) -> Result<u64> {
-        self.lobs.length(lob)
+        self.lob_length_at(lob, &self.current)
     }
 
-    /// Read from a LOB at an offset.
+    /// LOB length under a specific snapshot.
+    pub fn lob_length_at(&self, lob: LobRef, snap: &Snapshot) -> Result<u64> {
+        match self.lob_visibility(lob, snap) {
+            LobVisibility::Current => self.lobs.length(lob),
+            LobVisibility::Older(bytes) => Ok(bytes.len() as u64),
+            LobVisibility::Absent => Ok(0),
+        }
+    }
+
+    /// Read from a LOB at an offset (write lane's current snapshot).
     pub fn lob_read(&self, lob: LobRef, offset: u64, len: usize) -> Result<Vec<u8>> {
-        let (bytes, charge) = self.lobs.read(lob, offset, len)?;
-        self.charge_lob(lob, charge);
-        Ok(bytes)
+        self.lob_read_at(lob, offset, len, &self.current)
     }
 
-    /// Read a whole LOB.
+    /// Read from a LOB at an offset under a specific snapshot.
+    pub fn lob_read_at(
+        &self,
+        lob: LobRef,
+        offset: u64,
+        len: usize,
+        snap: &Snapshot,
+    ) -> Result<Vec<u8>> {
+        match self.lob_visibility(lob, snap) {
+            LobVisibility::Current => {
+                let (bytes, charge) = self.lobs.read(lob, offset, len)?;
+                self.charge_lob(lob, charge);
+                Ok(bytes)
+            }
+            LobVisibility::Older(bytes) => {
+                let off = (offset as usize).min(bytes.len());
+                let end = (off + len).min(bytes.len());
+                self.charge_lob_span(lob, off, end - off);
+                Ok(bytes[off..end].to_vec())
+            }
+            LobVisibility::Absent => Ok(Vec::new()),
+        }
+    }
+
+    /// Read a whole LOB (write lane's current snapshot).
     pub fn lob_read_all(&self, lob: LobRef) -> Result<Vec<u8>> {
-        let (bytes, charge) = self.lobs.read_all(lob)?;
-        self.charge_lob(lob, charge);
-        Ok(bytes)
+        self.lob_read_all_at(lob, &self.current)
+    }
+
+    /// Read a whole LOB under a specific snapshot.
+    pub fn lob_read_all_at(&self, lob: LobRef, snap: &Snapshot) -> Result<Vec<u8>> {
+        match self.lob_visibility(lob, snap) {
+            LobVisibility::Current => {
+                let (bytes, charge) = self.lobs.read_all(lob)?;
+                self.charge_lob(lob, charge);
+                Ok(bytes)
+            }
+            LobVisibility::Older(bytes) => {
+                self.charge_lob_span(lob, 0, bytes.len());
+                Ok(bytes.to_vec())
+            }
+            LobVisibility::Absent => Ok(Vec::new()),
+        }
+    }
+
+    /// Which content of a LOB the snapshot sees.
+    fn lob_visibility(&self, lob: LobRef, snap: &Snapshot) -> LobVisibility<'_> {
+        match self.versions.lobs.get(&lob) {
+            None => LobVisibility::Current,
+            Some(chain) => mvcc::resolve_lob(&self.txns, chain, snap),
+        }
+    }
+
+    /// Cache charge for a read served from a displaced version (same page
+    /// accounting a current-content read of that span would get).
+    fn charge_lob_span(&self, lob: LobRef, off: usize, len: usize) {
+        let pages = if len == 0 { 1 } else { (off + len - 1) / PAGE_SIZE - off / PAGE_SIZE + 1 };
+        for i in 0..pages {
+            self.cache.read((LOB_SEGMENT, Self::lob_page(lob, i)));
+        }
     }
 
     /// Write into a LOB at an offset.
@@ -695,11 +1470,13 @@ impl StorageEngine {
         bytes: &[u8],
         undo: Option<&mut UndoLog>,
     ) -> Result<()> {
+        self.check_lob_write(lob)?;
         self.wal_append(WalRecord::LobWrite { lob, offset, bytes: bytes.to_vec() })?;
         if let Some(log) = undo {
             let (old, _) = self.lobs.read_all(lob)?;
             log.push(UndoOp::LobModify { lob, old });
         }
+        self.displace_lob(lob);
         let charge = self.lobs.write(lob, offset, bytes)?;
         self.charge_lob(lob, charge);
         self.wal_applied()
@@ -712,11 +1489,13 @@ impl StorageEngine {
         bytes: &[u8],
         undo: Option<&mut UndoLog>,
     ) -> Result<u64> {
+        self.check_lob_write(lob)?;
         self.wal_append(WalRecord::LobAppend { lob, bytes: bytes.to_vec() })?;
         if let Some(log) = undo {
             let (old, _) = self.lobs.read_all(lob)?;
             log.push(UndoOp::LobModify { lob, old });
         }
+        self.displace_lob(lob);
         let (off, charge) = self.lobs.append(lob, bytes)?;
         self.charge_lob(lob, charge);
         self.wal_applied()?;
@@ -730,19 +1509,24 @@ impl StorageEngine {
         bytes: &[u8],
         undo: Option<&mut UndoLog>,
     ) -> Result<()> {
+        self.check_lob_write(lob)?;
         self.wal_append(WalRecord::LobOverwrite { lob, bytes: bytes.to_vec() })?;
         if let Some(log) = undo {
             let (old, _) = self.lobs.read_all(lob)?;
             log.push(UndoOp::LobModify { lob, old });
         }
+        self.displace_lob(lob);
         let charge = self.lobs.overwrite(lob, bytes)?;
         self.charge_lob(lob, charge);
         self.wal_applied()
     }
 
-    /// Free a LOB.
+    /// Free a LOB. The before-image is displaced into the version chain
+    /// first, so snapshots that predate the free still read the content.
     pub fn lob_free(&mut self, lob: LobRef, undo: Option<&mut UndoLog>) -> Result<()> {
+        self.check_lob_write(lob)?;
         self.wal_append(WalRecord::LobFree { lob })?;
+        self.displace_lob(lob);
         let old = self.lobs.free(lob)?;
         if let Some(log) = undo {
             log.push(UndoOp::LobFree { lob, old });
@@ -837,6 +1621,7 @@ impl StorageEngine {
     /// by a commit marker, so its effects must replay on recovery exactly
     /// like forward work.
     pub fn rollback(&mut self, log: &mut UndoLog) -> Result<()> {
+        let t = self.current.txn;
         for op in log.drain_reverse() {
             match op {
                 UndoOp::HeapInsert { seg, rid } => {
@@ -844,30 +1629,85 @@ impl StorageEngine {
                         self.wal_append(WalRecord::HeapDelete { seg, rid })?;
                         let h = self.heaps.get_mut(&seg).expect("checked");
                         h.delete(rid)?;
+                        if t != 0 {
+                            self.versions.drop_heap_chain(seg, rid);
+                        }
                         self.cache.write((seg, rid.page));
                     }
                 }
-                UndoOp::HeapDelete { seg, rid, old } | UndoOp::HeapUpdate { seg, rid, old } => {
+                UndoOp::HeapUpdate { seg, rid, old } => {
                     if self.heaps.contains_key(&seg) {
-                        // Update restores in place; delete restores into the
-                        // freed slot. `insert_at` covers the delete case and
-                        // `update` the update case — try update first.
-                        let live =
-                            self.heaps.get_mut(&seg).expect("checked").fetch(rid).is_ok();
-                        if live {
-                            self.wal_append(WalRecord::HeapUpdate {
-                                seg,
-                                rid,
-                                row: old.clone(),
-                            })?;
-                            self.heaps.get_mut(&seg).expect("checked").update(rid, old)?;
-                        } else {
+                        self.wal_append(WalRecord::HeapUpdate { seg, rid, row: old.clone() })?;
+                        self.heaps.get_mut(&seg).expect("checked").update(rid, old.clone())?;
+                        if t != 0 {
+                            // Pop the version this update displaced, if this
+                            // was the displacing write (a same-transaction
+                            // re-update pushed nothing, and its undo image
+                            // won't match the displaced row).
+                            if let Some(m) = self.versions.heap.get_mut(&seg) {
+                                if let Some(chain) = m.get_mut(&rid) {
+                                    if chain.begin == t
+                                        && chain
+                                            .older
+                                            .first()
+                                            .is_some_and(|v| v.end == t && v.row == old)
+                                    {
+                                        let popped = chain.older.remove(0);
+                                        chain.begin = popped.begin;
+                                    }
+                                    if chain.is_trivial() {
+                                        m.remove(&rid);
+                                    }
+                                }
+                            }
+                        }
+                        self.cache.write((seg, rid.page));
+                    }
+                }
+                UndoOp::HeapDelete { seg, rid, old } => {
+                    if self.heaps.contains_key(&seg) {
+                        // Transactional deletes are deferred: the row is
+                        // still physically present and only the chain's
+                        // dead mark needs clearing. The compensating WAL
+                        // record must still restore the row, because replay
+                        // applies deletes physically.
+                        let deferred = t != 0
+                            && self
+                                .versions
+                                .heap_chain(seg, rid)
+                                .is_some_and(|c| c.dead == Some(t));
+                        if deferred {
                             self.wal_append(WalRecord::HeapInsertAt {
                                 seg,
                                 rid,
                                 row: old.clone(),
                             })?;
-                            self.heaps.get_mut(&seg).expect("checked").insert_at(rid, old)?;
+                            let m = self.versions.heap.get_mut(&seg).expect("chain checked");
+                            let chain = m.get_mut(&rid).expect("chain checked");
+                            chain.dead = None;
+                            if chain.is_trivial() {
+                                m.remove(&rid);
+                            }
+                        } else {
+                            // Legacy lane: the slot was freed; restore into
+                            // it (or in place, if something re-occupied it).
+                            let live =
+                                self.heaps.get_mut(&seg).expect("checked").fetch(rid).is_ok();
+                            if live {
+                                self.wal_append(WalRecord::HeapUpdate {
+                                    seg,
+                                    rid,
+                                    row: old.clone(),
+                                })?;
+                                self.heaps.get_mut(&seg).expect("checked").update(rid, old)?;
+                            } else {
+                                self.wal_append(WalRecord::HeapInsertAt {
+                                    seg,
+                                    rid,
+                                    row: old.clone(),
+                                })?;
+                                self.heaps.get_mut(&seg).expect("checked").insert_at(rid, old)?;
+                            }
                         }
                         self.cache.write((seg, rid.page));
                     }
@@ -876,13 +1716,38 @@ impl StorageEngine {
                     if self.iots.contains_key(&seg) {
                         self.wal_append(WalRecord::IotDelete { seg, key: key.clone() })?;
                         self.iots.get_mut(&seg).expect("checked").delete(&key);
+                        if t != 0 {
+                            if let Some(m) = self.versions.iot.get_mut(&seg) {
+                                if let Some(chain) = m.get_mut(&key) {
+                                    if chain.current.as_ref().is_some_and(|c| c.begin == t) {
+                                        chain.current = None;
+                                    }
+                                    if chain.older.is_empty() {
+                                        m.remove(&key);
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
                 UndoOp::IotReplace { seg, old } => {
                     // The key still exists, so upsert preserves its ordinal.
                     if self.iots.contains_key(&seg) {
-                        self.wal_append(WalRecord::IotUpsert { seg, row: old.clone() })?;
-                        self.iots.get_mut(&seg).expect("checked").upsert(old)?;
+                        let ord = {
+                            let iot = self.iots.get(&seg).expect("checked");
+                            iot.peek_upsert_ord(&old)?
+                        };
+                        self.wal_append(WalRecord::IotUpsertOrd {
+                            seg,
+                            row: old.clone(),
+                            ord,
+                        })?;
+                        self.iots.get_mut(&seg).expect("checked").upsert(old.clone())?;
+                        if t != 0 {
+                            let key_cols = self.iots[&seg].key_cols();
+                            let key = Key(old[..key_cols.min(old.len())].to_vec());
+                            Self::pop_iot_version(&mut self.versions, seg, &key, t, &old);
+                        }
                     }
                 }
                 UndoOp::IotDelete { seg, old, ord } => {
@@ -894,7 +1759,15 @@ impl StorageEngine {
                             row: old.clone(),
                             ord,
                         })?;
-                        self.iots.get_mut(&seg).expect("checked").insert_with_ordinal(old, ord)?;
+                        self.iots
+                            .get_mut(&seg)
+                            .expect("checked")
+                            .insert_with_ordinal(old.clone(), ord)?;
+                        if t != 0 {
+                            let key_cols = self.iots[&seg].key_cols();
+                            let key = Key(old[..key_cols.min(old.len())].to_vec());
+                            Self::pop_iot_version(&mut self.versions, seg, &key, t, &old);
+                        }
                     }
                 }
                 UndoOp::LobAllocate { lob } => {

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use extidx_common::{Error, Result};
+use parking_lot::Mutex;
 
 /// Operation counters for the external store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,10 +32,20 @@ pub struct FileStats {
 }
 
 /// An in-memory external "file system" with operation accounting.
-#[derive(Debug, Default, Clone)]
+///
+/// Counters sit behind a mutex so read paths (`read`) can run through a
+/// shared reference — concurrent scan lanes read external index files
+/// without exclusive access to the engine.
+#[derive(Debug, Default)]
 pub struct FileStore {
     files: HashMap<String, Vec<u8>>,
-    stats: FileStats,
+    stats: Mutex<FileStats>,
+}
+
+impl Clone for FileStore {
+    fn clone(&self) -> Self {
+        FileStore { files: self.files.clone(), stats: Mutex::new(*self.stats.lock()) }
+    }
 }
 
 impl FileStore {
@@ -45,7 +56,7 @@ impl FileStore {
 
     /// Create (or truncate) a file.
     pub fn create(&mut self, name: &str) {
-        self.stats.opens += 1;
+        self.stats.lock().opens += 1;
         self.files.insert(name.to_string(), Vec::new());
     }
 
@@ -70,13 +81,14 @@ impl FileStore {
     }
 
     /// Read the whole file.
-    pub fn read(&mut self, name: &str) -> Result<Vec<u8>> {
+    pub fn read(&self, name: &str) -> Result<Vec<u8>> {
         let data = self
             .files
             .get(name)
             .ok_or_else(|| Error::Storage(format!("file {name:?} does not exist")))?;
-        self.stats.read_ops += 1;
-        self.stats.bytes_read += data.len() as u64;
+        let mut st = self.stats.lock();
+        st.read_ops += 1;
+        st.bytes_read += data.len() as u64;
         Ok(data.clone())
     }
 
@@ -88,8 +100,9 @@ impl FileStore {
             .ok_or_else(|| Error::Storage(format!("file {name:?} does not exist")))?;
         data.clear();
         data.extend_from_slice(bytes);
-        self.stats.write_ops += 1;
-        self.stats.bytes_written += bytes.len() as u64;
+        let mut st = self.stats.lock();
+        st.write_ops += 1;
+        st.bytes_written += bytes.len() as u64;
         Ok(())
     }
 
@@ -100,8 +113,9 @@ impl FileStore {
             .get_mut(name)
             .ok_or_else(|| Error::Storage(format!("file {name:?} does not exist")))?;
         data.extend_from_slice(bytes);
-        self.stats.write_ops += 1;
-        self.stats.bytes_written += bytes.len() as u64;
+        let mut st = self.stats.lock();
+        st.write_ops += 1;
+        st.bytes_written += bytes.len() as u64;
         Ok(())
     }
 
@@ -111,8 +125,9 @@ impl FileStore {
         if !self.files.contains_key(name) {
             return Err(Error::Storage(format!("file {name:?} does not exist")));
         }
-        self.stats.flushes += 1;
-        self.stats.write_ops += 1;
+        let mut st = self.stats.lock();
+        st.flushes += 1;
+        st.write_ops += 1;
         Ok(())
     }
 
@@ -126,12 +141,12 @@ impl FileStore {
 
     /// Counter snapshot.
     pub fn stats(&self) -> FileStats {
-        self.stats
+        *self.stats.lock()
     }
 
     /// Zero counters.
     pub fn reset_stats(&mut self) {
-        self.stats = FileStats::default();
+        *self.stats.get_mut() = FileStats::default();
     }
 }
 

@@ -157,6 +157,28 @@ impl HeapTable {
         self.pages.len()
     }
 
+    /// The rowid [`HeapTable::insert`] would assign to `row` right now,
+    /// without inserting. Lets the engine write a placement-explicit WAL
+    /// record *before* applying the mutation (log-before-apply), which is
+    /// required now that recovery replays transactions in commit order
+    /// rather than statement-execution order.
+    pub fn peek_insert_rid(&self, row: &Row) -> RowId {
+        let bytes = approx_row_size(row);
+        if let Some(&(page, slot)) = self
+            .free
+            .iter()
+            .find(|&&(p, _)| self.pages[p as usize].bytes_used + bytes <= PAGE_SIZE)
+        {
+            return RowId::new(self.seg.0, page, slot);
+        }
+        match self.pages.last() {
+            Some(p) if p.fits(bytes) => {
+                RowId::new(self.seg.0, self.pages.len() as u32 - 1, p.slots.len() as u16)
+            }
+            _ => RowId::new(self.seg.0, self.pages.len() as u32, 0),
+        }
+    }
+
     /// Insert a row; returns its new rowid and the page touched.
     pub fn insert(&mut self, row: Row) -> (RowId, u32) {
         let bytes = approx_row_size(&row);
@@ -192,10 +214,24 @@ impl HeapTable {
         (RowId::new(self.seg.0, page_no as u32, slot), page_no as u32)
     }
 
-    /// Re-insert a row at a specific rowid (undo of a delete). The slot
-    /// must currently be empty.
+    /// Insert a row at a specific rowid (undo of a delete, or WAL replay
+    /// of a placement-explicit record). The slot must currently be empty;
+    /// missing pages/slots are grown on demand — commit-order replay can
+    /// materialize placements in a different order than the live run chose
+    /// them, so the target page may not exist yet. Grown-but-skipped slots
+    /// go on the free list, mirroring the live run's recycled slots.
     pub fn insert_at(&mut self, rid: RowId, row: Row) -> Result<()> {
         let bytes = approx_row_size(&row);
+        while self.pages.len() <= rid.page as usize {
+            self.pages.push(HeapPage::default());
+        }
+        let existing = self.pages[rid.page as usize].slots.len();
+        for s in existing..=(rid.slot as usize) {
+            if s < rid.slot as usize {
+                self.free.push((rid.page, s as u16));
+            }
+            self.pages[rid.page as usize].slots.push(None);
+        }
         let page = self
             .pages
             .get_mut(rid.page as usize)

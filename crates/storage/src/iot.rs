@@ -123,6 +123,20 @@ impl IndexOrganizedTable {
         ord
     }
 
+    /// The ordinal the next fresh insert will be assigned. Lets the engine
+    /// write an ordinal-explicit WAL record before applying the mutation
+    /// (commit-order replay must not re-derive ordinal assignments).
+    pub fn peek_next_ord(&self) -> u64 {
+        self.next_ord
+    }
+
+    /// The ordinal an upsert of `row` would end up under: the existing
+    /// key's ordinal, or the next fresh one.
+    pub fn peek_upsert_ord(&self, row: &[extidx_common::Value]) -> Result<u64> {
+        let key = self.key_of(row)?;
+        Ok(self.ords.get(&key).copied().unwrap_or(self.next_ord))
+    }
+
     /// Insert a row. Duplicate keys are a constraint violation, like an
     /// IOT primary key in Oracle. Returns the row's logical-rowid ordinal.
     pub fn insert(&mut self, row: Row) -> Result<(u64, IotIoCharge)> {

@@ -32,12 +32,14 @@ pub mod file_store;
 pub mod heap;
 pub mod iot;
 pub mod lob;
+pub mod mvcc;
 pub mod page;
 pub mod undo;
 pub mod wal;
 
 pub use buffer::{BufferCache, CacheStats};
 pub use engine::StorageEngine;
+pub use mvcc::{Snapshot, TxnManager, TxnStatus, WriteKey, WriteRef};
 pub use page::{SegmentId, PAGE_SIZE};
 pub use undo::{UndoLog, UndoOp};
 pub use wal::{

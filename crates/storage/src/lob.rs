@@ -56,6 +56,19 @@ impl LobStore {
         r
     }
 
+    /// The locator [`LobStore::allocate`] would assign next (WAL
+    /// log-before-apply support for ref-explicit allocation records).
+    pub fn peek_next_ref(&self) -> LobRef {
+        LobRef(self.next + 1)
+    }
+
+    /// Allocate a specific locator (WAL replay of a ref-explicit record —
+    /// commit-order replay must reproduce the live run's assignments).
+    pub fn allocate_at(&mut self, r: LobRef) {
+        self.next = self.next.max(r.0);
+        self.lobs.insert(r, Vec::new());
+    }
+
     /// Total number of LOBs.
     pub fn lob_count(&self) -> usize {
         self.lobs.len()

@@ -80,7 +80,13 @@ pub const WAL_FAULT_POINTS: &[&str] =
 #[derive(Clone)]
 pub enum WalRecord {
     CreateHeap,
+    /// Segment-explicit creation. Under concurrent transactions, replay
+    /// order is commit order — not statement-execution order — so every
+    /// allocation-bearing record must carry the placement decision the
+    /// live run made instead of re-deriving it from replay-time state.
+    CreateHeapAt { seg: SegmentId },
     CreateIot { key_cols: usize },
+    CreateIotAt { seg: SegmentId, key_cols: usize },
     DropSegment { seg: SegmentId },
     TruncateSegment { seg: SegmentId },
     HeapInsert { seg: SegmentId, row: Row },
@@ -90,8 +96,13 @@ pub enum WalRecord {
     IotInsert { seg: SegmentId, row: Row },
     IotInsertOrd { seg: SegmentId, row: Row, ord: u64 },
     IotUpsert { seg: SegmentId, row: Row },
+    /// Ordinal-explicit upsert (see [`WalRecord::CreateHeapAt`]): an upsert
+    /// that inserts must assign the same logical rowid on replay.
+    IotUpsertOrd { seg: SegmentId, row: Row, ord: u64 },
     IotDelete { seg: SegmentId, key: Key },
     LobAllocate,
+    /// Ref-explicit LOB allocation (see [`WalRecord::CreateHeapAt`]).
+    LobAllocateAt { lob: LobRef },
     LobWrite { lob: LobRef, offset: u64, bytes: Vec<u8> },
     LobAppend { lob: LobRef, bytes: Vec<u8> },
     LobOverwrite { lob: LobRef, bytes: Vec<u8> },
@@ -110,7 +121,9 @@ impl std::fmt::Debug for WalRecord {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
             WalRecord::CreateHeap => "CreateHeap",
+            WalRecord::CreateHeapAt { .. } => "CreateHeapAt",
             WalRecord::CreateIot { .. } => "CreateIot",
+            WalRecord::CreateIotAt { .. } => "CreateIotAt",
             WalRecord::DropSegment { .. } => "DropSegment",
             WalRecord::TruncateSegment { .. } => "TruncateSegment",
             WalRecord::HeapInsert { .. } => "HeapInsert",
@@ -120,8 +133,10 @@ impl std::fmt::Debug for WalRecord {
             WalRecord::IotInsert { .. } => "IotInsert",
             WalRecord::IotInsertOrd { .. } => "IotInsertOrd",
             WalRecord::IotUpsert { .. } => "IotUpsert",
+            WalRecord::IotUpsertOrd { .. } => "IotUpsertOrd",
             WalRecord::IotDelete { .. } => "IotDelete",
             WalRecord::LobAllocate => "LobAllocate",
+            WalRecord::LobAllocateAt { .. } => "LobAllocateAt",
             WalRecord::LobWrite { .. } => "LobWrite",
             WalRecord::LobAppend { .. } => "LobAppend",
             WalRecord::LobOverwrite { .. } => "LobOverwrite",
@@ -166,9 +181,18 @@ pub struct WalStats {
     pub wal_len: usize,
 }
 
+/// One durably appended WAL entry: its LSN, the transaction that wrote it
+/// (0 = the legacy single-session/autocommit lane), and the record.
+#[derive(Clone)]
+struct WalEntry {
+    lsn: u64,
+    txn: u64,
+    rec: WalRecord,
+}
+
 struct MediumInner {
     checkpoint: Option<CheckpointImage>,
-    wal: Vec<(u64, WalRecord)>,
+    wal: Vec<WalEntry>,
     next_lsn: u64,
     /// Write-through mirror of the external file store — the authoritative
     /// on-disk file state after a crash.
@@ -264,13 +288,22 @@ impl DurableMedium {
     /// durably in the log — a crash here loses the apply, and recovery
     /// discards the record as part of the uncommitted tail.
     pub fn append(&self, rec: WalRecord) -> Result<()> {
+        self.append_txn(0, rec)
+    }
+
+    /// Append one redo record on behalf of a transaction. Records stay in
+    /// statement-execution order in the log, but recovery regroups them per
+    /// transaction and replays each group at its commit-marker position, so
+    /// the recovered state matches the *commit order* — the order the
+    /// serial twin of a concurrent history uses.
+    pub fn append_txn(&self, txn: u64, rec: WalRecord) -> Result<()> {
         let mut g = self.inner.lock();
         if g.crashed {
             return Err(MediumInner::crash_err());
         }
         let lsn = g.next_lsn;
         g.next_lsn += 1;
-        g.wal.push((lsn, rec));
+        g.wal.push(WalEntry { lsn, txn, rec });
         g.stats.records_appended += 1;
         g.check(FP_WAL_APPEND)
     }
@@ -288,6 +321,15 @@ impl DurableMedium {
     /// Append a commit marker. The `wal.commit` crash point fires *before*
     /// the marker lands — the "between apply and commit marker" kill.
     pub fn commit(&self, payload: Option<CommitBlob>) -> Result<()> {
+        self.commit_txn(0, payload)
+    }
+
+    /// Append a commit marker for one transaction. Markers land in commit
+    /// order (callers hold the engine's write lock while committing), and
+    /// recovery replays each transaction's records at its marker position.
+    /// A transaction whose marker never lands — crash, or rollback — has
+    /// all of its records discarded at recovery.
+    pub fn commit_txn(&self, txn: u64, payload: Option<CommitBlob>) -> Result<()> {
         let mut g = self.inner.lock();
         if g.crashed {
             return Err(MediumInner::crash_err());
@@ -295,7 +337,7 @@ impl DurableMedium {
         g.check(FP_WAL_COMMIT)?;
         let lsn = g.next_lsn;
         g.next_lsn += 1;
-        g.wal.push((lsn, WalRecord::Commit { payload }));
+        g.wal.push(WalEntry { lsn, txn, rec: WalRecord::Commit { payload } });
         g.stats.records_appended += 1;
         g.stats.commits += 1;
         Ok(())
@@ -323,7 +365,7 @@ impl DurableMedium {
         g.checkpoint = Some(CheckpointImage { last_lsn, engine, payload });
         g.stats.checkpoints += 1;
         g.check(FP_WAL_CHECKPOINT_TRUNCATE)?;
-        g.wal.retain(|(lsn, _)| *lsn > last_lsn);
+        g.wal.retain(|e| e.lsn > last_lsn);
         Ok(())
     }
 
@@ -337,32 +379,55 @@ impl DurableMedium {
         f(&mut g.files);
     }
 
-    /// Extract everything recovery needs, discarding the uncommitted WAL
-    /// tail and computing the dirty-file set from `FileActivity` stamps
-    /// strictly after the last commit marker.
+    /// Extract everything recovery needs. Records are regrouped per
+    /// transaction: each transaction's records are emitted at its commit
+    /// marker's position (so replay order is commit order, matching the
+    /// serial twin of a concurrent history), and records of transactions
+    /// whose marker never landed — the uncommitted tail, in-flight
+    /// transactions at the crash, rolled-back transactions — are discarded.
+    /// The dirty-file set is every `FileActivity` stamp among the discarded
+    /// records: the mirror's content for those files may be ahead of the
+    /// recovered database state.
     pub fn recovery_image(&self) -> RecoveryImage {
         let g = self.inner.lock();
         let skip_to = g.checkpoint.as_ref().map(|c| c.last_lsn).unwrap_or(0);
-        let live: Vec<&WalRecord> = g
+        let live: Vec<&WalEntry> = g
             .wal
             .iter()
-            .filter(|(lsn, _)| g.checkpoint.is_none() || *lsn > skip_to)
-            .map(|(_, r)| r)
+            .filter(|e| g.checkpoint.is_none() || e.lsn > skip_to)
             .collect();
-        let last_commit = live.iter().rposition(|r| matches!(r, WalRecord::Commit { .. }));
-        let committed: Vec<WalRecord> = match last_commit {
-            Some(i) => live[..=i].iter().map(|r| (*r).clone()).collect(),
-            None => Vec::new(),
-        };
+        let mut pending: HashMap<u64, Vec<WalRecord>> = HashMap::new();
+        let mut committed: Vec<WalRecord> = Vec::new();
+        for e in &live {
+            match &e.rec {
+                WalRecord::Commit { .. } => {
+                    // The legacy lane (txn 0) commits at every marker — its
+                    // records before this point belong to the statement the
+                    // marker closes. A transaction's own group follows.
+                    if let Some(recs) = pending.remove(&0) {
+                        committed.extend(recs);
+                    }
+                    if e.txn != 0 {
+                        if let Some(recs) = pending.remove(&e.txn) {
+                            committed.extend(recs);
+                        }
+                    }
+                    committed.push(e.rec.clone());
+                }
+                rec => pending.entry(e.txn).or_default().push(rec.clone()),
+            }
+        }
         let mut dirty_files: Vec<String> = Vec::new();
-        let tail_start = last_commit.map(|i| i + 1).unwrap_or(0);
-        for r in &live[tail_start..] {
-            if let WalRecord::FileActivity { name } = r {
-                if !dirty_files.contains(name) {
-                    dirty_files.push(name.clone());
+        for recs in pending.values() {
+            for r in recs {
+                if let WalRecord::FileActivity { name } = r {
+                    if !dirty_files.contains(name) {
+                        dirty_files.push(name.clone());
+                    }
                 }
             }
         }
+        dirty_files.sort();
         RecoveryImage {
             checkpoint: g.checkpoint.clone(),
             committed,
@@ -422,6 +487,44 @@ mod tests {
         m.append(WalRecord::FileActivity { name: "b.idx".into() }).unwrap();
         let img = m.recovery_image();
         assert_eq!(img.dirty_files, vec!["b.idx".to_string()]);
+    }
+
+    #[test]
+    fn interleaved_txn_records_replay_in_commit_order() {
+        let m = DurableMedium::new();
+        // T1 and T2 interleave appends; T2 commits first, then T1.
+        m.append_txn(1, WalRecord::HeapInsertAt { seg: SegmentId(1), rid: RowId::new(1, 0, 0), row: vec![] })
+            .unwrap();
+        m.append_txn(2, WalRecord::HeapInsertAt { seg: SegmentId(1), rid: RowId::new(1, 0, 1), row: vec![] })
+            .unwrap();
+        m.append_txn(1, WalRecord::HeapDelete { seg: SegmentId(1), rid: RowId::new(1, 0, 0) }).unwrap();
+        m.commit_txn(2, None).unwrap();
+        m.commit_txn(1, None).unwrap();
+        let img = m.recovery_image();
+        // T2's record lands before T2's marker; both T1 records follow,
+        // grouped at T1's marker — commit order, not append order.
+        let names: Vec<String> = img.committed.iter().map(|r| format!("{r:?}")).collect();
+        assert_eq!(
+            names,
+            vec!["HeapInsertAt", "Commit", "HeapInsertAt", "HeapDelete", "Commit"]
+        );
+        match &img.committed[0] {
+            WalRecord::HeapInsertAt { rid, .. } => assert_eq!(*rid, RowId::new(1, 0, 1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_flight_txn_records_are_discarded_and_files_marked_dirty() {
+        let m = DurableMedium::new();
+        m.append_txn(7, WalRecord::FileActivity { name: "t7.idx".into() }).unwrap();
+        m.append_txn(8, WalRecord::HeapInsertAt { seg: SegmentId(1), rid: RowId::new(1, 0, 0), row: vec![] })
+            .unwrap();
+        m.commit_txn(8, None).unwrap();
+        // T7 never commits: its records vanish, its file is dirty.
+        let img = m.recovery_image();
+        assert_eq!(img.committed.len(), 2);
+        assert_eq!(img.dirty_files, vec!["t7.idx".to_string()]);
     }
 
     #[test]

@@ -79,6 +79,30 @@ E16_N=5000 E16_RUNS=3 \
     cargo run --release -q -p extidx-bench --bin repro -- e16-wal
 ls target/bench-json/BENCH_e16_wal_overhead.json
 
+# MVCC: the concurrent differential oracle (N interleaved sessions vs a
+# commit-order serial twin, incl. the 8-seed sweep and the 4-thread
+# insert stress), the snapshot-visibility property tests (every scan
+# shape, incl. the chem cartridge's shared-LOB fingerprint store), and
+# the two-in-flight-transactions crash tests. MVCC_SEED pins the
+# default oracle run's seed; panics print the diverging seed + report.
+echo "== mvcc (concurrent oracle + visibility properties) =="
+MVCC_SEED="${MVCC_SEED:-1}" \
+    cargo test -q --test mvcc_differential -- --include-ignored
+cargo test -q --test mvcc_visibility
+cargo test -q --test recovery in_flight
+
+# MVCC bench smoke: aggregate read throughput of 4 reader sessions while
+# a writer transaction is in flight — snapshot readers vs a writer-fair
+# big lock that excludes readers for the transaction's lifetime. Floor
+# 2x; records the MVCC run as BENCH_e17_mvcc.json.
+echo "== bench smoke (e17-mvcc + BENCH json) =="
+E17_TXNS=15 \
+    BENCH_OUT=target/bench-json \
+    GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    BENCH_DATE="$(date -u +%F)" \
+    cargo run --release -q -p extidx-bench --bin repro -- e17-mvcc
+ls target/bench-json/BENCH_e17_mvcc.json
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

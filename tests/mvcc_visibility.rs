@@ -1,0 +1,191 @@
+//! MVCC visibility properties, checked across every scan shape.
+//!
+//! Two invariants, drawn from the snapshot-isolation contract:
+//!
+//! 1. a reader whose snapshot predates a concurrent commit never sees
+//!    that commit's rows — not through a full scan, not through a
+//!    zone-pruned batch scan, and not through a domain-index
+//!    ODCIIndexFetch (the chemistry index keeps its fingerprint store in
+//!    a shared LOB, so this exercises LOB version chains specifically);
+//! 2. versions written by an aborted transaction are never visible to
+//!    anyone, through any of those paths.
+//!
+//! The properties randomize row population, which rows the writer
+//! touches, and the probe predicates. `PROPTEST_CASES` scales the case
+//! count (default 32).
+
+use extidx::common::Value;
+use extidx::sql::{Server, Session};
+use extidx_qgen::{fresh_db, ChaosOpts};
+use proptest::prelude::*;
+
+/// Molecules for the chem-indexed column: the first half match the
+/// `MolContains(mol, 'CO')` probe (they contain a C–O bond), the rest
+/// do not.
+const MOLS: [&str; 6] = ["CCO", "COC", "OCC", "CCC", "CCN", "CCS"];
+
+fn sorted_ids(rows: &[Vec<Value>]) -> Vec<i64> {
+    let mut ids: Vec<i64> = rows
+        .iter()
+        .map(|r| match r[0] {
+            Value::Integer(i) => i,
+            ref v => panic!("expected integer id, got {v:?}"),
+        })
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// The probe queries, each answering "which ids does this snapshot see"
+/// through a different scan shape: chem domain index (forced), the
+/// functional fallback over a full scan (forced), and a range predicate
+/// the batch executor may zone-prune.
+fn probes(lo: i64, hi: i64) -> [String; 3] {
+    [
+        "SELECT /*+ INDEX(MV MV_MOL) */ id FROM MV WHERE MolContains(mol, 'CO')".to_string(),
+        "SELECT /*+ NO_INDEX */ id FROM MV WHERE MolContains(mol, 'CO')".to_string(),
+        format!("SELECT id FROM MV WHERE num >= {lo} AND num <= {hi}"),
+    ]
+}
+
+fn observe(sess: &mut Session, lo: i64, hi: i64) -> Vec<Vec<i64>> {
+    probes(lo, hi)
+        .iter()
+        .map(|q| sorted_ids(&sess.query(q).expect("probe query must run")))
+        .collect()
+}
+
+/// A server with `MV (id, mol, num)`, a chemistry domain index on `mol`,
+/// and `n` seeded rows.
+fn setup(n: usize, seed: u64) -> Server {
+    let server = Server::new(fresh_db(ChaosOpts::default()));
+    let mut s = server.session();
+    s.execute("CREATE TABLE MV (id INTEGER, mol VARCHAR2(64), num INTEGER)").unwrap();
+    s.execute("CREATE INDEX MV_MOL ON MV(mol) INDEXTYPE IS ChemIndexType").unwrap();
+    for i in 0..n {
+        let mol = MOLS[(seed as usize + i) % MOLS.len()];
+        let num = ((seed >> 8) as i64 + i as i64 * 13) % 200;
+        s.execute(&format!("INSERT INTO MV (id, mol, num) VALUES ({i}, '{mol}', {num})"))
+            .unwrap();
+    }
+    server
+}
+
+proptest! {
+    /// Property 1: everything a reader observes at the start of its
+    /// transaction it observes unchanged after a concurrent transaction
+    /// inserts, updates, deletes, and commits — then, once the reader
+    /// ends, a fresh snapshot sees the writer's effects.
+    #[test]
+    fn reader_snapshot_is_repeatable_across_concurrent_commit(
+        n in 8usize..24,
+        seed in any::<u64>(),
+    ) {
+        let server = setup(n, seed);
+        let lo = (seed % 100) as i64;
+        let hi = lo + 60;
+        let victim = (seed % n as u64) as i64;
+        let other = ((seed >> 16) % n as u64) as i64;
+
+        let mut reader = server.session();
+        reader.execute("BEGIN").unwrap();
+        let baseline = observe(&mut reader, lo, hi);
+
+        let mut writer = server.session();
+        writer.execute("BEGIN").unwrap();
+        let fresh_id = n as i64 + 1;
+        writer
+            .execute(&format!(
+                "INSERT INTO MV (id, mol, num) VALUES ({fresh_id}, 'CCO', {})",
+                lo + 1
+            ))
+            .unwrap();
+        writer
+            .execute(&format!(
+                "UPDATE MV SET mol = 'CCO', num = {} WHERE id = {victim}",
+                lo + 2
+            ))
+            .unwrap();
+        writer.execute(&format!("DELETE FROM MV WHERE id = {other}")).unwrap();
+
+        // Mid-flight: the writer is uncommitted, the reader must still
+        // see its baseline through every scan shape.
+        prop_assert_eq!(&observe(&mut reader, lo, hi), &baseline);
+
+        writer.execute("COMMIT").unwrap();
+
+        // Committed, but after the reader's snapshot: still the baseline.
+        let after_commit = observe(&mut reader, lo, hi);
+        prop_assert_eq!(&after_commit, &baseline);
+        for obs in &after_commit {
+            prop_assert!(
+                !obs.contains(&fresh_id),
+                "snapshot reader leaked a post-snapshot insert: {:?}",
+                obs
+            );
+        }
+        reader.execute("COMMIT").unwrap();
+
+        // A snapshot opened after the commit sees all three effects.
+        let now = observe(&mut server.session(), lo, hi);
+        prop_assert!(
+            now[0].contains(&fresh_id) && now[1].contains(&fresh_id),
+            "fresh snapshot must see the committed insert via index and fallback: {:?}",
+            now
+        );
+        if victim != other {
+            prop_assert!(
+                now[0].contains(&victim),
+                "committed UPDATE must register in the domain index: {:?}",
+                now
+            );
+        }
+        for obs in &now {
+            prop_assert!(!obs.contains(&other), "committed DELETE must hide id {}", other);
+        }
+    }
+
+    /// Property 2: an aborted transaction's versions are invisible to
+    /// concurrent readers while it is active and to everyone after the
+    /// rollback, through every scan shape.
+    #[test]
+    fn aborted_versions_are_never_visible(
+        n in 8usize..24,
+        seed in any::<u64>(),
+    ) {
+        let server = setup(n, seed);
+        let lo = (seed % 100) as i64;
+        let hi = lo + 60;
+        let victim = (seed % n as u64) as i64;
+
+        let baseline = observe(&mut server.session(), lo, hi);
+
+        let mut writer = server.session();
+        writer.execute("BEGIN").unwrap();
+        let fresh_id = n as i64 + 1;
+        writer
+            .execute(&format!(
+                "INSERT INTO MV (id, mol, num) VALUES ({fresh_id}, 'CCO', {})",
+                lo + 1
+            ))
+            .unwrap();
+        writer
+            .execute(&format!(
+                "UPDATE MV SET mol = 'CCO', num = {} WHERE id = {victim}",
+                lo + 2
+            ))
+            .unwrap();
+
+        // Uncommitted writes leak to nobody.
+        prop_assert_eq!(&observe(&mut server.session(), lo, hi), &baseline);
+
+        writer.execute("ROLLBACK").unwrap();
+
+        // Rolled back: the world is exactly the baseline again.
+        prop_assert_eq!(&observe(&mut server.session(), lo, hi), &baseline);
+        let mut late = server.session();
+        late.execute("BEGIN").unwrap();
+        prop_assert_eq!(&observe(&mut late, lo, hi), &baseline);
+        late.execute("COMMIT").unwrap();
+    }
+}

@@ -234,3 +234,70 @@ fn trace_report_summarizes_the_session() {
     assert!(report.contains("top statements by elapsed time:"), "{report}");
     assert!(report.contains("Contains(body, 'gorse')"), "{report}");
 }
+
+/// Two real sessions on different threads hammer the same server — one
+/// reading (SQL stats + cache counters + trace ring), one writing — and
+/// the V$ layer must stay coherent: no torn counters, SEQ strictly
+/// increasing, and the reader's statement text present in V$SQLSTATS.
+#[test]
+fn v_tables_stay_coherent_under_two_sessions() {
+    use extidx::common::Value;
+    use extidx::sql::Server;
+
+    let db = text_db(60);
+    db.trace().set_enabled(true);
+    let server = Server::new(db);
+
+    std::thread::scope(|scope| {
+        let mut reader = server.session();
+        let mut writer = server.session();
+        scope.spawn(move || {
+            for _ in 0..40 {
+                reader.query("SELECT id FROM docs WHERE Contains(body, 'gorse')").unwrap();
+                reader.query("SELECT COUNT(*) FROM docs").unwrap();
+            }
+        });
+        scope.spawn(move || {
+            for i in 0..40 {
+                let id = 9000 + i;
+                let mut tries = 0;
+                while writer
+                    .execute(&format!("INSERT INTO docs VALUES ({id}, 'gorse burst')"))
+                    .is_err()
+                {
+                    tries += 1;
+                    assert!(tries < 100, "insert livelock at id {id}");
+                }
+            }
+        });
+    });
+
+    let mut s = server.session();
+    // Cache counters: monotone totals, no panics, reads accounted.
+    let reads = s
+        .query("SELECT VALUE FROM V$CACHE_STATS WHERE NAME = 'LOGICAL_READS'")
+        .unwrap();
+    assert!(
+        matches!(reads[0][0], Value::Integer(n) if n > 0),
+        "concurrent load must be charged to the cache: {reads:?}"
+    );
+    // Statement history carries both sessions' work.
+    let stats = s.query("SELECT SQL_TEXT, ROWS_PROCESSED FROM V$SQLSTATS").unwrap();
+    assert!(
+        stats.iter().any(|r| format!("{:?}", r[0]).contains("Contains(body, 'gorse')")),
+        "reader statements missing from V$SQLSTATS: {stats:?}"
+    );
+    // Trace ring: SEQ strictly increasing even though two sessions fed it.
+    let trace = s.query("SELECT SEQ FROM V$TRACE ORDER BY SEQ").unwrap();
+    let seqs: Vec<i64> = trace
+        .iter()
+        .map(|r| match r[0] {
+            Value::Integer(n) => n,
+            ref v => panic!("SEQ must be an integer, got {v:?}"),
+        })
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "V$TRACE SEQ not monotone: {seqs:?}");
+    // The writer's rows all landed (each insert committed exactly once).
+    let count = s.query("SELECT COUNT(*) FROM docs WHERE Contains(body, 'burst')").unwrap();
+    assert_eq!(count[0][0], Value::Integer(40), "all 40 concurrent inserts must be durable");
+}

@@ -672,3 +672,84 @@ fn qgen_crash_recover_sweep() {
         }
     }
 }
+
+// ---- MVCC: crash with two in-flight sessions --------------------------------
+
+/// Two sessions interleave WAL records; one commits, one is still open
+/// at process death. Recovery must replay exactly the committed
+/// transaction — its records regrouped out of the interleaving — and
+/// discard every record of the open one, marker-less in the log.
+#[test]
+fn crash_with_two_in_flight_sessions_keeps_only_the_committed_one() {
+    use extidx::sql::Server;
+
+    let medium = DurableMedium::new();
+    let mut db = Database::with_cache_pages(256);
+    db.enable_durability(medium.clone()).unwrap();
+    db.execute("CREATE TABLE pair (id INTEGER)").unwrap();
+    let server = Server::new(db);
+
+    let mut a = server.session();
+    let mut b = server.session();
+    a.execute("BEGIN").unwrap();
+    b.execute("BEGIN").unwrap();
+    // Interleave so the log carries a:1, b:100, a:2, b:101 in sequence.
+    a.execute("INSERT INTO pair VALUES (1)").unwrap();
+    b.execute("INSERT INTO pair VALUES (100)").unwrap();
+    a.execute("INSERT INTO pair VALUES (2)").unwrap();
+    b.execute("INSERT INTO pair VALUES (101)").unwrap();
+    a.execute("COMMIT").unwrap();
+    // More in-flight records after the committed marker.
+    b.execute("INSERT INTO pair VALUES (102)").unwrap();
+
+    // Process death: neither session runs its Drop cleanup (a Drop would
+    // write an orderly rollback; a crash writes nothing).
+    std::mem::forget(b);
+    std::mem::forget(a);
+    drop(server);
+
+    let mut rec = Database::with_cache_pages(256);
+    rec.enable_durability(medium).unwrap();
+    assert_eq!(
+        bag(&mut rec, "pair"),
+        vec!["[Integer(1)]".to_string(), "[Integer(2)]".to_string()],
+        "recovery must keep the committed transaction and discard the open one"
+    );
+}
+
+/// Same shape, but the crash fires inside the first session's COMMIT
+/// (the commit-marker append). Neither transaction has a durable marker,
+/// so recovery must discard both — commit atomicity across process death
+/// with a second transaction's records interleaved in the log.
+#[test]
+fn crash_during_commit_with_second_transaction_in_flight_discards_both() {
+    use extidx::sql::Server;
+
+    let medium = DurableMedium::new();
+    let mut db = Database::with_cache_pages(256);
+    db.enable_durability(medium.clone()).unwrap();
+    db.execute("CREATE TABLE pair (id INTEGER)").unwrap();
+    db.fault_injector().arm_fail(FP_WAL_COMMIT, None, 1);
+    let server = Server::new(db);
+
+    let mut a = server.session();
+    let mut b = server.session();
+    a.execute("BEGIN").unwrap();
+    b.execute("BEGIN").unwrap();
+    a.execute("INSERT INTO pair VALUES (1)").unwrap();
+    b.execute("INSERT INTO pair VALUES (100)").unwrap();
+    let err = a.execute("COMMIT").expect_err("armed commit point must crash the commit");
+    assert!(format!("{err}").contains("fault"), "unexpected commit error: {err}");
+
+    std::mem::forget(b);
+    std::mem::forget(a);
+    drop(server);
+
+    let mut rec = Database::with_cache_pages(256);
+    rec.enable_durability(medium).unwrap();
+    assert_eq!(
+        bag(&mut rec, "pair"),
+        Vec::<String>::new(),
+        "a commit that never reached its marker must vanish wholesale"
+    );
+}
