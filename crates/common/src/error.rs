@@ -68,7 +68,10 @@ pub enum Error {
     /// (immediate detection), or commit-time validation found a committed
     /// writer newer than the transaction's snapshot (first-writer-wins).
     /// The losing transaction is rolled back and may be retried.
-    WriteConflict { detail: String },
+    /// `other_txn` is the winning transaction and `key` the contended
+    /// write key (heap rowid / IOT key / LOB byte range) so repros and
+    /// V$TRACE can say exactly what collided.
+    WriteConflict { other_txn: u64, key: String, detail: String },
     /// A cartridge routine violated the sandbox: it panicked, or exceeded
     /// its per-call tick budget. Unlike [`Error::Odci`] (a failure the
     /// cartridge *reported*), this is a failure the cartridge *suffered* —
@@ -121,9 +124,14 @@ impl Error {
         Error::TypeMismatch { expected: expected.into(), found: found.into() }
     }
 
-    /// Shorthand for a snapshot-isolation write conflict.
-    pub fn write_conflict(detail: impl Into<String>) -> Self {
-        Error::WriteConflict { detail: detail.into() }
+    /// Shorthand for a snapshot-isolation write conflict naming the
+    /// winning transaction and the contended key.
+    pub fn write_conflict(
+        other_txn: u64,
+        key: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Error::WriteConflict { other_txn, key: key.into(), detail: detail.into() }
     }
 
     /// Classify an error as transient/retryable. Idempotent: an already
@@ -178,7 +186,7 @@ impl fmt::Display for Error {
             Error::CartridgeFault { indextype, routine, reason } => {
                 write!(f, "cartridge fault in {indextype}.{routine}: {reason}")
             }
-            Error::WriteConflict { detail } => {
+            Error::WriteConflict { detail, .. } => {
                 write!(f, "write conflict (serialization failure): {detail}")
             }
         }

@@ -43,6 +43,9 @@ pub enum Component {
     /// Index-health state machine transitions (VALID / SUSPECT /
     /// QUARANTINED / BUILD_FAILED) recorded by the circuit breaker.
     Health,
+    /// Transaction-layer events: write-write conflicts (first-writer-wins
+    /// aborts naming the winning transaction and the contended key).
+    Txn,
 }
 
 impl std::fmt::Display for Component {
@@ -55,6 +58,7 @@ impl std::fmt::Display for Component {
             Component::Recovery => "RECOVERY",
             Component::Fault => "FAULT",
             Component::Health => "HEALTH",
+            Component::Txn => "TXN",
         };
         write!(f, "{s}")
     }

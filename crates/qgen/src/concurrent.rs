@@ -275,6 +275,12 @@ pub fn run_concurrent_seed(
 
     for step in 0..steps {
         report.steps = step + 1;
+        // Incremental vacuum fires between scheduler steps (on top of the
+        // commit/rollback triggers): the horizon invariant must hold at
+        // every interleaving point, not only at quiescence.
+        if step % 3 == 0 {
+            server.admin(|db| db.storage_mut().vacuum());
+        }
         let si = rng.gen_range(0..sessions);
         let in_txn = sess[si].txn.is_some();
         let roll = rng.gen_range(0..100u32);

@@ -230,6 +230,9 @@ pub enum Statement {
     Begin,
     Commit,
     Rollback,
+    /// Run an incremental MVCC vacuum pass keyed to the oldest active
+    /// snapshot (an explicit trigger for what commit/rollback already do).
+    Vacuum,
 
     // ---- DDL ----
     CreateTable {

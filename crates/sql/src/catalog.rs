@@ -170,6 +170,19 @@ impl Catalog {
                 col("CALLS", SqlType::Integer),
                 col("NEEDS_FULL_REBUILD", SqlType::Varchar(4)),
             ],
+            // MVCC version-chain occupancy per segment (plus a TOTAL row
+            // that is always present, even with no chains), the vacuum
+            // horizon, and cumulative incremental-vacuum counters.
+            "V$MVCC" => vec![
+                col("SEGMENT", SqlType::Varchar(64)),
+                col("CHAINS", SqlType::Integer),
+                col("VERSIONS", SqlType::Integer),
+                col("HORIZON", SqlType::Integer),
+                col("ACTIVE_TXNS", SqlType::Integer),
+                col("VACUUM_RUNS", SqlType::Integer),
+                col("VERSIONS_PRUNED", SqlType::Integer),
+                col("SLOTS_RECLAIMED", SqlType::Integer),
+            ],
             // The CallTrace ring. DROPPED repeats the ring's eviction
             // counter on every row so `SELECT MAX(DROPPED)` surfaces it.
             "V$TRACE" => vec![

@@ -763,7 +763,15 @@ impl Database {
                     for name in pending.iter().rev() {
                         self.catalog.health.pop_pending(name);
                     }
-                    self.compensate_maintenance(maint);
+                    let comp = self.compensate_maintenance(maint);
+                    // The inverse calls' *database-resident* effects fold
+                    // into the statement log so the physical rollback below
+                    // reverses them too (span-granular LOB undo restores
+                    // exact byte ranges, so compensation records would
+                    // otherwise survive as duplicates). External file-store
+                    // effects are invisible to undo and persist — which is
+                    // the whole point of logical compensation.
+                    log.absorb(comp);
                     for obj in created.into_iter().rev() {
                         let _ = self.compensate_created(obj);
                     }
@@ -899,11 +907,15 @@ impl Database {
     /// and inverse-call failures are swallowed (the statement's original
     /// error wins; storage rollback still restores database-resident
     /// index data).
-    fn compensate_maintenance(&mut self, maint: Vec<MaintRecord>) {
+    /// Returns the undo recorded by the inverse calls' database-resident
+    /// mutations; the caller folds it into the statement log ahead of
+    /// physical rollback.
+    fn compensate_maintenance(&mut self, maint: Vec<MaintRecord>) -> UndoLog {
         if maint.is_empty() {
-            return;
+            return UndoLog::new();
         }
         self.compensating = true;
+        let saved_undo = self.stmt_undo.replace(UndoLog::new());
         for rec in maint.into_iter().rev() {
             let Some(d) = self.catalog.domain_index(&rec.index).cloned() else { continue };
             let Ok((index, _, info)) = self.domain_index_runtime(&d) else { continue };
@@ -939,6 +951,9 @@ impl Database {
             self.trace.finish(h);
         }
         self.compensating = false;
+        let comp = self.stmt_undo.take().unwrap_or_default();
+        self.stmt_undo = saved_undo;
+        comp
     }
 
     /// Dispatch without boundary bookkeeping (also the entry point for
@@ -1056,6 +1071,10 @@ impl Database {
                     }
                 }
                 self.fire_event(DbEvent::Rollback)?;
+                Ok(StmtResult::Ok)
+            }
+            Statement::Vacuum => {
+                self.vacuum();
                 Ok(StmtResult::Ok)
             }
             Statement::CreateTable { name, columns, primary_key, organization_index } => {
@@ -2090,6 +2109,27 @@ impl Database {
         self.trace.finish(handle);
     }
 
+    /// Run an incremental vacuum pass now (the `VACUUM` statement, also
+    /// callable by embedders). Commit and rollback already trigger the
+    /// same pass; this is an explicit extra trigger.
+    pub fn vacuum(&mut self) {
+        self.storage.vacuum();
+    }
+
+    /// Record a first-writer-wins abort in `V$TRACE` so the contended key
+    /// and the winning transaction are observable after the fact.
+    pub(crate) fn trace_conflict(&self, err: &Error) {
+        if let Error::WriteConflict { other_txn, key, .. } = err {
+            let h = self.trace.record(
+                Component::Txn,
+                "WriteConflict",
+                "",
+                format!("lost to txn {other_txn} on {key}"),
+            );
+            self.trace.finish(h);
+        }
+    }
+
     /// Snapshot of the per-statement resource stats backing `V$SQLSTATS`.
     pub fn sqlstats(&self) -> Vec<SqlStat> {
         self.sqlstats.lock().iter().cloned().collect()
@@ -2169,6 +2209,41 @@ impl Database {
                     ]
                 })
                 .collect(),
+            "V$MVCC" => {
+                let txns = self.storage.txn_manager();
+                let horizon = self.storage.vacuum_horizon() as i64;
+                let active = txns.active_count() as i64;
+                let vs = self.storage.vacuum_stats();
+                let per_seg = self.storage.mvcc_segment_stats();
+                let (tc, tv) = per_seg
+                    .iter()
+                    .fold((0i64, 0i64), |(c, v), (_, sc, sv)| (c + *sc as i64, v + *sv as i64));
+                // TOTAL first and always present: monitoring queries get a
+                // row even when every chain has drained.
+                let mut out = vec![vec![
+                    Value::from("TOTAL"),
+                    Value::from(tc),
+                    Value::from(tv),
+                    Value::from(horizon),
+                    Value::from(active),
+                    Value::from(vs.runs as i64),
+                    Value::from(vs.versions_pruned as i64),
+                    Value::from(vs.slots_reclaimed as i64),
+                ]];
+                for (label, chains, versions) in per_seg {
+                    out.push(vec![
+                        Value::from(label),
+                        Value::from(chains as i64),
+                        Value::from(versions as i64),
+                        Value::from(horizon),
+                        Value::from(active),
+                        Value::from(vs.runs as i64),
+                        Value::from(vs.versions_pruned as i64),
+                        Value::from(vs.slots_reclaimed as i64),
+                    ]);
+                }
+                out
+            }
             "V$TRACE" => {
                 let dropped = self.trace.dropped() as i64;
                 self.trace

@@ -352,12 +352,11 @@ impl ExecNode for FullScanExec {
             let slots = heap.slots_in_page(self.page);
             // Zone check once per page, on first entry, before any read
             // is charged: consulting segment metadata costs no cache get.
-            // Skipped while the segment carries version chains: zone
-            // bounds describe the physical (newest) rows, and a page may
-            // be excluded even though a displaced version some snapshot
-            // still sees would match — that version is only reachable by
-            // walking the page's rowids.
-            if self.slot == 0 && !self.prune.is_empty() && !versioned {
+            // Valid on chained segments too: the engine widens a page's
+            // zone with every displaced version its chains hold (and
+            // re-widens after each exact rebuild), so the bounds are a
+            // superset of everything any snapshot could see on the page.
+            if self.slot == 0 && !self.prune.is_empty() {
                 let page = self.page;
                 let excluded = self.prune.iter().any(|b| {
                     db.storage.heap_zone_excludes(seg, page, b.col, b.lo.as_ref(), b.hi.as_ref())

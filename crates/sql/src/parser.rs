@@ -192,6 +192,9 @@ impl Parser {
         if self.eat_kw("ROLLBACK") {
             return Ok(Statement::Rollback);
         }
+        if self.eat_kw("VACUUM") {
+            return Ok(Statement::Vacuum);
+        }
         if self.eat_kw("CREATE") {
             return self.create();
         }
@@ -1084,6 +1087,7 @@ mod tests {
         assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
         assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
         assert_eq!(parse("ROLLBACK").unwrap(), Statement::Rollback);
+        assert_eq!(parse("VACUUM").unwrap(), Statement::Vacuum);
     }
 
     #[test]

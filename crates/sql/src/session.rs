@@ -134,6 +134,13 @@ impl Session {
             Statement::Begin => self.begin(),
             Statement::Commit => self.commit(),
             Statement::Rollback => self.rollback(),
+            // Maintenance command: no transaction of its own. Open
+            // snapshots (including this session's) hold the horizon back,
+            // so an explicit VACUUM mid-transaction is always safe.
+            Statement::Vacuum => {
+                self.db.write().vacuum();
+                Ok(StmtResult::Ok)
+            }
             Statement::Select(s) => {
                 // Read lane: shared lock, snapshot-pinned, no mutation.
                 let started = std::time::Instant::now();
@@ -186,6 +193,7 @@ impl Session {
                 Ok(StmtResult::Ok)
             }
             Err(conflict) => {
+                db.trace_conflict(&conflict);
                 let _ = db.session_abort(t.snap, &mut t.undo);
                 Err(conflict)
             }
@@ -212,7 +220,11 @@ impl Session {
             let mut db = self.db.write();
             // A failed statement already rolled its own effects back
             // inside `run_top`; the transaction stays open either way.
-            return db.session_statement(stmt, t.snap, &mut t.undo);
+            let result = db.session_statement(stmt, t.snap, &mut t.undo);
+            if let Err(e) = &result {
+                db.trace_conflict(e);
+            }
+            return result;
         }
         let mut db = self.db.write();
         let txns = db.storage().txn_manager();
@@ -227,6 +239,7 @@ impl Session {
                         Ok(result)
                     }
                     Err(conflict) => {
+                        db.trace_conflict(&conflict);
                         let _ = db.session_abort(snap, &mut undo);
                         Err(conflict)
                     }
@@ -235,6 +248,7 @@ impl Session {
             Err(e) => {
                 // Statement-level rollback (and its Rollback event) ran in
                 // `run_top`; just retire the implicit transaction.
+                db.trace_conflict(&e);
                 db.session_discard(snap);
                 Err(e)
             }

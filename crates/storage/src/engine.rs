@@ -23,8 +23,8 @@ use crate::heap::HeapTable;
 use crate::iot::IndexOrganizedTable;
 use crate::lob::LobStore;
 use crate::mvcc::{
-    self, HeapVersion, IotCurrent, IotVersion, LobVersion, LobVisibility, Snapshot, TxnManager,
-    VersionStore, WriteKey, WriteRef,
+    self, HeapVersion, IotCurrent, IotVersion, LobChain, LobImage, LobSpanVersion, Snapshot,
+    TxnManager, TxnStatus, VersionStore, WriteKey, WriteRef, WHOLE_LOB,
 };
 use crate::page::{SegmentId, PAGE_SIZE};
 use crate::undo::{UndoLog, UndoOp};
@@ -35,6 +35,19 @@ const LOB_SEGMENT: SegmentId = SegmentId(u32::MAX);
 
 /// Default buffer-cache capacity in pages (≈ 64 MiB at 8 KiB/page).
 pub const DEFAULT_CACHE_PAGES: usize = 8192;
+
+/// Lifetime counters for the incremental vacuum, surfaced by `V$MVCC`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VacuumStats {
+    /// Incremental vacuum passes run.
+    pub runs: u64,
+    /// Displaced versions (heap/IOT rows, LOB spans) pruned.
+    pub versions_pruned: u64,
+    /// Dead heap slots physically reclaimed.
+    pub slots_reclaimed: u64,
+    /// Whole chains dropped (drained to trivial or reclaimed).
+    pub chains_dropped: u64,
+}
 
 /// The storage engine: all segments plus cache, undo, and external files.
 pub struct StorageEngine {
@@ -57,7 +70,19 @@ pub struct StorageEngine {
     /// First-writer-wins enforcement knob. Turned off only by the
     /// differential oracle to demonstrate that it catches lost updates.
     conflict_checks: bool,
-    /// Overlay version chains; empty whenever no transaction is active.
+    /// Incremental-vacuum knob. On (default): every vacuum call prunes
+    /// against the oldest-active-snapshot horizon. Off: the PR 8
+    /// quiescence-only behavior — chains drain only when no transaction is
+    /// active (the ablation baseline for the E18 experiment).
+    incremental_vacuum: bool,
+    /// LOB conflict-granularity knob. On (default): LOB writes conflict
+    /// per byte range. Off: every LOB write is treated as a whole-locator
+    /// write for conflict purposes — the PR 8 serialized-maintenance
+    /// baseline (visibility stays span-exact either way).
+    lob_span_conflicts: bool,
+    /// Lifetime incremental-vacuum counters (V$MVCC).
+    vacuum_stats: VacuumStats,
+    /// Overlay version chains; empty whenever nothing concurrent is live.
     versions: VersionStore,
 }
 
@@ -81,6 +106,9 @@ impl StorageEngine {
             txns: Arc::new(TxnManager::default()),
             current: Snapshot::latest(),
             conflict_checks: true,
+            incremental_vacuum: true,
+            lob_span_conflicts: true,
+            vacuum_stats: VacuumStats::default(),
             versions: VersionStore::default(),
         }
     }
@@ -130,13 +158,194 @@ impl StorageEngine {
             || self.versions.iot.get(&seg).is_some_and(|m| !m.is_empty())
     }
 
-    /// Garbage-collect version chains. Only runs at quiescence (no active
-    /// transaction): frees heap slots whose in-place version carries a
-    /// committed delete mark (deferred physical delete — the reason rowids
-    /// are never recycled while a snapshot can still see the old row),
-    /// drops every chain, and forgets commit history. After vacuum the
-    /// store is empty and all legacy invariants hold again.
+    /// Toggle incremental vacuum (on by default). Off restores the PR 8
+    /// quiescence-only behavior for ablation benchmarks.
+    pub fn set_incremental_vacuum(&mut self, on: bool) {
+        self.incremental_vacuum = on;
+    }
+
+    /// Whether incremental vacuum is on.
+    pub fn incremental_vacuum(&self) -> bool {
+        self.incremental_vacuum
+    }
+
+    /// Toggle byte-range LOB conflict granularity (on by default). Off
+    /// treats every LOB write as a whole-locator conflict — the serialized
+    /// same-index-maintenance baseline.
+    pub fn set_lob_span_conflicts(&mut self, on: bool) {
+        self.lob_span_conflicts = on;
+    }
+
+    /// Whether LOB conflicts are byte-range granular.
+    pub fn lob_span_conflicts(&self) -> bool {
+        self.lob_span_conflicts
+    }
+
+    /// Lifetime incremental-vacuum counters.
+    pub fn vacuum_stats(&self) -> VacuumStats {
+        self.vacuum_stats
+    }
+
+    /// The oldest-active-snapshot horizon the next vacuum would prune to.
+    pub fn vacuum_horizon(&self) -> u64 {
+        self.txns.horizon()
+    }
+
+    /// Per-segment MVCC chain statistics for `V$MVCC`: `(label, chains,
+    /// versions)` where `versions` counts displaced images held beyond the
+    /// in-place one (heap/IOT rows, LOB span patches). LOB chains
+    /// aggregate under one `LOB` row; ordering is deterministic.
+    pub fn mvcc_segment_stats(&self) -> Vec<(String, usize, usize)> {
+        let mut out: Vec<(String, usize, usize)> = Vec::new();
+        let mut heap_segs: Vec<_> =
+            self.versions.heap.iter().filter(|(_, m)| !m.is_empty()).collect();
+        heap_segs.sort_by_key(|(s, _)| s.0);
+        for (seg, m) in heap_segs {
+            let versions = m.values().map(|c| c.version_count()).sum();
+            out.push((format!("HEAP:{}", seg.0), m.len(), versions));
+        }
+        let mut iot_segs: Vec<_> =
+            self.versions.iot.iter().filter(|(_, m)| !m.is_empty()).collect();
+        iot_segs.sort_by_key(|(s, _)| s.0);
+        for (seg, m) in iot_segs {
+            let versions = m.values().map(|c| c.version_count()).sum();
+            out.push((format!("IOT:{}", seg.0), m.len(), versions));
+        }
+        if !self.versions.lobs.is_empty() {
+            let versions = self.versions.lobs.values().map(|c| c.version_count()).sum();
+            out.push(("LOB".to_string(), self.versions.lobs.len(), versions));
+        }
+        out
+    }
+
+    /// Garbage-collect version chains and commit history.
+    ///
+    /// Incremental mode (default): keyed to the *oldest active snapshot*
+    /// horizon — the smallest snapshot high among live transactions, or
+    /// the next CSN at quiescence. A displaced version whose end stamp
+    /// committed at or below the horizon is invisible to every live and
+    /// future snapshot (they all see a newer one instead) and is pruned;
+    /// an in-place version whose delete mark committed at or below the
+    /// horizon is physically reclaimed — the rowid becomes reusable
+    /// exactly when no snapshot can see the old row, preserving the
+    /// no-rowid-reuse guarantee for live snapshots. Runs on every
+    /// commit/rollback, so chains stay bounded without quiescence.
+    ///
+    /// Quiescence mode (`set_incremental_vacuum(false)`, the PR 8
+    /// baseline): only acts when no transaction is active, then clears
+    /// everything.
     pub fn vacuum(&mut self) {
+        if !self.incremental_vacuum {
+            self.vacuum_at_quiescence();
+            return;
+        }
+        let txns = Arc::clone(&self.txns);
+        let horizon = txns.horizon();
+        // A stamp is "settled" when its writer committed at or below the
+        // horizon: every live snapshot has high ≥ horizon, so all of them
+        // (and every future snapshot) see that commit.
+        let settled = |stamp: u64| txns.committed_csn(stamp).is_some_and(|csn| csn <= horizon);
+        let aborted = |stamp: u64| matches!(txns.status(stamp), Some(TxnStatus::Aborted));
+
+        let mut pruned = 0u64;
+        let mut dropped = 0u64;
+        let mut reclaim: Vec<(SegmentId, RowId)> = Vec::new();
+
+        for (&seg, chains) in self.versions.heap.iter_mut() {
+            chains.retain(|&rid, chain| {
+                if chain.dead.is_some_and(&settled) {
+                    // The delete is settled: no snapshot can see this row
+                    // or any displaced version under it.
+                    pruned += chain.older.len() as u64;
+                    dropped += 1;
+                    reclaim.push((seg, rid));
+                    return false;
+                }
+                let before = chain.older.len();
+                chain.older.retain(|v| !settled(v.end) && !aborted(v.begin));
+                pruned += (before - chain.older.len()) as u64;
+                if chain.begin != 0 && settled(chain.begin) {
+                    chain.begin = 0; // in-place version now visible to all
+                }
+                if chain.is_trivial() {
+                    dropped += 1;
+                    return false;
+                }
+                true
+            });
+        }
+        self.versions.heap.retain(|_, m| !m.is_empty());
+
+        for chains in self.versions.iot.values_mut() {
+            chains.retain(|_, chain| {
+                let before = chain.older.len();
+                chain.older.retain(|v| !settled(v.end) && !aborted(v.begin));
+                pruned += (before - chain.older.len()) as u64;
+                if let Some(cur) = &mut chain.current {
+                    if cur.begin != 0 && settled(cur.begin) {
+                        cur.begin = 0;
+                    }
+                }
+                if chain.is_trivial() {
+                    dropped += 1;
+                    return false;
+                }
+                true
+            });
+        }
+        self.versions.iot.retain(|_, m| !m.is_empty());
+
+        self.versions.lobs.retain(|_, chain| {
+            let before = chain.spans.len();
+            chain.spans.retain(|v| !settled(v.by) && !aborted(v.by));
+            pruned += (before - chain.spans.len()) as u64;
+            if chain.begin != 0 && (settled(chain.begin) || aborted(chain.begin)) {
+                chain.begin = 0;
+            }
+            if chain.is_trivial() {
+                dropped += 1;
+                return false;
+            }
+            true
+        });
+
+        // Physically reclaim settled-dead slots in deterministic order so
+        // repeated runs produce identical free-list state.
+        reclaim.sort_by_key(|&(s, r)| (s.0, r.page, r.slot));
+        let mut touched: Vec<SegmentId> = Vec::new();
+        for (seg, rid) in reclaim {
+            if let Some(h) = self.heaps.get_mut(&seg) {
+                if h.delete(rid).is_ok() {
+                    self.vacuum_stats.slots_reclaimed += 1;
+                    self.cache.write((seg, rid.page));
+                    if !touched.contains(&seg) {
+                        touched.push(seg);
+                    }
+                }
+            }
+        }
+        // A reclaim that emptied a page rebuilt that page's zone entry
+        // exactly; re-widen with any chain-held displaced rows so the
+        // superset invariant keeps covering them.
+        for seg in touched {
+            self.widen_zones_with_chains(seg);
+        }
+
+        self.vacuum_stats.runs += 1;
+        self.vacuum_stats.versions_pruned += pruned;
+        self.vacuum_stats.chains_dropped += dropped;
+
+        // Commit-history pruning: keep statuses of active transactions and
+        // of any stamp a surviving chain still references; keep committed
+        // write-set entries above the horizon (first-writer-wins
+        // validation still needs them for in-flight snapshots).
+        self.txns.prune_history(horizon, &self.versions.referenced_stamps());
+    }
+
+    /// The PR 8 quiescence-only vacuum (ablation baseline): frees heap
+    /// slots with committed delete marks, drops every chain, and forgets
+    /// commit history — but only when no transaction is active.
+    fn vacuum_at_quiescence(&mut self) {
         if self.txns.active_count() != 0 {
             return;
         }
@@ -172,20 +381,28 @@ impl StorageEngine {
         if let Some(chain) = self.versions.heap_chain(seg, rid) {
             for stamp in [Some(chain.begin), chain.dead].into_iter().flatten() {
                 if stamp != 0 && stamp != t && self.txns.is_active(stamp) {
-                    return Err(Error::write_conflict(format!(
-                        "txn {t}: heap row {rid} in {seg} has an uncommitted version from txn {stamp}"
-                    )));
+                    return Err(Error::write_conflict(
+                        stamp,
+                        format!("heap rowid {rid} in {seg}"),
+                        format!(
+                            "txn {t}: heap row {rid} in {seg} has an uncommitted version from txn {stamp}"
+                        ),
+                    ));
                 }
             }
         }
         if self.conflict_checks {
             let wref = WriteRef { seg, key: WriteKey::Rid(rid) };
-            if let Some(csn) = self.txns.committed_writer(&wref) {
+            if let Some((csn, winner)) = self.txns.committed_writer(&wref) {
                 if csn > self.current.high {
-                    return Err(Error::write_conflict(format!(
-                        "txn {t}: heap row {rid} in {seg} was committed at csn {csn}, after this snapshot (high {})",
-                        self.current.high
-                    )));
+                    return Err(Error::write_conflict(
+                        winner,
+                        format!("heap rowid {rid} in {seg}"),
+                        format!(
+                            "txn {t}: heap row {rid} in {seg} was committed by txn {winner} at csn {csn}, after this snapshot (high {})",
+                            self.current.high
+                        ),
+                    ));
                 }
             }
         }
@@ -207,73 +424,133 @@ impl StorageEngine {
                 .chain(chain.older.first().map(|v| v.end));
             for stamp in stamps {
                 if stamp != 0 && stamp != t && self.txns.is_active(stamp) {
-                    return Err(Error::write_conflict(format!(
-                        "txn {t}: IOT key {key} in {seg} has an uncommitted version from txn {stamp}"
-                    )));
+                    return Err(Error::write_conflict(
+                        stamp,
+                        format!("iot key {key} in {seg}"),
+                        format!(
+                            "txn {t}: IOT key {key} in {seg} has an uncommitted version from txn {stamp}"
+                        ),
+                    ));
                 }
             }
         }
         if self.conflict_checks {
             let wref = WriteRef { seg, key: WriteKey::Key(key.clone()) };
-            if let Some(csn) = self.txns.committed_writer(&wref) {
+            if let Some((csn, winner)) = self.txns.committed_writer(&wref) {
                 if csn > self.current.high {
-                    return Err(Error::write_conflict(format!(
-                        "txn {t}: IOT key {key} in {seg} was committed at csn {csn}, after this snapshot (high {})",
-                        self.current.high
-                    )));
+                    return Err(Error::write_conflict(
+                        winner,
+                        format!("iot key {key} in {seg}"),
+                        format!(
+                            "txn {t}: IOT key {key} in {seg} was committed by txn {winner} at csn {csn}, after this snapshot (high {})",
+                            self.current.high
+                        ),
+                    ));
                 }
             }
         }
         Ok(())
     }
 
-    /// Structural + early conflict check for a LOB write. LOB-backed
-    /// index stores share one LOB across all of an index's rows, so this
-    /// serializes concurrent maintenance of the same index — a coarser
-    /// grain than row-level, never a lost update.
-    fn check_lob_write(&self, lob: LobRef) -> Result<()> {
+    /// The byte range a LOB write of `len` bytes at `start` conflicts on.
+    /// `len == WHOLE_LOB` marks a whole-locator operation (overwrite,
+    /// free). With the granularity knob off every write widens to the
+    /// whole locator, restoring serialized same-index maintenance.
+    fn lob_conflict_span(&self, start: u64, len: u64) -> (u64, u64) {
+        if !self.lob_span_conflicts || len == WHOLE_LOB {
+            return (0, WHOLE_LOB);
+        }
+        (start, start.saturating_add(len))
+    }
+
+    /// Structural + early conflict check for a LOB write of `len` bytes at
+    /// `start` (`len == WHOLE_LOB` for whole-locator operations).
+    /// LOB-backed index stores share one LOB across all of an index's
+    /// rows; byte-range granularity lets two sessions maintain the same
+    /// index concurrently as long as their writes touch disjoint ranges —
+    /// first-writer-wins applies only to genuinely overlapping writes.
+    fn check_lob_write(&self, lob: LobRef, start: u64, len: u64) -> Result<()> {
         let t = self.current.txn;
         if t == 0 {
             return Ok(());
         }
+        let (cs, ce) = self.lob_conflict_span(start, len);
+        let overlaps = |v: &LobSpanVersion| {
+            let (vs, ve) = if v.len == WHOLE_LOB {
+                (0, WHOLE_LOB)
+            } else {
+                (v.start, v.start.saturating_add(v.len))
+            };
+            vs < ce && cs < ve
+        };
         if let Some(chain) = self.versions.lobs.get(&lob) {
             let stamp = chain.begin;
             if stamp != 0 && stamp != t && self.txns.is_active(stamp) {
-                return Err(Error::write_conflict(format!(
-                    "txn {t}: LOB {lob} has an uncommitted version from txn {stamp}"
-                )));
+                return Err(Error::write_conflict(
+                    stamp,
+                    format!("{lob} (whole)"),
+                    format!("txn {t}: {lob} was allocated by uncommitted txn {stamp}"),
+                ));
+            }
+            for v in &chain.spans {
+                if v.by != t && self.txns.is_active(v.by) && overlaps(v) {
+                    return Err(Error::write_conflict(
+                        v.by,
+                        format!("{lob} bytes [{cs}, {ce})"),
+                        format!(
+                            "txn {t}: {lob} bytes [{cs}, {ce}) overlap an uncommitted write by txn {} at [{}, {})",
+                            v.by, v.start, v.start.saturating_add(v.len)
+                        ),
+                    ));
+                }
             }
         }
         if self.conflict_checks {
-            let wref = WriteRef { seg: LOB_SEGMENT, key: WriteKey::Lob(lob) };
-            if let Some(csn) = self.txns.committed_writer(&wref) {
+            let wref =
+                WriteRef { seg: LOB_SEGMENT, key: WriteKey::LobSpan { lob, start: cs, end: ce } };
+            if let Some((csn, winner)) = self.txns.committed_writer(&wref) {
                 if csn > self.current.high {
-                    return Err(Error::write_conflict(format!(
-                        "txn {t}: LOB {lob} was committed at csn {csn}, after this snapshot (high {})",
-                        self.current.high
-                    )));
+                    return Err(Error::write_conflict(
+                        winner,
+                        format!("{lob} bytes [{cs}, {ce})"),
+                        format!(
+                            "txn {t}: {lob} bytes [{cs}, {ce}) overlap a write committed by txn {winner} at csn {csn}, after this snapshot (high {})",
+                            self.current.high
+                        ),
+                    ));
                 }
             }
         }
         Ok(())
     }
 
-    /// MVCC bookkeeping before a LOB mutation: displace the before-image
-    /// into the version chain (first touch per transaction) and record the
-    /// write for commit-time validation. No-op on the legacy lane.
-    fn displace_lob(&mut self, lob: LobRef) {
+    /// MVCC bookkeeping before a LOB mutation of `len` bytes at `start`
+    /// (`WHOLE_LOB` = whole-locator): displace the before-image of exactly
+    /// that byte range into the version chain and record the write for
+    /// commit-time validation. No-op on the legacy lane.
+    fn displace_lob_span(&mut self, lob: LobRef, start: u64, len: u64) {
         let t = self.current.txn;
         if t == 0 {
             return;
         }
-        let prior = self.versions.lobs.get(&lob).map_or(0, |c| c.begin);
-        if prior != t {
-            let before = self.lobs.read_all(lob).map(|(b, _)| b).unwrap_or_default();
-            let chain = self.versions.lobs.entry(lob).or_default();
-            chain.older.insert(0, LobVersion { bytes: before, begin: prior, end: t });
-            chain.begin = t;
-        }
-        self.txns.record_write(t, WriteRef { seg: LOB_SEGMENT, key: WriteKey::Lob(lob) });
+        let old = if len == WHOLE_LOB {
+            self.lobs.read_all(lob).map(|(b, _)| b).unwrap_or_default()
+        } else {
+            let cur = self.lobs.length(lob).unwrap_or(0);
+            let end = start.saturating_add(len).min(cur);
+            if start < end {
+                self.lobs.read(lob, start, (end - start) as usize).map(|(b, _)| b).unwrap_or_default()
+            } else {
+                Vec::new()
+            }
+        };
+        let chain = self.versions.lobs.entry(lob).or_default();
+        chain.spans.insert(0, LobSpanVersion { start, len, old, by: t });
+        let (cs, ce) = self.lob_conflict_span(start, len);
+        self.txns.record_write(
+            t,
+            WriteRef { seg: LOB_SEGMENT, key: WriteKey::LobSpan { lob, start: cs, end: ce } },
+        );
     }
 
     fn alloc_segment(&mut self) -> SegmentId {
@@ -417,8 +694,16 @@ impl StorageEngine {
             WalRecord::LobWrite { lob, offset, bytes } => {
                 let _ = self.lob_write(*lob, *offset, bytes, None);
             }
-            WalRecord::LobAppend { lob, bytes } => {
-                let _ = self.lob_append(*lob, bytes, None);
+            WalRecord::LobAppendAt { lob, offset, bytes } => {
+                // A gap below the recorded offset means an aborted
+                // transaction's append was skipped during commit-order
+                // replay; live rollback hole-filled that space with 0xFF
+                // tombstone bytes, so replay must too.
+                let _ = self.lobs.pad_to(*lob, *offset, 0xFF);
+                let _ = self.lob_write(*lob, *offset, bytes, None);
+            }
+            WalRecord::LobTruncate { lob, len } => {
+                let _ = self.lobs.truncate(*lob, *len);
             }
             WalRecord::LobOverwrite { lob, bytes } => {
                 let _ = self.lob_overwrite(*lob, bytes, None);
@@ -436,10 +721,29 @@ impl StorageEngine {
     }
 
     /// Recompute exact zone maps on every heap segment (end of recovery:
-    /// replay re-derives superset bounds, this tightens them).
+    /// replay re-derives superset bounds, this tightens them). Chain-held
+    /// displaced rows are re-widened in so the superset invariant covers
+    /// versions a snapshot may still resolve to.
     pub fn rebuild_all_zone_maps(&mut self) {
-        for h in self.heaps.values_mut() {
-            h.rebuild_zone_maps();
+        let segs: Vec<SegmentId> = self.heaps.keys().copied().collect();
+        for seg in segs {
+            self.heaps.get_mut(&seg).expect("listed above").rebuild_zone_maps();
+            self.widen_zones_with_chains(seg);
+        }
+    }
+
+    /// Widen a heap segment's zone maps with every chain-held displaced
+    /// row image, so zone pruning stays sound (and therefore stays *on*)
+    /// while the segment carries version chains: a page may be skipped
+    /// only if no physical row *and no displaced version* on it can
+    /// match. Widen-only — bounds never tighten here.
+    fn widen_zones_with_chains(&mut self, seg: SegmentId) {
+        let Some(chains) = self.versions.heap.get(&seg) else { return };
+        let Some(h) = self.heaps.get_mut(&seg) else { return };
+        for (rid, chain) in chains {
+            for v in &chain.older {
+                h.widen_page_zone(rid.page, &v.row);
+            }
         }
     }
 
@@ -540,11 +844,13 @@ impl StorageEngine {
     }
 
     /// Recompute exact zone-map bounds for a heap segment (ANALYZE-time
-    /// rebuild; no-op for non-heap segments).
+    /// rebuild; no-op for non-heap segments), then re-widen with
+    /// chain-held displaced rows to keep the superset invariant.
     pub fn heap_rebuild_zone_maps(&mut self, seg: SegmentId) {
         if let Some(h) = self.heaps.get_mut(&seg) {
             h.rebuild_zone_maps();
         }
+        self.widen_zones_with_chains(seg);
     }
 
     /// Snapshot of cache statistics.
@@ -685,7 +991,11 @@ impl StorageEngine {
         self.wal_append(WalRecord::HeapDelete { seg, rid })?;
         let old = if t == 0 {
             let h = self.heaps.get_mut(&seg).expect("existence checked above");
-            h.delete(rid)?
+            let old = h.delete(rid)?;
+            // A delete that emptied the page rebuilt its zone entry
+            // exactly; re-cover chain-held displaced rows.
+            self.widen_zones_with_chains(seg);
+            old
         } else {
             let h = self.heaps.get(&seg).expect("existence checked above");
             let old = h.fetch(rid)?.clone();
@@ -1347,6 +1657,24 @@ impl StorageEngine {
         }
     }
 
+    /// Pop the newest span a rolled-back LOB write pushed (rollback
+    /// support): the physical bytes are restored, so the span's patch must
+    /// leave the chain too or readers would un-apply it twice.
+    fn pop_lob_span(versions: &mut VersionStore, lob: LobRef, t: u64, start: u64, len: u64) {
+        if let Some(chain) = versions.lobs.get_mut(&lob) {
+            if let Some(pos) = chain
+                .spans
+                .iter()
+                .position(|v| v.by == t && v.start == start && v.len == len)
+            {
+                chain.spans.remove(pos);
+            }
+            if chain.is_trivial() {
+                versions.lobs.remove(&lob);
+            }
+        }
+    }
+
     // ----- LOB operations -------------------------------------------------------
 
     fn lob_page(lob: LobRef, page: usize) -> u32 {
@@ -1374,8 +1702,14 @@ impl StorageEngine {
         // that cannot see the creator do not see its content either.
         let t = self.current.txn;
         if t != 0 {
-            self.versions.lobs.insert(lob, crate::mvcc::LobChain { begin: t, older: Vec::new() });
-            self.txns.record_write(t, WriteRef { seg: LOB_SEGMENT, key: WriteKey::Lob(lob) });
+            self.versions.lobs.insert(lob, LobChain { begin: t, spans: Vec::new() });
+            self.txns.record_write(
+                t,
+                WriteRef {
+                    seg: LOB_SEGMENT,
+                    key: WriteKey::LobSpan { lob, start: 0, end: WHOLE_LOB },
+                },
+            );
         }
         self.wal_applied()?;
         Ok(lob)
@@ -1388,10 +1722,10 @@ impl StorageEngine {
 
     /// LOB length under a specific snapshot.
     pub fn lob_length_at(&self, lob: LobRef, snap: &Snapshot) -> Result<u64> {
-        match self.lob_visibility(lob, snap) {
-            LobVisibility::Current => self.lobs.length(lob),
-            LobVisibility::Older(bytes) => Ok(bytes.len() as u64),
-            LobVisibility::Absent => Ok(0),
+        match self.lob_image(lob, snap)? {
+            LobImage::Current => self.lobs.length(lob),
+            LobImage::Patched(bytes) => Ok(bytes.len() as u64),
+            LobImage::Absent => Ok(0),
         }
     }
 
@@ -1408,19 +1742,19 @@ impl StorageEngine {
         len: usize,
         snap: &Snapshot,
     ) -> Result<Vec<u8>> {
-        match self.lob_visibility(lob, snap) {
-            LobVisibility::Current => {
+        match self.lob_image(lob, snap)? {
+            LobImage::Current => {
                 let (bytes, charge) = self.lobs.read(lob, offset, len)?;
                 self.charge_lob(lob, charge);
                 Ok(bytes)
             }
-            LobVisibility::Older(bytes) => {
+            LobImage::Patched(bytes) => {
                 let off = (offset as usize).min(bytes.len());
                 let end = (off + len).min(bytes.len());
                 self.charge_lob_span(lob, off, end - off);
                 Ok(bytes[off..end].to_vec())
             }
-            LobVisibility::Absent => Ok(Vec::new()),
+            LobImage::Absent => Ok(Vec::new()),
         }
     }
 
@@ -1431,26 +1765,38 @@ impl StorageEngine {
 
     /// Read a whole LOB under a specific snapshot.
     pub fn lob_read_all_at(&self, lob: LobRef, snap: &Snapshot) -> Result<Vec<u8>> {
-        match self.lob_visibility(lob, snap) {
-            LobVisibility::Current => {
+        match self.lob_image(lob, snap)? {
+            LobImage::Current => {
                 let (bytes, charge) = self.lobs.read_all(lob)?;
                 self.charge_lob(lob, charge);
                 Ok(bytes)
             }
-            LobVisibility::Older(bytes) => {
+            LobImage::Patched(bytes) => {
                 self.charge_lob_span(lob, 0, bytes.len());
-                Ok(bytes.to_vec())
+                Ok(bytes)
             }
-            LobVisibility::Absent => Ok(Vec::new()),
+            LobImage::Absent => Ok(Vec::new()),
         }
     }
 
-    /// Which content of a LOB the snapshot sees.
-    fn lob_visibility(&self, lob: LobRef, snap: &Snapshot) -> LobVisibility<'_> {
-        match self.versions.lobs.get(&lob) {
-            None => LobVisibility::Current,
-            Some(chain) => mvcc::resolve_lob(&self.txns, chain, snap),
+    /// Which content of a LOB the snapshot sees: the physical bytes
+    /// (common case), a patched reconstruction with invisible span writes
+    /// un-applied, or nothing at all (allocation not yet visible).
+    fn lob_image(&self, lob: LobRef, snap: &Snapshot) -> Result<LobImage> {
+        let Some(chain) = self.versions.lobs.get(&lob) else {
+            return Ok(LobImage::Current);
+        };
+        if !self.txns.stamp_visible(chain.begin, snap) {
+            return Ok(LobImage::Absent);
         }
+        if chain.spans.iter().all(|v| self.txns.stamp_visible(v.by, snap)) {
+            return Ok(LobImage::Current);
+        }
+        // Reconstruction path: start from the physical bytes (empty if the
+        // locator was physically freed — a whole-image span restores the
+        // content) and un-apply every invisible span, newest first.
+        let physical = self.lobs.read_all(lob).map(|(b, _)| b).unwrap_or_default();
+        Ok(mvcc::resolve_lob_image(&self.txns, chain, &physical, snap))
     }
 
     /// Cache charge for a read served from a displaced version (same page
@@ -1462,7 +1808,11 @@ impl StorageEngine {
         }
     }
 
-    /// Write into a LOB at an offset.
+    /// Write into a LOB at an offset. Conflict detection, undo, and
+    /// version displacement are all span-granular: only the byte range
+    /// `[offset, offset+len)` is touched (widened down to the current end
+    /// of the LOB when the write lands past it, so the zero-filled gap is
+    /// part of the span and rollback can truncate it away).
     pub fn lob_write(
         &mut self,
         lob: LobRef,
@@ -1470,63 +1820,78 @@ impl StorageEngine {
         bytes: &[u8],
         undo: Option<&mut UndoLog>,
     ) -> Result<()> {
-        self.check_lob_write(lob)?;
+        let cur = self.lobs.length(lob)?;
+        let start = offset.min(cur);
+        let len = offset.saturating_add(bytes.len() as u64) - start;
+        self.check_lob_write(lob, start, len)?;
         self.wal_append(WalRecord::LobWrite { lob, offset, bytes: bytes.to_vec() })?;
         if let Some(log) = undo {
-            let (old, _) = self.lobs.read_all(lob)?;
-            log.push(UndoOp::LobModify { lob, old });
+            let end = start.saturating_add(len).min(cur);
+            let old = if start < end {
+                self.lobs.read(lob, start, (end - start) as usize)?.0
+            } else {
+                Vec::new()
+            };
+            log.push(UndoOp::LobSpan { lob, start, len, old });
         }
-        self.displace_lob(lob);
+        self.displace_lob_span(lob, start, len);
         let charge = self.lobs.write(lob, offset, bytes)?;
         self.charge_lob(lob, charge);
         self.wal_applied()
     }
 
-    /// Append to a LOB; returns the offset written at.
+    /// Append to a LOB; returns the offset written at. The WAL record is
+    /// offset-explicit (peeked before apply) so commit-order replay places
+    /// the bytes exactly where the live run did even when other
+    /// transactions' appends interleaved.
     pub fn lob_append(
         &mut self,
         lob: LobRef,
         bytes: &[u8],
         undo: Option<&mut UndoLog>,
     ) -> Result<u64> {
-        self.check_lob_write(lob)?;
-        self.wal_append(WalRecord::LobAppend { lob, bytes: bytes.to_vec() })?;
+        let offset = self.lobs.length(lob)?;
+        let len = bytes.len() as u64;
+        self.check_lob_write(lob, offset, len)?;
+        self.wal_append(WalRecord::LobAppendAt { lob, offset, bytes: bytes.to_vec() })?;
         if let Some(log) = undo {
-            let (old, _) = self.lobs.read_all(lob)?;
-            log.push(UndoOp::LobModify { lob, old });
+            log.push(UndoOp::LobSpan { lob, start: offset, len, old: Vec::new() });
         }
-        self.displace_lob(lob);
+        self.displace_lob_span(lob, offset, len);
         let (off, charge) = self.lobs.append(lob, bytes)?;
+        debug_assert_eq!(off, offset, "peeked append offset must match placement");
         self.charge_lob(lob, charge);
         self.wal_applied()?;
         Ok(off)
     }
 
-    /// Replace a LOB's entire contents.
+    /// Replace a LOB's entire contents (a whole-locator operation: it
+    /// conflicts with every concurrent write to the locator).
     pub fn lob_overwrite(
         &mut self,
         lob: LobRef,
         bytes: &[u8],
         undo: Option<&mut UndoLog>,
     ) -> Result<()> {
-        self.check_lob_write(lob)?;
+        self.check_lob_write(lob, 0, WHOLE_LOB)?;
         self.wal_append(WalRecord::LobOverwrite { lob, bytes: bytes.to_vec() })?;
         if let Some(log) = undo {
             let (old, _) = self.lobs.read_all(lob)?;
             log.push(UndoOp::LobModify { lob, old });
         }
-        self.displace_lob(lob);
+        self.displace_lob_span(lob, 0, WHOLE_LOB);
         let charge = self.lobs.overwrite(lob, bytes)?;
         self.charge_lob(lob, charge);
         self.wal_applied()
     }
 
-    /// Free a LOB. The before-image is displaced into the version chain
-    /// first, so snapshots that predate the free still read the content.
+    /// Free a LOB (whole-locator). The before-image is displaced into the
+    /// version chain first, so snapshots that predate the free still read
+    /// the content.
     pub fn lob_free(&mut self, lob: LobRef, undo: Option<&mut UndoLog>) -> Result<()> {
-        self.check_lob_write(lob)?;
+        self.check_lob_write(lob, 0, WHOLE_LOB)?;
         self.wal_append(WalRecord::LobFree { lob })?;
-        self.displace_lob(lob);
+        self.displace_lob_span(lob, 0, WHOLE_LOB);
         let old = self.lobs.free(lob)?;
         if let Some(log) = undo {
             log.push(UndoOp::LobFree { lob, old });
@@ -1632,6 +1997,7 @@ impl StorageEngine {
                         if t != 0 {
                             self.versions.drop_heap_chain(seg, rid);
                         }
+                        self.widen_zones_with_chains(seg);
                         self.cache.write((seg, rid.page));
                     }
                 }
@@ -1773,10 +2139,52 @@ impl StorageEngine {
                 UndoOp::LobAllocate { lob } => {
                     self.wal_append(WalRecord::LobFree { lob })?;
                     let _ = self.lobs.free(lob);
+                    // The allocation never becomes visible; without this
+                    // the chain (begin = aborted txn) would linger forever.
+                    self.versions.lobs.remove(&lob);
+                }
+                UndoOp::LobSpan { lob, start, len, old } => {
+                    // Offset-stable span rollback: restore the before-image
+                    // in place, then truncate (if this write was the end of
+                    // the LOB) or 0xFF-hole-fill the part the write
+                    // extended — never shift other writers' bytes. The
+                    // compensation is WAL-logged as plain redo records so
+                    // commit-order replay reproduces it.
+                    let cur = self.lobs.length(lob).unwrap_or(0);
+                    let old_end = start + old.len() as u64;
+                    let write_end = start.saturating_add(len);
+                    if !old.is_empty() {
+                        self.wal_append(WalRecord::LobWrite {
+                            lob,
+                            offset: start,
+                            bytes: old.clone(),
+                        })?;
+                        let _ = self.lobs.write(lob, start, &old);
+                    }
+                    if write_end >= cur {
+                        if old_end < cur {
+                            self.wal_append(WalRecord::LobTruncate { lob, len: old_end })?;
+                            let _ = self.lobs.truncate(lob, old_end);
+                        }
+                    } else if write_end > old_end {
+                        let fill = vec![0xFF; (write_end - old_end) as usize];
+                        self.wal_append(WalRecord::LobWrite {
+                            lob,
+                            offset: old_end,
+                            bytes: fill.clone(),
+                        })?;
+                        let _ = self.lobs.write(lob, old_end, &fill);
+                    }
+                    if t != 0 {
+                        Self::pop_lob_span(&mut self.versions, lob, t, start, len);
+                    }
                 }
                 UndoOp::LobModify { lob, old } | UndoOp::LobFree { lob, old } => {
                     self.wal_append(WalRecord::LobRestore { lob, bytes: old.clone() })?;
                     self.lobs.restore(lob, old);
+                    if t != 0 {
+                        Self::pop_lob_span(&mut self.versions, lob, t, 0, WHOLE_LOB);
+                    }
                 }
             }
         }

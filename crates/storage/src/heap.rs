@@ -311,6 +311,17 @@ impl HeapTable {
         }
     }
 
+    /// Widen a page's zone map with a row image that is not physically on
+    /// the page — an MVCC chain version some snapshot can still resolve
+    /// to. Keeps the superset invariant (and therefore zone pruning)
+    /// valid on chained segments after exact rebuilds; no-op for
+    /// out-of-range pages.
+    pub fn widen_page_zone(&mut self, page: u32, row: &Row) {
+        if let Some(p) = self.pages.get_mut(page as usize) {
+            p.widen_zone(row);
+        }
+    }
+
     /// True when the zone map proves no live row on `page` has a `col`
     /// value inside the inclusive interval `[lo, hi]` (`None` = open
     /// end), so a scan may skip the page without touching it.

@@ -130,6 +130,19 @@ impl LobStore {
         Ok((off, charge))
     }
 
+    /// Extend the LOB to at least `len` bytes, filling new space with
+    /// `fill`. Used by WAL replay of offset-explicit appends: a gap below
+    /// the recorded offset means an aborted transaction's append was
+    /// skipped, and live rollback hole-filled that space with `0xFF`
+    /// tombstone bytes — replay must reproduce the same image.
+    pub fn pad_to(&mut self, r: LobRef, len: u64, fill: u8) -> Result<()> {
+        let data = self.get_mut(r)?;
+        if data.len() < len as usize {
+            data.resize(len as usize, fill);
+        }
+        Ok(())
+    }
+
     /// Replace the whole LOB content.
     pub fn overwrite(&mut self, r: LobRef, bytes: &[u8]) -> Result<LobIoCharge> {
         let data = self.get_mut(r)?;

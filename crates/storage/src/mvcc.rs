@@ -12,9 +12,10 @@
 //!   the in-place version plus the displaced older versions;
 //! - a row with **no** chain is implicitly stamped `(begin=0, end=∞)` —
 //!   bootstrap data, visible to every snapshot. Since the single-session
-//!   autocommit lane runs as txn 0 and the engine vacuums chains whenever
-//!   no transaction is active, the store is empty in all legacy paths and
-//!   the hot read path pays one hash lookup, nothing more.
+//!   autocommit lane runs as txn 0 and the engine prunes chains
+//!   incrementally against the oldest active snapshot, the store stays
+//!   empty in all legacy paths and the hot read path pays one hash
+//!   lookup, nothing more.
 //!
 //! **Visibility** (snapshot isolation): a version stamped `begin` is
 //! visible to snapshot `s` iff `begin == 0`, or `begin == s.txn` (own
@@ -27,21 +28,44 @@
 //! writing a row already committed by a transaction *newer than the
 //! writer's snapshot* conflicts either immediately (commit already
 //! happened) or at commit-time validation against the committed write set.
-//! The losing transaction is rolled back; `Error::WriteConflict` tells the
-//! session to retry.
+//! The losing transaction is rolled back; [`Error::WriteConflict`] carries
+//! the winning transaction id and the contended key so the session can
+//! diagnose (and V$TRACE can record) exactly what collided.
+//!
+//! **LOB conflicts are byte-range granular**: LOB-backed index stores (the
+//! chemistry cartridge's fingerprint file, §3.2.4) share one LOB across
+//! all rows, so whole-locator conflict keys would serialize all
+//! maintenance of one index. [`WriteKey::LobSpan`] records the written
+//! byte range instead; two transactions conflict only when their spans
+//! genuinely overlap. Whole-LOB operations (overwrite/free) use the
+//! [`WHOLE_LOB`] sentinel span and therefore conflict with everyone.
+//!
+//! **Vacuum horizon**: the manager tracks every active transaction's
+//! snapshot high; [`TxnManager::horizon`] is the minimum — the oldest CSN
+//! watermark any live snapshot reads under. A displaced version whose
+//! `end` stamp committed at `csn <= horizon` is superseded for every live
+//! snapshot (their `high >= horizon`) and every future one (`high >=
+//! next_csn >= csn`), so the engine's incremental vacuum can prune it
+//! without waiting for quiescence.
 //!
 //! Heap deletes are **deferred**: the chain marks the in-place version
-//! dead and the slot is only freed at vacuum, so a rowid is never recycled
-//! while a snapshot that can still see the old row exists. IOT deletes are
-//! physically immediate (ordinals are never reused), with the deleted row
-//! kept as a ghost version in the chain.
+//! dead and the slot is only freed once the delete's CSN drops below the
+//! horizon, so a rowid is never recycled while a snapshot that can still
+//! see the old row exists. IOT deletes are physically immediate (ordinals
+//! are never reused), with the deleted row kept as a ghost version in the
+//! chain.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use extidx_common::{Error, Key, LobRef, Result, Row, RowId};
 use parking_lot::Mutex;
 
 use crate::page::SegmentId;
+
+/// Span length sentinel marking a whole-LOB operation (overwrite/free):
+/// conflicts with every concurrent writer of the same LOB and versions the
+/// full before-image.
+pub const WHOLE_LOB: u64 = u64::MAX;
 
 /// A transaction's view of the database: its own id plus the highest
 /// commit sequence number (CSN) visible to it.
@@ -71,17 +95,47 @@ pub enum TxnStatus {
 }
 
 /// Identity of a written row for conflict detection: heap rows by rowid,
-/// IOT rows by key.
+/// IOT rows by key, LOB writes by byte range.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum WriteKey {
     Rid(RowId),
     Key(Key),
-    /// A whole LOB. LOB-backed index stores (the chemistry cartridge's
-    /// fingerprint file, §3.2.4) share one LOB across all rows, so two
-    /// transactions maintaining the same index conflict here — maintenance
-    /// is serialized per-index, which is coarser than row-level but never
-    /// admits a lost update.
-    Lob(LobRef),
+    /// A byte range `[start, end)` of one LOB. Ranges from different
+    /// transactions conflict only when they overlap, so two sessions
+    /// maintaining the same LOB-backed index store proceed concurrently
+    /// unless they touch the same records. Whole-LOB operations use
+    /// `start = 0, end = WHOLE_LOB`.
+    LobSpan { lob: LobRef, start: u64, end: u64 },
+}
+
+impl WriteKey {
+    /// Whether two write keys contend: exact match for rows/keys, range
+    /// overlap for LOB spans of the same locator.
+    pub fn contends(&self, other: &WriteKey) -> bool {
+        match (self, other) {
+            (
+                WriteKey::LobSpan { lob: a, start: s1, end: e1 },
+                WriteKey::LobSpan { lob: b, start: s2, end: e2 },
+            ) => a == b && s1 < e2 && s2 < e1,
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl std::fmt::Display for WriteKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteKey::Rid(rid) => write!(f, "heap rowid {rid:?}"),
+            WriteKey::Key(k) => write!(f, "iot key {k:?}"),
+            WriteKey::LobSpan { lob, start, end } => {
+                if *end == WHOLE_LOB {
+                    write!(f, "{lob} (whole)")
+                } else {
+                    write!(f, "{lob} bytes [{start}, {end})")
+                }
+            }
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -90,16 +144,55 @@ pub struct WriteRef {
     pub key: WriteKey,
 }
 
+impl std::fmt::Display for WriteRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seg {} {}", self.seg.0, self.key)
+    }
+}
+
 #[derive(Default)]
 struct TxnInner {
     next_txn: u64,
     next_csn: u64,
     status: HashMap<u64, TxnStatus>,
+    /// Snapshot high of every *active* transaction — the data behind
+    /// [`TxnManager::horizon`]. Entries leave at commit/abort.
+    snapshots: HashMap<u64, u64>,
     /// Per-active-transaction write sets, validated at commit.
     writes: HashMap<u64, Vec<WriteRef>>,
-    /// Committed write sets: row → CSN of its latest committed writer.
-    /// Cleared at vacuum (quiescence), so it only spans concurrent life.
-    committed: BTreeMap<WriteRef, u64>,
+    /// Committed write sets: row → (CSN, txn) of its latest committed
+    /// writer. Pruned incrementally once the CSN drops below the horizon
+    /// (no active or future snapshot can lose first-writer-wins to it).
+    committed: BTreeMap<WriteRef, (u64, u64)>,
+}
+
+impl TxnInner {
+    fn horizon(&self) -> u64 {
+        self.snapshots.values().copied().min().unwrap_or(self.next_csn)
+    }
+
+    /// Latest committed writer contending with `wref`: exact lookup for
+    /// row/key writes, range-overlap scan for LOB spans.
+    fn committed_contender(&self, wref: &WriteRef) -> Option<(u64, u64, WriteRef)> {
+        match &wref.key {
+            WriteKey::LobSpan { lob, .. } => {
+                let lo = WriteRef {
+                    seg: wref.seg,
+                    key: WriteKey::LobSpan { lob: *lob, start: 0, end: 0 },
+                };
+                let hi = WriteRef {
+                    seg: wref.seg,
+                    key: WriteKey::LobSpan { lob: *lob, start: u64::MAX, end: u64::MAX },
+                };
+                self.committed
+                    .range(lo..=hi)
+                    .filter(|(k, _)| k.key.contends(&wref.key))
+                    .map(|(k, &(csn, txn))| (csn, txn, k.clone()))
+                    .max_by_key(|&(csn, _, _)| csn)
+            }
+            _ => self.committed.get(wref).map(|&(csn, txn)| (csn, txn, wref.clone())),
+        }
+    }
 }
 
 /// Hands out monotone transaction ids and snapshots, tracks commit/abort
@@ -111,13 +204,16 @@ pub struct TxnManager {
 
 impl TxnManager {
     /// Begin a transaction: a fresh id and a snapshot fixed at the current
-    /// commit watermark.
+    /// commit watermark. The snapshot's high is recorded so the vacuum
+    /// horizon can track the oldest live reader.
     pub fn begin(&self) -> Snapshot {
         let mut g = self.inner.lock();
         g.next_txn += 1;
         let txn = g.next_txn;
+        let high = g.next_csn;
         g.status.insert(txn, TxnStatus::Active);
-        Snapshot { txn, high: g.next_csn }
+        g.snapshots.insert(txn, high);
+        Snapshot { txn, high }
     }
 
     pub fn status(&self, txn: u64) -> Option<TxnStatus> {
@@ -144,6 +240,14 @@ impl TxnManager {
         self.committed_csn(stamp).is_some_and(|csn| csn <= snap.high)
     }
 
+    /// The vacuum horizon: the smallest snapshot high any active
+    /// transaction reads under, or the current CSN watermark when none is
+    /// active. Versions superseded at `csn <= horizon` are invisible to
+    /// every live and future snapshot.
+    pub fn horizon(&self) -> u64 {
+        self.inner.lock().horizon()
+    }
+
     /// Record a row write for commit-time validation.
     pub fn record_write(&self, txn: u64, wref: WriteRef) {
         if txn == 0 {
@@ -152,10 +256,13 @@ impl TxnManager {
         self.inner.lock().writes.entry(txn).or_default().push(wref);
     }
 
-    /// The CSN of the latest committed writer of a row, if any writer
-    /// committed since the last vacuum.
-    pub fn committed_writer(&self, wref: &WriteRef) -> Option<u64> {
-        self.inner.lock().committed.get(wref).copied()
+    /// The latest committed writer contending with `wref`, if any writer
+    /// committed since its entry was pruned: `(csn, txn)`.
+    pub fn committed_writer(&self, wref: &WriteRef) -> Option<(u64, u64)> {
+        self.inner
+            .lock()
+            .committed_contender(wref)
+            .map(|(csn, txn, _)| (csn, txn))
     }
 
     /// First-writer-wins commit: validate the write set against writers
@@ -167,28 +274,34 @@ impl TxnManager {
         let writes = g.writes.remove(&snap.txn).unwrap_or_default();
         if enforce {
             let conflict = writes.iter().find_map(|w| {
-                g.committed.get(w).and_then(|&csn| {
+                g.committed_contender(w).and_then(|(csn, txn, key)| {
                     (csn > snap.high).then(|| {
-                        format!(
-                            "txn {} lost first-writer-wins on {:?} (committed at csn {}, snapshot high {})",
-                            snap.txn, w, csn, snap.high
+                        Error::write_conflict(
+                            txn,
+                            key.to_string(),
+                            format!(
+                                "txn {} lost first-writer-wins to txn {txn} on {key} \
+                                 (committed at csn {csn}, snapshot high {})",
+                                snap.txn, snap.high
+                            ),
                         )
                     })
                 })
             });
-            if let Some(msg) = conflict {
+            if let Some(err) = conflict {
                 // Put the write set back: the caller rolls the transaction
                 // back, which consults nothing here, but abort() must
                 // still clear it.
                 g.writes.insert(snap.txn, writes);
-                return Err(Error::write_conflict(msg));
+                return Err(err);
             }
         }
         g.next_csn += 1;
         let csn = g.next_csn;
         g.status.insert(snap.txn, TxnStatus::Committed(csn));
+        g.snapshots.remove(&snap.txn);
         for w in writes {
-            g.committed.insert(w, csn);
+            g.committed.insert(w, (csn, snap.txn));
         }
         Ok(csn)
     }
@@ -197,6 +310,7 @@ impl TxnManager {
     pub fn abort(&self, txn: u64) {
         let mut g = self.inner.lock();
         g.status.insert(txn, TxnStatus::Aborted);
+        g.snapshots.remove(&txn);
         g.writes.remove(&txn);
     }
 
@@ -208,6 +322,17 @@ impl TxnManager {
             .values()
             .filter(|s| matches!(s, TxnStatus::Active))
             .count()
+    }
+
+    /// Incremental history GC, paired with the engine's chain pruning:
+    /// drop committed write-set entries at `csn <= horizon` (no live or
+    /// future snapshot can lose validation to them) and transaction
+    /// statuses neither active nor referenced by a surviving chain stamp.
+    pub fn prune_history(&self, horizon: u64, referenced: &HashSet<u64>) {
+        let mut g = self.inner.lock();
+        g.status
+            .retain(|txn, s| matches!(s, TxnStatus::Active) || referenced.contains(txn));
+        g.committed.retain(|_, &mut (csn, _)| csn > horizon);
     }
 
     /// Drop commit history (status + committed write sets) once the engine
@@ -236,7 +361,8 @@ pub struct HeapChain {
     /// bootstrap data displaced by `older` pushes).
     pub begin: u64,
     /// Deleting transaction, if the in-place version was deleted. The
-    /// physical slot survives until vacuum (rowid-reuse safety).
+    /// physical slot survives until the delete's CSN drops below the
+    /// vacuum horizon (rowid-reuse safety).
     pub dead: Option<u64>,
     /// Displaced versions, newest first.
     pub older: Vec<HeapVersion>,
@@ -246,6 +372,11 @@ impl HeapChain {
     /// A chain carrying no information (equivalent to no chain).
     pub fn is_trivial(&self) -> bool {
         self.begin == 0 && self.dead.is_none() && self.older.is_empty()
+    }
+
+    /// Versions held beyond the in-place row.
+    pub fn version_count(&self) -> usize {
+        self.older.len()
     }
 }
 
@@ -277,58 +408,126 @@ impl IotChain {
     pub fn is_trivial(&self) -> bool {
         self.older.is_empty() && self.current.as_ref().is_none_or(|c| c.begin == 0)
     }
+
+    pub fn version_count(&self) -> usize {
+        self.older.len()
+    }
 }
 
-/// One displaced LOB version: the full before-image. LOB-backed index
-/// stores are small (packed fingerprint records), and every mutation
-/// already takes a whole-LOB before-image for undo, so whole-image
-/// versioning costs nothing new.
+/// One displaced LOB byte span: the before-image of `[start, start+len)`
+/// as it stood when transaction `by` overwrote it. `old` is clipped to the
+/// pre-write LOB length, so `old.len() < len` means the write extended the
+/// LOB past its previous end. `len == WHOLE_LOB` marks a whole-LOB
+/// operation (overwrite/free) whose `old` is the complete prior content.
 #[derive(Debug, Clone)]
-pub struct LobVersion {
-    pub bytes: Vec<u8>,
-    pub begin: u64,
-    pub end: u64,
+pub struct LobSpanVersion {
+    pub start: u64,
+    pub len: u64,
+    pub old: Vec<u8>,
+    pub by: u64,
+}
+
+/// Un-apply one span patch: restore the before-image bytes **in place**.
+/// Reconstruction is offset-stable — bytes are never shifted — so offsets
+/// computed against a snapshot image stay valid against the physical LOB.
+/// The portion a write *extended* (beyond the clipped before-image) is
+/// truncated when it reaches the current end, else hole-filled with `0xFF`
+/// — the convention record-structured stores read as a tombstone, exactly
+/// like a skipped record.
+pub fn unapply_span(content: &mut Vec<u8>, v: &LobSpanVersion) {
+    if v.len == WHOLE_LOB {
+        *content = v.old.clone();
+        return;
+    }
+    let start = v.start as usize;
+    let old_end = start + v.old.len();
+    let write_end = start + v.len as usize;
+    if content.len() < old_end {
+        content.resize(old_end, 0xFF);
+    }
+    content[start..old_end].copy_from_slice(&v.old);
+    if write_end >= content.len() {
+        content.truncate(old_end);
+    } else {
+        for b in &mut content[old_end..write_end] {
+            *b = 0xFF;
+        }
+    }
 }
 
 /// Version chain for one LOB locator. Overlay, like heap chains: the
 /// newest content stays physically in the [`crate::lob::LobStore`]; only
-/// its begin stamp plus displaced before-images live here. No chain means
-/// the content is bootstrap-visible to every snapshot.
+/// the allocation stamp plus displaced before-image *spans* live here. No
+/// chain means the content is bootstrap-visible to every snapshot.
 ///
 /// Without this chain, a LOB-backed domain index (chemistry fingerprints)
 /// leaks uncommitted maintenance to every reader: one session's in-flight
 /// DELETE tombstones the shared fingerprint record and concurrent index
 /// scans silently drop the row, while the MVCC-versioned base table still
 /// shows it — the differential oracle catches exactly that divergence.
+///
+/// Spans (not whole before-images) are what lets two transactions write
+/// disjoint ranges of the same LOB concurrently: each leaves its own
+/// patch, and a snapshot reconstructs its view by un-applying only the
+/// patches it cannot see.
 #[derive(Debug, Clone, Default)]
 pub struct LobChain {
-    /// Stamp of the transaction that wrote the in-place content.
+    /// Stamp of the transaction that allocated the LOB (existence).
     pub begin: u64,
-    /// Displaced before-images, newest first.
-    pub older: Vec<LobVersion>,
+    /// Displaced spans, newest first.
+    pub spans: Vec<LobSpanVersion>,
 }
 
 impl LobChain {
     /// A chain carrying no information (equivalent to no chain).
     pub fn is_trivial(&self) -> bool {
-        self.begin == 0 && self.older.is_empty()
+        self.begin == 0 && self.spans.is_empty()
+    }
+
+    pub fn version_count(&self) -> usize {
+        self.spans.len()
     }
 }
 
-/// Which content of a LOB a snapshot sees.
-pub enum LobVisibility<'a> {
-    /// The physically current content.
+/// The content of a LOB as one snapshot sees it.
+pub enum LobImage {
+    /// The physically current content (every span visible).
     Current,
-    /// A displaced before-image.
-    Older(&'a [u8]),
+    /// A reconstructed image with invisible spans un-applied.
+    Patched(Vec<u8>),
     /// No version is visible (the LOB was created by a transaction the
     /// snapshot cannot see) — reads behave as if the LOB were empty.
     Absent,
 }
 
-/// All version chains, segment-keyed. Empty whenever no transaction is
-/// active (the engine vacuums at quiescence), so legacy single-session
-/// behavior — including physical layout — is untouched.
+/// Resolve a LOB to the content visible under `snap`: start from the
+/// physical bytes and un-apply, newest first, every span whose writer the
+/// snapshot cannot see.
+pub fn resolve_lob_image(
+    txns: &TxnManager,
+    chain: &LobChain,
+    physical: &[u8],
+    snap: &Snapshot,
+) -> LobImage {
+    if !txns.stamp_visible(chain.begin, snap) {
+        return LobImage::Absent;
+    }
+    if chain.spans.iter().all(|v| txns.stamp_visible(v.by, snap)) {
+        return LobImage::Current;
+    }
+    let mut content = physical.to_vec();
+    for v in &chain.spans {
+        if !txns.stamp_visible(v.by, snap) {
+            unapply_span(&mut content, v);
+        }
+    }
+    LobImage::Patched(content)
+}
+
+/// All version chains, segment-keyed. Empty whenever nothing concurrent
+/// is in flight (the engine prunes incrementally against the snapshot
+/// horizon), so legacy single-session behavior — including physical
+/// layout — is untouched.
 #[derive(Default)]
 pub struct VersionStore {
     pub heap: HashMap<SegmentId, HashMap<RowId, HeapChain>>,
@@ -376,6 +575,47 @@ impl VersionStore {
         self.heap.remove(&seg);
         self.iot.remove(&seg);
     }
+
+    /// Every nonzero transaction stamp referenced by a surviving chain —
+    /// the statuses [`TxnManager::prune_history`] must retain.
+    pub fn referenced_stamps(&self) -> HashSet<u64> {
+        let mut out = HashSet::new();
+        let mut add = |s: u64| {
+            if s != 0 {
+                out.insert(s);
+            }
+        };
+        for m in self.heap.values() {
+            for c in m.values() {
+                add(c.begin);
+                if let Some(d) = c.dead {
+                    add(d);
+                }
+                for v in &c.older {
+                    add(v.begin);
+                    add(v.end);
+                }
+            }
+        }
+        for m in self.iot.values() {
+            for c in m.values() {
+                if let Some(cur) = &c.current {
+                    add(cur.begin);
+                }
+                for v in &c.older {
+                    add(v.begin);
+                    add(v.end);
+                }
+            }
+        }
+        for c in self.lobs.values() {
+            add(c.begin);
+            for v in &c.spans {
+                add(v.by);
+            }
+        }
+        out
+    }
 }
 
 /// Resolve a heap row to the version visible under `snap`, given its
@@ -403,23 +643,6 @@ fn resolve_older_heap<'a>(
         .iter()
         .find(|v| txns.stamp_visible(v.begin, snap) && !txns.stamp_visible(v.end, snap))
         .map(|v| &v.row)
-}
-
-/// Resolve a LOB to the content visible under `snap`, given its chain.
-pub fn resolve_lob<'a>(
-    txns: &TxnManager,
-    chain: &'a LobChain,
-    snap: &Snapshot,
-) -> LobVisibility<'a> {
-    if txns.stamp_visible(chain.begin, snap) {
-        return LobVisibility::Current;
-    }
-    chain
-        .older
-        .iter()
-        .find(|v| txns.stamp_visible(v.begin, snap) && !txns.stamp_visible(v.end, snap))
-        .map(|v| LobVisibility::Older(v.bytes.as_slice()))
-        .unwrap_or(LobVisibility::Absent)
 }
 
 /// Resolve an IOT key to the version visible under `snap`. `physical` is
@@ -479,11 +702,89 @@ mod tests {
         m.record_write(b.txn, row.clone());
         m.commit(&a, true).unwrap();
         let err = m.commit(&b, true).unwrap_err();
-        assert!(matches!(err, Error::WriteConflict { .. }), "got {err}");
+        match &err {
+            Error::WriteConflict { other_txn, key, .. } => {
+                assert_eq!(*other_txn, a.txn, "conflict names the winning txn");
+                assert!(key.contains("rowid"), "conflict names the contended key: {key}");
+            }
+            other => panic!("expected WriteConflict, got {other}"),
+        }
         // Unenforced, the same situation commits (lost update on purpose).
         let c = m.begin();
         m.record_write(c.txn, row.clone());
         assert!(m.commit(&c, false).is_ok());
+    }
+
+    #[test]
+    fn lob_span_conflicts_are_range_granular() {
+        let m = TxnManager::default();
+        let seg = SegmentId(u32::MAX);
+        let lob = LobRef(7);
+        let span = |start, end| WriteRef { seg, key: WriteKey::LobSpan { lob, start, end } };
+        // a and b write disjoint ranges: both commit.
+        let a = m.begin();
+        let b = m.begin();
+        m.record_write(a.txn, span(0, 40));
+        m.record_write(b.txn, span(40, 80));
+        m.commit(&a, true).unwrap();
+        m.commit(&b, true).unwrap();
+        // c (snapshot predating both) overlapping b's range: conflict.
+        let c = m.begin();
+        let d = m.begin();
+        m.record_write(c.txn, span(72, 80));
+        m.record_write(d.txn, span(72, 80));
+        m.commit(&c, true).unwrap();
+        let err = m.commit(&d, true).unwrap_err();
+        assert!(matches!(err, Error::WriteConflict { other_txn, .. } if other_txn == c.txn));
+        // Whole-LOB span contends with everything on the locator.
+        let e = m.begin();
+        let f = m.begin();
+        m.record_write(e.txn, span(0, WHOLE_LOB));
+        m.record_write(f.txn, span(100, 108));
+        m.commit(&e, true).unwrap();
+        assert!(m.commit(&f, true).is_err());
+        // …but a different locator never contends.
+        let g = m.begin();
+        m.record_write(
+            g.txn,
+            WriteRef { seg, key: WriteKey::LobSpan { lob: LobRef(8), start: 0, end: 8 } },
+        );
+        m.commit(&g, true).unwrap();
+    }
+
+    #[test]
+    fn horizon_tracks_oldest_active_snapshot() {
+        let m = TxnManager::default();
+        assert_eq!(m.horizon(), 0, "idle horizon = csn watermark");
+        let a = m.begin();
+        let b = m.begin();
+        m.commit(&b, true).unwrap(); // csn 1
+        let c = m.begin(); // high = 1
+        assert_eq!(m.horizon(), a.high, "oldest active snapshot pins the horizon");
+        m.commit(&a, true).unwrap(); // csn 2
+        assert_eq!(m.horizon(), c.high);
+        m.abort(c.txn);
+        assert_eq!(m.horizon(), 2, "quiescent horizon returns to the watermark");
+    }
+
+    #[test]
+    fn prune_history_keeps_referenced_and_recent() {
+        let m = TxnManager::default();
+        let a = m.begin();
+        let b = m.begin();
+        let r1 = WriteRef { seg: SegmentId(1), key: WriteKey::Rid(RowId::new(1, 0, 0)) };
+        let r2 = WriteRef { seg: SegmentId(1), key: WriteKey::Rid(RowId::new(1, 0, 1)) };
+        m.record_write(a.txn, r1.clone());
+        m.record_write(b.txn, r2.clone());
+        let csn_a = m.commit(&a, true).unwrap();
+        m.commit(&b, true).unwrap();
+        // Horizon past a's commit but short of b's: a's entry prunes, b's stays.
+        let referenced = HashSet::from([b.txn]);
+        m.prune_history(csn_a, &referenced);
+        assert!(m.committed_writer(&r1).is_none(), "pruned below the horizon");
+        assert!(m.committed_writer(&r2).is_some(), "kept above the horizon");
+        assert!(m.status(a.txn).is_none(), "unreferenced status dropped");
+        assert_eq!(m.committed_csn(b.txn), Some(2), "referenced stamp still resolvable");
     }
 
     #[test]
@@ -514,5 +815,66 @@ mod tests {
         // Pre-commit reader still sees the old version; new readers the new.
         assert_eq!(resolve_heap(&m, &chain, Some(&new), &reader), Some(&old));
         assert_eq!(resolve_heap(&m, &chain, Some(&new), &Snapshot::latest()), Some(&new));
+    }
+
+    #[test]
+    fn unapply_span_is_offset_stable() {
+        // Physical: a write of "XY" over "bc" at offset 1, then an append
+        // of "ef" at offset 4 — both by invisible txns.
+        let mut content = b"aXYdef".to_vec();
+        // Un-apply newest first: the append (no before-image, pure extension).
+        unapply_span(
+            &mut content,
+            &LobSpanVersion { start: 4, len: 2, old: vec![], by: 9 },
+        );
+        assert_eq!(content, b"aXYd", "append at the end truncates back");
+        unapply_span(
+            &mut content,
+            &LobSpanVersion { start: 1, len: 2, old: b"bc".to_vec(), by: 8 },
+        );
+        assert_eq!(content, b"abcd", "overwrite restores the before-image in place");
+        // Extension *under* a still-visible later write hole-fills with 0xFF
+        // instead of shifting the later bytes.
+        let mut content = b"aXYZtail".to_vec();
+        unapply_span(
+            &mut content,
+            &LobSpanVersion { start: 1, len: 3, old: b"b".to_vec(), by: 8 },
+        );
+        assert_eq!(content, b"ab\xFF\xFFtail", "hole-filled, offsets preserved");
+        // Whole-LOB sentinel restores the complete prior image.
+        let mut content = b"replaced".to_vec();
+        unapply_span(
+            &mut content,
+            &LobSpanVersion { start: 0, len: WHOLE_LOB, old: b"orig".to_vec(), by: 8 },
+        );
+        assert_eq!(content, b"orig");
+    }
+
+    #[test]
+    fn lob_image_resolution_patches_invisible_spans() {
+        let m = TxnManager::default();
+        let a = m.begin();
+        let chain = LobChain {
+            begin: 0,
+            spans: vec![LobSpanVersion { start: 0, len: 2, old: b"ab".to_vec(), by: a.txn }],
+        };
+        let reader = m.begin();
+        match resolve_lob_image(&m, &chain, b"XYcd", &reader) {
+            LobImage::Patched(img) => assert_eq!(img, b"abcd"),
+            _ => panic!("expected patched image for pre-write reader"),
+        }
+        assert!(matches!(resolve_lob_image(&m, &chain, b"XYcd", &a), LobImage::Current));
+        m.commit(&a, true).unwrap();
+        assert!(matches!(
+            resolve_lob_image(&m, &chain, b"XYcd", &Snapshot::latest()),
+            LobImage::Current
+        ));
+        // A LOB allocated by an invisible txn is absent.
+        let b = m.begin();
+        let chain = LobChain { begin: b.txn, spans: vec![] };
+        assert!(matches!(
+            resolve_lob_image(&m, &chain, b"zz", &reader),
+            LobImage::Absent
+        ));
     }
 }

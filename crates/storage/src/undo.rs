@@ -31,10 +31,16 @@ pub enum UndoOp {
     IotDelete { seg: SegmentId, old: Row, ord: u64 },
     /// A LOB was allocated; undo frees it.
     LobAllocate { lob: LobRef },
-    /// A LOB's bytes changed; undo restores the full prior image.
-    /// (Byte-range undo would be an optimization; whole-image undo is
-    /// simple and correct for the reproduction's LOB sizes.)
+    /// A LOB's bytes changed; undo restores the full prior image. Used by
+    /// whole-LOB operations (overwrite) — byte-range writes/appends use
+    /// [`UndoOp::LobSpan`] so concurrent transactions writing disjoint
+    /// ranges of one LOB roll back independently.
     LobModify { lob: LobRef, old: Vec<u8> },
+    /// A byte range `[start, start+len)` of a LOB was written or appended;
+    /// undo restores `old` (the before-image clipped to the pre-write LOB
+    /// length) in place and truncates/hole-fills the part the write
+    /// extended. Offset-stable: rollback never shifts other writers' bytes.
+    LobSpan { lob: LobRef, start: u64, len: u64, old: Vec<u8> },
     /// A LOB was freed; undo restores it.
     LobFree { lob: LobRef, old: Vec<u8> },
 }

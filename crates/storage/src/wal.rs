@@ -104,8 +104,16 @@ pub enum WalRecord {
     /// Ref-explicit LOB allocation (see [`WalRecord::CreateHeapAt`]).
     LobAllocateAt { lob: LobRef },
     LobWrite { lob: LobRef, offset: u64, bytes: Vec<u8> },
-    LobAppend { lob: LobRef, bytes: Vec<u8> },
+    /// Offset-explicit append (see [`WalRecord::CreateHeapAt`]): the live
+    /// run appends at its physical end-of-lob, but commit-order replay
+    /// skips aborted transactions' appends, so the landing offset must be
+    /// carried. Replay hole-fills any gap below `offset` with `0xFF` — the
+    /// tombstone convention record-structured stores skip — exactly what
+    /// live rollback leaves behind.
+    LobAppendAt { lob: LobRef, offset: u64, bytes: Vec<u8> },
     LobOverwrite { lob: LobRef, bytes: Vec<u8> },
+    /// Truncate to `len` bytes (redo of a span-undo that shrank the LOB).
+    LobTruncate { lob: LobRef, len: u64 },
     LobFree { lob: LobRef },
     LobRestore { lob: LobRef, bytes: Vec<u8> },
     /// An external file was touched (create/remove/write/append). Not
@@ -138,8 +146,9 @@ impl std::fmt::Debug for WalRecord {
             WalRecord::LobAllocate => "LobAllocate",
             WalRecord::LobAllocateAt { .. } => "LobAllocateAt",
             WalRecord::LobWrite { .. } => "LobWrite",
-            WalRecord::LobAppend { .. } => "LobAppend",
+            WalRecord::LobAppendAt { .. } => "LobAppendAt",
             WalRecord::LobOverwrite { .. } => "LobOverwrite",
+            WalRecord::LobTruncate { .. } => "LobTruncate",
             WalRecord::LobFree { .. } => "LobFree",
             WalRecord::LobRestore { .. } => "LobRestore",
             WalRecord::FileActivity { .. } => "FileActivity",

@@ -103,6 +103,27 @@ E17_TXNS=15 \
     cargo run --release -q -p extidx-bench --bin repro -- e17-mvcc
 ls target/bench-json/BENCH_e17_mvcc.json
 
+# Incremental vacuum + sub-LOB conflict granularity: the no-quiescence
+# soak (chains bounded, drained after the last commit), the
+# vacuum-never-removes-a-visible-version property across every scan
+# shape, span-granular concurrent maintenance of one chem index, and
+# chain-aware zone pruning. The concurrent oracle above already runs
+# with a vacuum firing between scheduler steps.
+echo "== vacuum (incremental GC + span conflicts + chained-zone pruning) =="
+cargo test -q --test mvcc_vacuum
+
+# Vacuum bench smoke: quiescence-only vacuum must accumulate versions
+# under a never-quiescent update stream while the incremental pass stays
+# bounded (cap 16), and whole-locator LOB conflicts must abort writer
+# pairs that byte-range spans commit. Records BENCH_e18_vacuum.json.
+echo "== bench smoke (e18-vacuum + BENCH json) =="
+E18_ROUNDS=200 E18_PAIRS=25 \
+    BENCH_OUT=target/bench-json \
+    GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    BENCH_DATE="$(date -u +%F)" \
+    cargo run --release -q -p extidx-bench --bin repro -- e18-vacuum
+ls target/bench-json/BENCH_e18_vacuum.json
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
