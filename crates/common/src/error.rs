@@ -83,6 +83,13 @@ pub enum Error {
         routine: &'static str,
         reason: String,
     },
+    /// The statement exceeded its session deadline (`SET
+    /// STATEMENT_TIMEOUT`) or was cancelled through its cancellation
+    /// token. Raised cooperatively at executor loop boundaries and ODCI
+    /// crossings; triggers normal statement rollback. Unlike
+    /// [`Error::CartridgeFault`] this never feeds the index-health
+    /// breaker — the cartridge did nothing wrong.
+    StatementTimeout { detail: String },
 }
 
 impl Error {
@@ -132,6 +139,11 @@ impl Error {
         detail: impl Into<String>,
     ) -> Self {
         Error::WriteConflict { other_txn, key: key.into(), detail: detail.into() }
+    }
+
+    /// Shorthand for a statement deadline / cancellation failure.
+    pub fn statement_timeout(detail: impl Into<String>) -> Self {
+        Error::StatementTimeout { detail: detail.into() }
     }
 
     /// Classify an error as transient/retryable. Idempotent: an already
@@ -188,6 +200,9 @@ impl fmt::Display for Error {
             }
             Error::WriteConflict { detail, .. } => {
                 write!(f, "write conflict (serialization failure): {detail}")
+            }
+            Error::StatementTimeout { detail } => {
+                write!(f, "statement timeout: {detail}")
             }
         }
     }
@@ -257,6 +272,13 @@ mod tests {
             e.to_string(),
             "cartridge fault in TEXTINDEXTYPE.ODCIIndexFetch: panic: boom"
         );
+        assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn display_statement_timeout() {
+        let e = Error::statement_timeout("statement_timeout=5ms exceeded");
+        assert_eq!(e.to_string(), "statement timeout: statement_timeout=5ms exceeded");
         assert!(!e.is_retryable());
     }
 

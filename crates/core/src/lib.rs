@@ -33,6 +33,7 @@
 pub mod build;
 pub mod events;
 pub mod fault;
+pub mod governor;
 pub mod health;
 pub mod indextype;
 pub mod meta;
@@ -48,6 +49,7 @@ pub mod trace;
 
 pub use build::{partition_map, try_partition_map, DEFAULT_BUILD_BATCH_ROWS};
 pub use fault::{FaultInjector, FaultKind, RetryPolicy};
+pub use governor::CancelToken;
 pub use health::{BreakerConfig, HealthDump, HealthRegistry, HealthState, PendingOp};
 pub use indextype::IndexType;
 pub use meta::{IndexInfo, OperatorCall, PredicateBound, RelOp};

@@ -120,6 +120,11 @@ pub fn tick() {
     if used > budget {
         std::panic::panic_any(BudgetExceeded { used, budget });
     }
+    // Statement deadlines are charged alongside the tick budget: a
+    // cartridge routine that loops through server callbacks is exited at
+    // its next crossing once the statement's deadline expires (the
+    // sentinel unwind is converted to `Error::StatementTimeout` below).
+    crate::governor::sandbox_poll();
 }
 
 /// Ticks spent so far by the innermost active sandboxed call (0 outside
@@ -149,6 +154,12 @@ pub fn sandboxed_call<T>(
     match outcome {
         Ok(result) => result,
         Err(payload) => {
+            // A statement-deadline unwind is *not* a cartridge fault: the
+            // cartridge did nothing wrong, so it must neither feed the
+            // health breaker nor be attributed to the indextype.
+            if let Some(c) = payload.downcast_ref::<crate::governor::CancelUnwind>() {
+                return Err(Error::statement_timeout(c.0.clone()));
+            }
             let reason = if let Some(b) = payload.downcast_ref::<BudgetExceeded>() {
                 format!("tick budget exceeded ({} ticks spent, budget {})", b.used, b.budget)
             } else if let Some(s) = payload.downcast_ref::<&'static str>() {
@@ -229,6 +240,24 @@ mod tests {
             Ok(ticks_used()) // outer's counter restored
         });
         assert_eq!(r.unwrap(), 2);
+    }
+
+    #[test]
+    fn deadline_inside_sandbox_becomes_statement_timeout() {
+        use crate::governor::{begin_statement, CancelToken};
+        let _g = begin_statement(CancelToken::new(), None, Some(2));
+        let r: Result<()> = sandboxed_call("T", "ODCIIndexFetch", 1000, || {
+            loop {
+                tick(); // each tick charges one governor poll
+            }
+        });
+        match r.unwrap_err() {
+            Error::StatementTimeout { detail } => {
+                assert!(detail.contains("poll limit"), "detail: {detail}");
+            }
+            other => panic!("expected StatementTimeout, got {other}"),
+        }
+        assert!(!in_sandbox());
     }
 
     #[test]

@@ -205,8 +205,21 @@ pub fn run_concurrent_seed(
     sessions: usize,
     steps: usize,
 ) -> Result<ConcurrentReport, String> {
+    run_concurrent_seed_opts(seed, sessions, steps, ChaosOpts::default())
+}
+
+/// [`run_concurrent_seed`] with chaos switches. `chaos.random_vacuum`
+/// moves the between-step incremental vacuum from the fixed every-3rd
+/// step onto a seeded random cadence — same expected frequency, wildly
+/// different interleavings against open snapshots.
+pub fn run_concurrent_seed_opts(
+    seed: u64,
+    sessions: usize,
+    steps: usize,
+    chaos: ChaosOpts,
+) -> Result<ConcurrentReport, String> {
     assert!(sessions >= 2, "a concurrent run needs at least two sessions");
-    let server = Server::new(fresh_db(ChaosOpts::default()));
+    let server = Server::new(fresh_db(chaos));
     let mut gen = ConcurrentGen::new(seed);
     let preamble = gen.preamble();
     {
@@ -216,6 +229,9 @@ pub fn run_concurrent_seed(
         }
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0CC);
+    // Dedicated cadence rng so flipping `random_vacuum` never perturbs
+    // the statement schedule itself — only *when* vacuum runs changes.
+    let mut vac_rng = StdRng::seed_from_u64(seed ^ chaos.random_vacuum ^ 0xDAE_0ACC);
     let mut sess: Vec<Sess> = (0..sessions)
         .map(|_| Sess { session: server.session(), txn: None })
         .collect();
@@ -277,8 +293,17 @@ pub fn run_concurrent_seed(
         report.steps = step + 1;
         // Incremental vacuum fires between scheduler steps (on top of the
         // commit/rollback triggers): the horizon invariant must hold at
-        // every interleaving point, not only at quiescence.
-        if step % 3 == 0 {
+        // every interleaving point, not only at quiescence. With
+        // `random_vacuum` armed the cadence is scheduler-random (seeded),
+        // standing in for the maintenance daemon firing at arbitrary
+        // points of the interleaving; otherwise it is the fixed every-3rd
+        // step of the original oracle.
+        let vacuum_now = if chaos.random_vacuum != 0 {
+            vac_rng.gen_range(0..3u32) == 0
+        } else {
+            step % 3 == 0
+        };
+        if vacuum_now {
             server.admin(|db| db.storage_mut().vacuum());
         }
         let si = rng.gen_range(0..sessions);
@@ -420,7 +445,7 @@ pub fn run_concurrent_seed(
     // Final oracle 2: serial twin — replay the committed history in
     // commit order on a fresh single-session engine and demand identical
     // per-table row bags.
-    let mut twin = fresh_db(ChaosOpts::default());
+    let mut twin = fresh_db(chaos);
     for sql in &preamble {
         twin.execute(sql).map_err(|e| format!("twin preamble: {sql}: {e}"))?;
     }
@@ -513,6 +538,154 @@ pub fn lost_update_demo(enforce: bool) -> Option<String> {
     })
 }
 
+/// Counters from a [`conflict_storm`] run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StormReport {
+    /// Autocommit increments that succeeded (after transparent retry).
+    pub increments: u64,
+    /// Explicit blocker transactions that committed.
+    pub blocker_commits: u64,
+    /// Explicit blocker transactions aborted by a write conflict — the
+    /// error *must* surface for explicit transactions (the client owns
+    /// the retry decision there).
+    pub blocker_conflicts: u64,
+    /// `WriteConflict`s that reached an autocommit caller. Transparent
+    /// retry makes this 0 under any interleaving short of exhausting the
+    /// per-session retry budget.
+    pub surfaced_autocommit_conflicts: u64,
+    /// Server-wide `CONFLICT_RETRIES` counter after the run.
+    pub conflict_retries: u64,
+}
+
+/// The conflict-storm workload: real OS threads hammer a handful of hot
+/// rows with commutative autocommit increments (`SET n = n + 1`) while a
+/// blocker thread runs explicit transactions over the same rows, holding
+/// uncommitted versions open across a yield point.
+///
+/// Increments commute, so correctness is a single arithmetic fact that
+/// holds under *any* interleaving: the final `SUM(n)` must equal the
+/// number of increments that reported success (autocommit + committed
+/// blockers). A lost update makes the sum fall short; a doubly-applied
+/// retry makes it overshoot. On top of that, transparent retry must keep
+/// every `WriteConflict` away from the autocommit callers while still
+/// surfacing conflicts to the explicit transactions.
+pub fn conflict_storm(
+    seed: u64,
+    writers: usize,
+    increments_per_writer: usize,
+) -> Result<StormReport, String> {
+    const HOT_ROWS: usize = 4;
+    let server = Server::new(fresh_db(ChaosOpts::default()));
+    {
+        let mut s = server.session();
+        s.execute("CREATE TABLE HOT (id INTEGER, n INTEGER)")
+            .map_err(|e| format!("storm setup: {e}"))?;
+        for id in 0..HOT_ROWS {
+            s.execute(&format!("INSERT INTO HOT VALUES ({id}, 0)"))
+                .map_err(|e| format!("storm seed row {id}: {e}"))?;
+        }
+    }
+
+    let mut report = StormReport::default();
+    let mut thread_errors: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..writers {
+            let mut sess = server.session();
+            handles.push(scope.spawn(move || -> Result<(u64, u64), String> {
+                sess.execute("SET CONFLICT_RETRIES = 64")
+                    .map_err(|e| format!("writer {t}: SET CONFLICT_RETRIES: {e}"))?;
+                sess.execute(&format!("SET RETRY_SEED = {}", (seed ^ t as u64) as i64))
+                    .map_err(|e| format!("writer {t}: SET RETRY_SEED: {e}"))?;
+                let (mut ok, mut surfaced) = (0u64, 0u64);
+                for i in 0..increments_per_writer {
+                    let k = (t + i) % HOT_ROWS;
+                    match sess.execute(&format!("UPDATE HOT SET n = n + 1 WHERE id = {k}")) {
+                        Ok(_) => ok += 1,
+                        Err(Error::WriteConflict { .. }) => surfaced += 1,
+                        Err(e) => return Err(format!("writer {t} increment {i}: {e}")),
+                    }
+                }
+                Ok((ok, surfaced))
+            }));
+        }
+        // The blocker: explicit transactions keep an uncommitted version
+        // of a hot row open across a scheduler yield, forcing the
+        // autocommit writers into their retry loops. Its own conflicts
+        // must surface (and the transaction then ends without effect).
+        let blocker = {
+            let mut sess = server.session();
+            let rounds = writers * increments_per_writer / 4;
+            scope.spawn(move || -> Result<(u64, u64), String> {
+                let (mut commits, mut conflicts) = (0u64, 0u64);
+                for i in 0..rounds {
+                    let k = i % HOT_ROWS;
+                    sess.execute("BEGIN").map_err(|e| format!("blocker BEGIN: {e}"))?;
+                    match sess.execute(&format!("UPDATE HOT SET n = n + 1 WHERE id = {k}")) {
+                        Ok(_) => {
+                            std::thread::yield_now();
+                            match sess.execute("COMMIT") {
+                                Ok(_) => commits += 1,
+                                Err(Error::WriteConflict { .. }) => conflicts += 1,
+                                Err(e) => return Err(format!("blocker COMMIT: {e}")),
+                            }
+                        }
+                        Err(Error::WriteConflict { .. }) => {
+                            conflicts += 1;
+                            let _ = sess.execute("ROLLBACK");
+                        }
+                        Err(e) => return Err(format!("blocker UPDATE: {e}")),
+                    }
+                }
+                Ok((commits, conflicts))
+            })
+        };
+        for h in handles {
+            match h.join().expect("writer thread panicked") {
+                Ok((ok, surfaced)) => {
+                    report.increments += ok;
+                    report.surfaced_autocommit_conflicts += surfaced;
+                }
+                Err(e) => thread_errors.push(e),
+            }
+        }
+        match blocker.join().expect("blocker thread panicked") {
+            Ok((commits, conflicts)) => {
+                report.blocker_commits = commits;
+                report.blocker_conflicts = conflicts;
+            }
+            Err(e) => thread_errors.push(e),
+        }
+    });
+    if !thread_errors.is_empty() {
+        return Err(format!("storm threads failed:\n{}", thread_errors.join("\n")));
+    }
+    report.conflict_retries = server
+        .governor()
+        .counters
+        .conflict_retries
+        .load(std::sync::atomic::Ordering::Relaxed);
+
+    // The commutativity oracle: every successful increment exactly once.
+    let mut check = server.session();
+    let rows = check.query("SELECT n FROM HOT").map_err(|e| format!("storm final read: {e}"))?;
+    let mut sum = 0i64;
+    for r in &rows {
+        match r.first() {
+            Some(Value::Integer(v)) => sum += *v,
+            other => return Err(format!("storm final read: expected integer n, got {other:?}")),
+        }
+    }
+    let expected = (report.increments + report.blocker_commits) as i64;
+    if sum != expected {
+        return Err(format!(
+            "lost or duplicated update under the storm: SUM(n) = {sum}, but {expected} \
+             increments reported success ({report:?})"
+        ));
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,6 +695,23 @@ mod tests {
         let report = run_concurrent_seed(1, 3, 60).unwrap_or_else(|e| panic!("{e}"));
         assert!(report.queries > 0, "schedule never checked a query: {report:?}");
         assert!(report.commits > 0, "schedule never committed a transaction: {report:?}");
+    }
+
+    #[test]
+    fn random_vacuum_cadence_stays_clean() {
+        let report = run_concurrent_seed_opts(2, 3, 60, ChaosOpts::random_vacuum(0xDAE))
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.queries > 0 && report.commits > 0, "vacuous schedule: {report:?}");
+    }
+
+    #[test]
+    fn small_conflict_storm_loses_nothing() {
+        let report = conflict_storm(7, 3, 24).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(
+            report.surfaced_autocommit_conflicts, 0,
+            "transparent retry must absorb autocommit conflicts: {report:?}"
+        );
+        assert!(report.increments > 0, "storm never incremented: {report:?}");
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub struct ChaosOpts {
     /// of the vectorized default — a sweep on this flag is the
     /// batch-vs-row bag-equality oracle.
     pub row_exec: bool,
+    /// Seeded daemon-cadence chaos for the concurrent scheduler: `0`
+    /// keeps the fixed every-3rd-step vacuum; any other value salts a
+    /// dedicated rng so incremental vacuum fires at scheduler-random
+    /// steps instead. Vacuum is semantics-preserving, so every cadence
+    /// must leave the oracles green — this knob hunts for timings the
+    /// fixed cadence never produces.
+    pub random_vacuum: u64,
 }
 
 impl ChaosOpts {
@@ -53,6 +60,11 @@ impl ChaosOpts {
     /// Row-at-a-time executor (batch path disabled).
     pub fn row_exec() -> Self {
         Self { row_exec: true, ..Self::default() }
+    }
+
+    /// Scheduler-random vacuum cadence (see [`ChaosOpts::random_vacuum`]).
+    pub fn random_vacuum(salt: u64) -> Self {
+        Self { random_vacuum: salt.max(1), ..Self::default() }
     }
 }
 

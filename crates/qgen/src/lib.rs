@@ -26,6 +26,9 @@ pub mod gen;
 pub mod harness;
 pub mod interp;
 
-pub use concurrent::{lost_update_demo, run_concurrent_seed, ConcurrentReport};
+pub use concurrent::{
+    conflict_storm, lost_update_demo, run_concurrent_seed, run_concurrent_seed_opts,
+    ConcurrentReport, StormReport,
+};
 pub use gen::{generate, Workload};
 pub use harness::{fresh_db, run_crash_seed, run_seed, ChaosOpts, Divergence};

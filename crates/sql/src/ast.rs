@@ -291,6 +291,20 @@ pub enum Statement {
     AnalyzeTable {
         name: String,
     },
+
+    // ---- session parameters ----
+    /// `SET <name> = <value>` — a session-scoped knob
+    /// (`STATEMENT_TIMEOUT`, `STATEMENT_POLL_LIMIT`, `CONFLICT_RETRIES`,
+    /// …). Handled by [`crate::Session`]; the bare `Database` lane has no
+    /// session to scope them to and rejects the statement.
+    Set {
+        name: String,
+        value: i64,
+    },
+    /// `SHOW <name>` — read a session parameter back as a one-row result.
+    Show {
+        name: String,
+    },
 }
 
 /// Rows for INSERT: literal VALUES or a sub-select.

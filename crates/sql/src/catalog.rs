@@ -183,6 +183,12 @@ impl Catalog {
                 col("VERSIONS_PRUNED", SqlType::Integer),
                 col("SLOTS_RECLAIMED", SqlType::Integer),
             ],
+            // Server governor counters (maintenance daemon, backpressure,
+            // conflict retry, statement timeouts) as NAME/VALUE rows.
+            "V$SERVER" => vec![
+                col("NAME", SqlType::Varchar(64)),
+                col("VALUE", SqlType::Integer),
+            ],
             // The CallTrace ring. DROPPED repeats the ring's eviction
             // counter on every row so `SELECT MAX(DROPPED)` surfaces it.
             "V$TRACE" => vec![

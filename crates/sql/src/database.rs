@@ -148,6 +148,10 @@ pub struct Database {
     /// Bounded per-statement execution history backing `V$SQLSTATS`.
     sqlstats: Mutex<VecDeque<SqlStat>>,
     next_sql_id: AtomicU64,
+    /// The server governor blackboard: maintenance-daemon state,
+    /// backpressure watermarks, retry/timeout counters (`V$SERVER`).
+    /// Shared with the `Server`'s daemon thread and every `Session`.
+    governor: Arc<crate::governor::ServerGovernor>,
 }
 
 /// One completed top-level statement's execution statistics.
@@ -246,7 +250,39 @@ impl Database {
             chaos_drop_last_domain_batch: false,
             sqlstats: Mutex::new(VecDeque::new()),
             next_sql_id: AtomicU64::new(0),
+            governor: Arc::new(crate::governor::ServerGovernor::new(
+                crate::governor::GovernorConfig::default(),
+            )),
         }
+    }
+
+    /// The server governor blackboard (daemon, backpressure, retry and
+    /// timeout counters). `Server` shares this with its daemon thread.
+    pub fn governor(&self) -> Arc<crate::governor::ServerGovernor> {
+        Arc::clone(&self.governor)
+    }
+
+    /// Replace the governor configuration (server construction only —
+    /// the existing counters are kept).
+    pub(crate) fn set_governor(&mut self, g: Arc<crate::governor::ServerGovernor>) {
+        self.governor = g;
+    }
+
+    /// Current MVCC chain occupancy: `(total held versions, max held
+    /// versions in any single segment)` — the watermark inputs.
+    pub fn mvcc_occupancy(&self) -> (usize, usize) {
+        let per = self.storage.mvcc_segment_stats();
+        let total = per.iter().map(|(_, _, v)| *v).sum();
+        let max_seg = per.iter().map(|(_, _, v)| *v).max().unwrap_or(0);
+        (total, max_seg)
+    }
+
+    /// Feed fresh occupancy into the governor's watermark logic
+    /// (engaging or releasing backpressure). Called after commits,
+    /// aborts, vacuum passes, and write statements.
+    pub fn refresh_backpressure(&self) {
+        let (total, max_seg) = self.mvcc_occupancy();
+        self.governor.note_occupancy(total, max_seg);
     }
 
     // ---- registration (the Rust side of CREATE FUNCTION / USING) -----------
@@ -867,10 +903,22 @@ impl Database {
         self.storage.set_current_txn(snap);
         let marker = self.wal_commit_marker();
         self.storage.set_current_txn(Snapshot::latest());
-        self.storage.vacuum();
+        self.maintenance_after_txn_end();
         let ev = self.fire_event(DbEvent::Commit);
         marker?;
         ev
+    }
+
+    /// Post-commit/abort maintenance: with the daemon owning vacuum
+    /// cadence the foreground stays O(1) — it only refreshes the
+    /// governor's occupancy reading (engaging backpressure past the
+    /// high-water mark and waking the daemon). Without a daemon this is
+    /// the PR 9 inline path: vacuum on every transaction end.
+    fn maintenance_after_txn_end(&mut self) {
+        if !self.governor.daemon_running() {
+            self.storage.vacuum();
+        }
+        self.refresh_backpressure();
     }
 
     /// Roll back a session transaction: reverse its undo (chain-aware),
@@ -887,7 +935,7 @@ impl Database {
         }
         self.storage.set_current_txn(Snapshot::latest());
         self.storage.txn_manager().abort(snap.txn);
-        self.storage.vacuum();
+        self.maintenance_after_txn_end();
         let ev = self.fire_event(DbEvent::Rollback);
         rolled?;
         ev
@@ -898,7 +946,7 @@ impl Database {
     /// firing a second Rollback event.
     pub(crate) fn session_discard(&mut self, snap: Snapshot) {
         self.storage.txn_manager().abort(snap.txn);
-        self.storage.vacuum();
+        self.maintenance_after_txn_end();
     }
 
     /// Replay the inverse of every recorded maintenance operation, newest
@@ -1160,6 +1208,11 @@ impl Database {
                 Ok(StmtResult::Ok)
             }
             Statement::AnalyzeTable { name } => self.run_analyze(&name),
+            // Session parameters are scoped to a `Session`; the bare
+            // `Database` lane has no session state to attach them to.
+            Statement::Set { name, .. } | Statement::Show { name } => Err(Error::Unsupported(
+                format!("{name} is a session parameter; connect through Server::session"),
+            )),
         }
     }
 
@@ -1732,6 +1785,7 @@ impl Database {
                     col_map.len()
                 )));
             }
+            extidx_core::governor::poll()?;
             let mut full = vec![Value::Null; tdef.columns.len()];
             for (v, &target) in src.into_iter().zip(&col_map) {
                 full[target] = self.coerce_value(v, &tdef.columns[target].ty)?;
@@ -1801,6 +1855,7 @@ impl Database {
         // Phase 2: apply the mutations and maintain every index.
         let mut count = 0u64;
         for (rid, old_row, new_row) in planned {
+            extidx_core::governor::poll()?;
             match (tdef.org.clone(), rid) {
                 (TableOrg::Heap, Some(rid)) => {
                     let undo = self.stmt_undo.as_mut();
@@ -1841,6 +1896,7 @@ impl Database {
         let matches = self.collect_dml_targets(&tdef, where_clause.as_ref())?;
         let mut count = 0u64;
         for (rid, old_row) in matches {
+            extidx_core::governor::poll()?;
             match (tdef.org.clone(), rid) {
                 (TableOrg::Heap, Some(rid)) => {
                     let undo = self.stmt_undo.as_mut();
@@ -1875,11 +1931,23 @@ impl Database {
         let mut exec = executor::build(plan);
         let col_count = tdef.columns.len();
         let mut out = Vec::new();
-        while let Some(r) = exec.next(&ecx)? {
-            // Heap rows carry physical rowids; IOT rows carry logical
-            // rowids (ordinals) — both arrive in the hidden ROWID column.
-            let rid = Some(r.values[col_count].as_rowid()?);
-            out.push((rid, r.values[..col_count].to_vec()));
+        let run = (|| -> Result<()> {
+            loop {
+                extidx_core::governor::poll()?;
+                let Some(r) = exec.next(&ecx)? else { break };
+                // Heap rows carry physical rowids; IOT rows carry logical
+                // rowids (ordinals) — both arrive in the hidden ROWID
+                // column.
+                let rid = Some(r.values[col_count].as_rowid()?);
+                out.push((rid, r.values[..col_count].to_vec()));
+            }
+            Ok(())
+        })();
+        if let Err(e) = run {
+            // A mid-scan failure (deadline, injected fault…) must not
+            // leak an open cartridge scan context: Start ≡ Close.
+            exec.abandon(&ecx);
+            return Err(e);
         }
         Ok(out)
     }
@@ -2114,6 +2182,43 @@ impl Database {
     /// same pass; this is an explicit extra trigger.
     pub fn vacuum(&mut self) {
         self.storage.vacuum();
+        self.refresh_backpressure();
+    }
+
+    /// One maintenance-daemon pass body, run under the engine write
+    /// lock: check the `daemon.vacuum` fault point (an injected panic is
+    /// contained by the daemon loop's `catch_unwind` — parking_lot locks
+    /// do not poison), abort any orphaned transactions parked by dropped
+    /// sessions, vacuum, and refresh the watermarks.
+    pub fn daemon_pass(&mut self) -> Result<()> {
+        self.fault_check("daemon.vacuum", None)?;
+        self.drain_orphans();
+        self.vacuum();
+        Ok(())
+    }
+
+    /// Foreground drain run by a backpressure-gated session (zero
+    /// `yield_wait`, or the daemon missed its window). Its fault point
+    /// fires *before* any mutation, so an injected failure leaves state
+    /// byte-identical and merely fails the gated statement pre-execution.
+    pub(crate) fn backpressure_drain(&mut self) -> Result<()> {
+        self.fault_check("governor.backpressure", None)?;
+        self.drain_orphans();
+        self.vacuum();
+        Ok(())
+    }
+
+    /// Abort every orphaned transaction parked with the governor (see
+    /// `ServerGovernor::park_orphan`). Called by the daemon and at the
+    /// start of write statements, both under the write lock.
+    pub(crate) fn drain_orphans(&mut self) {
+        if !self.governor.has_orphans() {
+            return;
+        }
+        for mut o in self.governor.take_orphans() {
+            let _ = self.session_abort(o.snap, &mut o.undo);
+            self.governor.bump(&self.governor.counters.orphan_aborts);
+        }
     }
 
     /// Record a first-writer-wins abort in `V$TRACE` so the contended key
@@ -2126,6 +2231,17 @@ impl Database {
                 "",
                 format!("lost to txn {other_txn} on {key}"),
             );
+            self.trace.finish(h);
+        }
+    }
+
+    /// Record a statement deadline/cancellation in `V$TRACE` (a
+    /// TXN/Timeout event) and bump the governor's timeout counter.
+    /// Called once per timed-out statement by the session front end.
+    pub(crate) fn trace_timeout(&self, err: &Error) {
+        if let Error::StatementTimeout { detail } = err {
+            self.governor.bump(&self.governor.counters.statement_timeouts);
+            let h = self.trace.record(Component::Txn, "Timeout", "", detail.clone());
             self.trace.finish(h);
         }
     }
@@ -2244,6 +2360,12 @@ impl Database {
                 }
                 out
             }
+            "V$SERVER" => self
+                .governor
+                .vserver_rows()
+                .into_iter()
+                .map(|(name, value)| vec![Value::from(name), Value::from(value)])
+                .collect(),
             "V$TRACE" => {
                 let dropped = self.trace.dropped() as i64;
                 self.trace

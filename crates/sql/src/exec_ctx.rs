@@ -299,18 +299,33 @@ pub(crate) fn run_select_shared(
     let columns = planned.column_names;
     let mut exec = executor::build(planned.root);
     let mut rows = Vec::new();
-    if db.batch_exec {
-        loop {
-            let b = exec.next_batch(&ecx, executor::BATCH_TARGET)?;
-            if b.rows.is_empty() {
-                break;
+    // The statement deadline is charged once per executor iteration; on
+    // *any* error the tree is abandoned so an open cartridge scan context
+    // is closed best-effort (Start ≡ Close on the error path too).
+    let drained: Result<()> = (|| {
+        if db.batch_exec {
+            loop {
+                extidx_core::governor::poll()?;
+                let b = exec.next_batch(&ecx, executor::BATCH_TARGET)?;
+                if b.rows.is_empty() {
+                    break;
+                }
+                rows.extend(b.rows.into_iter().map(|r| r.values));
             }
-            rows.extend(b.rows.into_iter().map(|r| r.values));
+        } else {
+            loop {
+                extidx_core::governor::poll()?;
+                match exec.next(&ecx)? {
+                    Some(r) => rows.push(r.values),
+                    None => break,
+                }
+            }
         }
-    } else {
-        while let Some(r) = exec.next(&ecx)? {
-            rows.push(r.values);
-        }
+        Ok(())
+    })();
+    if let Err(e) = drained {
+        exec.abandon(&ecx);
+        return Err(e);
     }
     Ok((columns, rows))
 }

@@ -76,6 +76,15 @@ pub trait ExecNode: Send {
     fn pages_pruned(&self) -> u64 {
         0
     }
+
+    /// Tear the subtree down on the statement's *error* path (deadline,
+    /// injected fault, …): wrapper nodes forward to their children, and
+    /// a domain scan closes its open cartridge context best-effort so
+    /// Start ≡ Close holds even when the statement dies mid-scan. Must
+    /// never fail — the original error wins.
+    fn abandon(&mut self, db: &Exec<'_>) {
+        let _ = db;
+    }
 }
 
 /// Build the executor tree for a plan.
@@ -297,6 +306,10 @@ impl ExecNode for InstrumentExec {
 
     fn pages_pruned(&self) -> u64 {
         self.inner.pages_pruned()
+    }
+
+    fn abandon(&mut self, db: &Exec<'_>) {
+        self.inner.abandon(db);
     }
 }
 
@@ -886,6 +899,10 @@ impl ExecNode for DomainScanExec {
         self.buffer.clear();
         Ok(())
     }
+
+    fn abandon(&mut self, db: &Exec<'_>) {
+        self.close_on_error(db);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -945,6 +962,11 @@ impl ExecNode for NestedLoopJoinExec {
         self.started = false;
         Ok(())
     }
+
+    fn abandon(&mut self, db: &Exec<'_>) {
+        self.left.abandon(db);
+        self.right.abandon(db);
+    }
 }
 
 /// Nested loop whose inner side is a parameterized domain scan: the outer
@@ -999,6 +1021,11 @@ impl ExecNode for DomainJoinExec {
         self.current = None;
         Ok(())
     }
+
+    fn abandon(&mut self, db: &Exec<'_>) {
+        self.left.abandon(db);
+        self.scan.abandon(db);
+    }
 }
 
 struct HashJoinExec {
@@ -1017,6 +1044,8 @@ impl ExecNode for HashJoinExec {
         if self.table.is_none() {
             let mut table: BTreeMap<Key, Vec<ExecRow>> = BTreeMap::new();
             while let Some(r) = self.right.next(db)? {
+                // Build side is a pipeline breaker — deadline per row.
+                extidx_core::governor::poll()?;
                 let key = {
                     let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
                     eval(&self.right_key, &r, &ctx)?
@@ -1068,6 +1097,11 @@ impl ExecNode for HashJoinExec {
         self.table = None;
         self.pending.clear();
         Ok(())
+    }
+
+    fn abandon(&mut self, db: &Exec<'_>) {
+        self.left.abandon(db);
+        self.right.abandon(db);
     }
 }
 
@@ -1131,6 +1165,10 @@ impl ExecNode for FilterExec {
     fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.input.reset(db)
     }
+
+    fn abandon(&mut self, db: &Exec<'_>) {
+        self.input.abandon(db);
+    }
 }
 
 struct ProjectExec {
@@ -1170,6 +1208,10 @@ impl ExecNode for ProjectExec {
     fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.input.reset(db)
     }
+
+    fn abandon(&mut self, db: &Exec<'_>) {
+        self.input.abandon(db);
+    }
 }
 
 struct SortExec {
@@ -1183,6 +1225,10 @@ impl ExecNode for SortExec {
         if self.sorted.is_none() {
             let mut rows: Vec<(Vec<Value>, ExecRow)> = Vec::new();
             while let Some(r) = self.input.next(db)? {
+                // Pipeline breaker: the whole input drains inside this one
+                // `next` call, so the statement deadline is charged per
+                // row here rather than at the (never-reached) top level.
+                extidx_core::governor::poll()?;
                 let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
                 let key: Vec<Value> =
                     self.keys.iter().map(|(e, _)| eval(e, &r, &ctx)).collect::<Result<_>>()?;
@@ -1207,6 +1253,10 @@ impl ExecNode for SortExec {
     fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.sorted = None;
         self.input.reset(db)
+    }
+
+    fn abandon(&mut self, db: &Exec<'_>) {
+        self.input.abandon(db);
     }
 }
 
@@ -1250,6 +1300,10 @@ impl ExecNode for LimitExec {
         self.produced = 0;
         self.input.reset(db)
     }
+
+    fn abandon(&mut self, db: &Exec<'_>) {
+        self.input.abandon(db);
+    }
 }
 
 struct DistinctExec {
@@ -1271,6 +1325,10 @@ impl ExecNode for DistinctExec {
     fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.seen.clear();
         self.input.reset(db)
+    }
+
+    fn abandon(&mut self, db: &Exec<'_>) {
+        self.input.abandon(db);
     }
 }
 
@@ -1368,6 +1426,8 @@ impl ExecNode for AggregateExec {
             let mut order: Vec<Key> = Vec::new();
             let mut any_row = false;
             while let Some(r) = self.input.next(db)? {
+                // Pipeline breaker — deadline charged per drained row.
+                extidx_core::governor::poll()?;
                 any_row = true;
                 let ctx = EvalCtx { catalog: &db.catalog, storage: &db.storage, snap: db.snap };
                 let key_vals: Vec<Value> =
@@ -1415,6 +1475,10 @@ impl ExecNode for AggregateExec {
     fn reset(&mut self, db: &Exec<'_>) -> Result<()> {
         self.output = None;
         self.input.reset(db)
+    }
+
+    fn abandon(&mut self, db: &Exec<'_>) {
+        self.input.abandon(db);
     }
 }
 

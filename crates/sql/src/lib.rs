@@ -26,6 +26,7 @@ pub mod database;
 pub mod exec_ctx;
 pub mod executor;
 pub mod expr;
+pub mod governor;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
@@ -33,7 +34,10 @@ pub mod plan;
 pub mod session;
 
 pub use database::{Database, QueryCursor, StmtResult};
+pub use governor::{GovernorConfig, ServerGovernor};
 pub use session::{Server, Session};
+// Statement cancellation tokens are minted by `Session::cancel_token`.
+pub use extidx_core::governor::CancelToken;
 // Durability surface: callers hand a `DurableMedium` to
 // `Database::enable_durability` and arm `WAL_FAULT_POINTS` to simulate
 // crashes, so the types are re-exported here.

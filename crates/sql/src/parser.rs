@@ -212,6 +212,31 @@ impl Parser {
             self.expect_kw("TABLE")?;
             return Ok(Statement::AnalyzeTable { name: self.ident()? });
         }
+        if self.eat_kw("SET") {
+            let name = self.ident()?;
+            // Oracle's `ALTER SESSION SET x = v` flavor, pared down: an
+            // optional `=` then a (possibly negative) integer value.
+            self.eat(&Token::Eq);
+            let neg = self.eat(&Token::Minus);
+            let value = match self.next()? {
+                Token::Int(i) => {
+                    if neg {
+                        -i
+                    } else {
+                        i
+                    }
+                }
+                other => {
+                    return Err(Error::Parse(format!(
+                        "expected integer value for SET {name}, found {other}"
+                    )))
+                }
+            };
+            return Ok(Statement::Set { name, value });
+        }
+        if self.eat_kw("SHOW") {
+            return Ok(Statement::Show { name: self.ident()? });
+        }
         Err(Error::Parse(format!(
             "unrecognized statement start: {}",
             self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())

@@ -124,6 +124,28 @@ E18_ROUNDS=200 E18_PAIRS=25 \
     cargo run --release -q -p extidx-bench --bin repro -- e18-vacuum
 ls target/bench-json/BENCH_e18_vacuum.json
 
+# Server governor: statement timeouts striking mid-scan / mid-ODCI /
+# mid-maintenance / mid-backpressure-wait with full statement rollback,
+# the daemon panic/fault sweep (contained, restarted, lock never
+# poisoned), cross-thread cancellation, the 4-session soak with bounded
+# occupancy, drop-ordering regression, and V$SERVER counters. The
+# conflict storm + random-cadence sweeps ride in the --include-ignored
+# runs above.
+echo "== governor (daemon + timeouts + backpressure + retry) =="
+cargo test -q --test server_governor
+
+# Governor bench smoke: foreground p99 statement latency with the
+# maintenance daemon owning the vacuum cadence vs PR 9's inline vacuum
+# on every commit, under a pinned-horizon chain set the vacuum must scan
+# but cannot reclaim. Floor 2x; records BENCH_e19_governor.json.
+echo "== bench smoke (e19-governor + BENCH json) =="
+E19_CHURN=800 E19_ROUNDS=120 \
+    BENCH_OUT=target/bench-json \
+    GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    BENCH_DATE="$(date -u +%F)" \
+    cargo run --release -q -p extidx-bench --bin repro -- e19-governor
+ls target/bench-json/BENCH_e19_governor.json
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

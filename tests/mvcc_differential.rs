@@ -10,7 +10,7 @@
 //!
 //! `MVCC_SEED` pins the default run's seed (decimal or 0x-hex).
 
-use extidx_qgen::{lost_update_demo, run_concurrent_seed};
+use extidx_qgen::{conflict_storm, lost_update_demo, run_concurrent_seed, run_concurrent_seed_opts, ChaosOpts};
 
 const STEPS: usize = 120;
 
@@ -72,6 +72,11 @@ fn lost_update_is_caught_without_enforcement_and_prevented_with() {
 }
 
 /// Long multi-seed sweep, run by scripts/ci.sh via `--include-ignored`.
+/// Transparent conflict retry and the maintenance daemon are both live
+/// (`Server::new` defaults), and each seed also runs with the seeded
+/// random-vacuum cadence — the bag-equality and serial-twin oracles must
+/// stay green no matter when maintenance fires or how often statements
+/// are invisibly retried.
 #[test]
 #[ignore = "long sweep; run via scripts/ci.sh or --include-ignored"]
 fn concurrent_multi_seed_sweep() {
@@ -80,7 +85,31 @@ fn concurrent_multi_seed_sweep() {
             if let Err(d) = run_concurrent_seed(seed, sessions, STEPS) {
                 panic!("seed {seed} x{sessions} diverged (MVCC_SEED={seed})\n{d}");
             }
+            if let Err(d) =
+                run_concurrent_seed_opts(seed, sessions, STEPS, ChaosOpts::random_vacuum(seed))
+            {
+                panic!("seed {seed} x{sessions} (random vacuum) diverged (MVCC_SEED={seed})\n{d}");
+            }
         }
+    }
+}
+
+/// Conflict storm: OS-thread writers racing commutative increments on a
+/// few hot rows against an explicit-transaction blocker. Transparent
+/// retry must keep every autocommit conflict invisible and the final sum
+/// must account for every successful increment exactly once. Run by
+/// scripts/ci.sh.
+#[test]
+#[ignore = "thread stress; run via scripts/ci.sh or --include-ignored"]
+fn conflict_storm_stays_exact() {
+    for seed in [1u64, 2, 3] {
+        let report = conflict_storm(seed, 4, 60)
+            .unwrap_or_else(|e| panic!("storm seed {seed}: {e}"));
+        assert_eq!(
+            report.surfaced_autocommit_conflicts, 0,
+            "seed {seed}: transparent retry must absorb autocommit conflicts: {report:?}"
+        );
+        assert!(report.increments > 0, "seed {seed}: storm never incremented");
     }
 }
 

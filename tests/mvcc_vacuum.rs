@@ -18,7 +18,7 @@
 //!   every version any snapshot can see.
 
 use extidx::common::{Error, Value};
-use extidx::sql::{Server, Session};
+use extidx::sql::{GovernorConfig, Server, Session};
 use extidx_qgen::{fresh_db, ChaosOpts};
 use proptest::prelude::*;
 
@@ -52,9 +52,12 @@ fn observe(sess: &mut Session, lo: i64, hi: i64) -> Vec<Vec<i64>> {
 }
 
 /// A server with `MV (id, mol, num)`, a chemistry domain index on `mol`
-/// (fingerprints in a shared LOB), and `n` seeded rows.
+/// (fingerprints in a shared LOB), and `n` seeded rows. Runs with inline
+/// vacuum (no maintenance daemon): this file pins the commit/rollback
+/// vacuum invariants; the daemon's own cadence is covered by
+/// `tests/server_governor.rs`.
 fn setup(n: usize, seed: u64) -> Server {
-    let server = Server::new(fresh_db(ChaosOpts::default()));
+    let server = Server::with_config(fresh_db(ChaosOpts::default()), GovernorConfig::inline_vacuum());
     let mut s = server.session();
     s.execute("CREATE TABLE MV (id INTEGER, mol VARCHAR2(64), num INTEGER)").unwrap();
     s.execute("CREATE INDEX MV_MOL ON MV(mol) INDEXTYPE IS ChemIndexType").unwrap();

@@ -1,0 +1,537 @@
+//! The server-governance matrix (DESIGN.md §4l): statement deadlines and
+//! cancellation, the backpressure gate, the maintenance daemon's fault
+//! containment, and the teardown/drop ordering regressions.
+//!
+//! The timeout tests sweep the *deterministic* poll-count deadline
+//! (`SET STATEMENT_TIMEOUT_TICKS`) across a statement's execution, so the
+//! deadline strikes mid-scan, mid-ODCI-crossing, mid-maintenance, and
+//! inside the backpressure wait on different iterations — and after every
+//! strike the observable state must be byte-identical to the
+//! pre-statement fingerprint (statement atomicity is deadline-blind),
+//! domain scans must stay Start≡Close balanced, and the deadline must be
+//! visible as a TXN/Timeout row in `V$TRACE` and in `V$SERVER`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use extidx::common::{Error, Value};
+use extidx::core::fault::FaultKind;
+use extidx::sql::{Database, GovernorConfig, Server};
+
+/// Everything observable about user state: every cataloged table's full
+/// contents plus index-path probe queries, rendered deterministically.
+/// MVCC vacuum is semantics-preserving, so a concurrently running daemon
+/// can never change a fingerprint — only a torn statement can.
+fn fingerprint(server: &Server, probes: &[&str]) -> Vec<String> {
+    server.admin(|db| {
+        let mut out = Vec::new();
+        let mut tables = db.catalog().table_names();
+        tables.sort();
+        for t in tables {
+            let mut rows: Vec<String> = db
+                .query(&format!("SELECT * FROM {t}"))
+                .unwrap_or_else(|e| panic!("fingerprint of {t}: {e}"))
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            rows.sort();
+            out.push(format!("table {t}: {}", rows.join(" | ")));
+        }
+        for sql in probes {
+            let mut rows: Vec<String> = db
+                .query(sql)
+                .unwrap_or_else(|e| panic!("probe {sql}: {e}"))
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            rows.sort();
+            out.push(format!("probe {sql}: {}", rows.join(" | ")));
+        }
+        out
+    })
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+const PROBE: &str = "SELECT /*+ INDEX(docs dt) */ id FROM docs WHERE Contains(body, 'gorse')";
+
+fn text_server(config: GovernorConfig, rows: i64) -> Server {
+    let mut db = Database::with_cache_pages(4096);
+    extidx::text::install(&mut db).unwrap();
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(200))").unwrap();
+    for i in 0..rows {
+        let body = if i % 2 == 0 { format!("gorse stand {i}") } else { format!("filler {i}") };
+        db.execute_with("INSERT INTO docs VALUES (?, ?)", &[i.into(), body.as_str().into()])
+            .unwrap();
+    }
+    db.execute("CREATE INDEX dt ON docs(body) INDEXTYPE IS TextIndexType").unwrap();
+    Server::with_config(db, config)
+}
+
+fn start_close_counts(server: &Server) -> (u64, u64) {
+    server.read(|db| {
+        let (mut starts, mut closes) = (0, 0);
+        for (_, routine, s) in db.trace().aggregates() {
+            match routine {
+                "ODCIIndexStart" => starts += s.calls,
+                "ODCIIndexClose" => closes += s.calls,
+                _ => {}
+            }
+        }
+        (starts, closes)
+    })
+}
+
+fn timeout_trace_rows(server: &Server) -> usize {
+    server.admin(|db| {
+        db.query("SELECT COMPONENT, ROUTINE FROM V$TRACE")
+            .expect("V$TRACE")
+            .iter()
+            .filter(|r| format!("{r:?}").contains("Timeout"))
+            .count()
+    })
+}
+
+/// Deadline mid-scan: sweep the deterministic tick budget over a SELECT.
+/// Every strike surfaces `StatementTimeout` (recorded in `V$TRACE` and
+/// `V$SERVER`); once the budget clears the statement, results are exact.
+#[test]
+fn timeout_mid_scan_surfaces_and_is_traced() {
+    let server = text_server(GovernorConfig::inline_vacuum(), 60);
+    server.admin(|db| db.trace().set_enabled(true));
+    let mut s = server.session();
+    let mut fired = 0u64;
+    let mut completed = false;
+    for ticks in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096] {
+        s.execute(&format!("SET STATEMENT_TIMEOUT_TICKS = {ticks}")).unwrap();
+        match s.query("SELECT id FROM docs ORDER BY id") {
+            Err(e @ Error::StatementTimeout { .. }) => {
+                assert!(e.to_string().contains("poll limit"), "wrong detail: {e}");
+                fired += 1;
+            }
+            Ok(rows) => {
+                assert_eq!(rows.len(), 60, "completed scan must be exact");
+                completed = true;
+                break;
+            }
+            Err(e) => panic!("ticks {ticks}: unexpected error {e}"),
+        }
+    }
+    assert!(fired > 0, "the sweep never struck mid-scan");
+    assert!(completed, "even 4096 ticks did not clear a 60-row scan");
+    assert_eq!(timeout_trace_rows(&server), fired as usize, "one TXN/Timeout row per strike");
+    let timeouts = server.governor().counters.statement_timeouts.load(Ordering::Relaxed);
+    assert_eq!(timeouts, fired, "V$SERVER STATEMENT_TIMEOUTS must count every strike");
+}
+
+/// Deadline mid-ODCI-crossing: the tick budget is charged through
+/// `sandbox::tick`, so low budgets expire *inside* cartridge scan
+/// crossings. Every error path must still tear the scan down —
+/// Start≡Close stays balanced — and the engine stays fully usable.
+#[test]
+fn timeout_mid_odci_crossing_keeps_start_close_balanced() {
+    let server = text_server(GovernorConfig::inline_vacuum(), 80);
+    server.admin(|db| db.trace().set_enabled(true));
+    let mut s = server.session();
+    let clean = {
+        let mut c = server.session();
+        c.query(PROBE).expect("clean probe")
+    };
+    let mut fired = 0u64;
+    let mut completed = false;
+    for ticks in 1..=512u64 {
+        s.execute(&format!("SET STATEMENT_TIMEOUT_TICKS = {ticks}")).unwrap();
+        match s.query(PROBE) {
+            Err(Error::StatementTimeout { .. }) => fired += 1,
+            Ok(rows) => {
+                assert_eq!(rows, clean, "post-timeout scan diverged at ticks {ticks}");
+                completed = true;
+                break;
+            }
+            Err(e) => panic!("ticks {ticks}: unexpected error {e}"),
+        }
+        let (starts, closes) = start_close_counts(&server);
+        assert_eq!(starts, closes, "ticks {ticks}: {starts} Start vs {closes} Close");
+    }
+    assert!(fired > 0, "the sweep never expired inside the scan");
+    assert!(completed, "512 ticks did not clear the domain scan");
+    let (starts, closes) = start_close_counts(&server);
+    assert!(starts > 0, "probe never reached the domain index");
+    assert_eq!(starts, closes, "final Start/Close imbalance");
+}
+
+/// Deadline mid-maintenance: the tick budget strikes inside a multi-row
+/// UPDATE that maintains a domain index. Every strike must roll the whole
+/// statement back — base table, B-tree path, and domain index
+/// byte-identical to the pre-statement fingerprint.
+#[test]
+fn timeout_mid_maintenance_rolls_the_statement_back() {
+    let server = text_server(GovernorConfig::inline_vacuum(), 40);
+    let mut s = server.session();
+    let mut fired = 0u64;
+    let mut completed = false;
+    for ticks in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384] {
+        let before = fingerprint(&server, &[PROBE]);
+        s.execute(&format!("SET STATEMENT_TIMEOUT_TICKS = {ticks}")).unwrap();
+        match s.execute("UPDATE docs SET body = 'gorse rewrite' WHERE id < 20") {
+            Err(e @ Error::StatementTimeout { .. }) => {
+                assert_eq!(
+                    fingerprint(&server, &[PROBE]),
+                    before,
+                    "ticks {ticks}: timed-out statement left partial state ({e})"
+                );
+                fired += 1;
+            }
+            Ok(_) => {
+                assert_ne!(
+                    fingerprint(&server, &[PROBE]),
+                    before,
+                    "ticks {ticks}: completed UPDATE changed nothing"
+                );
+                completed = true;
+                break;
+            }
+            Err(e) => panic!("ticks {ticks}: unexpected error {e}"),
+        }
+    }
+    assert!(fired > 0, "the sweep never struck mid-maintenance");
+    assert!(completed, "the UPDATE never cleared its deadline");
+}
+
+/// A backpressure config that can only engage, never drain: the horizon
+/// is pinned by a reader transaction, watermarks are at zero, and the
+/// deterministic zero `yield_wait` makes every gate round self-drain.
+fn gated_server() -> Server {
+    let config = GovernorConfig {
+        daemon: false,
+        high_water_versions: 0,
+        high_water_chain: 0,
+        low_water_versions: 0,
+        yield_wait: Duration::ZERO,
+        retry_backoff: Duration::ZERO,
+        ..GovernorConfig::default()
+    };
+    let mut db = Database::with_cache_pages(4096);
+    db.execute("CREATE TABLE T (id INTEGER, n INTEGER)").unwrap();
+    for id in 0..4 {
+        db.execute(&format!("INSERT INTO T VALUES ({id}, 0)")).unwrap();
+    }
+    Server::with_config(db, config)
+}
+
+/// Deadline during the backpressure wait: a gated statement's deadline
+/// keeps ticking while it yields, and an expiry inside the gate aborts
+/// the statement *before it mutates anything*.
+#[test]
+fn timeout_during_backpressure_wait_leaves_state_intact() {
+    let server = gated_server();
+    let mut pin = server.session();
+    pin.execute("BEGIN").unwrap();
+
+    let mut w = server.session();
+    for i in 1..=6 {
+        w.execute(&format!("UPDATE T SET n = {i} WHERE id = 1")).unwrap();
+    }
+    let g = server.governor();
+    assert!(g.backpressure_engaged(), "pinned versions above a zero high-water must engage");
+
+    let mut gated = server.session();
+    gated.execute("SET STATEMENT_TIMEOUT_TICKS = 1").unwrap();
+    let before = fingerprint(&server, &[]);
+    let waits0 = g.counters.backpressure_waits.load(Ordering::Relaxed);
+    let err = gated.execute("UPDATE T SET n = 99 WHERE id = 2").unwrap_err();
+    assert!(matches!(err, Error::StatementTimeout { .. }), "got {err}");
+    assert_eq!(fingerprint(&server, &[]), before, "gated timeout must not mutate");
+    assert!(
+        g.counters.backpressure_waits.load(Ordering::Relaxed) > waits0,
+        "the statement never actually waited under the gate"
+    );
+
+    // Without the deadline the gate is bounded: the statement self-drains
+    // (counted) and proceeds even though the pinned horizon keeps the
+    // gate nominally engaged — overload protection never wedges.
+    gated.execute("SET STATEMENT_TIMEOUT_TICKS = 0").unwrap();
+    gated.execute("UPDATE T SET n = 99 WHERE id = 2").unwrap();
+    assert!(
+        g.counters.backpressure_self_drains.load(Ordering::Relaxed) > 0,
+        "zero yield_wait rounds must self-drain deterministically"
+    );
+    pin.execute("COMMIT").unwrap();
+}
+
+/// The gate's own fault point: an injected failure in the foreground
+/// drain surfaces to the gated statement before any mutation.
+#[test]
+fn backpressure_fault_point_surfaces_without_mutation() {
+    let server = gated_server();
+    let mut pin = server.session();
+    pin.execute("BEGIN").unwrap();
+    let mut w = server.session();
+    for i in 1..=4 {
+        w.execute(&format!("UPDATE T SET n = {i} WHERE id = 1")).unwrap();
+    }
+    assert!(server.governor().backpressure_engaged());
+
+    let before = fingerprint(&server, &[]);
+    server.read(|db| db.fault_injector().arm("governor.backpressure", None, 1, FaultKind::Fail));
+    let mut gated = server.session();
+    let err = gated.execute("UPDATE T SET n = 77 WHERE id = 3").unwrap_err();
+    assert!(
+        !matches!(err, Error::StatementTimeout { .. } | Error::WriteConflict { .. }),
+        "expected the injected fault, got {err}"
+    );
+    assert_eq!(fingerprint(&server, &[]), before, "faulted drain must not mutate");
+    server.read(|db| db.fault_injector().disarm_all());
+    gated.execute("UPDATE T SET n = 77 WHERE id = 3").unwrap();
+    pin.execute("COMMIT").unwrap();
+}
+
+/// Daemon fault sweep: a panic injected at the `daemon.vacuum` crossing
+/// (at varying pass counts) is contained — the pass dies, the daemon
+/// does not, the engine lock is never poisoned, and state stays
+/// byte-identical. A plain injected failure is counted separately.
+#[test]
+fn daemon_panic_sweep_is_contained_and_state_intact() {
+    let config = GovernorConfig { interval: Duration::from_millis(1), ..GovernorConfig::default() };
+    let server = text_server(config, 20);
+    let g = server.governor();
+    wait_until(|| g.counters.daemon_passes.load(Ordering::Relaxed) > 0, "first daemon pass");
+
+    for k in [1u64, 2] {
+        let before = fingerprint(&server, &[PROBE]);
+        let restarts0 = g.counters.daemon_restarts.load(Ordering::Relaxed);
+        server.read(|db| db.fault_injector().arm("daemon.vacuum", None, k, FaultKind::Panic));
+        g.wake_daemon();
+        wait_until(
+            || g.counters.daemon_restarts.load(Ordering::Relaxed) > restarts0,
+            "contained daemon panic",
+        );
+        assert!(g.daemon_running(), "a contained panic must not stop the daemon");
+        assert_eq!(fingerprint(&server, &[PROBE]), before, "panicked pass mutated state");
+        // The loop keeps making healthy passes afterwards.
+        let passes0 = g.counters.daemon_passes.load(Ordering::Relaxed);
+        g.wake_daemon();
+        wait_until(
+            || g.counters.daemon_passes.load(Ordering::Relaxed) > passes0,
+            "daemon pass after the contained panic",
+        );
+        server.read(|db| db.fault_injector().disarm_all());
+    }
+
+    // Non-panic injected fault: counted as a fault, not a restart.
+    let faults0 = g.counters.daemon_faults.load(Ordering::Relaxed);
+    server.read(|db| db.fault_injector().arm("daemon.vacuum", None, 1, FaultKind::Fail));
+    g.wake_daemon();
+    wait_until(|| g.counters.daemon_faults.load(Ordering::Relaxed) > faults0, "daemon fault");
+    server.read(|db| db.fault_injector().disarm_all());
+    assert!(g.daemon_running());
+
+    // And the engine still answers exactly through a session.
+    let mut s = server.session();
+    assert!(!s.query(PROBE).unwrap().is_empty());
+}
+
+/// Teardown/drop ordering regression: a session dropped mid-transaction
+/// while the engine lock is held must park (not deadlock), the parked
+/// transaction must be aborted properly, and `Server::into_inner` must
+/// stop-and-join the daemon before unwrapping the engine — restarting it
+/// when live clones force the teardown to roll back.
+#[test]
+fn into_inner_and_session_drop_never_deadlock() {
+    let server = text_server(GovernorConfig::default(), 10);
+    let clone = server.clone();
+    let g = server.governor();
+
+    let mut s = server.session();
+    s.execute("BEGIN").unwrap();
+    s.execute("UPDATE docs SET body = 'orphaned-write' WHERE id = 0").unwrap();
+    // Drop the session *while the write lock is held by this thread*: a
+    // blocking drop would deadlock right here.
+    server.admin(move |_db| drop(s));
+    wait_until(|| g.counters.orphan_aborts.load(Ordering::Relaxed) > 0, "orphan adoption");
+    let mut c = server.session();
+    let rows = c.query("SELECT body FROM docs WHERE id = 0").unwrap();
+    assert_ne!(rows[0][0], Value::from("orphaned-write"), "orphaned txn must roll back");
+    drop(c);
+
+    // A live clone forces teardown to fail — and the daemon must keep
+    // running on the surviving server rather than silently dying.
+    let server = match server.into_inner() {
+        Err(s) => s,
+        Ok(_) => panic!("teardown must fail while a clone is alive"),
+    };
+    assert!(server.governor().daemon_running(), "daemon must survive a refused teardown");
+    drop(clone);
+
+    // Mid-transaction session dropped normally (uncontended): aborts
+    // inline; then the full teardown joins the daemon and hands the
+    // engine back.
+    let mut s2 = server.session();
+    s2.execute("BEGIN").unwrap();
+    s2.execute("UPDATE docs SET body = 'also-orphaned' WHERE id = 1").unwrap();
+    drop(s2);
+    let governor = server.governor();
+    let Ok(mut db) = server.into_inner() else { panic!("full teardown must succeed") };
+    assert!(!governor.daemon_running(), "into_inner must stop the daemon");
+    let rows = db.query("SELECT body FROM docs WHERE id = 1").unwrap();
+    assert_ne!(rows[0][0], Value::from("also-orphaned"));
+}
+
+/// Four sessions, never quiescent: continuous commutative updates with an
+/// aggressive daemon cadence. Every statement completes (bounded gate),
+/// the sum is exact, and occupancy drains back under the high-water mark.
+#[test]
+fn four_session_soak_stays_bounded() {
+    const SESSIONS: usize = 4;
+    const UPDATES: usize = 150;
+    let config = GovernorConfig {
+        interval: Duration::from_millis(1),
+        min_interval: Duration::from_micros(200),
+        high_water_versions: 512,
+        high_water_chain: 256,
+        low_water_versions: 64,
+        ..GovernorConfig::default()
+    };
+    let mut db = Database::with_cache_pages(4096);
+    db.execute("CREATE TABLE SOAK (id INTEGER, n INTEGER)").unwrap();
+    for id in 0..16 {
+        db.execute(&format!("INSERT INTO SOAK VALUES ({id}, 0)")).unwrap();
+    }
+    let server = Server::with_config(db, config.clone());
+    std::thread::scope(|scope| {
+        for t in 0..SESSIONS {
+            let mut sess = server.session();
+            scope.spawn(move || {
+                for i in 0..UPDATES {
+                    let id = (t * 5 + i) % 16;
+                    sess.execute(&format!("UPDATE SOAK SET n = n + 1 WHERE id = {id}"))
+                        .unwrap_or_else(|e| panic!("session {t} update {i}: {e}"));
+                }
+            });
+        }
+    });
+    let g = server.governor();
+    assert!(g.counters.daemon_passes.load(Ordering::Relaxed) > 0, "daemon never ran");
+    wait_until(
+        || {
+            g.wake_daemon();
+            server.read(|db| db.mvcc_occupancy()).0 <= config.high_water_versions
+        },
+        "post-soak drain below high water",
+    );
+    let mut s = server.session();
+    let rows = s.query("SELECT n FROM SOAK").unwrap();
+    let sum: i64 = rows
+        .iter()
+        .map(|r| match r[0] {
+            Value::Integer(v) => v,
+            ref v => panic!("expected integer n, got {v:?}"),
+        })
+        .sum();
+    assert_eq!(sum, (SESSIONS * UPDATES) as i64, "every increment exactly once");
+}
+
+/// Client-driven cancellation: another thread trips the session's
+/// `CancelToken` while a statement runs; the statement surfaces
+/// `StatementTimeout` with a "cancelled" detail and the session stays
+/// usable for the next statement.
+#[test]
+fn cancel_token_interrupts_from_another_thread() {
+    let server = text_server(GovernorConfig::inline_vacuum(), 400);
+    let mut s = server.session();
+    let token = s.cancel_token();
+    // Each statement clears its token at start, so a single pre-cancel
+    // can be wiped: spin-cancel from the peer thread instead, and if the
+    // (short) statement ever wins the race and completes, just rerun it —
+    // the canceller cannot lose every round.
+    let mut observed = None;
+    for _ in 0..50 {
+        let stop = AtomicBool::new(false);
+        let res = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    token.cancel();
+                    std::hint::spin_loop();
+                }
+            });
+            let res = s.query(PROBE);
+            // Always stop the canceller before leaving the scope, even
+            // when the query completed — the scope join must not spin.
+            stop.store(true, Ordering::Relaxed);
+            res
+        });
+        match res {
+            Err(e) => {
+                observed = Some(e);
+                break;
+            }
+            Ok(_) => continue,
+        }
+    }
+    let err = observed.expect("cancellation was never observed in 50 attempts");
+    assert!(matches!(err, Error::StatementTimeout { .. }), "got {err}");
+    assert!(err.to_string().contains("cancelled"), "detail must name the cancel: {err}");
+    // Token cleared per statement: the session is not poisoned.
+    let rows = s.query(PROBE).unwrap();
+    assert!(!rows.is_empty());
+}
+
+/// `V$SERVER` end to end: queryable through a session, daemon liveness
+/// and the governor counters visible as NAME/VALUE rows.
+#[test]
+fn vserver_reports_governor_counters() {
+    let server = text_server(GovernorConfig::default(), 10);
+    let mut s = server.session();
+    let rows = s.query("SELECT NAME, VALUE FROM V$SERVER").unwrap();
+    let get = |name: &str| -> i64 {
+        rows.iter()
+            .find(|r| r[0] == Value::from(name))
+            .unwrap_or_else(|| panic!("V$SERVER missing {name}: {rows:?}"))
+            .last()
+            .map(|v| match v {
+                Value::Integer(i) => *i,
+                other => panic!("{name}: expected integer VALUE, got {other:?}"),
+            })
+            .unwrap()
+    };
+    assert_eq!(get("DAEMON_RUNNING"), 1);
+    assert_eq!(get("HIGH_WATER_VERSIONS"), 4096);
+    assert_eq!(get("LOW_WATER_VERSIONS"), 512);
+    for name in [
+        "DAEMON_PASSES",
+        "DAEMON_RESTARTS",
+        "DAEMON_FAULTS",
+        "BACKPRESSURE_ENGAGED",
+        "BACKPRESSURE_EVENTS",
+        "BACKPRESSURE_WAITS",
+        "BACKPRESSURE_SELF_DRAINS",
+        "CONFLICT_RETRIES",
+        "CONFLICT_RETRY_SUCCESSES",
+        "CONFLICT_RETRY_EXHAUSTED",
+        "STATEMENT_TIMEOUTS",
+        "ORPHAN_ABORTS",
+        "HELD_VERSIONS",
+        "MAX_SEGMENT_VERSIONS",
+    ] {
+        assert!(get(name) >= 0, "{name} must be present and non-negative");
+    }
+    // A session-visible timeout shows up in the counter row.
+    s.execute("SET STATEMENT_TIMEOUT_TICKS = 1").unwrap();
+    let _ = s.query("SELECT id FROM docs ORDER BY id");
+    s.execute("SET STATEMENT_TIMEOUT_TICKS = 0").unwrap();
+    let rows = s.query("SELECT NAME, VALUE FROM V$SERVER").unwrap();
+    let timeouts = rows
+        .iter()
+        .find(|r| r[0] == Value::from("STATEMENT_TIMEOUTS"))
+        .and_then(|r| r.last().cloned());
+    assert!(
+        matches!(timeouts, Some(Value::Integer(n)) if n >= 0),
+        "STATEMENT_TIMEOUTS row must stay queryable: {timeouts:?}"
+    );
+}
